@@ -1,0 +1,71 @@
+// Command hsgd-costmodel runs the offline phase of Algorithm 2: it profiles
+// the simulated devices (Algorithm 3), fits the Section V cost models and
+// the Qilin baseline, prints the fitted coefficients and the workload split
+// α for a given dataset size, and optionally stores the profile as JSON for
+// reuse via Options.Profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsgd"
+	"hsgd/internal/cost"
+)
+
+func main() {
+	var (
+		nnz     = flag.Int("nnz", 1_000_000, "dataset size (ratings) to profile against")
+		threads = flag.Int("threads", 16, "CPU threads for the alpha computation")
+		gpus    = flag.Int("gpus", 1, "GPUs for the alpha computation")
+		workers = flag.Int("workers", 128, "GPU parallel workers")
+		scale   = flag.Float64("devscale", 0.01, "device constant scale")
+		out     = flag.String("out", "", "write the profile JSON to this path")
+		seed    = flag.Int64("seed", 42, "measurement noise seed")
+	)
+	flag.Parse()
+	if err := run(*nnz, *threads, *gpus, *workers, *scale, *out, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "hsgd-costmodel: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nnz, threads, gpus, workers int, scale float64, out string, seed int64) error {
+	gcfg := hsgd.DefaultGPU().WithWorkers(workers).Scaled(scale)
+	ccfg := hsgd.DefaultCPU().Scaled(scale)
+	p, err := hsgd.ProfileMachine(nnz, gcfg, ccfg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CPU model:      time(n) = %.3e·n + %.3e   (rmse %.2e)\n", p.CPU.A, p.CPU.B, p.CPU.RMSE)
+	printPiecewise("GPU kernel", p.GPU.Kernel)
+	printPiecewise("H2D", p.GPU.H2D)
+	printPiecewise("D2H", p.GPU.D2H)
+	fmt.Printf("Qilin GPU:      time(n) = %.3e·n + %.3e   (rmse %.2e)\n", p.QilinGPU.A, p.QilinGPU.B, p.QilinGPU.RMSE)
+
+	alphaM := cost.SolveAlpha(p.GPU.Time, p.CPU.Time, float64(nnz), threads, gpus)
+	alphaQ := cost.SolveAlpha(p.QilinGPU.Time, p.CPU.Time, float64(nnz), threads, gpus)
+	fmt.Printf("alpha (our model, Eq. 8):  %.4f  -> GPU %.1f%% / CPU %.1f%%\n", alphaM, 100*alphaM, 100*(1-alphaM))
+	fmt.Printf("alpha (Qilin baseline):    %.4f  -> GPU %.1f%% / CPU %.1f%%\n", alphaQ, 100*alphaQ, 100*(1-alphaQ))
+
+	if out != "" {
+		if err := p.SaveFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("profile written to %s\n", out)
+	}
+	return nil
+}
+
+func printPiecewise(name string, m cost.PiecewiseModel) {
+	fmt.Printf("%-15s tau=%.3g; below: speed = %.3e·%s + %.3e; above: time = %.3e·x + %.3e\n",
+		name+":", m.Tau, m.A1, transformName(m.Kind), m.B1, m.A2, m.B2)
+}
+
+func transformName(k cost.Kind) string {
+	if k == cost.KindTransfer {
+		return "sqrt(log x)"
+	}
+	return "log x"
+}

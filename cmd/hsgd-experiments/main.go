@@ -1,0 +1,143 @@
+// Command hsgd-experiments regenerates the paper's tables and figures on
+// the simulated heterogeneous system.
+//
+// Usage:
+//
+//	hsgd-experiments [flags] all|fig3|fig6|fig7|fig10|fig11|fig12|fig13|table1|table2|table3
+//
+// Output is aligned text: one x/y column block per figure, one table per
+// table. The -scale flag shrinks the datasets for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsgd/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	flag.Float64Var(&cfg.Scale, "scale", 0.1, "dataset scale relative to DESIGN.md sizes")
+	flag.IntVar(&cfg.K, "k", 0, "latent factors (0 = per-dataset default of 128)")
+	flag.IntVar(&cfg.Iters, "iters", 20, "epoch budget per run")
+	flag.IntVar(&cfg.CPUThreads, "threads", 16, "CPU worker threads")
+	flag.IntVar(&cfg.GPUs, "gpus", 1, "simulated GPUs")
+	flag.IntVar(&cfg.GPUWorkers, "workers", 128, "GPU parallel workers")
+	flag.Int64Var(&cfg.Seed, "seed", 42, "random seed")
+	flag.Float64Var(&cfg.PerfVariation, "perfvar", 0, "run-time device speed deviation from the offline profile (0 = default)")
+	flag.Parse()
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	if err := run(cfg, what); err != nil {
+		fmt.Fprintf(os.Stderr, "hsgd-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, what string) error {
+	all := what == "all"
+	out := os.Stdout
+	if all || what == "fig3" {
+		g, c := experiments.Fig3(cfg.GPUWorkers)
+		experiments.FprintSeries(out, "Figure 3: update speed vs block size", "block (Kpts)", g, c)
+		fmt.Fprintln(out)
+	}
+	if all || what == "fig6" {
+		h2d, d2h := experiments.Fig6()
+		experiments.FprintSeries(out, "Figure 6: PCIe transfer speed vs data size", "bytes", h2d, d2h)
+		fmt.Fprintln(out)
+	}
+	if all || what == "fig7" {
+		s := experiments.Fig7(cfg.GPUWorkers)
+		experiments.FprintSeries(out, "Figure 7: kernel throughput vs block size", "block (Kpts)", s)
+		fmt.Fprintln(out)
+	}
+	if all || what == "table1" {
+		t, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		t.Fprint(out)
+		fmt.Fprintln(out)
+	}
+	if all || what == "fig10" {
+		res, err := experiments.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			experiments.FprintSeries(out,
+				fmt.Sprintf("Figure 10 (%s): time-to-target vs GPU parallel workers (s)", r.Dataset),
+				"workers", r.Series...)
+			fmt.Fprintln(out)
+		}
+	}
+	if all || what == "fig11" {
+		res, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			experiments.FprintSeries(out,
+				fmt.Sprintf("Figure 11 (%s): time-to-target vs CPU threads (s)", r.Dataset),
+				"threads", r.Series...)
+			fmt.Fprintln(out)
+		}
+	}
+	if all || what == "fig12" {
+		res, err := experiments.Fig12(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			// Each algorithm evaluates on its own virtual-time grid, so
+			// every curve prints with its own x column.
+			for _, s := range r.Series {
+				experiments.FprintSeries(out,
+					fmt.Sprintf("Figure 12 (%s, %s): test RMSE over training time", r.Dataset, s.Name),
+					"time (s)", s)
+				fmt.Fprintln(out)
+			}
+		}
+	}
+	if all || what == "fig13" {
+		res, err := experiments.Fig13(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			for _, s := range r.Series {
+				experiments.FprintSeries(out,
+					fmt.Sprintf("Figure 13 (%s, %s): HSGD vs HSGD* test RMSE over time", r.Dataset, s.Name),
+					"time (s)", s)
+				fmt.Fprintln(out)
+			}
+		}
+	}
+	if all || what == "table2" {
+		t, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		t.Fprint(out)
+		fmt.Fprintln(out)
+	}
+	if all || what == "table3" {
+		t, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		t.Fprint(out)
+		fmt.Fprintln(out)
+	}
+	switch what {
+	case "all", "fig3", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", what)
+}

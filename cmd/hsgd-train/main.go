@@ -1,0 +1,114 @@
+// Command hsgd-train trains a matrix-factorization model on a rating file.
+//
+// Two modes:
+//
+//	-mode=real (default)  FPSGD on real goroutines; wall-clock timings.
+//	-mode=sim             one of the paper's pipelines on the simulated
+//	                      heterogeneous system; virtual-clock timings.
+//
+// The input is the text interchange format of internal/sparse ("rows cols
+// nnz" header, then "row col value" lines; ".bin" files use the binary
+// format). The trained factors are written with -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsgd"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "real", "real (goroutine FPSGD) or sim (heterogeneous simulation)")
+		alg     = flag.String("alg", "hsgd*", "sim algorithm: cpu-only|gpu-only|hsgd|hsgd*|hsgd*-m|hsgd*-q")
+		k       = flag.Int("k", 128, "latent factors")
+		lambda  = flag.Float64("lambda", 0.05, "regularisation (applied to both P and Q)")
+		gamma   = flag.Float64("gamma", 0.005, "learning rate")
+		iters   = flag.Int("iters", 20, "training iterations (epochs)")
+		threads = flag.Int("threads", 16, "CPU threads")
+		gpus    = flag.Int("gpus", 1, "simulated GPUs (sim mode)")
+		workers = flag.Int("workers", 128, "GPU parallel workers (sim mode)")
+		scale   = flag.Float64("devscale", 0.01, "device constant scale (sim mode)")
+		testPth = flag.String("test", "", "optional test-set file for RMSE evaluation")
+		out     = flag.String("out", "", "write trained factors to this file")
+		seed    = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hsgd-train [flags] <ratings-file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *mode, *alg, *k, *lambda, *gamma, *iters,
+		*threads, *gpus, *workers, *scale, *testPth, *out, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "hsgd-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, mode, alg string, k int, lambda, gamma float64, iters,
+	threads, gpus, workers int, scale float64, testPath, out string, seed int64) error {
+	train, err := hsgd.LoadMatrix(path)
+	if err != nil {
+		return err
+	}
+	var test *hsgd.Matrix
+	if testPath != "" {
+		if test, err = hsgd.LoadMatrix(testPath); err != nil {
+			return err
+		}
+	}
+	params := hsgd.Params{
+		K: k, LambdaP: float32(lambda), LambdaQ: float32(lambda),
+		Gamma: float32(gamma), Iters: iters,
+	}
+	var factors *hsgd.Factors
+	switch mode {
+	case "real":
+		rep, f, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
+			Threads: threads, Params: params, Seed: seed, Test: test,
+		})
+		if err != nil {
+			return err
+		}
+		factors = f
+		fmt.Printf("trained %d epochs in %.3fs wall clock (%d updates)\n",
+			rep.Epochs, rep.Seconds, rep.TotalUpdates)
+		if test != nil {
+			fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
+		}
+	case "sim":
+		rep, f, err := hsgd.Train(train, test, hsgd.Options{
+			Algorithm:  hsgd.Algorithm(alg),
+			CPUThreads: threads,
+			GPUs:       gpus,
+			Params:     params,
+			GPU:        hsgd.DefaultGPU().WithWorkers(workers).Scaled(scale),
+			CPU:        hsgd.DefaultCPU().Scaled(scale),
+			Seed:       seed,
+		})
+		if err != nil {
+			return err
+		}
+		factors = f
+		fmt.Printf("%s: %d epochs in %.4fs virtual time\n", alg, rep.Epochs, rep.VirtualSeconds)
+		if rep.Alpha > 0 {
+			fmt.Printf("cost-model split: alpha=%.3f (GPU %.1f%%, CPU %.1f%%)\n",
+				rep.Alpha, 100*rep.GPUShare, 100*rep.CPUShare)
+		}
+		if test != nil {
+			fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if out != "" {
+		if err := factors.SaveFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("factors written to %s\n", out)
+	}
+	return nil
+}

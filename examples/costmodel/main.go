@@ -1,0 +1,44 @@
+// Costmodel: the offline phase of Algorithm 2 — profile the machine,
+// inspect the fitted Section V models against the Qilin linear baseline,
+// and see where the workload split α lands for different dataset sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsgd"
+	"hsgd/internal/cost"
+)
+
+func main() {
+	const deviceScale = 0.01
+	gcfg := hsgd.DefaultGPU().Scaled(deviceScale)
+	ccfg := hsgd.DefaultCPU().Scaled(deviceScale)
+
+	nnz := 1_000_000
+	profile, err := hsgd.ProfileMachine(nnz, gcfg, ccfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fitted cost models (offline phase, Algorithm 3):")
+	fmt.Printf("  CPU (linear):   time(n) = %.3e*n + %.3e\n", profile.CPU.A, profile.CPU.B)
+	fmt.Printf("  GPU kernel:     tau=%.3g, log-speed fit below, linear above\n", profile.GPU.Kernel.Tau)
+	fmt.Printf("  H2D transfer:   tau=%.3g, sqrt-log-speed fit below, linear above\n", profile.GPU.H2D.Tau)
+	fmt.Printf("  Qilin baseline: time(n) = %.3e*n + %.3e\n\n", profile.QilinGPU.A, profile.QilinGPU.B)
+
+	fmt.Println("estimates vs workload (seconds; fg = max(transfer, kernel), Eq. 9):")
+	for _, n := range []float64{50_000, 200_000, 500_000, 1_000_000} {
+		kernel, h2d, _ := profile.GPU.Breakdown(n)
+		fmt.Printf("  n=%9.0f  kernel=%.5f  h2d=%.5f  fg=%.5f  fc(1 thread)=%.5f\n",
+			n, kernel, h2d, profile.GPU.Time(n), profile.CPU.Time(n))
+	}
+
+	fmt.Println("\nworkload split alpha (Eq. 8) for 16 CPU threads + 1 GPU:")
+	for _, n := range []float64{100_000, 500_000, 1_000_000, 2_500_000} {
+		aM := cost.SolveAlpha(profile.GPU.Time, profile.CPU.Time, n, 16, 1)
+		aQ := cost.SolveAlpha(profile.QilinGPU.Time, profile.CPU.Time, n, 16, 1)
+		fmt.Printf("  nnz=%9.0f  ours: GPU %.1f%%   Qilin: GPU %.1f%%\n", n, 100*aM, 100*aQ)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: factorize a small synthetic rating matrix with the
+// goroutine-parallel FPSGD trainer and evaluate it — the 15-line path a new
+// user of the library takes first.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsgd"
+)
+
+func main() {
+	// A small MovieLens-shaped synthetic dataset (disjoint train/test).
+	spec := hsgd.BenchmarkDatasets()[0].Scale(0.2)
+	train, test, err := hsgd.GenerateDataset(spec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d users x %d items, %d train / %d test ratings\n",
+		train.Rows, train.Cols, train.NNZ(), test.NNZ())
+
+	params := hsgd.DefaultParams()
+	params.K = 32
+	params.Iters = 15
+
+	report, factors, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
+		Threads: 8,
+		Params:  params,
+		Seed:    42,
+		Test:    test,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d epochs in %.3fs: test RMSE %.4f\n",
+		report.Epochs, report.Seconds, report.FinalRMSE)
+
+	// Use the model: predicted score for one (user, item) pair.
+	fmt.Printf("predicted rating for user 3, item 7: %.2f\n", factors.Predict(3, 7))
+}

@@ -1,0 +1,66 @@
+// Recommender: the use case the paper's introduction motivates — train a
+// rating model, then produce top-N item recommendations per user, excluding
+// items they have already rated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsgd"
+)
+
+func main() {
+	spec := hsgd.BenchmarkDatasets()[0].Scale(0.3) // MovieLens-shaped
+	train, test, err := hsgd.GenerateDataset(spec, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := hsgd.DefaultParams()
+	params.K = 32
+	params.Iters = 20
+
+	report, factors, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
+		Threads: 8,
+		Params:  params,
+		Seed:    7,
+		Test:    test,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: k=%d, RMSE %.4f after %d epochs (%.2fs)\n",
+		params.K, report.FinalRMSE, report.Epochs, report.Seconds)
+
+	// Index each user's seen items so recommendations are novel.
+	seen := make(map[int32]map[int32]bool)
+	for _, r := range train.Ratings {
+		if seen[r.Row] == nil {
+			seen[r.Row] = make(map[int32]bool)
+		}
+		seen[r.Row][r.Col] = true
+	}
+
+	// Recommend for the three heaviest users.
+	counts := train.RowCounts()
+	for rank := 0; rank < 3; rank++ {
+		best := 0
+		for u, c := range counts {
+			if c > counts[best] {
+				best = u
+			}
+		}
+		u := int32(best)
+		counts[best] = -1 // exclude from the next pass
+		top := factors.TopN(u, 5, seen[u])
+		fmt.Printf("user %d (%d ratings) -> recommended items: ", u, len(seen[u]))
+		for i, v := range top {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%d (%.2f)", v, factors.Predict(u, v))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,142 @@
+// Package hsgd is the public API of this repository: an SGD-based matrix
+// factorization library for heterogeneous CPU-GPU systems, reproducing
+// Yu et al., "Efficient Matrix Factorization on Heterogeneous CPU-GPU
+// Systems" (ICDE 2021, arXiv:2006.15980).
+//
+// Two ways to use it:
+//
+//   - TrainParallel runs FPSGD-style shared-memory parallel SGD on real
+//     goroutines — the practical trainer for Go applications that just want
+//     fast matrix factorization on a multi-core CPU.
+//
+//   - Train runs the paper's heterogeneous pipelines (CPU-Only, GPU-Only,
+//     HSGD, HSGD* and its ablations) on a simulated CPU+GPU system with a
+//     deterministic virtual clock. The SGD arithmetic is executed for real;
+//     only durations are simulated. This is the experimentation surface
+//     that regenerates the paper's figures and tables (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	train, _ := sparse.LoadFile("ratings.txt")   // or hsgd.LoadMatrix
+//	report, factors, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
+//	    Threads: 8,
+//	    Params:  hsgd.DefaultParams(),
+//	})
+//	score := factors.Predict(user, item)
+package hsgd
+
+import (
+	"hsgd/internal/core"
+	"hsgd/internal/cost"
+	"hsgd/internal/dataset"
+	"hsgd/internal/gpu"
+	"hsgd/internal/model"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+// Core data types.
+type (
+	// Rating is one observed matrix entry (row, column, value).
+	Rating = sparse.Rating
+	// Matrix is a sparse rating matrix in coordinate form.
+	Matrix = sparse.Matrix
+	// Factors is a trained model: dense matrices P (m×k) and Q (k×n).
+	Factors = model.Factors
+	// Params are the SGD hyperparameters of Algorithm 1.
+	Params = sgd.Params
+	// Schedule produces the learning rate per iteration.
+	Schedule = sgd.Schedule
+)
+
+// Simulated heterogeneous training types.
+type (
+	// Algorithm selects one of the paper's pipelines.
+	Algorithm = core.Algorithm
+	// Options configures a simulated heterogeneous run.
+	Options = core.Options
+	// Report summarises a simulated run.
+	Report = core.Report
+	// EvalPoint is one (virtual time, epoch, RMSE) measurement.
+	EvalPoint = core.EvalPoint
+	// GPUConfig describes the simulated GPU device.
+	GPUConfig = gpu.Config
+	// CPUConfig describes one simulated CPU worker thread.
+	CPUConfig = core.CPUConfig
+	// CostProfile is the offline-fitted machine profile (Section V).
+	CostProfile = cost.Profile
+	// DatasetSpec describes one synthetic benchmark dataset.
+	DatasetSpec = dataset.Spec
+)
+
+// Real-mode (wall-clock) training types.
+type (
+	// ParallelOptions configures TrainParallel.
+	ParallelOptions = core.RealOptions
+	// ParallelReport summarises a TrainParallel run.
+	ParallelReport = core.RealReport
+)
+
+// The algorithms evaluated in the paper.
+const (
+	CPUOnly   = core.CPUOnly
+	GPUOnly   = core.GPUOnly
+	HSGD      = core.HSGD
+	HSGDStar  = core.HSGDStar
+	HSGDStarM = core.HSGDStarM
+	HSGDStarQ = core.HSGDStarQ
+)
+
+// DefaultParams returns the paper's default hyperparameters (k=128,
+// λ=0.05, γ=0.005, 20 iterations).
+func DefaultParams() Params { return sgd.DefaultParams() }
+
+// DefaultGPU returns the simulated GPU calibrated to the paper's testbed
+// shapes (see internal/gpu).
+func DefaultGPU() GPUConfig { return gpu.DefaultConfig() }
+
+// DefaultCPU returns the simulated CPU worker model (~5M updates/s/thread).
+func DefaultCPU() CPUConfig { return core.DefaultCPUConfig() }
+
+// Train runs one of the paper's pipelines on the simulated heterogeneous
+// system. test may be nil (no RMSE evaluation). The returned factors are
+// genuinely trained; the report's times are virtual seconds.
+func Train(train, test *Matrix, opt Options) (*Report, *Factors, error) {
+	return core.Train(train, test, opt)
+}
+
+// TrainParallel runs FPSGD (Zhuang et al. [9]) on real goroutines and
+// returns wall-clock timings. This is the trainer to use in applications.
+func TrainParallel(train *Matrix, opt ParallelOptions) (*ParallelReport, *Factors, error) {
+	return core.TrainReal(train, opt)
+}
+
+// TrainSerial runs the reference single-threaded SGD of Algorithm 1 on the
+// given pre-initialised factors.
+func TrainSerial(train *Matrix, f *Factors, p Params) {
+	sgd.TrainSerial(train, f, p)
+}
+
+// RMSE evaluates the model's root-mean-square error on a rating set.
+func RMSE(f *Factors, test *Matrix) float64 { return model.RMSE(f, test) }
+
+// ProfileMachine runs the offline phase of Algorithm 2 against the given
+// simulated devices and returns the fitted cost profile; pass it via
+// Options.Profile to skip re-profiling on every run.
+func ProfileMachine(nnz int, g GPUConfig, c CPUConfig, seed int64) (*CostProfile, error) {
+	return core.BuildProfile(nnz, g, c, seed)
+}
+
+// LoadMatrix reads a rating matrix from a file (text format, or binary for
+// ".bin" paths).
+func LoadMatrix(path string) (*Matrix, error) { return sparse.LoadFile(path) }
+
+// BenchmarkDatasets returns the four synthetic benchmark dataset specs in
+// Table I order (MovieLens, Netflix, R1, Yahoo!Music shapes).
+func BenchmarkDatasets() []DatasetSpec { return dataset.Benchmarks() }
+
+// GenerateDataset materialises a synthetic dataset: disjoint train and test
+// samples of a planted low-rank matrix.
+func GenerateDataset(spec DatasetSpec, seed int64) (train, test *Matrix, err error) {
+	return dataset.Generate(spec, seed)
+}

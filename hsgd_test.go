@@ -1,0 +1,80 @@
+package hsgd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.05)
+	train, test, err := GenerateDataset(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 16
+	params.Iters = 5
+
+	// Real-mode training.
+	rep, f, err := TrainParallel(train, ParallelOptions{Threads: 4, Params: params, Seed: 1, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalRMSE <= 0 || math.IsNaN(rep.FinalRMSE) {
+		t.Fatalf("real RMSE %v", rep.FinalRMSE)
+	}
+	if got := RMSE(f, test); math.Abs(got-rep.FinalRMSE) > 1e-9 {
+		t.Fatalf("RMSE helper %v != report %v", got, rep.FinalRMSE)
+	}
+
+	// Simulated heterogeneous training.
+	simRep, simF, err := Train(train, test, Options{
+		Algorithm:  HSGDStar,
+		CPUThreads: 8,
+		GPUs:       1,
+		Params:     params,
+		GPU:        DefaultGPU().Scaled(0.0005),
+		CPU:        DefaultCPU().Scaled(0.0005),
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRep.VirtualSeconds <= 0 || simRep.Alpha <= 0 {
+		t.Fatalf("sim report %+v", simRep)
+	}
+	if simF.Predict(0, 0) == 0 && simF.Predict(1, 1) == 0 {
+		t.Fatal("sim factors look untrained")
+	}
+
+	// Serial reference.
+	TrainSerial(train, f, params)
+
+	// Machine profiling.
+	p, err := ProfileMachine(train.NNZ(), DefaultGPU().Scaled(0.0005), DefaultCPU().Scaled(0.0005), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU.A <= 0 {
+		t.Fatal("profile CPU slope not positive")
+	}
+}
+
+func TestMatrixFileHelpers(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.01)
+	train, _, err := GenerateDataset(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/r.bin"
+	if err := train.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != train.NNZ() {
+		t.Fatal("file round trip changed size")
+	}
+}

@@ -1,0 +1,158 @@
+// Package als implements the alternating-least-squares baseline for matrix
+// factorization (Koren, Bell, Volinsky [16]; Section III-C of the paper):
+// each iteration fixes Q and solves the regularised least-squares problem
+// for every row of P exactly, then fixes P and solves for every column of
+// Q. Updates within one half-iteration are embarrassingly parallel, which
+// is why ALS is popular despite costing O(nnz·k² + (m+n)·k³) per iteration
+// versus SGD's O(nnz·k).
+package als
+
+import (
+	"fmt"
+	"sync"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+// Params configures ALS training.
+type Params struct {
+	K       int
+	Lambda  float32 // ridge regularisation (λP = λQ)
+	Iters   int
+	Workers int // goroutines per half-iteration; <=0 means 1
+}
+
+// Train runs ALS on the given pre-initialised factors.
+func Train(train *sparse.Matrix, f *model.Factors, p Params) error {
+	if p.K != f.K {
+		return fmt.Errorf("als: params K=%d but factors K=%d", p.K, f.K)
+	}
+	if train.NNZ() == 0 {
+		return sparse.ErrEmpty
+	}
+	rows := train.ToCSR()
+	cols := train.ToCSC()
+	for it := 0; it < p.Iters; it++ {
+		solveSide(rows, f.P, f.Q, f.K, p.Lambda, p.Workers)
+		solveSide(cols, f.Q, f.P, f.K, p.Lambda, p.Workers)
+	}
+	return nil
+}
+
+// solveSide solves min ||r_u − X_u·other|| + λ||x_u||² for every row u of
+// the CSR view: one k×k ridge system per row.
+func solveSide(view *sparse.CSR, target, other []float32, k int, lambda float32, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := view.Rows * w / workers
+		hi := view.Rows * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Scratch buffers reused across rows.
+			a := make([]float64, k*k)
+			b := make([]float64, k)
+			for u := lo; u < hi; u++ {
+				cols, vals := view.Row(u)
+				if len(cols) == 0 {
+					continue
+				}
+				solveRow(target[u*k:(u+1)*k], other, cols, vals, k, lambda, a, b)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// solveRow builds A = Σ q qᵀ + λI, b = Σ r·q over the row's ratings and
+// solves A x = b by Cholesky-free Gaussian elimination with partial
+// pivoting (k is small).
+func solveRow(x []float32, other []float32, cols []int32, vals []float32, k int, lambda float32, a, b []float64) {
+	for i := range a {
+		a[i] = 0
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		a[i*k+i] = float64(lambda) * float64(len(cols))
+	}
+	for idx, v := range cols {
+		q := other[int(v)*k : (int(v)+1)*k]
+		r := float64(vals[idx])
+		for i := 0; i < k; i++ {
+			qi := float64(q[i])
+			b[i] += r * qi
+			row := a[i*k:]
+			for j := i; j < k; j++ {
+				row[j] += qi * float64(q[j])
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 1; i < k; i++ {
+		for j := 0; j < i; j++ {
+			a[i*k+j] = a[j*k+i]
+		}
+	}
+	solveDense(a, b, k)
+	for i := 0; i < k; i++ {
+		x[i] = float32(b[i])
+	}
+}
+
+// solveDense solves the k×k system in place (a is destroyed, b becomes x).
+func solveDense(a, b []float64, k int) {
+	for col := 0; col < k; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if abs(a[r*k+col]) > abs(a[pivot*k+col]) {
+				pivot = r
+			}
+		}
+		if pivot != col {
+			for j := 0; j < k; j++ {
+				a[col*k+j], a[pivot*k+j] = a[pivot*k+j], a[col*k+j]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		p := a[col*k+col]
+		if p == 0 {
+			continue // singular direction: leave x=0 there (ridge makes this rare)
+		}
+		for r := col + 1; r < k; r++ {
+			factor := a[r*k+col] / p
+			if factor == 0 {
+				continue
+			}
+			for j := col; j < k; j++ {
+				a[r*k+j] -= factor * a[col*k+j]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	for col := k - 1; col >= 0; col-- {
+		p := a[col*k+col]
+		if p == 0 {
+			b[col] = 0
+			continue
+		}
+		sum := b[col]
+		for j := col + 1; j < k; j++ {
+			sum -= a[col*k+j] * b[j]
+		}
+		b[col] = sum / p
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

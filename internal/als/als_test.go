@@ -1,0 +1,113 @@
+package als
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+func planted(m, n, nnz int, seed int64) (*sparse.Matrix, *sparse.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	const rank = 3
+	p := make([]float32, m*rank)
+	q := make([]float32, n*rank)
+	for i := range p {
+		p[i] = rng.Float32()
+	}
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	gen := func(count int) *sparse.Matrix {
+		out := sparse.New(m, n)
+		for i := 0; i < count; i++ {
+			u := rng.Intn(m)
+			v := rng.Intn(n)
+			var dot float32
+			for j := 0; j < rank; j++ {
+				dot += p[u*rank+j] * q[v*rank+j]
+			}
+			out.Add(int32(u), int32(v), dot+float32(rng.NormFloat64()*0.02))
+		}
+		return out
+	}
+	return gen(nnz), gen(nnz / 5)
+}
+
+func TestALSConverges(t *testing.T) {
+	train, test := planted(80, 60, 4000, 1)
+	f := model.NewFactors(80, 60, 6, rand.New(rand.NewSource(1)))
+	before := model.RMSE(f, test)
+	if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 10, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	after := model.RMSE(f, test)
+	if after >= before {
+		t.Fatalf("RMSE did not improve: %v -> %v", before, after)
+	}
+	if after > 0.15 {
+		t.Fatalf("ALS RMSE %v too high on planted rank-3 data", after)
+	}
+}
+
+func TestALSMonotoneTrainingLoss(t *testing.T) {
+	train, _ := planted(50, 50, 2500, 2)
+	f := model.NewFactors(50, 50, 6, rand.New(rand.NewSource(2)))
+	prev := model.Loss(f, train, 0.05, 0.05)
+	for it := 0; it < 5; it++ {
+		if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 1, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		cur := model.Loss(f, train, 0.05, 0.05)
+		// ALS solves each subproblem exactly: the regularised objective
+		// cannot increase.
+		if cur > prev*1.0001 {
+			t.Fatalf("ALS loss rose at iter %d: %v -> %v", it, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestALSWorkerCountsAgree(t *testing.T) {
+	train, test := planted(40, 40, 2000, 3)
+	f1 := model.NewFactors(40, 40, 4, rand.New(rand.NewSource(3)))
+	f4 := f1.Clone()
+	if err := Train(train, f1, Params{K: 4, Lambda: 0.05, Iters: 3, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Train(train, f4, Params{K: 4, Lambda: 0.05, Iters: 3, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Row solves are independent, so worker count must not change results
+	// beyond float noise.
+	r1 := model.RMSE(f1, test)
+	r4 := model.RMSE(f4, test)
+	if diff := r1 - r4; diff > 1e-4 || diff < -1e-4 {
+		t.Fatalf("worker count changed RMSE: %v vs %v", r1, r4)
+	}
+}
+
+func TestALSErrors(t *testing.T) {
+	train, _ := planted(10, 10, 100, 4)
+	f := model.NewFactors(10, 10, 4, rand.New(rand.NewSource(4)))
+	if err := Train(train, f, Params{K: 8, Lambda: 0.05, Iters: 1}); err == nil {
+		t.Fatal("K mismatch accepted")
+	}
+	if err := Train(sparse.New(10, 10), f, Params{K: 4, Lambda: 0.05, Iters: 1}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	// 2x2 system: [2 1; 1 3] x = [5; 10] → x = (1, 3).
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	solveDense(a, b, 2)
+	if d := b[0] - 1; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("x0 = %v", b[0])
+	}
+	if d := b[1] - 3; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("x1 = %v", b[1])
+	}
+}

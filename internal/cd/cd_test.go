@@ -1,0 +1,79 @@
+package cd
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+func planted(m, n, nnz int, seed int64) (*sparse.Matrix, *sparse.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	const rank = 3
+	p := make([]float32, m*rank)
+	q := make([]float32, n*rank)
+	for i := range p {
+		p[i] = rng.Float32()
+	}
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	gen := func(count int) *sparse.Matrix {
+		out := sparse.New(m, n)
+		for i := 0; i < count; i++ {
+			u := rng.Intn(m)
+			v := rng.Intn(n)
+			var dot float32
+			for j := 0; j < rank; j++ {
+				dot += p[u*rank+j] * q[v*rank+j]
+			}
+			out.Add(int32(u), int32(v), dot+float32(rng.NormFloat64()*0.02))
+		}
+		return out
+	}
+	return gen(nnz), gen(nnz / 5)
+}
+
+func TestCDConverges(t *testing.T) {
+	train, test := planted(80, 60, 4000, 1)
+	f := model.NewFactors(80, 60, 6, rand.New(rand.NewSource(1)))
+	before := model.RMSE(f, test)
+	if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 10, Inner: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := model.RMSE(f, test)
+	if after >= before {
+		t.Fatalf("RMSE did not improve: %v -> %v", before, after)
+	}
+	if after > 0.15 {
+		t.Fatalf("CD RMSE %v too high on planted rank-3 data", after)
+	}
+}
+
+func TestCDTrainingLossDecreases(t *testing.T) {
+	train, _ := planted(50, 50, 2500, 2)
+	f := model.NewFactors(50, 50, 6, rand.New(rand.NewSource(2)))
+	prev := model.Loss(f, train, 0.05, 0.05)
+	for it := 0; it < 4; it++ {
+		if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 1, Inner: 1}); err != nil {
+			t.Fatal(err)
+		}
+		cur := model.Loss(f, train, 0.05, 0.05)
+		if cur > prev*1.0001 {
+			t.Fatalf("CD loss rose at iter %d: %v -> %v", it, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestCDErrors(t *testing.T) {
+	train, _ := planted(10, 10, 100, 3)
+	f := model.NewFactors(10, 10, 4, rand.New(rand.NewSource(3)))
+	if err := Train(train, f, Params{K: 8, Lambda: 0.05, Iters: 1}); err == nil {
+		t.Fatal("K mismatch accepted")
+	}
+	if err := Train(sparse.New(10, 10), f, Params{K: 4, Lambda: 0.05, Iters: 1}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hsgd/internal/dataset"
+	"hsgd/internal/gpu"
+)
+
+// testSetup generates a small MovieLens-shaped dataset and matching device
+// configs.
+func testSetup(t *testing.T, scale float64) (spec dataset.Spec, opts func(Algorithm) Options) {
+	t.Helper()
+	spec = dataset.MovieLens().Scale(scale)
+	spec.K = 16
+	deviceScale := 0.01 * scale
+	return spec, func(alg Algorithm) Options {
+		p := spec.Params()
+		p.K = 16
+		p.Iters = 5
+		return Options{
+			Algorithm:  alg,
+			CPUThreads: 16,
+			GPUs:       1,
+			Params:     p,
+			GPU:        gpu.DefaultConfig().Scaled(deviceScale),
+			CPU:        DefaultCPUConfig().Scaled(deviceScale),
+			Seed:       7,
+		}
+	}
+}
+
+func TestTrainAllAlgorithmsRun(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.1)
+	train, test, err := dataset.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{CPUOnly, GPUOnly, HSGD, HSGDStar, HSGDStarM, HSGDStarQ} {
+		rep, f, err := Train(train, test, mkOpts(alg))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if rep.Epochs != 5 {
+			t.Fatalf("%s ran %d epochs", alg, rep.Epochs)
+		}
+		if rep.VirtualSeconds <= 0 {
+			t.Fatalf("%s virtual time %v", alg, rep.VirtualSeconds)
+		}
+		if math.IsNaN(rep.FinalRMSE) || rep.FinalRMSE <= 0 {
+			t.Fatalf("%s RMSE %v", alg, rep.FinalRMSE)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s factors invalid: %v", alg, err)
+		}
+		// Total updates must equal epochs × nnz (every rating once per
+		// epoch) — exactly for quota scheduling, approximately for
+		// free-running.
+		want := float64(5 * train.NNZ())
+		got := float64(rep.TotalUpdates)
+		if got < want*0.95 || got > want*1.3 {
+			t.Fatalf("%s processed %v updates, want ~%v", alg, got, want)
+		}
+	}
+}
+
+func TestTrainingImprovesRMSE(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.1)
+	train, test, err := dataset.Generate(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mkOpts(HSGDStar)
+	opt.Params.Iters = 10
+	rep, _, err := Train(train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.History) < 2 {
+		t.Fatalf("history too short: %d", len(rep.History))
+	}
+	first := rep.History[0].RMSE
+	last := rep.History[len(rep.History)-1].RMSE
+	if last >= first {
+		t.Fatalf("RMSE did not improve: %v -> %v", first, last)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.05)
+	train, test, err := dataset.Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, f1, err := Train(train, test, mkOpts(HSGDStar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, f2, err := Train(train, test, mkOpts(HSGDStar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.VirtualSeconds != r2.VirtualSeconds || r1.FinalRMSE != r2.FinalRMSE {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v",
+			r1.VirtualSeconds, r1.FinalRMSE, r2.VirtualSeconds, r2.FinalRMSE)
+	}
+	for i := range f1.P {
+		if f1.P[i] != f2.P[i] {
+			t.Fatal("factors differ between identical runs")
+		}
+	}
+}
+
+func TestHSGDStarFastest(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.2)
+	train, test, err := dataset.Generate(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[Algorithm]float64{}
+	for _, alg := range []Algorithm{CPUOnly, GPUOnly, HSGDStar} {
+		rep, _, err := Train(train, test, mkOpts(alg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[alg] = rep.VirtualSeconds
+	}
+	if times[HSGDStar] >= times[CPUOnly] {
+		t.Fatalf("HSGD* (%v) not faster than CPU-Only (%v)", times[HSGDStar], times[CPUOnly])
+	}
+	if times[HSGDStar] >= times[GPUOnly] {
+		t.Fatalf("HSGD* (%v) not faster than GPU-Only (%v)", times[HSGDStar], times[GPUOnly])
+	}
+}
+
+// Fig 10 shape: GPU-Only must speed up substantially from 32 to 512
+// parallel workers, crossing CPU-Only somewhere in between.
+func TestGPUWorkerScalingShape(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.2)
+	train, test, err := dataset.Generate(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _, err := Train(train, test, mkOpts(CPUOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuTime := map[int]float64{}
+	for _, w := range []int{32, 512} {
+		opt := mkOpts(GPUOnly)
+		opt.GPU = opt.GPU.WithWorkers(w)
+		rep, _, err := Train(train, test, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuTime[w] = rep.VirtualSeconds
+	}
+	if gpuTime[32] <= cpu.VirtualSeconds {
+		t.Fatalf("GPU-Only@32 (%v) should lose to CPU-Only (%v)", gpuTime[32], cpu.VirtualSeconds)
+	}
+	if gpuTime[512] >= cpu.VirtualSeconds {
+		t.Fatalf("GPU-Only@512 (%v) should beat CPU-Only (%v)", gpuTime[512], cpu.VirtualSeconds)
+	}
+	if gpuTime[512] >= gpuTime[32] {
+		t.Fatal("more workers did not help")
+	}
+}
+
+// Example 3 / Fig 13: the free-running HSGD baseline develops update skew
+// that the quota-scheduled HSGD* avoids.
+func TestHSGDUpdateSkewVsHSGDStar(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.2)
+	train, test, err := dataset.Generate(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repH, _, err := Train(train, test, mkOpts(HSGD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repS, _, err := Train(train, test, mkOpts(HSGDStar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewH := float64(repH.UpdateStats.Max) - float64(repH.UpdateStats.Min)
+	skewS := float64(repS.UpdateStats.Max) - float64(repS.UpdateStats.Min)
+	if skewS > skewH {
+		t.Fatalf("HSGD* skew (%v) exceeds HSGD skew (%v)", skewS, skewH)
+	}
+	// Quota scheduling bounds the spread to lookahead+1 (the run may halt
+	// mid-quota); free-running HSGD has no such bound.
+	if skewS > 2 {
+		t.Fatalf("HSGD* update spread %v, want <= 2", skewS)
+	}
+}
+
+func TestTargetRMSEStopsEarly(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.1)
+	train, test, err := dataset.Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First find the RMSE after 2 epochs, then re-run targeting it.
+	probe := mkOpts(CPUOnly)
+	probe.Params.Iters = 2
+	rep, _, err := Train(train, test, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mkOpts(CPUOnly)
+	opt.Params.Iters = 50
+	opt.TargetRMSE = rep.FinalRMSE
+	rep2, _, err := Train(train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.TargetReached {
+		t.Fatal("target never reached")
+	}
+	if rep2.Epochs > 3 {
+		t.Fatalf("ran %d epochs for a 2-epoch target", rep2.Epochs)
+	}
+	if rep2.TimeToTarget <= 0 || rep2.TimeToTarget > rep2.VirtualSeconds {
+		t.Fatalf("TimeToTarget = %v", rep2.TimeToTarget)
+	}
+}
+
+func TestAlphaShares(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.1)
+	train, test, err := dataset.Generate(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := Train(train, test, mkOpts(HSGDStarM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alpha <= 0 || rep.Alpha >= 1 {
+		t.Fatalf("alpha = %v", rep.Alpha)
+	}
+	if math.Abs(rep.GPUShare-rep.Alpha) > 0.05 {
+		t.Fatalf("GPU share %v far from alpha %v", rep.GPUShare, rep.Alpha)
+	}
+	if math.Abs(rep.GPUShare+rep.CPUShare-1) > 1e-9 {
+		t.Fatalf("shares do not sum to 1: %v + %v", rep.GPUShare, rep.CPUShare)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.05)
+	train, test, err := dataset.Generate(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mkOpts(HSGDStar)
+	bad.GPUs = 0
+	if _, _, err := Train(train, test, bad); err == nil {
+		t.Fatal("HSGD* without GPUs accepted")
+	}
+	bad = mkOpts(CPUOnly)
+	bad.Params.K = 0
+	if _, _, err := Train(train, test, bad); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	bad = mkOpts(CPUOnly)
+	bad.Algorithm = "nope"
+	if _, _, err := Train(train, test, bad); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	empty := mkOpts(CPUOnly)
+	if _, _, err := Train(train.Clone(), test, empty); err != nil {
+		t.Fatal(err)
+	}
+	trainEmpty := train.Clone()
+	trainEmpty.Ratings = nil
+	if _, _, err := Train(trainEmpty, test, mkOpts(CPUOnly)); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestNilTestSet(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.05)
+	train, _, err := dataset.Generate(spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := Train(train, nil, mkOpts(HSGDStar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 5 {
+		t.Fatalf("epochs = %d", rep.Epochs)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.05)
+	train, test, err := dataset.Generate(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mkOpts(HSGDStar)
+	var events int
+	var gpuEvents int
+	opt.Trace = func(ev TraceEvent) {
+		events++
+		if ev.Device == "gpu0" {
+			gpuEvents++
+		}
+		if ev.Done < ev.Issue {
+			t.Fatalf("event travels back in time: %+v", ev)
+		}
+	}
+	if _, _, err := Train(train, test, opt); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 || gpuEvents == 0 {
+		t.Fatalf("trace saw %d events (%d GPU)", events, gpuEvents)
+	}
+}
+
+func TestBuildProfileFromDevices(t *testing.T) {
+	// Device constants scaled to the dataset size, as Train does.
+	p, err := BuildProfile(100_000, gpu.DefaultConfig().Scaled(0.001), DefaultCPUConfig().Scaled(0.001), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU model slope should approximate 1/5e6 within noise.
+	if got := p.CPU.A; math.Abs(got-2e-7)/2e-7 > 0.1 {
+		t.Fatalf("CPU slope %v", got)
+	}
+	// The GPU model must predict more time for more work.
+	if p.GPU.Time(10_000) >= p.GPU.Time(90_000) {
+		t.Fatal("GPU model not monotone")
+	}
+}
+
+func TestTrainParallelReal(t *testing.T) {
+	spec, _ := testSetup(t, 0.1)
+	train, test, err := dataset.Generate(spec, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Params()
+	p.K = 16
+	p.Iters = 5
+	rep, f, err := TrainReal(train, RealOptions{
+		Threads: 4,
+		Params:  p,
+		Seed:    7,
+		Test:    test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs < 5 {
+		t.Fatalf("epochs = %d", rep.Epochs)
+	}
+	if rep.FinalRMSE <= 0 || math.IsNaN(rep.FinalRMSE) {
+		t.Fatalf("RMSE = %v", rep.FinalRMSE)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.History) < 5 {
+		t.Fatalf("history has %d points", len(rep.History))
+	}
+	// The wall-clock run must genuinely train.
+	if rep.History[len(rep.History)-1].RMSE >= rep.History[0].RMSE {
+		t.Fatal("real trainer did not improve RMSE")
+	}
+}
+
+func TestTrainParallelRealValidation(t *testing.T) {
+	spec, _ := testSetup(t, 0.05)
+	train, _, err := dataset.Generate(spec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TrainReal(train, RealOptions{Threads: 2}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	empty := train.Clone()
+	empty.Ratings = nil
+	p := spec.Params()
+	p.K = 4
+	if _, _, err := TrainReal(empty, RealOptions{Threads: 2, Params: p}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+// Example 5 of the paper: 4 CPU threads and 2 GPUs — the multi-GPU layout
+// (9 columns, 6 CPU rows, 2 GPU bands of 3 sub-rows) must train correctly.
+func TestMultiGPU(t *testing.T) {
+	spec, mkOpts := testSetup(t, 0.1)
+	train, test, err := dataset.Generate(spec, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mkOpts(HSGDStar)
+	opt.CPUThreads = 4
+	opt.GPUs = 2
+	rep, f, err := Train(train, test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 5 {
+		t.Fatalf("epochs = %d", rep.Epochs)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two GPUs must beat one on the same workload.
+	opt1 := mkOpts(HSGDStar)
+	opt1.CPUThreads = 4
+	opt1.GPUs = 1
+	rep1, _, err := Train(train, test, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VirtualSeconds >= rep1.VirtualSeconds {
+		t.Fatalf("2 GPUs (%v) not faster than 1 (%v)", rep.VirtualSeconds, rep1.VirtualSeconds)
+	}
+}

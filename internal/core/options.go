@@ -1,0 +1,187 @@
+// Package core implements the paper's training pipelines on the simulated
+// heterogeneous system: CPU-Only (FPSGD), GPU-Only (cuMF_SGD-style), the
+// straightforward HSGD baseline of Section IV-A, and HSGD* with its
+// cost-model-driven nonuniform division and dynamic scheduling (Algorithm 2),
+// plus the ablated variants HSGD*-M and HSGD*-Q used in Tables II and III.
+//
+// Every pipeline executes the real SGD arithmetic — RMSE trajectories are
+// genuine — while durations come from the device models on the
+// discrete-event clock, so "running time" is deterministic virtual time.
+// A real-clock, goroutine-parallel FPSGD trainer is also provided for
+// library users who just want fast MF on their CPU (see TrainReal).
+package core
+
+import (
+	"fmt"
+
+	"hsgd/internal/cost"
+	"hsgd/internal/gpu"
+	"hsgd/internal/grid"
+	"hsgd/internal/sgd"
+)
+
+// Algorithm selects a training pipeline.
+type Algorithm string
+
+// The algorithms evaluated in the paper (Section VII).
+const (
+	CPUOnly   Algorithm = "cpu-only" // FPSGD on nc simulated CPU threads
+	GPUOnly   Algorithm = "gpu-only" // cuMF_SGD-style streaming on the simulated GPUs
+	HSGD      Algorithm = "hsgd"     // uniform division, GPU treated as one more worker
+	HSGDStar  Algorithm = "hsgd*"    // nonuniform division + our cost model + dynamic scheduling
+	HSGDStarM Algorithm = "hsgd*-m"  // our cost model, no dynamic scheduling (Table II/III)
+	HSGDStarQ Algorithm = "hsgd*-q"  // Qilin cost model, no dynamic scheduling (Table II)
+)
+
+// CPUConfig models one CPU worker thread. Per Observation 2 the throughput
+// of a CPU thread is flat in block size, so the model is a rate plus a small
+// per-block scheduling overhead.
+type CPUConfig struct {
+	UpdatesPerSec    float64 // SGD updates per second per thread
+	PerBlockOverhead float64 // seconds of scheduling overhead per block
+}
+
+// DefaultCPUConfig calibrates a thread to ~5M updates/s, the plateau of
+// Figure 3b.
+func DefaultCPUConfig() CPUConfig {
+	return CPUConfig{UpdatesPerSec: 5e6, PerBlockOverhead: 20e-6}
+}
+
+// Scaled shrinks the size-dependent constants by s, matching
+// gpu.Config.Scaled for scaled-down datasets.
+func (c CPUConfig) Scaled(s float64) CPUConfig {
+	c.PerBlockOverhead *= s
+	return c
+}
+
+// BlockTime returns the simulated seconds one thread spends on a block of n
+// ratings.
+func (c CPUConfig) BlockTime(n int) float64 {
+	return c.PerBlockOverhead + float64(n)/c.UpdatesPerSec
+}
+
+// Options configures a simulated training run.
+type Options struct {
+	Algorithm  Algorithm
+	CPUThreads int // nc
+	GPUs       int // ng
+	Params     sgd.Params
+	Schedule   sgd.Schedule // optional; nil means fixed γ from Params
+
+	GPU gpu.Config // device model (WithWorkers / Scaled applied by caller)
+	CPU CPUConfig
+
+	Seed int64
+
+	// TargetRMSE, when > 0, stops the run at the first epoch whose test RMSE
+	// is ≤ the target (the termination rule of Section VII-A). The run also
+	// stops after Params.Iters epochs regardless.
+	TargetRMSE float64
+
+	// Profile supplies a precomputed offline cost profile; nil builds one
+	// from the device models (the offline phase of Algorithm 2).
+	Profile *cost.Profile
+
+	// EvalEvery sets the epoch interval between RMSE evaluations (default 1).
+	EvalEvery int
+
+	// MaxVirtualSeconds aborts runaway simulations; 0 disables the guard.
+	MaxVirtualSeconds float64
+
+	// PerfVariation is the relative systematic deviation of actual device
+	// speed from the offline-profiled speed, drawn once per run per device
+	// class from the seed. Real machines deviate from their profiles —
+	// "the estimation may still be hard to exactly reflect the computing
+	// power of devices given a different dataset" (Section VI-A) — and this
+	// deviation is the gap the dynamic scheduling phase absorbs. Negative
+	// disables; zero uses DefaultPerfVariation.
+	PerfVariation float64
+
+	// Trace, when non-nil, receives one event per scheduled task. Intended
+	// for debugging and the scheduling-visualisation example.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent describes one task execution on the virtual clock.
+type TraceEvent struct {
+	Issue  float64 // virtual time the task was issued
+	Done   float64 // virtual time its locks were released
+	Device string  // "cpuN" or "gpuN"
+	Region string  // "cpu", "gpu", or "all" (uniform grids)
+	NNZ    int
+	Blocks int
+	Stolen bool
+	Warm   bool // GPU continued on its pinned band
+	Epoch  int64
+}
+
+// DefaultPerfVariation is the run-time speed deviation used when
+// Options.PerfVariation is zero.
+const DefaultPerfVariation = 0.15
+
+// Validate fills defaults and rejects inconsistent settings.
+func (o *Options) Validate() error {
+	if o.Params.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", o.Params.K)
+	}
+	if o.Params.Iters <= 0 {
+		return fmt.Errorf("core: Iters must be positive, got %d", o.Params.Iters)
+	}
+	if o.EvalEvery <= 0 {
+		o.EvalEvery = 1
+	}
+	switch o.Algorithm {
+	case CPUOnly:
+		if o.CPUThreads < 1 {
+			return fmt.Errorf("core: %s needs CPUThreads >= 1", o.Algorithm)
+		}
+	case GPUOnly:
+		if o.GPUs < 1 {
+			return fmt.Errorf("core: %s needs GPUs >= 1", o.Algorithm)
+		}
+	case HSGD, HSGDStar, HSGDStarM, HSGDStarQ:
+		if o.CPUThreads < 1 || o.GPUs < 1 {
+			return fmt.Errorf("core: %s needs CPUThreads >= 1 and GPUs >= 1", o.Algorithm)
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", o.Algorithm)
+	}
+	if o.GPUs > 0 {
+		if err := o.GPU.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.CPUThreads > 0 && o.CPU.UpdatesPerSec <= 0 {
+		return fmt.Errorf("core: CPU.UpdatesPerSec must be positive")
+	}
+	return nil
+}
+
+// EvalPoint is one RMSE measurement on the virtual clock.
+type EvalPoint struct {
+	Time  float64 // virtual seconds since training started
+	Epoch int
+	RMSE  float64
+}
+
+// Report summarises a simulated run.
+type Report struct {
+	Algorithm      Algorithm
+	VirtualSeconds float64
+	Epochs         int
+	FinalRMSE      float64
+	TargetReached  bool
+	TimeToTarget   float64
+	History        []EvalPoint
+
+	// Workload split (HSGD* variants).
+	Alpha    float64
+	GPUShare float64 // fraction of ratings in the GPU region
+	CPUShare float64
+
+	// Scheduling detail.
+	UpdateStats  grid.UpdateStats // distribution of per-block update counts
+	StolenByCPU  int64
+	StolenByGPU  int64
+	TotalUpdates int64
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"hsgd/internal/grid"
+	"hsgd/internal/model"
+	"hsgd/internal/sched"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// RealOptions configures TrainReal, the wall-clock goroutine-parallel FPSGD
+// trainer for library users (no GPU, no simulation).
+type RealOptions struct {
+	Threads  int
+	Params   sgd.Params
+	Schedule sgd.Schedule // optional; nil means fixed γ
+	Seed     int64
+
+	// Test, when non-nil, is evaluated at every epoch boundary (workers are
+	// quiesced first, so the evaluation is race-free).
+	Test *sparse.Matrix
+	// TargetRMSE stops training early once the test RMSE reaches it.
+	TargetRMSE float64
+}
+
+// RealReport summarises a wall-clock run.
+type RealReport struct {
+	Seconds      float64
+	Epochs       int
+	FinalRMSE    float64
+	History      []EvalPoint
+	TotalUpdates int64
+}
+
+// realRun shares the scheduler and epoch state between worker goroutines.
+type realRun struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sched    *sched.Uniform
+	epoch    int
+	gamma    float32
+	active   int  // workers currently processing a block
+	evaluate bool // an epoch boundary is being evaluated; workers must wait
+	done     bool
+}
+
+// TrainReal runs FPSGD on real goroutines: Rule 1 grid, least-updates block
+// selection under a mutex, and per-epoch quiescent evaluation. It returns
+// genuine wall-clock timings.
+func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Factors, error) {
+	if opt.Threads < 1 {
+		opt.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opt.Params.K <= 0 || opt.Params.Iters <= 0 {
+		return nil, nil, fmt.Errorf("core: invalid params (k=%d iters=%d)", opt.Params.K, opt.Params.Iters)
+	}
+	if train.NNZ() == 0 {
+		return nil, nil, sparse.ErrEmpty
+	}
+	schedule := opt.Schedule
+	if schedule == nil {
+		schedule = sgd.FixedSchedule(opt.Params.Gamma)
+	}
+	rows, cols := grid.Rule1(opt.Threads, 0)
+	g, err := grid.Uniform(train, rows, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := model.NewFactors(train.Rows, train.Cols, opt.Params.K, newRand(opt.Seed))
+
+	run := &realRun{sched: sched.NewUniform(g), gamma: schedule.Rate(0)}
+	run.cond = sync.NewCond(&run.mu)
+	report := &RealReport{}
+	nnz := int64(train.NNZ())
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Threads; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				run.mu.Lock()
+				for run.evaluate && !run.done {
+					run.cond.Wait()
+				}
+				if run.done {
+					run.mu.Unlock()
+					return
+				}
+				task, ok := run.sched.Acquire(worker, -1, true)
+				gamma := run.gamma
+				if ok {
+					run.active++
+				}
+				run.mu.Unlock()
+				if !ok {
+					// Everything eligible is locked; yield and retry.
+					runtime.Gosched()
+					continue
+				}
+				for _, rs := range task.Ratings() {
+					sgd.UpdateBlock(f, rs, opt.Params.LambdaP, opt.Params.LambdaQ, gamma)
+				}
+				run.mu.Lock()
+				run.sched.Release(task)
+				run.active--
+				if run.sched.TotalUpdates >= int64(run.epoch+1)*nnz && !run.evaluate && !run.done {
+					// This worker crossed the epoch boundary: quiesce and
+					// evaluate.
+					run.evaluate = true
+					for run.active > 0 {
+						run.cond.Wait()
+					}
+					run.epoch++
+					run.gamma = schedule.Rate(run.epoch)
+					if opt.Test != nil {
+						rmse := model.RMSE(f, opt.Test)
+						report.History = append(report.History, EvalPoint{
+							Time:  time.Since(start).Seconds(),
+							Epoch: run.epoch,
+							RMSE:  rmse,
+						})
+						report.FinalRMSE = rmse
+						if opt.TargetRMSE > 0 && rmse <= opt.TargetRMSE {
+							run.done = true
+						}
+					}
+					if run.epoch >= opt.Params.Iters {
+						run.done = true
+					}
+					run.evaluate = false
+					run.cond.Broadcast()
+				} else {
+					run.cond.Broadcast()
+				}
+				run.mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	report.Seconds = time.Since(start).Seconds()
+	report.Epochs = run.epoch
+	report.TotalUpdates = run.sched.TotalUpdates
+	if opt.Test != nil && len(report.History) == 0 {
+		report.FinalRMSE = model.RMSE(f, opt.Test)
+	}
+	return report, f, nil
+}

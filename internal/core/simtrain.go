@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hsgd/internal/cost"
+	"hsgd/internal/gpu"
+	"hsgd/internal/grid"
+	"hsgd/internal/model"
+	"hsgd/internal/sched"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sim"
+	"hsgd/internal/sparse"
+)
+
+// Train runs the selected pipeline on the simulated heterogeneous system
+// and returns the run report and the trained factors. The SGD arithmetic is
+// executed for real in the virtual-time order the device models dictate, so
+// the returned factors and every RMSE in the report are genuine.
+func Train(train, test *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if train.NNZ() == 0 {
+		return nil, nil, sparse.ErrEmpty
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var mean float64
+	for _, r := range train.Ratings {
+		mean += float64(r.Value)
+	}
+	mean /= float64(train.NNZ())
+	f := model.NewFactorsMean(train.Rows, train.Cols, opt.Params.K, mean, rng)
+
+	t := &trainer{
+		opt:      opt,
+		eng:      sim.New(),
+		f:        f,
+		test:     test,
+		nnz:      int64(train.NNZ()),
+		schedule: opt.Schedule,
+		gamma:    opt.Params.Gamma,
+		report:   &Report{Algorithm: opt.Algorithm, CPUShare: 1},
+	}
+	if t.schedule == nil {
+		t.schedule = sgd.FixedSchedule(opt.Params.Gamma)
+	}
+	t.gamma = t.schedule.Rate(0)
+
+	// Run-time device speeds deviate from the offline profile (systematic,
+	// per device class) plus a little per-block jitter; see
+	// Options.PerfVariation.
+	v := opt.PerfVariation
+	if v == 0 {
+		v = DefaultPerfVariation
+	}
+	if v > 0 {
+		perfRng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
+		t.cpuFactor = 1 + v*(2*perfRng.Float64()-1)
+		t.gpuFactor = 1 + v*(2*perfRng.Float64()-1)
+		t.jitterRng = perfRng
+	} else {
+		t.cpuFactor, t.gpuFactor = 1, 1
+	}
+
+	if err := t.setup(train); err != nil {
+		return nil, nil, err
+	}
+	if err := t.run(); err != nil {
+		return nil, nil, err
+	}
+	return t.report, f, nil
+}
+
+// gpuActor is the per-GPU simulation state: its stream pipeline, the number
+// of in-flight tasks (at most two: one transferring, one computing), and the
+// row band whose P segment is resident on the device.
+type gpuActor struct {
+	id             int
+	pipe           *gpu.Pipeline
+	inflight       int
+	stolenInflight int // in-flight blocks stolen from the CPU region
+	pinned         int // RowBandKey of the resident P segment, -1 when none
+	idle           bool
+}
+
+// maxInflight is the pipeline depth per GPU: the current block plus the one
+// being prefetched ("the GPU can always know not only the current block but
+// also the next block", Section VI-B).
+const maxInflight = 2
+
+type trainer struct {
+	opt      Options
+	eng      *sim.Engine
+	f        *model.Factors
+	test     *sparse.Matrix
+	nnz      int64
+	schedule sgd.Schedule
+	gamma    float32
+
+	uni *sched.Uniform
+	het *sched.Hetero
+
+	gpus      []*gpuActor
+	cpuIsIdle []bool
+
+	epoch  int
+	halted bool
+	report *Report
+
+	// Run-time deviation from the offline profile.
+	cpuFactor float64
+	gpuFactor float64
+	jitterRng *rand.Rand
+}
+
+// jitter applies ±2% per-block noise on top of the systematic device factor.
+func (t *trainer) jitter(d, factor float64) float64 {
+	d /= factor
+	if t.jitterRng != nil {
+		d *= 1 + 0.02*(2*t.jitterRng.Float64()-1)
+	}
+	return d
+}
+
+// setup builds the grid and scheduler for the selected algorithm.
+func (t *trainer) setup(train *sparse.Matrix) error {
+	nc, ng := t.opt.CPUThreads, t.opt.GPUs
+	switch t.opt.Algorithm {
+	case CPUOnly:
+		rows, cols := grid.Rule1(nc, 0)
+		g, err := grid.Uniform(train, rows, cols)
+		if err != nil {
+			return err
+		}
+		t.uni = sched.NewUniform(g)
+		ng = 0
+	case GPUOnly:
+		// GPU-Only "varies the number of rows and columns for the matrix
+		// division and adopts the best one" (Section VII): with only GPUs
+		// the best division is the coarsest that still permits stream
+		// prefetching — big blocks saturate the device (Observation 1).
+		g, err := grid.Uniform(train, ng+1, 2*ng+1)
+		if err != nil {
+			return err
+		}
+		t.uni = sched.NewUniform(g)
+		nc = 0
+	case HSGD:
+		rows, cols := grid.Rule1(nc, ng)
+		g, err := grid.Uniform(train, rows, cols)
+		if err != nil {
+			return err
+		}
+		t.uni = sched.NewUniform(g)
+	case HSGDStar, HSGDStarM, HSGDStarQ:
+		profile := t.opt.Profile
+		if profile == nil {
+			var err error
+			profile, err = BuildProfile(train.NNZ(), t.opt.GPU, t.opt.CPU, t.opt.Seed)
+			if err != nil {
+				return fmt.Errorf("core: offline profiling: %w", err)
+			}
+		}
+		tg := profile.GPU.Time
+		if t.opt.Algorithm == HSGDStarQ {
+			tg = profile.QilinGPU.Time
+		}
+		alpha := cost.SolveAlpha(tg, profile.CPU.Time, float64(t.nnz), nc, ng)
+		layout, err := grid.NewHeteroLayout(nc, ng, alpha)
+		if err != nil {
+			return err
+		}
+		hg, err := grid.PartitionHetero(train, layout)
+		if err != nil {
+			return err
+		}
+		t.het = sched.NewHetero(hg, t.opt.Algorithm == HSGDStar)
+		t.het.MinGPUSteal = gpuStealBreakEven(profile)
+		t.het.MinCPUStealRemaining = cpuStealThreshold(profile, hg)
+		t.het.MinGPUStealRemaining = gpuStealRemainingThreshold(profile, hg, nc)
+		t.het.MaxCPUThieves = (nc + 7) / 8
+		if !cpuStealProfitable(hg, t.opt.GPU, t.opt.Params.K) {
+			// Once a CPU thread steals, the whole band degrades to sub-row
+			// granularity and every sub-block re-transfers the Q segment
+			// its band's super-block would have moved once. That extra
+			// traffic hides under the kernel stream as long as sub-mode
+			// stays compute-bound; when it would saturate the PCIe bus the
+			// GPU's throughput collapses and thieves cost more than they
+			// contribute — keep the dynamic phase GPU-sided only.
+			t.het.MinCPUStealRemaining = 1 << 62
+		}
+		t.report.Alpha = alpha
+		t.report.GPUShare = float64(hg.GPUNNZ) / float64(t.nnz)
+		t.report.CPUShare = float64(hg.CPUNNZ) / float64(t.nnz)
+	}
+	t.cpuIsIdle = make([]bool, nc)
+	t.gpus = make([]*gpuActor, ng)
+	for i := range t.gpus {
+		t.gpus[i] = &gpuActor{id: i, pipe: gpu.NewPipeline(), pinned: -1}
+	}
+	return nil
+}
+
+// run starts every worker and drives the event loop to completion.
+func (t *trainer) run() error {
+	for i := range t.cpuIsIdle {
+		t.cpuTry(i)
+	}
+	for _, g := range t.gpus {
+		t.gpuTry(g)
+	}
+	t.eng.Run()
+	if !t.halted {
+		return fmt.Errorf("core: %s stalled at epoch %d/%d (scheduler deadlock)",
+			t.opt.Algorithm, t.epoch, t.opt.Params.Iters)
+	}
+	t.finish()
+	return nil
+}
+
+func (t *trainer) finish() {
+	t.report.VirtualSeconds = t.eng.Now()
+	t.report.Epochs = t.epoch
+	if len(t.report.History) == 0 && t.test != nil {
+		t.report.FinalRMSE = model.RMSE(t.f, t.test)
+	}
+	if t.uni != nil {
+		t.report.UpdateStats = grid.ComputeUpdateStats(t.uni.Grid.Blocks)
+		t.report.TotalUpdates = t.uni.TotalUpdates
+	} else {
+		t.report.UpdateStats = grid.ComputeUpdateStats(t.het.Blocks())
+		t.report.TotalUpdates = t.het.TotalUpdates
+		t.report.StolenByCPU = t.het.StolenByCPU
+		t.report.StolenByGPU = t.het.StolenByGPU
+	}
+}
+
+func (t *trainer) acquireCPU(worker int) (*sched.Task, bool) {
+	if t.uni != nil {
+		return t.uni.Acquire(worker, -1, true)
+	}
+	return t.het.AcquireCPU(worker)
+}
+
+// gpuOwnerBase keeps GPU owner tokens distinct from CPU worker indices in
+// the uniform scheduler's owner-aware row locks.
+const gpuOwnerBase = 1 << 16
+
+// cpuStealProfitable reports whether CPU threads joining the GPU region can
+// pay for the sub-granularity switch they force. Every sub-block moves its
+// rating payload plus the band-column's Q segment over PCIe; if that demand
+// exceeds ~80% of the H2D peak at the sub kernel's pace, sub-mode is
+// transfer-bound and the GPU's own throughput collapses (measured at +46%
+// GPU busy time on the MovieLens shape).
+func cpuStealProfitable(hg *grid.HeteroGrid, cfg gpu.Config, k int) bool {
+	blocks := 0
+	for _, b := range hg.GPU.Blocks {
+		if b.Size() > 0 {
+			blocks++
+		}
+	}
+	if blocks == 0 || hg.GPUNNZ == 0 {
+		return false
+	}
+	avgSub := float64(hg.GPUNNZ) / float64(blocks)
+	avgColSpan := float64(hg.GPU.ColBounds[len(hg.GPU.ColBounds)-1]-hg.GPU.ColBounds[0]) /
+		float64(hg.GPU.ColBands)
+	h2dBytesPerSub := 12*avgSub + 4*float64(k)*avgColSpan
+	kernel := cfg.KernelTime(int(avgSub), true)
+	if kernel <= 0 {
+		return false
+	}
+	return h2dBytesPerSub/kernel <= 0.8*cfg.H2DPeakBytesPerSec
+}
+
+// cpuStealThreshold returns the minimum remaining GPU-region workload (in
+// ratings) below which a CPU thread should not steal: while the thread
+// processes one average sub-block, the GPU clears gpuRate/cpuRate times as
+// much — if less than that (with a 2x safety margin) remains, the GPU
+// finishes its queue first and the steal only fragments its super-blocks.
+func cpuStealThreshold(p *cost.Profile, hg *grid.HeteroGrid) int64 {
+	blocks := 0
+	for _, b := range hg.GPU.Blocks {
+		if b.Size() > 0 {
+			blocks++
+		}
+	}
+	if blocks == 0 || hg.GPUNNZ == 0 {
+		return 0
+	}
+	avgSub := float64(hg.GPUNNZ) / float64(blocks)
+	probe := float64(hg.GPUNNZ)
+	gpuTime := p.GPU.Time(probe)
+	cpuTime := p.CPU.Time(probe)
+	if gpuTime <= 0 || cpuTime <= 0 {
+		return 0
+	}
+	speedRatio := cpuTime / gpuTime // how many CPU-thread-seconds one GPU second replaces
+	return int64(3 * avgSub * speedRatio)
+}
+
+// gpuStealRemainingThreshold returns the minimum remaining CPU-region
+// workload for a GPU steal to pay off: while the GPU processes one average
+// CPU block (cold), the nc CPU threads clear nc·(block/cpuTime(block))·
+// gpuTime ratings on their own — with less than twice that remaining, the
+// CPUs drain the queue first and the steal only blocks a row band.
+func gpuStealRemainingThreshold(p *cost.Profile, hg *grid.HeteroGrid, nc int) int64 {
+	blocks := 0
+	for _, b := range hg.CPU.Blocks {
+		if b.Size() > 0 {
+			blocks++
+		}
+	}
+	if blocks == 0 || hg.CPUNNZ == 0 {
+		return 0
+	}
+	avgBlock := float64(hg.CPUNNZ) / float64(blocks)
+	gpuTime := p.GPU.Time(avgBlock)
+	cpuTime := p.CPU.Time(avgBlock)
+	if gpuTime <= 0 || cpuTime <= 0 {
+		return 0
+	}
+	cleared := float64(nc) * avgBlock / cpuTime * gpuTime
+	return int64(2 * cleared)
+}
+
+// gpuStealBreakEven returns the smallest stolen batch (in ratings) for
+// which a GPU steal shortens the makespan. A stolen batch is processed as a
+// serial cold pipeline (H2D + kernel + D2H — no other block overlaps it)
+// while holding one CPU-region row and several columns hostage, resources
+// that would otherwise feed roughly gpuStealBatch+1 CPU threads. The steal
+// pays only when
+//
+//	h2d(n) + kernel(n) + d2h(n)  <  fc(n) / (gpuStealBatch + 1)
+//
+// On calibrations where the GPU is only modestly faster than the CPU pool
+// this is never satisfied and the GPU simply idles at region boundaries —
+// stealing tiny blocks would slow everyone down.
+func gpuStealBreakEven(p *cost.Profile) int {
+	// Never extrapolate below the smallest profiled size: the pre-τ speed
+	// fits are only trustworthy inside the sampled range, and stolen blocks
+	// are far smaller than any profiling prefix.
+	minProfiled := 0.0
+	if len(p.KernelSamples.Sizes) > 0 {
+		minProfiled = p.KernelSamples.Sizes[0]
+	}
+	serial := func(n float64) float64 {
+		if n < minProfiled {
+			n = minProfiled
+		}
+		kernel, h2d, d2h := p.GPU.Breakdown(n)
+		return kernel + h2d + d2h
+	}
+	const resourceFactor = gpuStealBatchResources
+	for n := 16; n <= 1<<26; n <<= 1 {
+		if serial(float64(n)) < p.CPU.Time(float64(n))/resourceFactor {
+			lo, hi := n/2, n
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				if serial(float64(mid)) < p.CPU.Time(float64(mid))/resourceFactor {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return hi
+		}
+	}
+	return 1 << 30 // never worthwhile on this machine profile
+}
+
+// gpuStealBatchResources is the CPU-thread-equivalents a stolen batch locks
+// (its columns plus the row band).
+const gpuStealBatchResources = 5
+
+func (t *trainer) acquireGPU(g *gpuActor) (*sched.Task, bool) {
+	if t.uni != nil {
+		return t.uni.Acquire(gpuOwnerBase+g.id, g.pinned, false)
+	}
+	return t.het.AcquireGPU(g.id, g.stolenInflight == 0)
+}
+
+// cpuTry lets CPU worker i pull and process its next block.
+func (t *trainer) cpuTry(i int) {
+	if t.halted {
+		return
+	}
+	task, ok := t.acquireCPU(i)
+	if !ok {
+		t.cpuIsIdle[i] = true
+		return
+	}
+	t.cpuIsIdle[i] = false
+	dur := t.jitter(t.opt.CPU.BlockTime(task.NNZ), t.cpuFactor)
+	issued := t.eng.Now()
+	t.eng.Schedule(dur, func() {
+		if t.halted {
+			return
+		}
+		t.apply(task)
+		t.trace(task, issued, t.eng.Now(), fmt.Sprintf("cpu%d", i), false)
+		t.release(task)
+		t.cpuTry(i)
+	})
+}
+
+// gpuTry lets a GPU issue its next block into the stream pipeline, keeping
+// at most maxInflight blocks in flight.
+func (t *trainer) gpuTry(g *gpuActor) {
+	if t.halted || g.inflight >= maxInflight {
+		return
+	}
+	task, ok := t.acquireGPU(g)
+	if !ok {
+		g.idle = true
+		return
+	}
+	g.idle = false
+
+	// P-segment pinning (Section VI-A): while the GPU stays on the same row
+	// band, the P rows are already resident, caches are warm, and only Q
+	// columns move. Switching bands is a cold launch and re-transfers P.
+	warm := task.RowBandKey == g.pinned
+	g.pinned = task.RowBandKey
+	h2dBytes, d2hBytes := gpu.BlockBytes(task.NNZ, task.RowSpan, task.ColSpan, t.opt.Params.K, !warm)
+	comp := g.pipe.Submit(t.eng.Now(),
+		t.jitter(t.opt.GPU.TransferTime(h2dBytes, gpu.HostToDevice), t.gpuFactor),
+		t.jitter(t.opt.GPU.KernelTime(task.NNZ, warm), t.gpuFactor),
+		t.jitter(t.opt.GPU.TransferTime(d2hBytes, gpu.DeviceToHost), t.gpuFactor))
+	g.inflight++
+	if task.Stolen {
+		g.stolenInflight++
+	}
+	issued := t.eng.Now()
+	t.eng.ScheduleAt(comp.H2DDone, func() { t.gpuTry(g) })
+	t.eng.ScheduleAt(comp.KernelDone, func() { t.apply(task) })
+	t.eng.ScheduleAt(comp.D2HDone, func() {
+		if t.halted {
+			return
+		}
+		g.inflight--
+		if task.Stolen {
+			g.stolenInflight--
+		}
+		t.trace(task, issued, t.eng.Now(), fmt.Sprintf("gpu%d", g.id), warm)
+		t.release(task)
+		t.gpuTry(g)
+	})
+}
+
+// trace reports a completed task to the Options.Trace hook.
+func (t *trainer) trace(task *sched.Task, issued, done float64, device string, warm bool) {
+	if t.opt.Trace == nil {
+		return
+	}
+	region := "all"
+	switch task.Region {
+	case sched.RegionCPU:
+		region = "cpu"
+	case sched.RegionGPU:
+		region = "gpu"
+	}
+	epoch := int64(t.epoch)
+	if t.het != nil {
+		epoch = t.het.Epoch()
+	}
+	t.opt.Trace(TraceEvent{
+		Issue: issued, Done: done, Device: device, Region: region,
+		NNZ: task.NNZ, Blocks: len(task.Blocks), Stolen: task.Stolen,
+		Warm: warm, Epoch: epoch,
+	})
+}
+
+// apply executes the task's SGD updates for real.
+func (t *trainer) apply(task *sched.Task) {
+	if t.halted {
+		return
+	}
+	for _, rs := range task.Ratings() {
+		sgd.UpdateBlock(t.f, rs, t.opt.Params.LambdaP, t.opt.Params.LambdaQ, t.gamma)
+	}
+}
+
+// release returns the task to the scheduler, advances epochs, and wakes
+// idle workers.
+func (t *trainer) release(task *sched.Task) {
+	if t.uni != nil {
+		t.uni.Release(task)
+		for !t.halted && t.uni.TotalUpdates >= int64(t.epoch+1)*t.nnz {
+			t.endEpoch()
+		}
+	} else {
+		t.het.Release(task)
+		// The scheduler's quota epoch advances when every block has been
+		// processed once more; evaluation epochs are decoupled and fire on
+		// update counts ("one effective pass over R"), the same clock the
+		// uniform pipelines use, so time-to-target is comparable across
+		// algorithms even though lookahead lets fast devices start the
+		// next quota early.
+		if t.het.EpochComplete() {
+			t.het.AdvanceEpoch()
+		}
+		for !t.halted && t.het.TotalUpdates >= int64(t.epoch+1)*t.nnz {
+			t.endEpoch()
+		}
+	}
+	if !t.halted {
+		t.wake()
+	}
+}
+
+// endEpoch closes one effective pass over the ratings: evaluate, adjust the
+// learning rate, and stop on target or exhaustion.
+func (t *trainer) endEpoch() {
+	t.epoch++
+	t.gamma = t.schedule.Rate(t.epoch)
+	if t.epoch%t.opt.EvalEvery == 0 || t.epoch >= t.opt.Params.Iters {
+		rmse := 0.0
+		if t.test != nil {
+			rmse = model.RMSE(t.f, t.test)
+		}
+		t.report.History = append(t.report.History,
+			EvalPoint{Time: t.eng.Now(), Epoch: t.epoch, RMSE: rmse})
+		t.report.FinalRMSE = rmse
+		if t.opt.TargetRMSE > 0 && t.test != nil && rmse <= t.opt.TargetRMSE {
+			t.report.TargetReached = true
+			t.report.TimeToTarget = t.eng.Now()
+			t.halt()
+			return
+		}
+	}
+	if t.epoch >= t.opt.Params.Iters {
+		t.halt()
+		return
+	}
+	if t.opt.MaxVirtualSeconds > 0 && t.eng.Now() > t.opt.MaxVirtualSeconds {
+		t.halt()
+	}
+}
+
+func (t *trainer) halt() {
+	t.halted = true
+	t.eng.Halt()
+}
+
+// wake retries every idle worker after a release or epoch advance.
+func (t *trainer) wake() {
+	for i, idle := range t.cpuIsIdle {
+		if idle {
+			t.cpuTry(i)
+		}
+	}
+	for _, g := range t.gpus {
+		if g.idle {
+			t.gpuTry(g)
+		}
+	}
+}

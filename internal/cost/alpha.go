@@ -1,0 +1,55 @@
+package cost
+
+// TimeFunc estimates the seconds one device needs to process n ratings.
+type TimeFunc func(n float64) float64
+
+// SolveAlpha computes the workload split of Equation 8:
+//
+//	α = argmin | Tg(α·N)/ng − Tc((1−α)·N)/nc |
+//
+// where Tg is the per-GPU estimate, Tc the per-CPU-thread estimate, N the
+// total number of ratings, and ng/nc the device counts. Both estimates are
+// monotone non-decreasing in their workload, so the balance gap
+// g(α) = Tg(α)/ng − Tc(1−α)/nc is monotone non-decreasing in α and a binary
+// search finds the crossing.
+//
+// The result is clamped to [0, 1]; α=0 means everything runs on CPUs, α=1
+// everything on GPUs.
+func SolveAlpha(tg, tc TimeFunc, n float64, nc, ng int) float64 {
+	if n <= 0 || ng <= 0 {
+		return 0
+	}
+	if nc <= 0 {
+		return 1
+	}
+	gap := func(alpha float64) float64 {
+		return tg(alpha*n)/float64(ng) - tc((1-alpha)*n)/float64(nc)
+	}
+	lo, hi := 0.0, 1.0
+	if gap(lo) >= 0 {
+		return 0 // GPU slower than CPUs even on zero work: give it nothing.
+	}
+	if gap(hi) <= 0 {
+		return 1 // GPU faster even taking everything.
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if gap(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MakespanEstimate returns the Equation 7 estimate
+// max(Tg(α·N)/ng, Tc((1−α)·N)/nc) for a candidate split.
+func MakespanEstimate(tg, tc TimeFunc, n float64, nc, ng int, alpha float64) float64 {
+	g := tg(alpha*n) / float64(ng)
+	c := tc((1-alpha)*n) / float64(nc)
+	if g > c {
+		return g
+	}
+	return c
+}

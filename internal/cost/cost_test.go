@@ -1,0 +1,350 @@
+package cost
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	a, b, rmse, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-1) > 1e-9 || rmse > 1e-9 {
+		t.Fatalf("fit a=%v b=%v rmse=%v", a, b, rmse)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, _, _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestFitTransformedRecovers(t *testing.T) {
+	// y = 4·log(x) + 2 exactly.
+	x := []float64{10, 100, 1000, 10000, 100000}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 4*math.Log(x[i]) + 2
+	}
+	a, b, rmse, err := FitTransformed(x, y, Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-4) > 1e-6 || math.Abs(b-2) > 1e-6 || rmse > 1e-6 {
+		t.Fatalf("fit a=%v b=%v rmse=%v", a, b, rmse)
+	}
+}
+
+// Property: OLS residual RMSE never exceeds the residual of the zero-slope
+// model (fitting can only help).
+func TestQuickFitBeatsConstant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i + 1)
+			y[i] = rng.Float64()*10 - 5
+		}
+		a, b, rmse, err := FitLinear(x, y)
+		if err != nil {
+			return false
+		}
+		_ = a
+		_ = b
+		var mean float64
+		for _, v := range y {
+			mean += v
+		}
+		mean /= float64(n)
+		var se float64
+		for _, v := range y {
+			se += (v - mean) * (v - mean)
+		}
+		constRMSE := math.Sqrt(se / float64(n))
+		return rmse <= constRMSE+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectTau(t *testing.T) {
+	// Speed rises then plateaus from x=32 on: every consecutive variation
+	// from 16→32 onward stays below 2%.
+	sizes := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	speeds := []float64{10, 30, 60, 85, 97, 98.5, 99.2, 99.6}
+	tau, err := DetectTau(sizes, speeds, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 32 {
+		t.Fatalf("tau = %v, want 32", tau)
+	}
+}
+
+func TestDetectTauNeverStable(t *testing.T) {
+	sizes := []float64{1, 2, 4, 8}
+	speeds := []float64{1, 2, 4, 8} // doubling forever
+	tau, err := DetectTau(sizes, speeds, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 8 {
+		t.Fatalf("tau = %v, want last size", tau)
+	}
+}
+
+func TestDetectTauErrors(t *testing.T) {
+	if _, err := DetectTau([]float64{1}, []float64{1}, 0.02); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := DetectTau([]float64{2, 1}, []float64{1, 1}, 0.02); err == nil {
+		t.Fatal("unsorted sizes accepted")
+	}
+	if _, err := DetectTau([]float64{1, 2}, []float64{1}, 0.02); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	sizes := []float64{1000, 2000, 3000, 4000}
+	times := make([]float64, len(sizes))
+	for i, n := range sizes {
+		times[i] = n/5e6 + 1e-5
+	}
+	m, err := FitCPUModel(sizes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Time(2500); math.Abs(got-(2500/5e6+1e-5)) > 1e-9 {
+		t.Fatalf("Time(2500) = %v", got)
+	}
+	if m.Time(-100) != 0 {
+		t.Fatal("negative workload should clamp to 0")
+	}
+}
+
+// syntheticCurve produces a latency+bandwidth curve like the simulator's:
+// time = lat + x/peak.
+func syntheticCurve(lat, peak float64, sizes []float64) []float64 {
+	times := make([]float64, len(sizes))
+	for i, x := range sizes {
+		times[i] = lat + x/peak
+	}
+	return times
+}
+
+func TestFitPiecewiseTransfer(t *testing.T) {
+	var sizes []float64
+	for b := 64 << 10; b <= 256<<20; b <<= 1 {
+		sizes = append(sizes, float64(b))
+	}
+	times := syntheticCurve(25e-6, 12.5e9, sizes)
+	m, err := FitPiecewise(KindTransfer, sizes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tau <= sizes[0] || m.Tau > sizes[len(sizes)-1] {
+		t.Fatalf("tau = %v outside range", m.Tau)
+	}
+	// Estimates should track the truth within 25% across the range
+	// (the √log form is an approximation, which is the paper's point).
+	for i, x := range sizes {
+		got := m.Time(x)
+		if got <= 0 {
+			t.Fatalf("non-positive estimate at %v", x)
+		}
+		rel := math.Abs(got-times[i]) / times[i]
+		if rel > 0.25 {
+			t.Fatalf("estimate at %v off by %v", x, rel)
+		}
+	}
+	// Speeds must be roughly increasing below tau.
+	if m.Speed(sizes[0]) >= m.Speed(m.Tau) {
+		t.Fatal("fitted speed not rising toward tau")
+	}
+}
+
+func TestFitPiecewiseErrors(t *testing.T) {
+	if _, err := FitPiecewise(KindKernel, []float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("3 samples accepted")
+	}
+	if _, err := FitPiecewise(KindKernel, []float64{1, 2, 3, 4}, []float64{1, 2, 0, 4}); err == nil {
+		t.Fatal("non-positive time accepted")
+	}
+}
+
+func TestGPUModelMax(t *testing.T) {
+	kernel := PiecewiseModel{Kind: KindKernel, Tau: 1, A2: 2, B2: 0} // time = 2n above tau
+	h2d := PiecewiseModel{Kind: KindTransfer, Tau: 1, A2: 1, B2: 0}  // time = bytes
+	m := GPUModel{Kernel: kernel, H2D: h2d, H2DBytesPerElement: 1}
+	// kernel 2n vs transfer n → kernel dominates (Equation 9).
+	if got := m.Time(100); got != 200 {
+		t.Fatalf("Time = %v, want 200", got)
+	}
+	m.H2DBytesPerElement = 5 // transfer 5n now dominates
+	if got := m.Time(100); got != 500 {
+		t.Fatalf("Time = %v, want 500", got)
+	}
+	k, h, _ := m.Breakdown(100)
+	if k != 200 || h != 500 {
+		t.Fatalf("Breakdown = %v,%v", k, h)
+	}
+}
+
+func TestSolveAlphaBalances(t *testing.T) {
+	// GPU processes at 100 units/s (per device), CPU thread at 10; 4
+	// threads. Balance: α/100 = (1−α)/40 → α = 5/7.
+	tg := func(n float64) float64 { return n / 100 }
+	tc := func(n float64) float64 { return n / 10 }
+	alpha := SolveAlpha(tg, tc, 1000, 4, 1)
+	if math.Abs(alpha-5.0/7.0) > 1e-6 {
+		t.Fatalf("alpha = %v, want %v", alpha, 5.0/7.0)
+	}
+	// Makespan at the balance point is lower than at the extremes.
+	mid := MakespanEstimate(tg, tc, 1000, 4, 1, alpha)
+	lo := MakespanEstimate(tg, tc, 1000, 4, 1, 0.1)
+	hi := MakespanEstimate(tg, tc, 1000, 4, 1, 0.95)
+	if mid >= lo || mid >= hi {
+		t.Fatalf("makespan %v not below extremes %v/%v", mid, lo, hi)
+	}
+}
+
+func TestSolveAlphaExtremes(t *testing.T) {
+	fast := func(n float64) float64 { return n / 1e12 }
+	slow := func(n float64) float64 { return n }
+	if alpha := SolveAlpha(slow, fast, 1000, 4, 1); alpha > 1e-6 {
+		t.Fatalf("useless GPU got alpha %v", alpha)
+	}
+	if alpha := SolveAlpha(fast, slow, 1000, 4, 1); alpha < 1-1e-6 {
+		t.Fatalf("useless CPU kept alpha %v", alpha)
+	}
+	if alpha := SolveAlpha(fast, slow, 0, 4, 1); alpha != 0 {
+		t.Fatalf("empty workload alpha %v", alpha)
+	}
+	if alpha := SolveAlpha(fast, slow, 100, 0, 1); alpha != 1 {
+		t.Fatalf("no CPUs alpha %v", alpha)
+	}
+	if alpha := SolveAlpha(fast, slow, 100, 4, 0); alpha != 0 {
+		t.Fatalf("no GPUs alpha %v", alpha)
+	}
+}
+
+// Property: SolveAlpha returns a value in [0,1] whose balance gap is within
+// tolerance of zero for interior solutions.
+func TestQuickSolveAlpha(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gr := 1 + rng.Float64()*100
+		cr := 1 + rng.Float64()*100
+		nc := 1 + rng.Intn(16)
+		ng := 1 + rng.Intn(4)
+		tg := func(n float64) float64 { return n / gr }
+		tc := func(n float64) float64 { return n / cr }
+		alpha := SolveAlpha(tg, tc, 1e6, nc, ng)
+		if alpha < 0 || alpha > 1 {
+			return false
+		}
+		if alpha > 0 && alpha < 1 {
+			gap := tg(alpha*1e6)/float64(ng) - tc((1-alpha)*1e6)/float64(nc)
+			if math.Abs(gap) > 1e-3*tg(1e6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitQilin(t *testing.T) {
+	sizes := []float64{100, 200, 300}
+	times := []float64{1.5, 2.5, 3.5} // 0.01n + 0.5
+	m, err := FitQilin(sizes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Time(400)-4.5) > 1e-9 {
+		t.Fatalf("Time(400) = %v", m.Time(400))
+	}
+}
+
+func TestBuildProfileAndRoundTrip(t *testing.T) {
+	benches := Benches{
+		CPUKernel:          func(n int) float64 { return float64(n) / 5e6 },
+		GPUKernel:          func(n int) float64 { return (float64(n) + 1e5) / 7e7 },
+		GPUE2E:             func(n int) float64 { return (float64(n)+1e5)/7e7 + float64(n)*12/12.5e9 },
+		H2D:                func(b int) float64 { return 25e-6 + float64(b)/12.5e9 },
+		D2H:                func(b int) float64 { return 25e-6 + float64(b)/12.8e9 },
+		H2DBytesPerElement: 12,
+		D2HBytesPerElement: 4,
+	}
+	p, err := BuildProfile(1_000_000, DefaultProfileOptions(), benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU.A <= 0 {
+		t.Fatalf("CPU slope %v", p.CPU.A)
+	}
+	// The fitted GPU model should be within 30% of truth at mid-range.
+	n := 500_000.0
+	truth := (n + 1e5) / 7e7
+	if got := p.GPU.Kernel.Time(n); math.Abs(got-truth)/truth > 0.3 {
+		t.Fatalf("kernel estimate %v vs truth %v", got, truth)
+	}
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CPU.A != p.CPU.A || back.GPU.Kernel.Tau != p.GPU.Kernel.Tau {
+		t.Fatal("profile changed after JSON round trip")
+	}
+	// File round trip.
+	path := t.TempDir() + "/profile.json"
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfileFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildProfileErrors(t *testing.T) {
+	opts := DefaultProfileOptions()
+	opts.Segments = 2
+	if _, err := BuildProfile(1000, opts, Benches{}); err == nil {
+		t.Fatal("too few segments accepted")
+	}
+	if _, err := BuildProfile(3, DefaultProfileOptions(), Benches{}); err == nil {
+		t.Fatal("dataset smaller than segments accepted")
+	}
+}
+
+func TestSamplesSpeeds(t *testing.T) {
+	s := Samples{Sizes: []float64{10, 20}, Times: []float64{2, 4}}
+	sp := s.Speeds()
+	if sp[0] != 5 || sp[1] != 5 {
+		t.Fatalf("speeds = %v", sp)
+	}
+}

@@ -1,0 +1,73 @@
+// Package cost implements the paper's Section V: cost models that estimate
+// how long a CPU thread or a GPU takes to process a given share of the
+// rating matrix, the curve-fitting machinery behind them (ordinary least
+// squares over transformed features), the saturation-threshold (τ)
+// detector, the Qilin-style linear baseline, and the workload-split solver
+// for α (Equations 7–8).
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitLinear fits y ≈ a·x + b by ordinary least squares and returns the
+// coefficients and the root-mean-square residual.
+func FitLinear(x, y []float64) (a, b, rmse float64, err error) {
+	return FitTransformed(x, y, func(v float64) float64 { return v })
+}
+
+// FitTransformed fits y ≈ a·g(x) + b by ordinary least squares on the
+// transformed feature g(x). This is the single fitting primitive behind the
+// linear CPU model (g = identity), the transfer-speed model (g = √log) and
+// the kernel-speed model (g = log).
+func FitTransformed(x, y []float64, g func(float64) float64) (a, b, rmse float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, 0, fmt.Errorf("cost: len(x)=%d len(y)=%d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, 0, 0, fmt.Errorf("cost: need at least 2 points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		gx := g(x[i])
+		sx += gx
+		sy += y[i]
+		sxx += gx * gx
+		sxy += gx * y[i]
+	}
+	det := n*sxx - sx*sx
+	if math.Abs(det) < 1e-12 {
+		return 0, 0, 0, fmt.Errorf("cost: degenerate fit (all g(x) equal)")
+	}
+	a = (n*sxy - sx*sy) / det
+	b = (sy - a*sx) / n
+	var se float64
+	for i := range x {
+		r := y[i] - (a*g(x[i]) + b)
+		se += r * r
+	}
+	rmse = math.Sqrt(se / n)
+	return a, b, rmse, nil
+}
+
+// SqrtLog is the √log transform the paper fits transfer speed with
+// (Section V-B: "we use the function a·√(log|R|)+b to model the curve of
+// the first stage").
+func SqrtLog(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Sqrt(math.Log(x))
+}
+
+// Log is the logarithmic transform the paper fits kernel speed with ("the
+// growth trend of the logarithmic function can be slower than the power
+// function, which is more consistent with the trend in Figure 7").
+func Log(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,196 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the pre-saturation speed transform of a piecewise model.
+type Kind string
+
+// Model kinds.
+const (
+	KindTransfer Kind = "transfer" // speed ≈ a·√(log x) + b below τ
+	KindKernel   Kind = "kernel"   // speed ≈ a·log x + b below τ
+)
+
+func (k Kind) transform() func(float64) float64 {
+	if k == KindTransfer {
+		return SqrtLog
+	}
+	return Log
+}
+
+// CPUModel is the linear per-thread cost model of Section V-A (adopted from
+// Qilin): a single CPU thread takes A·n + B seconds to process n ratings.
+type CPUModel struct {
+	A, B float64
+	RMSE float64 // fit residual, for reporting
+}
+
+// Time returns the estimated seconds for one thread to process n ratings.
+func (m CPUModel) Time(n float64) float64 {
+	t := m.A*n + m.B
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// FitCPUModel fits the linear model to profiled (size, seconds) samples.
+func FitCPUModel(sizes, times []float64) (CPUModel, error) {
+	a, b, rmse, err := FitLinear(sizes, times)
+	if err != nil {
+		return CPUModel{}, err
+	}
+	return CPUModel{A: a, B: b, RMSE: rmse}, nil
+}
+
+// PiecewiseModel is the paper's two-stage GPU-side model (Section V-B):
+//
+//	time(x) = x / (A1·g(x) + B1)   if x ≤ Tau   (g per Kind)
+//	time(x) = A2·x + B2            otherwise
+//
+// where x is bytes for transfers and elements for the kernel.
+type PiecewiseModel struct {
+	Kind   Kind
+	Tau    float64
+	A1, B1 float64 // speed coefficients below Tau
+	A2, B2 float64 // time coefficients above Tau
+	RMSE   float64 // worst residual of the two stages (on speed resp. time)
+}
+
+// Time returns estimated seconds for input size x.
+func (m PiecewiseModel) Time(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x <= m.Tau {
+		speed := m.A1*m.Kind.transform()(x) + m.B1
+		if speed <= 0 {
+			// Degenerate fit below the smallest profiled size; fall back to
+			// the linear stage so estimates stay finite and monotonic.
+			return m.A2*x + m.B2
+		}
+		return x / speed
+	}
+	t := m.A2*x + m.B2
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// Speed returns the estimated throughput (x per second) at size x.
+func (m PiecewiseModel) Speed(x float64) float64 {
+	t := m.Time(x)
+	if t <= 0 {
+		return 0
+	}
+	return x / t
+}
+
+// FitPiecewise fits the two-stage model to profiled (size, seconds) samples
+// ordered by increasing size. τ is detected with the 2% stability rule; the
+// pre-τ stage is fitted on speeds with the Kind's transform, the post-τ
+// stage on times with a plain linear fit. When fewer than two samples land
+// on one side of τ, that side borrows the nearest two samples so both
+// stages stay defined.
+func FitPiecewise(kind Kind, sizes, times []float64) (PiecewiseModel, error) {
+	if len(sizes) != len(times) {
+		return PiecewiseModel{}, fmt.Errorf("cost: len(sizes)=%d len(times)=%d", len(sizes), len(times))
+	}
+	if len(sizes) < 4 {
+		return PiecewiseModel{}, fmt.Errorf("cost: need >=4 samples for a piecewise fit, got %d", len(sizes))
+	}
+	speeds := make([]float64, len(sizes))
+	for i := range sizes {
+		if times[i] <= 0 {
+			return PiecewiseModel{}, fmt.Errorf("cost: non-positive time %v at size %v", times[i], sizes[i])
+		}
+		speeds[i] = sizes[i] / times[i]
+	}
+	tau, err := DetectTau(sizes, speeds, 0.02)
+	if err != nil {
+		return PiecewiseModel{}, err
+	}
+	split := len(sizes)
+	for i, s := range sizes {
+		if s > tau {
+			split = i
+			break
+		}
+	}
+	if split < 2 {
+		split = 2
+	}
+	if len(sizes)-split < 2 {
+		split = len(sizes) - 2
+	}
+	m := PiecewiseModel{Kind: kind, Tau: tau}
+	var r1, r2 float64
+	m.A1, m.B1, r1, err = FitTransformed(sizes[:split], speeds[:split], kind.transform())
+	if err != nil {
+		return PiecewiseModel{}, fmt.Errorf("cost: pre-tau stage: %w", err)
+	}
+	m.A2, m.B2, r2, err = FitLinear(sizes[split:], times[split:])
+	if err != nil {
+		return PiecewiseModel{}, fmt.Errorf("cost: post-tau stage: %w", err)
+	}
+	m.RMSE = math.Max(r1, r2)
+	return m, nil
+}
+
+// GPUModel is the overall GPU cost model of Equation 9: the estimated time
+// for n ratings is the maximum of the H2D transfer estimate and the kernel
+// estimate, because the CUDA-stream pipeline overlaps them (Figure 8). The
+// D2H stage is retained for reporting but, as the paper notes, it is always
+// dominated ("f_g⇒c is always smaller than f_c⇒g").
+type GPUModel struct {
+	Kernel PiecewiseModel
+	H2D    PiecewiseModel
+	D2H    PiecewiseModel
+	// H2DBytesPerElement/D2HBytesPerElement translate a workload of n
+	// ratings into transferred bytes (ratings payload plus amortised factor
+	// segments), measured during profiling.
+	H2DBytesPerElement float64
+	D2HBytesPerElement float64
+}
+
+// Time estimates seconds for the GPU to process n ratings (Equation 9).
+func (m GPUModel) Time(n float64) float64 {
+	kernel := m.Kernel.Time(n)
+	h2d := m.H2D.Time(n * m.H2DBytesPerElement)
+	return math.Max(kernel, h2d)
+}
+
+// Breakdown returns the per-stream estimates for n ratings, for reporting.
+func (m GPUModel) Breakdown(n float64) (kernel, h2d, d2h float64) {
+	return m.Kernel.Time(n), m.H2D.Time(n * m.H2DBytesPerElement), m.D2H.Time(n * m.D2HBytesPerElement)
+}
+
+// QilinModel is the baseline cost model of Luk et al. [11] used by the
+// HSGD*-Q comparison in Table II: a single linear fit of end-to-end time
+// against input size, for both devices.
+type QilinModel struct {
+	A, B float64
+	RMSE float64
+}
+
+// Time returns the estimated seconds for n ratings.
+func (m QilinModel) Time(n float64) float64 {
+	t := m.A*n + m.B
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// FitQilin fits the linear end-to-end model to profiled samples.
+func FitQilin(sizes, times []float64) (QilinModel, error) {
+	a, b, rmse, err := FitLinear(sizes, times)
+	if err != nil {
+		return QilinModel{}, err
+	}
+	return QilinModel{A: a, B: b, RMSE: rmse}, nil
+}

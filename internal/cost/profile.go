@@ -1,0 +1,204 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Bench measures the seconds a device needs for one input of the given size
+// (ratings for kernels, bytes for transfers). Implementations run the real
+// simulated device — the cost models are *fitted to measurements*, exactly
+// as in Algorithm 3, so the gap between fit and truth is genuine and the
+// dynamic scheduler has real work to do.
+type Bench func(size int) float64
+
+// ProfileOptions configures BuildProfile (Algorithm 3).
+type ProfileOptions struct {
+	Segments int // N: the dataset is split into N parts and prefixes S1, S1+S2, … are timed
+	Repeats  int // measurements averaged per point "to eliminate noise"
+	// Transfer probe sizes in bytes; defaults to 64 KB … 256 MB doublings
+	// (the x-axis of Figure 6).
+	TransferSizes []int
+}
+
+// DefaultProfileOptions mirrors the paper's setup.
+func DefaultProfileOptions() ProfileOptions {
+	sizes := make([]int, 0, 13)
+	for b := 64 << 10; b <= 256<<20; b <<= 1 {
+		sizes = append(sizes, b)
+	}
+	return ProfileOptions{Segments: 12, Repeats: 3, TransferSizes: sizes}
+}
+
+// Samples is one profiled curve, kept for reporting and figure generation.
+type Samples struct {
+	Sizes []float64
+	Times []float64
+}
+
+// Speeds returns sizes[i]/times[i].
+func (s Samples) Speeds() []float64 {
+	out := make([]float64, len(s.Sizes))
+	for i := range s.Sizes {
+		if s.Times[i] > 0 {
+			out[i] = s.Sizes[i] / s.Times[i]
+		}
+	}
+	return out
+}
+
+// Profile is the output of the offline phase: every fitted model plus the
+// raw measurements they came from. It is stored on disk once per machine
+// and reused for any input matrix (Section IV-C).
+type Profile struct {
+	CPU      CPUModel   `json:"cpu"`
+	GPU      GPUModel   `json:"gpu"`
+	QilinGPU QilinModel `json:"qilin_gpu"` // the Table II baseline
+
+	CPUSamples    Samples `json:"cpu_samples"`
+	KernelSamples Samples `json:"kernel_samples"`
+	H2DSamples    Samples `json:"h2d_samples"`
+	D2HSamples    Samples `json:"d2h_samples"`
+	GPUE2ESamples Samples `json:"gpu_e2e_samples"`
+}
+
+// Benches bundles the device measurement hooks BuildProfile drives.
+type Benches struct {
+	CPUKernel KernelOnDataset // time for 1 CPU thread over n ratings
+	GPUE2E    KernelOnDataset // end-to-end GPU time (transfers + kernel, overlapped)
+	GPUKernel KernelOnDataset // kernel-only time
+	H2D       Bench           // bytes → seconds
+	D2H       Bench           // bytes → seconds
+	// Bytes moved per rating in each direction (ratings payload + amortised
+	// factor segments), used to evaluate transfer models on rating counts.
+	H2DBytesPerElement float64
+	D2HBytesPerElement float64
+}
+
+// KernelOnDataset measures processing n ratings sampled from the input.
+type KernelOnDataset func(n int) float64
+
+// BuildProfile runs Algorithm 3: prefix-sized CPU and GPU kernel probes,
+// transfer-speed probes, then model fitting and combination.
+func BuildProfile(nnz int, opts ProfileOptions, b Benches) (*Profile, error) {
+	if opts.Segments < 4 {
+		return nil, fmt.Errorf("cost: need >=4 segments, got %d", opts.Segments)
+	}
+	if opts.Repeats < 1 {
+		opts.Repeats = 1
+	}
+	if nnz < opts.Segments {
+		return nil, fmt.Errorf("cost: dataset too small (%d ratings for %d segments)", nnz, opts.Segments)
+	}
+	p := &Profile{
+		GPU: GPUModel{
+			H2DBytesPerElement: b.H2DBytesPerElement,
+			D2HBytesPerElement: b.D2HBytesPerElement,
+		},
+	}
+
+	// Line 1-2: prefix datasets S1, S1+S2, … timed on a single CPU thread.
+	prefixes := make([]int, opts.Segments)
+	for i := range prefixes {
+		prefixes[i] = nnz * (i + 1) / opts.Segments
+	}
+	p.CPUSamples = measure(prefixes, opts.Repeats, b.CPUKernel)
+
+	// Line 3: linear CPU fit.
+	var err error
+	p.CPU, err = FitCPUModel(p.CPUSamples.Sizes, p.CPUSamples.Times)
+	if err != nil {
+		return nil, fmt.Errorf("cost: fitting CPU model: %w", err)
+	}
+
+	// Line 4: transfer probes in both directions.
+	p.H2DSamples = measureBytes(opts.TransferSizes, opts.Repeats, b.H2D)
+	p.GPU.H2D, err = FitPiecewise(KindTransfer, p.H2DSamples.Sizes, p.H2DSamples.Times)
+	if err != nil {
+		return nil, fmt.Errorf("cost: fitting H2D model: %w", err)
+	}
+	p.D2HSamples = measureBytes(opts.TransferSizes, opts.Repeats, b.D2H)
+	p.GPU.D2H, err = FitPiecewise(KindTransfer, p.D2HSamples.Sizes, p.D2HSamples.Times)
+	if err != nil {
+		return nil, fmt.Errorf("cost: fitting D2H model: %w", err)
+	}
+
+	// Line 5-6: GPU kernel probes and the log-speed fit.
+	p.KernelSamples = measure(prefixes, opts.Repeats, b.GPUKernel)
+	p.GPU.Kernel, err = FitPiecewise(KindKernel, p.KernelSamples.Sizes, p.KernelSamples.Times)
+	if err != nil {
+		return nil, fmt.Errorf("cost: fitting kernel model: %w", err)
+	}
+
+	// The Qilin baseline fits end-to-end GPU time with a single line.
+	p.GPUE2ESamples = measure(prefixes, opts.Repeats, b.GPUE2E)
+	p.QilinGPU, err = FitQilin(p.GPUE2ESamples.Sizes, p.GPUE2ESamples.Times)
+	if err != nil {
+		return nil, fmt.Errorf("cost: fitting Qilin model: %w", err)
+	}
+	return p, nil
+}
+
+func measure(sizes []int, repeats int, bench KernelOnDataset) Samples {
+	s := Samples{Sizes: make([]float64, len(sizes)), Times: make([]float64, len(sizes))}
+	for i, n := range sizes {
+		var sum float64
+		for r := 0; r < repeats; r++ {
+			sum += bench(n)
+		}
+		s.Sizes[i] = float64(n)
+		s.Times[i] = sum / float64(repeats)
+	}
+	return s
+}
+
+func measureBytes(sizes []int, repeats int, bench Bench) Samples {
+	s := Samples{Sizes: make([]float64, len(sizes)), Times: make([]float64, len(sizes))}
+	for i, n := range sizes {
+		var sum float64
+		for r := 0; r < repeats; r++ {
+			sum += bench(n)
+		}
+		s.Sizes[i] = float64(n)
+		s.Times[i] = sum / float64(repeats)
+	}
+	return s
+}
+
+// Save writes the profile as JSON, the stored artefact of the offline phase.
+func (p *Profile) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadProfile reads a profile written by Save.
+func LoadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("cost: decoding profile: %w", err)
+	}
+	return &p, nil
+}
+
+// SaveFile writes the profile to a file.
+func (p *Profile) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Save(f)
+}
+
+// LoadProfileFile reads a profile from a file.
+func LoadProfileFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadProfile(f)
+}

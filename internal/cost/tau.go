@@ -1,0 +1,51 @@
+package cost
+
+import "fmt"
+
+// DetectTau locates the saturation threshold τ of a speed curve: the paper
+// considers the speed stable "when the variation of the transfer speed is
+// less than 2% in a time unit" (Section V-B). Samples must be ordered by
+// increasing size; speeds[i] is the measured speed at sizes[i].
+//
+// τ is the first size from which every subsequent consecutive relative
+// variation stays below maxVariation (default 0.02 when <= 0). If the curve
+// never stabilises, the largest size is returned so the piecewise models
+// degrade to their pre-saturation branch.
+func DetectTau(sizes, speeds []float64, maxVariation float64) (float64, error) {
+	if len(sizes) != len(speeds) {
+		return 0, fmt.Errorf("cost: len(sizes)=%d len(speeds)=%d", len(sizes), len(speeds))
+	}
+	if len(sizes) < 2 {
+		return 0, fmt.Errorf("cost: need at least 2 samples to detect tau")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			return 0, fmt.Errorf("cost: sizes not strictly increasing at %d", i)
+		}
+	}
+	if maxVariation <= 0 {
+		maxVariation = 0.02
+	}
+	for start := 1; start < len(speeds); start++ {
+		stable := true
+		for i := start; i < len(speeds); i++ {
+			prev := speeds[i-1]
+			if prev == 0 {
+				stable = false
+				break
+			}
+			rel := (speeds[i] - prev) / prev
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel >= maxVariation {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return sizes[start], nil
+		}
+	}
+	return sizes[len(sizes)-1], nil
+}

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, spec := range Benchmarks() {
+		spec := spec.Scale(0.01)
+		train, test, err := Generate(spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if train.NNZ() != spec.TrainRatings || test.NNZ() != spec.TestRatings {
+			t.Fatalf("%s sizes %d/%d", spec.Name, train.NNZ(), test.NNZ())
+		}
+		if err := train.Validate(); err != nil {
+			t.Fatalf("%s train invalid: %v", spec.Name, err)
+		}
+		if err := test.Validate(); err != nil {
+			t.Fatalf("%s test invalid: %v", spec.Name, err)
+		}
+		stats := train.ComputeStats()
+		if stats.MinValue < spec.MinRating || stats.MaxValue > spec.MaxRating {
+			t.Fatalf("%s ratings outside [%v,%v]: [%v,%v]",
+				spec.Name, spec.MinRating, spec.MaxRating, stats.MinValue, stats.MaxValue)
+		}
+	}
+}
+
+func TestSizeOrderingMatchesPaper(t *testing.T) {
+	specs := Benchmarks()
+	// Table I ordering: MovieLens < Netflix < R1 < Yahoo!Music.
+	for i := 1; i < len(specs); i++ {
+		if specs[i].TrainRatings <= specs[i-1].TrainRatings {
+			t.Fatalf("%s (%d) not larger than %s (%d)",
+				specs[i].Name, specs[i].TrainRatings, specs[i-1].Name, specs[i-1].TrainRatings)
+		}
+	}
+}
+
+func TestPopularityHeadBounded(t *testing.T) {
+	spec := MovieLens().Scale(0.2)
+	train, _, err := Generate(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnz := float64(train.NNZ())
+	for _, c := range train.RowCounts() {
+		if float64(c)/nnz > 0.02 {
+			t.Fatalf("one row holds %.1f%% of ratings", 100*float64(c)/nnz)
+		}
+	}
+	for _, c := range train.ColCounts() {
+		if float64(c)/nnz > 0.02 {
+			t.Fatalf("one column holds %.1f%% of ratings", 100*float64(c)/nnz)
+		}
+	}
+}
+
+func TestPopularitySkewExists(t *testing.T) {
+	spec := Netflix().Scale(0.05)
+	train, _, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := train.ColCounts()
+	maxC, sum, active := 0, 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+		if c > 0 {
+			active++
+		}
+	}
+	mean := float64(sum) / float64(active)
+	if float64(maxC) < 3*mean {
+		t.Fatalf("no skew: max %d vs mean %.1f", maxC, mean)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	spec := MovieLens().Scale(0.02)
+	a, _, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Ratings {
+		if a.Ratings[i] != b.Ratings[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, _, err := Generate(spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Ratings {
+		if a.Ratings[i] != c.Ratings[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := MovieLens()
+	half := s.Scale(0.25)
+	if half.TrainRatings != s.TrainRatings/4 {
+		t.Fatalf("ratings scaled to %d", half.TrainRatings)
+	}
+	if half.Rows >= s.Rows || half.Cols >= s.Cols {
+		t.Fatal("dims not scaled")
+	}
+	if got := s.Scale(1); got.Rows != s.Rows {
+		t.Fatal("Scale(1) changed the spec")
+	}
+	tiny := s.Scale(1e-9)
+	if tiny.Rows < 8 || tiny.TrainRatings < 64 {
+		t.Fatalf("floors not applied: %+v", tiny)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := MovieLens()
+	bad.Rows = 1
+	if _, _, err := Generate(bad, 1); err == nil {
+		t.Fatal("1-row matrix accepted")
+	}
+	bad = MovieLens()
+	bad.TrueRank = 0
+	if _, _, err := Generate(bad, 1); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	bad = MovieLens()
+	bad.ZipfS = 1.0
+	if _, _, err := Generate(bad, 1); err == nil {
+		t.Fatal("ZipfS=1 accepted")
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := YahooMusic().Params()
+	if p.K != 128 || p.LambdaP != 1 || p.Iters != 20 {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+// Property: generation respects the declared rating bounds and dimensions
+// for arbitrary scales.
+func TestQuickGenerateInBounds(t *testing.T) {
+	f := func(seed int64, scalePct uint8) bool {
+		scale := (float64(scalePct%50) + 1) / 1000 // 0.001 .. 0.05
+		spec := R1().Scale(scale)
+		train, _, err := Generate(spec, seed)
+		if err != nil {
+			return false
+		}
+		for _, r := range train.Ratings {
+			if r.Row < 0 || int(r.Row) >= spec.Rows || r.Col < 0 || int(r.Col) >= spec.Cols {
+				return false
+			}
+			if r.Value < spec.MinRating || r.Value > spec.MaxRating {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

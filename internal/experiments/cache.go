@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hsgd/internal/dataset"
+	"hsgd/internal/sparse"
+)
+
+// genCache memoises generated datasets: the large specs take seconds to
+// sample and every figure reuses them.
+var genCache sync.Map // key string -> *genPair
+
+type genPair struct {
+	once  sync.Once
+	train *sparse.Matrix
+	test  *sparse.Matrix
+	err   error
+}
+
+// Dataset returns the (memoised) train/test matrices for a spec — the same
+// instances the figure and table functions train on, exported for the
+// root-level benchmarks.
+func Dataset(spec dataset.Spec, seed int64) (*sparse.Matrix, *sparse.Matrix, error) {
+	return genCached(spec, seed)
+}
+
+// Specs returns the four benchmark dataset specs at the configured scale.
+func (c Config) Specs() []dataset.Spec { return c.specs() }
+
+func genCached(spec dataset.Spec, seed int64) (*sparse.Matrix, *sparse.Matrix, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%d", spec.Name, spec.Rows, spec.Cols, spec.TrainRatings, seed)
+	v, _ := genCache.LoadOrStore(key, &genPair{})
+	p := v.(*genPair)
+	p.once.Do(func() {
+		p.train, p.test, p.err = dataset.Generate(spec, seed)
+	})
+	return p.train, p.test, p.err
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast.
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 0.02
+	c.K = 8
+	c.Iters = 3
+	return c
+}
+
+func TestFig3Shapes(t *testing.T) {
+	g, c := Fig3(128)
+	if len(g.X) == 0 || len(c.X) == 0 {
+		t.Fatal("empty series")
+	}
+	for i := 1; i < len(g.Y); i++ {
+		if g.Y[i] <= g.Y[i-1] {
+			t.Fatalf("GPU throughput not rising at point %d", i)
+		}
+	}
+	// CPU flat: spread under 2%.
+	min, max := c.Y[0], c.Y[0]
+	for _, y := range c.Y {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	if (max-min)/min > 0.02 {
+		t.Fatalf("CPU throughput not flat: [%v, %v]", min, max)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	h2d, d2h := Fig6()
+	for _, s := range []Series{h2d, d2h} {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] <= s.Y[i-1] {
+				t.Fatalf("%s speed not rising", s.Name)
+			}
+		}
+		// Saturation: last two points within 2%.
+		last := s.Y[len(s.Y)-1]
+		prev := s.Y[len(s.Y)-2]
+		if (last-prev)/prev > 0.02 {
+			t.Fatalf("%s not saturated at 256MB", s.Name)
+		}
+	}
+}
+
+func TestFig7MoreWorkersFaster(t *testing.T) {
+	s128 := Fig7(128)
+	s512 := Fig7(512)
+	for i := range s128.Y {
+		if s512.Y[i] <= s128.Y[i] {
+			t.Fatalf("512 workers not faster at point %d", i)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, name := range []string{"MovieLens", "Netflix", "R1", "Yahoo!Music"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in output:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2Data(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.QSeconds <= 0 || r.MSeconds <= 0 {
+			t.Fatalf("%s: non-positive times", r.Dataset)
+		}
+		if r.QCPUShare+r.QGPUShare < 0.99 || r.MCPUShare+r.MGPUShare < 0.99 {
+			t.Fatalf("%s: shares do not sum to 1", r.Dataset)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3Data(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MSeconds <= 0 || r.StarSeconds <= 0 {
+			t.Fatalf("%s: non-positive times", r.Dataset)
+		}
+		// Dynamic scheduling should never be dramatically worse.
+		if r.StarSeconds > r.MSeconds*1.15 {
+			t.Fatalf("%s: HSGD* %vs much worse than HSGD*-M %vs",
+				r.Dataset, r.StarSeconds, r.MSeconds)
+		}
+	}
+}
+
+func TestFig12Histories(t *testing.T) {
+	c := tinyConfig()
+	res, err := Fig12(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("%d datasets", len(res))
+	}
+	for _, r := range res {
+		if len(r.Series) != 3 {
+			t.Fatalf("%s: %d series", r.Dataset, len(r.Series))
+		}
+		for _, s := range r.Series {
+			if len(s.X) != c.Iters {
+				t.Fatalf("%s/%s: %d eval points, want %d", r.Dataset, s.Name, len(s.X), c.Iters)
+			}
+			// RMSE must not blow up; with a tiny iteration budget the
+			// first recorded point already includes most of the gain, so
+			// only guard against divergence.
+			if s.Y[len(s.Y)-1] > s.Y[0]*1.05 {
+				t.Fatalf("%s/%s diverged: %v -> %v", r.Dataset, s.Name, s.Y[0], s.Y[len(s.Y)-1])
+			}
+		}
+	}
+}
+
+func TestFprintSeries(t *testing.T) {
+	var buf bytes.Buffer
+	FprintSeries(&buf, "title", "x", Series{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}})
+	out := buf.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "a") || !strings.Contains(out, "3") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hsgd/internal/core"
+	"hsgd/internal/dataset"
+	"hsgd/internal/gpu"
+	"hsgd/internal/sparse"
+)
+
+// Fig3 reproduces Figure 3: processing speed of (a) the GPU and (b) one CPU
+// thread on blocks of different sizes. The GPU probe is an end-to-end
+// single-block launch (transfer + cold kernel), which is what the paper's
+// microbenchmark measures; the CPU probe is flat by construction
+// (Observation 2). Block sizes are the paper's (thousands of ratings) and
+// the device is unscaled — this measures the device model itself.
+func Fig3(workers int) (gpuSeries, cpuSeries Series) {
+	cfg := gpu.DefaultConfig().WithWorkers(workers)
+	gpuSeries.Name = fmt.Sprintf("GPU-%dw (Mupd/s)", workers)
+	for n := 250_000; n <= 2_500_000; n += 250_000 {
+		h2d := cfg.TransferTime(n*12, gpu.HostToDevice)
+		t := h2d + cfg.KernelTime(n, false)
+		gpuSeries.X = append(gpuSeries.X, float64(n)/1000)
+		gpuSeries.Y = append(gpuSeries.Y, float64(n)/t/1e6)
+	}
+	ccfg := core.DefaultCPUConfig()
+	cpuSeries.Name = "CPU-1thr (Mupd/s)"
+	for n := 50_000; n <= 400_000; n += 50_000 {
+		t := ccfg.BlockTime(n)
+		cpuSeries.X = append(cpuSeries.X, float64(n)/1000)
+		cpuSeries.Y = append(cpuSeries.Y, float64(n)/t/1e6)
+	}
+	return gpuSeries, cpuSeries
+}
+
+// Fig6 reproduces Figure 6: PCIe transfer speed against data size, both
+// directions, on the unscaled device.
+func Fig6() (h2d, d2h Series) {
+	cfg := gpu.DefaultConfig()
+	h2d.Name = "CPU to GPU (GB/s)"
+	d2h.Name = "GPU to CPU (GB/s)"
+	for b := 64 << 10; b <= 256<<20; b <<= 1 {
+		h2d.X = append(h2d.X, float64(b))
+		h2d.Y = append(h2d.Y, cfg.TransferSpeed(b, gpu.HostToDevice)/1e9)
+		d2h.X = append(d2h.X, float64(b))
+		d2h.Y = append(d2h.Y, cfg.TransferSpeed(b, gpu.DeviceToHost)/1e9)
+	}
+	return h2d, d2h
+}
+
+// Fig7 reproduces Figure 7: kernel-only execution throughput against block
+// size (no transfers), on the unscaled device.
+func Fig7(workers int) Series {
+	cfg := gpu.DefaultConfig().WithWorkers(workers)
+	s := Series{Name: fmt.Sprintf("kernel-%dw (Mupd/s)", workers)}
+	for n := 250_000; n <= 2_500_000; n += 250_000 {
+		s.X = append(s.X, float64(n)/1000)
+		s.Y = append(s.Y, cfg.KernelThroughput(n)/1e6)
+	}
+	return s
+}
+
+// FigResult is one dataset's worth of curves for Figures 10–13.
+type FigResult struct {
+	Dataset string
+	Series  []Series
+}
+
+// timeToTarget runs one configuration to its dataset's target RMSE and
+// returns the virtual time needed (or the full-run time if the target was
+// not reached within the epoch budget).
+func timeToTarget(c Config, alg core.Algorithm, spec dataset.Spec,
+	train, test *sparse.Matrix) (float64, error) {
+	opt := c.options(alg, spec)
+	opt.TargetRMSE = spec.TargetRMSE
+	rep, _, err := core.Train(train, test, opt)
+	if err != nil {
+		return 0, err
+	}
+	if rep.TargetReached {
+		return rep.TimeToTarget, nil
+	}
+	return rep.VirtualSeconds, nil
+}
+
+// Fig10 reproduces Figure 10: running time to the target RMSE as the GPU
+// parallel workers vary (32–512), per dataset, for CPU-Only / GPU-Only /
+// HSGD*. CPU-Only does not use the GPU, so its curve is flat by
+// construction and measured once.
+func Fig10(c Config) ([]FigResult, error) {
+	workerSteps := []int{32, 64, 128, 256, 512}
+	var out []FigResult
+	for _, spec := range c.specs() {
+		train, test, err := genCached(spec, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cpuTime, err := timeToTarget(c, core.CPUOnly, spec, train, test)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s cpu-only: %w", spec.Name, err)
+		}
+		res := FigResult{Dataset: spec.Name, Series: []Series{
+			{Name: "CPU-Only"}, {Name: "GPU-Only"}, {Name: "HSGD*"},
+		}}
+		for _, w := range workerSteps {
+			cw := c
+			cw.GPUWorkers = w
+			gpuTime, err := timeToTarget(cw, core.GPUOnly, spec, train, test)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s gpu-only w=%d: %w", spec.Name, w, err)
+			}
+			starTime, err := timeToTarget(cw, core.HSGDStar, spec, train, test)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s hsgd* w=%d: %w", spec.Name, w, err)
+			}
+			x := float64(w)
+			res.Series[0].X = append(res.Series[0].X, x)
+			res.Series[0].Y = append(res.Series[0].Y, cpuTime)
+			res.Series[1].X = append(res.Series[1].X, x)
+			res.Series[1].Y = append(res.Series[1].Y, gpuTime)
+			res.Series[2].X = append(res.Series[2].X, x)
+			res.Series[2].Y = append(res.Series[2].Y, starTime)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig11 reproduces Figure 11: running time to the target RMSE as the CPU
+// thread count varies (4–16), per dataset. GPU-Only does not use CPU
+// threads, so its curve is flat and measured once.
+func Fig11(c Config) ([]FigResult, error) {
+	threadSteps := []int{4, 8, 12, 16}
+	var out []FigResult
+	for _, spec := range c.specs() {
+		train, test, err := genCached(spec, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		gpuTime, err := timeToTarget(c, core.GPUOnly, spec, train, test)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s gpu-only: %w", spec.Name, err)
+		}
+		res := FigResult{Dataset: spec.Name, Series: []Series{
+			{Name: "CPU-Only"}, {Name: "GPU-Only"}, {Name: "HSGD*"},
+		}}
+		for _, nc := range threadSteps {
+			ct := c
+			ct.CPUThreads = nc
+			cpuTime, err := timeToTarget(ct, core.CPUOnly, spec, train, test)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s cpu-only nc=%d: %w", spec.Name, nc, err)
+			}
+			starTime, err := timeToTarget(ct, core.HSGDStar, spec, train, test)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s hsgd* nc=%d: %w", spec.Name, nc, err)
+			}
+			x := float64(nc)
+			res.Series[0].X = append(res.Series[0].X, x)
+			res.Series[0].Y = append(res.Series[0].Y, cpuTime)
+			res.Series[1].X = append(res.Series[1].X, x)
+			res.Series[1].Y = append(res.Series[1].Y, gpuTime)
+			res.Series[2].X = append(res.Series[2].X, x)
+			res.Series[2].Y = append(res.Series[2].Y, starTime)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// rmseCurves runs the given algorithms with no target and returns their
+// (time, test RMSE) histories.
+func rmseCurves(c Config, spec dataset.Spec, algs []core.Algorithm) (FigResult, error) {
+	train, test, err := genCached(spec, c.Seed)
+	if err != nil {
+		return FigResult{}, err
+	}
+	res := FigResult{Dataset: spec.Name}
+	for _, alg := range algs {
+		opt := c.options(alg, spec)
+		rep, _, err := core.Train(train, test, opt)
+		if err != nil {
+			return FigResult{}, fmt.Errorf("%s on %s: %w", alg, spec.Name, err)
+		}
+		s := Series{Name: string(alg)}
+		for _, ep := range rep.History {
+			s.X = append(s.X, ep.Time)
+			s.Y = append(s.Y, ep.RMSE)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig12 reproduces Figure 12: test RMSE over training time for CPU-Only,
+// GPU-Only and HSGD* on each dataset.
+func Fig12(c Config) ([]FigResult, error) {
+	var out []FigResult
+	for _, spec := range c.specs() {
+		res, err := rmseCurves(c, spec, []core.Algorithm{core.CPUOnly, core.GPUOnly, core.HSGDStar})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig13 reproduces Figure 13: test RMSE over training time for HSGD versus
+// HSGD* — the matrix-division-strategy comparison.
+func Fig13(c Config) ([]FigResult, error) {
+	var out []FigResult
+	for _, spec := range c.specs() {
+		res, err := rmseCurves(c, spec, []core.Algorithm{core.HSGD, core.HSGDStar})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hsgd/internal/core"
+)
+
+// Table1 reproduces Table I: statistics and hyperparameters of the four
+// (synthetic) benchmark datasets at the configured scale.
+func Table1(c Config) (Table, error) {
+	t := Table{
+		Title:  "Table I: dataset statistics and parameter settings (synthetic, scaled)",
+		Header: []string{"Dataset", "m", "n", "#Training", "#Test", "k", "lambdaP", "lambdaQ", "gamma", "targetRMSE"},
+	}
+	for _, spec := range c.specs() {
+		train, test, err := genCached(spec, c.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		stats := train.ComputeStats()
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprintf("%d", stats.Rows),
+			fmt.Sprintf("%d", stats.Cols),
+			fmt.Sprintf("%d", stats.NNZ),
+			fmt.Sprintf("%d", test.NNZ()),
+			fmt.Sprintf("%d", spec.K),
+			fmt.Sprintf("%g", spec.LambdaP),
+			fmt.Sprintf("%g", spec.LambdaQ),
+			fmt.Sprintf("%g", spec.Gamma),
+			fmt.Sprintf("%g", spec.TargetRMSE),
+		})
+	}
+	return t, nil
+}
+
+// Table2Row is one dataset's comparison of the two cost models (Table II):
+// workload proportions and fixed-iteration running times for HSGD*-Q
+// (Qilin) and HSGD*-M (the Section V model), both without dynamic
+// scheduling.
+type Table2Row struct {
+	Dataset              string
+	QCPUShare, QGPUShare float64
+	MCPUShare, MGPUShare float64
+	QSeconds, MSeconds   float64
+}
+
+// Table2Data runs the Table II comparison and returns the raw rows.
+func Table2Data(c Config) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, spec := range c.specs() {
+		train, test, err := genCached(spec, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Dataset: spec.Name}
+		repQ, _, err := core.Train(train, test, c.options(core.HSGDStarQ, spec))
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s hsgd*-q: %w", spec.Name, err)
+		}
+		repM, _, err := core.Train(train, test, c.options(core.HSGDStarM, spec))
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s hsgd*-m: %w", spec.Name, err)
+		}
+		row.QCPUShare, row.QGPUShare = repQ.CPUShare, repQ.GPUShare
+		row.MCPUShare, row.MGPUShare = repM.CPUShare, repM.GPUShare
+		row.QSeconds, row.MSeconds = repQ.VirtualSeconds, repM.VirtualSeconds
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2 formats Table2Data in the paper's layout.
+func Table2(c Config) (Table, error) {
+	rows, err := Table2Data(c)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Table II: comparison of cost models (%d iterations, no dynamic scheduling)", c.Iters),
+		Header: []string{"Dataset", "Q-CPU%", "Q-GPU%", "M-CPU%", "M-GPU%",
+			"HSGD*-Q time", "HSGD*-M time"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%.2f%%", 100*r.QCPUShare),
+			fmt.Sprintf("%.2f%%", 100*r.QGPUShare),
+			fmt.Sprintf("%.2f%%", 100*r.MCPUShare),
+			fmt.Sprintf("%.2f%%", 100*r.MGPUShare),
+			fmt.Sprintf("%.4gs", r.QSeconds),
+			fmt.Sprintf("%.4gs", r.MSeconds),
+		})
+	}
+	return t, nil
+}
+
+// Table3Row is one dataset's comparison of dynamic scheduling (Table III):
+// fixed-iteration running time without (HSGD*-M) and with (HSGD*) the
+// dynamic phase.
+type Table3Row struct {
+	Dataset     string
+	MSeconds    float64
+	StarSeconds float64
+	StolenByCPU int64
+	StolenByGPU int64
+}
+
+// Table3Data runs the Table III comparison and returns the raw rows.
+func Table3Data(c Config) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, spec := range c.specs() {
+		train, test, err := genCached(spec, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		repM, _, err := core.Train(train, test, c.options(core.HSGDStarM, spec))
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s hsgd*-m: %w", spec.Name, err)
+		}
+		repS, _, err := core.Train(train, test, c.options(core.HSGDStar, spec))
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s hsgd*: %w", spec.Name, err)
+		}
+		rows = append(rows, Table3Row{
+			Dataset:     spec.Name,
+			MSeconds:    repM.VirtualSeconds,
+			StarSeconds: repS.VirtualSeconds,
+			StolenByCPU: repS.StolenByCPU,
+			StolenByGPU: repS.StolenByGPU,
+		})
+	}
+	return rows, nil
+}
+
+// Table3 formats Table3Data in the paper's layout.
+func Table3(c Config) (Table, error) {
+	rows, err := Table3Data(c)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Table III: effectiveness of dynamic scheduling (%d iterations)", c.Iters),
+		Header: []string{"Dataset", "HSGD*-M", "HSGD*", "stolen by CPU", "stolen by GPU"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%.4gs", r.MSeconds),
+			fmt.Sprintf("%.4gs", r.StarSeconds),
+			fmt.Sprintf("%d", r.StolenByCPU),
+			fmt.Sprintf("%d", r.StolenByGPU),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,278 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.ParallelWorkers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	bad = DefaultConfig()
+	bad.PeakUpdateRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	bad = DefaultConfig()
+	bad.H2DLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+// Observation 1: cold kernel throughput rises with block size and
+// saturates (Figures 3a / 7).
+func TestKernelThroughputShape(t *testing.T) {
+	cfg := DefaultConfig()
+	prev := 0.0
+	for n := 250_000; n <= 2_500_000; n += 250_000 {
+		cur := cfg.KernelThroughput(n)
+		if cur <= prev {
+			t.Fatalf("throughput not rising at %d: %v -> %v", n, prev, cur)
+		}
+		prev = cur
+	}
+	// Saturation: the relative gain over the last doubling must be small
+	// compared to the first.
+	gainSmall := cfg.KernelThroughput(500_000)/cfg.KernelThroughput(250_000) - 1
+	gainLarge := cfg.KernelThroughput(64_000_000)/cfg.KernelThroughput(32_000_000) - 1
+	if gainLarge > gainSmall/4 {
+		t.Fatalf("no saturation: small gain %v, large gain %v", gainSmall, gainLarge)
+	}
+}
+
+func TestWarmFasterThanCold(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, n := range []int{1000, 100_000, 1_000_000} {
+		if w, c := cfg.KernelTime(n, true), cfg.KernelTime(n, false); w >= c {
+			t.Fatalf("warm %v >= cold %v at n=%d", w, c, n)
+		}
+	}
+}
+
+func TestKernelTimeMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	prev := 0.0
+	for n := 0; n <= 1_000_000; n += 50_000 {
+		cur := cfg.KernelTime(n, false)
+		if cur < prev {
+			t.Fatalf("kernel time decreased at %d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestWorkerScaling(t *testing.T) {
+	base := DefaultConfig()
+	t32 := base.WithWorkers(32).KernelTime(1_000_000, true)
+	t128 := base.WithWorkers(128).KernelTime(1_000_000, true)
+	t512 := base.WithWorkers(512).KernelTime(1_000_000, true)
+	if !(t32 > t128 && t128 > t512) {
+		t.Fatalf("kernel time not decreasing with workers: %v %v %v", t32, t128, t512)
+	}
+	// Sublinear: 16x workers must give less than 16x speedup.
+	if t32/t512 >= 16 {
+		t.Fatalf("worker scaling superlinear: %v", t32/t512)
+	}
+}
+
+// Figure 6: transfer speed rises with size and saturates near the peak.
+func TestTransferSpeedShape(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, dir := range []Direction{HostToDevice, DeviceToHost} {
+		prev := 0.0
+		for b := 64 << 10; b <= 256<<20; b <<= 1 {
+			cur := cfg.TransferSpeed(b, dir)
+			if cur <= prev {
+				t.Fatalf("%v speed not rising at %d bytes", dir, b)
+			}
+			prev = cur
+		}
+		peak := cfg.H2DPeakBytesPerSec
+		if dir == DeviceToHost {
+			peak = cfg.D2HPeakBytesPerSec
+		}
+		if prev < 0.95*peak {
+			t.Fatalf("%v speed %v never approaches peak %v", dir, prev, peak)
+		}
+		small := cfg.TransferSpeed(64<<10, dir)
+		if small > 0.5*peak {
+			t.Fatalf("%v 64KB transfer already at %v of peak", dir, small/peak)
+		}
+	}
+}
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TransferTime(0, HostToDevice) != 0 {
+		t.Fatal("zero-byte transfer should be free")
+	}
+	if cfg.TransferSpeed(0, HostToDevice) != 0 {
+		t.Fatal("zero-byte speed should be 0")
+	}
+}
+
+func TestScaledPreservesRates(t *testing.T) {
+	base := DefaultConfig()
+	s := base.Scaled(0.01)
+	if s.PeakUpdateRate != base.PeakUpdateRate {
+		t.Fatal("Scaled changed peak rate")
+	}
+	if s.RampElements != base.RampElements*0.01 {
+		t.Fatal("Scaled did not shrink ramp")
+	}
+	if s.H2DLatency != base.H2DLatency*0.01 {
+		t.Fatal("Scaled did not shrink latency")
+	}
+}
+
+func TestBlockBytes(t *testing.T) {
+	h2d, d2h := BlockBytes(100, 10, 20, 8, true)
+	wantH2D := 100*12 + 4*8*10 + 4*8*20
+	wantD2H := 4*8*10 + 4*8*20
+	if h2d != wantH2D || d2h != wantD2H {
+		t.Fatalf("BlockBytes = %d,%d want %d,%d", h2d, d2h, wantH2D, wantD2H)
+	}
+	// Pinned P: only Q moves.
+	h2d, d2h = BlockBytes(100, 10, 20, 8, false)
+	if h2d != 100*12+4*8*20 || d2h != 4*8*20 {
+		t.Fatalf("pinned BlockBytes = %d,%d", h2d, d2h)
+	}
+}
+
+func TestLaunchFor(t *testing.T) {
+	cfg := DefaultConfig() // 128 workers, 256 threads/block, warp 32
+	l := cfg.LaunchFor(128)
+	if l.WarpsPerBlock != 8 {
+		t.Fatalf("warps/block = %d", l.WarpsPerBlock)
+	}
+	if l.GridDim != 16 {
+		t.Fatalf("grid dim = %d", l.GridDim)
+	}
+	if l.TotalThreads != 4096 {
+		t.Fatalf("total threads = %d", l.TotalThreads)
+	}
+	if l.ElementsPerLane != 4 {
+		t.Fatalf("elements/lane = %d", l.ElementsPerLane)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	cfg := DefaultConfig()
+	occ128 := cfg.Occupancy()
+	occ512 := cfg.WithWorkers(512).Occupancy()
+	if occ512 <= occ128 {
+		t.Fatal("occupancy not rising with workers")
+	}
+	huge := cfg.WithWorkers(1 << 20)
+	if huge.Occupancy() != 1 {
+		t.Fatal("occupancy not capped at 1")
+	}
+}
+
+func TestFitsInMemory(t *testing.T) {
+	cfg := DefaultConfig() // 8 GB
+	if !cfg.FitsInMemory(1 << 30) {
+		t.Fatal("1GB should fit")
+	}
+	if cfg.FitsInMemory(9 << 30) {
+		t.Fatal("9GB should not fit in 8GB")
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	p := NewPipeline()
+	// Block A: h2d 1s, kernel 2s, d2h 0.5s.
+	a := p.Submit(0, 1, 2, 0.5)
+	if a.H2DDone != 1 || a.KernelDone != 3 || a.D2HDone != 3.5 {
+		t.Fatalf("A = %+v", a)
+	}
+	// Block B submitted at A's h2dDone: its transfer overlaps A's kernel.
+	b := p.Submit(1, 1, 2, 0.5)
+	if b.H2DDone != 2 {
+		t.Fatalf("B h2d = %v, want 2 (overlapped)", b.H2DDone)
+	}
+	if b.KernelDone != 5 { // waits for A's kernel (3), then 2s
+		t.Fatalf("B kernel = %v, want 5", b.KernelDone)
+	}
+	if b.D2HDone != 5.5 {
+		t.Fatalf("B d2h = %v", b.D2HDone)
+	}
+}
+
+// Equation 9: under stream overlap, the steady-state cost per block is
+// max(transfer, kernel), not their sum.
+func TestPipelineSteadyStateMax(t *testing.T) {
+	p := NewPipeline()
+	h2d, kernel, d2h := 3.0, 2.0, 1.0 // transfer-bound
+	now := 0.0
+	var last Completion
+	for i := 0; i < 50; i++ {
+		last = p.Submit(now, h2d, kernel, d2h)
+		now = last.H2DDone
+	}
+	perBlock := last.KernelDone / 50
+	if perBlock < 2.9 || perBlock > 3.2 {
+		t.Fatalf("transfer-bound per-block %v, want ~3 (max)", perBlock)
+	}
+
+	p.Reset()
+	h2d, kernel = 2.0, 3.0 // kernel-bound
+	now = 0
+	for i := 0; i < 50; i++ {
+		last = p.Submit(now, h2d, kernel, d2h)
+		now = last.H2DDone
+	}
+	perBlock = last.KernelDone / 50
+	if perBlock < 2.9 || perBlock > 3.2 {
+		t.Fatalf("kernel-bound per-block %v, want ~3 (max)", perBlock)
+	}
+}
+
+// Ablation: without overlap the cost per block is the sum of the phases.
+func TestPipelineNoOverlapSum(t *testing.T) {
+	p := &Pipeline{Overlap: false}
+	now := 0.0
+	var last Completion
+	for i := 0; i < 20; i++ {
+		last = p.Submit(now, 1, 2, 0.5)
+		now = last.H2DDone
+	}
+	perBlock := last.D2HDone / 20
+	if perBlock < 3.4 || perBlock > 3.6 {
+		t.Fatalf("serial per-block %v, want 3.5 (sum)", perBlock)
+	}
+}
+
+// Property: completions are always ordered h2d <= kernel <= d2h, and
+// successive submissions never travel back in time.
+func TestQuickPipelineMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPipeline()
+		now := 0.0
+		prevKernel := 0.0
+		for i := 0; i < 30; i++ {
+			c := p.Submit(now, rng.Float64(), rng.Float64(), rng.Float64())
+			if c.H2DDone < now || c.KernelDone < c.H2DDone || c.D2HDone < c.KernelDone {
+				return false
+			}
+			if c.KernelDone < prevKernel {
+				return false
+			}
+			prevKernel = c.KernelDone
+			now = c.H2DDone
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

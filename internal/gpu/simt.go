@@ -1,0 +1,55 @@
+package gpu
+
+// Launch describes the SIMT geometry of one simulated kernel launch, the
+// way cuMF_SGD configures it: each "parallel worker" is a warp whose 32
+// lanes hold one k-dimensional factor pair (k/32 elements per lane, moved
+// between lanes with warp shuffles), and workers are packed into CUDA
+// thread blocks of ThreadsPerBlock threads.
+type Launch struct {
+	Workers         int // warps in flight (paper's "parallel workers")
+	ThreadsPerBlock int
+	WarpsPerBlock   int
+	GridDim         int // number of CUDA thread blocks
+	TotalThreads    int
+	ElementsPerLane int // k/WarpSize factor elements each lane holds
+}
+
+// LaunchFor derives the launch geometry for a kernel over ratings with k
+// latent factors.
+func (c Config) LaunchFor(k int) Launch {
+	warpsPerBlock := c.ThreadsPerBlock / c.WarpSize
+	if warpsPerBlock < 1 {
+		warpsPerBlock = 1
+	}
+	gridDim := (c.ParallelWorkers + warpsPerBlock - 1) / warpsPerBlock
+	perLane := k / c.WarpSize
+	if perLane < 1 {
+		perLane = 1
+	}
+	return Launch{
+		Workers:         c.ParallelWorkers,
+		ThreadsPerBlock: c.ThreadsPerBlock,
+		WarpsPerBlock:   warpsPerBlock,
+		GridDim:         gridDim,
+		TotalThreads:    gridDim * c.ThreadsPerBlock,
+		ElementsPerLane: perLane,
+	}
+}
+
+// Occupancy is the fraction of the device's warp slots a launch fills,
+// assuming 64 resident warps per SM (Pascal). Low occupancy on small worker
+// counts is one reason GPU-Only loses to CPU-Only at 32 workers in Fig 10.
+func (c Config) Occupancy() float64 {
+	capacity := float64(c.SMCount * 64)
+	occ := float64(c.ParallelWorkers) / capacity
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// FitsInMemory reports whether a resident set of the given size (bytes) fits
+// in global memory, leaving 10% headroom for the runtime.
+func (c Config) FitsInMemory(bytes int64) bool {
+	return float64(bytes) <= 0.9*float64(c.GlobalMemBytes)
+}

@@ -1,0 +1,69 @@
+package gpu
+
+// Pipeline models the three CUDA streams cuMF_SGD uses (Figure 8):
+// stream 1 moves blocks host→device, stream 2 runs the kernel, stream 3
+// moves updated factors device→host. Commands within a stream serialize;
+// commands in different streams overlap, subject to the per-block dependency
+// H2D(B) → kernel(B) → D2H(B).
+//
+// The pipeline is pure virtual-time bookkeeping: it tracks when each stream
+// becomes free and returns the completion times for a submitted block.
+type Pipeline struct {
+	// Overlap selects the stream semantics: true is the CUDA-stream
+	// behaviour of the paper; false serializes all three phases on one
+	// stream, the ablation that shows why Equation 9 is max() not sum().
+	Overlap bool
+
+	h2dFree    float64
+	kernelFree float64
+	d2hFree    float64
+}
+
+// NewPipeline returns a pipeline with all streams free at time zero and
+// overlap enabled.
+func NewPipeline() *Pipeline { return &Pipeline{Overlap: true} }
+
+// Completion reports when each phase of a submitted block finishes.
+type Completion struct {
+	H2DDone    float64 // input data resident on device: next block may be requested
+	KernelDone float64 // updates visible: apply them to P and Q
+	D2HDone    float64 // factors back on host: row/column locks may be released
+}
+
+// Submit enqueues one block whose phases take h2d, kernel and d2h seconds,
+// with the host ready to issue at time now.
+func (p *Pipeline) Submit(now, h2d, kernel, d2h float64) Completion {
+	if !p.Overlap {
+		start := max(now, p.d2hFree)
+		h2dDone := start + h2d
+		kernelDone := h2dDone + kernel
+		d2hDone := kernelDone + d2h
+		p.h2dFree, p.kernelFree, p.d2hFree = d2hDone, d2hDone, d2hDone
+		return Completion{H2DDone: h2dDone, KernelDone: kernelDone, D2HDone: d2hDone}
+	}
+	h2dStart := max(now, p.h2dFree)
+	h2dDone := h2dStart + h2d
+	p.h2dFree = h2dDone
+
+	kStart := max(h2dDone, p.kernelFree)
+	kernelDone := kStart + kernel
+	p.kernelFree = kernelDone
+
+	dStart := max(kernelDone, p.d2hFree)
+	d2hDone := dStart + d2h
+	p.d2hFree = d2hDone
+	return Completion{H2DDone: h2dDone, KernelDone: kernelDone, D2HDone: d2hDone}
+}
+
+// NextIssueTime returns the earliest time a new H2D command could start if
+// issued at now — the moment the GPU should request its next block so the
+// transfer of block B' overlaps the kernel of block B (Example 4).
+func (p *Pipeline) NextIssueTime(now float64) float64 {
+	return max(now, p.h2dFree)
+}
+
+// KernelFreeAt returns when the kernel stream drains.
+func (p *Pipeline) KernelFreeAt() float64 { return p.kernelFree }
+
+// Reset returns all streams to free-at-zero.
+func (p *Pipeline) Reset() { p.h2dFree, p.kernelFree, p.d2hFree = 0, 0, 0 }

@@ -1,0 +1,185 @@
+// Package grid implements matrix blocking: the division of a sparse rating
+// matrix into sub-matrices ("blocks") such that blocks sharing no row band
+// and no column band can be updated in parallel without write conflicts on
+// P and Q (Section III-A of the paper).
+//
+// It provides the uniform grids used by FPSGD and the HSGD baseline, Rule 1
+// (the minimum block-count rule), and the nonuniform two-region layout of
+// Section VI used by HSGD*.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hsgd/internal/sparse"
+)
+
+// Block is one sub-matrix of the rating matrix. Ratings are the entries
+// falling inside the block's row and column bands. Updates counts how many
+// times a worker has processed the block; the scheduler uses it to pick the
+// least-updated independent block and the tests use its distribution to
+// demonstrate the update skew of Example 3.
+type Block struct {
+	Band    int // row band index within its grid
+	Col     int // column band index
+	Ratings []sparse.Rating
+	Updates int64
+}
+
+// Size returns the number of ratings in the block.
+func (b *Block) Size() int { return len(b.Ratings) }
+
+// Grid is a 2-D array of blocks covering one region of the matrix.
+// RowBounds/ColBounds hold band boundaries in id space: band i covers ids
+// [RowBounds[i], RowBounds[i+1]).
+type Grid struct {
+	RowBands  int
+	ColBands  int
+	RowBounds []int32 // len RowBands+1
+	ColBounds []int32 // len ColBands+1
+	Blocks    []*Block
+}
+
+// Block returns the block at row band r, column band c.
+func (g *Grid) Block(r, c int) *Block { return g.Blocks[r*g.ColBands+c] }
+
+// NNZ returns the total number of ratings across all blocks.
+func (g *Grid) NNZ() int {
+	total := 0
+	for _, b := range g.Blocks {
+		total += len(b.Ratings)
+	}
+	return total
+}
+
+// Rule1 returns the minimum grid dimensions (rows, cols) for nc CPU threads
+// and ng GPUs: the paper's refined matrix-division rule requires at least
+// (nc+ng+1) × (nc+ng) blocks so a finishing worker can always locate a spare
+// row and column.
+func Rule1(nc, ng int) (rows, cols int) {
+	return nc + ng + 1, nc + ng
+}
+
+// BoundsUniform splits the id range [0, n) into parts equal-width bands.
+func BoundsUniform(n, parts int) []int32 {
+	bounds := make([]int32, parts+1)
+	for i := 0; i <= parts; i++ {
+		bounds[i] = int32(i * n / parts)
+	}
+	return bounds
+}
+
+// BoundsBalanced splits ids into parts bands with approximately equal total
+// count, given per-id counts. FPSGD achieves the same effect by randomly
+// permuting ids before uniform splitting; explicit balancing keeps blocks
+// even under the Zipf skew of the synthetic datasets.
+func BoundsBalanced(counts []int, parts int) []int32 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	bounds := make([]int32, parts+1)
+	bounds[parts] = int32(len(counts))
+	cum := 0
+	band := 1
+	for id, c := range counts {
+		cum += c
+		// Close band when its quota is met, keeping enough ids for the
+		// remaining bands.
+		for band < parts && cum >= band*total/parts && len(counts)-id-1 >= parts-band {
+			bounds[band] = int32(id + 1)
+			band++
+		}
+	}
+	for ; band < parts; band++ {
+		bounds[band] = bounds[parts]
+	}
+	return bounds
+}
+
+// locate returns the band containing id given bounds (len bands+1).
+func locate(bounds []int32, id int32) int {
+	// sort.Search for the first bound > id, minus one.
+	return sort.Search(len(bounds)-1, func(i int) bool { return bounds[i+1] > id }) // first band whose upper bound exceeds id
+}
+
+// Partition buckets the ratings of m into a grid with the given band
+// boundaries. Ratings outside the boundary range are rejected.
+func Partition(m *sparse.Matrix, rowBounds, colBounds []int32) (*Grid, error) {
+	rows := len(rowBounds) - 1
+	cols := len(colBounds) - 1
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("grid: need at least 1x1 bands, got %dx%d", rows, cols)
+	}
+	g := &Grid{RowBands: rows, ColBands: cols, RowBounds: rowBounds, ColBounds: colBounds,
+		Blocks: make([]*Block, rows*cols)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.Blocks[r*cols+c] = &Block{Band: r, Col: c}
+		}
+	}
+	lo, hi := rowBounds[0], rowBounds[rows]
+	clo, chi := colBounds[0], colBounds[cols]
+	for _, rt := range m.Ratings {
+		if rt.Row < lo || rt.Row >= hi || rt.Col < clo || rt.Col >= chi {
+			return nil, fmt.Errorf("grid: rating (%d,%d) outside bands [%d,%d)x[%d,%d)",
+				rt.Row, rt.Col, lo, hi, clo, chi)
+		}
+		b := g.Block(locate(rowBounds, rt.Row), locate(colBounds, rt.Col))
+		b.Ratings = append(b.Ratings, rt)
+	}
+	return g, nil
+}
+
+// Uniform partitions the whole matrix into rows×cols blocks with
+// count-balanced boundaries — the division used by FPSGD (CPU-Only) and the
+// HSGD baseline.
+func Uniform(m *sparse.Matrix, rows, cols int) (*Grid, error) {
+	rb := BoundsBalanced(m.RowCounts(), rows)
+	cb := BoundsBalanced(m.ColCounts(), cols)
+	return Partition(m, rb, cb)
+}
+
+// UpdateStats summarises the distribution of Block.Updates across a set of
+// blocks; the skew (Max/Mean) demonstrates Example 3's starvation.
+type UpdateStats struct {
+	Min, Max int64
+	Mean     float64
+	StdDev   float64
+}
+
+// ComputeUpdateStats aggregates over the given blocks (empty blocks are
+// skipped — they are never scheduled).
+func ComputeUpdateStats(blocks []*Block) UpdateStats {
+	var s UpdateStats
+	n := 0
+	var sum, sumSq float64
+	s.Min = math.MaxInt64
+	for _, b := range blocks {
+		if b.Size() == 0 {
+			continue
+		}
+		n++
+		u := b.Updates
+		if u < s.Min {
+			s.Min = u
+		}
+		if u > s.Max {
+			s.Max = u
+		}
+		sum += float64(u)
+		sumSq += float64(u) * float64(u)
+	}
+	if n == 0 {
+		s.Min = 0
+		return s
+	}
+	s.Mean = sum / float64(n)
+	variance := sumSq/float64(n) - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	return s
+}

@@ -1,0 +1,289 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsgd/internal/sparse"
+)
+
+func randomMatrix(rows, cols, nnz int, seed int64) *sparse.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.New(rows, cols)
+	for i := 0; i < nnz; i++ {
+		m.Add(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.Float32())
+	}
+	return m
+}
+
+func TestRule1(t *testing.T) {
+	rows, cols := Rule1(16, 1)
+	if rows != 18 || cols != 17 {
+		t.Fatalf("Rule1(16,1) = %d,%d", rows, cols)
+	}
+	rows, cols = Rule1(4, 0)
+	if rows != 5 || cols != 4 {
+		t.Fatalf("Rule1(4,0) = %d,%d", rows, cols)
+	}
+}
+
+func TestBoundsUniform(t *testing.T) {
+	b := BoundsUniform(10, 4)
+	want := []int32{0, 2, 5, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("BoundsUniform = %v", b)
+		}
+	}
+}
+
+func TestBoundsBalanced(t *testing.T) {
+	counts := []int{10, 0, 0, 10, 10, 0, 10} // total 40, 4 parts of ~10
+	b := BoundsBalanced(counts, 4)
+	if b[0] != 0 || b[4] != 7 {
+		t.Fatalf("outer bounds %v", b)
+	}
+	// Every band must be non-decreasing and cover the whole range.
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("bounds not monotone: %v", b)
+		}
+	}
+	// Band counts should be near 10 each.
+	for band := 0; band < 4; band++ {
+		sum := 0
+		for id := b[band]; id < b[band+1]; id++ {
+			sum += counts[id]
+		}
+		if sum > 20 {
+			t.Fatalf("band %d holds %d of 40", band, sum)
+		}
+	}
+}
+
+// Property: balanced bounds always form a valid partition of the id space.
+func TestQuickBoundsBalancedValid(t *testing.T) {
+	f := func(seed int64, parts8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		parts := 1 + int(parts8%16)
+		if parts > n {
+			parts = n
+		}
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(20)
+		}
+		b := BoundsBalanced(counts, parts)
+		if len(b) != parts+1 || b[0] != 0 || b[parts] != int32(n) {
+			return false
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionPlacesEveryRating(t *testing.T) {
+	m := randomMatrix(50, 40, 500, 1)
+	g, err := Uniform(m, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NNZ() != m.NNZ() {
+		t.Fatalf("grid holds %d of %d ratings", g.NNZ(), m.NNZ())
+	}
+	// Every rating must be inside its block's bands.
+	for r := 0; r < g.RowBands; r++ {
+		for c := 0; c < g.ColBands; c++ {
+			b := g.Block(r, c)
+			for _, rt := range b.Ratings {
+				if rt.Row < g.RowBounds[r] || rt.Row >= g.RowBounds[r+1] {
+					t.Fatalf("rating row %d outside band %d", rt.Row, r)
+				}
+				if rt.Col < g.ColBounds[c] || rt.Col >= g.ColBounds[c+1] {
+					t.Fatalf("rating col %d outside band %d", rt.Col, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsOutOfRange(t *testing.T) {
+	m := sparse.New(10, 10)
+	m.Add(9, 9, 1)
+	if _, err := Partition(m, []int32{0, 5}, []int32{0, 10}); err == nil {
+		t.Fatal("rating outside row bounds accepted")
+	}
+	if _, err := Partition(m, []int32{0}, []int32{0, 10}); err == nil {
+		t.Fatal("empty bands accepted")
+	}
+}
+
+func TestUniformBalance(t *testing.T) {
+	m := randomMatrix(200, 200, 20000, 2)
+	g, err := Uniform(m, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count-balanced bounds on uniform data: no block should be more than
+	// 4x the average.
+	avg := float64(m.NNZ()) / 100
+	for _, b := range g.Blocks {
+		if float64(b.Size()) > 4*avg {
+			t.Fatalf("block %d,%d holds %d (avg %.0f)", b.Band, b.Col, b.Size(), avg)
+		}
+	}
+}
+
+func TestComputeUpdateStats(t *testing.T) {
+	blocks := []*Block{
+		{Ratings: make([]sparse.Rating, 1), Updates: 2},
+		{Ratings: make([]sparse.Rating, 1), Updates: 4},
+		{Updates: 99}, // empty: ignored
+	}
+	s := ComputeUpdateStats(blocks)
+	if s.Min != 2 || s.Max != 4 || s.Mean != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	empty := ComputeUpdateStats(nil)
+	if empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestNewHeteroLayout(t *testing.T) {
+	l, err := NewHeteroLayout(16, 1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cols != 19 || l.CPURows != 17 || l.GPURows != 1 || l.SubRows != 17 {
+		t.Fatalf("layout = %+v", l)
+	}
+	// Example 5 of the paper: nc=4, ng=2 → 9 columns, 6 CPU rows, 2 GPU
+	// rows with 3 sub-rows each.
+	l, err = NewHeteroLayout(4, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cols != 9 || l.CPURows != 6 || l.GPURows != 2 || l.SubRows != 3 {
+		t.Fatalf("Example 5 layout = %+v", l)
+	}
+	if _, err := NewHeteroLayout(0, 1, 0.5); err == nil {
+		t.Fatal("nc=0 accepted")
+	}
+	if _, err := NewHeteroLayout(4, 2, 1.5); err == nil {
+		t.Fatal("alpha>1 accepted")
+	}
+}
+
+func TestPartitionHetero(t *testing.T) {
+	m := randomMatrix(400, 300, 30000, 3)
+	l, err := NewHeteroLayout(4, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := PartitionHetero(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.GPUNNZ+hg.CPUNNZ != m.NNZ() {
+		t.Fatalf("regions hold %d+%d of %d", hg.GPUNNZ, hg.CPUNNZ, m.NNZ())
+	}
+	share := float64(hg.GPUNNZ) / float64(m.NNZ())
+	if share < 0.45 || share > 0.55 {
+		t.Fatalf("GPU share %v, want ~0.5", share)
+	}
+	// GPU region rows all strictly below SplitRow, CPU at or above.
+	for _, b := range hg.GPU.Blocks {
+		for _, rt := range b.Ratings {
+			if rt.Row >= hg.SplitRow {
+				t.Fatalf("GPU-region rating at row %d >= split %d", rt.Row, hg.SplitRow)
+			}
+		}
+	}
+	for _, b := range hg.CPU.Blocks {
+		for _, rt := range b.Ratings {
+			if rt.Row < hg.SplitRow {
+				t.Fatalf("CPU-region rating at row %d < split %d", rt.Row, hg.SplitRow)
+			}
+		}
+	}
+	// Shared column bounds.
+	for i := range hg.GPU.ColBounds {
+		if hg.GPU.ColBounds[i] != hg.CPU.ColBounds[i] {
+			t.Fatal("regions disagree on column bounds")
+		}
+	}
+	// Super block returns SubRows blocks in the same column.
+	super := hg.SuperBlock(1, 3)
+	if len(super) != l.SubRows {
+		t.Fatalf("super block has %d sub-blocks", len(super))
+	}
+	for _, b := range super {
+		if b.Col != 3 {
+			t.Fatalf("super block crosses columns")
+		}
+	}
+}
+
+func TestPartitionHeteroExtremes(t *testing.T) {
+	m := randomMatrix(100, 100, 5000, 4)
+	for _, alpha := range []float64{0, 1} {
+		l, err := NewHeteroLayout(4, 1, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, err := PartitionHetero(m, l)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if hg.GPUNNZ+hg.CPUNNZ != m.NNZ() {
+			t.Fatalf("alpha=%v loses ratings", alpha)
+		}
+	}
+	if _, err := PartitionHetero(sparse.New(5, 5), mustLayout(t)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func mustLayout(t *testing.T) HeteroLayout {
+	t.Helper()
+	l, err := NewHeteroLayout(2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// Property: PartitionHetero conserves ratings for arbitrary shapes and
+// alphas.
+func TestQuickHeteroConservation(t *testing.T) {
+	f := func(seed int64, a uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 50 + rng.Intn(100)
+		cols := 50 + rng.Intn(100)
+		m := randomMatrix(rows, cols, 2000, seed)
+		alpha := float64(a%101) / 100
+		l, err := NewHeteroLayout(1+rng.Intn(8), 1+rng.Intn(3), alpha)
+		if err != nil {
+			return false
+		}
+		hg, err := PartitionHetero(m, l)
+		if err != nil {
+			return false
+		}
+		return hg.GPUNNZ+hg.CPUNNZ == m.NNZ() &&
+			hg.GPU.NNZ() == hg.GPUNNZ && hg.CPU.NNZ() == hg.CPUNNZ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

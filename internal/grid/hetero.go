@@ -1,0 +1,153 @@
+package grid
+
+import (
+	"fmt"
+
+	"hsgd/internal/sparse"
+)
+
+// HeteroLayout captures the final nonuniform division strategy of
+// Section VI (Figure 9):
+//
+//   - the matrix has Cols = nc + 2·ng + 1 column bands, so a GPU can always
+//     prefetch a second block (stream overlap) and a finishing worker always
+//     finds a spare column;
+//   - the CPU region Rc (the bottom 1−α of the rating mass) has
+//     CPURows = nc + ng row bands, so GPUs can join it in the dynamic phase
+//     without breaking Rule 1;
+//   - the GPU region Rg (the top α) has GPURowBands = ng row bands — large
+//     blocks that saturate the GPU — and each band is further divided into
+//     SubRows = ⌈(nc+ng)/ng⌉ sub-rows that become visible in the dynamic
+//     phase when CPU threads join.
+type HeteroLayout struct {
+	NC      int     // CPU worker threads
+	NG      int     // GPUs
+	Alpha   float64 // fraction of the rating mass assigned to GPUs
+	Cols    int     // nc + 2·ng + 1
+	CPURows int     // nc + ng
+	GPURows int     // ng
+	SubRows int     // ⌈(nc+ng)/ng⌉ sub-rows per GPU row band
+}
+
+// NewHeteroLayout validates the worker counts and derives the Section VI
+// dimensions.
+func NewHeteroLayout(nc, ng int, alpha float64) (HeteroLayout, error) {
+	if nc < 1 || ng < 1 {
+		return HeteroLayout{}, fmt.Errorf("grid: hetero layout needs nc>=1 and ng>=1, got nc=%d ng=%d", nc, ng)
+	}
+	if alpha < 0 || alpha > 1 {
+		return HeteroLayout{}, fmt.Errorf("grid: alpha %v outside [0,1]", alpha)
+	}
+	return HeteroLayout{
+		NC:      nc,
+		NG:      ng,
+		Alpha:   alpha,
+		Cols:    nc + 2*ng + 1,
+		CPURows: nc + ng,
+		GPURows: ng,
+		SubRows: (nc + ng + ng - 1) / ng, // ⌈(nc+ng)/ng⌉
+	}, nil
+}
+
+// HeteroGrid is the partitioned matrix: a GPU grid at sub-row granularity
+// and a CPU grid, sharing a single set of column boundaries so that
+// cross-region conflicts remain detectable by column band index.
+type HeteroGrid struct {
+	Layout   HeteroLayout
+	GPU      *Grid // (GPURows·SubRows) × Cols, sub-row granularity
+	CPU      *Grid // CPURows × Cols
+	SplitRow int32 // rows < SplitRow belong to the GPU region
+	GPUNNZ   int
+	CPUNNZ   int
+}
+
+// SuperBlock returns the SubRows blocks that form the static-phase GPU
+// block (gpu row band g × column band c) — the paper assigns the whole band
+// to one GPU in the static phase and only exposes the sub-rows when the
+// dynamic phase begins.
+func (h *HeteroGrid) SuperBlock(g, c int) []*Block {
+	out := make([]*Block, h.Layout.SubRows)
+	for s := 0; s < h.Layout.SubRows; s++ {
+		out[s] = h.GPU.Block(g*h.Layout.SubRows+s, c)
+	}
+	return out
+}
+
+// PartitionHetero applies the Section VI division: the top rows holding
+// ~alpha of the rating mass become the GPU region, the rest the CPU region.
+// Row boundaries are count-balanced within each region; column boundaries
+// are count-balanced over the whole matrix and shared by both regions.
+func PartitionHetero(m *sparse.Matrix, layout HeteroLayout) (*HeteroGrid, error) {
+	if m.NNZ() == 0 {
+		return nil, sparse.ErrEmpty
+	}
+	rowCounts := m.RowCounts()
+	total := m.NNZ()
+	target := int(layout.Alpha * float64(total))
+
+	// Find the row split: smallest prefix of rows holding >= target ratings.
+	splitRow := 0
+	cum := 0
+	for ; splitRow < len(rowCounts) && cum < target; splitRow++ {
+		cum += rowCounts[splitRow]
+	}
+	// Keep at least one row per band on each side when alpha is interior.
+	minGPU := layout.GPURows * layout.SubRows
+	if layout.Alpha > 0 && splitRow < minGPU {
+		splitRow = min(minGPU, m.Rows-layout.CPURows)
+	}
+	if layout.Alpha < 1 && m.Rows-splitRow < layout.CPURows {
+		splitRow = m.Rows - layout.CPURows
+	}
+	if splitRow < 0 {
+		splitRow = 0
+	}
+
+	colBounds := BoundsBalanced(m.ColCounts(), layout.Cols)
+
+	gpuRowBounds := boundsBalancedRange(rowCounts, 0, splitRow, layout.GPURows*layout.SubRows)
+	cpuRowBounds := boundsBalancedRange(rowCounts, splitRow, m.Rows, layout.CPURows)
+
+	gpuM, cpuM := splitByRow(m, int32(splitRow))
+	gpuGrid, err := Partition(gpuM, gpuRowBounds, colBounds)
+	if err != nil {
+		return nil, fmt.Errorf("grid: GPU region: %w", err)
+	}
+	cpuGrid, err := Partition(cpuM, cpuRowBounds, colBounds)
+	if err != nil {
+		return nil, fmt.Errorf("grid: CPU region: %w", err)
+	}
+	return &HeteroGrid{
+		Layout:   layout,
+		GPU:      gpuGrid,
+		CPU:      cpuGrid,
+		SplitRow: int32(splitRow),
+		GPUNNZ:   gpuM.NNZ(),
+		CPUNNZ:   cpuM.NNZ(),
+	}, nil
+}
+
+// boundsBalancedRange balances bands over the id sub-range [lo, hi).
+func boundsBalancedRange(counts []int, lo, hi, parts int) []int32 {
+	sub := BoundsBalanced(counts[lo:hi], parts)
+	out := make([]int32, len(sub))
+	for i, b := range sub {
+		out[i] = b + int32(lo)
+	}
+	return out
+}
+
+// splitByRow partitions ratings into (rows < split) and (rows >= split)
+// matrices sharing the original dimensions.
+func splitByRow(m *sparse.Matrix, split int32) (top, bottom *sparse.Matrix) {
+	top = &sparse.Matrix{Rows: m.Rows, Cols: m.Cols}
+	bottom = &sparse.Matrix{Rows: m.Rows, Cols: m.Cols}
+	for _, r := range m.Ratings {
+		if r.Row < split {
+			top.Ratings = append(top.Ratings, r)
+		} else {
+			bottom.Ratings = append(bottom.Ratings, r)
+		}
+	}
+	return top, bottom
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+const factorsMagic = uint32(0x48464143) // "HFAC"
+
+// Save writes the factors in a compact little-endian binary encoding:
+// magic, m, n, k (uint32 each) followed by P then Q as raw float32s.
+// This is the save_model step of Algorithm 1's post-processing phase.
+func (f *Factors) Save(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	header := []uint32{factorsMagic, uint32(f.M), uint32(f.N), uint32(f.K)}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, f.P); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, f.Q); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads factors written by Save.
+func Load(r io.Reader) (*Factors, error) {
+	br := bufio.NewReader(r)
+	var header [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("model: reading header: %w", err)
+	}
+	if header[0] != factorsMagic {
+		return nil, fmt.Errorf("model: bad magic %#x", header[0])
+	}
+	f := &Factors{M: int(header[1]), N: int(header[2]), K: int(header[3])}
+	f.P = make([]float32, f.M*f.K)
+	f.Q = make([]float32, f.N*f.K)
+	if err := binary.Read(br, binary.LittleEndian, f.P); err != nil {
+		return nil, fmt.Errorf("model: reading P: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, f.Q); err != nil {
+		return nil, fmt.Errorf("model: reading Q: %w", err)
+	}
+	return f, nil
+}
+
+// SaveFile writes the factors to a file.
+func (f *Factors) SaveFile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return f.Save(file)
+}
+
+// LoadFile reads factors from a file written by SaveFile.
+func LoadFile(path string) (*Factors, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return Load(file)
+}

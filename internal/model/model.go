@@ -1,0 +1,180 @@
+// Package model holds the dense factor matrices P and Q produced by matrix
+// factorization and the quality metrics (RMSE, regularised loss) used to
+// evaluate them.
+//
+// P is m×k and Q is k×n (Equation 1 of the paper). Both are stored row-major
+// with one row per user/item: P[u] is the k-vector p_u and Q[v] is the
+// k-vector q_v (i.e. Q is stored transposed, which makes the inner product
+// p_u·q_v a contiguous dot product — the same trick LIBMF and cuMF use).
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hsgd/internal/sparse"
+)
+
+// Factors is the trained model: the pair (P, Q).
+type Factors struct {
+	M, N, K int
+	P       []float32 // len M*K, P[u*K:(u+1)*K] = p_u
+	Q       []float32 // len N*K, Q[v*K:(v+1)*K] = q_v (column v of the paper's Q)
+}
+
+// NewFactors allocates P and Q and initialises every entry uniformly in
+// [0, 1/sqrt(k)), which makes the initial prediction E[p_u·q_v] ≈ 0.25 —
+// appropriate for ratings on a small scale. For arbitrary rating scales use
+// NewFactorsMean. The paper's init_model "initializes two resulting
+// matrices P and Q with values generated randomly".
+func NewFactors(m, n, k int, rng *rand.Rand) *Factors {
+	return NewFactorsMean(m, n, k, 0.25, rng)
+}
+
+// NewFactorsMean initialises factors so the expected initial prediction
+// equals the given mean rating: entries are uniform in [0, 2√(mean/k)).
+// Starting predictions near the data mean keeps the first SGD steps small —
+// without it, wide rating scales (the 0–100 Yahoo datasets) diverge — the
+// same mean-aware initialisation LIBMF applies.
+func NewFactorsMean(m, n, k int, mean float64, rng *rand.Rand) *Factors {
+	f := &Factors{M: m, N: n, K: k,
+		P: make([]float32, m*k),
+		Q: make([]float32, n*k),
+	}
+	if mean <= 0 {
+		mean = 0.25
+	}
+	scale := float32(2 * math.Sqrt(mean/float64(k)))
+	for i := range f.P {
+		f.P[i] = rng.Float32() * scale
+	}
+	for i := range f.Q {
+		f.Q[i] = rng.Float32() * scale
+	}
+	return f
+}
+
+// Row returns the factor vector p_u.
+func (f *Factors) Row(u int32) []float32 { return f.P[int(u)*f.K : (int(u)+1)*f.K] }
+
+// Colvec returns the factor vector q_v.
+func (f *Factors) Colvec(v int32) []float32 { return f.Q[int(v)*f.K : (int(v)+1)*f.K] }
+
+// Predict returns the estimated rating p_u · q_v.
+func (f *Factors) Predict(u, v int32) float32 {
+	return Dot(f.Row(u), f.Colvec(v))
+}
+
+// Dot is the dense inner product of two equal-length vectors. The 4-way
+// unrolled loop is the scalar stand-in for the AVX kernel the paper links
+// against; Go's compiler keeps the accumulators in registers.
+func Dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// RMSE computes the root-mean-square error of the model on the given rating
+// set — the paper's training-quality metric (Section VII-A).
+func RMSE(f *Factors, test *sparse.Matrix) float64 {
+	if test.NNZ() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range test.Ratings {
+		d := float64(r.Value - f.Predict(r.Row, r.Col))
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(test.NNZ()))
+}
+
+// Loss computes the full regularised objective of Equation 2:
+// Σ (r_uv − p_u q_v)² + λP‖p_u‖² + λQ‖q_v‖² over observed ratings.
+func Loss(f *Factors, train *sparse.Matrix, lambdaP, lambdaQ float32) float64 {
+	var sum float64
+	for _, r := range train.Ratings {
+		d := float64(r.Value - f.Predict(r.Row, r.Col))
+		sum += d * d
+		sum += float64(lambdaP) * sqNorm(f.Row(r.Row))
+		sum += float64(lambdaQ) * sqNorm(f.Colvec(r.Col))
+	}
+	return sum
+}
+
+func sqNorm(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the factors.
+func (f *Factors) Clone() *Factors {
+	out := &Factors{M: f.M, N: f.N, K: f.K,
+		P: make([]float32, len(f.P)),
+		Q: make([]float32, len(f.Q)),
+	}
+	copy(out.P, f.P)
+	copy(out.Q, f.Q)
+	return out
+}
+
+// Validate checks internal consistency of the dimensions.
+func (f *Factors) Validate() error {
+	if f.K <= 0 || f.M <= 0 || f.N <= 0 {
+		return fmt.Errorf("model: invalid dimensions m=%d n=%d k=%d", f.M, f.N, f.K)
+	}
+	if len(f.P) != f.M*f.K {
+		return fmt.Errorf("model: len(P)=%d, want %d", len(f.P), f.M*f.K)
+	}
+	if len(f.Q) != f.N*f.K {
+		return fmt.Errorf("model: len(Q)=%d, want %d", len(f.Q), f.N*f.K)
+	}
+	return nil
+}
+
+// TopN returns the n items with the highest predicted rating for user u,
+// excluding the items listed in seen. It is the building block of the
+// recommender example (paper Section I motivates MF by recommender systems).
+func (f *Factors) TopN(u int32, n int, seen map[int32]bool) []int32 {
+	type cand struct {
+		item  int32
+		score float32
+	}
+	best := make([]cand, 0, n+1)
+	for v := int32(0); int(v) < f.N; v++ {
+		if seen[v] {
+			continue
+		}
+		s := f.Predict(u, v)
+		// insertion into the running top-n (n is small).
+		pos := len(best)
+		for pos > 0 && best[pos-1].score < s {
+			pos--
+		}
+		if pos < n {
+			best = append(best, cand{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = cand{item: v, score: s}
+			if len(best) > n {
+				best = best[:n]
+			}
+		}
+	}
+	out := make([]int32, len(best))
+	for i, c := range best {
+		out[i] = c.item
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsgd/internal/sparse"
+)
+
+func TestNewFactorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewFactors(5, 7, 4, rng)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.P) != 20 || len(f.Q) != 28 {
+		t.Fatalf("P/Q lengths %d/%d", len(f.P), len(f.Q))
+	}
+	for _, v := range f.P {
+		if v < 0 || v >= 1 {
+			t.Fatalf("P entry %v outside init range", v)
+		}
+	}
+}
+
+func TestNewFactorsMeanPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mean := 50.0
+	f := NewFactorsMean(200, 200, 16, mean, rng)
+	var sum float64
+	n := 0
+	for u := int32(0); u < 50; u++ {
+		for v := int32(0); v < 50; v++ {
+			sum += float64(f.Predict(u, v))
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < mean*0.7 || avg > mean*1.3 {
+		t.Fatalf("mean prediction %v, want near %v", avg, mean)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{2, 0, 1, 1, 3}
+	if got := Dot(a, b); got != 24 {
+		t.Fatalf("Dot = %v, want 24", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil) = %v", got)
+	}
+}
+
+// Property: the unrolled Dot matches the naive product.
+func TestQuickDot(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%33) + 1
+		a := make([]float32, k)
+		b := make([]float32, k)
+		var want float64
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+			want += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		return math.Abs(got-want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	f := &Factors{M: 2, N: 2, K: 1, P: []float32{1, 2}, Q: []float32{3, 4}}
+	m := sparse.New(2, 2)
+	m.Add(0, 0, 3)  // predict 1*3=3, error 0
+	m.Add(1, 1, 10) // predict 2*4=8, error 2
+	got := RMSE(f, m)
+	want := math.Sqrt((0*0 + 2*2) / 2.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if RMSE(f, sparse.New(2, 2)) != 0 {
+		t.Fatal("empty test set should give 0")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	f := &Factors{M: 1, N: 1, K: 1, P: []float32{2}, Q: []float32{3}}
+	m := sparse.New(1, 1)
+	m.Add(0, 0, 5) // error 1, ||p||²=4, ||q||²=9
+	got := Loss(f, m, 0.5, 1)
+	want := 1.0 + 0.5*4 + 1*9
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Loss = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFactors(3, 3, 2, rand.New(rand.NewSource(3)))
+	c := f.Clone()
+	c.P[0] = 42
+	if f.P[0] == 42 {
+		t.Fatal("Clone shares P")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := NewFactors(3, 3, 2, rand.New(rand.NewSource(4)))
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f.P = f.P[:len(f.P)-1]
+	if err := f.Validate(); err == nil {
+		t.Fatal("short P accepted")
+	}
+	bad := &Factors{M: 0, N: 1, K: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero M accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := NewFactors(4, 6, 3, rand.New(rand.NewSource(5)))
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != f.M || back.N != f.N || back.K != f.K {
+		t.Fatal("shape mismatch after load")
+	}
+	for i := range f.P {
+		if back.P[i] != f.P[i] {
+			t.Fatal("P mismatch after load")
+		}
+	}
+	for i := range f.Q {
+		if back.Q[i] != f.Q[i] {
+			t.Fatal("Q mismatch after load")
+		}
+	}
+	// Bad magic rejected.
+	raw := append([]byte(nil), bufBytes(f)...)
+	raw[0] ^= 0xff
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func bufBytes(f *Factors) []byte {
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	f := NewFactors(2, 2, 2, rand.New(rand.NewSource(6)))
+	path := t.TempDir() + "/factors.bin"
+	if err := f.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Predict(1, 1) != f.Predict(1, 1) {
+		t.Fatal("prediction changed after file round trip")
+	}
+}
+
+func TestTopN(t *testing.T) {
+	// One user, clear score ordering: q_v = v so bigger item id wins.
+	f := &Factors{M: 1, N: 5, K: 1, P: []float32{1}, Q: []float32{0, 1, 2, 3, 4}}
+	top := f.TopN(0, 3, nil)
+	if len(top) != 3 || top[0] != 4 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopN = %v", top)
+	}
+	top = f.TopN(0, 3, map[int32]bool{4: true})
+	if top[0] != 3 || top[1] != 2 || top[2] != 1 {
+		t.Fatalf("TopN with seen = %v", top)
+	}
+	if got := f.TopN(0, 10, nil); len(got) != 5 {
+		t.Fatalf("TopN larger than N returned %d items", len(got))
+	}
+}

@@ -1,0 +1,131 @@
+// Package nomad implements a NOMAD-style asynchronous matrix-factorization
+// trainer (Yun et al. [10]; Section III-C of the paper), simulated with
+// goroutines as workers and channels as the network: ownership of each
+// *column* (item) circulates among workers; the worker holding a column
+// updates it against its own *row* (user) partition, then passes the column
+// to a random peer. Rows are statically partitioned, so p_u is only ever
+// touched by its owner and q_v by the current holder — lock-free without
+// conflicts, the property NOMAD gets "non-locking" from.
+package nomad
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+// Params configures NOMAD training.
+type Params struct {
+	K       int
+	LambdaP float32
+	LambdaQ float32
+	Gamma   float32
+	Workers int
+	// Rounds is how many times each column circulates to every worker (the
+	// effective epoch count).
+	Rounds int
+	Seed   int64
+}
+
+// colMsg hands ownership of column v (and its factor vector, conceptually)
+// to the receiving worker. visits counts how many workers have processed it
+// this round.
+type colMsg struct {
+	v      int32
+	visits int
+}
+
+// Train runs the asynchronous column-circulation protocol on the given
+// pre-initialised factors.
+func Train(train *sparse.Matrix, f *model.Factors, p Params) error {
+	if p.K != f.K {
+		return fmt.Errorf("nomad: params K=%d but factors K=%d", p.K, f.K)
+	}
+	if train.NNZ() == 0 {
+		return sparse.ErrEmpty
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
+	if p.Rounds < 1 {
+		p.Rounds = 1
+	}
+
+	// Static row partition: worker w owns rows [w·m/W, (w+1)·m/W). Each
+	// worker pre-indexes its ratings by column.
+	w := p.Workers
+	byWorkerCol := make([]map[int32][]sparse.Rating, w)
+	for i := range byWorkerCol {
+		byWorkerCol[i] = make(map[int32][]sparse.Rating)
+	}
+	ownerOf := func(row int32) int { return int(row) * w / train.Rows }
+	for _, r := range train.Ratings {
+		o := ownerOf(r.Row)
+		byWorkerCol[o][r.Col] = append(byWorkerCol[o][r.Col], r)
+	}
+
+	queues := make([]chan colMsg, w)
+	for i := range queues {
+		queues[i] = make(chan colMsg, train.Cols+1)
+	}
+	// Seed every column at a worker, round-robin.
+	totalHops := p.Rounds * w
+	active := 0
+	for v := 0; v < train.Cols; v++ {
+		queues[v%w] <- colMsg{v: int32(v)}
+		active++
+	}
+
+	var done sync.WaitGroup
+	var remaining sync.WaitGroup
+	remaining.Add(active)
+	stop := make(chan struct{})
+
+	for id := 0; id < w; id++ {
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(id)))
+			for {
+				select {
+				case <-stop:
+					return
+				case msg := <-queues[id]:
+					for _, r := range byWorkerCol[id][msg.v] {
+						updateOne(f, r, p)
+					}
+					msg.visits++
+					if msg.visits >= totalHops {
+						remaining.Done()
+						continue
+					}
+					// Pass the column to a random peer (possibly self).
+					next := rng.Intn(w)
+					queues[next] <- msg
+				}
+			}
+		}(id)
+	}
+	remaining.Wait()
+	close(stop)
+	done.Wait()
+	return nil
+}
+
+// updateOne applies the SGD step. Row vectors are only touched by their
+// owning worker and the column vector only by the current holder, so the
+// update is conflict-free by construction.
+func updateOne(f *model.Factors, r sparse.Rating, p Params) {
+	pu := f.Row(r.Row)
+	qv := f.Colvec(r.Col)
+	e := r.Value - model.Dot(pu, qv)
+	for i := range pu {
+		pi := pu[i]
+		qi := qv[i]
+		pu[i] = pi + p.Gamma*(e*qi-p.LambdaP*pi)
+		qv[i] = qi + p.Gamma*(e*pi-p.LambdaQ*qv[i])
+	}
+}

@@ -1,0 +1,82 @@
+package nomad
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+func planted(m, n, nnz int, seed int64) (*sparse.Matrix, *sparse.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	const rank = 2
+	p := make([]float32, m*rank)
+	q := make([]float32, n*rank)
+	for i := range p {
+		p[i] = rng.Float32()
+	}
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	gen := func(count int) *sparse.Matrix {
+		out := sparse.New(m, n)
+		for i := 0; i < count; i++ {
+			u := rng.Intn(m)
+			v := rng.Intn(n)
+			var dot float32
+			for j := 0; j < rank; j++ {
+				dot += p[u*rank+j] * q[v*rank+j]
+			}
+			out.Add(int32(u), int32(v), dot+float32(rng.NormFloat64()*0.05))
+		}
+		return out
+	}
+	return gen(nnz), gen(nnz / 5)
+}
+
+func TestNOMADConverges(t *testing.T) {
+	train, test := planted(60, 50, 3000, 1)
+	f := model.NewFactors(60, 50, 8, rand.New(rand.NewSource(1)))
+	before := model.RMSE(f, test)
+	err := Train(train, f, Params{
+		K: 8, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.05,
+		Workers: 4, Rounds: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := model.RMSE(f, test)
+	if after >= before {
+		t.Fatalf("RMSE did not improve: %v -> %v", before, after)
+	}
+	if after > 0.3 {
+		t.Fatalf("NOMAD RMSE %v too high", after)
+	}
+}
+
+func TestNOMADSingleWorker(t *testing.T) {
+	train, test := planted(40, 40, 1500, 2)
+	f := model.NewFactors(40, 40, 4, rand.New(rand.NewSource(2)))
+	err := Train(train, f, Params{
+		K: 4, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.05,
+		Workers: 1, Rounds: 15, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := model.RMSE(f, test); rmse > 0.4 {
+		t.Fatalf("single-worker NOMAD RMSE %v", rmse)
+	}
+}
+
+func TestNOMADErrors(t *testing.T) {
+	train, _ := planted(10, 10, 100, 3)
+	f := model.NewFactors(10, 10, 4, rand.New(rand.NewSource(3)))
+	if err := Train(train, f, Params{K: 8, Gamma: 0.01, Workers: 2, Rounds: 1}); err == nil {
+		t.Fatal("K mismatch accepted")
+	}
+	if err := Train(sparse.New(10, 10), f, Params{K: 4, Gamma: 0.01, Workers: 2, Rounds: 1}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}

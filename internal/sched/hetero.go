@@ -1,0 +1,534 @@
+package sched
+
+import (
+	"hsgd/internal/grid"
+)
+
+// cpuBandKeyBase offsets CPU-region row band keys so they never collide
+// with GPU band keys (used for P-segment pinning decisions).
+const cpuBandKeyBase = 1 << 20
+
+// free marks an unowned band or sub-row lock.
+const free = -1
+
+// lookahead is how many epochs past the current quota a block stays
+// eligible: devices that finish the current epoch stream into the next
+// instead of stalling at a barrier, bounding update skew to one epoch.
+const lookahead = 1
+
+// Hetero is the HSGD* scheduler of Section VI.
+//
+// Static phase: each GPU g owns GPU-region row band g and walks it column by
+// column in whole-band super-blocks. Because its kernel stream serializes
+// execution, the same GPU may hold two super-blocks of its band at once
+// (different columns) — that is what lets the H2D transfer of the next block
+// overlap the kernel of the current one (Figure 8), and why the layout has
+// nc+2·ng+1 columns. CPU threads draw small blocks from the CPU region.
+//
+// Work proceeds in epochs with one epoch of lookahead: a block is eligible
+// while its update count is below epoch+1, so every block is processed
+// exactly once per epoch (the update skew of Example 3 cannot develop) but
+// a device that finishes the current epoch's quota streams straight into
+// the next instead of stalling at a barrier — the paper's free-running
+// "calculation process continues until the number of iterations reaches
+// the predefined value".
+//
+// Dynamic phase (Dynamic=true; HSGD*-M and HSGD*-Q disable it): a device
+// class that exhausts its own region steals from the other. CPU threads take
+// GPU-region *sub-row* blocks — the ⌈(nc+ng)/ng⌉-way split of each band
+// exists precisely so they can join without conflicts — and GPUs take
+// CPU-region blocks. A band degrades to sub-row granularity as soon as its
+// super-blocks stop being fully eligible.
+type Hetero struct {
+	HG      *grid.HeteroGrid
+	Dynamic bool
+
+	// MinGPUSteal is the smallest CPU-region block (in ratings) worth
+	// stealing by a GPU: below it, the cold-launch warm-up outweighs the
+	// saved CPU time and the steal would lengthen the epoch tail. The
+	// trainer derives it from the cost models (the break-even point of
+	// fg(n) < fc(n)). Zero disables the filter.
+	MinGPUSteal int
+
+	// MinCPUStealRemaining guards the other direction: a CPU thread steals
+	// a GPU-region sub-block only while the region's remaining eligible
+	// work is at least this many ratings — if the warm GPU will drain its
+	// queue before the CPU could finish even one sub-block, "helping" only
+	// fragments the GPU's super-blocks and lengthens the epoch. The trainer
+	// derives it from the cost models. Zero disables the filter.
+	MinCPUStealRemaining int64
+
+	// MinGPUStealRemaining: a GPU steals a CPU-region block only while the
+	// CPU region's remaining eligible work exceeds this many ratings —
+	// near the epoch tail the CPU threads drain their own queue faster
+	// than the GPU's cold pipeline, and a steal would hold one of the
+	// nc+ng row bands hostage. The trainer derives it from the cost
+	// models. Zero disables the filter.
+	MinGPUStealRemaining int64
+
+	// MaxCPUThieves caps how many CPU threads may hold stolen GPU-region
+	// sub-blocks at once. Every stolen sub-block locks one of the region's
+	// nc+2·ng+1 columns for a CPU-speed processing time; unbounded thieves
+	// would starve the (much faster) GPU of free columns in its own region.
+	// Zero means no cap.
+	MaxCPUThieves int
+
+	cpuThieves int // CPU-held stolen sub-blocks currently in flight
+
+	epoch int64
+	// dynamicGPU is set for the rest of the epoch once the CPU region is
+	// fully processed: the GPU stops taking whole-band super-blocks so its
+	// band opens up at sub-row granularity and CPU threads can join
+	// (Section VI-A's static→dynamic transition).
+	dynamicGPU bool
+	colBusy    []bool
+
+	cpuRowBusy []bool
+	// bandOwner/bandRef track in-flight super-blocks: a band is owned by one
+	// GPU at a time, with a reference count for its pipelined tasks.
+	bandOwner []int
+	bandRef   []int
+	// subOwner tracks in-flight sub-row tasks (dynamic phase).
+	subOwner []int
+
+	// Counters for reporting.
+	TotalUpdates int64
+	StolenByCPU  int64 // GPU-region sub-blocks processed by CPU threads
+	StolenByGPU  int64 // CPU-region blocks processed by GPUs
+	SuperTasks   int64 // static-phase super-blocks issued
+	SubTasks     int64 // sub-row tasks issued (either device class)
+}
+
+// NewHetero wraps a partitioned hetero grid. The first epoch starts open.
+func NewHetero(hg *grid.HeteroGrid, dynamic bool) *Hetero {
+	l := hg.Layout
+	s := &Hetero{
+		HG:         hg,
+		Dynamic:    dynamic,
+		epoch:      1,
+		colBusy:    make([]bool, l.Cols),
+		cpuRowBusy: make([]bool, l.CPURows),
+		bandOwner:  make([]int, l.GPURows),
+		bandRef:    make([]int, l.GPURows),
+		subOwner:   make([]int, l.GPURows*l.SubRows),
+	}
+	for i := range s.bandOwner {
+		s.bandOwner[i] = free
+	}
+	for i := range s.subOwner {
+		s.subOwner[i] = free
+	}
+	return s
+}
+
+// Epoch returns the current 1-based epoch.
+func (s *Hetero) Epoch() int64 { return s.epoch }
+
+// AcquireCPU hands a CPU thread its next block: the least-updated eligible
+// block of the CPU region, or — in the dynamic phase — a stolen GPU-region
+// sub-block.
+func (s *Hetero) AcquireCPU(worker int) (*Task, bool) {
+	if t, ok := s.acquireCPUBlock(); ok {
+		return t, true
+	}
+	if s.Dynamic && s.cpuRegionDone() && s.gpuRemaining() >= s.MinCPUStealRemaining &&
+		(s.MaxCPUThieves == 0 || s.cpuThieves < s.MaxCPUThieves) {
+		s.dynamicGPU = true
+		if t, ok := s.acquireGPUSub(cpuBandKeyBase + worker); ok {
+			t.Stolen = true
+			t.stolen = true
+			s.StolenByCPU++
+			s.cpuThieves++
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// gpuRemaining returns the eligible (below-quota) ratings left in the GPU
+// region this epoch.
+func (s *Hetero) gpuRemaining() int64 {
+	var n int64
+	for _, b := range s.HG.GPU.Blocks {
+		if b.Size() > 0 && b.Updates < s.epoch {
+			n += int64(b.Size())
+		}
+	}
+	return n
+}
+
+// cpuRegionDone reports whether the CPU region has no block below quota —
+// the trigger for the dynamic phase ("one of them finishes its own tasks").
+func (s *Hetero) cpuRegionDone() bool {
+	for _, b := range s.HG.CPU.Blocks {
+		if b.Size() > 0 && b.Updates < s.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// AcquireGPU hands GPU gpuID its next task, preferring a static-phase
+// super-block on its own band, then super-blocks on unowned bands, then
+// sub-row granularity, then — in the dynamic phase, when allowSteal is set
+// — a stolen CPU-region block. Callers must pass allowSteal=false while the
+// GPU already holds a stolen block: the CPU region has only nc+ng row
+// bands, so a GPU pipelining two stolen blocks would hold two of them and
+// starve a CPU thread (Rule 1).
+func (s *Hetero) AcquireGPU(gpuID int, allowSteal bool) (*Task, bool) {
+	if !s.dynamicGPU {
+		if t, ok := s.acquireSuperBlock(gpuID, gpuID); ok {
+			return t, true
+		}
+		for band := 0; band < s.HG.Layout.GPURows; band++ {
+			if band == gpuID {
+				continue
+			}
+			if t, ok := s.acquireSuperBlock(gpuID, band); ok {
+				return t, true
+			}
+		}
+	}
+	if t, ok := s.acquireGPUSub(gpuID); ok {
+		return t, true
+	}
+	if s.Dynamic && allowSteal && s.cpuRemaining() >= s.MinGPUStealRemaining {
+		if t, ok := s.acquireCPURowBatch(); ok {
+			t.Stolen = true
+			t.stolen = true
+			s.StolenByGPU++
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// gpuStealBatch is the maximum number of CPU-region column blocks a GPU
+// steals as one batch — cuMF_SGD's "multiple consecutive blocks at a time"
+// pattern, which amortises the cold-launch warm-up and the P-segment
+// transfer over several blocks while leaving most columns free for the CPU
+// threads.
+const gpuStealBatch = 4
+
+// acquireCPURowBatch steals up to gpuStealBatch eligible blocks of one CPU
+// row band as a single task. All blocks share the row, so a single owner
+// processing them serially (the GPU kernel stream) is conflict-free. The
+// batch must total at least MinGPUSteal ratings to be worth a cold launch.
+func (s *Hetero) acquireCPURowBatch() (*Task, bool) {
+	g := s.HG.CPU
+	bestRow := -1
+	bestSize := 0
+	for r := 0; r < g.RowBands; r++ {
+		if s.cpuRowBusy[r] {
+			continue
+		}
+		size := 0
+		for c := 0; c < g.ColBands; c++ {
+			if s.colBusy[c] {
+				continue
+			}
+			if b := g.Block(r, c); b.Size() > 0 && b.Updates < s.epoch+lookahead {
+				size += b.Size()
+			}
+		}
+		if size > bestSize {
+			bestRow, bestSize = r, size
+		}
+	}
+	if bestRow < 0 || bestSize < s.MinGPUSteal {
+		return nil, false
+	}
+	// Take the least-updated eligible free columns of that row.
+	task := &Task{Region: RegionCPU, super: -1, RowBandKey: cpuBandKeyBase + bestRow}
+	for len(task.Blocks) < gpuStealBatch {
+		var best *grid.Block
+		for c := 0; c < g.ColBands; c++ {
+			if s.colBusy[c] || taskHasCol(task, c) {
+				continue
+			}
+			b := g.Block(bestRow, c)
+			if b.Size() == 0 || b.Updates >= s.epoch+lookahead {
+				continue
+			}
+			if best == nil || b.Updates < best.Updates ||
+				(b.Updates == best.Updates && b.Size() > best.Size()) {
+				best = b
+			}
+		}
+		if best == nil {
+			break
+		}
+		task.Blocks = append(task.Blocks, best)
+		task.cols = append(task.cols, best.Col)
+		task.NNZ += best.Size()
+		task.ColSpan += span(g.ColBounds, best.Col, best.Col+1)
+	}
+	if len(task.Blocks) == 0 || task.NNZ < s.MinGPUSteal {
+		return nil, false
+	}
+	s.cpuRowBusy[bestRow] = true
+	for _, c := range task.cols {
+		s.colBusy[c] = true
+	}
+	task.rows = []int{bestRow}
+	task.RowSpan = span(g.RowBounds, bestRow, bestRow+1)
+	return task, true
+}
+
+func taskHasCol(t *Task, c int) bool {
+	for _, tc := range t.cols {
+		if tc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// cpuRemaining returns the eligible (below-quota) ratings left in the CPU
+// region this epoch.
+func (s *Hetero) cpuRemaining() int64 {
+	var n int64
+	for _, b := range s.HG.CPU.Blocks {
+		if b.Size() > 0 && b.Updates < s.epoch {
+			n += int64(b.Size())
+		}
+	}
+	return n
+}
+
+// acquireCPUBlock picks the least-updated eligible CPU-region block.
+func (s *Hetero) acquireCPUBlock() (*Task, bool) { return s.acquireCPUBlockMin(0) }
+
+// acquireCPUBlockMin is acquireCPUBlock restricted to blocks of at least
+// minSize ratings (the GPU steal filter).
+func (s *Hetero) acquireCPUBlockMin(minSize int) (*Task, bool) {
+	g := s.HG.CPU
+	var best *grid.Block
+	for r := 0; r < g.RowBands; r++ {
+		if s.cpuRowBusy[r] {
+			continue
+		}
+		for c := 0; c < g.ColBands; c++ {
+			if s.colBusy[c] {
+				continue
+			}
+			b := g.Block(r, c)
+			if b.Size() == 0 || b.Size() < minSize || b.Updates >= s.epoch+lookahead {
+				continue
+			}
+			if best == nil || b.Updates < best.Updates {
+				best = b
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	s.cpuRowBusy[best.Band] = true
+	s.colBusy[best.Col] = true
+	return &Task{
+		Blocks:     []*grid.Block{best},
+		Region:     RegionCPU,
+		NNZ:        best.Size(),
+		RowSpan:    span(g.RowBounds, best.Band, best.Band+1),
+		ColSpan:    span(g.ColBounds, best.Col, best.Col+1),
+		RowBandKey: cpuBandKeyBase + best.Band,
+		rows:       []int{best.Band},
+		cols:       []int{best.Col},
+		super:      -1,
+	}, true
+}
+
+// acquireSuperBlock tries to issue a static-phase super-block on the given
+// band for gpuID. The band must be unowned or already owned by gpuID with
+// no sub-level locks, the column free, and every nonempty sub-block below
+// quota.
+func (s *Hetero) acquireSuperBlock(gpuID, band int) (*Task, bool) {
+	l := s.HG.Layout
+	g := s.HG.GPU
+	if s.bandOwner[band] != free && s.bandOwner[band] != gpuID {
+		return nil, false
+	}
+	for sub := band * l.SubRows; sub < (band+1)*l.SubRows; sub++ {
+		if s.subOwner[sub] != free {
+			return nil, false
+		}
+	}
+	bestCol := -1
+	var bestScore int64 = -1
+	for c := 0; c < l.Cols; c++ {
+		if s.colBusy[c] {
+			continue
+		}
+		score, ok := s.superScore(band, c)
+		if !ok {
+			continue
+		}
+		if bestCol < 0 || score < bestScore {
+			bestCol, bestScore = c, score
+		}
+	}
+	if bestCol < 0 {
+		return nil, false
+	}
+	blocks := make([]*grid.Block, 0, l.SubRows)
+	nnz := 0
+	for sub := band * l.SubRows; sub < (band+1)*l.SubRows; sub++ {
+		b := g.Block(sub, bestCol)
+		blocks = append(blocks, b)
+		nnz += b.Size()
+	}
+	s.bandOwner[band] = gpuID
+	s.bandRef[band]++
+	s.colBusy[bestCol] = true
+	s.SuperTasks++
+	return &Task{
+		Blocks:     blocks,
+		Region:     RegionGPU,
+		NNZ:        nnz,
+		RowSpan:    span(g.RowBounds, band*l.SubRows, (band+1)*l.SubRows),
+		ColSpan:    span(g.ColBounds, bestCol, bestCol+1),
+		RowBandKey: band,
+		super:      band,
+		cols:       []int{bestCol},
+		isGPU:      true,
+	}, true
+}
+
+// superScore returns the minimum update count over the nonempty sub-blocks
+// of (band, col) and whether the super-block is fully eligible.
+func (s *Hetero) superScore(band, col int) (int64, bool) {
+	l := s.HG.Layout
+	g := s.HG.GPU
+	var score int64 = -1
+	nonempty := false
+	for sub := band * l.SubRows; sub < (band+1)*l.SubRows; sub++ {
+		b := g.Block(sub, col)
+		if b.Size() == 0 {
+			continue
+		}
+		nonempty = true
+		if b.Updates >= s.epoch+lookahead {
+			return 0, false // partially over quota: use sub granularity instead
+		}
+		if score < 0 || b.Updates < score {
+			score = b.Updates
+		}
+	}
+	if !nonempty {
+		return 0, false
+	}
+	return score, true
+}
+
+// acquireGPUSub picks the least-updated eligible GPU-region sub-block for
+// the given owner token. Sub-rows inside a band with an in-flight
+// super-block are unavailable.
+func (s *Hetero) acquireGPUSub(owner int) (*Task, bool) {
+	l := s.HG.Layout
+	g := s.HG.GPU
+	var best *grid.Block
+	for sub := 0; sub < g.RowBands; sub++ {
+		if s.subOwner[sub] != free || s.bandOwner[sub/l.SubRows] != free {
+			continue
+		}
+		for c := 0; c < g.ColBands; c++ {
+			if s.colBusy[c] {
+				continue
+			}
+			b := g.Block(sub, c)
+			if b.Size() == 0 || b.Updates >= s.epoch+lookahead {
+				continue
+			}
+			if best == nil || b.Updates < best.Updates {
+				best = b
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	s.subOwner[best.Band] = owner
+	s.colBusy[best.Col] = true
+	s.SubTasks++
+	return &Task{
+		Blocks:     []*grid.Block{best},
+		Region:     RegionGPU,
+		NNZ:        best.Size(),
+		RowSpan:    span(g.RowBounds, best.Band, best.Band+1),
+		ColSpan:    span(g.ColBounds, best.Col, best.Col+1),
+		RowBandKey: best.Band / l.SubRows,
+		rows:       []int{best.Band},
+		cols:       []int{best.Col},
+		super:      -1,
+		isGPU:      true,
+	}, true
+}
+
+// Release unlocks the task and increments its blocks' update counters.
+func (s *Hetero) Release(t *Task) {
+	for _, b := range t.Blocks {
+		b.Updates++
+		s.TotalUpdates += int64(b.Size())
+	}
+	switch {
+	case t.super >= 0:
+		s.bandRef[t.super]--
+		if s.bandRef[t.super] == 0 {
+			s.bandOwner[t.super] = free
+		}
+	case t.isGPU:
+		for _, r := range t.rows {
+			s.subOwner[r] = free
+		}
+		if t.stolen {
+			s.cpuThieves--
+		}
+	default:
+		for _, r := range t.rows {
+			s.cpuRowBusy[r] = false
+		}
+	}
+	for _, c := range t.cols {
+		s.colBusy[c] = false
+	}
+}
+
+// EpochComplete reports whether every nonempty block in both regions has
+// reached the current epoch's quota.
+func (s *Hetero) EpochComplete() bool {
+	for _, b := range s.HG.CPU.Blocks {
+		if b.Size() > 0 && b.Updates < s.epoch {
+			return false
+		}
+	}
+	for _, b := range s.HG.GPU.Blocks {
+		if b.Size() > 0 && b.Updates < s.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceEpoch opens the next epoch's quota and returns to the static phase.
+func (s *Hetero) AdvanceEpoch() {
+	s.epoch++
+	s.dynamicGPU = false
+}
+
+// Blocks returns all nonempty blocks of both regions (for update-skew
+// reporting).
+func (s *Hetero) Blocks() []*grid.Block {
+	out := make([]*grid.Block, 0, len(s.HG.CPU.Blocks)+len(s.HG.GPU.Blocks))
+	for _, b := range s.HG.CPU.Blocks {
+		if b.Size() > 0 {
+			out = append(out, b)
+		}
+	}
+	for _, b := range s.HG.GPU.Blocks {
+		if b.Size() > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package sched implements block scheduling: which worker updates which
+// matrix block next, under the independence constraint that two blocks
+// sharing a row band or a column band must never be processed concurrently
+// (Section III-A).
+//
+// Two schedulers are provided. Uniform is the FPSGD policy used by
+// CPU-Only, GPU-Only and the HSGD baseline: all workers draw from one grid,
+// always taking the free block with the fewest updates. Hetero is the HSGD*
+// policy of Section VI: the grid is split into a CPU region and a GPU
+// region sized by the cost model's α, workers draw from their own region
+// under a per-epoch quota, and when a device class drains its region it
+// enters the dynamic phase and steals from the other region (work
+// stealing, Blumofe & Leiserson [14]).
+package sched
+
+import (
+	"hsgd/internal/grid"
+	"hsgd/internal/sparse"
+)
+
+// Region identifies which side of the nonuniform division a task belongs to.
+type Region int
+
+// Regions of the hetero layout. Uniform schedulers always report RegionAll.
+const (
+	RegionAll Region = iota
+	RegionCPU
+	RegionGPU
+)
+
+// Task is a unit of work handed to a worker: one block (CPU workers,
+// dynamic-phase GPU work) or a vertical stack of sub-row blocks forming a
+// static-phase GPU super-block. The scheduler holds the row/column locks
+// from Acquire until Release.
+type Task struct {
+	Blocks []*grid.Block
+	Region Region // region the blocks came from
+	Stolen bool   // true when acquired via the dynamic phase
+
+	NNZ     int
+	RowSpan int // number of matrix rows covered (for transfer sizing)
+	ColSpan int // number of matrix columns covered
+
+	// RowBandKey identifies the locked row band so the GPU actor can keep
+	// its P segment pinned across consecutive tasks on the same band
+	// (Section VI-A). Keys are unique across regions.
+	RowBandKey int
+
+	rows   []int // locked row indices in the owning lock table
+	cols   []int // locked column band indices
+	super  int   // band index for static-phase super-blocks, else -1
+	isGPU  bool  // locked in the GPU lock table (hetero only)
+	stolen bool
+}
+
+// Ratings returns the concatenated rating slices of the task's blocks.
+func (t *Task) Ratings() [][]sparse.Rating {
+	out := make([][]sparse.Rating, len(t.Blocks))
+	for i, b := range t.Blocks {
+		out[i] = b.Ratings
+	}
+	return out
+}
+
+// span returns bounds[hi] - bounds[lo].
+func span(bounds []int32, lo, hi int) int {
+	return int(bounds[hi] - bounds[lo])
+}

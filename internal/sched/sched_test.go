@@ -1,0 +1,482 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsgd/internal/grid"
+	"hsgd/internal/sparse"
+)
+
+func uniformGrid(t *testing.T, rows, cols, nnz int, seed int64) *grid.Grid {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.New(rows*10, cols*10)
+	for i := 0; i < nnz; i++ {
+		m.Add(int32(rng.Intn(m.Rows)), int32(rng.Intn(m.Cols)), rng.Float32())
+	}
+	g, err := grid.Uniform(m, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func heteroGrid(t *testing.T, nc, ng int, alpha float64, nnz int, seed int64) *grid.HeteroGrid {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.New(600, 500)
+	for i := 0; i < nnz; i++ {
+		m.Add(int32(rng.Intn(m.Rows)), int32(rng.Intn(m.Cols)), rng.Float32())
+	}
+	l, err := grid.NewHeteroLayout(nc, ng, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := grid.PartitionHetero(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hg
+}
+
+func TestUniformIndependence(t *testing.T) {
+	g := uniformGrid(t, 5, 4, 2000, 1)
+	s := NewUniform(g)
+	t1, ok := s.Acquire(0, -1, true)
+	if !ok {
+		t.Fatal("no block available")
+	}
+	t2, ok := s.Acquire(1, -1, true)
+	if !ok {
+		t.Fatal("second worker starved on 5x4 grid")
+	}
+	if t1.Blocks[0].Band == t2.Blocks[0].Band || t1.Blocks[0].Col == t2.Blocks[0].Col {
+		t.Fatal("concurrent tasks share a band")
+	}
+	s.Release(t1)
+	s.Release(t2)
+	if s.TotalUpdates != int64(t1.NNZ+t2.NNZ) {
+		t.Fatalf("TotalUpdates = %d", s.TotalUpdates)
+	}
+}
+
+func TestUniformLeastUpdatesFirst(t *testing.T) {
+	g := uniformGrid(t, 3, 2, 600, 2)
+	s := NewUniform(g)
+	// Run one worker for a full sweep; every nonempty block must be hit
+	// once before any is hit twice.
+	seen := make(map[*grid.Block]int)
+	nonempty := 0
+	for _, b := range g.Blocks {
+		if b.Size() > 0 {
+			nonempty++
+		}
+	}
+	for i := 0; i < nonempty; i++ {
+		task, ok := s.Acquire(0, -1, true)
+		if !ok {
+			t.Fatalf("starved after %d acquisitions", i)
+		}
+		seen[task.Blocks[0]]++
+		s.Release(task)
+	}
+	for b, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d,%d acquired %d times in first sweep", b.Band, b.Col, n)
+		}
+	}
+}
+
+func TestUniformExclusiveVsOwnerReentrant(t *testing.T) {
+	g := uniformGrid(t, 3, 3, 900, 3)
+	s := NewUniform(g)
+	t1, ok := s.Acquire(7, -1, false)
+	if !ok {
+		t.Fatal("no block")
+	}
+	// Same non-exclusive owner may re-enter its band on another column.
+	t2, ok := s.Acquire(7, t1.Blocks[0].Band, false)
+	if !ok {
+		t.Fatal("owner could not prefetch")
+	}
+	if t2.Blocks[0].Band != t1.Blocks[0].Band {
+		t.Fatalf("prefetch ignored band preference: got band %d, want %d",
+			t2.Blocks[0].Band, t1.Blocks[0].Band)
+	}
+	if t2.Blocks[0].Col == t1.Blocks[0].Col {
+		t.Fatal("prefetch shares the column")
+	}
+	// A different worker must not enter that band.
+	t3, ok := s.Acquire(8, -1, true)
+	if ok && t3.Blocks[0].Band == t1.Blocks[0].Band {
+		t.Fatal("exclusive worker entered an owned band")
+	}
+	if ok {
+		s.Release(t3)
+	}
+	s.Release(t1)
+	// Band still owned by 7 until the last task releases.
+	t4, ok := s.Acquire(8, -1, true)
+	if ok && t4.Blocks[0].Band == t2.Blocks[0].Band {
+		t.Fatal("band freed while owner still holds a task")
+	}
+	if ok {
+		s.Release(t4)
+	}
+	s.Release(t2)
+}
+
+// Property: under random acquire/release traffic, no two in-flight tasks of
+// different owners ever share a row band or a column band.
+func TestQuickUniformNoConflicts(t *testing.T) {
+	f := func(seed int64) bool {
+		g := uniformGridQuick(seed)
+		if g == nil {
+			return true
+		}
+		s := NewUniform(g)
+		rng := rand.New(rand.NewSource(seed))
+		type holder struct {
+			task  *Task
+			owner int
+		}
+		var inflight []holder
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 || len(inflight) == 0 {
+				owner := rng.Intn(6)
+				task, ok := s.Acquire(owner, -1, true)
+				if ok {
+					// Check independence against all in-flight tasks.
+					for _, h := range inflight {
+						if h.task.Blocks[0].Band == task.Blocks[0].Band ||
+							h.task.Blocks[0].Col == task.Blocks[0].Col {
+							return false
+						}
+					}
+					inflight = append(inflight, holder{task, owner})
+				}
+			} else {
+				i := rng.Intn(len(inflight))
+				s.Release(inflight[i].task)
+				inflight = append(inflight[:i], inflight[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uniformGridQuick(seed int64) *grid.Grid {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.New(100, 100)
+	for i := 0; i < 1000; i++ {
+		m.Add(int32(rng.Intn(100)), int32(rng.Intn(100)), 1)
+	}
+	g, err := grid.Uniform(m, 4+rng.Intn(4), 3+rng.Intn(4))
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+func TestHeteroStaticSuperBlocks(t *testing.T) {
+	hg := heteroGrid(t, 4, 1, 0.5, 10000, 4)
+	s := NewHetero(hg, false)
+	task, ok := s.AcquireGPU(0, true)
+	if !ok {
+		t.Fatal("GPU got no super-block")
+	}
+	if len(task.Blocks) != hg.Layout.SubRows {
+		t.Fatalf("super-block has %d blocks, want %d", len(task.Blocks), hg.Layout.SubRows)
+	}
+	if task.Region != RegionGPU || task.Stolen {
+		t.Fatalf("task = %+v", task)
+	}
+	// Same GPU may prefetch a second super-block of its band.
+	task2, ok := s.AcquireGPU(0, true)
+	if !ok {
+		t.Fatal("GPU could not prefetch second super-block")
+	}
+	if task2.RowBandKey != task.RowBandKey {
+		t.Fatal("prefetch left the pinned band")
+	}
+	if task2.cols[0] == task.cols[0] {
+		t.Fatal("prefetch shares the column")
+	}
+	s.Release(task)
+	s.Release(task2)
+	if s.SuperTasks != 2 {
+		t.Fatalf("SuperTasks = %d", s.SuperTasks)
+	}
+}
+
+func TestHeteroCPUAndGPUIndependent(t *testing.T) {
+	hg := heteroGrid(t, 4, 1, 0.5, 10000, 5)
+	s := NewHetero(hg, false)
+	gt, ok := s.AcquireGPU(0, true)
+	if !ok {
+		t.Fatal("no GPU task")
+	}
+	for w := 0; w < 4; w++ {
+		ct, ok := s.AcquireCPU(w)
+		if !ok {
+			t.Fatalf("CPU worker %d starved", w)
+		}
+		if ct.Region != RegionCPU {
+			t.Fatalf("CPU got region %v", ct.Region)
+		}
+		if ct.cols[0] == gt.cols[0] {
+			t.Fatal("CPU task shares column with GPU super-block")
+		}
+	}
+}
+
+func TestHeteroEpochQuota(t *testing.T) {
+	hg := heteroGrid(t, 2, 1, 0.5, 5000, 6)
+	s := NewHetero(hg, false)
+	if s.Epoch() != 1 {
+		t.Fatalf("initial epoch %d", s.Epoch())
+	}
+	// Drain epochs 1 and 2 completely (lookahead allows both).
+	for {
+		task, ok := s.AcquireGPU(0, true)
+		if !ok {
+			task, ok = s.AcquireCPU(0)
+		}
+		if !ok {
+			break
+		}
+		s.Release(task)
+	}
+	if !s.EpochComplete() {
+		t.Fatal("epoch not complete after drain")
+	}
+	// Everything should be at exactly epoch+lookahead updates.
+	for _, b := range s.Blocks() {
+		if b.Updates != 2 {
+			t.Fatalf("block updated %d times, want 2 (epoch+lookahead)", b.Updates)
+		}
+	}
+	s.AdvanceEpoch()
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch after advance %d", s.Epoch())
+	}
+	// New quota opens exactly one more epoch of eligibility.
+	if _, ok := s.AcquireCPU(0); !ok {
+		t.Fatal("no work after epoch advance")
+	}
+}
+
+func TestHeteroDynamicStealing(t *testing.T) {
+	hg := heteroGrid(t, 2, 1, 0.7, 8000, 7)
+	s := NewHetero(hg, true)
+	// Exhaust the CPU region (both lookahead epochs).
+	for {
+		task, ok := s.acquireCPUBlock()
+		if !ok {
+			break
+		}
+		s.Release(task)
+	}
+	// Now a CPU acquire must steal from the GPU region.
+	task, ok := s.AcquireCPU(0)
+	if !ok {
+		t.Fatal("CPU did not steal despite eligible GPU work")
+	}
+	if !task.Stolen || task.Region != RegionGPU {
+		t.Fatalf("stolen task = %+v", task)
+	}
+	if s.StolenByCPU != 1 {
+		t.Fatalf("StolenByCPU = %d", s.StolenByCPU)
+	}
+	s.Release(task)
+}
+
+func TestHeteroNoStealingWhenDisabled(t *testing.T) {
+	hg := heteroGrid(t, 2, 1, 0.7, 8000, 8)
+	s := NewHetero(hg, false)
+	for {
+		task, ok := s.acquireCPUBlock()
+		if !ok {
+			break
+		}
+		s.Release(task)
+	}
+	if _, ok := s.AcquireCPU(0); ok {
+		t.Fatal("HSGD*-M stole work")
+	}
+}
+
+func TestHeteroGPUStealRowBatch(t *testing.T) {
+	hg := heteroGrid(t, 4, 1, 0.2, 8000, 9)
+	s := NewHetero(hg, true)
+	s.MinGPUSteal = 1
+	// Exhaust the GPU region so the GPU must steal.
+	for {
+		task, ok := s.AcquireGPU(0, false)
+		if !ok {
+			break
+		}
+		s.Release(task)
+	}
+	task, ok := s.AcquireGPU(0, true)
+	if !ok {
+		t.Fatal("GPU did not steal")
+	}
+	if !task.Stolen || task.Region != RegionCPU {
+		t.Fatalf("stolen task = %+v", task)
+	}
+	if len(task.Blocks) < 1 || len(task.Blocks) > gpuStealBatch {
+		t.Fatalf("batch size %d", len(task.Blocks))
+	}
+	// All blocks share the row band.
+	if len(task.rows) != 1 {
+		t.Fatalf("batch locks %d rows", len(task.rows))
+	}
+	// Columns are distinct.
+	seen := map[int]bool{}
+	for _, c := range task.cols {
+		if seen[c] {
+			t.Fatal("batch repeats a column")
+		}
+		seen[c] = true
+	}
+	s.Release(task)
+	if s.StolenByGPU != 1 {
+		t.Fatalf("StolenByGPU = %d", s.StolenByGPU)
+	}
+}
+
+func TestHeteroMinGPUStealFilter(t *testing.T) {
+	hg := heteroGrid(t, 4, 1, 0.2, 8000, 10)
+	s := NewHetero(hg, true)
+	s.MinGPUSteal = 1 << 30 // nothing is ever big enough
+	for {
+		task, ok := s.AcquireGPU(0, false)
+		if !ok {
+			break
+		}
+		s.Release(task)
+	}
+	if _, ok := s.AcquireGPU(0, true); ok {
+		t.Fatal("GPU stole despite break-even filter")
+	}
+}
+
+func TestHeteroMaxCPUThieves(t *testing.T) {
+	hg := heteroGrid(t, 8, 1, 0.8, 20000, 11)
+	s := NewHetero(hg, true)
+	s.MaxCPUThieves = 2
+	for {
+		task, ok := s.acquireCPUBlock()
+		if !ok {
+			break
+		}
+		s.Release(task)
+	}
+	var held []*Task
+	for w := 0; w < 8; w++ {
+		if task, ok := s.AcquireCPU(w); ok {
+			if !task.Stolen {
+				t.Fatal("expected stolen task")
+			}
+			held = append(held, task)
+		}
+	}
+	if len(held) != 2 {
+		t.Fatalf("%d concurrent thieves, cap 2", len(held))
+	}
+	for _, task := range held {
+		s.Release(task)
+	}
+}
+
+// Property: hetero scheduling under random traffic never violates
+// independence: in-flight tasks of different owners never share a matrix
+// row range or a column band.
+func TestQuickHeteroNoConflicts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := sparse.New(300, 300)
+		for i := 0; i < 3000; i++ {
+			m.Add(int32(rng.Intn(300)), int32(rng.Intn(300)), 1)
+		}
+		nc := 2 + rng.Intn(4)
+		ng := 1 + rng.Intn(2)
+		l, err := grid.NewHeteroLayout(nc, ng, 0.3+rng.Float64()*0.4)
+		if err != nil {
+			return false
+		}
+		hg, err := grid.PartitionHetero(m, l)
+		if err != nil {
+			return false
+		}
+		s := NewHetero(hg, true)
+		type holder struct {
+			task *Task
+			gpu  bool
+			id   int
+		}
+		var inflight []holder
+		overlaps := func(a, b *Task) bool {
+			for _, ca := range a.cols {
+				for _, cb := range b.cols {
+					if ca == cb {
+						return true
+					}
+				}
+			}
+			// Row ranges conflict only within the same region table.
+			if (a.Region == RegionGPU) != (b.Region == RegionGPU) {
+				return false
+			}
+			for _, ra := range a.rows {
+				for _, rb := range b.rows {
+					if ra == rb {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 || len(inflight) == 0 {
+				var task *Task
+				var ok bool
+				gpuSide := rng.Intn(2) == 0
+				id := rng.Intn(nc)
+				if gpuSide {
+					id = rng.Intn(ng)
+					task, ok = s.AcquireGPU(id, true)
+				} else {
+					task, ok = s.AcquireCPU(id)
+				}
+				if ok {
+					for _, h := range inflight {
+						// Same GPU may legitimately share its own band
+						// across pipelined super-blocks.
+						if gpuSide && h.gpu && h.id == id {
+							continue
+						}
+						if overlaps(h.task, task) {
+							return false
+						}
+					}
+					inflight = append(inflight, holder{task, gpuSide, id})
+				}
+			} else {
+				i := rng.Intn(len(inflight))
+				s.Release(inflight[i].task)
+				inflight = append(inflight[:i], inflight[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

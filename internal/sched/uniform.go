@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"hsgd/internal/grid"
+)
+
+// Uniform is the FPSGD scheduling policy over a single uniform grid: a
+// worker that finishes a block receives an independent (free row band, free
+// column band) nonempty block with the least updates. It is free-running —
+// there is no per-epoch quota — which is exactly what lets the update skew
+// of Example 3 develop when workers have very different speeds (the HSGD
+// baseline).
+//
+// Row locks are owner-aware: a GPU may acquire a second block on the row
+// band it already holds (different column), because its kernel stream
+// serializes execution — that is cuMF_SGD's "multiple consecutive blocks at
+// a time" pattern and what allows transfer/compute overlap. Among blocks
+// with the minimum update count, the owner's current band is preferred so a
+// streaming GPU stays warm on one band as long as possible.
+type Uniform struct {
+	Grid     *grid.Grid
+	rowOwner []int // worker owning the row band's in-flight task(s), -1 free
+	rowRef   []int // in-flight tasks per row band
+	colBusy  []bool
+
+	// TotalUpdates counts ratings processed, summed over released tasks;
+	// trainers use it to delimit effective epochs.
+	TotalUpdates int64
+}
+
+// NewUniform wraps a grid in a fresh scheduler.
+func NewUniform(g *grid.Grid) *Uniform {
+	s := &Uniform{
+		Grid:     g,
+		rowOwner: make([]int, g.RowBands),
+		rowRef:   make([]int, g.RowBands),
+		colBusy:  make([]bool, g.ColBands),
+	}
+	for i := range s.rowOwner {
+		s.rowOwner[i] = free
+	}
+	return s
+}
+
+// Acquire returns the least-updated available nonempty block for the given
+// worker, or false when every candidate is locked. preferBand biases ties
+// toward the worker's current row band (-1 for no preference). exclusive
+// workers (CPU threads) never share a row band; non-exclusive ones (GPU
+// stream pipelines) may re-enter a band they already own.
+func (s *Uniform) Acquire(owner, preferBand int, exclusive bool) (*Task, bool) {
+	var best *grid.Block
+	for r := 0; r < s.Grid.RowBands; r++ {
+		switch {
+		case s.rowOwner[r] == free:
+		case !exclusive && s.rowOwner[r] == owner:
+		default:
+			continue
+		}
+		for c := 0; c < s.Grid.ColBands; c++ {
+			if s.colBusy[c] {
+				continue
+			}
+			b := s.Grid.Block(r, c)
+			if b.Size() == 0 {
+				continue
+			}
+			if best == nil || less(b, best, preferBand) {
+				best = b
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	s.rowOwner[best.Band] = owner
+	s.rowRef[best.Band]++
+	s.colBusy[best.Col] = true
+	return &Task{
+		Blocks:     []*grid.Block{best},
+		Region:     RegionAll,
+		NNZ:        best.Size(),
+		RowSpan:    span(s.Grid.RowBounds, best.Band, best.Band+1),
+		ColSpan:    span(s.Grid.ColBounds, best.Col, best.Col+1),
+		RowBandKey: best.Band,
+		rows:       []int{best.Band},
+		cols:       []int{best.Col},
+		super:      -1,
+	}, true
+}
+
+// less orders candidate blocks: fewest updates first, then the preferred
+// band, then lowest (band, col) for determinism.
+func less(a, b *grid.Block, preferBand int) bool {
+	if a.Updates != b.Updates {
+		return a.Updates < b.Updates
+	}
+	ap := a.Band == preferBand
+	bp := b.Band == preferBand
+	if ap != bp {
+		return ap
+	}
+	if a.Band != b.Band {
+		return a.Band < b.Band
+	}
+	return a.Col < b.Col
+}
+
+// Release unlocks the task's row and column bands and increments the update
+// counters.
+func (s *Uniform) Release(t *Task) {
+	for _, b := range t.Blocks {
+		b.Updates++
+		s.TotalUpdates += int64(b.Size())
+	}
+	for _, r := range t.rows {
+		s.rowRef[r]--
+		if s.rowRef[r] == 0 {
+			s.rowOwner[r] = free
+		}
+	}
+	for _, c := range t.cols {
+		s.colBusy[c] = false
+	}
+}

@@ -1,0 +1,39 @@
+package sgd
+
+import (
+	"sync"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+// TrainHogwild runs the lock-free parallel SGD of Recht et al. [19]: every
+// worker updates ratings from its shard of R with no synchronisation at all,
+// racing on P and Q. With sparse data the races are rare and the algorithm
+// converges; it is the classic shared-memory baseline that FPSGD's
+// block-scheduling (and hence this paper) improves on.
+//
+// The ratings slice is sharded contiguously; callers should Shuffle first so
+// shards are unbiased. Races on float32 cells are benign for convergence but
+// are data races in the Go memory model, so this function is the documented
+// exception: it must not run under -race expectations. Tests exercise it
+// with workers=1 plus a separate convergence check.
+func TrainHogwild(train *sparse.Matrix, f *model.Factors, p Params, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	n := train.NNZ()
+	var wg sync.WaitGroup
+	for it := 0; it < p.Iters; it++ {
+		for w := 0; w < workers; w++ {
+			lo := n * w / workers
+			hi := n * (w + 1) / workers
+			wg.Add(1)
+			go func(shard []sparse.Rating) {
+				defer wg.Done()
+				UpdateBlock(f, shard, p.LambdaP, p.LambdaQ, p.Gamma)
+			}(train.Ratings[lo:hi])
+		}
+		wg.Wait()
+	}
+}

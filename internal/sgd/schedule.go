@@ -1,0 +1,77 @@
+package sgd
+
+import "math"
+
+// Schedule produces the learning rate for each iteration. The paper trains
+// with a fixed γ; reference [43] (Chin et al., PAKDD 2015) — which the paper
+// takes its hyperparameters from — proposes a per-iteration decay. Both are
+// provided, plus two classic alternatives, so the ablation bench can compare
+// them.
+type Schedule interface {
+	// Rate returns γ for iteration it (0-based).
+	Rate(it int) float32
+}
+
+// FixedSchedule returns γ unchanged every iteration — the paper's setting.
+type fixedSchedule float32
+
+// FixedSchedule builds the constant schedule used throughout the paper.
+func FixedSchedule(gamma float32) Schedule { return fixedSchedule(gamma) }
+
+func (s fixedSchedule) Rate(int) float32 { return float32(s) }
+
+// InverseDecay implements γ_t = γ0 / (1 + β·t), the standard Robbins-Monro
+// style decay.
+type InverseDecay struct {
+	Gamma0 float32
+	Beta   float32
+}
+
+// Rate implements Schedule.
+func (s InverseDecay) Rate(it int) float32 {
+	return s.Gamma0 / (1 + s.Beta*float32(it))
+}
+
+// ChinSchedule implements the monotone decreasing schedule of Chin et al.
+// [43]: γ_t = γ0 · α / (α + t^1.5). It decays slowly at first and then
+// roughly like t^-1.5, the regime [43] reports as robust for MF.
+type ChinSchedule struct {
+	Gamma0 float32
+	Alpha  float32 // decay offset; larger = slower decay. [43] suggests ~O(10).
+}
+
+// Rate implements Schedule.
+func (s ChinSchedule) Rate(it int) float32 {
+	t := float64(it)
+	return s.Gamma0 * float32(float64(s.Alpha)/(float64(s.Alpha)+math.Pow(t, 1.5)))
+}
+
+// BoldDriver adapts γ from observed training loss: increase by 5% after an
+// improving iteration, halve after a worsening one. The caller feeds losses
+// via Observe between iterations.
+type BoldDriver struct {
+	gamma    float32
+	prevLoss float64
+	started  bool
+}
+
+// NewBoldDriver returns a bold-driver schedule starting at gamma0.
+func NewBoldDriver(gamma0 float32) *BoldDriver {
+	return &BoldDriver{gamma: gamma0}
+}
+
+// Rate implements Schedule.
+func (s *BoldDriver) Rate(int) float32 { return s.gamma }
+
+// Observe feeds the training loss measured after an iteration.
+func (s *BoldDriver) Observe(loss float64) {
+	if s.started {
+		if loss < s.prevLoss {
+			s.gamma *= 1.05
+		} else {
+			s.gamma *= 0.5
+		}
+	}
+	s.prevLoss = loss
+	s.started = true
+}

@@ -1,0 +1,78 @@
+// Package sgd implements the stochastic-gradient-descent update rule for
+// matrix factorization (Algorithm 1 of the paper) and its learning-rate
+// schedules. Every trainer in this repository — serial, Hogwild, FPSGD,
+// the simulated GPU kernel, HSGD and HSGD* — funnels through UpdateOne /
+// UpdateBlock, so the arithmetic is identical across devices, exactly the
+// property the paper needs when "embedding the core part of LIBMF and
+// CuMF_SGD and making the stochastic gradient methods consistent"
+// (Section VII).
+package sgd
+
+import (
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+// Params collects the hyperparameters of Algorithm 1.
+type Params struct {
+	K       int     // number of latent factors
+	LambdaP float32 // regularisation for P (λP)
+	LambdaQ float32 // regularisation for Q (λQ)
+	Gamma   float32 // learning rate (γ)
+	Iters   int     // number of iterations (t): effective passes over R
+}
+
+// DefaultParams mirrors the paper's Table I settings for the MovieLens /
+// Netflix family: k=128, λ=0.05, γ=0.005, and a generous iteration budget.
+func DefaultParams() Params {
+	return Params{K: 128, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.005, Iters: 20}
+}
+
+// UpdateOne applies the SGD step of Equations 4-6 to a single rating:
+//
+//	e    = r_uv − p_u·q_v
+//	p_u += γ (e·q_v − λP·p_u)
+//	q_v += γ (e·p_u − λQ·q_v)
+//
+// using the pre-update p_u on the q_v line, like LIBMF. The caller is
+// responsible for conflict freedom (no concurrent writer of row u or
+// column v).
+func UpdateOne(f *model.Factors, r sparse.Rating, lp, lq, gamma float32) {
+	p := f.Row(r.Row)
+	q := f.Colvec(r.Col)
+	e := r.Value - model.Dot(p, q)
+	for i := range p {
+		pi := p[i]
+		qi := q[i]
+		p[i] = pi + gamma*(e*qi-lp*pi)
+		q[i] = qi + gamma*(e*pi-lq*qi)
+	}
+}
+
+// UpdateBlock applies UpdateOne to every rating in the slice, in order, and
+// returns the number of updates performed. This is the unit of work a worker
+// (CPU thread or simulated GPU kernel) performs on one matrix block.
+func UpdateBlock(f *model.Factors, ratings []sparse.Rating, lp, lq, gamma float32) int {
+	for _, r := range ratings {
+		UpdateOne(f, r, lp, lq, gamma)
+	}
+	return len(ratings)
+}
+
+// TrainSerial runs Algorithm 1 verbatim: t passes over the ratings in their
+// stored order, no parallelism. It is the semantic reference the parallel
+// trainers are tested against, and the building block of the throughput
+// profiler (Algorithm 3's test_cpu_kernel).
+func TrainSerial(train *sparse.Matrix, f *model.Factors, p Params) {
+	sched := FixedSchedule(p.Gamma)
+	TrainSerialSchedule(train, f, p, sched)
+}
+
+// TrainSerialSchedule is TrainSerial with an explicit learning-rate
+// schedule.
+func TrainSerialSchedule(train *sparse.Matrix, f *model.Factors, p Params, sched Schedule) {
+	for it := 0; it < p.Iters; it++ {
+		gamma := sched.Rate(it)
+		UpdateBlock(f, train.Ratings, p.LambdaP, p.LambdaQ, gamma)
+	}
+}

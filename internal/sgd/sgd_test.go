@@ -1,0 +1,226 @@
+package sgd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+// syntheticLowRank plants a rank-2 matrix with light noise.
+func syntheticLowRank(m, n, nnz int, seed int64) (*sparse.Matrix, *sparse.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	const rank = 2
+	p := make([]float32, m*rank)
+	q := make([]float32, n*rank)
+	for i := range p {
+		p[i] = rng.Float32()
+	}
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	gen := func(count int) *sparse.Matrix {
+		out := sparse.New(m, n)
+		for i := 0; i < count; i++ {
+			u := rng.Intn(m)
+			v := rng.Intn(n)
+			var dot float32
+			for j := 0; j < rank; j++ {
+				dot += p[u*rank+j] * q[v*rank+j]
+			}
+			out.Add(int32(u), int32(v), dot+float32(rng.NormFloat64()*0.05))
+		}
+		return out
+	}
+	return gen(nnz), gen(nnz / 5)
+}
+
+func TestUpdateOneReducesPointLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := model.NewFactors(4, 4, 3, rng)
+	r := sparse.Rating{Row: 1, Col: 2, Value: 4}
+	before := math.Abs(float64(r.Value - f.Predict(r.Row, r.Col)))
+	for i := 0; i < 50; i++ {
+		UpdateOne(f, r, 0.01, 0.01, 0.1)
+	}
+	after := math.Abs(float64(r.Value - f.Predict(r.Row, r.Col)))
+	if after >= before {
+		t.Fatalf("pointwise error rose: %v -> %v", before, after)
+	}
+	if after > 0.5 {
+		t.Fatalf("error %v did not approach zero", after)
+	}
+}
+
+func TestUpdateOneTouchesOnlyItsVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := model.NewFactors(4, 4, 3, rng)
+	snapshot := f.Clone()
+	UpdateOne(f, sparse.Rating{Row: 1, Col: 2, Value: 4}, 0.01, 0.01, 0.1)
+	for u := int32(0); u < 4; u++ {
+		for i := 0; i < 3; i++ {
+			changed := f.P[int(u)*3+i] != snapshot.P[int(u)*3+i]
+			if u == 1 && !changed {
+				t.Fatal("p_1 not updated")
+			}
+			if u != 1 && changed {
+				t.Fatalf("p_%d modified", u)
+			}
+		}
+	}
+	for v := int32(0); v < 4; v++ {
+		changed := f.Colvec(v)[0] != snapshot.Colvec(v)[0]
+		if v == 2 && !changed {
+			t.Fatal("q_2 not updated")
+		}
+		if v != 2 && changed {
+			t.Fatalf("q_%d modified", v)
+		}
+	}
+}
+
+func TestUpdateBlockCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := model.NewFactors(4, 4, 2, rng)
+	m := sparse.New(4, 4)
+	m.Add(0, 0, 1)
+	m.Add(1, 1, 2)
+	if got := UpdateBlock(f, m.Ratings, 0.01, 0.01, 0.05); got != 2 {
+		t.Fatalf("UpdateBlock = %d, want 2", got)
+	}
+}
+
+func TestTrainSerialConverges(t *testing.T) {
+	train, test := syntheticLowRank(60, 50, 3000, 4)
+	rng := rand.New(rand.NewSource(4))
+	f := model.NewFactors(60, 50, 8, rng)
+	before := model.RMSE(f, test)
+	TrainSerial(train, f, Params{K: 8, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.05, Iters: 30})
+	after := model.RMSE(f, test)
+	if after >= before {
+		t.Fatalf("RMSE did not improve: %v -> %v", before, after)
+	}
+	if after > 0.25 {
+		t.Fatalf("RMSE %v too high for planted rank-2 data", after)
+	}
+}
+
+func TestTrainSerialLossMonotoneEarly(t *testing.T) {
+	train, _ := syntheticLowRank(40, 40, 2000, 5)
+	rng := rand.New(rand.NewSource(5))
+	f := model.NewFactors(40, 40, 8, rng)
+	p := Params{K: 8, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.02, Iters: 1}
+	prev := model.Loss(f, train, p.LambdaP, p.LambdaQ)
+	for it := 0; it < 5; it++ {
+		TrainSerial(train, f, p)
+		cur := model.Loss(f, train, p.LambdaP, p.LambdaQ)
+		if cur > prev*1.001 {
+			t.Fatalf("training loss rose at iter %d: %v -> %v", it, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestHogwildConverges(t *testing.T) {
+	train, test := syntheticLowRank(60, 50, 3000, 6)
+	rng := rand.New(rand.NewSource(6))
+	f := model.NewFactors(60, 50, 8, rng)
+	TrainHogwild(train, f, Params{K: 8, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.05, Iters: 30}, 4)
+	if rmse := model.RMSE(f, test); rmse > 0.3 {
+		t.Fatalf("Hogwild RMSE %v too high", rmse)
+	}
+}
+
+func TestHogwildSingleWorkerMatchesSerialShape(t *testing.T) {
+	train, test := syntheticLowRank(40, 40, 1500, 7)
+	p := Params{K: 4, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.05, Iters: 10}
+	fs := model.NewFactors(40, 40, 4, rand.New(rand.NewSource(7)))
+	fh := model.NewFactors(40, 40, 4, rand.New(rand.NewSource(7)))
+	TrainSerial(train, fs, p)
+	TrainHogwild(train, fh, p, 1)
+	if got, want := model.RMSE(fh, test), model.RMSE(fs, test); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("1-worker Hogwild RMSE %v != serial %v", got, want)
+	}
+}
+
+func TestFixedSchedule(t *testing.T) {
+	s := FixedSchedule(0.01)
+	if s.Rate(0) != 0.01 || s.Rate(100) != 0.01 {
+		t.Fatal("fixed schedule not constant")
+	}
+}
+
+func TestInverseDecay(t *testing.T) {
+	s := InverseDecay{Gamma0: 0.1, Beta: 1}
+	if s.Rate(0) != 0.1 {
+		t.Fatalf("Rate(0) = %v", s.Rate(0))
+	}
+	if got := s.Rate(9); math.Abs(float64(got-0.01)) > 1e-7 {
+		t.Fatalf("Rate(9) = %v, want 0.01", got)
+	}
+}
+
+func TestChinScheduleMonotone(t *testing.T) {
+	s := ChinSchedule{Gamma0: 0.1, Alpha: 10}
+	if s.Rate(0) != 0.1 {
+		t.Fatalf("Rate(0) = %v", s.Rate(0))
+	}
+	prev := s.Rate(0)
+	for it := 1; it < 50; it++ {
+		cur := s.Rate(it)
+		if cur > prev {
+			t.Fatalf("Chin schedule rose at %d", it)
+		}
+		prev = cur
+	}
+}
+
+func TestBoldDriver(t *testing.T) {
+	s := NewBoldDriver(0.1)
+	s.Observe(10) // first observation: no change
+	if s.Rate(0) != 0.1 {
+		t.Fatal("first Observe changed rate")
+	}
+	s.Observe(9) // improved: +5%
+	if math.Abs(float64(s.Rate(0))-0.105) > 1e-6 {
+		t.Fatalf("after improvement rate = %v", s.Rate(0))
+	}
+	s.Observe(12) // worsened: halve
+	if math.Abs(float64(s.Rate(0))-0.0525) > 1e-6 {
+		t.Fatalf("after regression rate = %v", s.Rate(0))
+	}
+}
+
+// Property: an SGD step never produces NaN/Inf on bounded inputs with a
+// small learning rate.
+func TestQuickUpdateStaysFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fac := model.NewFactors(8, 8, 4, rng)
+		for i := 0; i < 200; i++ {
+			r := sparse.Rating{
+				Row:   int32(rng.Intn(8)),
+				Col:   int32(rng.Intn(8)),
+				Value: rng.Float32() * 5,
+			}
+			UpdateOne(fac, r, 0.05, 0.05, 0.01)
+		}
+		for _, v := range fac.P {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+		for _, v := range fac.Q {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

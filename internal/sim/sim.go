@@ -1,0 +1,110 @@
+// Package sim is a minimal deterministic discrete-event simulation engine:
+// a virtual clock plus an event queue ordered by (time, insertion sequence).
+//
+// The heterogeneous experiments in this repository replace the paper's
+// wall-clock measurements with virtual time from this engine: every device
+// (CPU thread, GPU stream) schedules its completion events here, so
+// "running time" is a deterministic, hardware-independent quantity whose
+// *ratios* between algorithms reproduce the paper's figures.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine owns the virtual clock and the pending event queue. The zero value
+// is ready to use; events fire in (time, schedule-order) order, which makes
+// simulations fully deterministic.
+type Engine struct {
+	now    float64
+	seq    int64
+	queue  eventHeap
+	halted bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay virtual seconds. A negative delay is clamped
+// to zero (fires "now", after already-pending events at the current time).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Times in the past are
+// clamped to the current time.
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Run processes events until the queue drains or Halt is called. It returns
+// the final virtual time.
+func (e *Engine) Run() float64 {
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events with time <= deadline (or until Halt), leaving
+// later events pending, and returns the virtual time reached.
+func (e *Engine) RunUntil(deadline float64) float64 {
+	for len(e.queue) > 0 && !e.halted && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline && !e.halted {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Halt stops Run/RunUntil after the current event returns. Pending events
+// stay queued; a subsequent Run resumes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called since the last Resume.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Resume clears the halted flag so Run can continue.
+func (e *Engine) Resume() { e.halted = false }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final time %v", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestTiesBreakByScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(1, func() {
+		got = append(got, "a")
+		e.Schedule(1, func() { got = append(got, "c") })
+	})
+	e.Schedule(1.5, func() { got = append(got, "b") })
+	end := e.Run()
+	if end != 2 {
+		t.Fatalf("end = %v", end)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(5, func() {
+		e.Schedule(-3, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := New()
+	var at float64
+	e.Schedule(2, func() {
+		e.ScheduleAt(1, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 2 {
+		t.Fatalf("past event fired at %v", at)
+	}
+}
+
+func TestHaltAndResume(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1, func() { count++; e.Halt() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 || !e.Halted() {
+		t.Fatalf("halt did not stop processing (count=%d)", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Resume()
+	e.Run()
+	if count != 2 {
+		t.Fatal("resume did not continue")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	now := e.RunUntil(2.5)
+	if now != 2.5 {
+		t.Fatalf("RunUntil returned %v", now)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v", fired)
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+// Property: any batch of events fires exactly once, in nondecreasing time
+// order.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		count := int(n%50) + 1
+		delays := make([]float64, count)
+		var fired []float64
+		for i := range delays {
+			delays[i] = rng.Float64() * 100
+			d := delays[i]
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		e.Run()
+		if len(fired) != count {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(delays)
+		for i := range delays {
+			if fired[i] != delays[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

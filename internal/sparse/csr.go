@@ -1,0 +1,57 @@
+package sparse
+
+// CSR is a compressed-sparse-row view of a Matrix. RowPtr has Rows+1
+// entries; the ratings of row u live at indices [RowPtr[u], RowPtr[u+1]) of
+// Col/Val. The ALS and coordinate-descent baselines iterate rows and columns
+// repeatedly and need this layout.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	Col        []int32
+	Val        []float32
+}
+
+// ToCSR builds a CSR view. The input order of ratings within a row is
+// preserved. O(NNZ).
+func (m *Matrix) ToCSR() *CSR {
+	c := &CSR{Rows: m.Rows, Cols: m.Cols,
+		RowPtr: make([]int32, m.Rows+1),
+		Col:    make([]int32, len(m.Ratings)),
+		Val:    make([]float32, len(m.Ratings)),
+	}
+	for _, r := range m.Ratings {
+		c.RowPtr[r.Row+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		c.RowPtr[i+1] += c.RowPtr[i]
+	}
+	next := make([]int32, m.Rows)
+	copy(next, c.RowPtr[:m.Rows])
+	for _, r := range m.Ratings {
+		p := next[r.Row]
+		c.Col[p] = r.Col
+		c.Val[p] = r.Value
+		next[r.Row]++
+	}
+	return c
+}
+
+// ToCSC builds a compressed-sparse-column view, expressed as the CSR of the
+// transpose: RowPtr indexes columns of the original matrix and Col holds the
+// original row ids.
+func (m *Matrix) ToCSC() *CSR {
+	t := &Matrix{Rows: m.Cols, Cols: m.Rows, Ratings: make([]Rating, len(m.Ratings))}
+	for i, r := range m.Ratings {
+		t.Ratings[i] = Rating{Row: r.Col, Col: r.Row, Value: r.Value}
+	}
+	return t.ToCSR()
+}
+
+// Row returns the column indices and values of row u.
+func (c *CSR) Row(u int) ([]int32, []float32) {
+	lo, hi := c.RowPtr[u], c.RowPtr[u+1]
+	return c.Col[lo:hi], c.Val[lo:hi]
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Val) }

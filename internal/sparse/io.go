@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text format:
+//
+//	rows cols nnz
+//	row col value
+//	...
+//
+// one rating per line, whitespace separated. Lines starting with '#' and
+// blank lines are ignored. This is the interchange format of the cmd/ tools.
+
+// WriteText writes the matrix in the text interchange format.
+func (m *Matrix) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, len(m.Ratings)); err != nil {
+		return err
+	}
+	for _, r := range m.Ratings {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", r.Row, r.Col, r.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text interchange format.
+func ReadText(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var m *Matrix
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if m == nil {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sparse: line %d: want header 'rows cols nnz', got %q", line, text)
+			}
+			rows, err1 := strconv.Atoi(fields[0])
+			cols, err2 := strconv.Atoi(fields[1])
+			nnz, err3 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("sparse: line %d: bad header %q", line, text)
+			}
+			m = &Matrix{Rows: rows, Cols: cols, Ratings: make([]Rating, 0, nnz)}
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("sparse: line %d: want 'row col value', got %q", line, text)
+		}
+		row, err1 := strconv.ParseInt(fields[0], 10, 32)
+		col, err2 := strconv.ParseInt(fields[1], 10, 32)
+		val, err3 := strconv.ParseFloat(fields[2], 32)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sparse: line %d: bad rating %q", line, text)
+		}
+		m.Ratings = append(m.Ratings, Rating{Row: int32(row), Col: int32(col), Value: float32(val)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("sparse: empty input")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+const binaryMagic = uint32(0x48534744) // "HSGD"
+
+// WriteBinary writes a compact little-endian binary encoding:
+// magic, rows, cols, nnz (uint32 each) followed by nnz (int32,int32,float32)
+// triples.
+func (m *Matrix) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint32{binaryMagic, uint32(m.Rows), uint32(m.Cols), uint32(len(m.Ratings))}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Ratings); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the encoding produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var header [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("sparse: reading header: %w", err)
+	}
+	if header[0] != binaryMagic {
+		return nil, fmt.Errorf("sparse: bad magic %#x", header[0])
+	}
+	m := &Matrix{Rows: int(header[1]), Cols: int(header[2]), Ratings: make([]Rating, header[3])}
+	if err := binary.Read(br, binary.LittleEndian, m.Ratings); err != nil {
+		return nil, fmt.Errorf("sparse: reading %d ratings: %w", header[3], err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadFile reads a matrix from path, choosing the decoder by extension:
+// ".bin" uses the binary format, anything else the text format.
+func LoadFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}
+
+// SaveFile writes a matrix to path, choosing the encoder by extension the
+// same way LoadFile does.
+func (m *Matrix) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return m.WriteBinary(f)
+	}
+	return m.WriteText(f)
+}

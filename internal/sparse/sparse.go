@@ -1,0 +1,209 @@
+// Package sparse provides the sparse rating-matrix representation used by
+// every other package in this repository.
+//
+// A rating matrix R (m×n) is stored in coordinate (COO) form: a flat slice
+// of (row, col, value) triples, exactly the "triadic tuple" storage the
+// paper's Algorithm 1 takes as input. Compressed views (CSR/CSC) are built
+// on demand for the ALS and coordinate-descent baselines.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Rating is a single observed entry r_{u,v} of the rating matrix.
+type Rating struct {
+	Row   int32
+	Col   int32
+	Value float32
+}
+
+// Matrix is a sparse matrix in coordinate form. Rows and Cols are the
+// dimensions m and n; Ratings holds the observed entries in arbitrary order.
+type Matrix struct {
+	Rows    int
+	Cols    int
+	Ratings []Rating
+}
+
+// New returns an empty matrix with the given dimensions.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols}
+}
+
+// NNZ returns the number of observed entries.
+func (m *Matrix) NNZ() int { return len(m.Ratings) }
+
+// Bytes returns the in-memory size of the rating payload in bytes,
+// as transferred over the simulated PCIe bus (12 bytes per triple).
+func (m *Matrix) Bytes() int { return len(m.Ratings) * 12 }
+
+// Add appends one rating. It does not check for duplicates.
+func (m *Matrix) Add(row, col int32, value float32) {
+	m.Ratings = append(m.Ratings, Rating{Row: row, Col: col, Value: value})
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, Ratings: make([]Rating, len(m.Ratings))}
+	copy(out.Ratings, m.Ratings)
+	return out
+}
+
+// Validate checks that every entry is inside the declared dimensions.
+func (m *Matrix) Validate() error {
+	if m.Rows <= 0 || m.Cols <= 0 {
+		return fmt.Errorf("sparse: invalid dimensions %dx%d", m.Rows, m.Cols)
+	}
+	for i, r := range m.Ratings {
+		if r.Row < 0 || int(r.Row) >= m.Rows {
+			return fmt.Errorf("sparse: rating %d: row %d out of range [0,%d)", i, r.Row, m.Rows)
+		}
+		if r.Col < 0 || int(r.Col) >= m.Cols {
+			return fmt.Errorf("sparse: rating %d: col %d out of range [0,%d)", i, r.Col, m.Cols)
+		}
+	}
+	return nil
+}
+
+// Shuffle permutes the rating order in place using rng. The paper shuffles
+// the input dataset before cost-model sampling "to avoid uneven data
+// distribution" (Section V-A).
+func (m *Matrix) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(m.Ratings), func(i, j int) {
+		m.Ratings[i], m.Ratings[j] = m.Ratings[j], m.Ratings[i]
+	})
+}
+
+// Split partitions the ratings into a training and a test matrix. testFrac
+// of the entries (rounded down) go to the test set. The receiver is not
+// modified; the split follows the current rating order, so callers that want
+// a random split should Shuffle first.
+func (m *Matrix) Split(testFrac float64) (train, test *Matrix, err error) {
+	if testFrac < 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("sparse: testFrac %v outside [0,1)", testFrac)
+	}
+	nTest := int(float64(len(m.Ratings)) * testFrac)
+	nTrain := len(m.Ratings) - nTest
+	train = &Matrix{Rows: m.Rows, Cols: m.Cols, Ratings: append([]Rating(nil), m.Ratings[:nTrain]...)}
+	test = &Matrix{Rows: m.Rows, Cols: m.Cols, Ratings: append([]Rating(nil), m.Ratings[nTrain:]...)}
+	return train, test, nil
+}
+
+// Stats summarises a matrix for reporting (Table I of the paper).
+type Stats struct {
+	Rows, Cols  int
+	NNZ         int
+	MinValue    float32
+	MaxValue    float32
+	MeanValue   float64
+	Density     float64 // NNZ / (Rows*Cols)
+	ActiveRows  int     // rows with at least one rating
+	ActiveCols  int     // cols with at least one rating
+	MaxRowCount int     // heaviest row
+	MaxColCount int     // heaviest column
+}
+
+// ComputeStats scans the matrix once and returns summary statistics.
+func (m *Matrix) ComputeStats() Stats {
+	s := Stats{Rows: m.Rows, Cols: m.Cols, NNZ: len(m.Ratings)}
+	if len(m.Ratings) == 0 {
+		return s
+	}
+	rowCount := make([]int, m.Rows)
+	colCount := make([]int, m.Cols)
+	s.MinValue = m.Ratings[0].Value
+	s.MaxValue = m.Ratings[0].Value
+	var sum float64
+	for _, r := range m.Ratings {
+		rowCount[r.Row]++
+		colCount[r.Col]++
+		if r.Value < s.MinValue {
+			s.MinValue = r.Value
+		}
+		if r.Value > s.MaxValue {
+			s.MaxValue = r.Value
+		}
+		sum += float64(r.Value)
+	}
+	s.MeanValue = sum / float64(len(m.Ratings))
+	s.Density = float64(len(m.Ratings)) / (float64(m.Rows) * float64(m.Cols))
+	for _, c := range rowCount {
+		if c > 0 {
+			s.ActiveRows++
+		}
+		if c > s.MaxRowCount {
+			s.MaxRowCount = c
+		}
+	}
+	for _, c := range colCount {
+		if c > 0 {
+			s.ActiveCols++
+		}
+		if c > s.MaxColCount {
+			s.MaxColCount = c
+		}
+	}
+	return s
+}
+
+// RowCounts returns the number of ratings in each row.
+func (m *Matrix) RowCounts() []int {
+	counts := make([]int, m.Rows)
+	for _, r := range m.Ratings {
+		counts[r.Row]++
+	}
+	return counts
+}
+
+// ColCounts returns the number of ratings in each column.
+func (m *Matrix) ColCounts() []int {
+	counts := make([]int, m.Cols)
+	for _, r := range m.Ratings {
+		counts[r.Col]++
+	}
+	return counts
+}
+
+// ErrEmpty is returned by operations that need at least one rating.
+var ErrEmpty = errors.New("sparse: matrix has no ratings")
+
+// Permutation relabels rows and columns. FPSGD randomises row and column
+// identities before uniform range blocking so that block element counts are
+// roughly balanced; PermuteLabels applies that transformation and returns
+// the permutations used (new = perm[old]) so predictions can be mapped back.
+func (m *Matrix) PermuteLabels(rng *rand.Rand) (rowPerm, colPerm []int32) {
+	rowPerm = randomPerm(m.Rows, rng)
+	colPerm = randomPerm(m.Cols, rng)
+	for i := range m.Ratings {
+		m.Ratings[i].Row = rowPerm[m.Ratings[i].Row]
+		m.Ratings[i].Col = colPerm[m.Ratings[i].Col]
+	}
+	return rowPerm, colPerm
+}
+
+// ApplyPerm relabels this matrix with permutations produced by PermuteLabels
+// on another matrix (e.g. relabel the test set consistently with the train
+// set).
+func (m *Matrix) ApplyPerm(rowPerm, colPerm []int32) error {
+	if len(rowPerm) != m.Rows || len(colPerm) != m.Cols {
+		return fmt.Errorf("sparse: permutation sizes %d/%d do not match %dx%d",
+			len(rowPerm), len(colPerm), m.Rows, m.Cols)
+	}
+	for i := range m.Ratings {
+		m.Ratings[i].Row = rowPerm[m.Ratings[i].Row]
+		m.Ratings[i].Col = colPerm[m.Ratings[i].Col]
+	}
+	return nil
+}
+
+func randomPerm(n int, rng *rand.Rand) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

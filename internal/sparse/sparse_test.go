@@ -1,0 +1,353 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testMatrix() *Matrix {
+	m := New(4, 5)
+	m.Add(0, 0, 1)
+	m.Add(0, 3, 2.5)
+	m.Add(1, 1, 3)
+	m.Add(2, 4, 4)
+	m.Add(3, 2, 5)
+	m.Add(3, 4, 0.5)
+	return m
+}
+
+func TestNNZAndBytes(t *testing.T) {
+	m := testMatrix()
+	if m.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6", m.NNZ())
+	}
+	if m.Bytes() != 72 {
+		t.Fatalf("Bytes = %d, want 72", m.Bytes())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testMatrix()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	bad := New(2, 2)
+	bad.Add(2, 0, 1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+	bad = New(2, 2)
+	bad.Add(0, -1, 1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative col accepted")
+	}
+	bad = &Matrix{Rows: 0, Cols: 3}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := testMatrix()
+	c := m.Clone()
+	c.Ratings[0].Value = 99
+	if m.Ratings[0].Value == 99 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if c.Rows != m.Rows || c.Cols != m.Cols || c.NNZ() != m.NNZ() {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	m := testMatrix()
+	orig := m.Clone()
+	m.Shuffle(rand.New(rand.NewSource(1)))
+	if m.NNZ() != orig.NNZ() {
+		t.Fatal("Shuffle changed count")
+	}
+	count := func(ms *Matrix) map[Rating]int {
+		c := make(map[Rating]int)
+		for _, r := range ms.Ratings {
+			c[r]++
+		}
+		return c
+	}
+	if !reflect.DeepEqual(count(m), count(orig)) {
+		t.Fatal("Shuffle changed the rating multiset")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	m := testMatrix()
+	train, test, err := m.Split(0.34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.NNZ() != 2 || train.NNZ() != 4 {
+		t.Fatalf("split sizes %d/%d, want 4/2", train.NNZ(), test.NNZ())
+	}
+	if _, _, err := m.Split(1.0); err == nil {
+		t.Fatal("testFrac=1 accepted")
+	}
+	if _, _, err := m.Split(-0.1); err == nil {
+		t.Fatal("negative testFrac accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := testMatrix().ComputeStats()
+	if s.NNZ != 6 || s.MinValue != 0.5 || s.MaxValue != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ActiveRows != 4 || s.ActiveCols != 5 {
+		t.Fatalf("active rows/cols = %d/%d", s.ActiveRows, s.ActiveCols)
+	}
+	if s.MaxRowCount != 2 || s.MaxColCount != 2 {
+		t.Fatalf("max row/col = %d/%d", s.MaxRowCount, s.MaxColCount)
+	}
+	if got := (16.0 / 6.0); s.MeanValue != 16.0/6.0 && (s.MeanValue-got) > 1e-9 {
+		t.Fatalf("mean = %v", s.MeanValue)
+	}
+	empty := New(3, 3).ComputeStats()
+	if empty.NNZ != 0 || empty.Density != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestRowColCounts(t *testing.T) {
+	m := testMatrix()
+	rows := m.RowCounts()
+	want := []int{2, 1, 1, 2}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("RowCounts = %v, want %v", rows, want)
+	}
+	cols := m.ColCounts()
+	wantC := []int{1, 1, 1, 1, 2}
+	if !reflect.DeepEqual(cols, wantC) {
+		t.Fatalf("ColCounts = %v, want %v", cols, wantC)
+	}
+}
+
+func TestPermuteLabelsRoundTrip(t *testing.T) {
+	m := testMatrix()
+	orig := m.Clone()
+	rowPerm, colPerm := m.PermuteLabels(rand.New(rand.NewSource(7)))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("permuted matrix invalid: %v", err)
+	}
+	// Values must follow their entries: r'(perm(u),perm(v)) == r(u,v).
+	pos := make(map[[2]int32]float32)
+	for _, r := range m.Ratings {
+		pos[[2]int32{r.Row, r.Col}] = r.Value
+	}
+	for _, r := range orig.Ratings {
+		got, ok := pos[[2]int32{rowPerm[r.Row], colPerm[r.Col]}]
+		if !ok || got != r.Value {
+			t.Fatalf("rating (%d,%d) lost after permutation", r.Row, r.Col)
+		}
+	}
+	// ApplyPerm with the same permutations must reproduce the same labels.
+	again := orig.Clone()
+	if err := again.ApplyPerm(rowPerm, colPerm); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Ratings, m.Ratings) {
+		t.Fatal("ApplyPerm disagrees with PermuteLabels")
+	}
+	if err := again.ApplyPerm(rowPerm[:1], colPerm); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := testMatrix()
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || !reflect.DeepEqual(back.Ratings, m.Ratings) {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"1 2\n",             // short header
+		"x 2 1\n",           // bad header
+		"2 2 1\n0 0\n",      // short rating line
+		"2 2 1\n0 zz 1.5\n", // bad rating
+		"2 2 1\n5 0 1.5\n",  // out of range
+	}
+	for _, in := range cases {
+		if _, err := ReadText(bytes.NewBufferString(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# header\n\n2 2 1\n# rating\n1 1 2.5\n"
+	m, err := ReadText(bytes.NewBufferString(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || m.Ratings[0].Value != 2.5 {
+		t.Fatalf("parsed %+v", m)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := testMatrix()
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Fatal("binary round trip mismatch")
+	}
+	// Corrupt magic.
+	raw := buf.Bytes()
+	var buf2 bytes.Buffer
+	if err := m.WriteBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw
+	corrupted := buf2.Bytes()
+	corrupted[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated payload.
+	var buf3 bytes.Buffer
+	if err := m.WriteBinary(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf3.Bytes()[:buf3.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m := testMatrix()
+	for _, name := range []string{"m.txt", "m.bin"} {
+		path := t.TempDir() + "/" + name
+		if err := m.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back.Ratings, m.Ratings) {
+			t.Fatalf("%s round trip mismatch", name)
+		}
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Property: text and binary round trips preserve arbitrary matrices.
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(1+rng.Intn(50), 1+rng.Intn(50))
+		for i := 0; i < int(n); i++ {
+			m.Add(int32(rng.Intn(m.Rows)), int32(rng.Intn(m.Cols)), rng.Float32()*10-5)
+		}
+		var tb, bb bytes.Buffer
+		if err := m.WriteText(&tb); err != nil {
+			return false
+		}
+		if err := m.WriteBinary(&bb); err != nil {
+			return false
+		}
+		fromText, err := ReadText(&tb)
+		if err != nil {
+			return false
+		}
+		fromBin, err := ReadBinary(&bb)
+		if err != nil {
+			return false
+		}
+		if len(fromText.Ratings) != m.NNZ() || len(fromBin.Ratings) != m.NNZ() {
+			return false
+		}
+		for i, r := range m.Ratings {
+			if fromBin.Ratings[i] != r {
+				return false
+			}
+			// Text encodes via %g: exact for float32 values.
+			if fromText.Ratings[i] != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSR(t *testing.T) {
+	m := testMatrix()
+	c := m.ToCSR()
+	if c.NNZ() != m.NNZ() {
+		t.Fatalf("CSR NNZ = %d", c.NNZ())
+	}
+	cols, vals := c.Row(3)
+	if len(cols) != 2 || cols[0] != 2 || vals[0] != 5 || cols[1] != 4 || vals[1] != 0.5 {
+		t.Fatalf("row 3 = %v %v", cols, vals)
+	}
+	if cols, _ := c.Row(1); len(cols) != 1 || cols[0] != 1 {
+		t.Fatalf("row 1 = %v", cols)
+	}
+}
+
+func TestCSC(t *testing.T) {
+	m := testMatrix()
+	c := m.ToCSC()
+	if c.Rows != m.Cols || c.Cols != m.Rows {
+		t.Fatalf("CSC dims %dx%d", c.Rows, c.Cols)
+	}
+	rows, vals := c.Row(4) // column 4 of the original: (2,4,4) and (3,4,0.5)
+	if len(rows) != 2 || rows[0] != 2 || vals[0] != 4 || rows[1] != 3 || vals[1] != 0.5 {
+		t.Fatalf("col 4 = %v %v", rows, vals)
+	}
+}
+
+// Property: every rating appears exactly once in a CSR view, in its row.
+func TestQuickCSRComplete(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(1+rng.Intn(20), 1+rng.Intn(20))
+		for i := 0; i < int(n); i++ {
+			m.Add(int32(rng.Intn(m.Rows)), int32(rng.Intn(m.Cols)), rng.Float32())
+		}
+		c := m.ToCSR()
+		if c.NNZ() != m.NNZ() {
+			return false
+		}
+		seen := 0
+		for u := 0; u < m.Rows; u++ {
+			cols, _ := c.Row(u)
+			seen += len(cols)
+		}
+		return seen == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
