@@ -1,0 +1,112 @@
+// Command hsgd-serve exposes a trained factor snapshot as an HTTP JSON
+// recommendation service — the online half of the pipeline whose offline
+// half is cmd/hsgd-train.
+//
+// Quickstart:
+//
+//	hsgd-datagen -out ratings.txt
+//	hsgd-train -k 64 -out model.hfac ratings.txt
+//	hsgd-serve -model model.hfac -addr :8080
+//
+//	curl 'localhost:8080/v1/recommend?user=42&k=10'
+//	curl 'localhost:8080/v1/similar-items?item=7&k=5'
+//	curl -d '{"k":5,"ratings":[{"item":3,"value":5},{"item":9,"value":4}]}' \
+//	     localhost:8080/v1/recommend        # cold-start fold-in
+//
+// The model file is watched (-watch): retrain in the background, write the
+// new snapshot to a temp file and rename it over -model, and the server
+// hot-swaps it in without dropping queries.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hsgd/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		modelPth = flag.String("model", "", "HFAC snapshot file written by hsgd-train -out (required)")
+		watch    = flag.Duration("watch", 2*time.Second, "poll interval for snapshot hot-swap; 0 disables watching")
+		shards   = flag.Int("shards", 0, "top-K scorer shards; 0 means GOMAXPROCS")
+		cacheSz  = flag.Int("cache", 1024, "result-cache entries; negative disables")
+		lambda   = flag.Float64("foldin-lambda", serve.DefaultFoldInLambda, "ridge strength for cold-start fold-in")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if *modelPth == "" {
+		fmt.Fprintln(os.Stderr, "usage: hsgd-serve -model <file.hfac> [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*addr, *modelPth, *watch, *shards, *cacheSz, float32(*lambda), *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "hsgd-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lambda float32, drain time.Duration) error {
+	store := serve.NewStore()
+	snap, err := store.LoadFile(modelPath)
+	if err != nil {
+		return fmt.Errorf("loading initial snapshot: %w", err)
+	}
+	f := snap.Factors
+	log.Printf("loaded snapshot v%d from %s: %d users × %d items, k=%d",
+		snap.Version, modelPath, f.M, f.N, f.K)
+
+	server, err := serve.New(serve.Config{
+		Store:        store,
+		Shards:       shards,
+		CacheSize:    cacheSize,
+		FoldInLambda: lambda,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if watch > 0 {
+		go store.Watch(ctx, modelPath, watch)
+		log.Printf("watching %s every %v for hot-swap", modelPath, watch)
+	}
+
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining for up to %v", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -1,13 +1,22 @@
 // Recommender: the use case the paper's introduction motivates — train a
-// rating model, then produce top-N item recommendations per user, excluding
-// items they have already rated.
+// rating model, publish it into the online serving subsystem, and fetch
+// top-N recommendations over the HTTP API, including a cold-start fold-in
+// for a user the trainer never saw.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
 	"hsgd"
+	"hsgd/internal/serve"
 )
 
 func main() {
@@ -33,16 +42,34 @@ func main() {
 	fmt.Printf("model: k=%d, RMSE %.4f after %d epochs (%.2fs)\n",
 		params.K, report.FinalRMSE, report.Epochs, report.Seconds)
 
+	// Publish the freshly trained factors into a snapshot store and mount
+	// the serving API on a loopback listener — the same stack cmd/hsgd-serve
+	// runs, minus the snapshot file.
+	store := serve.NewStore()
+	if _, err := store.Publish(factors, "in-process"); err != nil {
+		log.Fatal(err)
+	}
+	server, err := serve.New(serve.Config{Store: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer := &http.Server{Handler: server.Handler()}
+	go func() { _ = httpServer.Serve(ln) }()
+	defer httpServer.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
 	// Index each user's seen items so recommendations are novel.
-	seen := make(map[int32]map[int32]bool)
+	seen := make(map[int32][]int32)
 	for _, r := range train.Ratings {
-		if seen[r.Row] == nil {
-			seen[r.Row] = make(map[int32]bool)
-		}
-		seen[r.Row][r.Col] = true
+		seen[r.Row] = append(seen[r.Row], r.Col)
 	}
 
-	// Recommend for the three heaviest users.
+	// Recommend for the three heaviest users via GET /v1/recommend.
 	counts := train.RowCounts()
 	for rank := 0; rank < 3; rank++ {
 		best := 0
@@ -53,14 +80,103 @@ func main() {
 		}
 		u := int32(best)
 		counts[best] = -1 // exclude from the next pass
-		top := factors.TopN(u, 5, seen[u])
+		var resp struct {
+			Items []struct {
+				Item  int32   `json:"item"`
+				Score float32 `json:"score"`
+			} `json:"items"`
+		}
+		url := fmt.Sprintf("%s/v1/recommend?user=%d&k=5&exclude=%s", base, u, idList(seen[u]))
+		getJSON(url, &resp)
 		fmt.Printf("user %d (%d ratings) -> recommended items: ", u, len(seen[u]))
-		for i, v := range top {
+		for i, it := range resp.Items {
 			if i > 0 {
 				fmt.Print(", ")
 			}
-			fmt.Printf("%d (%.2f)", v, factors.Predict(u, v))
+			fmt.Printf("%d (%.2f)", it.Item, it.Score)
 		}
 		fmt.Println()
 	}
+
+	// A brand-new user rates a handful of items; POST /v1/recommend folds
+	// them into a factor vector against the frozen item matrix and serves
+	// recommendations immediately — no retrain.
+	coldRatings := []map[string]any{}
+	for i, r := range train.Ratings[:4] {
+		coldRatings = append(coldRatings, map[string]any{"item": r.Col, "value": r.Value + float32(i%2)})
+	}
+	body, _ := json.Marshal(map[string]any{"k": 5, "ratings": coldRatings})
+	resp, err := http.Post(base+"/v1/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cold struct {
+		FoldIn bool `json:"fold_in"`
+		Items  []struct {
+			Item  int32   `json:"item"`
+			Score float32 `json:"score"`
+		} `json:"items"`
+	}
+	decode(resp, &cold)
+	fmt.Printf("cold-start user (fold_in=%v) -> recommended items: ", cold.FoldIn)
+	for i, it := range cold.Items {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d (%.2f)", it.Item, it.Score)
+	}
+	fmt.Println()
+
+	// Item-to-item: what resembles the cold-start user's first pick?
+	if len(cold.Items) > 0 {
+		var sim struct {
+			Items []struct {
+				Item  int32   `json:"item"`
+				Score float32 `json:"score"`
+			} `json:"items"`
+		}
+		getJSON(fmt.Sprintf("%s/v1/similar-items?item=%d&k=3", base, cold.Items[0].Item), &sim)
+		fmt.Printf("items similar to %d: ", cold.Items[0].Item)
+		for i, it := range sim.Items {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%d (cos %.2f)", it.Item, it.Score)
+		}
+		fmt.Println()
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = httpServer.Shutdown(shutdownCtx)
+}
+
+func getJSON(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, into)
+}
+
+func decode(resp *http.Response, into any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func idList(ids []int32) string {
+	var buf bytes.Buffer
+	for i, id := range ids {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%d", id)
+	}
+	return buf.String()
 }

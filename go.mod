@@ -1,0 +1,3 @@
+module hsgd
+
+go 1.24

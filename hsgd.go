@@ -13,7 +13,13 @@
 //     HSGD, HSGD* and its ablations) on a simulated CPU+GPU system with a
 //     deterministic virtual clock. The SGD arithmetic is executed for real;
 //     only durations are simulated. This is the experimentation surface
-//     that regenerates the paper's figures and tables (see EXPERIMENTS.md).
+//     that regenerates the paper's figures and tables (see bench_test.go
+//     and cmd/hsgd-experiments).
+//
+// Trained factors feed the online serving subsystem (internal/serve,
+// cmd/hsgd-serve): sharded top-K retrieval, hot-swappable snapshots, and
+// cold-start fold-in behind an HTTP JSON API. See README.md for the
+// train → save → serve quickstart.
 //
 // Quick start:
 //

@@ -40,6 +40,29 @@ func Train(train *sparse.Matrix, f *model.Factors, p Params) error {
 	return nil
 }
 
+// FoldInUser solves the single-user ridge system against frozen item
+// factors: min_p Σ_{v∈items} (vals_v − p·q_v)² + λ|items|·‖p‖², returning
+// the k-vector p. This is exactly one row of the ALS P-step, exposed for
+// the serving layer's cold-start fold-in: a user unseen at training time
+// gets a factor vector from a handful of ratings without retraining.
+func FoldInUser(f *model.Factors, items []int32, vals []float32, lambda float32) ([]float32, error) {
+	if len(items) == 0 || len(items) != len(vals) {
+		return nil, fmt.Errorf("als: fold-in needs matching non-empty items/vals, got %d/%d", len(items), len(vals))
+	}
+	for _, v := range items {
+		if v < 0 || int(v) >= f.N {
+			return nil, fmt.Errorf("als: fold-in item %d outside [0,%d)", v, f.N)
+		}
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("als: fold-in requires lambda > 0, got %v", lambda)
+	}
+	k := f.K
+	p := make([]float32, k)
+	solveRow(p, f.Q, items, vals, k, lambda, make([]float64, k*k), make([]float64, k))
+	return p, nil
+}
+
 // solveSide solves min ||r_u − X_u·other|| + λ||x_u||² for every row u of
 // the CSR view: one k×k ridge system per row.
 func solveSide(view *sparse.CSR, target, other []float32, k int, lambda float32, workers int) {

@@ -31,8 +31,23 @@ func (f *Factors) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads factors written by Save.
-func Load(r io.Reader) (*Factors, error) {
+// MaxSnapshotBytes bounds the factor payload Load is willing to allocate.
+// The serving path hot-swaps snapshots straight off disk, so a corrupt or
+// hostile header must not be able to trigger an unbounded allocation. The
+// default (16 GiB) clears the paper's largest dataset (Yahoo!Music R4:
+// (1.8M users + 136K items) × k=128 × 4 B ≈ 1 GiB) with a wide margin.
+var MaxSnapshotBytes int64 = 16 << 30
+
+// Load reads factors written by Save. The header dimensions are validated
+// (non-zero, non-overflowing m·k and n·k, payload under MaxSnapshotBytes)
+// before anything is allocated.
+func Load(r io.Reader) (*Factors, error) { return load(r, -1) }
+
+// load is Load with an optional known stream size (-1 when unknown): when
+// the size is known the header is cross-checked against it before the
+// payload buffers are allocated, so a truncated file fails fast instead of
+// allocating gigabytes and then hitting EOF.
+func load(r io.Reader, streamSize int64) (*Factors, error) {
 	br := bufio.NewReader(r)
 	var header [4]uint32
 	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
@@ -41,9 +56,31 @@ func Load(r io.Reader) (*Factors, error) {
 	if header[0] != factorsMagic {
 		return nil, fmt.Errorf("model: bad magic %#x", header[0])
 	}
-	f := &Factors{M: int(header[1]), N: int(header[2]), K: int(header[3])}
-	f.P = make([]float32, f.M*f.K)
-	f.Q = make([]float32, f.N*f.K)
+	m, n, k := header[1], header[2], header[3]
+	if m == 0 || n == 0 || k == 0 {
+		return nil, fmt.Errorf("model: header has zero dimension m=%d n=%d k=%d", m, n, k)
+	}
+	// All arithmetic in uint64: the worst-case products of uint32 headers
+	// overflow int64 element counts multiplied by 4.
+	maxElems := uint64(MaxSnapshotBytes) / 4
+	pElems := uint64(m) * uint64(k)
+	qElems := uint64(n) * uint64(k)
+	const maxInt = uint64(^uint(0) >> 1)
+	if pElems > maxElems || qElems > maxElems || pElems+qElems > maxElems ||
+		pElems > maxInt || qElems > maxInt {
+		return nil, fmt.Errorf("model: header m=%d n=%d k=%d implies %d factor bytes, over the %d-byte limit",
+			m, n, k, 4*(pElems+qElems), MaxSnapshotBytes)
+	}
+	if streamSize >= 0 {
+		expected := int64(16 + 4*(pElems+qElems))
+		if streamSize != expected {
+			return nil, fmt.Errorf("model: file is %d bytes but header m=%d n=%d k=%d requires %d",
+				streamSize, m, n, k, expected)
+		}
+	}
+	f := &Factors{M: int(m), N: int(n), K: int(k)}
+	f.P = make([]float32, pElems)
+	f.Q = make([]float32, qElems)
 	if err := binary.Read(br, binary.LittleEndian, f.P); err != nil {
 		return nil, fmt.Errorf("model: reading P: %w", err)
 	}
@@ -63,12 +100,17 @@ func (f *Factors) SaveFile(path string) error {
 	return f.Save(file)
 }
 
-// LoadFile reads factors from a file written by SaveFile.
+// LoadFile reads factors from a file written by SaveFile. The file size is
+// checked against the header before the factor buffers are allocated.
 func LoadFile(path string) (*Factors, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer file.Close()
-	return Load(file)
+	info, err := file.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return load(file, info.Size())
 }

@@ -145,36 +145,32 @@ func (f *Factors) Validate() error {
 }
 
 // TopN returns the n items with the highest predicted rating for user u,
-// excluding the items listed in seen. It is the building block of the
-// recommender example (paper Section I motivates MF by recommender systems).
+// excluding the items listed in seen. It is the serial counterpart of the
+// sharded scorer in internal/serve (which backs /v1/recommend); both share
+// the bounded min-heap of topk.go and the serve tests hold them equal.
+//
+// The scan uses the bounded min-heap of topk.go, so the cost is
+// O(N + H·log n) where H is the number of items that beat the running
+// floor, instead of the old O(N·n) insertion scan. Entries in seen that
+// fall outside [0, N) are ignored, and a u outside [0, M) returns nil
+// rather than panicking — snapshot-serving callers pass ids straight from
+// untrusted requests.
 func (f *Factors) TopN(u int32, n int, seen map[int32]bool) []int32 {
-	type cand struct {
-		item  int32
-		score float32
+	if n <= 0 || int(u) < 0 || int(u) >= f.M {
+		return nil
 	}
-	best := make([]cand, 0, n+1)
-	for v := int32(0); int(v) < f.N; v++ {
-		if seen[v] {
+	p := f.Row(u)
+	t := NewTopK(n)
+	for v := 0; v < f.N; v++ {
+		if seen[int32(v)] {
 			continue
 		}
-		s := f.Predict(u, v)
-		// insertion into the running top-n (n is small).
-		pos := len(best)
-		for pos > 0 && best[pos-1].score < s {
-			pos--
-		}
-		if pos < n {
-			best = append(best, cand{})
-			copy(best[pos+1:], best[pos:])
-			best[pos] = cand{item: v, score: s}
-			if len(best) > n {
-				best = best[:n]
-			}
-		}
+		t.Push(int32(v), Dot(p, f.Q[v*f.K:(v+1)*f.K]))
 	}
-	out := make([]int32, len(best))
-	for i, c := range best {
-		out[i] = c.item
+	ranked := t.Sorted()
+	out := make([]int32, len(ranked))
+	for i, c := range ranked {
+		out[i] = c.Item
 	}
 	return out
 }

@@ -1,0 +1,179 @@
+package model
+
+import "math"
+
+// ScoredItem is one (item, predicted score) candidate produced by a top-K
+// retrieval.
+type ScoredItem struct {
+	Item  int32
+	Score float32
+}
+
+// TopK accumulates the K highest-scoring items seen so far using a bounded
+// min-heap: the root is always the worst retained candidate, so a new item
+// is admitted in O(log K) only when it beats the current floor and every
+// rejected item costs a single comparison. This replaces the O(n·K)
+// insertion scan the recommender example used and is shared by Factors.TopN
+// and the sharded scorer in internal/serve.
+//
+// Ties are broken toward the lower item id (matching the old scan, which
+// kept the first item encountered), so results are deterministic.
+type TopK struct {
+	k    int
+	heap []ScoredItem // min-heap on (Score, then Item descending)
+}
+
+// NewTopK returns an accumulator that retains the k best items. k <= 0 is
+// treated as an empty accumulator that rejects everything.
+func NewTopK(k int) *TopK {
+	if k < 0 {
+		k = 0
+	}
+	cap := k
+	if cap > 4096 {
+		cap = 4096 // don't pre-allocate huge heaps for absurd k
+	}
+	return &TopK{k: k, heap: make([]ScoredItem, 0, cap)}
+}
+
+// worse reports whether candidate a ranks below b (a should be evicted
+// before b). Lower score is worse; on equal scores the higher item id is
+// worse.
+func worse(a, b ScoredItem) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}
+
+// Push offers one candidate to the accumulator.
+func (t *TopK) Push(item int32, score float32) {
+	c := ScoredItem{Item: item, Score: score}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, c)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if t.k == 0 || !worse(t.heap[0], c) {
+		return // floor is at least as good; reject
+	}
+	t.heap[0] = c
+	t.siftDown(0)
+}
+
+// Len returns the number of retained candidates.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Floor returns the worst retained score and whether the accumulator is
+// full (only a full accumulator has a meaningful floor to prune against).
+func (t *TopK) Floor() (float32, bool) {
+	if len(t.heap) < t.k || t.k == 0 {
+		return 0, false
+	}
+	return t.heap[0].Score, true
+}
+
+// Items returns the retained candidates in heap (arbitrary) order. The
+// slice aliases the accumulator's storage; it is valid until the next Push.
+func (t *TopK) Items() []ScoredItem { return t.heap }
+
+// Sorted drains the accumulator and returns the candidates ordered best
+// first (score descending, item id ascending on ties). The accumulator is
+// empty afterwards.
+func (t *TopK) Sorted() []ScoredItem {
+	// Heap-sort in place: repeatedly move the root (worst) to the tail,
+	// which leaves the slice ordered best-first.
+	h := t.heap
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		t.heap = h[:n]
+		t.siftDown(0)
+	}
+	t.heap = h[:0]
+	return h
+}
+
+func (t *TopK) siftUp(i int) {
+	h := t.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	h := t.heap
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && worse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && worse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// MergeTopK combines per-shard accumulators into one globally sorted top-k
+// list. The inputs are drained.
+func MergeTopK(k int, shards ...*TopK) []ScoredItem {
+	merged := NewTopK(k)
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Items() {
+			merged.Push(c.Item, c.Score)
+		}
+	}
+	return merged.Sorted()
+}
+
+// SimilarItems returns the n items whose factor vectors have the highest
+// cosine similarity to item v's, excluding v itself. Items with a zero
+// vector are skipped (cosine similarity is undefined for them). This is
+// the serial reference implementation; the serving API's /v1/similar-items
+// endpoint uses the sharded equivalent (serve.Scorer.SimilarItems), which
+// must stay behaviorally in lockstep with this one — the serve tests
+// compare the two.
+func (f *Factors) SimilarItems(v int32, n int) []ScoredItem {
+	if int(v) < 0 || int(v) >= f.N || n <= 0 {
+		return nil
+	}
+	qv := f.Colvec(v)
+	nv := norm(qv)
+	if nv == 0 {
+		return nil
+	}
+	t := NewTopK(n)
+	for w := 0; w < f.N; w++ {
+		if int32(w) == v {
+			continue
+		}
+		qw := f.Q[w*f.K : (w+1)*f.K]
+		nw := norm(qw)
+		if nw == 0 {
+			continue
+		}
+		t.Push(int32(w), Dot(qv, qw)/(nv*nw))
+	}
+	return t.Sorted()
+}
+
+func norm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}

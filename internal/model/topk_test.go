@@ -1,0 +1,183 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: TopK retains exactly the k best (score desc, item asc) of any
+// candidate stream, in sorted order.
+func TestQuickTopK(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%64) + 1
+		k := int(kRaw % 12)
+		cands := make([]ScoredItem, n)
+		acc := NewTopK(k)
+		for i := range cands {
+			// Coarse scores so ties actually occur.
+			cands[i] = ScoredItem{Item: int32(i), Score: float32(rng.Intn(8))}
+			acc.Push(cands[i].Item, cands[i].Score)
+		}
+		sort.Slice(cands, func(i, j int) bool { return worse(cands[j], cands[i]) })
+		want := cands
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := acc.Sorted()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKFloor(t *testing.T) {
+	acc := NewTopK(2)
+	if _, ok := acc.Floor(); ok {
+		t.Fatal("empty accumulator reported a floor")
+	}
+	acc.Push(1, 5)
+	acc.Push(2, 3)
+	if fl, ok := acc.Floor(); !ok || fl != 3 {
+		t.Fatalf("Floor = %v,%v want 3,true", fl, ok)
+	}
+	acc.Push(3, 4) // evicts score 3
+	if fl, _ := acc.Floor(); fl != 4 {
+		t.Fatalf("Floor after eviction = %v want 4", fl)
+	}
+	zero := NewTopK(0)
+	zero.Push(1, 1)
+	if zero.Len() != 0 {
+		t.Fatal("k=0 accumulator retained a candidate")
+	}
+	if _, ok := zero.Floor(); ok {
+		t.Fatal("k=0 accumulator reported a floor")
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	a, b := NewTopK(3), NewTopK(3)
+	a.Push(0, 1)
+	a.Push(1, 9)
+	b.Push(2, 5)
+	b.Push(3, 7)
+	got := MergeTopK(3, a, b, nil)
+	want := []ScoredItem{{1, 9}, {3, 7}, {2, 5}}
+	if len(got) != 3 {
+		t.Fatalf("merged %d items", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeTopK = %v, want %v", got, want)
+		}
+	}
+}
+
+// TopN must tolerate out-of-range seen ids and out-of-range users — the
+// serving path feeds it ids straight from HTTP requests.
+func TestTopNOutOfRange(t *testing.T) {
+	f := &Factors{M: 1, N: 5, K: 1, P: []float32{1}, Q: []float32{0, 1, 2, 3, 4}}
+	seen := map[int32]bool{4: true, -3: true, 99: true}
+	top := f.TopN(0, 3, seen)
+	if len(top) != 3 || top[0] != 3 || top[1] != 2 || top[2] != 1 {
+		t.Fatalf("TopN with out-of-range seen = %v", top)
+	}
+	if got := f.TopN(7, 3, nil); got != nil {
+		t.Fatalf("TopN for out-of-range user = %v, want nil", got)
+	}
+	if got := f.TopN(-1, 3, nil); got != nil {
+		t.Fatalf("TopN for negative user = %v, want nil", got)
+	}
+	if got := f.TopN(0, 0, nil); got != nil {
+		t.Fatalf("TopN with n=0 = %v, want nil", got)
+	}
+}
+
+func TestSimilarItems(t *testing.T) {
+	// Item vectors on a plane: 0 and 2 are parallel, 1 is orthogonal to 0,
+	// 3 is at 45°, 4 is the zero vector.
+	f := &Factors{M: 1, N: 5, K: 2, P: []float32{1, 0},
+		Q: []float32{1, 0 /*0*/, 0, 1 /*1*/, 2, 0 /*2*/, 1, 1 /*3*/, 0, 0 /*4*/}}
+	got := f.SimilarItems(0, 2)
+	if len(got) != 2 || got[0].Item != 2 || got[1].Item != 3 {
+		t.Fatalf("SimilarItems(0) = %v", got)
+	}
+	if got[0].Score < 0.999 {
+		t.Fatalf("parallel item cosine = %v, want ~1", got[0].Score)
+	}
+	if f.SimilarItems(4, 2) != nil {
+		t.Fatal("zero-vector query should return nil")
+	}
+	if f.SimilarItems(99, 2) != nil {
+		t.Fatal("out-of-range item should return nil")
+	}
+}
+
+// A hostile header must be rejected before any large allocation happens.
+func TestLoadRejectsHostileHeader(t *testing.T) {
+	cases := map[string][4]uint32{
+		"zero m":     {factorsMagic, 0, 10, 4},
+		"zero n":     {factorsMagic, 10, 0, 4},
+		"zero k":     {factorsMagic, 10, 10, 0},
+		"overflow":   {factorsMagic, 1 << 31, 1 << 31, 1 << 31},
+		"multi-gig":  {factorsMagic, 1 << 30, 1 << 30, 64},
+		"int32 edge": {factorsMagic, ^uint32(0), ^uint32(0), ^uint32(0)},
+	}
+	for name, header := range cases {
+		var buf bytes.Buffer
+		if err := binary.Write(&buf, binary.LittleEndian, header); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&buf); err == nil {
+			t.Errorf("%s: hostile header accepted", name)
+		}
+	}
+}
+
+// LoadFile must reject a file whose size disagrees with its header without
+// allocating the declared payload.
+func TestLoadFileSizeMismatch(t *testing.T) {
+	path := t.TempDir() + "/truncated.bin"
+	// Header declares 1000×1000 k=8 (~64 MB) but the file is 16 bytes.
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, [4]uint32{factorsMagic, 1000, 1000, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	// And a trailing-garbage file is rejected too.
+	f := NewFactors(3, 3, 2, rand.New(rand.NewSource(1)))
+	good := path + ".good"
+	if err := f.SaveFile(good); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, append(raw, 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(good); err == nil {
+		t.Fatal("oversized file accepted")
+	}
+}

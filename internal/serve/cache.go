@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a small mutex-guarded LRU for rendered responses
+// (recommend, similar-items). The server's keys carry the snapshot version
+// — that is what makes a stale entry unreachable, including one Put by a
+// request racing a hot-swap — and the purge on swap is memory reclamation
+// on top, so old-version entries don't linger until LRU eviction.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// newResultCache returns a cache holding up to capacity entries; a
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) Put(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Purge drops every entry — called on snapshot hot-swap.
+func (c *resultCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}
+
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

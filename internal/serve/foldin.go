@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+
+	"hsgd/internal/als"
+	"hsgd/internal/model"
+)
+
+// DefaultFoldInLambda is the ridge strength used when a caller doesn't
+// specify one — the paper's default regularisation (λ = 0.05).
+const DefaultFoldInLambda = 0.05
+
+// FoldIn produces a factor vector for a cold-start user from a handful of
+// (item, rating) pairs by solving the ridge least-squares system against
+// the snapshot's frozen Q (one row of the ALS P-step):
+//
+//	min_p Σ (value_i − p·q_item_i)² + λ·|ratings|·‖p‖²
+//
+// Items outside the snapshot's range are dropped (the client may be ahead
+// of the model); at least one in-range rating is required. The returned
+// vector feeds Scorer.RecommendVector, so an unseen user gets
+// recommendations immediately, without waiting for the next retrain.
+func FoldIn(f *model.Factors, items []int32, values []float32, lambda float32) ([]float32, error) {
+	if len(items) != len(values) {
+		return nil, fmt.Errorf("serve: fold-in got %d items but %d values", len(items), len(values))
+	}
+	if lambda <= 0 {
+		lambda = DefaultFoldInLambda
+	}
+	inItems := make([]int32, 0, len(items))
+	inVals := make([]float32, 0, len(values))
+	for i, v := range items {
+		if v >= 0 && int(v) < f.N {
+			inItems = append(inItems, v)
+			inVals = append(inVals, values[i])
+		}
+	}
+	if len(inItems) == 0 {
+		return nil, fmt.Errorf("serve: fold-in has no in-range ratings (model has %d items)", f.N)
+	}
+	return als.FoldInUser(f, inItems, inVals, lambda)
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"hsgd/internal/core"
+	"hsgd/internal/dataset"
+	"hsgd/internal/model"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+func TestFoldInValidation(t *testing.T) {
+	f := uniformFactors(2, 4, 2, 1, 1)
+	if _, err := FoldIn(f, []int32{1}, []float32{1, 2}, 0.05); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := FoldIn(f, []int32{99, -1}, []float32{1, 2}, 0.05); err == nil {
+		t.Fatal("all-out-of-range ratings accepted")
+	}
+	// lambda <= 0 falls back to the default instead of failing.
+	vec, err := FoldIn(f, []int32{0, 99}, []float32{2, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2 {
+		t.Fatalf("fold-in vector length %d", len(vec))
+	}
+}
+
+// With ratings that are exact inner products against Q, fold-in with tiny
+// regularisation must recover a vector reproducing them.
+func TestFoldInExactRecovery(t *testing.T) {
+	f := &model.Factors{M: 1, N: 3, K: 2, P: []float32{0, 0},
+		Q: []float32{1, 0, 0, 1, 1, 1}}
+	truth := []float32{2, 3} // ratings: q0·t=2, q1·t=3, q2·t=5
+	vec, err := FoldIn(f, []int32{0, 1, 2}, []float32{2, 3, 5}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(float64(vec[i]-truth[i])) > 1e-3 {
+			t.Fatalf("recovered %v, want %v", vec, truth)
+		}
+	}
+}
+
+// Fold-in accuracy: for users the trainer did see, solving their vector
+// from their training ratings against frozen Q must predict their held-out
+// test ratings about as well as the fully trained P row does — that is the
+// whole premise of serving cold-start users without a retrain.
+func TestFoldInAccuracyVsFullTraining(t *testing.T) {
+	spec := dataset.MovieLens().Scale(0.1)
+	train, test, err := dataset.Generate(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sgd.Params{K: 16, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.005, Iters: 12}
+	_, f, err := core.TrainReal(train, core.RealOptions{Threads: 4, Params: params, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect per-user train and test ratings.
+	trainBy := make(map[int32][]sparse.Rating)
+	for _, r := range train.Ratings {
+		trainBy[r.Row] = append(trainBy[r.Row], r)
+	}
+	testBy := make(map[int32][]sparse.Rating)
+	for _, r := range test.Ratings {
+		testBy[r.Row] = append(testBy[r.Row], r)
+	}
+
+	var nUsers int
+	var seTrained, seFold float64
+	var nRatings int
+	for u, testRs := range testBy {
+		trainRs := trainBy[u]
+		if len(trainRs) < 5 || len(testRs) < 3 {
+			continue
+		}
+		items := make([]int32, len(trainRs))
+		vals := make([]float32, len(trainRs))
+		for i, r := range trainRs {
+			items[i], vals[i] = r.Col, r.Value
+		}
+		vec, err := FoldIn(f, items, vals, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range testRs {
+			q := f.Colvec(r.Col)
+			dTrained := float64(r.Value - model.Dot(f.Row(u), q))
+			dFold := float64(r.Value - model.Dot(vec, q))
+			seTrained += dTrained * dTrained
+			seFold += dFold * dFold
+			nRatings++
+		}
+		nUsers++
+		if nUsers >= 200 {
+			break
+		}
+	}
+	if nUsers < 20 {
+		t.Fatalf("only %d usable users in the generated split", nUsers)
+	}
+	rmseTrained := math.Sqrt(seTrained / float64(nRatings))
+	rmseFold := math.Sqrt(seFold / float64(nRatings))
+	t.Logf("held-out RMSE over %d users / %d ratings: trained %.4f, fold-in %.4f",
+		nUsers, nRatings, rmseTrained, rmseFold)
+	if rmseFold > rmseTrained*1.25+0.05 {
+		t.Fatalf("fold-in RMSE %.4f too far above trained %.4f", rmseFold, rmseTrained)
+	}
+}

@@ -1,0 +1,181 @@
+// Package serve is the online half of the system: it turns factors trained
+// by TrainParallel (or loaded from an HFAC snapshot file) into a queryable,
+// continuously-refreshable recommendation service. cuMF_SGD and "Faster and
+// Cheaper" both frame fast factorization as the feeder for low-latency
+// serving; this package is that consumer.
+//
+// The pieces:
+//
+//   - Scorer: a sharded parallel top-K retriever over the item factors
+//     (scorer.go).
+//   - Store: the live snapshot behind an atomic pointer, with zero-downtime
+//     hot-swap and a disk watcher (snapshot.go).
+//   - FoldIn: ridge least-squares cold-start so unseen users get
+//     recommendations from a handful of ratings (foldin.go).
+//   - Server: the HTTP JSON API tying them together, with an LRU result
+//     cache invalidated on swap (server.go, cache.go).
+package serve
+
+import (
+	"runtime"
+	"sync"
+
+	"hsgd/internal/model"
+)
+
+// scoreBlockItems is the number of contiguous Q rows scored per inner
+// block: dot products are computed for the whole block into a small
+// on-stack buffer first, then offered to the heap. Separating the streaming
+// arithmetic from the branchy heap bookkeeping keeps the hot loop over the
+// contiguous rows tight, the same reason the trainer processes grid blocks
+// rather than single ratings.
+const scoreBlockItems = 512
+
+// serialCutoff is the item count below which sharding is pure overhead and
+// the scorer runs on the calling goroutine.
+const serialCutoff = 4096
+
+// Scorer ranks the item space for a query vector by partitioning items
+// across worker goroutines, each scanning its contiguous shard of Q with a
+// per-shard bounded min-heap, followed by a final merge. A zero Scorer is
+// usable: it shards across GOMAXPROCS workers.
+type Scorer struct {
+	// Shards is the number of worker goroutines; <= 0 means GOMAXPROCS.
+	Shards int
+}
+
+func (s *Scorer) workers(nItems int) int {
+	w := s.Shards
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if nItems < serialCutoff {
+		return 1
+	}
+	if w > nItems {
+		w = nItems
+	}
+	return w
+}
+
+// Recommend returns the k items with the highest predicted rating for the
+// trained user u, excluding the ids in seen (out-of-range ids are ignored).
+// Returns nil when u is outside the snapshot's user range.
+func (s *Scorer) Recommend(f *model.Factors, u int32, k int, seen map[int32]bool) []model.ScoredItem {
+	if int(u) < 0 || int(u) >= f.M {
+		return nil
+	}
+	return s.rank(f, f.Row(u), k, seen, nil, -1)
+}
+
+// RecommendVector ranks items for an arbitrary user vector — the entry
+// point for cold-start users whose vector came from FoldIn rather than
+// training. query must have length f.K.
+func (s *Scorer) RecommendVector(f *model.Factors, query []float32, k int, seen map[int32]bool) []model.ScoredItem {
+	if len(query) != f.K {
+		return nil
+	}
+	return s.rank(f, query, k, seen, nil, -1)
+}
+
+// SimilarItems returns the k items most cosine-similar to item v,
+// excluding v itself. invNorms must hold 1/‖q_w‖ per item (0 for zero
+// vectors) — the Store precomputes it once per snapshot so the hot loop
+// pays one multiply instead of a norm.
+func (s *Scorer) SimilarItems(f *model.Factors, invNorms []float32, v int32, k int) []model.ScoredItem {
+	if int(v) < 0 || int(v) >= f.N || len(invNorms) != f.N || invNorms[v] == 0 {
+		return nil
+	}
+	// Scale the query by its own inverse norm so the reported scores are
+	// true cosines, not just rank-equivalent.
+	qv := f.Colvec(v)
+	query := make([]float32, f.K)
+	for i, x := range qv {
+		query[i] = x * invNorms[v]
+	}
+	return s.rank(f, query, k, nil, invNorms, v)
+}
+
+// rank is the shared scan: score = query·q_v (times scale[v] if scale is
+// non-nil), skipping seen ids and the excluded item.
+func (s *Scorer) rank(f *model.Factors, query []float32, k int, seen map[int32]bool, scale []float32, exclude int32) []model.ScoredItem {
+	n := f.N
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	w := s.workers(n)
+	if w == 1 {
+		return scoreRange(f, query, 0, n, k, seen, scale, exclude).Sorted()
+	}
+	heaps := make([]*model.TopK, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := n*i/w, n*(i+1)/w
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			heaps[i] = scoreRange(f, query, lo, hi, k, seen, scale, exclude)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	return model.MergeTopK(k, heaps...)
+}
+
+// scoreRange scans items [lo, hi) in blocks and returns the shard's local
+// top-k heap.
+func scoreRange(f *model.Factors, query []float32, lo, hi, k int, seen map[int32]bool, scale []float32, exclude int32) *model.TopK {
+	t := model.NewTopK(k)
+	var scores [scoreBlockItems]float32
+	kdim := f.K
+	for b := lo; b < hi; b += scoreBlockItems {
+		e := min(b+scoreBlockItems, hi)
+		rows := f.Q[b*kdim : e*kdim]
+		cnt := e - b
+		// Register-blocked scoring: 4 contiguous rows share one streaming
+		// pass over the query, so the query loads (and loop overhead)
+		// amortise 4× versus a row-at-a-time Dot — this is what makes the
+		// scorer faster than the serial TopN scan even on one shard.
+		i := 0
+		for ; i+4 <= cnt; i += 4 {
+			quad := rows[i*kdim : (i+4)*kdim]
+			scores[i], scores[i+1], scores[i+2], scores[i+3] = dot4(query,
+				quad[:kdim], quad[kdim:2*kdim], quad[2*kdim:3*kdim], quad[3*kdim:])
+		}
+		for ; i < cnt; i++ {
+			scores[i] = model.Dot(query, rows[i*kdim:(i+1)*kdim])
+		}
+		for i := 0; i < cnt; i++ {
+			v := int32(b + i)
+			if v == exclude || seen[v] {
+				continue
+			}
+			sc := scores[i]
+			if scale != nil {
+				s := scale[b+i]
+				if s == 0 {
+					continue // zero-norm item: cosine undefined, skip
+				}
+				sc *= s
+			}
+			t.Push(v, sc)
+		}
+	}
+	return t
+}
+
+// dot4 computes the dot product of q against four equal-length rows in one
+// pass. Slicing every row to len(q) up front lets the compiler drop the
+// bounds checks in the loop and keep the four accumulators in registers.
+func dot4(q, a, b, c, d []float32) (sa, sb, sc, sd float32) {
+	a = a[:len(q)]
+	b = b[:len(q)]
+	c = c[:len(q)]
+	d = d[:len(q)]
+	for j, x := range q {
+		sa += x * a[j]
+		sb += x * b[j]
+		sc += x * c[j]
+		sd += x * d[j]
+	}
+	return
+}

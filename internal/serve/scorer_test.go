@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsgd/internal/model"
+)
+
+func randomFactors(m, n, k int, seed int64) *model.Factors {
+	return model.NewFactors(m, n, k, rand.New(rand.NewSource(seed)))
+}
+
+// The sharded scan must return exactly the items of the serial TopN scan,
+// for any shard count, including shard counts that don't divide the item
+// space evenly.
+func TestScorerMatchesSerialTopN(t *testing.T) {
+	f := randomFactors(6, 9001, 16, 1) // above serialCutoff, odd size
+	seen := map[int32]bool{3: true, 700: true, 8999: true, -5: true, 99999: true}
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		s := &Scorer{Shards: shards}
+		for u := int32(0); u < 6; u++ {
+			got := s.Recommend(f, u, 20, seen)
+			want := f.TopN(u, 20, seen)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d user=%d: %d items, want %d", shards, u, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Item != want[i] {
+					t.Fatalf("shards=%d user=%d rank %d: item %d, want %d",
+						shards, u, i, got[i].Item, want[i])
+				}
+				if math.Abs(float64(got[i].Score-f.Predict(u, got[i].Item))) > 1e-5 {
+					t.Fatalf("score %v != predict %v", got[i].Score, f.Predict(u, got[i].Item))
+				}
+			}
+		}
+	}
+}
+
+func TestScorerEdgeCases(t *testing.T) {
+	f := randomFactors(3, 50, 8, 2)
+	s := &Scorer{Shards: 4}
+	if got := s.Recommend(f, 99, 5, nil); got != nil {
+		t.Fatalf("out-of-range user returned %v", got)
+	}
+	if got := s.Recommend(f, 0, 0, nil); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := s.RecommendVector(f, make([]float32, 3), 5, nil); got != nil {
+		t.Fatalf("wrong-length query returned %v", got)
+	}
+	// k larger than the item count returns everything, ranked.
+	got := s.Recommend(f, 0, 500, nil)
+	if len(got) != 50 {
+		t.Fatalf("k>N returned %d items", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+	// All items seen -> empty.
+	all := make(map[int32]bool)
+	for v := int32(0); v < 50; v++ {
+		all[v] = true
+	}
+	if got := s.Recommend(f, 0, 5, all); len(got) != 0 {
+		t.Fatalf("all-seen returned %v", got)
+	}
+}
+
+// RecommendVector with the user's own trained row must agree with Recommend.
+func TestRecommendVectorConsistent(t *testing.T) {
+	f := randomFactors(2, 6000, 12, 3)
+	s := &Scorer{Shards: 3}
+	a := s.Recommend(f, 1, 10, nil)
+	b := s.RecommendVector(f, f.Row(1), 10, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// The sharded cosine retrieval must agree with the serial reference in
+// internal/model.
+func TestScorerSimilarItemsMatchesModel(t *testing.T) {
+	f := randomFactors(1, 7001, 16, 4)
+	snapInv := invNorms(f)
+	s := &Scorer{Shards: 5}
+	for _, v := range []int32{0, 1234, 7000} {
+		got := s.SimilarItems(f, snapInv, v, 15)
+		want := f.SimilarItems(v, 15)
+		if len(got) != len(want) {
+			t.Fatalf("item %d: %d results, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Item != want[i].Item {
+				t.Fatalf("item %d rank %d: %d, want %d", v, i, got[i].Item, want[i].Item)
+			}
+			if math.Abs(float64(got[i].Score-want[i].Score)) > 1e-4 {
+				t.Fatalf("item %d rank %d: cos %v, want %v", v, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+	if got := s.SimilarItems(f, snapInv, 9999, 5); got != nil {
+		t.Fatalf("out-of-range item returned %v", got)
+	}
+}
+
+// BenchmarkTopKSharded measures full-catalog top-10 retrieval at the
+// Netflix item count (n=17770, the paper's Table I) with k=64 factors,
+// across shard counts, against the serial Factors.TopN scan as baseline.
+// Run with: go test -bench TopK -benchtime 2s ./internal/serve
+func BenchmarkTopKSharded(b *testing.B) {
+	const (
+		nItems = 17770
+		kDim   = 64
+		topK   = 10
+	)
+	f := randomFactors(64, nItems, kDim, 7)
+	b.Run("serial-TopN", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.TopN(int32(i%f.M), topK, nil)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		s := &Scorer{Shards: shards}
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Recommend(f, int32(i%f.M), topK, nil)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}

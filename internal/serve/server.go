@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hsgd/internal/model"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store supplies the live snapshot; required.
+	Store *Store
+	// Shards is the scorer's worker count; <= 0 means GOMAXPROCS.
+	Shards int
+	// CacheSize is the LRU result-cache capacity in entries. 0 picks the
+	// default (1024); negative disables caching.
+	CacheSize int
+	// FoldInLambda is the cold-start ridge strength; <= 0 picks
+	// DefaultFoldInLambda.
+	FoldInLambda float32
+	// MaxK caps the k a request may ask for; <= 0 picks 1000.
+	MaxK int
+}
+
+// Server is the HTTP JSON API over a snapshot store:
+//
+//	GET  /v1/predict?user=U&item=V          one score
+//	GET  /v1/recommend?user=U&k=10          top-k for a trained user
+//	POST /v1/recommend                      cold-start fold-in from ratings
+//	GET  /v1/similar-items?item=V&k=10      item-to-item cosine retrieval
+//	GET  /healthz                           200 once a snapshot is live
+//	GET  /statsz                            counters + snapshot metadata
+//
+// Every request pins the snapshot once, so a concurrent hot-swap never
+// mixes two model versions inside one response.
+type Server struct {
+	store        *Store
+	scorer       Scorer
+	cache        *resultCache
+	foldInLambda float32
+	maxK         int
+	start        time.Time
+
+	nPredict, nRecommend, nFoldIn, nSimilar atomic.Int64
+	nErrors, nCacheHit, nCacheMiss          atomic.Int64
+}
+
+// New builds a Server over the given store and registers the cache
+// invalidation hook: every hot-swap purges the result cache.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 1024
+	}
+	maxK := cfg.MaxK
+	if maxK <= 0 {
+		maxK = 1000
+	}
+	s := &Server{
+		store:        cfg.Store,
+		scorer:       Scorer{Shards: cfg.Shards},
+		cache:        newResultCache(cacheSize),
+		foldInLambda: cfg.FoldInLambda,
+		maxK:         maxK,
+		start:        time.Now(),
+	}
+	cfg.Store.OnSwap(func(*Snapshot) { s.cache.Purge() })
+	return s, nil
+}
+
+// Handler returns the route mux. It is what cmd/hsgd-serve mounts and what
+// the tests drive through httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/recommend", s.handleRecommendGet)
+	mux.HandleFunc("POST /v1/recommend", s.handleRecommendPost)
+	mux.HandleFunc("GET /v1/similar-items", s.handleSimilar)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.nErrors.Add(1)
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// snapshot pins the live snapshot for the request, failing 503 while no
+// model has been published yet.
+func (s *Server) snapshot(w http.ResponseWriter) (*Snapshot, bool) {
+	snap := s.store.Current()
+	if snap == nil {
+		s.fail(w, http.StatusServiceUnavailable, "no model snapshot loaded yet")
+		return nil, false
+	}
+	return snap, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.store.Current() == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no snapshot"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Snapshot      *snapshotStats `json:"snapshot,omitempty"`
+	LastLoadError string         `json:"last_load_error,omitempty"`
+	Requests      requestStats   `json:"requests"`
+	Cache         cacheStats     `json:"cache"`
+}
+
+type snapshotStats struct {
+	Version  uint64 `json:"version"`
+	Source   string `json:"source"`
+	LoadedAt string `json:"loaded_at"`
+	Users    int    `json:"users"`
+	Items    int    `json:"items"`
+	K        int    `json:"k"`
+}
+
+type requestStats struct {
+	Predict   int64 `json:"predict"`
+	Recommend int64 `json:"recommend"`
+	FoldIn    int64 `json:"fold_in"`
+	Similar   int64 `json:"similar_items"`
+	Errors    int64 `json:"errors"`
+}
+
+type cacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		LastLoadError: s.store.LastError(),
+		Requests: requestStats{
+			Predict:   s.nPredict.Load(),
+			Recommend: s.nRecommend.Load(),
+			FoldIn:    s.nFoldIn.Load(),
+			Similar:   s.nSimilar.Load(),
+			Errors:    s.nErrors.Load(),
+		},
+		Cache: cacheStats{
+			Hits:    s.nCacheHit.Load(),
+			Misses:  s.nCacheMiss.Load(),
+			Entries: s.cache.Len(),
+		},
+	}
+	if snap := s.store.Current(); snap != nil {
+		resp.Snapshot = &snapshotStats{
+			Version:  snap.Version,
+			Source:   snap.Source,
+			LoadedAt: snap.LoadedAt.UTC().Format(time.RFC3339),
+			Users:    snap.Factors.M,
+			Items:    snap.Factors.N,
+			K:        snap.Factors.K,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+type predictResponse struct {
+	User            int32   `json:"user"`
+	Item            int32   `json:"item"`
+	Score           float32 `json:"score"`
+	SnapshotVersion uint64  `json:"snapshot_version"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.nPredict.Add(1)
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	f := snap.Factors
+	u, err := parseID(r.URL.Query().Get("user"), "user", f.M)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := parseID(r.URL.Query().Get("item"), "item", f.N)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, predictResponse{
+		User: u, Item: v, Score: f.Predict(u, v), SnapshotVersion: snap.Version,
+	})
+}
+
+type recommendRequest struct {
+	// User is the trained user id; omit (or set to -1) for a pure
+	// cold-start request that carries Ratings instead.
+	User *int32 `json:"user,omitempty"`
+	K    int    `json:"k"`
+	// Ratings triggers fold-in: the user's vector is solved against the
+	// frozen item factors before scoring.
+	Ratings []ratingJSON `json:"ratings,omitempty"`
+	// Exclude lists item ids to drop from the results (e.g. already-seen
+	// items). Rated items in a fold-in request are always excluded.
+	Exclude []int32 `json:"exclude,omitempty"`
+}
+
+type ratingJSON struct {
+	Item  int32   `json:"item"`
+	Value float32 `json:"value"`
+}
+
+type recommendResponse struct {
+	User            *int32       `json:"user,omitempty"`
+	FoldIn          bool         `json:"fold_in,omitempty"`
+	SnapshotVersion uint64       `json:"snapshot_version"`
+	Items           []scoredItem `json:"items"`
+}
+
+type scoredItem struct {
+	Item  int32   `json:"item"`
+	Score float32 `json:"score"`
+}
+
+func (s *Server) handleRecommendGet(w http.ResponseWriter, r *http.Request) {
+	s.nRecommend.Add(1)
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	u, err := parseID(q.Get("user"), "user", snap.Factors.M)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := s.parseK(q.Get("k"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	exclude, err := parseIDList(q.Get("exclude"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The key carries the snapshot version: a request racing a hot-swap may
+	// Put a result computed from the old snapshot after the purge, and the
+	// version keeps such an entry unreachable (the purge is just memory
+	// reclamation).
+	key := fmt.Sprintf("r/%d/%d/%d/%s", snap.Version, u, k, q.Get("exclude"))
+	if body, ok := s.cache.Get(key); ok {
+		s.nCacheHit.Add(1)
+		writeCached(w, body)
+		return
+	}
+	s.nCacheMiss.Add(1)
+	ranked := s.scorer.Recommend(snap.Factors, u, k, idSet(exclude))
+	body := mustMarshal(recommendResponse{
+		User: &u, SnapshotVersion: snap.Version, Items: toScored(ranked),
+	})
+	s.cache.Put(key, body)
+	writeCached(w, body)
+}
+
+func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.nRecommend.Add(1)
+		s.fail(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	snap, okSnap := s.snapshot(w)
+	if !okSnap {
+		s.nRecommend.Add(1)
+		return
+	}
+	k, err := s.clampK(req.K)
+	if err != nil {
+		s.nRecommend.Add(1)
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seen := idSet(req.Exclude)
+
+	if len(req.Ratings) == 0 {
+		// No ratings: behaves like the GET form for a trained user.
+		s.nRecommend.Add(1)
+		if req.User == nil || int(*req.User) < 0 || int(*req.User) >= snap.Factors.M {
+			s.fail(w, http.StatusBadRequest, "user missing or out of range and no ratings for fold-in given")
+			return
+		}
+		ranked := s.scorer.Recommend(snap.Factors, *req.User, k, seen)
+		s.writeJSON(w, http.StatusOK, recommendResponse{
+			User: req.User, SnapshotVersion: snap.Version, Items: toScored(ranked),
+		})
+		return
+	}
+
+	// Cold-start fold-in: solve a vector from the supplied ratings, then
+	// rank with it, excluding what the user just told us they rated.
+	s.nFoldIn.Add(1)
+	items := make([]int32, len(req.Ratings))
+	vals := make([]float32, len(req.Ratings))
+	if seen == nil {
+		seen = make(map[int32]bool, len(req.Ratings))
+	}
+	for i, rt := range req.Ratings {
+		items[i], vals[i] = rt.Item, rt.Value
+		seen[rt.Item] = true
+	}
+	vec, err := FoldIn(snap.Factors, items, vals, s.foldInLambda)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "fold-in: %v", err)
+		return
+	}
+	ranked := s.scorer.RecommendVector(snap.Factors, vec, k, seen)
+	s.writeJSON(w, http.StatusOK, recommendResponse{
+		User: req.User, FoldIn: true, SnapshotVersion: snap.Version, Items: toScored(ranked),
+	})
+}
+
+type similarResponse struct {
+	Item            int32        `json:"item"`
+	SnapshotVersion uint64       `json:"snapshot_version"`
+	Items           []scoredItem `json:"items"`
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	s.nSimilar.Add(1)
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	v, err := parseID(q.Get("item"), "item", snap.Factors.N)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := s.parseK(q.Get("k"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("s/%d/%d/%d", snap.Version, v, k)
+	if body, ok := s.cache.Get(key); ok {
+		s.nCacheHit.Add(1)
+		writeCached(w, body)
+		return
+	}
+	s.nCacheMiss.Add(1)
+	ranked := s.scorer.SimilarItems(snap.Factors, snap.InvNorms, v, k)
+	body := mustMarshal(similarResponse{
+		Item: v, SnapshotVersion: snap.Version, Items: toScored(ranked),
+	})
+	s.cache.Put(key, body)
+	writeCached(w, body)
+}
+
+// --- small helpers ---
+
+func parseID(raw, name string, limit int) (int32, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing %q parameter", name)
+	}
+	id, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q parameter %q", name, raw)
+	}
+	if id < 0 || int(id) >= limit {
+		return 0, fmt.Errorf("%s %d outside [0,%d)", name, id, limit)
+	}
+	return int32(id), nil
+}
+
+func (s *Server) parseK(raw string) (int, error) {
+	if raw == "" {
+		return s.clampK(0)
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad k %q", raw)
+	}
+	return s.clampK(k)
+}
+
+// clampK applies the default page size (k=0, the JSON zero value and the
+// unset query parameter alike) and the configured ceiling.
+func (s *Server) clampK(k int) (int, error) {
+	if k == 0 {
+		return 10, nil
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("bad k %d", k)
+	}
+	if k > s.maxK {
+		return 0, fmt.Errorf("k %d over limit %d", k, s.maxK)
+	}
+	return k, nil
+}
+
+func parseIDList(raw string) ([]int32, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad exclude entry %q", p)
+		}
+		out = append(out, int32(id))
+	}
+	return out, nil
+}
+
+func idSet(ids []int32) map[int32]bool {
+	if len(ids) == 0 {
+		return nil
+	}
+	set := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+func toScored(ranked []model.ScoredItem) []scoredItem {
+	out := make([]scoredItem, len(ranked))
+	for i, c := range ranked {
+		out[i] = scoredItem{Item: c.Item, Score: c.Score}
+	}
+	return out
+}
+
+func mustMarshal(v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // all response types are marshalable
+	}
+	return append(body, '\n')
+}
+
+func writeCached(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T, store *Store) *httptest.Server {
+	t.Helper()
+	srv, err := New(Config{Store: store, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getBody(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, raw, err)
+		}
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	store := NewStore()
+	ts := newTestServer(t, store)
+
+	// Before any snapshot: health and queries are 503.
+	getBody(t, ts.URL+"/healthz", http.StatusServiceUnavailable, nil)
+	getBody(t, ts.URL+"/v1/recommend?user=0", http.StatusServiceUnavailable, nil)
+
+	// Publish a model with a transparent structure: q_v = v, p_u = u+1,
+	// k=1, so predict(u,v) = (u+1)·v and the best item is always the
+	// largest unseen id.
+	f := uniformFactors(3, 6, 1, 0, 0)
+	for u := 0; u < 3; u++ {
+		f.P[u] = float32(u + 1)
+	}
+	for v := 0; v < 6; v++ {
+		f.Q[v] = float32(v)
+	}
+	if _, err := store.Publish(f, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	getBody(t, ts.URL+"/healthz", http.StatusOK, nil)
+
+	var pred predictResponse
+	getBody(t, ts.URL+"/v1/predict?user=2&item=4", http.StatusOK, &pred)
+	if pred.Score != 12 || pred.SnapshotVersion != 1 {
+		t.Fatalf("predict = %+v, want score 12 v1", pred)
+	}
+
+	var rec recommendResponse
+	getBody(t, ts.URL+"/v1/recommend?user=1&k=3&exclude=5,4", http.StatusOK, &rec)
+	if len(rec.Items) != 3 || rec.Items[0].Item != 3 || rec.Items[0].Score != 6 {
+		t.Fatalf("recommend = %+v", rec)
+	}
+
+	// Cold-start POST: ratings say "loves item 5" (q=5), fold-in yields a
+	// positive vector, rated item excluded from results.
+	body, _ := json.Marshal(map[string]any{
+		"k": 2, "ratings": []map[string]any{{"item": 5, "value": 5}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST recommend: %d: %s", resp.StatusCode, raw)
+	}
+	var cold recommendResponse
+	if err := json.Unmarshal(raw, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !cold.FoldIn || len(cold.Items) != 2 {
+		t.Fatalf("fold-in response = %+v", cold)
+	}
+	for _, it := range cold.Items {
+		if it.Item == 5 {
+			t.Fatal("rated item leaked into fold-in recommendations")
+		}
+	}
+	if cold.Items[0].Item != 4 {
+		t.Fatalf("fold-in top item %d, want 4 (largest unrated q)", cold.Items[0].Item)
+	}
+
+	var sim similarResponse
+	getBody(t, ts.URL+"/v1/similar-items?item=2&k=2", http.StatusOK, &sim)
+	// k=1 vectors: every non-zero item has cosine 1 with every other; ties
+	// break to the lowest id, and item 0 (zero vector) is skipped.
+	if len(sim.Items) != 2 || sim.Items[0].Item != 1 || sim.Items[0].Score != 1 {
+		t.Fatalf("similar = %+v", sim)
+	}
+
+	// Bad inputs are 400s.
+	for _, bad := range []string{
+		"/v1/predict?user=0&item=999",
+		"/v1/predict?user=xyz&item=1",
+		"/v1/recommend?user=99",
+		"/v1/recommend?user=0&k=99999",
+		"/v1/recommend?user=0&exclude=a,b",
+		"/v1/similar-items?item=-2",
+	} {
+		getBody(t, ts.URL+bad, http.StatusBadRequest, nil)
+	}
+	// POST with neither user nor ratings.
+	resp, err = http.Post(ts.URL+"/v1/recommend", "application/json", bytes.NewReader([]byte(`{"k":3}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty POST: %d", resp.StatusCode)
+	}
+
+	var stats statsResponse
+	getBody(t, ts.URL+"/statsz", http.StatusOK, &stats)
+	if stats.Snapshot == nil || stats.Snapshot.Users != 3 || stats.Snapshot.Items != 6 {
+		t.Fatalf("statsz snapshot = %+v", stats.Snapshot)
+	}
+	if stats.Requests.FoldIn != 1 || stats.Requests.Errors == 0 {
+		t.Fatalf("statsz requests = %+v", stats.Requests)
+	}
+}
+
+// Repeating a recommend request must hit the LRU cache; a hot-swap must
+// invalidate it so the next response reflects the new model.
+func TestCacheHitAndSwapInvalidation(t *testing.T) {
+	store := NewStore()
+	ts := newTestServer(t, store)
+	if _, err := store.Publish(uniformFactors(2, 8, 2, 1, 1), "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	url := ts.URL + "/v1/recommend?user=0&k=3"
+	var rec recommendResponse
+	getBody(t, url, http.StatusOK, &rec)
+	getBody(t, url, http.StatusOK, &rec)
+	if rec.Items[0].Score != 2 { // k·1·1
+		t.Fatalf("score %v, want 2", rec.Items[0].Score)
+	}
+	var stats statsResponse
+	getBody(t, ts.URL+"/statsz", http.StatusOK, &stats)
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v", stats.Cache)
+	}
+
+	// Swap in a model with doubled factors; the cached result must not
+	// survive.
+	if _, err := store.Publish(uniformFactors(2, 8, 2, 2, 2), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	getBody(t, url, http.StatusOK, &rec)
+	if rec.Items[0].Score != 8 || rec.SnapshotVersion != 2 {
+		t.Fatalf("post-swap response = %+v, want score 8 v2", rec)
+	}
+}
+
+// Hot-swap under concurrent load: hammer /v1/recommend while the store
+// flips between two models whose predictions are exactly 8 and 32. Every
+// response must be internally consistent — all scores from one version —
+// and the server must never 5xx. Run with -race this doubles as the
+// snapshot-store race test.
+func TestHotSwapUnderConcurrentLoad(t *testing.T) {
+	const (
+		users, items, kDim = 4, 5000, 8 // items > serialCutoff: sharded path
+		readers            = 4
+		requestsPerReader  = 60
+		swaps              = 120
+	)
+	a := uniformFactors(users, items, kDim, 1, 1) // every score 8
+	b := uniformFactors(users, items, kDim, 2, 2) // every score 32
+
+	store := NewStore()
+	if _, err := store.Publish(a, "a"); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, store)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < swaps; i++ {
+			src := a
+			if i%2 == 0 {
+				src = b
+			}
+			if _, err := store.Publish(src.Clone(), "swap"); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i >= requestsPerReader {
+						return
+					}
+				default:
+				}
+				resp, err := client.Get(fmt.Sprintf("%s/v1/recommend?user=%d&k=5", ts.URL, (r+i)%users))
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: status %d: %s", r, resp.StatusCode, raw)
+					return
+				}
+				var rec recommendResponse
+				if err := json.Unmarshal(raw, &rec); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if len(rec.Items) != 5 {
+					t.Errorf("reader %d: %d items", r, len(rec.Items))
+					return
+				}
+				for _, it := range rec.Items {
+					if it.Score != 8 && it.Score != 32 {
+						t.Errorf("reader %d: impossible score %v (torn snapshot?)", r, it.Score)
+						return
+					}
+					if it.Score != rec.Items[0].Score {
+						t.Errorf("reader %d: mixed versions in one response: %v vs %v",
+							r, it.Score, rec.Items[0].Score)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

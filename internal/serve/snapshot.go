@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsgd/internal/model"
+)
+
+// Snapshot is one immutable published model version. Queries hold a
+// *Snapshot for their whole lifetime, so a concurrent hot-swap never
+// changes the data under a request — the old snapshot stays reachable (and
+// alive) until the last in-flight request drops it.
+type Snapshot struct {
+	Factors *model.Factors
+	// InvNorms[v] = 1/‖q_v‖ (0 for a zero vector), precomputed once per
+	// publish so cosine similar-items scoring costs one multiply per item.
+	InvNorms []float32
+	Version  uint64
+	LoadedAt time.Time
+	// Source is where the snapshot came from: a file path for LoadFile, or
+	// a caller-chosen label for in-process Publish.
+	Source string
+}
+
+// Store holds the live snapshot behind an atomic pointer. Swaps are
+// zero-downtime: readers call Current with no locks on the hot path, and a
+// background retrain (or the disk watcher) publishes a new version without
+// dropping queries.
+type Store struct {
+	cur     atomic.Pointer[Snapshot]
+	version atomic.Uint64
+
+	mu      sync.Mutex
+	onSwap  []func(*Snapshot)
+	lastErr atomic.Pointer[string]
+	// loadedStat is the (path, mtime, size) observed by the last LoadFile,
+	// used to seed Watch's change detector — statting when the watch loop
+	// starts instead would silently absorb a snapshot written between
+	// LoadFile and Watch.
+	loadedStat atomic.Pointer[fileStat]
+
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+type fileStat struct {
+	path string
+	mod  time.Time
+	size int64
+}
+
+// NewStore returns an empty store; Current returns nil until the first
+// Publish or LoadFile.
+func NewStore() *Store {
+	return &Store{now: time.Now}
+}
+
+// Current returns the live snapshot, or nil if nothing has been published.
+// It is safe for any number of concurrent callers and never blocks.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Publish validates f, precomputes the item norms, and atomically swaps it
+// in as the live snapshot. The previous snapshot is untouched, so requests
+// that already picked it up finish against consistent data. Registered
+// OnSwap hooks run synchronously before Publish returns.
+func (s *Store) Publish(f *model.Factors, source string) (*Snapshot, error) {
+	if f == nil {
+		return nil, fmt.Errorf("serve: cannot publish nil factors")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: refusing to publish: %w", err)
+	}
+	inv := invNorms(f)
+	// Version assignment and the pointer store happen under the mutex so
+	// two concurrent publishers (e.g. the disk watcher racing an in-process
+	// retrain) can't interleave and leave an older snapshot live after a
+	// newer one was stored. Readers never take this lock.
+	s.mu.Lock()
+	snap := &Snapshot{
+		Factors:  f,
+		InvNorms: inv,
+		Version:  s.version.Add(1),
+		LoadedAt: s.now(),
+		Source:   source,
+	}
+	s.cur.Store(snap)
+	s.lastErr.Store(nil)
+	hooks := append([]func(*Snapshot){}, s.onSwap...)
+	s.mu.Unlock()
+	for _, h := range hooks {
+		h(snap)
+	}
+	return snap, nil
+}
+
+// LoadFile reads an HFAC snapshot file (as written by Factors.Save /
+// cmd/hsgd-train -out) and publishes it.
+func (s *Store) LoadFile(path string) (*Snapshot, error) {
+	// Stat before reading: if the file is replaced mid-load, the recorded
+	// stat disagrees with the new file and the watcher reloads next tick.
+	info, statErr := os.Stat(path)
+	f, err := model.LoadFile(path)
+	if err != nil {
+		s.setErr(err)
+		return nil, err
+	}
+	snap, err := s.Publish(f, path)
+	if err == nil && statErr == nil {
+		s.loadedStat.Store(&fileStat{path: path, mod: info.ModTime(), size: info.Size()})
+	}
+	return snap, err
+}
+
+// OnSwap registers a hook called synchronously after every successful
+// publish — the server uses it to invalidate its result cache.
+func (s *Store) OnSwap(fn func(*Snapshot)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onSwap = append(s.onSwap, fn)
+}
+
+// LastError reports the most recent load failure ("" when the last load
+// succeeded) — surfaced in /statsz so a bad snapshot push is visible.
+func (s *Store) LastError() string {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (s *Store) setErr(err error) {
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+}
+
+// Watch polls path every interval and republishes whenever the file's
+// (mtime, size) changes, until ctx is cancelled. This is how a background
+// retrain hands off: train, Save to a temp file, rename over the watched
+// path (rename keeps readers from seeing a torn write; a mid-write read
+// fails the loader's size cross-check and is retried on the next tick).
+// Load failures are recorded in LastError and do not disturb the live
+// snapshot.
+func (s *Store) Watch(ctx context.Context, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var lastMod time.Time
+	var lastSize int64 = -1
+	if st := s.loadedStat.Load(); st != nil && st.path == path {
+		// The caller already loaded this file; seed the change detector
+		// from the stat taken at load time so we neither reload the same
+		// bytes nor miss a write that landed since.
+		lastMod, lastSize = st.mod, st.size
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			s.setErr(err)
+			continue
+		}
+		if info.ModTime().Equal(lastMod) && info.Size() == lastSize {
+			continue
+		}
+		if _, err := s.LoadFile(path); err != nil {
+			// Torn or corrupt write: keep serving the old snapshot and
+			// retry next tick (don't update lastMod, so a slow writer is
+			// picked up once it finishes).
+			continue
+		}
+		lastMod, lastSize = info.ModTime(), info.Size()
+	}
+}
+
+func invNorms(f *model.Factors) []float32 {
+	inv := make([]float32, f.N)
+	for v := 0; v < f.N; v++ {
+		row := f.Q[v*f.K : (v+1)*f.K]
+		var s float64
+		for _, x := range row {
+			s += float64(x) * float64(x)
+		}
+		if s > 0 {
+			inv[v] = float32(1 / math.Sqrt(s))
+		}
+	}
+	return inv
+}

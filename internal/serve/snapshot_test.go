@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hsgd/internal/model"
+)
+
+// uniformFactors returns factors where every P entry is pv and every Q
+// entry is qv, so every prediction is exactly k·pv·qv — handy for telling
+// model versions apart.
+func uniformFactors(m, n, k int, pv, qv float32) *model.Factors {
+	f := &model.Factors{M: m, N: n, K: k,
+		P: make([]float32, m*k), Q: make([]float32, n*k)}
+	for i := range f.P {
+		f.P[i] = pv
+	}
+	for i := range f.Q {
+		f.Q[i] = qv
+	}
+	return f
+}
+
+func TestPublishValidates(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Publish(nil, "x"); err == nil {
+		t.Fatal("nil factors accepted")
+	}
+	bad := &model.Factors{M: 2, N: 2, K: 2, P: make([]float32, 1)}
+	if _, err := s.Publish(bad, "x"); err == nil {
+		t.Fatal("invalid factors accepted")
+	}
+	if s.Current() != nil {
+		t.Fatal("failed publish left a snapshot behind")
+	}
+	snap, err := s.Publish(uniformFactors(2, 3, 4, 1, 1), "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || s.Current() != snap {
+		t.Fatalf("snapshot not live: %+v", snap)
+	}
+	if len(snap.InvNorms) != 3 || snap.InvNorms[0] != 0.5 {
+		t.Fatalf("InvNorms = %v, want [0.5 0.5 0.5] (‖q‖=2)", snap.InvNorms)
+	}
+}
+
+func TestOnSwapHookAndVersions(t *testing.T) {
+	s := NewStore()
+	var swaps []uint64
+	s.OnSwap(func(snap *Snapshot) { swaps = append(swaps, snap.Version) })
+	for i := 0; i < 3; i++ {
+		if _, err := s.Publish(uniformFactors(1, 1, 1, 1, 1), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(swaps) != 3 || swaps[0] != 1 || swaps[2] != 3 {
+		t.Fatalf("swap hook saw %v", swaps)
+	}
+}
+
+// Snapshots must hot-swap off disk: the watcher picks up a renamed-in
+// snapshot, survives a corrupt write without dropping the live model, and
+// recovers once the file is fixed.
+func TestWatchHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.hfac")
+	writeSnapshot := func(f *model.Factors) {
+		t.Helper()
+		tmp := path + ".tmp"
+		if err := f.SaveFile(tmp); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSnapshot(uniformFactors(2, 4, 2, 1, 1))
+
+	s := NewStore()
+	if _, err := s.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); s.Watch(ctx, path, 5*time.Millisecond) }()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// A new snapshot (different shape, so the size must change) swaps in.
+	writeSnapshot(uniformFactors(3, 5, 2, 2, 2))
+	waitFor(func() bool { return s.Current().Version >= 2 }, "hot-swap")
+	if f := s.Current().Factors; f.M != 3 || f.N != 5 {
+		t.Fatalf("swapped factors are %dx%d", f.M, f.N)
+	}
+
+	// A corrupt write must not disturb the live snapshot, only LastError.
+	liveVersion := s.Current().Version
+	if err := os.WriteFile(path, []byte("garbage that is not HFAC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(func() bool { return s.LastError() != "" }, "load error")
+	if s.Current().Version != liveVersion {
+		t.Fatal("corrupt file displaced the live snapshot")
+	}
+
+	// Recovery: a good snapshot lands and the error clears.
+	writeSnapshot(uniformFactors(4, 6, 2, 3, 3))
+	waitFor(func() bool { return s.Current().Factors.M == 4 }, "recovery swap")
+	if s.LastError() != "" {
+		t.Fatalf("LastError still set after recovery: %q", s.LastError())
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Watch did not stop on cancel")
+	}
+}
