@@ -11,9 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"hsgd"
+	"hsgd/internal/dataset"
 )
 
 func main() {
@@ -32,18 +32,9 @@ func main() {
 }
 
 func run(name string, scale float64, out, testPath string, seed int64) error {
-	var spec hsgd.DatasetSpec
-	found := false
-	for _, s := range hsgd.BenchmarkDatasets() {
-		key := strings.ToLower(strings.TrimSuffix(s.Name, "!Music"))
-		if strings.HasPrefix(strings.ToLower(s.Name), strings.ToLower(name)) || key == strings.ToLower(name) {
-			spec = s
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown dataset %q (want movielens|netflix|r1|yahoo)", name)
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		return err
 	}
 	spec = spec.Scale(scale)
 	train, test, err := hsgd.GenerateDataset(spec, seed)

@@ -2,9 +2,16 @@
 //
 // Two modes:
 //
-//	-mode=real (default)  FPSGD on real goroutines; wall-clock timings.
+//	-mode=real (default)  wall-clock training on the lock-striped engine
+//	                      (or hogwild/als/cd via -trainer)
 //	-mode=sim             one of the paper's pipelines on the simulated
 //	                      heterogeneous system; virtual-clock timings.
+//
+// Real mode supports learning-rate schedules (-schedule), separate P/Q
+// regularisation (-lambdaP/-lambdaQ), periodic atomic checkpoints that a
+// running hsgd-serve hot-swaps (-checkpoint, -checkpoint-every), and
+// resuming an interrupted run from such a checkpoint (-resume,
+// -resume-epoch).
 //
 // The input is the text interchange format of internal/sparse ("rows cols
 // nnz" header, then "row col value" lines; ".bin" files use the binary
@@ -21,11 +28,15 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "real", "real (goroutine FPSGD) or sim (heterogeneous simulation)")
+		mode    = flag.String("mode", "real", "real (wall-clock training) or sim (heterogeneous simulation)")
+		trainer = flag.String("trainer", "fpsgd", "real algorithm: fpsgd|hogwild|als|cd")
 		alg     = flag.String("alg", "hsgd*", "sim algorithm: cpu-only|gpu-only|hsgd|hsgd*|hsgd*-m|hsgd*-q")
 		k       = flag.Int("k", 128, "latent factors")
 		lambda  = flag.Float64("lambda", 0.05, "regularisation (applied to both P and Q)")
+		lambdaP = flag.Float64("lambdaP", -1, "P-side regularisation λP (default: -lambda)")
+		lambdaQ = flag.Float64("lambdaQ", -1, "Q-side regularisation λQ (default: -lambda)")
 		gamma   = flag.Float64("gamma", 0.005, "learning rate")
+		schedln = flag.String("schedule", "fixed", "learning-rate schedule: fixed|inverse|chin|bold")
 		iters   = flag.Int("iters", 20, "training iterations (epochs)")
 		threads = flag.Int("threads", 16, "CPU threads")
 		gpus    = flag.Int("gpus", 1, "simulated GPUs (sim mode)")
@@ -33,6 +44,10 @@ func main() {
 		scale   = flag.Float64("devscale", 0.01, "device constant scale (sim mode)")
 		testPth = flag.String("test", "", "optional test-set file for RMSE evaluation")
 		out     = flag.String("out", "", "write trained factors to this file")
+		ckpt    = flag.String("checkpoint", "", "write atomic mid-train snapshots to this file (real mode, fpsgd)")
+		ckptN   = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
+		resume  = flag.String("resume", "", "resume training from this checkpoint file (real mode, fpsgd)")
+		resumeE = flag.Int("resume-epoch", 0, "epochs the -resume checkpoint had already completed")
 		seed    = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -41,74 +56,147 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *mode, *alg, *k, *lambda, *gamma, *iters,
-		*threads, *gpus, *workers, *scale, *testPth, *out, *seed); err != nil {
+	cfg := config{
+		mode: *mode, trainer: *trainer, alg: *alg,
+		k: *k, lambda: *lambda, lambdaP: *lambdaP, lambdaQ: *lambdaQ,
+		gamma: *gamma, schedule: *schedln, iters: *iters,
+		threads: *threads, gpus: *gpus, workers: *workers, scale: *scale,
+		testPath: *testPth, out: *out,
+		checkpoint: *ckpt, checkpointEvery: *ckptN,
+		resume: *resume, resumeEpoch: *resumeE,
+		seed: *seed,
+	}
+	if err := run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, mode, alg string, k int, lambda, gamma float64, iters,
-	threads, gpus, workers int, scale float64, testPath, out string, seed int64) error {
+type config struct {
+	mode, trainer, alg              string
+	k                               int
+	lambda, lambdaP, lambdaQ, gamma float64
+	schedule                        string
+	iters, threads, gpus, workers   int
+	scale                           float64
+	testPath, out                   string
+	checkpoint                      string
+	checkpointEvery                 int
+	resume                          string
+	resumeEpoch                     int
+	seed                            int64
+}
+
+func run(path string, cfg config) error {
 	train, err := hsgd.LoadMatrix(path)
 	if err != nil {
 		return err
 	}
 	var test *hsgd.Matrix
-	if testPath != "" {
-		if test, err = hsgd.LoadMatrix(testPath); err != nil {
+	if cfg.testPath != "" {
+		if test, err = hsgd.LoadMatrix(cfg.testPath); err != nil {
 			return err
 		}
+	}
+	// The single -lambda remains the shared default; -lambdaP/-lambdaQ
+	// override each side independently.
+	lp, lq := cfg.lambda, cfg.lambda
+	if cfg.lambdaP >= 0 {
+		lp = cfg.lambdaP
+	}
+	if cfg.lambdaQ >= 0 {
+		lq = cfg.lambdaQ
 	}
 	params := hsgd.Params{
-		K: k, LambdaP: float32(lambda), LambdaQ: float32(lambda),
-		Gamma: float32(gamma), Iters: iters,
+		K: cfg.k, LambdaP: float32(lp), LambdaQ: float32(lq),
+		Gamma: float32(cfg.gamma), Iters: cfg.iters,
 	}
 	var factors *hsgd.Factors
-	switch mode {
+	switch cfg.mode {
 	case "real":
-		rep, f, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
-			Threads: threads, Params: params, Seed: seed, Test: test,
-		})
-		if err != nil {
-			return err
-		}
-		factors = f
-		fmt.Printf("trained %d epochs in %.3fs wall clock (%d updates)\n",
-			rep.Epochs, rep.Seconds, rep.TotalUpdates)
-		if test != nil {
-			fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
-		}
+		factors, err = runReal(train, test, params, cfg)
 	case "sim":
-		rep, f, err := hsgd.Train(train, test, hsgd.Options{
-			Algorithm:  hsgd.Algorithm(alg),
-			CPUThreads: threads,
-			GPUs:       gpus,
-			Params:     params,
-			GPU:        hsgd.DefaultGPU().WithWorkers(workers).Scaled(scale),
-			CPU:        hsgd.DefaultCPU().Scaled(scale),
-			Seed:       seed,
-		})
-		if err != nil {
-			return err
-		}
-		factors = f
-		fmt.Printf("%s: %d epochs in %.4fs virtual time\n", alg, rep.Epochs, rep.VirtualSeconds)
-		if rep.Alpha > 0 {
-			fmt.Printf("cost-model split: alpha=%.3f (GPU %.1f%%, CPU %.1f%%)\n",
-				rep.Alpha, 100*rep.GPUShare, 100*rep.CPUShare)
-		}
-		if test != nil {
-			fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
-		}
+		factors, err = runSim(train, test, params, cfg)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
-	if out != "" {
-		if err := factors.SaveFile(out); err != nil {
+	if err != nil {
+		return err
+	}
+	if cfg.out != "" {
+		if err := factors.SaveFile(cfg.out); err != nil {
 			return err
 		}
-		fmt.Printf("factors written to %s\n", out)
+		fmt.Printf("factors written to %s\n", cfg.out)
 	}
 	return nil
+}
+
+func runReal(train, test *hsgd.Matrix, params hsgd.Params, cfg config) (*hsgd.Factors, error) {
+	tr, err := hsgd.NewTrainer(cfg.trainer)
+	if err != nil {
+		return nil, err
+	}
+	schedule, err := hsgd.NewSchedule(cfg.schedule, cfg.gamma)
+	if err != nil {
+		return nil, err
+	}
+	opt := hsgd.TrainOptions{
+		Threads:         cfg.threads,
+		Params:          params,
+		Schedule:        schedule,
+		Seed:            cfg.seed,
+		Test:            test,
+		CheckpointPath:  cfg.checkpoint,
+		CheckpointEvery: cfg.checkpointEvery,
+	}
+	if cfg.resume != "" {
+		loaded, err := hsgd.LoadFactors(cfg.resume)
+		if err != nil {
+			return nil, fmt.Errorf("loading -resume checkpoint: %w", err)
+		}
+		opt.Resume = loaded
+		opt.StartEpoch = cfg.resumeEpoch
+		fmt.Printf("resuming from %s at epoch %d\n", cfg.resume, cfg.resumeEpoch)
+	}
+	rep, f, err := tr.Train(train, opt)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%s: trained %d epochs in %.3fs wall clock", rep.Algorithm, rep.Epochs, rep.Seconds)
+	if rep.TotalUpdates > 0 {
+		fmt.Printf(" (%d updates)", rep.TotalUpdates)
+	}
+	fmt.Println()
+	if rep.Checkpoints > 0 {
+		fmt.Printf("%d checkpoints written to %s\n", rep.Checkpoints, cfg.checkpoint)
+	}
+	if test != nil {
+		fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
+	}
+	return f, nil
+}
+
+func runSim(train, test *hsgd.Matrix, params hsgd.Params, cfg config) (*hsgd.Factors, error) {
+	rep, f, err := hsgd.Train(train, test, hsgd.Options{
+		Algorithm:  hsgd.Algorithm(cfg.alg),
+		CPUThreads: cfg.threads,
+		GPUs:       cfg.gpus,
+		Params:     params,
+		GPU:        hsgd.DefaultGPU().WithWorkers(cfg.workers).Scaled(cfg.scale),
+		CPU:        hsgd.DefaultCPU().Scaled(cfg.scale),
+		Seed:       cfg.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%s: %d epochs in %.4fs virtual time\n", cfg.alg, rep.Epochs, rep.VirtualSeconds)
+	if rep.Alpha > 0 {
+		fmt.Printf("cost-model split: alpha=%.3f (GPU %.1f%%, CPU %.1f%%)\n",
+			rep.Alpha, 100*rep.GPUShare, 100*rep.CPUShare)
+	}
+	if test != nil {
+		fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
+	}
+	return f, nil
 }

@@ -3,11 +3,19 @@
 // Yu et al., "Efficient Matrix Factorization on Heterogeneous CPU-GPU
 // Systems" (ICDE 2021, arXiv:2006.15980).
 //
-// Two ways to use it:
+// Three ways to use it:
 //
-//   - TrainParallel runs FPSGD-style shared-memory parallel SGD on real
-//     goroutines — the practical trainer for Go applications that just want
-//     fast matrix factorization on a multi-core CPU.
+//   - Trainer (NewTrainer) is the unified training API: "fpsgd" (the
+//     lock-striped parallel SGD engine in internal/engine — the default),
+//     "hogwild", "als" and "cd" all sit behind one entry point with shared
+//     TrainOptions and TrainReport types. The FPSGD engine additionally
+//     supports learning-rate schedules (NewSchedule), early stopping on a
+//     target RMSE, atomic mid-train checkpoints, and resume-from-checkpoint
+//     (LoadFactors + TrainOptions.Resume).
+//
+//   - TrainParallel is the convenience wrapper around the FPSGD engine for
+//     applications that just want fast matrix factorization on a multi-core
+//     CPU.
 //
 //   - Train runs the paper's heterogeneous pipelines (CPU-Only, GPU-Only,
 //     HSGD, HSGD* and its ablations) on a simulated CPU+GPU system with a
@@ -18,15 +26,20 @@
 //
 // Trained factors feed the online serving subsystem (internal/serve,
 // cmd/hsgd-serve): sharded top-K retrieval, hot-swappable snapshots, and
-// cold-start fold-in behind an HTTP JSON API. See README.md for the
-// train → save → serve quickstart.
+// cold-start fold-in behind an HTTP JSON API. Mid-train checkpoints are
+// written atomically in the same snapshot format, so a serve process
+// watching the checkpoint path hot-swaps models while training is still
+// running — see README.md for the train → checkpoint → hot-swap → serve
+// pipeline.
 //
 // Quick start:
 //
-//	train, _ := sparse.LoadFile("ratings.txt")   // or hsgd.LoadMatrix
-//	report, factors, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
-//	    Threads: 8,
-//	    Params:  hsgd.DefaultParams(),
+//	train, _ := hsgd.LoadMatrix("ratings.txt")
+//	trainer, _ := hsgd.NewTrainer("fpsgd")
+//	report, factors, err := trainer.Train(train, hsgd.TrainOptions{
+//	    Threads:        8,
+//	    Params:         hsgd.DefaultParams(),
+//	    CheckpointPath: "model.hfac", // hot-swapped live by hsgd-serve
 //	})
 //	score := factors.Predict(user, item)
 package hsgd

@@ -78,3 +78,151 @@ func TestMatrixFileHelpers(t *testing.T) {
 		t.Fatal("file round trip changed size")
 	}
 }
+
+// TestTrainerAPI drives every algorithm behind the unified Trainer interface
+// on one small dataset, plus the FPSGD-only checkpoint/resume path and the
+// option rejection on trainers that cannot honor it.
+func TestTrainerAPI(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.03)
+	train, test, err := GenerateDataset(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 8
+	params.Iters = 3
+
+	for _, name := range []string{"fpsgd", "hogwild", "als", "cd"} {
+		trainer, err := NewTrainer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trainer.Name() != name {
+			t.Fatalf("Name() = %q, want %q", trainer.Name(), name)
+		}
+		threads := 2
+		if name == "hogwild" {
+			// Hogwild's lock-free updates are data races by design; keep it
+			// single-worker so `go test -race ./...` stays clean.
+			threads = 1
+		}
+		rep, f, err := trainer.Train(train, TrainOptions{Threads: threads, Params: params, Seed: 3, Test: test})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Algorithm != name || rep.Seconds <= 0 || rep.Epochs != params.Iters {
+			t.Fatalf("%s: report %+v", name, rep)
+		}
+		if rep.FinalRMSE <= 0 || math.IsNaN(rep.FinalRMSE) {
+			t.Fatalf("%s: RMSE %v", name, rep.FinalRMSE)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	if _, err := NewTrainer("nope"); err == nil {
+		t.Fatal("unknown trainer accepted")
+	}
+
+	// Checkpoint + resume through the public surface.
+	ckpt := t.TempDir() + "/ckpt.hfac"
+	fpsgd, _ := NewTrainer("fpsgd")
+	short := params
+	short.Iters = 2
+	if _, _, err := fpsgd.Train(train, TrainOptions{Threads: 2, Params: short, Seed: 3, CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFactors(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := fpsgd.Train(train, TrainOptions{
+		Threads: 2, Params: params, Seed: 3, Test: test,
+		Resume: loaded, StartEpoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != params.Iters {
+		t.Fatalf("resumed epochs = %d, want %d", rep.Epochs, params.Iters)
+	}
+
+	// Engine-only options must be rejected elsewhere, not dropped.
+	hog, _ := NewTrainer("hogwild")
+	if _, _, err := hog.Train(train, TrainOptions{Threads: 2, Params: params, CheckpointPath: ckpt}); err == nil {
+		t.Fatal("hogwild accepted a checkpoint path")
+	}
+
+	// Schedules by name.
+	for _, name := range []string{"fixed", "inverse", "chin", "bold"} {
+		s, err := NewSchedule(name, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := s.Rate(0); r <= 0 {
+			t.Fatalf("schedule %s rate %v", name, r)
+		}
+	}
+	if _, err := NewSchedule("nope", 0.01); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+// TestTrainerRejectsSplitLambda: ALS and CD take a single regulariser, so a
+// differing LambdaQ must be an error, not silently collapsed to LambdaP.
+func TestTrainerRejectsSplitLambda(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.02)
+	train, _, err := GenerateDataset(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 4
+	params.Iters = 1
+	params.LambdaQ = params.LambdaP * 2
+	for _, name := range []string{"als", "cd"} {
+		tr, _ := NewTrainer(name)
+		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params}); err == nil {
+			t.Fatalf("%s accepted LambdaP != LambdaQ", name)
+		}
+	}
+}
+
+// TestTrainerRejectsUnsupportedOptions: options a trainer cannot honor must
+// error, not silently do nothing.
+func TestTrainerRejectsUnsupportedOptions(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.02)
+	train, _, err := GenerateDataset(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 4
+	params.Iters = 1
+	bold, _ := NewSchedule("bold", 0.01)
+	fixed, _ := NewSchedule("fixed", 0.01)
+	for _, name := range []string{"hogwild", "als", "cd"} {
+		tr, _ := NewTrainer(name)
+		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, TargetRMSE: 0.5}); err == nil {
+			t.Fatalf("%s accepted TargetRMSE", name)
+		}
+	}
+	for _, name := range []string{"fpsgd", "hogwild", "als"} {
+		tr, _ := NewTrainer(name)
+		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, InnerSweeps: 3}); err == nil {
+			t.Fatalf("%s accepted InnerSweeps", name)
+		}
+	}
+	for _, name := range []string{"als", "cd"} {
+		tr, _ := NewTrainer(name)
+		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, Schedule: bold}); err == nil {
+			t.Fatalf("%s accepted an adaptive schedule", name)
+		}
+		// The constant schedule carries no behavior to lose and stays legal
+		// (it is what cmd/hsgd-train passes by default).
+		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, Schedule: fixed}); err != nil {
+			t.Fatalf("%s rejected the fixed schedule: %v", name, err)
+		}
+	}
+}

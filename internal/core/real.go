@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hsgd/internal/engine"
 	"hsgd/internal/grid"
 	"hsgd/internal/model"
 	"hsgd/internal/sched"
@@ -40,8 +41,38 @@ type RealReport struct {
 	TotalUpdates int64
 }
 
-// realRun shares the scheduler and epoch state between worker goroutines.
-type realRun struct {
+// TrainReal runs wall-clock FPSGD on the lock-striped training engine
+// (internal/engine): per-band atomic block acquisition, the fused SoA update
+// kernel, and a quiescence barrier for per-epoch evaluation. It keeps the
+// original mutex-scheduler API; new code that needs checkpointing or
+// warm-start resume should call engine.Train (or the public hsgd.Trainer)
+// directly.
+func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Factors, error) {
+	rep, f, err := engine.Train(train, engine.Options{
+		Threads:    opt.Threads,
+		Params:     opt.Params,
+		Schedule:   opt.Schedule,
+		Seed:       opt.Seed,
+		Test:       opt.Test,
+		TargetRMSE: opt.TargetRMSE,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &RealReport{
+		Seconds:      rep.Seconds,
+		Epochs:       rep.Epochs,
+		FinalRMSE:    rep.FinalRMSE,
+		TotalUpdates: rep.TotalUpdates,
+	}
+	for _, p := range rep.History {
+		out.History = append(out.History, EvalPoint{Time: p.Time, Epoch: p.Epoch, RMSE: p.RMSE})
+	}
+	return out, f, nil
+}
+
+// legacyRun shares the scheduler and epoch state between worker goroutines.
+type legacyRun struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sched    *sched.Uniform
@@ -52,10 +83,13 @@ type realRun struct {
 	done     bool
 }
 
-// TrainReal runs FPSGD on real goroutines: Rule 1 grid, least-updates block
-// selection under a mutex, and per-epoch quiescent evaluation. It returns
-// genuine wall-clock timings.
-func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Factors, error) {
+// TrainRealLegacy is the pre-engine wall-clock trainer: every block acquire
+// and release serializes through one global mutex + condition variable, and
+// a worker that finds all candidates locked busy-spins via runtime.Gosched.
+// It is retained as the regression baseline the engine benchmarks against
+// (BenchmarkEngineVsLegacy, cmd/hsgd-bench); applications should use
+// TrainReal.
+func TrainRealLegacy(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Factors, error) {
 	if opt.Threads < 1 {
 		opt.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -76,7 +110,7 @@ func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Facto
 	}
 	f := model.NewFactors(train.Rows, train.Cols, opt.Params.K, newRand(opt.Seed))
 
-	run := &realRun{sched: sched.NewUniform(g), gamma: schedule.Rate(0)}
+	run := &legacyRun{sched: sched.NewUniform(g), gamma: schedule.Rate(0)}
 	run.cond = sync.NewCond(&run.mu)
 	report := &RealReport{}
 	nnz := int64(train.NNZ())

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"hsgd/internal/sgd"
 	"hsgd/internal/sparse"
@@ -111,6 +112,28 @@ func YahooMusic() Spec {
 // Benchmarks returns the four paper datasets in Table I order.
 func Benchmarks() []Spec {
 	return []Spec{MovieLens(), Netflix(), R1(), YahooMusic()}
+}
+
+// ByName resolves a benchmark spec from a user-facing name
+// (case-insensitive prefix: "movielens", "netflix", "r1", "yahoo") — the
+// single lookup the CLI commands share.
+func ByName(name string) (Spec, error) {
+	want := strings.ToLower(name)
+	for _, s := range Benchmarks() {
+		full := strings.ToLower(s.Name)
+		if want != "" && strings.HasPrefix(strings.Map(alnum, full), strings.Map(alnum, want)) {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown name %q (want movielens|netflix|r1|yahoo)", name)
+}
+
+// alnum drops punctuation so "yahoo" matches "Yahoo!Music".
+func alnum(r rune) rune {
+	if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+		return r
+	}
+	return -1
 }
 
 // Generate plants a rank-TrueRank ground truth, samples Zipf-distributed

@@ -1,0 +1,79 @@
+package engine_test
+
+// Engine-vs-legacy training benchmark on the Netflix-shaped synthetic
+// dataset at 8 threads — the acceptance benchmark for the lock-striped
+// engine (and the one cmd/hsgd-bench runs in CI to emit BENCH_train.json).
+// The legacy trainer is the pre-engine global-mutex FPSGD loop retained as
+// core.TrainRealLegacy.
+
+import (
+	"testing"
+
+	"hsgd/internal/core"
+	"hsgd/internal/dataset"
+	"hsgd/internal/engine"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+const benchThreads = 8
+
+func benchData(b *testing.B) (*sparse.Matrix, *sparse.Matrix) {
+	b.Helper()
+	train, test, err := dataset.Generate(dataset.Netflix().Scale(0.1), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return train, test
+}
+
+func benchParams() sgd.Params {
+	// Ten epochs so the engine's one-time PackSOA cost amortises the way a
+	// real training run (paper default: 20 iterations) amortises it.
+	return sgd.Params{K: 32, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.005, Iters: 10}
+}
+
+// BenchmarkTrainEngine8 trains on the lock-striped engine.
+func BenchmarkTrainEngine8(b *testing.B) {
+	train, test := benchData(b)
+	b.SetBytes(int64(train.NNZ()) * int64(benchParams().Iters))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _, err := engine.Train(train, engine.Options{
+			Threads: benchThreads, Params: benchParams(), Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.TotalUpdates)/rep.Seconds/1e6, "Mupd/s")
+	}
+	b.StopTimer()
+	rep, f, err := engine.Train(train, engine.Options{Threads: benchThreads, Params: benchParams(), Seed: 0, Test: test})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = f
+	b.ReportMetric(rep.FinalRMSE, "rmse")
+}
+
+// BenchmarkTrainLegacy8 trains on the pre-engine global-mutex loop.
+func BenchmarkTrainLegacy8(b *testing.B) {
+	train, test := benchData(b)
+	b.SetBytes(int64(train.NNZ()) * int64(benchParams().Iters))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _, err := core.TrainRealLegacy(train, core.RealOptions{
+			Threads: benchThreads, Params: benchParams(), Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.TotalUpdates)/rep.Seconds/1e6, "Mupd/s")
+	}
+	b.StopTimer()
+	rep, _, err := core.TrainRealLegacy(train, core.RealOptions{Threads: benchThreads, Params: benchParams(), Seed: 0, Test: test})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.FinalRMSE, "rmse")
+}

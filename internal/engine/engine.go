@@ -1,0 +1,374 @@
+// Package engine is the wall-clock parallel training engine: FPSGD over a
+// lock-striped block scheduler, a fused structure-of-arrays update kernel,
+// and a train-to-serve checkpoint publisher.
+//
+// It replaces the original TrainReal design, which funnelled every block
+// acquire and release through one global mutex + condition variable and
+// busy-spun with runtime.Gosched when blocked — a contention wall at high
+// thread counts and the opposite of FPSGD's conflict-free-scheduling idea.
+// Here workers claim blocks with per-band atomic locks (sched.Striped), run
+// the register-blocked fused kernel (sgd.UpdateBlockSOA) over the grid's
+// structure-of-arrays block payloads, and meet only at epoch boundaries,
+// where a lightweight quiescence barrier drains in-flight blocks before the
+// factors are read for evaluation and checkpointing.
+//
+// Checkpoints are written atomically in the internal/model HFAC format, so
+// the serving side's snapshot watcher (internal/serve.Store.Watch) can
+// hot-swap a model mid-train — the train → checkpoint → hot-swap → serve
+// pipeline — and a later run can resume from one via Options.Init.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsgd/internal/grid"
+	"hsgd/internal/model"
+	"hsgd/internal/sched"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+// Options configures a training run.
+type Options struct {
+	Threads  int          // worker goroutines; <1 means GOMAXPROCS
+	Params   sgd.Params   // hyperparameters; Iters is the total epoch budget
+	Schedule sgd.Schedule // learning-rate schedule; nil means fixed Params.Gamma
+	Seed     int64
+
+	// Test, when non-nil, is evaluated at every epoch boundary under the
+	// quiescence barrier; the trajectory lands in Report.History.
+	Test *sparse.Matrix
+	// TargetRMSE stops training early once the test RMSE reaches it.
+	TargetRMSE float64
+
+	// Init warm-starts training from existing factors (e.g. a checkpoint
+	// loaded with model.LoadFile) instead of random initialisation. The
+	// factors are trained in place and returned. Dimensions must match the
+	// training matrix and Params.K.
+	Init *model.Factors
+	// StartEpoch is the number of epochs already completed by Init — it
+	// offsets the epoch counter and the learning-rate schedule, so a
+	// resumed run continues epoch-indexed schedules (fixed, inverse, chin)
+	// where the interrupted run left off. Stateful schedules (BoldDriver)
+	// keep their adapted gamma only in memory: a resume with a freshly
+	// constructed bold driver restarts its adaptation from gamma0.
+	// Training runs until the absolute epoch count reaches Params.Iters.
+	StartEpoch int
+
+	// CheckpointPath, when set, makes the engine atomically write the
+	// factors there (HFAC format, temp file + rename) every
+	// CheckpointEvery epochs — the hand-off point to the serving layer's
+	// snapshot watcher. The final epoch is always checkpointed regardless
+	// of the stride. CheckpointEvery <= 0 defaults to every epoch.
+	CheckpointPath  string
+	CheckpointEvery int
+}
+
+// EvalPoint is one wall-clock RMSE measurement.
+type EvalPoint struct {
+	Time  float64 // seconds since training started
+	Epoch int
+	RMSE  float64
+}
+
+// Report summarises a run.
+type Report struct {
+	Seconds      float64
+	Epochs       int // absolute epochs completed (includes StartEpoch)
+	FinalRMSE    float64
+	History      []EvalPoint
+	TotalUpdates int64 // ratings processed by this run
+	Checkpoints  int   // snapshots written
+}
+
+// LossObserver is implemented by adaptive schedules (sgd.BoldDriver): the
+// engine feeds it the epoch's loss — the test RMSE when a test set is
+// supplied, otherwise the RMSE over a fixed sample of the training ratings —
+// at every epoch boundary.
+type LossObserver interface {
+	Observe(loss float64)
+}
+
+// LossSampleMax caps the training ratings scanned for the observer's loss
+// when no test set is available.
+const LossSampleMax = 65536
+
+// LossSample returns the fixed training prefix evaluated for an adaptive
+// schedule's loss when no test set is supplied — shared with the other
+// trainers (hogwild) so their bold-driver adaptation sees the same signal.
+func LossSample(train *sparse.Matrix) *sparse.Matrix {
+	n := min(train.NNZ(), LossSampleMax)
+	return &sparse.Matrix{Rows: train.Rows, Cols: train.Cols, Ratings: train.Ratings[:n]}
+}
+
+// blockedPoll bounds how long a worker sleeps after a failed acquire before
+// rechecking: the release-notification channel coalesces wake-ups, so a
+// waiter can miss one and must poll eventually. It also bounds how long the
+// quiescence barrier can be delayed by a starved worker.
+const blockedPoll = 200 * time.Microsecond
+
+// Train runs lock-striped FPSGD and returns wall-clock timings together with
+// the trained factors.
+func Train(train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
+	if opt.Threads < 1 {
+		opt.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opt.Params.K <= 0 || opt.Params.Iters <= 0 {
+		return nil, nil, fmt.Errorf("engine: invalid params (k=%d iters=%d)", opt.Params.K, opt.Params.Iters)
+	}
+	if train.NNZ() == 0 {
+		return nil, nil, sparse.ErrEmpty
+	}
+	if opt.StartEpoch < 0 || opt.StartEpoch >= opt.Params.Iters {
+		return nil, nil, fmt.Errorf("engine: StartEpoch %d outside [0,%d)", opt.StartEpoch, opt.Params.Iters)
+	}
+	if opt.TargetRMSE > 0 && opt.Test == nil {
+		return nil, nil, fmt.Errorf("engine: TargetRMSE requires a Test set to evaluate against")
+	}
+	schedule := opt.Schedule
+	if schedule == nil {
+		schedule = sgd.FixedSchedule(opt.Params.Gamma)
+	}
+	f := opt.Init
+	if f != nil {
+		if f.M != train.Rows || f.N != train.Cols || f.K != opt.Params.K {
+			return nil, nil, fmt.Errorf("engine: Init factors %dx%d k=%d do not match train %dx%d k=%d",
+				f.M, f.N, f.K, train.Rows, train.Cols, opt.Params.K)
+		}
+	} else {
+		f = model.NewFactors(train.Rows, train.Cols, opt.Params.K, rand.New(rand.NewSource(opt.Seed)))
+	}
+	rows, cols := grid.Rule1(opt.Threads, 0)
+	g, err := grid.Uniform(train, rows, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.PackSOA()
+
+	ckptEvery := 0
+	if opt.CheckpointPath != "" {
+		ckptEvery = opt.CheckpointEvery
+		if ckptEvery <= 0 {
+			ckptEvery = 1
+		}
+	}
+	r := &run{
+		st:        sched.NewStriped(g),
+		f:         f,
+		opt:       opt,
+		schedule:  schedule,
+		nnz:       int64(train.NNZ()),
+		ckptEvery: ckptEvery,
+		report:    &Report{},
+		start:     time.Now(),
+	}
+	r.observer, _ = schedule.(LossObserver)
+	if r.observer != nil && opt.Test == nil {
+		r.lossSample = LossSample(train)
+	}
+	r.cond = sync.NewCond(&r.evalMu)
+	r.epoch.Store(int64(opt.StartEpoch))
+	r.setGamma(schedule.Rate(opt.StartEpoch))
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Threads; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			r.worker(worker)
+		}(w)
+	}
+	wg.Wait()
+
+	r.report.Seconds = time.Since(r.start).Seconds()
+	r.report.Epochs = int(r.epoch.Load())
+	r.report.TotalUpdates = r.st.Updates()
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("engine: checkpoint failed: %w", r.err)
+	}
+	return r.report, f, nil
+}
+
+// run is the state shared between worker goroutines. The hot path touches
+// only atomics and the striped scheduler; evalMu/cond exist solely for the
+// epoch-boundary quiescence barrier and are never contended while workers
+// are streaming blocks.
+type run struct {
+	st         *sched.Striped
+	f          *model.Factors
+	opt        Options
+	schedule   sgd.Schedule
+	observer   LossObserver
+	lossSample *sparse.Matrix
+	nnz        int64
+	ckptEvery  int
+	start      time.Time
+
+	gammaBits  atomic.Uint32
+	epoch      atomic.Int64 // absolute completed epochs
+	active     atomic.Int64 // workers between acquire-intent and release
+	paused     atomic.Bool  // quiescence requested; workers must park
+	evaluating atomic.Bool  // elects the single epoch-boundary evaluator
+	done       atomic.Bool
+
+	evalMu sync.Mutex // guards cond waits and report/factors access at boundaries
+	cond   *sync.Cond
+	report *Report
+	err    error // first checkpoint failure
+}
+
+func (r *run) gamma() float32     { return math.Float32frombits(r.gammaBits.Load()) }
+func (r *run) setGamma(g float32) { r.gammaBits.Store(math.Float32bits(g)) }
+
+// worker is the per-goroutine training loop: claim a block from the striped
+// scheduler, run the fused kernel over its SoA payload, release, and check
+// for an epoch boundary. No global lock anywhere on the path.
+func (r *run) worker(id int) {
+	prefer := -1
+	for {
+		if r.done.Load() {
+			return
+		}
+		if r.paused.Load() {
+			r.waitResume()
+			continue
+		}
+		// active must cover the whole acquire-to-release window so the
+		// barrier cannot observe zero while this worker holds a block.
+		r.active.Add(1)
+		if r.paused.Load() || r.done.Load() {
+			r.exitActive()
+			continue
+		}
+		task, ok := r.st.Acquire(id, prefer, true)
+		if !ok {
+			r.exitActive()
+			r.awaitWork()
+			continue
+		}
+		prefer = task.RowBandKey
+		gamma := r.gamma()
+		for _, b := range task.Blocks {
+			sgd.UpdateBlockSOA(r.f, b.SOA.Rows, b.SOA.Cols, b.SOA.Vals,
+				r.opt.Params.LambdaP, r.opt.Params.LambdaQ, gamma)
+		}
+		r.st.Release(task)
+		r.exitActive()
+		r.maybeEvaluate()
+	}
+}
+
+// exitActive decrements the in-flight count and, when a quiescence is
+// pending and this was the last worker, wakes the evaluator. The lock is
+// taken only in that (rare) case, so the hot path stays mutex-free.
+func (r *run) exitActive() {
+	if r.active.Add(-1) == 0 && r.paused.Load() {
+		r.evalMu.Lock()
+		r.cond.Broadcast()
+		r.evalMu.Unlock()
+	}
+}
+
+// awaitWork blocks until a release frees some band (or a short poll timeout,
+// since the notification channel coalesces bursts) — replacing the old
+// Gosched spin loop with a real wait.
+func (r *run) awaitWork() {
+	select {
+	case <-r.st.Blocked():
+	case <-time.After(blockedPoll):
+	}
+}
+
+// waitResume parks the worker until the evaluator finishes the epoch
+// boundary.
+func (r *run) waitResume() {
+	r.evalMu.Lock()
+	for r.paused.Load() && !r.done.Load() {
+		r.cond.Wait()
+	}
+	r.evalMu.Unlock()
+}
+
+// boundary returns the update count at which the next epoch completes,
+// relative to this run's own updates (a resumed run starts from zero).
+func (r *run) boundary() int64 {
+	return (r.epoch.Load() + 1 - int64(r.opt.StartEpoch)) * r.nnz
+}
+
+// maybeEvaluate runs the epoch boundary if this worker's release crossed it:
+// elect a single evaluator, quiesce every in-flight block, then evaluate,
+// observe, checkpoint, and advance the schedule with exclusive access to the
+// factors.
+func (r *run) maybeEvaluate() {
+	if r.st.Updates() < r.boundary() {
+		return
+	}
+	if !r.evaluating.CompareAndSwap(false, true) {
+		return // another worker is already on it
+	}
+	r.paused.Store(true)
+	r.evalMu.Lock()
+	for r.active.Load() > 0 {
+		r.cond.Wait()
+	}
+	if held := r.st.InFlight(); held != 0 {
+		panic(fmt.Sprintf("engine: quiescence barrier violated: %d blocks held at epoch boundary", held))
+	}
+	// The boundary may have been crossed more than once by large releases;
+	// settle every completed epoch before resuming.
+	for !r.done.Load() && r.st.Updates() >= r.boundary() {
+		r.finishEpoch()
+	}
+	r.paused.Store(false)
+	r.cond.Broadcast()
+	r.evalMu.Unlock()
+	r.evaluating.Store(false)
+}
+
+// finishEpoch runs one quiesced epoch boundary: evaluate, feed the observer,
+// checkpoint, stop or advance the learning rate.
+func (r *run) finishEpoch() {
+	ep := int(r.epoch.Add(1))
+	var rmse float64
+	if r.opt.Test != nil {
+		rmse = model.RMSE(r.f, r.opt.Test)
+		r.report.History = append(r.report.History, EvalPoint{
+			Time:  time.Since(r.start).Seconds(),
+			Epoch: ep,
+			RMSE:  rmse,
+		})
+		r.report.FinalRMSE = rmse
+		if r.opt.TargetRMSE > 0 && rmse <= r.opt.TargetRMSE {
+			r.done.Store(true)
+		}
+	}
+	if r.observer != nil {
+		loss := rmse
+		if r.opt.Test == nil {
+			loss = model.RMSE(r.f, r.lossSample)
+		}
+		r.observer.Observe(loss)
+	}
+	if ep >= r.opt.Params.Iters {
+		r.done.Store(true)
+	}
+	// The final epoch is always checkpointed (even off the CheckpointEvery
+	// stride, and on TargetRMSE early stops): the checkpoint file is the
+	// published model for watchers and resumes, so it must not lag the
+	// returned factors.
+	if r.ckptEvery > 0 && (ep%r.ckptEvery == 0 || r.done.Load()) {
+		if err := r.f.SaveFileAtomic(r.opt.CheckpointPath); err != nil {
+			r.err = err
+			r.done.Store(true)
+		} else {
+			r.report.Checkpoints++
+		}
+	}
+	r.setGamma(r.schedule.Rate(ep))
+}

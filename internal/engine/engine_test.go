@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hsgd/internal/dataset"
+	"hsgd/internal/model"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+func testData(t testing.TB, scale float64) (*sparse.Matrix, *sparse.Matrix) {
+	t.Helper()
+	train, test, err := dataset.Generate(dataset.MovieLens().Scale(scale), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func testParams(iters int) sgd.Params {
+	return sgd.Params{K: 16, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01, Iters: iters}
+}
+
+// TestEngineConverges trains a small MovieLens-shaped dataset and checks the
+// RMSE trajectory behaves: full epoch budget spent, monotone-ish improvement,
+// and a final RMSE clearly better than the untrained model.
+func TestEngineConverges(t *testing.T) {
+	train, test := testData(t, 0.05)
+	rep, f, err := Train(train, Options{Threads: 4, Params: testParams(6), Seed: 1, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 6 {
+		t.Fatalf("epochs = %d, want 6", rep.Epochs)
+	}
+	if len(rep.History) != 6 {
+		t.Fatalf("history has %d points, want 6", len(rep.History))
+	}
+	if rep.TotalUpdates < int64(6*train.NNZ()) {
+		t.Fatalf("updates %d < 6 epochs worth (%d)", rep.TotalUpdates, 6*train.NNZ())
+	}
+	first, last := rep.History[0].RMSE, rep.History[len(rep.History)-1].RMSE
+	if math.IsNaN(last) || last <= 0 || last >= first {
+		t.Fatalf("RMSE did not improve: first %v last %v", first, last)
+	}
+	if got := model.RMSE(f, test); math.Abs(got-rep.FinalRMSE) > 1e-9 {
+		t.Fatalf("returned factors RMSE %v != report %v", got, rep.FinalRMSE)
+	}
+}
+
+// TestEngineQuiescenceBarrier drives many short epochs with many workers —
+// under -race this is the satellite test that the barrier never evaluates
+// (reads the factors, writes checkpoints) while a worker holds a block. The
+// engine also enforces the invariant itself: InFlight()!=0 at a boundary
+// panics.
+func TestEngineQuiescenceBarrier(t *testing.T) {
+	train, test := testData(t, 0.03)
+	dir := t.TempDir()
+	rep, _, err := Train(train, Options{
+		Threads:        8,
+		Params:         testParams(8),
+		Seed:           2,
+		Test:           test,
+		CheckpointPath: filepath.Join(dir, "model.hfac"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 8 || rep.Checkpoints != 8 {
+		t.Fatalf("epochs=%d checkpoints=%d, want 8/8", rep.Epochs, rep.Checkpoints)
+	}
+}
+
+// TestEngineCheckpointResume round-trips a mid-train snapshot through
+// model.Save/Load and checks that resumed training lands within tolerance of
+// the uninterrupted run's RMSE.
+func TestEngineCheckpointResume(t *testing.T) {
+	train, test := testData(t, 0.05)
+	const total, cut = 8, 4
+	p := testParams(total)
+
+	// Uninterrupted reference.
+	full, _, err := Train(train, Options{Threads: 4, Params: p, Seed: 3, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half, checkpointing every epoch.
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.hfac")
+	half := p
+	half.Iters = cut
+	firstRep, _, err := Train(train, Options{
+		Threads: 4, Params: half, Seed: 3, Test: test,
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstRep.Epochs != cut || firstRep.Checkpoints != cut {
+		t.Fatalf("first half: epochs=%d checkpoints=%d", firstRep.Epochs, firstRep.Checkpoints)
+	}
+
+	// Resume from the snapshot on disk.
+	loaded, err := model.LoadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := Train(train, Options{
+		Threads: 4, Params: p, Seed: 3, Test: test,
+		Init: loaded, StartEpoch: cut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Epochs != total {
+		t.Fatalf("resumed run stopped at epoch %d, want %d", resumed.Epochs, total)
+	}
+	if resumed.TotalUpdates < int64((total-cut)*train.NNZ()) {
+		t.Fatalf("resumed run processed %d updates, want >= %d", resumed.TotalUpdates, (total-cut)*train.NNZ())
+	}
+	// Block scheduling is nondeterministic across runs, so the trajectories
+	// differ in low-order digits; the resumed model must still land where
+	// the uninterrupted one did.
+	diff := math.Abs(resumed.FinalRMSE - full.FinalRMSE)
+	if diff > 0.05*full.FinalRMSE {
+		t.Fatalf("resumed RMSE %v vs uninterrupted %v (diff %v beyond 5%% tolerance)",
+			resumed.FinalRMSE, full.FinalRMSE, diff)
+	}
+}
+
+// TestEngineResumeValidation pins the error cases of warm-start options.
+func TestEngineResumeValidation(t *testing.T) {
+	train, _ := testData(t, 0.02)
+	p := testParams(4)
+	bad, _, err := Train(train, Options{Threads: 2, Params: p, Init: &model.Factors{M: 1, N: 1, K: 1, P: []float32{0}, Q: []float32{0}}})
+	if err == nil || bad != nil {
+		t.Fatal("mismatched Init factors accepted")
+	}
+	if _, _, err := Train(train, Options{Threads: 2, Params: p, StartEpoch: 4}); err == nil {
+		t.Fatal("StartEpoch >= Iters accepted")
+	}
+	if _, _, err := Train(train, Options{Threads: 2, Params: p, StartEpoch: -1}); err == nil {
+		t.Fatal("negative StartEpoch accepted")
+	}
+}
+
+// countingSchedule records Observe calls, standing in for BoldDriver.
+type countingSchedule struct {
+	rate   float32
+	losses []float64
+}
+
+func (s *countingSchedule) Rate(int) float32     { return s.rate }
+func (s *countingSchedule) Observe(loss float64) { s.losses = append(s.losses, loss) }
+
+// TestEngineObservesSchedule checks adaptive schedules get one loss per
+// epoch — with a test set (test RMSE) and without (sampled training RMSE).
+func TestEngineObservesSchedule(t *testing.T) {
+	train, test := testData(t, 0.03)
+	s := &countingSchedule{rate: 0.01}
+	rep, _, err := Train(train, Options{Threads: 4, Params: testParams(5), Seed: 4, Test: test, Schedule: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.losses) != rep.Epochs {
+		t.Fatalf("observer saw %d losses for %d epochs", len(s.losses), rep.Epochs)
+	}
+	for i, l := range s.losses {
+		if l != rep.History[i].RMSE {
+			t.Fatalf("loss %d = %v, want test RMSE %v", i, l, rep.History[i].RMSE)
+		}
+	}
+
+	s2 := &countingSchedule{rate: 0.01}
+	rep2, _, err := Train(train, Options{Threads: 4, Params: testParams(3), Seed: 4, Schedule: s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.losses) != rep2.Epochs {
+		t.Fatalf("observer without test set saw %d losses for %d epochs", len(s2.losses), rep2.Epochs)
+	}
+	for i, l := range s2.losses {
+		if math.IsNaN(l) || l <= 0 {
+			t.Fatalf("sampled training loss %d = %v", i, l)
+		}
+	}
+
+	// BoldDriver end to end: the engine's Observe calls must move gamma.
+	bd := sgd.NewBoldDriver(0.01)
+	if _, _, err := Train(train, Options{Threads: 4, Params: testParams(4), Seed: 4, Test: test, Schedule: bd}); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Rate(0) == 0.01 {
+		t.Fatal("BoldDriver rate unchanged after training: Observe not wired")
+	}
+}
+
+// TestEngineTargetRMSE checks early stopping.
+func TestEngineTargetRMSE(t *testing.T) {
+	train, test := testData(t, 0.05)
+	rep, _, err := Train(train, Options{
+		Threads: 4, Params: testParams(50), Seed: 5, Test: test, TargetRMSE: 999,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 1 {
+		t.Fatalf("trivially-reachable target did not stop at first epoch (epochs=%d)", rep.Epochs)
+	}
+}
+
+// TestEngineCheckpointError surfaces a checkpoint write failure instead of
+// silently dropping snapshots.
+func TestEngineCheckpointError(t *testing.T) {
+	train, _ := testData(t, 0.02)
+	dir := t.TempDir()
+	_, _, err := Train(train, Options{
+		Threads: 2, Params: testParams(3), Seed: 6,
+		CheckpointPath: filepath.Join(dir, "missing-dir", "model.hfac"),
+	})
+	if err == nil {
+		t.Fatal("unwritable checkpoint path did not error")
+	}
+	// The failed run must not leave anything behind (no stray snapshot or
+	// temp file) in the directory it was pointed at.
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed checkpoint run left %d entries in %s (first: %s)", len(entries), dir, entries[0].Name())
+	}
+}
+
+// TestEngineFinalCheckpoint: the last epoch is checkpointed even when it
+// falls off the CheckpointEvery stride, so the file on disk never lags the
+// returned model.
+func TestEngineFinalCheckpoint(t *testing.T) {
+	train, _ := testData(t, 0.03)
+	ckpt := filepath.Join(t.TempDir(), "model.hfac")
+	rep, f, err := Train(train, Options{
+		Threads: 2, Params: testParams(5), Seed: 7,
+		CheckpointPath: ckpt, CheckpointEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride hits epochs 2 and 4; the final epoch 5 must be written too.
+	if rep.Checkpoints != 3 {
+		t.Fatalf("checkpoints = %d, want 3 (epochs 2, 4, final 5)", rep.Checkpoints)
+	}
+	onDisk, err := model.LoadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.P {
+		if onDisk.P[i] != f.P[i] {
+			t.Fatalf("checkpoint lags returned model at P[%d]", i)
+		}
+	}
+}

@@ -26,10 +26,33 @@ type Block struct {
 	Col     int // column band index
 	Ratings []sparse.Rating
 	Updates int64
+
+	// SOA is the structure-of-arrays view of Ratings, filled by
+	// Grid.PackSOA. The training engine's fused kernel iterates it instead
+	// of Ratings: three parallel streams prefetch better than a stream of
+	// 12-byte structs, and the value stream stays hot while the id streams
+	// feed the factor-row gathers.
+	SOA BlockSOA
 }
 
-// Size returns the number of ratings in the block.
-func (b *Block) Size() int { return len(b.Ratings) }
+// BlockSOA holds one block's ratings as three parallel slices
+// (rows[i], cols[i], vals[i] form one rating). The slices alias a
+// grid-level arena so the whole grid's payload is three contiguous
+// allocations.
+type BlockSOA struct {
+	Rows []int32
+	Cols []int32
+	Vals []float32
+}
+
+// Size returns the number of ratings in the block (from whichever layout
+// currently holds them — PackSOA releases the AoS slice).
+func (b *Block) Size() int {
+	if b.Ratings != nil {
+		return len(b.Ratings)
+	}
+	return len(b.SOA.Rows)
+}
 
 // Grid is a 2-D array of blocks covering one region of the matrix.
 // RowBounds/ColBounds hold band boundaries in id space: band i covers ids
@@ -40,16 +63,19 @@ type Grid struct {
 	RowBounds []int32 // len RowBands+1
 	ColBounds []int32 // len ColBands+1
 	Blocks    []*Block
+
+	packed bool // PackSOA has run; Ratings slices are released
 }
 
 // Block returns the block at row band r, column band c.
 func (g *Grid) Block(r, c int) *Block { return g.Blocks[r*g.ColBands+c] }
 
-// NNZ returns the total number of ratings across all blocks.
+// NNZ returns the total number of ratings across all blocks (in either
+// layout).
 func (g *Grid) NNZ() int {
 	total := 0
 	for _, b := range g.Blocks {
-		total += len(b.Ratings)
+		total += b.Size()
 	}
 	return total
 }
@@ -140,6 +166,36 @@ func Uniform(m *sparse.Matrix, rows, cols int) (*Grid, error) {
 	rb := BoundsBalanced(m.RowCounts(), rows)
 	cb := BoundsBalanced(m.ColCounts(), cols)
 	return Partition(m, rb, cb)
+}
+
+// PackSOA converts every block's ratings to the structure-of-arrays view.
+// Blocks are laid out back to back in three shared arenas in block order, so
+// a worker streaming through one block touches a single contiguous region of
+// each arena. The AoS Ratings slices are released afterwards — keeping both
+// layouts would double the payload's resident memory — so grids that still
+// need rating structs (the legacy and simulated trainers) must not pack.
+// Call once after partitioning, before training starts; a second call is a
+// no-op.
+func (g *Grid) PackSOA() {
+	if g.packed {
+		return
+	}
+	g.packed = true
+	total := g.NNZ()
+	rows := make([]int32, 0, total)
+	cols := make([]int32, 0, total)
+	vals := make([]float32, 0, total)
+	for _, b := range g.Blocks {
+		lo := len(rows)
+		for _, rt := range b.Ratings {
+			rows = append(rows, rt.Row)
+			cols = append(cols, rt.Col)
+			vals = append(vals, rt.Value)
+		}
+		hi := len(rows)
+		b.SOA = BlockSOA{Rows: rows[lo:hi:hi], Cols: cols[lo:hi:hi], Vals: vals[lo:hi:hi]}
+		b.Ratings = nil
+	}
 }
 
 // UpdateStats summarises the distribution of Block.Updates across a set of

@@ -287,3 +287,47 @@ func TestQuickHeteroConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPackSOA checks the structure-of-arrays view matches each block's
+// ratings element for element, that the slices are capped (appending to one
+// block's view cannot clobber the next block's arena region), and that the
+// AoS payload is released after packing.
+func TestPackSOA(t *testing.T) {
+	m := randomMatrix(120, 90, 3000, 5)
+	g, err := Uniform(m, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]sparse.Rating, len(g.Blocks))
+	for i, b := range g.Blocks {
+		want[i] = append([]sparse.Rating(nil), b.Ratings...)
+	}
+	g.PackSOA()
+	g.PackSOA() // idempotent
+	total := 0
+	for bi, b := range g.Blocks {
+		if b.Ratings != nil {
+			t.Fatalf("block (%d,%d): AoS payload not released after PackSOA", b.Band, b.Col)
+		}
+		if b.Size() != len(want[bi]) {
+			t.Fatalf("block (%d,%d): Size()=%d after pack, want %d", b.Band, b.Col, b.Size(), len(want[bi]))
+		}
+		if len(b.SOA.Rows) != b.Size() || len(b.SOA.Cols) != b.Size() || len(b.SOA.Vals) != b.Size() {
+			t.Fatalf("block (%d,%d): SOA lengths %d/%d/%d, want %d",
+				b.Band, b.Col, len(b.SOA.Rows), len(b.SOA.Cols), len(b.SOA.Vals), b.Size())
+		}
+		if cap(b.SOA.Rows) != len(b.SOA.Rows) {
+			t.Fatalf("block (%d,%d): SOA view not capacity-capped", b.Band, b.Col)
+		}
+		for i, rt := range want[bi] {
+			if b.SOA.Rows[i] != rt.Row || b.SOA.Cols[i] != rt.Col || b.SOA.Vals[i] != rt.Value {
+				t.Fatalf("block (%d,%d) rating %d: SOA (%d,%d,%v) != (%d,%d,%v)",
+					b.Band, b.Col, i, b.SOA.Rows[i], b.SOA.Cols[i], b.SOA.Vals[i], rt.Row, rt.Col, rt.Value)
+			}
+		}
+		total += b.Size()
+	}
+	if total != m.NNZ() {
+		t.Fatalf("SOA covers %d ratings, want %d", total, m.NNZ())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 const factorsMagic = uint32(0x48464143) // "HFAC"
@@ -98,6 +99,29 @@ func (f *Factors) SaveFile(path string) error {
 	}
 	defer file.Close()
 	return f.Save(file)
+}
+
+// SaveFileAtomic writes the factors to path via a temp file in the same
+// directory plus rename, so a concurrent reader — the serve snapshot
+// watcher, in particular — never observes a torn half-written snapshot.
+// This is the publish step of the train → checkpoint → hot-swap pipeline:
+// the training engine calls it at epoch boundaries while workers are
+// quiesced.
+func (f *Factors) SaveFileAtomic(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := f.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // LoadFile reads factors from a file written by SaveFile. The file size is

@@ -18,6 +18,27 @@ import (
 	"hsgd/internal/sparse"
 )
 
+// Scheduler is the block-scheduling policy abstraction the training engine
+// runs against: hand out an independent task for a worker, take it back, and
+// count the ratings processed so far. Uniform implements it for the FPSGD
+// policy (callers serialize Acquire/Release externally); Striped implements
+// it with internally-synchronized lock-striped acquisition so workers call
+// it concurrently with no shared mutex. Hetero's two-region policy fits the
+// same shape — its device classes map onto (owner, exclusive) — and can be
+// adapted behind this interface when the heterogeneous path moves onto the
+// engine.
+type Scheduler interface {
+	// Acquire returns an independent nonempty task for the given worker, or
+	// false when every candidate is currently locked. preferBand biases ties
+	// toward the worker's previous row band (-1 for no preference);
+	// exclusive workers never share a row band.
+	Acquire(owner, preferBand int, exclusive bool) (*Task, bool)
+	// Release unlocks the task's bands and credits its updates.
+	Release(t *Task)
+	// Updates reports the total ratings processed over released tasks.
+	Updates() int64
+}
+
 // Region identifies which side of the nonuniform division a task belongs to.
 type Region int
 

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"hsgd/internal/grid"
+)
+
+// Striped is the lock-striped FPSGD scheduler used by the wall-clock
+// training engine. It keeps the same policy as Uniform — least-updated free
+// (row band, column band) block wins, ties biased toward the worker's
+// current band — but replaces the caller-held global mutex with one atomic
+// lock per row band and per column band, so workers acquire and release
+// blocks concurrently with no shared critical section. The selection scan is
+// optimistic: a worker reads the lock words and per-block update counts
+// without synchronization, picks the best candidate, and then claims it with
+// two CAS operations (row first, then column, backing out of the row on a
+// column conflict so no lock ordering deadlock is possible). A lost race
+// just retries against the next-best candidate.
+//
+// The per-block update counts are kept in an atomic array owned by the
+// scheduler rather than in grid.Block.Updates, because the scan reads them
+// while other workers' releases increment them; SyncStats copies them back
+// into the blocks for reporting once workers are quiesced.
+//
+// Striped supports exclusive workers only (CPU threads): the owner-reentrant
+// row sharing Uniform offers GPU stream pipelines is not needed on the
+// engine's CPU path and would require per-band reference counts.
+type Striped struct {
+	Grid *grid.Grid
+
+	rowOwner []atomic.Int32 // worker holding the row band, stripedFree when free
+	colBusy  []atomic.Int32 // 1 while the column band is held
+	updates  []atomic.Int64 // per-block update counts, indexed like Grid.Blocks
+	total    atomic.Int64   // ratings processed over released tasks
+
+	// notify wakes one blocked worker per release. Capacity 1: a missed send
+	// only delays a waiter until the next release or its poll timeout, and
+	// the channel never blocks a releasing worker.
+	notify chan struct{}
+}
+
+const stripedFree = int32(-1)
+
+// NewStriped wraps a grid in a fresh lock-striped scheduler.
+func NewStriped(g *grid.Grid) *Striped {
+	s := &Striped{
+		Grid:     g,
+		rowOwner: make([]atomic.Int32, g.RowBands),
+		colBusy:  make([]atomic.Int32, g.ColBands),
+		updates:  make([]atomic.Int64, len(g.Blocks)),
+		notify:   make(chan struct{}, 1),
+	}
+	for i := range s.rowOwner {
+		s.rowOwner[i].Store(stripedFree)
+	}
+	return s
+}
+
+// acquireAttempts bounds how many CAS races a single Acquire call absorbs
+// before reporting contention back to the caller (which then blocks on
+// Blocked instead of spinning).
+const acquireAttempts = 4
+
+// Acquire implements Scheduler. It is safe for concurrent use. Only
+// exclusive acquisition is supported; exclusive=false behaves identically.
+func (s *Striped) Acquire(owner, preferBand int, exclusive bool) (*Task, bool) {
+	for attempt := 0; attempt < acquireAttempts; attempt++ {
+		best := s.pick(preferBand)
+		if best == nil {
+			return nil, false
+		}
+		if !s.rowOwner[best.Band].CompareAndSwap(stripedFree, int32(owner)) {
+			continue // lost the row race; rescan without it
+		}
+		if !s.colBusy[best.Col].CompareAndSwap(0, 1) {
+			s.rowOwner[best.Band].Store(stripedFree)
+			continue
+		}
+		return &Task{
+			Blocks:     []*grid.Block{best},
+			Region:     RegionAll,
+			NNZ:        best.Size(),
+			RowSpan:    span(s.Grid.RowBounds, best.Band, best.Band+1),
+			ColSpan:    span(s.Grid.ColBounds, best.Col, best.Col+1),
+			RowBandKey: best.Band,
+			rows:       []int{best.Band},
+			cols:       []int{best.Col},
+			super:      -1,
+		}, true
+	}
+	return nil, false
+}
+
+// pick scans for the least-updated nonempty block whose row and column both
+// look free. The reads are racy by design: the caller validates the choice
+// with CAS.
+func (s *Striped) pick(preferBand int) *grid.Block {
+	var best *grid.Block
+	var bestUpd int64
+	for r := 0; r < s.Grid.RowBands; r++ {
+		if s.rowOwner[r].Load() != stripedFree {
+			continue
+		}
+		for c := 0; c < s.Grid.ColBands; c++ {
+			if s.colBusy[c].Load() != 0 {
+				continue
+			}
+			b := s.Grid.Block(r, c)
+			if b.Size() == 0 {
+				continue
+			}
+			u := s.updates[r*s.Grid.ColBands+c].Load()
+			if best == nil || stripedLess(b, u, best, bestUpd, preferBand) {
+				best, bestUpd = b, u
+			}
+		}
+	}
+	return best
+}
+
+// stripedLess mirrors Uniform's ordering with explicit update counts:
+// fewest updates, then the preferred band, then lowest (band, col).
+func stripedLess(a *grid.Block, au int64, b *grid.Block, bu int64, preferBand int) bool {
+	if au != bu {
+		return au < bu
+	}
+	ap := a.Band == preferBand
+	bp := b.Band == preferBand
+	if ap != bp {
+		return ap
+	}
+	if a.Band != b.Band {
+		return a.Band < b.Band
+	}
+	return a.Col < b.Col
+}
+
+// Release implements Scheduler: credit the updates, free the bands, and wake
+// one waiter.
+func (s *Striped) Release(t *Task) {
+	for _, b := range t.Blocks {
+		s.updates[b.Band*s.Grid.ColBands+b.Col].Add(1)
+		s.total.Add(int64(b.Size()))
+	}
+	for _, c := range t.cols {
+		s.colBusy[c].Store(0)
+	}
+	for _, r := range t.rows {
+		s.rowOwner[r].Store(stripedFree)
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Updates implements Scheduler.
+func (s *Striped) Updates() int64 { return s.total.Load() }
+
+// Blocked returns the channel a worker should wait on after a failed
+// Acquire: it receives (at most) one token per Release. Waiters must pair it
+// with a timeout — the capacity-1 channel coalesces bursts of releases, so a
+// token can be consumed by another waiter.
+func (s *Striped) Blocked() <-chan struct{} { return s.notify }
+
+// InFlight counts the column bands currently held — zero exactly when no
+// worker holds a block. The engine's quiescence barrier asserts this before
+// touching the factors.
+func (s *Striped) InFlight() int {
+	n := 0
+	for i := range s.colBusy {
+		if s.colBusy[i].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SyncStats copies the scheduler-owned update counts back into the blocks'
+// Updates fields for reporting. Callers must quiesce workers first.
+func (s *Striped) SyncStats() {
+	for i := range s.updates {
+		s.Grid.Blocks[i].Updates = s.updates[i].Load()
+	}
+}

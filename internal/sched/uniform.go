@@ -105,6 +105,9 @@ func less(a, b *grid.Block, preferBand int) bool {
 	return a.Col < b.Col
 }
 
+// Updates implements Scheduler.
+func (s *Uniform) Updates() int64 { return s.TotalUpdates }
+
 // Release unlocks the task's row and column bands and increments the update
 // counters.
 func (s *Uniform) Release(t *Task) {

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsgd/internal/dataset"
+	"hsgd/internal/engine"
+	"hsgd/internal/sgd"
+)
+
+// gatedSchedule holds each epoch boundary open until the watcher has
+// performed at least one hot-swap (bounded by a deadline so a broken watcher
+// fails the test instead of hanging it). The engine calls Rate after writing
+// the epoch's checkpoint, so waiting here guarantees the swap happened
+// mid-train.
+type gatedSchedule struct {
+	swaps *atomic.Int32
+}
+
+func (s gatedSchedule) Rate(it int) float32 {
+	if it == 0 {
+		return 0.01 // setup call, before any checkpoint exists
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.swaps.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0.01
+}
+
+// TestWatcherHotSwapsMidTrainCheckpoint closes the train → checkpoint →
+// hot-swap → serve loop: the engine writes atomic snapshots at epoch
+// boundaries while the store's disk watcher polls the same path, and the
+// watcher must publish a new serving snapshot before training finishes.
+func TestWatcherHotSwapsMidTrainCheckpoint(t *testing.T) {
+	train, _, err := dataset.Generate(dataset.MovieLens().Scale(0.03), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.hfac")
+
+	store := NewStore()
+	var swaps atomic.Int32
+	store.OnSwap(func(*Snapshot) { swaps.Add(1) })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go store.Watch(ctx, path, 2*time.Millisecond)
+
+	rep, f, err := engine.Train(train, engine.Options{
+		Threads:        4,
+		Params:         sgd.Params{K: 8, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01, Iters: 3},
+		Seed:           1,
+		Schedule:       gatedSchedule{swaps: &swaps},
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapsDuringTraining := swaps.Load()
+	if rep.Checkpoints != 3 {
+		t.Fatalf("engine wrote %d checkpoints, want 3", rep.Checkpoints)
+	}
+	if swapsDuringTraining == 0 {
+		t.Fatal("watcher never hot-swapped a mid-train checkpoint")
+	}
+
+	// The served snapshot must be a valid model of the training shape and
+	// answer queries.
+	snap := store.Current()
+	if snap == nil {
+		t.Fatal("no live snapshot after training")
+	}
+	if snap.Factors.M != f.M || snap.Factors.N != f.N || snap.Factors.K != f.K {
+		t.Fatalf("served snapshot %dx%d k=%d, trained %dx%d k=%d",
+			snap.Factors.M, snap.Factors.N, snap.Factors.K, f.M, f.N, f.K)
+	}
+	var sc Scorer
+	if recs := sc.Recommend(snap.Factors, 0, 5, nil); len(recs) == 0 {
+		t.Fatal("served snapshot returned no recommendations")
+	}
+	if err := store.LastError(); err != "" {
+		t.Fatalf("watcher recorded error: %s", err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package sgd
+
+// raceEnabled reports that this binary was built with the race detector.
+// TrainHogwild races on P and Q by design (Recht et al. [19]), so the
+// multi-worker convergence test is skipped under -race; the single-worker
+// equivalence test still runs.
+const raceEnabled = true

@@ -20,6 +20,16 @@ func FixedSchedule(gamma float32) Schedule { return fixedSchedule(gamma) }
 
 func (s fixedSchedule) Rate(int) float32 { return float32(s) }
 
+// IsFixed reports whether s is nil or the constant schedule — i.e. carries
+// no per-iteration behavior a gamma-only trainer would lose by ignoring it.
+func IsFixed(s Schedule) bool {
+	if s == nil {
+		return true
+	}
+	_, ok := s.(fixedSchedule)
+	return ok
+}
+
 // InverseDecay implements γ_t = γ0 / (1 + β·t), the standard Robbins-Monro
 // style decay.
 type InverseDecay struct {

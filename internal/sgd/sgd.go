@@ -59,6 +59,63 @@ func UpdateBlock(f *model.Factors, ratings []sparse.Rating, lp, lq, gamma float3
 	return len(ratings)
 }
 
+// UpdateBlockSOA is the fused-kernel counterpart of UpdateBlock, consuming a
+// block in structure-of-arrays form (grid.BlockSOA). Per rating it runs the
+// same two k-length passes as UpdateOne — dot product, then the coupled
+// p/q update — but both passes are 4-way unrolled with the accumulators and
+// temporaries held in registers, the same register-blocking the serve
+// scorer's dot4 kernel uses and the scalar analogue of cuMF_SGD's fused
+// update. The arithmetic (including float32 rounding order) is identical to
+// UpdateOne, so trainers can switch kernels without changing results.
+func UpdateBlockSOA(f *model.Factors, rows, cols []int32, vals []float32, lp, lq, gamma float32) int {
+	k := f.K
+	for i, u := range rows {
+		p := f.P[int(u)*k : int(u)*k+k]
+		q := f.Q[int(cols[i])*k : int(cols[i])*k+k]
+		fusedUpdate(p, q, vals[i], lp, lq, gamma)
+	}
+	return len(rows)
+}
+
+// fusedUpdate applies Equations 4-6 to one rating with both k-passes
+// unrolled 4-way. Re-slicing q to len(p) up front drops the bounds checks
+// from both loops.
+func fusedUpdate(p, q []float32, r, lp, lq, gamma float32) {
+	q = q[:len(p)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(p); i += 4 {
+		s0 += p[i] * q[i]
+		s1 += p[i+1] * q[i+1]
+		s2 += p[i+2] * q[i+2]
+		s3 += p[i+3] * q[i+3]
+	}
+	for ; i < len(p); i++ {
+		s0 += p[i] * q[i]
+	}
+	e := r - (s0 + s1 + s2 + s3)
+	i = 0
+	for ; i+4 <= len(p); i += 4 {
+		p0, q0 := p[i], q[i]
+		p1, q1 := p[i+1], q[i+1]
+		p2, q2 := p[i+2], q[i+2]
+		p3, q3 := p[i+3], q[i+3]
+		p[i] = p0 + gamma*(e*q0-lp*p0)
+		q[i] = q0 + gamma*(e*p0-lq*q0)
+		p[i+1] = p1 + gamma*(e*q1-lp*p1)
+		q[i+1] = q1 + gamma*(e*p1-lq*q1)
+		p[i+2] = p2 + gamma*(e*q2-lp*p2)
+		q[i+2] = q2 + gamma*(e*p2-lq*q2)
+		p[i+3] = p3 + gamma*(e*q3-lp*p3)
+		q[i+3] = q3 + gamma*(e*p3-lq*q3)
+	}
+	for ; i < len(p); i++ {
+		pi, qi := p[i], q[i]
+		p[i] = pi + gamma*(e*qi-lp*pi)
+		q[i] = qi + gamma*(e*pi-lq*qi)
+	}
+}
+
 // TrainSerial runs Algorithm 1 verbatim: t passes over the ratings in their
 // stored order, no parallelism. It is the semantic reference the parallel
 // trainers are tested against, and the building block of the throughput

@@ -125,6 +125,9 @@ func TestTrainSerialLossMonotoneEarly(t *testing.T) {
 }
 
 func TestHogwildConverges(t *testing.T) {
+	if raceEnabled {
+		t.Skip("Hogwild's lock-free updates race on P/Q by design; multi-worker run skipped under -race")
+	}
 	train, test := syntheticLowRank(60, 50, 3000, 6)
 	rng := rand.New(rand.NewSource(6))
 	f := model.NewFactors(60, 50, 8, rng)
@@ -222,5 +225,88 @@ func TestQuickUpdateStaysFinite(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFusedKernelMatchesUpdateBlock pins the fused SoA kernel to the
+// reference: identical inputs must produce bitwise-identical factors (the
+// unrolling preserves float32 rounding order), for k both divisible by 4 and
+// not.
+func TestFusedKernelMatchesUpdateBlock(t *testing.T) {
+	for _, k := range []int{3, 4, 16, 37, 128} {
+		train, _ := syntheticLowRank(40, 30, 600, int64(k))
+		ref := model.NewFactors(40, 30, k, rand.New(rand.NewSource(9)))
+		fused := ref.Clone()
+
+		UpdateBlock(ref, train.Ratings, 0.05, 0.07, 0.01)
+
+		rows := make([]int32, train.NNZ())
+		cols := make([]int32, train.NNZ())
+		vals := make([]float32, train.NNZ())
+		for i, r := range train.Ratings {
+			rows[i], cols[i], vals[i] = r.Row, r.Col, r.Value
+		}
+		if n := UpdateBlockSOA(fused, rows, cols, vals, 0.05, 0.07, 0.01); n != train.NNZ() {
+			t.Fatalf("k=%d: UpdateBlockSOA returned %d, want %d", k, n, train.NNZ())
+		}
+
+		for i := range ref.P {
+			if ref.P[i] != fused.P[i] {
+				t.Fatalf("k=%d: P[%d] fused %v != reference %v", k, i, fused.P[i], ref.P[i])
+			}
+		}
+		for i := range ref.Q {
+			if ref.Q[i] != fused.Q[i] {
+				t.Fatalf("k=%d: Q[%d] fused %v != reference %v", k, i, fused.Q[i], ref.Q[i])
+			}
+		}
+	}
+}
+
+// BenchmarkUpdateBlock / BenchmarkUpdateBlockSOA compare the AoS reference
+// kernel against the fused SoA kernel on identical data (k=32, the bench
+// shape; k=128, the paper's default).
+func benchKernelData(b *testing.B, k int) (*model.Factors, *sparse.Matrix, []int32, []int32, []float32) {
+	b.Helper()
+	train, _ := syntheticLowRank(2000, 1500, 100_000, 3)
+	f := model.NewFactors(2000, 1500, k, rand.New(rand.NewSource(4)))
+	rows := make([]int32, train.NNZ())
+	cols := make([]int32, train.NNZ())
+	vals := make([]float32, train.NNZ())
+	for i, r := range train.Ratings {
+		rows[i], cols[i], vals[i] = r.Row, r.Col, r.Value
+	}
+	return f, train, rows, cols, vals
+}
+
+func BenchmarkUpdateBlock32(b *testing.B) {
+	f, train, _, _, _ := benchKernelData(b, 32)
+	b.SetBytes(int64(train.NNZ()))
+	for i := 0; i < b.N; i++ {
+		UpdateBlock(f, train.Ratings, 0.05, 0.05, 0.005)
+	}
+}
+
+func BenchmarkUpdateBlockSOA32(b *testing.B) {
+	f, train, rows, cols, vals := benchKernelData(b, 32)
+	b.SetBytes(int64(train.NNZ()))
+	for i := 0; i < b.N; i++ {
+		UpdateBlockSOA(f, rows, cols, vals, 0.05, 0.05, 0.005)
+	}
+}
+
+func BenchmarkUpdateBlock128(b *testing.B) {
+	f, train, _, _, _ := benchKernelData(b, 128)
+	b.SetBytes(int64(train.NNZ()))
+	for i := 0; i < b.N; i++ {
+		UpdateBlock(f, train.Ratings, 0.05, 0.05, 0.005)
+	}
+}
+
+func BenchmarkUpdateBlockSOA128(b *testing.B) {
+	f, train, rows, cols, vals := benchKernelData(b, 128)
+	b.SetBytes(int64(train.NNZ()))
+	for i := 0; i < b.N; i++ {
+		UpdateBlockSOA(f, rows, cols, vals, 0.05, 0.05, 0.005)
 	}
 }

@@ -1,0 +1,350 @@
+package hsgd
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"hsgd/internal/als"
+	"hsgd/internal/cd"
+	"hsgd/internal/engine"
+	"hsgd/internal/model"
+	"hsgd/internal/sgd"
+)
+
+// TrainOptions is the shared configuration of every Trainer. Fields a
+// particular algorithm does not use are documented on its constructor name
+// below; fields it cannot honor (checkpointing on trainers without epoch
+// snapshots) are rejected rather than silently dropped.
+type TrainOptions struct {
+	// Threads is the worker goroutine count; <1 means GOMAXPROCS. The cd
+	// trainer is inherently sequential (CCD++ sweeps share a residual) and
+	// ignores it.
+	Threads int
+	Params  Params // K, LambdaP/LambdaQ, Gamma, Iters
+	// Schedule overrides the fixed Params.Gamma learning rate (FPSGD and
+	// Hogwild; see NewSchedule). Adaptive schedules (bold driver) receive
+	// the per-epoch loss on the FPSGD trainer.
+	Schedule Schedule
+	Seed     int64
+
+	// Test, when non-nil, is evaluated for the report's FinalRMSE; the
+	// FPSGD trainer additionally records the per-epoch trajectory.
+	Test *Matrix
+	// TargetRMSE stops FPSGD training early once the test RMSE reaches it.
+	TargetRMSE float64
+
+	// Resume warm-starts from existing factors (a checkpoint loaded with
+	// LoadFactors); StartEpoch is how many epochs they already trained, so
+	// schedules continue where they left off. FPSGD only.
+	Resume     *Factors
+	StartEpoch int
+
+	// CheckpointPath makes the trainer write atomic mid-train model
+	// snapshots every CheckpointEvery epochs (default 1) in the format the
+	// serving layer's snapshot watcher hot-swaps. FPSGD only.
+	CheckpointPath  string
+	CheckpointEvery int
+
+	// InnerSweeps is the CCD++ per-dimension refinement count (CD only;
+	// default 1).
+	InnerSweeps int
+}
+
+// TrainReport is the shared result summary of every Trainer.
+type TrainReport struct {
+	Algorithm    string
+	Seconds      float64 // wall-clock training time
+	Epochs       int     // epochs (outer iterations) completed
+	FinalRMSE    float64 // test RMSE, when a test set was supplied
+	History      []EvalPoint
+	TotalUpdates int64 // ratings processed (SGD-family trainers)
+	Checkpoints  int   // mid-train snapshots written
+}
+
+// Trainer is the unified entry point over the training algorithms in this
+// repository: lock-striped FPSGD (the engine), lock-free Hogwild,
+// alternating least squares, and coordinate descent all train a rating
+// matrix into Factors behind the same options and report types.
+type Trainer interface {
+	// Train fits factors to the training matrix. The returned report's
+	// fields beyond Seconds/Epochs/FinalRMSE are filled as far as the
+	// algorithm supports them.
+	Train(train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error)
+	// Name returns the algorithm identifier accepted by NewTrainer.
+	Name() string
+}
+
+// NewTrainer returns the named training algorithm: "fpsgd" (the lock-striped
+// parallel SGD engine — the default choice), "hogwild" (lock-free parallel
+// SGD), "als" (alternating least squares), or "cd" (CCD++ coordinate
+// descent).
+func NewTrainer(name string) (Trainer, error) {
+	switch name {
+	case "fpsgd", "":
+		return fpsgdTrainer{}, nil
+	case "hogwild":
+		return hogwildTrainer{}, nil
+	case "als":
+		return alsTrainer{}, nil
+	case "cd":
+		return cdTrainer{}, nil
+	}
+	return nil, fmt.Errorf("hsgd: unknown trainer %q (want fpsgd|hogwild|als|cd)", name)
+}
+
+// NewSchedule returns the named learning-rate schedule starting at gamma:
+// "fixed" (the paper's setting), "inverse" (Robbins-Monro γ0/(1+βt)), "chin"
+// (the decay of Chin et al. [43]), or "bold" (bold driver, adapting to the
+// observed loss — FPSGD feeds it at every epoch boundary).
+func NewSchedule(name string, gamma float64) (Schedule, error) {
+	g := float32(gamma)
+	switch name {
+	case "fixed", "":
+		return sgd.FixedSchedule(g), nil
+	case "inverse":
+		return sgd.InverseDecay{Gamma0: g, Beta: 0.3}, nil
+	case "chin":
+		return sgd.ChinSchedule{Gamma0: g, Alpha: 20}, nil
+	case "bold":
+		return sgd.NewBoldDriver(g), nil
+	}
+	return nil, fmt.Errorf("hsgd: unknown schedule %q (want fixed|inverse|chin|bold)", name)
+}
+
+// LoadFactors reads a trained model (or mid-train checkpoint) written in the
+// HFAC snapshot format — the resume half of the checkpoint pipeline.
+func LoadFactors(path string) (*Factors, error) { return model.LoadFile(path) }
+
+type fpsgdTrainer struct{}
+
+func (fpsgdTrainer) Name() string { return "fpsgd" }
+
+func (fpsgdTrainer) Train(train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error) {
+	if err := rejectInner("fpsgd", opt); err != nil {
+		return nil, nil, err
+	}
+	rep, f, err := engine.Train(train, engine.Options{
+		Threads:         opt.Threads,
+		Params:          opt.Params,
+		Schedule:        opt.Schedule,
+		Seed:            opt.Seed,
+		Test:            opt.Test,
+		TargetRMSE:      opt.TargetRMSE,
+		Init:            opt.Resume,
+		StartEpoch:      opt.StartEpoch,
+		CheckpointPath:  opt.CheckpointPath,
+		CheckpointEvery: opt.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &TrainReport{
+		Algorithm:    "fpsgd",
+		Seconds:      rep.Seconds,
+		Epochs:       rep.Epochs,
+		FinalRMSE:    rep.FinalRMSE,
+		TotalUpdates: rep.TotalUpdates,
+		Checkpoints:  rep.Checkpoints,
+	}
+	for _, p := range rep.History {
+		out.History = append(out.History, EvalPoint{Time: p.Time, Epoch: p.Epoch, RMSE: p.RMSE})
+	}
+	return out, f, nil
+}
+
+// rejectEngineOnly guards options only the FPSGD engine implements.
+func rejectEngineOnly(name string, opt TrainOptions) error {
+	if opt.CheckpointPath != "" || opt.Resume != nil || opt.StartEpoch != 0 {
+		return fmt.Errorf("hsgd: trainer %q does not support checkpointing or resume (use fpsgd)", name)
+	}
+	return nil
+}
+
+// rejectSplitLambda guards trainers whose ridge solvers take one shared λ
+// (ALS, CD): a differing LambdaQ would be silently ignored otherwise.
+func rejectSplitLambda(name string, opt TrainOptions) error {
+	if opt.Params.LambdaP != opt.Params.LambdaQ {
+		return fmt.Errorf("hsgd: trainer %q uses a single regulariser; set LambdaP == LambdaQ (got %v/%v)",
+			name, opt.Params.LambdaP, opt.Params.LambdaQ)
+	}
+	return nil
+}
+
+// rejectInner guards trainers other than CCD++: a nonzero InnerSweeps would
+// be silently ignored otherwise.
+func rejectInner(name string, opt TrainOptions) error {
+	if opt.InnerSweeps != 0 {
+		return fmt.Errorf("hsgd: trainer %q has no inner refinement sweeps; InnerSweeps is cd-only", name)
+	}
+	return nil
+}
+
+// rejectTarget guards trainers with no per-epoch evaluation loop: an early
+// stopping target would be silently ignored otherwise.
+func rejectTarget(name string, opt TrainOptions) error {
+	if opt.TargetRMSE > 0 {
+		return fmt.Errorf("hsgd: trainer %q does not support TargetRMSE early stopping (use fpsgd)", name)
+	}
+	return nil
+}
+
+// rejectSchedule guards trainers that take only a fixed gamma: a decaying or
+// adaptive schedule would be silently ignored otherwise. The constant
+// schedule is allowed — it is what they do anyway.
+func rejectSchedule(name string, opt TrainOptions) error {
+	if !sgd.IsFixed(opt.Schedule) {
+		return fmt.Errorf("hsgd: trainer %q trains with a fixed gamma and cannot honor schedule %T (use fpsgd or hogwild)",
+			name, opt.Schedule)
+	}
+	return nil
+}
+
+type hogwildTrainer struct{}
+
+func (hogwildTrainer) Name() string { return "hogwild" }
+
+func (hogwildTrainer) Train(train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error) {
+	if err := rejectEngineOnly("hogwild", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectInner("hogwild", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectTarget("hogwild", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := validateShared(opt); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	f := model.NewFactors(train.Rows, train.Cols, opt.Params.K, rng)
+	workers := opt.Threads
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Shuffle a copy so worker shards are unbiased without mutating the
+	// caller's rating order.
+	shuffled := train.Clone()
+	shuffled.Shuffle(rng)
+	start := time.Now()
+	if opt.Schedule != nil {
+		// Hogwild has no epoch barrier of its own; run one pass per Rate
+		// step so decay schedules apply between passes, and feed adaptive
+		// schedules (bold driver) the sampled training loss after each
+		// pass, mirroring the engine's epoch-boundary Observe.
+		observer, _ := opt.Schedule.(engine.LossObserver)
+		var lossSample *Matrix
+		if observer != nil {
+			lossSample = engine.LossSample(shuffled)
+		}
+		p := opt.Params
+		p.Iters = 1
+		for it := 0; it < opt.Params.Iters; it++ {
+			p.Gamma = opt.Schedule.Rate(it)
+			sgd.TrainHogwild(shuffled, f, p, workers)
+			if observer != nil {
+				observer.Observe(model.RMSE(f, lossSample))
+			}
+		}
+	} else {
+		sgd.TrainHogwild(shuffled, f, opt.Params, workers)
+	}
+	return finishReport("hogwild", start, opt, f, int64(opt.Params.Iters)*int64(train.NNZ())), f, nil
+}
+
+type alsTrainer struct{}
+
+func (alsTrainer) Name() string { return "als" }
+
+func (alsTrainer) Train(train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error) {
+	if err := rejectEngineOnly("als", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectInner("als", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectTarget("als", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectSchedule("als", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectSplitLambda("als", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := validateShared(opt); err != nil {
+		return nil, nil, err
+	}
+	f := model.NewFactors(train.Rows, train.Cols, opt.Params.K, rand.New(rand.NewSource(opt.Seed)))
+	workers := opt.Threads
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	err := als.Train(train, f, als.Params{
+		K:       opt.Params.K,
+		Lambda:  opt.Params.LambdaP,
+		Iters:   opt.Params.Iters,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return finishReport("als", start, opt, f, 0), f, nil
+}
+
+type cdTrainer struct{}
+
+func (cdTrainer) Name() string { return "cd" }
+
+func (cdTrainer) Train(train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error) {
+	if err := rejectEngineOnly("cd", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectTarget("cd", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectSchedule("cd", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectSplitLambda("cd", opt); err != nil {
+		return nil, nil, err
+	}
+	if err := validateShared(opt); err != nil {
+		return nil, nil, err
+	}
+	f := model.NewFactors(train.Rows, train.Cols, opt.Params.K, rand.New(rand.NewSource(opt.Seed)))
+	start := time.Now()
+	err := cd.Train(train, f, cd.Params{
+		K:      opt.Params.K,
+		Lambda: opt.Params.LambdaP,
+		Iters:  opt.Params.Iters,
+		Inner:  opt.InnerSweeps,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return finishReport("cd", start, opt, f, 0), f, nil
+}
+
+func validateShared(opt TrainOptions) error {
+	if opt.Params.K <= 0 || opt.Params.Iters <= 0 {
+		return fmt.Errorf("hsgd: invalid params (k=%d iters=%d)", opt.Params.K, opt.Params.Iters)
+	}
+	return nil
+}
+
+func finishReport(alg string, start time.Time, opt TrainOptions, f *Factors, updates int64) *TrainReport {
+	rep := &TrainReport{
+		Algorithm:    alg,
+		Seconds:      time.Since(start).Seconds(),
+		Epochs:       opt.Params.Iters,
+		TotalUpdates: updates,
+	}
+	if opt.Test != nil {
+		rep.FinalRMSE = model.RMSE(f, opt.Test)
+	}
+	return rep
+}
