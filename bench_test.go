@@ -7,6 +7,7 @@
 package hsgd
 
 import (
+	"context"
 	"testing"
 
 	"hsgd/internal/core"
@@ -188,7 +189,7 @@ func benchTrain(b *testing.B, alg core.Algorithm, mutate func(*core.Options)) *c
 	if mutate != nil {
 		mutate(&opt)
 	}
-	rep, _, err := core.Train(train, test, opt)
+	rep, _, err := core.Train(context.Background(), train, test, opt)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,99 @@
+package hsgd
+
+import (
+	"errors"
+	"fmt"
+
+	"hsgd/internal/sgd"
+)
+
+// Capabilities declares which TrainOptions a Trainer can honor. Callers can
+// branch on it before constructing options (e.g. a CLI graying out flags);
+// the Train methods enforce it uniformly — an option the trainer cannot
+// honor fails with an *UnsupportedError (errors.Is ErrUnsupported) instead
+// of being silently dropped.
+type Capabilities struct {
+	// Algorithm is the trainer name accepted by NewTrainer.
+	Algorithm string
+	// Schedules: honors non-fixed learning-rate schedules
+	// (TrainOptions.Schedule beyond the constant one), feeding adaptive
+	// schedules the per-epoch loss.
+	Schedules bool
+	// EarlyStop: honors TrainOptions.TargetRMSE.
+	EarlyStop bool
+	// Checkpoint: writes atomic mid-train snapshots
+	// (TrainOptions.CheckpointPath / CheckpointEvery).
+	Checkpoint bool
+	// Resume: warm-starts from TrainOptions.Resume / StartEpoch.
+	Resume bool
+	// SplitLambda: honors Params.LambdaP != Params.LambdaQ. Trainers whose
+	// ridge solvers take one shared λ (ALS, CD) cannot.
+	SplitLambda bool
+	// InnerSweeps: honors TrainOptions.InnerSweeps (CCD++ refinement).
+	InnerSweeps bool
+	// History: records the per-epoch RMSE trajectory in
+	// TrainReport.History when a Test set is supplied.
+	History bool
+	// Simulated: trains on the simulated heterogeneous system and honors
+	// TrainOptions.Sim; reported times are virtual seconds.
+	Simulated bool
+}
+
+// ErrUnsupported is the sentinel wrapped by every option-rejection error:
+//
+//	_, _, err := trainer.Train(ctx, train, opt)
+//	if errors.Is(err, hsgd.ErrUnsupported) { ... }
+var ErrUnsupported = errors.New("option not supported by this trainer")
+
+// UnsupportedError reports a TrainOptions field the selected trainer cannot
+// honor. It unwraps to ErrUnsupported.
+type UnsupportedError struct {
+	Trainer string // trainer name
+	Option  string // the offending TrainOptions field
+	Hint    string // which trainer(s) support it, or how to avoid it
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("hsgd: trainer %q does not support %s (%s)", e.Trainer, e.Option, e.Hint)
+}
+
+func (e *UnsupportedError) Unwrap() error { return ErrUnsupported }
+
+// validateOptions is the single, capability-driven options gate every
+// trainer runs before touching data — it replaces the per-trainer reject*
+// guards of API v1.
+func validateOptions(c Capabilities, opt TrainOptions) error {
+	if opt.Params.K <= 0 || opt.Params.Iters <= 0 {
+		return fmt.Errorf("hsgd: invalid params (k=%d iters=%d)", opt.Params.K, opt.Params.Iters)
+	}
+	if opt.TargetRMSE > 0 && opt.Test == nil {
+		return fmt.Errorf("hsgd: TargetRMSE requires a Test set to evaluate against")
+	}
+	checks := []struct {
+		used    bool
+		capable bool
+		option  string
+		hint    string
+	}{
+		{!sgd.IsFixed(opt.Schedule), c.Schedules, "Schedule",
+			"non-fixed schedules need fpsgd, hogwild or sim"},
+		{opt.TargetRMSE > 0, c.EarlyStop, "TargetRMSE",
+			"early stopping needs fpsgd or sim"},
+		{opt.CheckpointPath != "", c.Checkpoint, "CheckpointPath",
+			"mid-train checkpoints need fpsgd"},
+		{opt.Resume != nil || opt.StartEpoch != 0, c.Resume, "Resume/StartEpoch",
+			"warm-start resume needs fpsgd"},
+		{opt.Params.LambdaP != opt.Params.LambdaQ, c.SplitLambda, "Params.LambdaP != Params.LambdaQ",
+			"this trainer solves with a single regulariser; set LambdaP == LambdaQ or use fpsgd"},
+		{opt.InnerSweeps != 0, c.InnerSweeps, "InnerSweeps",
+			"CCD++ inner refinement sweeps need cd"},
+		{opt.Sim != nil, c.Simulated, "Sim",
+			"simulated device configuration needs sim"},
+	}
+	for _, chk := range checks {
+		if chk.used && !chk.capable {
+			return &UnsupportedError{Trainer: c.Algorithm, Option: chk.option, Hint: chk.hint}
+		}
+	}
+	return nil
+}

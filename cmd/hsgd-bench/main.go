@@ -9,15 +9,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"hsgd/internal/core"
 	"hsgd/internal/dataset"
 	"hsgd/internal/engine"
+	"hsgd/internal/progress"
 	"hsgd/internal/sgd"
 )
 
@@ -55,15 +59,21 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		runs    = flag.Int("runs", 3, "trials per contender; the fastest is reported")
 		out     = flag.String("out", "BENCH_train.json", "JSON report path")
+		verbose = flag.Bool("v", false, "stream per-epoch engine progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*name, *scale, *k, *iters, *threads, *seed, *runs, *out); err != nil {
+	// SIGINT/SIGTERM cancel the in-flight trial; a partially benchmarked
+	// report is useless, so the bench exits with the context error rather
+	// than writing misleading numbers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *name, *scale, *k, *iters, *threads, *seed, *runs, *out, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale float64, k, iters, threads int, seed int64, runs int, out string) error {
+func run(ctx context.Context, name string, scale float64, k, iters, threads int, seed int64, runs int, out string, verbose bool) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -83,16 +93,26 @@ func run(name string, scale float64, k, iters, threads int, seed int64, runs int
 		K: k, Iters: iters, Threads: threads, MaxProcs: runtime.GOMAXPROCS(0), Seed: seed,
 	}
 
+	var prog progress.Func
+	if verbose {
+		prog = func(e progress.Event) {
+			if e.Kind == progress.KindEpoch {
+				fmt.Fprintf(os.Stderr, "  %s epoch %d/%d  rmse %.4f  %.1f Mupd/s\n",
+					e.Algorithm, e.Epoch, e.TotalEpochs, e.RMSE, e.UpdatesPerSec/1e6)
+			}
+		}
+	}
+
 	// Warm-up pass so neither contender pays first-touch costs, then
 	// alternate trials and keep each contender's fastest — wall-clock on a
 	// shared box is noisy and the minimum is the stable estimator.
 	warm := params
 	warm.Iters = 1
-	if _, _, err := engine.Train(train, engine.Options{Threads: threads, Params: warm, Seed: seed}); err != nil {
+	if _, _, err := engine.Train(ctx, train, engine.Options{Threads: threads, Params: warm, Seed: seed}); err != nil {
 		return err
 	}
 	for i := 0; i < runs; i++ {
-		eRep, _, err := engine.Train(train, engine.Options{Threads: threads, Params: params, Seed: seed, Test: test})
+		eRep, _, err := engine.Train(ctx, train, engine.Options{Threads: threads, Params: params, Seed: seed, Test: test, Progress: prog})
 		if err != nil {
 			return err
 		}

@@ -1,15 +1,21 @@
 // Command hsgd-train trains a matrix-factorization model on a rating file.
 //
-// Two modes:
+// One unified surface: -trainer selects the algorithm (fpsgd — the
+// wall-clock lock-striped engine and the default — hogwild, als, cd, or
+// sim, the paper's heterogeneous pipelines on the simulated CPU+GPU machine
+// with virtual-clock timings). The legacy -mode=real|sim spelling is still
+// accepted and maps onto the same trainers.
 //
-//	-mode=real (default)  wall-clock training on the lock-striped engine
-//	                      (or hogwild/als/cd via -trainer)
-//	-mode=sim             one of the paper's pipelines on the simulated
-//	                      heterogeneous system; virtual-clock timings.
+// Training is an interruptible session: SIGINT/SIGTERM (and -timeout)
+// cancel the training context, and the run winds down gracefully — a final
+// atomic checkpoint (when -checkpoint is set), a partial report, and the
+// best-so-far factors written to -out. A live progress line (epoch, RMSE,
+// updates/sec, checkpoints) is printed to stderr; disable with
+// -progress=false.
 //
-// Real mode supports learning-rate schedules (-schedule), separate P/Q
-// regularisation (-lambdaP/-lambdaQ), periodic atomic checkpoints that a
-// running hsgd-serve hot-swaps (-checkpoint, -checkpoint-every), and
+// The fpsgd trainer supports learning-rate schedules (-schedule), separate
+// P/Q regularisation (-lambdaP/-lambdaQ), periodic atomic checkpoints that
+// a running hsgd-serve hot-swaps (-checkpoint, -checkpoint-every), and
 // resuming an interrupted run from such a checkpoint (-resume,
 // -resume-epoch).
 //
@@ -19,18 +25,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"hsgd"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "real", "real (wall-clock training) or sim (heterogeneous simulation)")
-		trainer = flag.String("trainer", "fpsgd", "real algorithm: fpsgd|hogwild|als|cd")
-		alg     = flag.String("alg", "hsgd*", "sim algorithm: cpu-only|gpu-only|hsgd|hsgd*|hsgd*-m|hsgd*-q")
+		mode    = flag.String("mode", "", "legacy alias: real (wall-clock) or sim (heterogeneous simulation)")
+		trainer = flag.String("trainer", "fpsgd", "algorithm: "+strings.Join(hsgd.TrainerNames(), "|"))
+		alg     = flag.String("alg", "hsgd*", "sim pipeline: cpu-only|gpu-only|hsgd|hsgd*|hsgd*-m|hsgd*-q")
 		k       = flag.Int("k", 128, "latent factors")
 		lambda  = flag.Float64("lambda", 0.05, "regularisation (applied to both P and Q)")
 		lambdaP = flag.Float64("lambdaP", -1, "P-side regularisation λP (default: -lambda)")
@@ -39,15 +51,17 @@ func main() {
 		schedln = flag.String("schedule", "fixed", "learning-rate schedule: fixed|inverse|chin|bold")
 		iters   = flag.Int("iters", 20, "training iterations (epochs)")
 		threads = flag.Int("threads", 16, "CPU threads")
-		gpus    = flag.Int("gpus", 1, "simulated GPUs (sim mode)")
-		workers = flag.Int("workers", 128, "GPU parallel workers (sim mode)")
-		scale   = flag.Float64("devscale", 0.01, "device constant scale (sim mode)")
+		gpus    = flag.Int("gpus", 1, "simulated GPUs (sim trainer)")
+		workers = flag.Int("workers", 128, "GPU parallel workers (sim trainer)")
+		scale   = flag.Float64("devscale", 0.01, "device constant scale (sim trainer)")
 		testPth = flag.String("test", "", "optional test-set file for RMSE evaluation")
 		out     = flag.String("out", "", "write trained factors to this file")
-		ckpt    = flag.String("checkpoint", "", "write atomic mid-train snapshots to this file (real mode, fpsgd)")
+		ckpt    = flag.String("checkpoint", "", "write atomic mid-train snapshots to this file (fpsgd)")
 		ckptN   = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
-		resume  = flag.String("resume", "", "resume training from this checkpoint file (real mode, fpsgd)")
+		resume  = flag.String("resume", "", "resume training from this checkpoint file (fpsgd)")
 		resumeE = flag.Int("resume-epoch", 0, "epochs the -resume checkpoint had already completed")
+		timeout = flag.Duration("timeout", 0, "cancel training after this duration (0 disables); the run still ends with a final checkpoint and partial report")
+		progres = flag.Bool("progress", true, "print a live per-epoch progress line to stderr")
 		seed    = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -57,23 +71,44 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := config{
-		mode: *mode, trainer: *trainer, alg: *alg,
+		trainer: *trainer, alg: *alg,
 		k: *k, lambda: *lambda, lambdaP: *lambdaP, lambdaQ: *lambdaQ,
 		gamma: *gamma, schedule: *schedln, iters: *iters,
 		threads: *threads, gpus: *gpus, workers: *workers, scale: *scale,
 		testPath: *testPth, out: *out,
 		checkpoint: *ckpt, checkpointEvery: *ckptN,
 		resume: *resume, resumeEpoch: *resumeE,
+		timeout: *timeout, progress: *progres,
 		seed: *seed,
 	}
-	if err := run(flag.Arg(0), cfg); err != nil {
+	// The legacy -mode spelling maps onto the unified trainer set.
+	switch *mode {
+	case "", "real":
+	case "sim":
+		cfg.trainer = "sim"
+	default:
+		fmt.Fprintf(os.Stderr, "hsgd-train: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM cancel the training context for a graceful wind-down
+	// (final checkpoint + partial report) instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, flag.Arg(0), cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 type config struct {
-	mode, trainer, alg              string
+	trainer, alg                    string
 	k                               int
 	lambda, lambdaP, lambdaQ, gamma float64
 	schedule                        string
@@ -84,10 +119,12 @@ type config struct {
 	checkpointEvery                 int
 	resume                          string
 	resumeEpoch                     int
+	timeout                         time.Duration
+	progress                        bool
 	seed                            int64
 }
 
-func run(path string, cfg config) error {
+func run(ctx context.Context, path string, cfg config) error {
 	train, err := hsgd.LoadMatrix(path)
 	if err != nil {
 		return err
@@ -111,35 +148,14 @@ func run(path string, cfg config) error {
 		K: cfg.k, LambdaP: float32(lp), LambdaQ: float32(lq),
 		Gamma: float32(cfg.gamma), Iters: cfg.iters,
 	}
-	var factors *hsgd.Factors
-	switch cfg.mode {
-	case "real":
-		factors, err = runReal(train, test, params, cfg)
-	case "sim":
-		factors, err = runSim(train, test, params, cfg)
-	default:
-		return fmt.Errorf("unknown mode %q", cfg.mode)
-	}
+
+	tr, err := hsgd.NewTrainer(cfg.trainer)
 	if err != nil {
 		return err
 	}
-	if cfg.out != "" {
-		if err := factors.SaveFile(cfg.out); err != nil {
-			return err
-		}
-		fmt.Printf("factors written to %s\n", cfg.out)
-	}
-	return nil
-}
-
-func runReal(train, test *hsgd.Matrix, params hsgd.Params, cfg config) (*hsgd.Factors, error) {
-	tr, err := hsgd.NewTrainer(cfg.trainer)
-	if err != nil {
-		return nil, err
-	}
 	schedule, err := hsgd.NewSchedule(cfg.schedule, cfg.gamma)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opt := hsgd.TrainOptions{
 		Threads:         cfg.threads,
@@ -150,20 +166,46 @@ func runReal(train, test *hsgd.Matrix, params hsgd.Params, cfg config) (*hsgd.Fa
 		CheckpointPath:  cfg.checkpoint,
 		CheckpointEvery: cfg.checkpointEvery,
 	}
+	if cfg.progress {
+		opt.Progress = progressLine
+	}
+	if cfg.trainer == "sim" {
+		opt.Sim = &hsgd.SimConfig{
+			Algorithm:   hsgd.Algorithm(cfg.alg),
+			GPUs:        cfg.gpus,
+			GPU:         hsgd.DefaultGPU().WithWorkers(cfg.workers),
+			CPU:         hsgd.DefaultCPU(),
+			DeviceScale: cfg.scale,
+		}
+	}
 	if cfg.resume != "" {
 		loaded, err := hsgd.LoadFactors(cfg.resume)
 		if err != nil {
-			return nil, fmt.Errorf("loading -resume checkpoint: %w", err)
+			return fmt.Errorf("loading -resume checkpoint: %w", err)
 		}
 		opt.Resume = loaded
 		opt.StartEpoch = cfg.resumeEpoch
 		fmt.Printf("resuming from %s at epoch %d\n", cfg.resume, cfg.resumeEpoch)
 	}
-	rep, f, err := tr.Train(train, opt)
-	if err != nil {
-		return nil, err
+
+	rep, f, err := tr.Train(ctx, train, opt)
+	if cfg.progress {
+		fmt.Fprintln(os.Stderr) // seal the \r progress line
 	}
-	fmt.Printf("%s: trained %d epochs in %.3fs wall clock", rep.Algorithm, rep.Epochs, rep.Seconds)
+	if err != nil && rep == nil {
+		return err // hard failure: no partial results to salvage
+	}
+	if rep.Interrupted {
+		fmt.Printf("interrupted (%v): keeping partial model after %d/%d epochs\n",
+			err, rep.Epochs, cfg.iters)
+	}
+	clock := "wall clock"
+	secsFmt := "%.3f"
+	if cfg.trainer == "sim" {
+		clock = "virtual time"
+		secsFmt = "%.4g" // virtual seconds can be far below a millisecond
+	}
+	fmt.Printf("%s: trained %d epochs in "+secsFmt+"s %s", rep.Algorithm, rep.Epochs, rep.Seconds, clock)
 	if rep.TotalUpdates > 0 {
 		fmt.Printf(" (%d updates)", rep.TotalUpdates)
 	}
@@ -174,29 +216,35 @@ func runReal(train, test *hsgd.Matrix, params hsgd.Params, cfg config) (*hsgd.Fa
 	if test != nil {
 		fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
 	}
-	return f, nil
+	if cfg.out != "" {
+		if err := f.SaveFile(cfg.out); err != nil {
+			return err
+		}
+		fmt.Printf("factors written to %s\n", cfg.out)
+	}
+	if rep.Interrupted && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// An unusual cancellation cause (context.WithCancelCause) should
+		// still surface, but after the partial results were saved.
+		return err
+	}
+	return nil
 }
 
-func runSim(train, test *hsgd.Matrix, params hsgd.Params, cfg config) (*hsgd.Factors, error) {
-	rep, f, err := hsgd.Train(train, test, hsgd.Options{
-		Algorithm:  hsgd.Algorithm(cfg.alg),
-		CPUThreads: cfg.threads,
-		GPUs:       cfg.gpus,
-		Params:     params,
-		GPU:        hsgd.DefaultGPU().WithWorkers(cfg.workers).Scaled(cfg.scale),
-		CPU:        hsgd.DefaultCPU().Scaled(cfg.scale),
-		Seed:       cfg.seed,
-	})
-	if err != nil {
-		return nil, err
+// progressLine renders the live training status on one stderr line,
+// rewritten in place per epoch.
+func progressLine(e hsgd.ProgressEvent) {
+	if e.Kind != hsgd.ProgressEpoch {
+		return
 	}
-	fmt.Printf("%s: %d epochs in %.4fs virtual time\n", cfg.alg, rep.Epochs, rep.VirtualSeconds)
-	if rep.Alpha > 0 {
-		fmt.Printf("cost-model split: alpha=%.3f (GPU %.1f%%, CPU %.1f%%)\n",
-			rep.Alpha, 100*rep.GPUShare, 100*rep.CPUShare)
+	line := fmt.Sprintf("epoch %d/%d  %6.1fs", e.Epoch, e.TotalEpochs, e.Elapsed.Seconds())
+	if e.RMSE > 0 {
+		line += fmt.Sprintf("  rmse %.4f", e.RMSE)
 	}
-	if test != nil {
-		fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
+	if e.UpdatesPerSec > 0 {
+		line += fmt.Sprintf("  %.1f Mupd/s", e.UpdatesPerSec/1e6)
 	}
-	return f, nil
+	if e.Checkpoints > 0 {
+		line += fmt.Sprintf("  ckpt %d", e.Checkpoints)
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[K%s", line)
 }

@@ -1,0 +1,95 @@
+package hsgd_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hsgd"
+)
+
+// ExampleNewTrainer shows the unified training session: pick an algorithm,
+// inspect its capabilities, and train with a context.
+func ExampleNewTrainer() {
+	train, test, err := hsgd.GenerateDataset(hsgd.BenchmarkDatasets()[0].Scale(0.03), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := hsgd.DefaultParams()
+	params.K = 8
+	params.Iters = 3
+
+	trainer, err := hsgd.NewTrainer("fpsgd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := trainer.Capabilities()
+	fmt.Printf("%s: checkpoint=%v resume=%v early-stop=%v\n",
+		caps.Algorithm, caps.Checkpoint, caps.Resume, caps.EarlyStop)
+
+	report, factors, err := trainer.Train(context.Background(), train, hsgd.TrainOptions{
+		Threads: 2,
+		Params:  params,
+		Seed:    1,
+		Test:    test,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d epochs: %v\n", report.Epochs, report.Epochs == params.Iters)
+	fmt.Printf("model usable: %v\n", factors.Predict(0, 0) == factors.Predict(0, 0))
+	// Output:
+	// fpsgd: checkpoint=true resume=true early-stop=true
+	// completed 3 epochs: true
+	// model usable: true
+}
+
+// ExampleTrainer_cancellation shows the interruption contract: a deadlined
+// context stops training at the next safe boundary, and the session still
+// yields usable factors, a partial report, and a final atomic checkpoint
+// that a serving process can load.
+func ExampleTrainer_cancellation() {
+	train, _, err := hsgd.GenerateDataset(hsgd.BenchmarkDatasets()[0].Scale(0.05), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := hsgd.DefaultParams()
+	params.K = 16
+	params.Iters = 1 << 20 // far more epochs than the deadline allows
+
+	dir, err := os.MkdirTemp("", "hsgd-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "model.hfac")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	trainer, _ := hsgd.NewTrainer("fpsgd")
+	report, factors, err := trainer.Train(ctx, train, hsgd.TrainOptions{
+		Threads:        2,
+		Params:         params,
+		Seed:           2,
+		CheckpointPath: ckpt,
+	})
+	fmt.Printf("deadline exceeded: %v\n", errors.Is(err, context.DeadlineExceeded))
+	fmt.Printf("partial report: %v, factors usable: %v\n",
+		report != nil && report.Interrupted, factors != nil)
+
+	// The final checkpoint was written on the way out; a serve process
+	// watching this path would hot-swap it.
+	loaded, err := hsgd.LoadFactors(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint on disk matches: %v\n", loaded.K == params.K)
+	// Output:
+	// deadline exceeded: true
+	// partial report: true, factors usable: true
+	// checkpoint on disk matches: true
+}

@@ -1,10 +1,13 @@
 // Heterogeneous: the paper's headline experiment in miniature — train the
 // same dataset with CPU-Only (FPSGD), GPU-Only (cuMF_SGD-style) and HSGD*
-// on the simulated CPU+GPU system and compare time-to-target-RMSE, printing
-// the cost-model split and the speedups (Figures 10–12).
+// through the unified "sim" trainer and compare time-to-target-RMSE,
+// printing the speedups (Figures 10–12). The simulated pipelines sit behind
+// the same Trainer interface as the real ones: only TrainOptions.Sim and
+// the meaning of report.Seconds (virtual, not wall clock) differ.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,31 +24,33 @@ func main() {
 	fmt.Printf("dataset: %s-shaped, %d ratings; fixed 30-epoch budget\n",
 		spec.Name, train.NNZ())
 
+	trainer, err := hsgd.NewTrainer("sim")
+	if err != nil {
+		log.Fatal(err)
+	}
 	const deviceScale = 0.001 // device constants matched to the dataset scale
 	times := map[hsgd.Algorithm]float64{}
 	for _, alg := range []hsgd.Algorithm{hsgd.CPUOnly, hsgd.GPUOnly, hsgd.HSGDStar} {
 		params := spec.Params()
 		params.K = spec.K
 		params.Iters = 30
-		report, _, err := hsgd.Train(train, test, hsgd.Options{
-			Algorithm:  alg,
-			CPUThreads: 16,
-			GPUs:       1,
-			Params:     params,
-			GPU:        hsgd.DefaultGPU().Scaled(deviceScale), // 128 parallel workers
-			CPU:        hsgd.DefaultCPU().Scaled(deviceScale),
-			Seed:       42,
+		report, _, err := trainer.Train(context.Background(), train, hsgd.TrainOptions{
+			Threads: 16,
+			Params:  params,
+			Seed:    42,
+			Test:    test,
+			Sim: &hsgd.SimConfig{
+				Algorithm:   alg,
+				GPUs:        1,
+				DeviceScale: deviceScale, // 128 parallel workers (the default GPU)
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		times[alg] = report.VirtualSeconds
-		extra := ""
-		if report.Alpha > 0 {
-			extra = fmt.Sprintf("  [alpha=%.3f -> GPU %.0f%%]", report.Alpha, 100*report.GPUShare)
-		}
-		fmt.Printf("%-9s %d epochs in %.4fs virtual time, final RMSE %.3f%s\n",
-			alg, report.Epochs, report.VirtualSeconds, report.FinalRMSE, extra)
+		times[alg] = report.Seconds
+		fmt.Printf("%-9s %d epochs in %.4fs virtual time, final RMSE %.3f\n",
+			alg, report.Epochs, report.Seconds, report.FinalRMSE)
 	}
 	fmt.Printf("\nHSGD* speedup: %.2fx over CPU-Only, %.2fx over GPU-Only\n",
 		times[hsgd.CPUOnly]/times[hsgd.HSGDStar],

@@ -1,11 +1,14 @@
-// Quickstart: factorize a small synthetic rating matrix with the
-// goroutine-parallel FPSGD trainer and evaluate it — the 15-line path a new
-// user of the library takes first.
+// Quickstart: factorize a small synthetic rating matrix with the unified
+// training API and evaluate it — the 20-line path a new user of the
+// library takes first: NewTrainer, a context, a progress callback, Train.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"hsgd"
 )
@@ -24,17 +27,32 @@ func main() {
 	params.K = 32
 	params.Iters = 15
 
-	report, factors, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
+	// Ctrl-C cancels the session gracefully: Train still returns the
+	// best-so-far factors and a partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	trainer, err := hsgd.NewTrainer("fpsgd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, factors, err := trainer.Train(ctx, train, hsgd.TrainOptions{
 		Threads: 8,
 		Params:  params,
 		Seed:    42,
 		Test:    test,
+		Progress: func(e hsgd.ProgressEvent) {
+			if e.Kind == hsgd.ProgressEpoch {
+				fmt.Printf("  epoch %2d/%d  rmse %.4f  %.1f Mupd/s\n",
+					e.Epoch, e.TotalEpochs, e.RMSE, e.UpdatesPerSec/1e6)
+			}
+		},
 	})
-	if err != nil {
-		log.Fatal(err)
+	if err != nil && report == nil {
+		log.Fatal(err) // hard failure; an interruption still yields a model
 	}
-	fmt.Printf("trained %d epochs in %.3fs: test RMSE %.4f\n",
-		report.Epochs, report.Seconds, report.FinalRMSE)
+	fmt.Printf("trained %d epochs in %.3fs: test RMSE %.4f (interrupted=%v)\n",
+		report.Epochs, report.Seconds, report.FinalRMSE, report.Interrupted)
 
 	// Use the model: predicted score for one (user, item) pair.
 	fmt.Printf("predicted rating for user 3, item 7: %.2f\n", factors.Predict(3, 7))

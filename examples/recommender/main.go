@@ -30,7 +30,11 @@ func main() {
 	params.K = 32
 	params.Iters = 20
 
-	report, factors, err := hsgd.TrainParallel(train, hsgd.ParallelOptions{
+	trainer, err := hsgd.NewTrainer("fpsgd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, factors, err := trainer.Train(context.Background(), train, hsgd.TrainOptions{
 		Threads: 8,
 		Params:  params,
 		Seed:    7,

@@ -3,26 +3,57 @@
 // Yu et al., "Efficient Matrix Factorization on Heterogeneous CPU-GPU
 // Systems" (ICDE 2021, arXiv:2006.15980).
 //
-// Three ways to use it:
+// # Training sessions (API v2)
 //
-//   - Trainer (NewTrainer) is the unified training API: "fpsgd" (the
-//     lock-striped parallel SGD engine in internal/engine — the default),
-//     "hogwild", "als" and "cd" all sit behind one entry point with shared
-//     TrainOptions and TrainReport types. The FPSGD engine additionally
-//     supports learning-rate schedules (NewSchedule), early stopping on a
-//     target RMSE, atomic mid-train checkpoints, and resume-from-checkpoint
-//     (LoadFactors + TrainOptions.Resume).
+// Training is an interruptible, observable session behind one entry point:
+// NewTrainer returns a Trainer ("fpsgd" — the lock-striped parallel SGD
+// engine and the default — "hogwild", "als", "cd", or "sim", the paper's
+// heterogeneous CPU+GPU pipelines on a simulated machine), and
+// Trainer.Train takes a context.Context:
 //
-//   - TrainParallel is the convenience wrapper around the FPSGD engine for
-//     applications that just want fast matrix factorization on a multi-core
-//     CPU.
+//   - Cancellation/deadline is observed at safe boundaries (block claims in
+//     the engine, passes/iterations in the baselines, task releases in the
+//     simulator). An interrupted run is not abandoned work: Train returns
+//     the best-so-far *Factors, a partial TrainReport (Interrupted=true),
+//     and one final atomic checkpoint when checkpointing is on — together
+//     with the context error, so errors.Is(err, context.Canceled) tells an
+//     interruption apart from a hard failure.
 //
-//   - Train runs the paper's heterogeneous pipelines (CPU-Only, GPU-Only,
-//     HSGD, HSGD* and its ablations) on a simulated CPU+GPU system with a
-//     deterministic virtual clock. The SGD arithmetic is executed for real;
-//     only durations are simulated. This is the experimentation surface
-//     that regenerates the paper's figures and tables (see bench_test.go
-//     and cmd/hsgd-experiments).
+//   - TrainOptions.Progress streams per-epoch ProgressEvent values (epoch,
+//     RMSE, updates/sec, checkpoint writes) from points where the factors
+//     are quiescent — the live progress line in cmd/hsgd-train, the bench
+//     reporter, and the serving layer's /statsz training block all consume
+//     the same stream.
+//
+//   - Trainer.Capabilities declares which options an algorithm honors
+//     (schedules, checkpoint/resume, early-stop, split regularisation,
+//     inner sweeps, simulation). Options a trainer cannot honor fail with
+//     a typed *UnsupportedError wrapping ErrUnsupported instead of being
+//     silently dropped.
+//
+// Quick start:
+//
+//	train, _ := hsgd.LoadMatrix("ratings.txt")
+//	trainer, _ := hsgd.NewTrainer("fpsgd")
+//	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+//	defer stop()
+//	report, factors, err := trainer.Train(ctx, train, hsgd.TrainOptions{
+//	    Threads:        8,
+//	    Params:         hsgd.DefaultParams(),
+//	    CheckpointPath: "model.hfac", // hot-swapped live by hsgd-serve
+//	    Progress: func(e hsgd.ProgressEvent) {
+//	        log.Printf("epoch %d/%d rmse=%.4f", e.Epoch, e.TotalEpochs, e.RMSE)
+//	    },
+//	})
+//	if err != nil && report == nil {
+//	    log.Fatal(err) // hard failure; an interruption still yields a model
+//	}
+//	score := factors.Predict(user, item)
+//
+// The FPSGD engine additionally supports learning-rate schedules
+// (NewSchedule), early stopping on a target RMSE, atomic mid-train
+// checkpoints, and resume-from-checkpoint (LoadFactors +
+// TrainOptions.Resume).
 //
 // Trained factors feed the online serving subsystem (internal/serve,
 // cmd/hsgd-serve): sharded top-K retrieval, hot-swappable snapshots, and
@@ -32,19 +63,16 @@
 // running — see README.md for the train → checkpoint → hot-swap → serve
 // pipeline.
 //
-// Quick start:
-//
-//	train, _ := hsgd.LoadMatrix("ratings.txt")
-//	trainer, _ := hsgd.NewTrainer("fpsgd")
-//	report, factors, err := trainer.Train(train, hsgd.TrainOptions{
-//	    Threads:        8,
-//	    Params:         hsgd.DefaultParams(),
-//	    CheckpointPath: "model.hfac", // hot-swapped live by hsgd-serve
-//	})
-//	score := factors.Predict(user, item)
+// The simulated heterogeneous experimentation surface (the paper's
+// CPU-Only, GPU-Only, HSGD, HSGD* pipelines with a deterministic virtual
+// clock) is the "sim" trainer; the SGD arithmetic is executed for real and
+// only durations are simulated. It regenerates the paper's figures and
+// tables (see bench_test.go and cmd/hsgd-experiments).
 package hsgd
 
 import (
+	"context"
+
 	"hsgd/internal/core"
 	"hsgd/internal/cost"
 	"hsgd/internal/dataset"
@@ -72,11 +100,13 @@ type (
 type (
 	// Algorithm selects one of the paper's pipelines.
 	Algorithm = core.Algorithm
-	// Options configures a simulated heterogeneous run.
+	// Options configures a simulated heterogeneous run (the deprecated
+	// Train entry point; new code passes TrainOptions.Sim to the "sim"
+	// trainer).
 	Options = core.Options
 	// Report summarises a simulated run.
 	Report = core.Report
-	// EvalPoint is one (virtual time, epoch, RMSE) measurement.
+	// EvalPoint is one (time, epoch, RMSE) measurement.
 	EvalPoint = core.EvalPoint
 	// GPUConfig describes the simulated GPU device.
 	GPUConfig = gpu.Config
@@ -90,7 +120,7 @@ type (
 
 // Real-mode (wall-clock) training types.
 type (
-	// ParallelOptions configures TrainParallel.
+	// ParallelOptions configures the deprecated TrainParallel shim.
 	ParallelOptions = core.RealOptions
 	// ParallelReport summarises a TrainParallel run.
 	ParallelReport = core.RealReport
@@ -119,21 +149,46 @@ func DefaultCPU() CPUConfig { return core.DefaultCPUConfig() }
 
 // Train runs one of the paper's pipelines on the simulated heterogeneous
 // system. test may be nil (no RMSE evaluation). The returned factors are
-// genuinely trained; the report's times are virtual seconds.
-func Train(train, test *Matrix, opt Options) (*Report, *Factors, error) {
-	return core.Train(train, test, opt)
+// genuinely trained; the report's times are virtual seconds. Cancellation
+// follows the Trainer convention: an interrupted run returns the partial
+// report and factors together with the context error.
+//
+// Deprecated: use NewTrainer("sim") with TrainOptions.Sim — the unified
+// session API with progress streaming and capability introspection. This
+// shim delegates to the same implementation.
+func Train(ctx context.Context, train, test *Matrix, opt Options) (*Report, *Factors, error) {
+	return core.Train(ctx, train, test, opt)
 }
 
 // TrainParallel runs FPSGD (Zhuang et al. [9]) on real goroutines and
-// returns wall-clock timings. This is the trainer to use in applications.
-func TrainParallel(train *Matrix, opt ParallelOptions) (*ParallelReport, *Factors, error) {
-	return core.TrainReal(train, opt)
+// returns wall-clock timings. Cancellation follows the Trainer convention:
+// an interrupted run returns the partial report and best-so-far factors
+// together with the context error.
+//
+// Deprecated: use NewTrainer("fpsgd") — the unified session API with
+// checkpointing, resume, progress streaming, and capability introspection.
+// This shim delegates to the same engine.
+func TrainParallel(ctx context.Context, train *Matrix, opt ParallelOptions) (*ParallelReport, *Factors, error) {
+	return core.TrainReal(ctx, train, opt)
 }
 
 // TrainSerial runs the reference single-threaded SGD of Algorithm 1 on the
-// given pre-initialised factors.
-func TrainSerial(train *Matrix, f *Factors, p Params) {
-	sgd.TrainSerial(train, f, p)
+// given pre-initialised factors, observing ctx between passes: an
+// interrupted run returns the context error with the factors left at the
+// last completed pass.
+func TrainSerial(ctx context.Context, train *Matrix, f *Factors, p Params) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	onePass := p
+	onePass.Iters = 1
+	for it := 0; it < p.Iters; it++ {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		sgd.TrainSerial(train, f, onePass)
+	}
+	return nil
 }
 
 // RMSE evaluates the model's root-mean-square error on a rating set.

@@ -1,11 +1,16 @@
 package hsgd
 
 import (
+	"context"
+	"errors"
 	"math"
+	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	spec := BenchmarkDatasets()[0].Scale(0.05)
 	train, test, err := GenerateDataset(spec, 1)
 	if err != nil {
@@ -15,8 +20,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	params.K = 16
 	params.Iters = 5
 
-	// Real-mode training.
-	rep, f, err := TrainParallel(train, ParallelOptions{Threads: 4, Params: params, Seed: 1, Test: test})
+	// Real-mode training through the deprecated convenience shim.
+	rep, f, err := TrainParallel(ctx, train, ParallelOptions{Threads: 4, Params: params, Seed: 1, Test: test})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,8 +32,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("RMSE helper %v != report %v", got, rep.FinalRMSE)
 	}
 
-	// Simulated heterogeneous training.
-	simRep, simF, err := Train(train, test, Options{
+	// Simulated heterogeneous training through the deprecated shim.
+	simRep, simF, err := Train(ctx, train, test, Options{
 		Algorithm:  HSGDStar,
 		CPUThreads: 8,
 		GPUs:       1,
@@ -48,7 +53,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Serial reference.
-	TrainSerial(train, f, params)
+	if err := TrainSerial(ctx, train, f, params); err != nil {
+		t.Fatal(err)
+	}
 
 	// Machine profiling.
 	p, err := ProfileMachine(train.NNZ(), DefaultGPU().Scaled(0.0005), DefaultCPU().Scaled(0.0005), 1)
@@ -80,9 +87,10 @@ func TestMatrixFileHelpers(t *testing.T) {
 }
 
 // TestTrainerAPI drives every algorithm behind the unified Trainer interface
-// on one small dataset, plus the FPSGD-only checkpoint/resume path and the
-// option rejection on trainers that cannot honor it.
+// on one small dataset: report shape, per-epoch history, actual work
+// counts, and the FPSGD-only checkpoint/resume path.
 func TestTrainerAPI(t *testing.T) {
+	ctx := context.Background()
 	spec := BenchmarkDatasets()[0].Scale(0.03)
 	train, test, err := GenerateDataset(spec, 2)
 	if err != nil {
@@ -92,7 +100,7 @@ func TestTrainerAPI(t *testing.T) {
 	params.K = 8
 	params.Iters = 3
 
-	for _, name := range []string{"fpsgd", "hogwild", "als", "cd"} {
+	for _, name := range TrainerNames() {
 		trainer, err := NewTrainer(name)
 		if err != nil {
 			t.Fatal(err)
@@ -100,13 +108,27 @@ func TestTrainerAPI(t *testing.T) {
 		if trainer.Name() != name {
 			t.Fatalf("Name() = %q, want %q", trainer.Name(), name)
 		}
+		if caps := trainer.Capabilities(); caps.Algorithm != name {
+			t.Fatalf("Capabilities().Algorithm = %q, want %q", caps.Algorithm, name)
+		}
 		threads := 2
 		if name == "hogwild" {
 			// Hogwild's lock-free updates are data races by design; keep it
 			// single-worker so `go test -race ./...` stays clean.
 			threads = 1
 		}
-		rep, f, err := trainer.Train(train, TrainOptions{Threads: threads, Params: params, Seed: 3, Test: test})
+		var epochEvents int
+		rep, f, err := trainer.Train(ctx, train, TrainOptions{
+			Threads: threads, Params: params, Seed: 3, Test: test,
+			Progress: func(e ProgressEvent) {
+				if e.Kind == ProgressEpoch {
+					epochEvents++
+					if e.Algorithm != name {
+						t.Errorf("%s: event algorithm %q", name, e.Algorithm)
+					}
+				}
+			},
+		})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -115,6 +137,18 @@ func TestTrainerAPI(t *testing.T) {
 		}
 		if rep.FinalRMSE <= 0 || math.IsNaN(rep.FinalRMSE) {
 			t.Fatalf("%s: RMSE %v", name, rep.FinalRMSE)
+		}
+		// Every trainer now reports its actual work (satellite: als/cd used
+		// to report 0) and fills the per-epoch trajectory (satellite:
+		// hogwild used to leave History empty).
+		if rep.TotalUpdates <= 0 {
+			t.Fatalf("%s: TotalUpdates = %d, want > 0", name, rep.TotalUpdates)
+		}
+		if len(rep.History) != params.Iters {
+			t.Fatalf("%s: history has %d points, want %d", name, len(rep.History), params.Iters)
+		}
+		if epochEvents != params.Iters {
+			t.Fatalf("%s: saw %d epoch events, want %d", name, epochEvents, params.Iters)
 		}
 		if err := f.Validate(); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -130,14 +164,14 @@ func TestTrainerAPI(t *testing.T) {
 	fpsgd, _ := NewTrainer("fpsgd")
 	short := params
 	short.Iters = 2
-	if _, _, err := fpsgd.Train(train, TrainOptions{Threads: 2, Params: short, Seed: 3, CheckpointPath: ckpt}); err != nil {
+	if _, _, err := fpsgd.Train(ctx, train, TrainOptions{Threads: 2, Params: short, Seed: 3, CheckpointPath: ckpt}); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := LoadFactors(ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, _, err := fpsgd.Train(train, TrainOptions{
+	rep, _, err := fpsgd.Train(ctx, train, TrainOptions{
 		Threads: 2, Params: params, Seed: 3, Test: test,
 		Resume: loaded, StartEpoch: 2,
 	})
@@ -146,12 +180,6 @@ func TestTrainerAPI(t *testing.T) {
 	}
 	if rep.Epochs != params.Iters {
 		t.Fatalf("resumed epochs = %d, want %d", rep.Epochs, params.Iters)
-	}
-
-	// Engine-only options must be rejected elsewhere, not dropped.
-	hog, _ := NewTrainer("hogwild")
-	if _, _, err := hog.Train(train, TrainOptions{Threads: 2, Params: params, CheckpointPath: ckpt}); err == nil {
-		t.Fatal("hogwild accepted a checkpoint path")
 	}
 
 	// Schedules by name.
@@ -169,60 +197,281 @@ func TestTrainerAPI(t *testing.T) {
 	}
 }
 
-// TestTrainerRejectsSplitLambda: ALS and CD take a single regulariser, so a
-// differing LambdaQ must be an error, not silently collapsed to LambdaP.
-func TestTrainerRejectsSplitLambda(t *testing.T) {
+// TestCapabilityMatrix is the table-driven replacement for the scattered
+// per-guard rejection tests: every (trainer × option) pair must either
+// train successfully (capability declared) or fail with the typed
+// ErrUnsupported (capability absent) — options are never silently dropped.
+func TestCapabilityMatrix(t *testing.T) {
+	ctx := context.Background()
 	spec := BenchmarkDatasets()[0].Scale(0.02)
-	train, _, err := GenerateDataset(spec, 4)
+	train, test, err := GenerateDataset(spec, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	params := DefaultParams()
 	params.K = 4
-	params.Iters = 1
-	params.LambdaQ = params.LambdaP * 2
-	for _, name := range []string{"als", "cd"} {
-		tr, _ := NewTrainer(name)
-		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params}); err == nil {
-			t.Fatalf("%s accepted LambdaP != LambdaQ", name)
+	params.Iters = 2
+	bold, _ := NewSchedule("bold", 0.01)
+	fixed, _ := NewSchedule("fixed", 0.01)
+
+	// A shape-matched warm start for the Resume mutation.
+	fpsgd, _ := NewTrainer("fpsgd")
+	warmIters := params
+	warmIters.Iters = 1
+	_, warm, err := fpsgd.Train(ctx, train, TrainOptions{Threads: 2, Params: warmIters, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptDir := t.TempDir()
+	mutations := []struct {
+		option  string
+		mutate  func(*TrainOptions)
+		capable func(Capabilities) bool
+	}{
+		{"Schedule", func(o *TrainOptions) { o.Schedule = bold },
+			func(c Capabilities) bool { return c.Schedules }},
+		{"TargetRMSE", func(o *TrainOptions) { o.TargetRMSE = 1e-9; o.Test = test },
+			func(c Capabilities) bool { return c.EarlyStop }},
+		{"CheckpointPath", func(o *TrainOptions) { o.CheckpointPath = filepath.Join(ckptDir, "m.hfac") },
+			func(c Capabilities) bool { return c.Checkpoint }},
+		{"Resume", func(o *TrainOptions) { o.Resume = warm; o.StartEpoch = 1 },
+			func(c Capabilities) bool { return c.Resume }},
+		{"SplitLambda", func(o *TrainOptions) { o.Params.LambdaQ = o.Params.LambdaP * 2 },
+			func(c Capabilities) bool { return c.SplitLambda }},
+		{"InnerSweeps", func(o *TrainOptions) { o.InnerSweeps = 2 },
+			func(c Capabilities) bool { return c.InnerSweeps }},
+		{"Sim", func(o *TrainOptions) { o.Sim = &SimConfig{DeviceScale: 0.0005} },
+			func(c Capabilities) bool { return c.Simulated }},
+	}
+
+	for _, name := range TrainerNames() {
+		tr, err := NewTrainer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := tr.Capabilities()
+		for _, m := range mutations {
+			opt := TrainOptions{Threads: 1, Params: params, Seed: 4}
+			if name == "sim" {
+				opt.Sim = &SimConfig{DeviceScale: 0.0005}
+			}
+			m.mutate(&opt)
+			_, _, err := tr.Train(ctx, train, opt)
+			if m.capable(caps) {
+				if err != nil {
+					t.Errorf("%s × %s: capability declared but Train failed: %v", name, m.option, err)
+				}
+			} else {
+				if !errors.Is(err, ErrUnsupported) {
+					t.Errorf("%s × %s: want ErrUnsupported, got %v", name, m.option, err)
+				}
+				var ue *UnsupportedError
+				if !errors.As(err, &ue) || ue.Trainer != name {
+					t.Errorf("%s × %s: error not a typed *UnsupportedError for this trainer: %v", name, m.option, err)
+				}
+			}
+		}
+		// The constant schedule carries no behavior to lose and stays legal
+		// on every trainer (it is what cmd/hsgd-train passes by default).
+		opt := TrainOptions{Threads: 1, Params: params, Seed: 4, Schedule: fixed}
+		if name == "sim" {
+			opt.Sim = &SimConfig{DeviceScale: 0.0005}
+		}
+		if _, _, err := tr.Train(ctx, train, opt); err != nil {
+			t.Errorf("%s rejected the fixed schedule: %v", name, err)
 		}
 	}
 }
 
-// TestTrainerRejectsUnsupportedOptions: options a trainer cannot honor must
-// error, not silently do nothing.
-func TestTrainerRejectsUnsupportedOptions(t *testing.T) {
+// TestTrainerCancellation: every trainer must honor context cancellation —
+// returning promptly with usable factors, a partial report flagged
+// Interrupted, and the context error.
+func TestTrainerCancellation(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.05)
+	train, _, err := GenerateDataset(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 16
+	params.Iters = 1 << 20 // far beyond any deadline
+
+	for _, name := range []string{"fpsgd", "hogwild", "als", "cd", "sim"} {
+		t.Run(name, func(t *testing.T) {
+			tr, _ := NewTrainer(name)
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			opt := TrainOptions{Threads: 1, Params: params, Seed: 5}
+			if name == "sim" {
+				opt.Sim = &SimConfig{DeviceScale: 0.0005}
+			}
+			start := time.Now()
+			rep, f, err := tr.Train(ctx, train, opt)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want DeadlineExceeded", err)
+			}
+			if rep == nil || !rep.Interrupted {
+				t.Fatalf("report %+v, want non-nil with Interrupted", rep)
+			}
+			if f == nil {
+				t.Fatal("no factors returned from interrupted run")
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("interrupted factors invalid: %v", err)
+			}
+			// "Within one epoch boundary": generous bound to keep slow CI
+			// honest while still catching a run that ignores the context.
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Fatalf("cancellation took %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestTrainerCancellationPreCancelled: a context that is already dead must
+// not start work, and still follows the interruption convention.
+func TestTrainerCancellationPreCancelled(t *testing.T) {
 	spec := BenchmarkDatasets()[0].Scale(0.02)
-	train, _, err := GenerateDataset(spec, 4)
+	train, _, err := GenerateDataset(spec, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	params := DefaultParams()
 	params.K = 4
-	params.Iters = 1
-	bold, _ := NewSchedule("bold", 0.01)
-	fixed, _ := NewSchedule("fixed", 0.01)
-	for _, name := range []string{"hogwild", "als", "cd"} {
-		tr, _ := NewTrainer(name)
-		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, TargetRMSE: 0.5}); err == nil {
-			t.Fatalf("%s accepted TargetRMSE", name)
+	params.Iters = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr, _ := NewTrainer("fpsgd")
+	rep, f, err := tr.Train(ctx, train, TrainOptions{Threads: 2, Params: params, Seed: 6})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if rep == nil || !rep.Interrupted || rep.Epochs != 0 {
+		t.Fatalf("report %+v, want Interrupted with 0 epochs", rep)
+	}
+	if f == nil {
+		t.Fatal("no factors returned")
+	}
+}
+
+// TestProgressStream pins the event protocol on the engine: one epoch event
+// per epoch, checkpoint events for every snapshot, and a final done event,
+// in order.
+func TestProgressStream(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.02)
+	train, test, err := GenerateDataset(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 4
+	params.Iters = 3
+	ckpt := t.TempDir() + "/m.hfac"
+	var kinds []ProgressKind
+	var lastEpoch int
+	tr, _ := NewTrainer("fpsgd")
+	rep, _, err := tr.Train(context.Background(), train, TrainOptions{
+		Threads: 2, Params: params, Seed: 7, Test: test,
+		CheckpointPath: ckpt,
+		Progress: func(e ProgressEvent) {
+			kinds = append(kinds, e.Kind)
+			if e.Kind == ProgressEpoch {
+				lastEpoch = e.Epoch
+				if e.TotalEpochs != params.Iters {
+					t.Errorf("TotalEpochs = %d", e.TotalEpochs)
+				}
+				if e.RMSE <= 0 {
+					t.Errorf("epoch %d event has no RMSE", e.Epoch)
+				}
+			}
+			if e.Kind == ProgressCheckpoint && e.CheckpointPath != ckpt {
+				t.Errorf("checkpoint event path %q", e.CheckpointPath)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs, ckpts, dones int
+	for _, k := range kinds {
+		switch k {
+		case ProgressEpoch:
+			epochs++
+		case ProgressCheckpoint:
+			ckpts++
+		case ProgressDone:
+			dones++
 		}
 	}
-	for _, name := range []string{"fpsgd", "hogwild", "als"} {
-		tr, _ := NewTrainer(name)
-		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, InnerSweeps: 3}); err == nil {
-			t.Fatalf("%s accepted InnerSweeps", name)
+	if epochs != params.Iters || ckpts != rep.Checkpoints || dones != 1 {
+		t.Fatalf("events epochs=%d ckpts=%d dones=%d (report %+v)", epochs, ckpts, dones, rep)
+	}
+	if lastEpoch != params.Iters {
+		t.Fatalf("last epoch event = %d, want %d", lastEpoch, params.Iters)
+	}
+	if kinds[len(kinds)-1] != ProgressDone {
+		t.Fatalf("final event %q, want done", kinds[len(kinds)-1])
+	}
+}
+
+// TestSimObservesAdaptiveSchedule: the sim trainer declares the Schedules
+// capability, so a bold driver must actually be fed a loss per epoch — with
+// or without a test set — not silently left at its initial gamma.
+func TestSimObservesAdaptiveSchedule(t *testing.T) {
+	spec := BenchmarkDatasets()[0].Scale(0.02)
+	train, test, err := GenerateDataset(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 4
+	params.Iters = 4
+	for _, withTest := range []bool{true, false} {
+		bold, _ := NewSchedule("bold", 0.01)
+		tr, _ := NewTrainer("sim")
+		opt := TrainOptions{
+			Threads: 2, Params: params, Seed: 9, Schedule: bold,
+			Sim: &SimConfig{DeviceScale: 0.0005},
+		}
+		if withTest {
+			opt.Test = test
+		}
+		if _, _, err := tr.Train(context.Background(), train, opt); err != nil {
+			t.Fatalf("withTest=%v: %v", withTest, err)
+		}
+		if bold.Rate(0) == 0.01 {
+			t.Fatalf("withTest=%v: bold driver rate unchanged — Observe not wired", withTest)
 		}
 	}
+}
+
+// TestAlsCdWorkCounts: the satellite fix — als reports ridge solves and cd
+// reports coordinate updates, scaling with the iteration count.
+func TestAlsCdWorkCounts(t *testing.T) {
+	ctx := context.Background()
+	spec := BenchmarkDatasets()[0].Scale(0.02)
+	train, _, err := GenerateDataset(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.K = 4
 	for _, name := range []string{"als", "cd"} {
 		tr, _ := NewTrainer(name)
-		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, Schedule: bold}); err == nil {
-			t.Fatalf("%s accepted an adaptive schedule", name)
+		params.Iters = 1
+		one, _, err := tr.Train(ctx, train, TrainOptions{Threads: 2, Params: params, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
 		}
-		// The constant schedule carries no behavior to lose and stays legal
-		// (it is what cmd/hsgd-train passes by default).
-		if _, _, err := tr.Train(train, TrainOptions{Threads: 1, Params: params, Schedule: fixed}); err != nil {
-			t.Fatalf("%s rejected the fixed schedule: %v", name, err)
+		params.Iters = 3
+		three, _, err := tr.Train(ctx, train, TrainOptions{Threads: 2, Params: params, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.TotalUpdates <= 0 || three.TotalUpdates != 3*one.TotalUpdates {
+			t.Fatalf("%s: updates %d (1 iter) vs %d (3 iters), want exact 3x scaling",
+				name, one.TotalUpdates, three.TotalUpdates)
 		}
 	}
 }

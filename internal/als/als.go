@@ -8,8 +8,10 @@
 package als
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hsgd/internal/model"
 	"hsgd/internal/sparse"
@@ -21,23 +23,45 @@ type Params struct {
 	Lambda  float32 // ridge regularisation (λP = λQ)
 	Iters   int
 	Workers int // goroutines per half-iteration; <=0 means 1
+
+	// Progress, when non-nil, is called after each completed iteration
+	// (both half-solves finished, all workers joined, factors quiescent)
+	// with the 1-based iteration and the cumulative ridge-solve count.
+	Progress func(iter int, solves int64)
 }
 
-// Train runs ALS on the given pre-initialised factors.
-func Train(train *sparse.Matrix, f *model.Factors, p Params) error {
+// Train runs ALS on the given pre-initialised factors and returns the
+// number of k×k ridge systems solved — the algorithm's unit of work, the
+// ALS counterpart of an SGD trainer's rating-update count.
+//
+// Cancellation is observed at iteration boundaries: when ctx fires, Train
+// stops before the next iteration and returns the solves done so far
+// together with the context error. The factors are left in the consistent
+// state of the last completed iteration.
+func Train(ctx context.Context, train *sparse.Matrix, f *model.Factors, p Params) (int64, error) {
 	if p.K != f.K {
-		return fmt.Errorf("als: params K=%d but factors K=%d", p.K, f.K)
+		return 0, fmt.Errorf("als: params K=%d but factors K=%d", p.K, f.K)
 	}
 	if train.NNZ() == 0 {
-		return sparse.ErrEmpty
+		return 0, sparse.ErrEmpty
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rows := train.ToCSR()
 	cols := train.ToCSC()
+	var solves int64
 	for it := 0; it < p.Iters; it++ {
-		solveSide(rows, f.P, f.Q, f.K, p.Lambda, p.Workers)
-		solveSide(cols, f.Q, f.P, f.K, p.Lambda, p.Workers)
+		if ctx.Err() != nil {
+			return solves, context.Cause(ctx)
+		}
+		solves += solveSide(rows, f.P, f.Q, f.K, p.Lambda, p.Workers)
+		solves += solveSide(cols, f.Q, f.P, f.K, p.Lambda, p.Workers)
+		if p.Progress != nil {
+			p.Progress(it+1, solves)
+		}
 	}
-	return nil
+	return solves, nil
 }
 
 // FoldInUser solves the single-user ridge system against frozen item
@@ -64,11 +88,13 @@ func FoldInUser(f *model.Factors, items []int32, vals []float32, lambda float32)
 }
 
 // solveSide solves min ||r_u − X_u·other|| + λ||x_u||² for every row u of
-// the CSR view: one k×k ridge system per row.
-func solveSide(view *sparse.CSR, target, other []float32, k int, lambda float32, workers int) {
+// the CSR view — one k×k ridge system per non-empty row — and returns the
+// number of systems solved.
+func solveSide(view *sparse.CSR, target, other []float32, k int, lambda float32, workers int) int64 {
 	if workers < 1 {
 		workers = 1
 	}
+	var solved atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := view.Rows * w / workers
@@ -79,16 +105,20 @@ func solveSide(view *sparse.CSR, target, other []float32, k int, lambda float32,
 			// Scratch buffers reused across rows.
 			a := make([]float64, k*k)
 			b := make([]float64, k)
+			n := int64(0)
 			for u := lo; u < hi; u++ {
 				cols, vals := view.Row(u)
 				if len(cols) == 0 {
 					continue
 				}
 				solveRow(target[u*k:(u+1)*k], other, cols, vals, k, lambda, a, b)
+				n++
 			}
+			solved.Add(n)
 		}(lo, hi)
 	}
 	wg.Wait()
+	return solved.Load()
 }
 
 // solveRow builds A = Σ q qᵀ + λI, b = Σ r·q over the row's ratings and

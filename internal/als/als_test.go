@@ -1,6 +1,7 @@
 package als
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestALSConverges(t *testing.T) {
 	train, test := planted(80, 60, 4000, 1)
 	f := model.NewFactors(80, 60, 6, rand.New(rand.NewSource(1)))
 	before := model.RMSE(f, test)
-	if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 10, Workers: 4}); err != nil {
+	if _, err := Train(context.Background(), train, f, Params{K: 6, Lambda: 0.05, Iters: 10, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	after := model.RMSE(f, test)
@@ -56,7 +57,7 @@ func TestALSMonotoneTrainingLoss(t *testing.T) {
 	f := model.NewFactors(50, 50, 6, rand.New(rand.NewSource(2)))
 	prev := model.Loss(f, train, 0.05, 0.05)
 	for it := 0; it < 5; it++ {
-		if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 1, Workers: 1}); err != nil {
+		if _, err := Train(context.Background(), train, f, Params{K: 6, Lambda: 0.05, Iters: 1, Workers: 1}); err != nil {
 			t.Fatal(err)
 		}
 		cur := model.Loss(f, train, 0.05, 0.05)
@@ -73,10 +74,10 @@ func TestALSWorkerCountsAgree(t *testing.T) {
 	train, test := planted(40, 40, 2000, 3)
 	f1 := model.NewFactors(40, 40, 4, rand.New(rand.NewSource(3)))
 	f4 := f1.Clone()
-	if err := Train(train, f1, Params{K: 4, Lambda: 0.05, Iters: 3, Workers: 1}); err != nil {
+	if _, err := Train(context.Background(), train, f1, Params{K: 4, Lambda: 0.05, Iters: 3, Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := Train(train, f4, Params{K: 4, Lambda: 0.05, Iters: 3, Workers: 4}); err != nil {
+	if _, err := Train(context.Background(), train, f4, Params{K: 4, Lambda: 0.05, Iters: 3, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	// Row solves are independent, so worker count must not change results
@@ -91,10 +92,10 @@ func TestALSWorkerCountsAgree(t *testing.T) {
 func TestALSErrors(t *testing.T) {
 	train, _ := planted(10, 10, 100, 4)
 	f := model.NewFactors(10, 10, 4, rand.New(rand.NewSource(4)))
-	if err := Train(train, f, Params{K: 8, Lambda: 0.05, Iters: 1}); err == nil {
+	if _, err := Train(context.Background(), train, f, Params{K: 8, Lambda: 0.05, Iters: 1}); err == nil {
 		t.Fatal("K mismatch accepted")
 	}
-	if err := Train(sparse.New(10, 10), f, Params{K: 4, Lambda: 0.05, Iters: 1}); err == nil {
+	if _, err := Train(context.Background(), sparse.New(10, 10), f, Params{K: 4, Lambda: 0.05, Iters: 1}); err == nil {
 		t.Fatal("empty matrix accepted")
 	}
 }

@@ -6,6 +6,7 @@
 package cd
 
 import (
+	"context"
 	"fmt"
 
 	"hsgd/internal/model"
@@ -18,16 +19,30 @@ type Params struct {
 	Lambda float32
 	Iters  int // outer iterations (each sweeps all k dimensions)
 	Inner  int // per-dimension inner refinement sweeps (CCD++ uses ~1-5)
+
+	// Progress, when non-nil, is called after each completed outer
+	// iteration with the 1-based iteration and the cumulative scalar
+	// coordinate-update count.
+	Progress func(iter int, updates int64)
 }
 
 // Train runs CCD++-style coordinate descent on the given pre-initialised
-// factors.
-func Train(train *sparse.Matrix, f *model.Factors, p Params) error {
+// factors and returns the number of scalar coordinate updates performed
+// (one per non-empty row or column, per dimension, per inner sweep) — the
+// CD counterpart of an SGD trainer's rating-update count.
+//
+// Cancellation is observed between latent dimensions, where the residual
+// bookkeeping leaves the factors consistent: when ctx fires, Train stops
+// there and returns the updates done so far with the context error.
+func Train(ctx context.Context, train *sparse.Matrix, f *model.Factors, p Params) (int64, error) {
 	if p.K != f.K {
-		return fmt.Errorf("cd: params K=%d but factors K=%d", p.K, f.K)
+		return 0, fmt.Errorf("cd: params K=%d but factors K=%d", p.K, f.K)
 	}
 	if train.NNZ() == 0 {
-		return sparse.ErrEmpty
+		return 0, sparse.ErrEmpty
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if p.Inner < 1 {
 		p.Inner = 1
@@ -59,19 +74,26 @@ func Train(train *sparse.Matrix, f *model.Factors, p Params) error {
 	}
 
 	k := p.K
+	var updates int64
 	for it := 0; it < p.Iters; it++ {
 		for d := 0; d < k; d++ {
+			if ctx.Err() != nil {
+				return updates, context.Cause(ctx)
+			}
 			// Add this dimension's contribution back into the residual.
 			addDimension(rows, cscToCsr, residual, f, d, +1)
 			for inner := 0; inner < p.Inner; inner++ {
-				updateUSide(rows, residual, f, d, p.Lambda)
-				updateVSide(cols, cscToCsr, residual, f, d, p.Lambda)
+				updates += updateUSide(rows, residual, f, d, p.Lambda)
+				updates += updateVSide(cols, cscToCsr, residual, f, d, p.Lambda)
 			}
 			// Remove the refreshed contribution again.
 			addDimension(rows, cscToCsr, residual, f, d, -1)
 		}
+		if p.Progress != nil {
+			p.Progress(it+1, updates)
+		}
 	}
-	return nil
+	return updates, nil
 }
 
 // addDimension adds sign·p_u[d]·q_v[d] to every residual.
@@ -89,9 +111,11 @@ func addDimension(rows *sparse.CSR, cscToCsr []int, residual []float32, f *model
 }
 
 // updateUSide solves the scalar ridge problem for every p_u[d] against the
-// residual (which currently includes dimension d).
-func updateUSide(rows *sparse.CSR, residual []float32, f *model.Factors, d int, lambda float32) {
+// residual (which currently includes dimension d), returning the update
+// count.
+func updateUSide(rows *sparse.CSR, residual []float32, f *model.Factors, d int, lambda float32) int64 {
 	pos := 0
+	var n int64
 	for u := 0; u < rows.Rows; u++ {
 		cs, _ := rows.Row(u)
 		if len(cs) == 0 {
@@ -106,14 +130,18 @@ func updateUSide(rows *sparse.CSR, residual []float32, f *model.Factors, d int, 
 		den += float64(lambda) * float64(len(cs))
 		if den > 0 {
 			f.P[u*f.K+d] = float32(num / den)
+			n++
 		}
 		pos += len(cs)
 	}
+	return n
 }
 
-// updateVSide solves the scalar ridge problem for every q_v[d].
-func updateVSide(cols *sparse.CSR, cscToCsr []int, residual []float32, f *model.Factors, d int, lambda float32) {
+// updateVSide solves the scalar ridge problem for every q_v[d], returning
+// the update count.
+func updateVSide(cols *sparse.CSR, cscToCsr []int, residual []float32, f *model.Factors, d int, lambda float32) int64 {
 	pos := 0
+	var n int64
 	for v := 0; v < cols.Rows; v++ {
 		rs, _ := cols.Row(v)
 		if len(rs) == 0 {
@@ -128,7 +156,9 @@ func updateVSide(cols *sparse.CSR, cscToCsr []int, residual []float32, f *model.
 		den += float64(lambda) * float64(len(rs))
 		if den > 0 {
 			f.Q[v*f.K+d] = float32(num / den)
+			n++
 		}
 		pos += len(rs)
 	}
+	return n
 }

@@ -1,6 +1,7 @@
 package cd
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestCDConverges(t *testing.T) {
 	train, test := planted(80, 60, 4000, 1)
 	f := model.NewFactors(80, 60, 6, rand.New(rand.NewSource(1)))
 	before := model.RMSE(f, test)
-	if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 10, Inner: 2}); err != nil {
+	if _, err := Train(context.Background(), train, f, Params{K: 6, Lambda: 0.05, Iters: 10, Inner: 2}); err != nil {
 		t.Fatal(err)
 	}
 	after := model.RMSE(f, test)
@@ -56,7 +57,7 @@ func TestCDTrainingLossDecreases(t *testing.T) {
 	f := model.NewFactors(50, 50, 6, rand.New(rand.NewSource(2)))
 	prev := model.Loss(f, train, 0.05, 0.05)
 	for it := 0; it < 4; it++ {
-		if err := Train(train, f, Params{K: 6, Lambda: 0.05, Iters: 1, Inner: 1}); err != nil {
+		if _, err := Train(context.Background(), train, f, Params{K: 6, Lambda: 0.05, Iters: 1, Inner: 1}); err != nil {
 			t.Fatal(err)
 		}
 		cur := model.Loss(f, train, 0.05, 0.05)
@@ -70,10 +71,10 @@ func TestCDTrainingLossDecreases(t *testing.T) {
 func TestCDErrors(t *testing.T) {
 	train, _ := planted(10, 10, 100, 3)
 	f := model.NewFactors(10, 10, 4, rand.New(rand.NewSource(3)))
-	if err := Train(train, f, Params{K: 8, Lambda: 0.05, Iters: 1}); err == nil {
+	if _, err := Train(context.Background(), train, f, Params{K: 8, Lambda: 0.05, Iters: 1}); err == nil {
 		t.Fatal("K mismatch accepted")
 	}
-	if err := Train(sparse.New(10, 10), f, Params{K: 4, Lambda: 0.05, Iters: 1}); err == nil {
+	if _, err := Train(context.Background(), sparse.New(10, 10), f, Params{K: 4, Lambda: 0.05, Iters: 1}); err == nil {
 		t.Fatal("empty matrix accepted")
 	}
 }

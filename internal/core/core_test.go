@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestTrainAllAlgorithmsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range []Algorithm{CPUOnly, GPUOnly, HSGD, HSGDStar, HSGDStarM, HSGDStarQ} {
-		rep, f, err := Train(train, test, mkOpts(alg))
+		rep, f, err := Train(context.Background(), train, test, mkOpts(alg))
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -73,7 +74,7 @@ func TestTrainingImprovesRMSE(t *testing.T) {
 	}
 	opt := mkOpts(HSGDStar)
 	opt.Params.Iters = 10
-	rep, _, err := Train(train, test, opt)
+	rep, _, err := Train(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, f1, err := Train(train, test, mkOpts(HSGDStar))
+	r1, f1, err := Train(context.Background(), train, test, mkOpts(HSGDStar))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, f2, err := Train(train, test, mkOpts(HSGDStar))
+	r2, f2, err := Train(context.Background(), train, test, mkOpts(HSGDStar))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestHSGDStarFastest(t *testing.T) {
 	}
 	times := map[Algorithm]float64{}
 	for _, alg := range []Algorithm{CPUOnly, GPUOnly, HSGDStar} {
-		rep, _, err := Train(train, test, mkOpts(alg))
+		rep, _, err := Train(context.Background(), train, test, mkOpts(alg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestGPUWorkerScalingShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cpu, _, err := Train(train, test, mkOpts(CPUOnly))
+	cpu, _, err := Train(context.Background(), train, test, mkOpts(CPUOnly))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestGPUWorkerScalingShape(t *testing.T) {
 	for _, w := range []int{32, 512} {
 		opt := mkOpts(GPUOnly)
 		opt.GPU = opt.GPU.WithWorkers(w)
-		rep, _, err := Train(train, test, opt)
+		rep, _, err := Train(context.Background(), train, test, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,11 +176,11 @@ func TestHSGDUpdateSkewVsHSGDStar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repH, _, err := Train(train, test, mkOpts(HSGD))
+	repH, _, err := Train(context.Background(), train, test, mkOpts(HSGD))
 	if err != nil {
 		t.Fatal(err)
 	}
-	repS, _, err := Train(train, test, mkOpts(HSGDStar))
+	repS, _, err := Train(context.Background(), train, test, mkOpts(HSGDStar))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,14 +205,14 @@ func TestTargetRMSEStopsEarly(t *testing.T) {
 	// First find the RMSE after 2 epochs, then re-run targeting it.
 	probe := mkOpts(CPUOnly)
 	probe.Params.Iters = 2
-	rep, _, err := Train(train, test, probe)
+	rep, _, err := Train(context.Background(), train, test, probe)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := mkOpts(CPUOnly)
 	opt.Params.Iters = 50
 	opt.TargetRMSE = rep.FinalRMSE
-	rep2, _, err := Train(train, test, opt)
+	rep2, _, err := Train(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestAlphaShares(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, _, err := Train(train, test, mkOpts(HSGDStarM))
+	rep, _, err := Train(context.Background(), train, test, mkOpts(HSGDStarM))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,26 +256,26 @@ func TestOptionsValidation(t *testing.T) {
 	}
 	bad := mkOpts(HSGDStar)
 	bad.GPUs = 0
-	if _, _, err := Train(train, test, bad); err == nil {
+	if _, _, err := Train(context.Background(), train, test, bad); err == nil {
 		t.Fatal("HSGD* without GPUs accepted")
 	}
 	bad = mkOpts(CPUOnly)
 	bad.Params.K = 0
-	if _, _, err := Train(train, test, bad); err == nil {
+	if _, _, err := Train(context.Background(), train, test, bad); err == nil {
 		t.Fatal("K=0 accepted")
 	}
 	bad = mkOpts(CPUOnly)
 	bad.Algorithm = "nope"
-	if _, _, err := Train(train, test, bad); err == nil {
+	if _, _, err := Train(context.Background(), train, test, bad); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 	empty := mkOpts(CPUOnly)
-	if _, _, err := Train(train.Clone(), test, empty); err != nil {
+	if _, _, err := Train(context.Background(), train.Clone(), test, empty); err != nil {
 		t.Fatal(err)
 	}
 	trainEmpty := train.Clone()
 	trainEmpty.Ratings = nil
-	if _, _, err := Train(trainEmpty, test, mkOpts(CPUOnly)); err == nil {
+	if _, _, err := Train(context.Background(), trainEmpty, test, mkOpts(CPUOnly)); err == nil {
 		t.Fatal("empty training set accepted")
 	}
 }
@@ -285,7 +286,7 @@ func TestNilTestSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, _, err := Train(train, nil, mkOpts(HSGDStar))
+	rep, _, err := Train(context.Background(), train, nil, mkOpts(HSGDStar))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestTraceHook(t *testing.T) {
 			t.Fatalf("event travels back in time: %+v", ev)
 		}
 	}
-	if _, _, err := Train(train, test, opt); err != nil {
+	if _, _, err := Train(context.Background(), train, test, opt); err != nil {
 		t.Fatal(err)
 	}
 	if events == 0 || gpuEvents == 0 {
@@ -345,7 +346,7 @@ func TestTrainParallelReal(t *testing.T) {
 	p := spec.Params()
 	p.K = 16
 	p.Iters = 5
-	rep, f, err := TrainReal(train, RealOptions{
+	rep, f, err := TrainReal(context.Background(), train, RealOptions{
 		Threads: 4,
 		Params:  p,
 		Seed:    7,
@@ -378,14 +379,14 @@ func TestTrainParallelRealValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := TrainReal(train, RealOptions{Threads: 2}); err == nil {
+	if _, _, err := TrainReal(context.Background(), train, RealOptions{Threads: 2}); err == nil {
 		t.Fatal("zero params accepted")
 	}
 	empty := train.Clone()
 	empty.Ratings = nil
 	p := spec.Params()
 	p.K = 4
-	if _, _, err := TrainReal(empty, RealOptions{Threads: 2, Params: p}); err == nil {
+	if _, _, err := TrainReal(context.Background(), empty, RealOptions{Threads: 2, Params: p}); err == nil {
 		t.Fatal("empty training set accepted")
 	}
 }
@@ -401,7 +402,7 @@ func TestMultiGPU(t *testing.T) {
 	opt := mkOpts(HSGDStar)
 	opt.CPUThreads = 4
 	opt.GPUs = 2
-	rep, f, err := Train(train, test, opt)
+	rep, f, err := Train(context.Background(), train, test, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestMultiGPU(t *testing.T) {
 	opt1 := mkOpts(HSGDStar)
 	opt1.CPUThreads = 4
 	opt1.GPUs = 1
-	rep1, _, err := Train(train, test, opt1)
+	rep1, _, err := Train(context.Background(), train, test, opt1)
 	if err != nil {
 		t.Fatal(err)
 	}

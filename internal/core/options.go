@@ -17,6 +17,7 @@ import (
 	"hsgd/internal/cost"
 	"hsgd/internal/gpu"
 	"hsgd/internal/grid"
+	"hsgd/internal/progress"
 	"hsgd/internal/sgd"
 )
 
@@ -100,6 +101,11 @@ type Options struct {
 	// Trace, when non-nil, receives one event per scheduled task. Intended
 	// for debugging and the scheduling-visualisation example.
 	Trace func(TraceEvent)
+
+	// Progress, when non-nil, receives one KindEpoch event per effective
+	// pass over the ratings plus a final KindDone/KindInterrupted. Event
+	// times are virtual seconds (the simulation's clock), not wall clock.
+	Progress progress.Func
 }
 
 // TraceEvent describes one task execution on the virtual clock.
@@ -173,6 +179,7 @@ type Report struct {
 	TargetReached  bool
 	TimeToTarget   float64
 	History        []EvalPoint
+	Interrupted    bool // run was stopped by context cancellation/deadline
 
 	// Workload split (HSGD* variants).
 	Alpha    float64

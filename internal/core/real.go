@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -39,16 +40,21 @@ type RealReport struct {
 	FinalRMSE    float64
 	History      []EvalPoint
 	TotalUpdates int64
+	Interrupted  bool // run was stopped by context cancellation/deadline
 }
 
 // TrainReal runs wall-clock FPSGD on the lock-striped training engine
 // (internal/engine): per-band atomic block acquisition, the fused SoA update
 // kernel, and a quiescence barrier for per-epoch evaluation. It keeps the
-// original mutex-scheduler API; new code that needs checkpointing or
-// warm-start resume should call engine.Train (or the public hsgd.Trainer)
-// directly.
-func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Factors, error) {
-	rep, f, err := engine.Train(train, engine.Options{
+// original mutex-scheduler API; new code that needs checkpointing,
+// warm-start resume, or progress streaming should call engine.Train (or the
+// public hsgd.Trainer) directly.
+//
+// Cancellation follows engine.Train's convention: an interrupted run
+// returns the partial report and best-so-far factors together with the
+// context error.
+func TrainReal(ctx context.Context, train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Factors, error) {
+	rep, f, err := engine.Train(ctx, train, engine.Options{
 		Threads:    opt.Threads,
 		Params:     opt.Params,
 		Schedule:   opt.Schedule,
@@ -56,7 +62,7 @@ func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Facto
 		Test:       opt.Test,
 		TargetRMSE: opt.TargetRMSE,
 	})
-	if err != nil {
+	if rep == nil {
 		return nil, nil, err
 	}
 	out := &RealReport{
@@ -64,11 +70,12 @@ func TrainReal(train *sparse.Matrix, opt RealOptions) (*RealReport, *model.Facto
 		Epochs:       rep.Epochs,
 		FinalRMSE:    rep.FinalRMSE,
 		TotalUpdates: rep.TotalUpdates,
+		Interrupted:  rep.Interrupted,
 	}
 	for _, p := range rep.History {
 		out.History = append(out.History, EvalPoint{Time: p.Time, Epoch: p.Epoch, RMSE: p.RMSE})
 	}
-	return out, f, nil
+	return out, f, err
 }
 
 // legacyRun shares the scheduler and epoch state between worker goroutines.

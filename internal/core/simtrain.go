@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hsgd/internal/cost"
+	"hsgd/internal/engine"
 	"hsgd/internal/gpu"
 	"hsgd/internal/grid"
 	"hsgd/internal/model"
+	"hsgd/internal/progress"
 	"hsgd/internal/sched"
 	"hsgd/internal/sgd"
 	"hsgd/internal/sim"
@@ -18,12 +22,20 @@ import (
 // and returns the run report and the trained factors. The SGD arithmetic is
 // executed for real in the virtual-time order the device models dictate, so
 // the returned factors and every RMSE in the report are genuine.
-func Train(train, test *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
+//
+// Cancellation is observed at task-release boundaries on the virtual clock:
+// when ctx fires, the simulation halts, and Train returns the partial
+// report (Interrupted=true) and the factors trained so far together with
+// the context error.
+func Train(ctx context.Context, train, test *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if train.NNZ() == 0 {
 		return nil, nil, sparse.ErrEmpty
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var mean float64
@@ -34,6 +46,7 @@ func Train(train, test *sparse.Matrix, opt Options) (*Report, *model.Factors, er
 	f := model.NewFactorsMean(train.Rows, train.Cols, opt.Params.K, mean, rng)
 
 	t := &trainer{
+		ctx:      ctx,
 		opt:      opt,
 		eng:      sim.New(),
 		f:        f,
@@ -47,6 +60,13 @@ func Train(train, test *sparse.Matrix, opt Options) (*Report, *model.Factors, er
 		t.schedule = sgd.FixedSchedule(opt.Params.Gamma)
 	}
 	t.gamma = t.schedule.Rate(0)
+	// Adaptive schedules (bold driver) observe a loss at every epoch
+	// boundary, mirroring the real engine: the test RMSE when a test set
+	// exists, otherwise the RMSE over a fixed training sample.
+	t.observer, _ = t.schedule.(engine.LossObserver)
+	if t.observer != nil && test == nil {
+		t.lossSample = engine.LossSample(train)
+	}
 
 	// Run-time device speeds deviate from the offline profile (systematic,
 	// per device class) plus a little per-block jitter; see
@@ -70,6 +90,11 @@ func Train(train, test *sparse.Matrix, opt Options) (*Report, *model.Factors, er
 	if err := t.run(); err != nil {
 		return nil, nil, err
 	}
+	if t.report.Interrupted {
+		opt.Progress.Emit(t.progressEvent(progress.KindInterrupted))
+		return t.report, f, context.Cause(ctx)
+	}
+	opt.Progress.Emit(t.progressEvent(progress.KindDone))
 	return t.report, f, nil
 }
 
@@ -91,13 +116,16 @@ type gpuActor struct {
 const maxInflight = 2
 
 type trainer struct {
-	opt      Options
-	eng      *sim.Engine
-	f        *model.Factors
-	test     *sparse.Matrix
-	nnz      int64
-	schedule sgd.Schedule
-	gamma    float32
+	ctx        context.Context
+	opt        Options
+	eng        *sim.Engine
+	f          *model.Factors
+	test       *sparse.Matrix
+	nnz        int64
+	schedule   sgd.Schedule
+	observer   engine.LossObserver
+	lossSample *sparse.Matrix
+	gamma      float32
 
 	uni *sched.Uniform
 	het *sched.Hetero
@@ -218,6 +246,36 @@ func (t *trainer) run() error {
 	}
 	t.finish()
 	return nil
+}
+
+// totalUpdates reads the live update counter of whichever scheduler runs.
+func (t *trainer) totalUpdates() int64 {
+	if t.uni != nil {
+		return t.uni.TotalUpdates
+	}
+	return t.het.TotalUpdates
+}
+
+// progressEvent assembles a progress event from the simulation's state.
+// Elapsed and UpdatesPerSec are in virtual time — the quantity the paper's
+// figures plot — not wall clock.
+func (t *trainer) progressEvent(kind progress.Kind) progress.Event {
+	now := t.eng.Now()
+	updates := t.totalUpdates()
+	var rate float64
+	if now > 0 {
+		rate = float64(updates) / now
+	}
+	return progress.Event{
+		Kind:          kind,
+		Algorithm:     "sim",
+		Epoch:         t.epoch,
+		TotalEpochs:   t.opt.Params.Iters,
+		RMSE:          t.report.FinalRMSE,
+		TotalUpdates:  updates,
+		UpdatesPerSec: rate,
+		Elapsed:       time.Duration(now * float64(time.Second)),
+	}
 }
 
 func (t *trainer) finish() {
@@ -484,8 +542,15 @@ func (t *trainer) apply(task *sched.Task) {
 }
 
 // release returns the task to the scheduler, advances epochs, and wakes
-// idle workers.
+// idle workers. Cancellation is observed here — the sim counterpart of the
+// real engine's block-claim poll — so an interrupted run halts at a task
+// boundary with the factors consistent.
 func (t *trainer) release(task *sched.Task) {
+	if !t.halted && t.ctx.Err() != nil {
+		t.report.Interrupted = true
+		t.halt()
+		return
+	}
 	if t.uni != nil {
 		t.uni.Release(task)
 		for !t.halted && t.uni.TotalUpdates >= int64(t.epoch+1)*t.nnz {
@@ -516,21 +581,36 @@ func (t *trainer) release(task *sched.Task) {
 func (t *trainer) endEpoch() {
 	t.epoch++
 	t.gamma = t.schedule.Rate(t.epoch)
-	if t.epoch%t.opt.EvalEvery == 0 || t.epoch >= t.opt.Params.Iters {
-		rmse := 0.0
+	evaluated := t.epoch%t.opt.EvalEvery == 0 || t.epoch >= t.opt.Params.Iters
+	rmse := 0.0
+	if evaluated {
 		if t.test != nil {
 			rmse = model.RMSE(t.f, t.test)
 		}
 		t.report.History = append(t.report.History,
 			EvalPoint{Time: t.eng.Now(), Epoch: t.epoch, RMSE: rmse})
 		t.report.FinalRMSE = rmse
-		if t.opt.TargetRMSE > 0 && t.test != nil && rmse <= t.opt.TargetRMSE {
-			t.report.TargetReached = true
-			t.report.TimeToTarget = t.eng.Now()
-			t.halt()
-			return
-		}
 	}
+	// Adaptive schedules get a loss at every boundary (not just EvalEvery
+	// strides): test RMSE when available, sampled training RMSE otherwise.
+	if t.observer != nil {
+		loss := rmse
+		if t.test == nil {
+			loss = model.RMSE(t.f, t.lossSample)
+		} else if !evaluated {
+			loss = model.RMSE(t.f, t.test)
+		}
+		t.observer.Observe(loss)
+		t.gamma = t.schedule.Rate(t.epoch)
+	}
+	if evaluated && t.opt.TargetRMSE > 0 && t.test != nil && rmse <= t.opt.TargetRMSE {
+		t.report.TargetReached = true
+		t.report.TimeToTarget = t.eng.Now()
+		t.opt.Progress.Emit(t.progressEvent(progress.KindEpoch))
+		t.halt()
+		return
+	}
+	t.opt.Progress.Emit(t.progressEvent(progress.KindEpoch))
 	if t.epoch >= t.opt.Params.Iters {
 		t.halt()
 		return

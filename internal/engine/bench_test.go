@@ -7,6 +7,7 @@ package engine_test
 // core.TrainRealLegacy.
 
 import (
+	"context"
 	"testing"
 
 	"hsgd/internal/core"
@@ -39,7 +40,7 @@ func BenchmarkTrainEngine8(b *testing.B) {
 	b.SetBytes(int64(train.NNZ()) * int64(benchParams().Iters))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, _, err := engine.Train(train, engine.Options{
+		rep, _, err := engine.Train(context.Background(), train, engine.Options{
 			Threads: benchThreads, Params: benchParams(), Seed: int64(i),
 		})
 		if err != nil {
@@ -48,7 +49,7 @@ func BenchmarkTrainEngine8(b *testing.B) {
 		b.ReportMetric(float64(rep.TotalUpdates)/rep.Seconds/1e6, "Mupd/s")
 	}
 	b.StopTimer()
-	rep, f, err := engine.Train(train, engine.Options{Threads: benchThreads, Params: benchParams(), Seed: 0, Test: test})
+	rep, f, err := engine.Train(context.Background(), train, engine.Options{Threads: benchThreads, Params: benchParams(), Seed: 0, Test: test})
 	if err != nil {
 		b.Fatal(err)
 	}

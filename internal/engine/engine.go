@@ -16,9 +16,16 @@
 // the serving side's snapshot watcher (internal/serve.Store.Watch) can
 // hot-swap a model mid-train — the train → checkpoint → hot-swap → serve
 // pipeline — and a later run can resume from one via Options.Init.
+//
+// Training is a cancellable, observable session: Train takes a
+// context.Context that workers poll at block-claim boundaries (an
+// interrupted run still returns the best-so-far factors plus a final
+// atomic checkpoint), and Options.Progress streams per-epoch events
+// (internal/progress) from under the quiescence barrier.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +36,7 @@ import (
 
 	"hsgd/internal/grid"
 	"hsgd/internal/model"
+	"hsgd/internal/progress"
 	"hsgd/internal/sched"
 	"hsgd/internal/sgd"
 	"hsgd/internal/sparse"
@@ -65,9 +73,17 @@ type Options struct {
 	// factors there (HFAC format, temp file + rename) every
 	// CheckpointEvery epochs — the hand-off point to the serving layer's
 	// snapshot watcher. The final epoch is always checkpointed regardless
-	// of the stride. CheckpointEvery <= 0 defaults to every epoch.
+	// of the stride, and so is an interrupted run (see Train's context
+	// semantics). CheckpointEvery <= 0 defaults to every epoch.
 	CheckpointPath  string
 	CheckpointEvery int
+
+	// Progress, when non-nil, receives one KindEpoch event per epoch
+	// boundary (plus KindCheckpoint after each snapshot and one final
+	// KindDone/KindInterrupted). Events fire under the quiescence barrier,
+	// so the callback may read the factors race-free; a slow callback
+	// pauses training.
+	Progress progress.Func
 }
 
 // EvalPoint is one wall-clock RMSE measurement.
@@ -85,6 +101,7 @@ type Report struct {
 	History      []EvalPoint
 	TotalUpdates int64 // ratings processed by this run
 	Checkpoints  int   // snapshots written
+	Interrupted  bool  // run was stopped by context cancellation/deadline
 }
 
 // LossObserver is implemented by adaptive schedules (sgd.BoldDriver): the
@@ -115,7 +132,20 @@ const blockedPoll = 200 * time.Microsecond
 
 // Train runs lock-striped FPSGD and returns wall-clock timings together with
 // the trained factors.
-func Train(train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
+//
+// Training is interruptible: workers observe ctx at every block-claim
+// boundary, and the quiescence barrier observes it between epochs. When ctx
+// is cancelled (or its deadline passes) mid-run, Train stops promptly,
+// writes one final atomic checkpoint (when CheckpointPath is set) so the
+// file on disk never lags the returned model, and returns the best-so-far
+// factors together with a partial Report (Interrupted=true) AND the context
+// error — the one case where a non-nil error accompanies non-nil results.
+// Check errors.Is(err, context.Canceled/DeadlineExceeded) to distinguish an
+// interruption from a hard failure (nil report and factors).
+func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Threads < 1 {
 		opt.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -159,6 +189,7 @@ func Train(train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
 		}
 	}
 	r := &run{
+		ctx:       ctx,
 		st:        sched.NewStriped(g),
 		f:         f,
 		opt:       opt,
@@ -192,6 +223,22 @@ func Train(train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
 	if r.err != nil {
 		return nil, nil, fmt.Errorf("engine: checkpoint failed: %w", r.err)
 	}
+	if r.interrupted.Load() {
+		r.report.Interrupted = true
+		// Every worker has exited, so the factors are quiescent: publish
+		// the best-so-far model (it may carry mid-epoch progress past the
+		// last boundary checkpoint) before handing control back.
+		if r.ckptEvery > 0 {
+			if err := f.SaveFileAtomic(opt.CheckpointPath); err != nil {
+				return nil, nil, fmt.Errorf("engine: final checkpoint after cancellation: %w", err)
+			}
+			r.report.Checkpoints++
+			r.emit(progress.KindCheckpoint)
+		}
+		r.emit(progress.KindInterrupted)
+		return r.report, f, context.Cause(ctx)
+	}
+	r.emit(progress.KindDone)
 	return r.report, f, nil
 }
 
@@ -200,6 +247,7 @@ func Train(train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
 // epoch-boundary quiescence barrier and are never contended while workers
 // are streaming blocks.
 type run struct {
+	ctx        context.Context
 	st         *sched.Striped
 	f          *model.Factors
 	opt        Options
@@ -210,12 +258,13 @@ type run struct {
 	ckptEvery  int
 	start      time.Time
 
-	gammaBits  atomic.Uint32
-	epoch      atomic.Int64 // absolute completed epochs
-	active     atomic.Int64 // workers between acquire-intent and release
-	paused     atomic.Bool  // quiescence requested; workers must park
-	evaluating atomic.Bool  // elects the single epoch-boundary evaluator
-	done       atomic.Bool
+	gammaBits   atomic.Uint32
+	epoch       atomic.Int64 // absolute completed epochs
+	active      atomic.Int64 // workers between acquire-intent and release
+	paused      atomic.Bool  // quiescence requested; workers must park
+	evaluating  atomic.Bool  // elects the single epoch-boundary evaluator
+	done        atomic.Bool
+	interrupted atomic.Bool // done was forced by context cancellation
 
 	evalMu sync.Mutex // guards cond waits and report/factors access at boundaries
 	cond   *sync.Cond
@@ -226,12 +275,66 @@ type run struct {
 func (r *run) gamma() float32     { return math.Float32frombits(r.gammaBits.Load()) }
 func (r *run) setGamma(g float32) { r.gammaBits.Store(math.Float32bits(g)) }
 
+// emit sends one progress event with the run's current totals. Callers
+// ensure the factors are quiescent (epoch boundary or post-wait teardown).
+func (r *run) emit(kind progress.Kind) { r.emitRMSE(kind, r.report.FinalRMSE) }
+
+func (r *run) emitRMSE(kind progress.Kind, rmse float64) {
+	if r.opt.Progress == nil {
+		return
+	}
+	elapsed := time.Since(r.start)
+	updates := r.st.Updates()
+	var rate float64
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(updates) / secs
+	}
+	r.opt.Progress(progress.Event{
+		Kind:           kind,
+		Algorithm:      "fpsgd",
+		Epoch:          int(r.epoch.Load()),
+		TotalEpochs:    r.opt.Params.Iters,
+		RMSE:           rmse,
+		TotalUpdates:   updates,
+		UpdatesPerSec:  rate,
+		Elapsed:        elapsed,
+		Checkpoints:    r.report.Checkpoints,
+		CheckpointPath: r.ckptPathFor(kind),
+	})
+}
+
+func (r *run) ckptPathFor(kind progress.Kind) string {
+	if kind == progress.KindCheckpoint {
+		return r.opt.CheckpointPath
+	}
+	return ""
+}
+
+// cancel force-stops the run on context cancellation: mark it interrupted,
+// set done, and wake both parked workers (cond) and the evaluator. The CAS
+// ensures a run that finished normally at the same instant is not
+// misreported as interrupted.
+func (r *run) cancel() {
+	if r.done.CompareAndSwap(false, true) {
+		r.interrupted.Store(true)
+	}
+	r.evalMu.Lock()
+	r.cond.Broadcast()
+	r.evalMu.Unlock()
+}
+
 // worker is the per-goroutine training loop: claim a block from the striped
 // scheduler, run the fused kernel over its SoA payload, release, and check
-// for an epoch boundary. No global lock anywhere on the path.
+// for an epoch boundary. No global lock anywhere on the path. Cancellation
+// is polled here, at the block-claim boundary, so a worker never abandons a
+// half-updated block: it finishes the claim it holds and stops before
+// taking the next one.
 func (r *run) worker(id int) {
 	prefer := -1
 	for {
+		if r.ctx.Err() != nil {
+			r.cancel()
+		}
 		if r.done.Load() {
 			return
 		}
@@ -320,6 +423,14 @@ func (r *run) maybeEvaluate() {
 	if held := r.st.InFlight(); held != 0 {
 		panic(fmt.Sprintf("engine: quiescence barrier violated: %d blocks held at epoch boundary", held))
 	}
+	// The quiescence barrier observes cancellation too: a context that
+	// fired while workers drained stops the run here instead of settling
+	// further epochs.
+	if r.ctx.Err() != nil {
+		if r.done.CompareAndSwap(false, true) {
+			r.interrupted.Store(true)
+		}
+	}
 	// The boundary may have been crossed more than once by large releases;
 	// settle every completed epoch before resuming.
 	for !r.done.Load() && r.st.Updates() >= r.boundary() {
@@ -368,7 +479,9 @@ func (r *run) finishEpoch() {
 			r.done.Store(true)
 		} else {
 			r.report.Checkpoints++
+			r.emitRMSE(progress.KindCheckpoint, rmse)
 		}
 	}
+	r.emitRMSE(progress.KindEpoch, rmse)
 	r.setGamma(r.schedule.Rate(ep))
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -30,7 +31,7 @@ func testParams(iters int) sgd.Params {
 // and a final RMSE clearly better than the untrained model.
 func TestEngineConverges(t *testing.T) {
 	train, test := testData(t, 0.05)
-	rep, f, err := Train(train, Options{Threads: 4, Params: testParams(6), Seed: 1, Test: test})
+	rep, f, err := Train(context.Background(), train, Options{Threads: 4, Params: testParams(6), Seed: 1, Test: test})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestEngineConverges(t *testing.T) {
 func TestEngineQuiescenceBarrier(t *testing.T) {
 	train, test := testData(t, 0.03)
 	dir := t.TempDir()
-	rep, _, err := Train(train, Options{
+	rep, _, err := Train(context.Background(), train, Options{
 		Threads:        8,
 		Params:         testParams(8),
 		Seed:           2,
@@ -84,7 +85,7 @@ func TestEngineCheckpointResume(t *testing.T) {
 	p := testParams(total)
 
 	// Uninterrupted reference.
-	full, _, err := Train(train, Options{Threads: 4, Params: p, Seed: 3, Test: test})
+	full, _, err := Train(context.Background(), train, Options{Threads: 4, Params: p, Seed: 3, Test: test})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEngineCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(dir, "ckpt.hfac")
 	half := p
 	half.Iters = cut
-	firstRep, _, err := Train(train, Options{
+	firstRep, _, err := Train(context.Background(), train, Options{
 		Threads: 4, Params: half, Seed: 3, Test: test,
 		CheckpointPath: ckpt,
 	})
@@ -110,7 +111,7 @@ func TestEngineCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed, _, err := Train(train, Options{
+	resumed, _, err := Train(context.Background(), train, Options{
 		Threads: 4, Params: p, Seed: 3, Test: test,
 		Init: loaded, StartEpoch: cut,
 	})
@@ -137,14 +138,14 @@ func TestEngineCheckpointResume(t *testing.T) {
 func TestEngineResumeValidation(t *testing.T) {
 	train, _ := testData(t, 0.02)
 	p := testParams(4)
-	bad, _, err := Train(train, Options{Threads: 2, Params: p, Init: &model.Factors{M: 1, N: 1, K: 1, P: []float32{0}, Q: []float32{0}}})
+	bad, _, err := Train(context.Background(), train, Options{Threads: 2, Params: p, Init: &model.Factors{M: 1, N: 1, K: 1, P: []float32{0}, Q: []float32{0}}})
 	if err == nil || bad != nil {
 		t.Fatal("mismatched Init factors accepted")
 	}
-	if _, _, err := Train(train, Options{Threads: 2, Params: p, StartEpoch: 4}); err == nil {
+	if _, _, err := Train(context.Background(), train, Options{Threads: 2, Params: p, StartEpoch: 4}); err == nil {
 		t.Fatal("StartEpoch >= Iters accepted")
 	}
-	if _, _, err := Train(train, Options{Threads: 2, Params: p, StartEpoch: -1}); err == nil {
+	if _, _, err := Train(context.Background(), train, Options{Threads: 2, Params: p, StartEpoch: -1}); err == nil {
 		t.Fatal("negative StartEpoch accepted")
 	}
 }
@@ -163,7 +164,7 @@ func (s *countingSchedule) Observe(loss float64) { s.losses = append(s.losses, l
 func TestEngineObservesSchedule(t *testing.T) {
 	train, test := testData(t, 0.03)
 	s := &countingSchedule{rate: 0.01}
-	rep, _, err := Train(train, Options{Threads: 4, Params: testParams(5), Seed: 4, Test: test, Schedule: s})
+	rep, _, err := Train(context.Background(), train, Options{Threads: 4, Params: testParams(5), Seed: 4, Test: test, Schedule: s})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestEngineObservesSchedule(t *testing.T) {
 	}
 
 	s2 := &countingSchedule{rate: 0.01}
-	rep2, _, err := Train(train, Options{Threads: 4, Params: testParams(3), Seed: 4, Schedule: s2})
+	rep2, _, err := Train(context.Background(), train, Options{Threads: 4, Params: testParams(3), Seed: 4, Schedule: s2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestEngineObservesSchedule(t *testing.T) {
 
 	// BoldDriver end to end: the engine's Observe calls must move gamma.
 	bd := sgd.NewBoldDriver(0.01)
-	if _, _, err := Train(train, Options{Threads: 4, Params: testParams(4), Seed: 4, Test: test, Schedule: bd}); err != nil {
+	if _, _, err := Train(context.Background(), train, Options{Threads: 4, Params: testParams(4), Seed: 4, Test: test, Schedule: bd}); err != nil {
 		t.Fatal(err)
 	}
 	if bd.Rate(0) == 0.01 {
@@ -203,7 +204,7 @@ func TestEngineObservesSchedule(t *testing.T) {
 // TestEngineTargetRMSE checks early stopping.
 func TestEngineTargetRMSE(t *testing.T) {
 	train, test := testData(t, 0.05)
-	rep, _, err := Train(train, Options{
+	rep, _, err := Train(context.Background(), train, Options{
 		Threads: 4, Params: testParams(50), Seed: 5, Test: test, TargetRMSE: 999,
 	})
 	if err != nil {
@@ -219,7 +220,7 @@ func TestEngineTargetRMSE(t *testing.T) {
 func TestEngineCheckpointError(t *testing.T) {
 	train, _ := testData(t, 0.02)
 	dir := t.TempDir()
-	_, _, err := Train(train, Options{
+	_, _, err := Train(context.Background(), train, Options{
 		Threads: 2, Params: testParams(3), Seed: 6,
 		CheckpointPath: filepath.Join(dir, "missing-dir", "model.hfac"),
 	})
@@ -243,7 +244,7 @@ func TestEngineCheckpointError(t *testing.T) {
 func TestEngineFinalCheckpoint(t *testing.T) {
 	train, _ := testData(t, 0.03)
 	ckpt := filepath.Join(t.TempDir(), "model.hfac")
-	rep, f, err := Train(train, Options{
+	rep, f, err := Train(context.Background(), train, Options{
 		Threads: 2, Params: testParams(5), Seed: 7,
 		CheckpointPath: ckpt, CheckpointEvery: 2,
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hsgd/internal/core"
@@ -74,7 +75,7 @@ func timeToTarget(c Config, alg core.Algorithm, spec dataset.Spec,
 	train, test *sparse.Matrix) (float64, error) {
 	opt := c.options(alg, spec)
 	opt.TargetRMSE = spec.TargetRMSE
-	rep, _, err := core.Train(train, test, opt)
+	rep, _, err := core.Train(context.Background(), train, test, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -179,7 +180,7 @@ func rmseCurves(c Config, spec dataset.Spec, algs []core.Algorithm) (FigResult, 
 	res := FigResult{Dataset: spec.Name}
 	for _, alg := range algs {
 		opt := c.options(alg, spec)
-		rep, _, err := core.Train(train, test, opt)
+		rep, _, err := core.Train(context.Background(), train, test, opt)
 		if err != nil {
 			return FigResult{}, fmt.Errorf("%s on %s: %w", alg, spec.Name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hsgd/internal/core"
@@ -55,11 +56,11 @@ func Table2Data(c Config) ([]Table2Row, error) {
 			return nil, err
 		}
 		row := Table2Row{Dataset: spec.Name}
-		repQ, _, err := core.Train(train, test, c.options(core.HSGDStarQ, spec))
+		repQ, _, err := core.Train(context.Background(), train, test, c.options(core.HSGDStarQ, spec))
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s hsgd*-q: %w", spec.Name, err)
 		}
-		repM, _, err := core.Train(train, test, c.options(core.HSGDStarM, spec))
+		repM, _, err := core.Train(context.Background(), train, test, c.options(core.HSGDStarM, spec))
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s hsgd*-m: %w", spec.Name, err)
 		}
@@ -115,11 +116,11 @@ func Table3Data(c Config) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		repM, _, err := core.Train(train, test, c.options(core.HSGDStarM, spec))
+		repM, _, err := core.Train(context.Background(), train, test, c.options(core.HSGDStarM, spec))
 		if err != nil {
 			return nil, fmt.Errorf("table3 %s hsgd*-m: %w", spec.Name, err)
 		}
-		repS, _, err := core.Train(train, test, c.options(core.HSGDStar, spec))
+		repS, _, err := core.Train(context.Background(), train, test, c.options(core.HSGDStar, spec))
 		if err != nil {
 			return nil, fmt.Errorf("table3 %s hsgd*: %w", spec.Name, err)
 		}

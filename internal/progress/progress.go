@@ -1,0 +1,75 @@
+// Package progress defines the training progress-event stream shared by
+// every trainer in this repository. The engine (FPSGD), the hogwild/ALS/CD
+// baselines, and the simulated heterogeneous pipelines all emit the same
+// Event type at epoch boundaries, so consumers — the live progress line in
+// cmd/hsgd-train, the bench reporter, and the serving layer's /statsz
+// training block — observe any training run through one vocabulary.
+//
+// Events are delivered synchronously from inside the trainer, at points
+// where the factors are quiescent (after an epoch's barrier, between ALS
+// half-solves, between hogwild passes). A slow callback therefore pauses
+// training; consumers that need decoupling should hand the event to a
+// channel or goroutine themselves.
+package progress
+
+import "time"
+
+// Kind discriminates progress events.
+type Kind string
+
+// The event kinds every trainer can emit.
+const (
+	// KindEpoch fires after each completed epoch (outer iteration), with
+	// the factors quiescent.
+	KindEpoch Kind = "epoch"
+	// KindCheckpoint fires after an atomic model snapshot has been renamed
+	// into place.
+	KindCheckpoint Kind = "checkpoint"
+	// KindDone is the final event of a run that completed its budget (or
+	// reached its early-stop target).
+	KindDone Kind = "done"
+	// KindInterrupted is the final event of a run stopped by context
+	// cancellation or deadline; the carried totals describe the partial
+	// run.
+	KindInterrupted Kind = "interrupted"
+)
+
+// Event is one observation of a training run.
+type Event struct {
+	Kind      Kind
+	Algorithm string // trainer name: fpsgd|hogwild|als|cd|sim|...
+
+	Epoch       int // absolute completed epochs (includes resumed offset)
+	TotalEpochs int // the run's epoch budget
+
+	// RMSE is the test RMSE measured at this boundary; 0 when the run has
+	// no test set (RMSE of a real model is strictly positive).
+	RMSE float64
+
+	// TotalUpdates counts the work done so far in the trainer's own unit:
+	// ratings processed (SGD family), ridge solves (ALS), or scalar
+	// coordinate updates (CD).
+	TotalUpdates  int64
+	UpdatesPerSec float64
+
+	// Elapsed is the time since training started — wall clock for the real
+	// trainers, virtual time for the simulated pipelines.
+	Elapsed time.Duration
+
+	// Checkpoints is the number of snapshots written so far;
+	// CheckpointPath is set on KindCheckpoint events.
+	Checkpoints    int
+	CheckpointPath string
+}
+
+// Func receives progress events. A nil Func is always legal and means "no
+// observer".
+type Func func(Event)
+
+// Emit calls f with e when f is non-nil — the nil-safe send every trainer
+// uses.
+func (f Func) Emit(e Event) {
+	if f != nil {
+		f(e)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestFoldInAccuracyVsFullTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 	params := sgd.Params{K: 16, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.005, Iters: 12}
-	_, f, err := core.TrainReal(train, core.RealOptions{Threads: 4, Params: params, Seed: 11})
+	_, f, err := core.TrainReal(context.Background(), train, core.RealOptions{Threads: 4, Params: params, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

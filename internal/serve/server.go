@@ -6,10 +6,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hsgd/internal/model"
+	"hsgd/internal/progress"
 )
 
 // Config configures a Server.
@@ -49,6 +51,24 @@ type Server struct {
 
 	nPredict, nRecommend, nFoldIn, nSimilar atomic.Int64
 	nErrors, nCacheHit, nCacheMiss          atomic.Int64
+
+	trainMu    sync.Mutex
+	trainEvent *progress.Event
+	trainSeen  time.Time
+}
+
+// TrainingSink returns a progress.Func that records the latest training
+// event for /statsz — the wiring for a process that trains and serves in
+// one binary (the checkpoint hot-swap loop): pass it as the trainer's
+// Progress option and /statsz grows a "training" block with the live
+// epoch, RMSE, update rate, and checkpoint count.
+func (s *Server) TrainingSink() progress.Func {
+	return func(e progress.Event) {
+		s.trainMu.Lock()
+		s.trainEvent = &e
+		s.trainSeen = time.Now()
+		s.trainMu.Unlock()
+	}
 }
 
 // New builds a Server over the given store and registers the cache
@@ -127,9 +147,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Snapshot      *snapshotStats `json:"snapshot,omitempty"`
+	Training      *trainingStats `json:"training,omitempty"`
 	LastLoadError string         `json:"last_load_error,omitempty"`
 	Requests      requestStats   `json:"requests"`
 	Cache         cacheStats     `json:"cache"`
+}
+
+// trainingStats mirrors the latest progress event recorded through
+// TrainingSink; State is "training" until a final done/interrupted event
+// arrives.
+type trainingStats struct {
+	State         string  `json:"state"` // training | done | interrupted
+	Algorithm     string  `json:"algorithm"`
+	Epoch         int     `json:"epoch"`
+	TotalEpochs   int     `json:"total_epochs"`
+	RMSE          float64 `json:"rmse,omitempty"`
+	TotalUpdates  int64   `json:"total_updates,omitempty"`
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	Checkpoints   int     `json:"checkpoints,omitempty"`
+	UpdatedAt     string  `json:"updated_at"`
 }
 
 type snapshotStats struct {
@@ -182,6 +218,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			K:        snap.Factors.K,
 		}
 	}
+	s.trainMu.Lock()
+	if e := s.trainEvent; e != nil {
+		state := "training"
+		switch e.Kind {
+		case progress.KindDone:
+			state = "done"
+		case progress.KindInterrupted:
+			state = "interrupted"
+		}
+		resp.Training = &trainingStats{
+			State:         state,
+			Algorithm:     e.Algorithm,
+			Epoch:         e.Epoch,
+			TotalEpochs:   e.TotalEpochs,
+			RMSE:          e.RMSE,
+			TotalUpdates:  e.TotalUpdates,
+			UpdatesPerSec: e.UpdatesPerSec,
+			Checkpoints:   e.Checkpoints,
+			UpdatedAt:     s.trainSeen.UTC().Format(time.RFC3339),
+		}
+	}
+	s.trainMu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -2,6 +2,10 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
@@ -50,12 +54,21 @@ func TestWatcherHotSwapsMidTrainCheckpoint(t *testing.T) {
 	defer cancel()
 	go store.Watch(ctx, path, 2*time.Millisecond)
 
-	rep, f, err := engine.Train(train, engine.Options{
+	// The server's training sink closes the loop on observability: the
+	// engine's progress stream must surface through /statsz while the
+	// watcher hot-swaps the checkpoints the same engine writes.
+	server, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, f, err := engine.Train(context.Background(), train, engine.Options{
 		Threads:        4,
 		Params:         sgd.Params{K: 8, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01, Iters: 3},
 		Seed:           1,
 		Schedule:       gatedSchedule{swaps: &swaps},
 		CheckpointPath: path,
+		Progress:       server.TrainingSink(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,5 +97,95 @@ func TestWatcherHotSwapsMidTrainCheckpoint(t *testing.T) {
 	}
 	if err := store.LastError(); err != "" {
 		t.Fatalf("watcher recorded error: %s", err)
+	}
+
+	// /statsz must carry the training stream's final state.
+	rr := httptest.NewRecorder()
+	server.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	var stats struct {
+		Training *struct {
+			State       string `json:"state"`
+			Algorithm   string `json:"algorithm"`
+			Epoch       int    `json:"epoch"`
+			TotalEpochs int    `json:"total_epochs"`
+			Checkpoints int    `json:"checkpoints"`
+		} `json:"training"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Training == nil {
+		t.Fatal("/statsz has no training block despite a wired sink")
+	}
+	if stats.Training.State != "done" || stats.Training.Algorithm != "fpsgd" ||
+		stats.Training.Epoch != 3 || stats.Training.Checkpoints != rep.Checkpoints {
+		t.Fatalf("/statsz training block %+v (report %+v)", stats.Training, rep)
+	}
+}
+
+// TestCancelledTrainingCheckpointServes is the acceptance loop for the
+// cancellation contract: a deadline stops the engine mid-run, the final
+// atomic checkpoint it writes on the way out must load through the store's
+// watcher, hot-swap into serving, and answer queries — interrupted work is
+// published, not abandoned.
+func TestCancelledTrainingCheckpointServes(t *testing.T) {
+	train, _, err := dataset.Generate(dataset.MovieLens().Scale(0.05), 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.hfac")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rep, f, err := engine.Train(ctx, train, engine.Options{
+		Threads:        4,
+		Params:         sgd.Params{K: 8, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01, Iters: 1 << 20},
+		Seed:           2,
+		CheckpointPath: path,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if rep == nil || !rep.Interrupted || f == nil {
+		t.Fatalf("interrupted run returned rep=%+v f=%v", rep, f != nil)
+	}
+	if rep.Checkpoints == 0 {
+		t.Fatal("interrupted run wrote no final checkpoint")
+	}
+
+	// The watcher must pick the final checkpoint up and serve it.
+	store := NewStore()
+	swapped := make(chan *Snapshot, 1)
+	store.OnSwap(func(s *Snapshot) {
+		select {
+		case swapped <- s:
+		default:
+		}
+	})
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	go store.Watch(wctx, path, 2*time.Millisecond)
+	select {
+	case <-swapped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher never hot-swapped the post-cancellation checkpoint")
+	}
+	snap := store.Current()
+	if snap == nil {
+		t.Fatal("no live snapshot")
+	}
+	if snap.Factors.M != f.M || snap.Factors.N != f.N || snap.Factors.K != f.K {
+		t.Fatalf("served %dx%d k=%d, trained %dx%d k=%d",
+			snap.Factors.M, snap.Factors.N, snap.Factors.K, f.M, f.N, f.K)
+	}
+	var sc Scorer
+	if recs := sc.Recommend(snap.Factors, 0, 5, nil); len(recs) == 0 {
+		t.Fatal("snapshot from cancelled run returned no recommendations")
+	}
+	// The file on disk is the returned model, byte for byte.
+	for i := range f.P {
+		if snap.Factors.P[i] != f.P[i] {
+			t.Fatalf("checkpoint lags returned model at P[%d]", i)
+		}
 	}
 }
