@@ -1,11 +1,14 @@
-// Command hsgd-bench runs the engine-vs-legacy training benchmark on a
-// synthetic dataset and writes a machine-readable JSON report — the smoke
-// benchmark CI runs to track the training-path perf trajectory
-// (BENCH_train.json).
+// Command hsgd-bench runs the repo's smoke benchmarks and writes
+// machine-readable JSON reports CI tracks across PRs:
 //
-// "engine" is the lock-striped trainer (internal/engine) behind
-// hsgd.TrainParallel; "legacy" is the pre-engine global-mutex FPSGD loop
-// (core.TrainRealLegacy) kept as the regression baseline.
+//   - -mode train (default): engine-vs-legacy training throughput
+//     (BENCH_train.json). "engine" is the lock-striped trainer
+//     (internal/engine) behind hsgd.TrainParallel; "legacy" is the
+//     pre-engine global-mutex FPSGD loop (core.TrainRealLegacy) kept as
+//     the regression baseline.
+//   - -mode serve: exact float32 vs int8-quantized top-K retrieval on the
+//     Netflix-item-count snapshot (BENCH_serve.json), with bytes scanned
+//     per query and exact-vs-quantized recall@10.
 package main
 
 import (
@@ -13,15 +16,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"hsgd/internal/core"
 	"hsgd/internal/dataset"
 	"hsgd/internal/engine"
+	"hsgd/internal/model"
 	"hsgd/internal/progress"
+	"hsgd/internal/serve"
 	"hsgd/internal/sgd"
 )
 
@@ -51,14 +58,15 @@ type report struct {
 
 func main() {
 	var (
+		mode    = flag.String("mode", "train", "train|serve: which smoke benchmark to run")
 		name    = flag.String("dataset", "netflix", "movielens|netflix|r1|yahoo")
 		scale   = flag.Float64("scale", 0.1, "size multiplier on the dataset spec")
-		k       = flag.Int("k", 32, "latent factors")
+		k       = flag.Int("k", 32, "latent factors (train mode)")
 		iters   = flag.Int("iters", 10, "training epochs")
 		threads = flag.Int("threads", 8, "worker goroutines")
 		seed    = flag.Int64("seed", 42, "random seed")
 		runs    = flag.Int("runs", 3, "trials per contender; the fastest is reported")
-		out     = flag.String("out", "BENCH_train.json", "JSON report path")
+		out     = flag.String("out", "", "JSON report path (default BENCH_train.json or BENCH_serve.json by mode)")
 		verbose = flag.Bool("v", false, "stream per-epoch engine progress to stderr")
 	)
 	flag.Parse()
@@ -67,10 +75,161 @@ func main() {
 	// than writing misleading numbers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *name, *scale, *k, *iters, *threads, *seed, *runs, *out, *verbose); err != nil {
+	var err error
+	switch *mode {
+	case "train":
+		if *out == "" {
+			*out = "BENCH_train.json"
+		}
+		err = run(ctx, *name, *scale, *k, *iters, *threads, *seed, *runs, *out, *verbose)
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		err = runServe(ctx, *seed, *runs, *out)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want train|serve)", *mode)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// serveResult is one contender's retrieval cost on the benchmark snapshot.
+type serveResult struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	QPS             float64 `json:"qps"`
+	BytesScannedOp  int64   `json:"bytes_scanned_per_op"`
+	EffectiveGBPerS float64 `json:"effective_gb_per_s"`
+}
+
+type serveReport struct {
+	Items        int     `json:"items"`
+	K            int     `json:"k"`
+	TopK         int     `json:"top_k"`
+	Shards       int     `json:"shards"`
+	RerankFactor int     `json:"rerank_factor"`
+	MaxProcs     int     `json:"maxprocs"`
+	Seed         int64   `json:"seed"`
+	QuantBuildMS float64 `json:"quant_build_ms"`
+	RecallAt10   float64 `json:"recall_at_10"`
+
+	Exact     serveResult `json:"exact"`
+	Quantized serveResult `json:"quantized"`
+	Speedup   float64     `json:"speedup"` // exact ns / quantized ns
+}
+
+// runServe measures full-catalog top-10 retrieval at the Netflix item
+// count (n=17770, the paper's Table I) with k=128 factors — the
+// configuration where the float32 scan is memory-bandwidth-bound — for the
+// exact scorer and the int8-quantized scorer with exact rerank.
+func runServe(ctx context.Context, seed int64, runs int, out string) error {
+	const (
+		nItems  = 17770
+		kDim    = 128
+		topK    = 10
+		queries = 512
+	)
+	if runs < 1 {
+		runs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &model.Factors{M: queries, N: nItems, K: kDim,
+		P: make([]float32, queries*kDim), Q: make([]float32, nItems*kDim)}
+	for i := range f.P {
+		f.P[i] = rng.Float32() - 0.5
+	}
+	for i := range f.Q {
+		f.Q[i] = rng.Float32() - 0.5
+	}
+	buildStart := time.Now()
+	qf := model.QuantizeItems(f)
+	buildMS := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+
+	s := &serve.Scorer{}
+	rep := serveReport{
+		Items: nItems, K: kDim, TopK: topK, Shards: runtime.GOMAXPROCS(0),
+		RerankFactor: serve.DefaultRerankFactor, MaxProcs: runtime.GOMAXPROCS(0),
+		Seed: seed, QuantBuildMS: buildMS,
+	}
+
+	// Exact-vs-quantized recall@10 over the query users.
+	var hit int
+	for u := int32(0); u < queries; u++ {
+		exact := s.Recommend(f, u, topK, nil)
+		want := make(map[int32]bool, topK)
+		for _, c := range exact {
+			want[c.Item] = true
+		}
+		for _, c := range s.RecommendQuantized(f, qf, u, topK, nil) {
+			if want[c.Item] {
+				hit++
+			}
+		}
+	}
+	rep.RecallAt10 = float64(hit) / float64(queries*topK)
+
+	measure := func(scan func(u int32)) (float64, error) {
+		best := 0.0
+		for r := 0; r < runs; r++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			for u := int32(0); u < queries; u++ {
+				scan(u)
+			}
+			if sec := time.Since(start).Seconds(); r == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best, nil
+	}
+	// Warm both paths once so neither contender pays first-touch costs.
+	s.Recommend(f, 0, topK, nil)
+	s.RecommendQuantized(f, qf, 0, topK, nil)
+
+	exactSec, err := measure(func(u int32) { s.Recommend(f, u, topK, nil) })
+	if err != nil {
+		return err
+	}
+	quantSec, err := measure(func(u int32) { s.RecommendQuantized(f, qf, u, topK, nil) })
+	if err != nil {
+		return err
+	}
+
+	exactBytes := int64(nItems) * kDim * 4
+	// The quantized path scans the int8 view plus the float32 rows of the
+	// reranked candidates: every shard's heap fills (items/shard far
+	// exceeds rerank·k here), so the rerank depth is shards·rerank·topK.
+	quantBytes := qf.Bytes() + int64(rep.Shards*serve.DefaultRerankFactor*topK)*kDim*4
+	mk := func(sec float64, bytes int64) serveResult {
+		ns := sec / queries * 1e9
+		return serveResult{
+			NsPerOp: ns, QPS: float64(queries) / sec, BytesScannedOp: bytes,
+			EffectiveGBPerS: float64(bytes) / (sec / queries) / 1e9,
+		}
+	}
+	rep.Exact = mk(exactSec, exactBytes)
+	rep.Quantized = mk(quantSec, quantBytes)
+	if quantSec > 0 {
+		rep.Speedup = exactSec / quantSec
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve n=%d k=%d top%d: exact %.0f qps (%.2f GB/s) vs quantized %.0f qps (%.2f GB/s) — speedup %.2fx, recall@10 %.4f, quant build %.1f ms\n",
+		nItems, kDim, topK, rep.Exact.QPS, rep.Exact.EffectiveGBPerS,
+		rep.Quantized.QPS, rep.Quantized.EffectiveGBPerS, rep.Speedup, rep.RecallAt10, buildMS)
+	fmt.Printf("report written to %s\n", out)
+	return nil
 }
 
 func run(ctx context.Context, name string, scale float64, k, iters, threads int, seed int64, runs int, out string, verbose bool) error {

@@ -42,6 +42,8 @@ func main() {
 		cacheSz  = flag.Int("cache", 1024, "result-cache entries; negative disables")
 		lambda   = flag.Float64("foldin-lambda", serve.DefaultFoldInLambda, "ridge strength for cold-start fold-in")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		quantize = flag.Bool("quantize", true, "serve /v1/recommend from the int8-quantized scan with exact float32 rerank")
+		rerank   = flag.Int("rerank", 0, "quantized-scan candidate multiplier (rerank·k survive to the exact rerank); 0 means the default")
 	)
 	flag.Parse()
 	if *modelPth == "" {
@@ -49,14 +51,15 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *modelPth, *watch, *shards, *cacheSz, float32(*lambda), *drain); err != nil {
+	if err := run(*addr, *modelPth, *watch, *shards, *cacheSz, float32(*lambda), *drain, *quantize, *rerank); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lambda float32, drain time.Duration) error {
+func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lambda float32, drain time.Duration, quantize bool, rerank int) error {
 	store := serve.NewStore()
+	store.SetQuantize(quantize)
 	snap, err := store.LoadFile(modelPath)
 	if err != nil {
 		return fmt.Errorf("loading initial snapshot: %w", err)
@@ -64,12 +67,20 @@ func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lam
 	f := snap.Factors
 	log.Printf("loaded snapshot v%d from %s: %d users × %d items, k=%d",
 		snap.Version, modelPath, f.M, f.N, f.K)
+	if snap.Quantized != nil {
+		log.Printf("quantized int8 view built in %v (%.1f MB vs %.1f MB float32); rerank factor %d",
+			snap.QuantBuild, float64(snap.Quantized.Bytes())/1e6, float64(f.N*f.K*4)/1e6,
+			serve.EffectiveRerankFactor(rerank))
+	} else {
+		log.Printf("quantization off: serving the exact float32 scan")
+	}
 
 	server, err := serve.New(serve.Config{
 		Store:        store,
 		Shards:       shards,
 		CacheSize:    cacheSize,
 		FoldInLambda: lambda,
+		RerankFactor: rerank,
 	})
 	if err != nil {
 		return err

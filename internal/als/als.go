@@ -70,21 +70,38 @@ func Train(ctx context.Context, train *sparse.Matrix, f *model.Factors, p Params
 // the serving layer's cold-start fold-in: a user unseen at training time
 // gets a factor vector from a handful of ratings without retraining.
 func FoldInUser(f *model.Factors, items []int32, vals []float32, lambda float32) ([]float32, error) {
+	k := f.K
+	p := make([]float32, k)
+	if err := FoldInUserInto(p, f, items, vals, lambda, make([]float64, k*k), make([]float64, k)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FoldInUserInto is FoldInUser with caller-owned buffers: the solved vector
+// lands in p (len f.K), and a (len f.K²) / b (len f.K) hold the ridge
+// normal-equation matrix and RHS. The serving layer pools them across
+// cold-start requests — at k=64 the matrix alone is 32 KiB per solve, by
+// far the biggest allocation on that path.
+func FoldInUserInto(p []float32, f *model.Factors, items []int32, vals []float32, lambda float32, a, b []float64) error {
 	if len(items) == 0 || len(items) != len(vals) {
-		return nil, fmt.Errorf("als: fold-in needs matching non-empty items/vals, got %d/%d", len(items), len(vals))
+		return fmt.Errorf("als: fold-in needs matching non-empty items/vals, got %d/%d", len(items), len(vals))
 	}
 	for _, v := range items {
 		if v < 0 || int(v) >= f.N {
-			return nil, fmt.Errorf("als: fold-in item %d outside [0,%d)", v, f.N)
+			return fmt.Errorf("als: fold-in item %d outside [0,%d)", v, f.N)
 		}
 	}
 	if lambda <= 0 {
-		return nil, fmt.Errorf("als: fold-in requires lambda > 0, got %v", lambda)
+		return fmt.Errorf("als: fold-in requires lambda > 0, got %v", lambda)
 	}
 	k := f.K
-	p := make([]float32, k)
-	solveRow(p, f.Q, items, vals, k, lambda, make([]float64, k*k), make([]float64, k))
-	return p, nil
+	if len(p) != k || len(a) != k*k || len(b) != k {
+		return fmt.Errorf("als: fold-in buffer sizes p=%d a=%d b=%d, want %d/%d/%d",
+			len(p), len(a), len(b), k, k*k, k)
+	}
+	solveRow(p, f.Q, items, vals, k, lambda, a, b)
+	return nil
 }
 
 // solveSide solves min ||r_u − X_u·other|| + λ||x_u||² for every row u of

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"hsgd/internal/sparse"
 )
@@ -84,18 +86,55 @@ func Dot(a, b []float32) float32 {
 	return s0 + s1 + s2 + s3
 }
 
+// rmseMinChunk is the rating count per worker below which the goroutine
+// fan-out costs more than the scan it parallelizes; small test sets stay on
+// the serial (and bitwise-stable) path.
+const rmseMinChunk = 32768
+
 // RMSE computes the root-mean-square error of the model on the given rating
-// set — the paper's training-quality metric (Section VII-A).
+// set — the paper's training-quality metric (Section VII-A). The scan is
+// chunked across GOMAXPROCS workers with per-chunk partial sums: it runs
+// inside the engine's quiescence barrier every epoch, where a
+// single-threaded pass stalls every training worker for the whole test-set
+// sweep. Partials are combined in chunk order, so the result is
+// deterministic for a fixed GOMAXPROCS.
 func RMSE(f *Factors, test *sparse.Matrix) float64 {
-	if test.NNZ() == 0 {
+	n := test.NNZ()
+	if n == 0 {
 		return 0
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if max := (n + rmseMinChunk - 1) / rmseMinChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return math.Sqrt(sqErrSum(f, test.Ratings) / float64(n))
+	}
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = sqErrSum(f, test.Ratings[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	var sum float64
-	for _, r := range test.Ratings {
+	for _, p := range partials {
+		sum += p
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+func sqErrSum(f *Factors, ratings []sparse.Rating) float64 {
+	var sum float64
+	for _, r := range ratings {
 		d := float64(r.Value - f.Predict(r.Row, r.Col))
 		sum += d * d
 	}
-	return math.Sqrt(sum / float64(test.NNZ()))
+	return sum
 }
 
 // Loss computes the full regularised objective of Equation 2:

@@ -1,0 +1,107 @@
+package model
+
+import "fmt"
+
+// QuantizedFactors is the int8 view of the item matrix Q used by the
+// serving tier's quantized retrieval scan. Each item row is quantized
+// symmetrically on its own scale ("Matrix Factorization on GPUs with Memory
+// Optimization and Approximate Computing" shows MF factors tolerate reduced
+// precision; cuMF_SGD makes the same bandwidth argument for half-precision
+// storage): the full-catalog scan is memory-bandwidth-bound, and int8 rows
+// move 4× fewer bytes than float32 ones.
+//
+// Encoding: Data[v*K+j] = round(Q[v*K+j] / Scales[v]) with
+// Scales[v] = maxAbs(q_v)/127, so values span [-127, 127] and the
+// dequantized entry is Data[v*K+j]·Scales[v] with absolute error at most
+// Scales[v]/2. An all-zero row has Scales[v] = 0 and all-zero data.
+type QuantizedFactors struct {
+	N, K   int
+	Data   []int8    // len N*K, row-major: Data[v*K:(v+1)*K] ≈ q_v / Scales[v]
+	Scales []float32 // per-item dequantization scale; 0 for all-zero rows
+}
+
+// QuantizeItems builds the per-item symmetric int8 quantization of f.Q.
+// It is called once per published snapshot (not on the request path), so it
+// favors exact rounding over speed.
+func QuantizeItems(f *Factors) *QuantizedFactors {
+	q := &QuantizedFactors{N: f.N, K: f.K,
+		Data:   make([]int8, f.N*f.K),
+		Scales: make([]float32, f.N),
+	}
+	for v := 0; v < f.N; v++ {
+		row := f.Q[v*f.K : (v+1)*f.K]
+		q.Scales[v] = QuantizeVectorInto(q.Data[v*f.K:(v+1)*f.K], row)
+	}
+	return q
+}
+
+// Row returns item v's quantized vector.
+func (q *QuantizedFactors) Row(v int32) []int8 {
+	return q.Data[int(v)*q.K : (int(v)+1)*q.K]
+}
+
+// Bytes reports the size of the quantized payload actually streamed by a
+// full-catalog scan — what /statsz and the serve benchmark report against
+// the float32 baseline's N·K·4.
+func (q *QuantizedFactors) Bytes() int64 { return int64(len(q.Data)) }
+
+// Validate checks internal consistency of the dimensions.
+func (q *QuantizedFactors) Validate() error {
+	if q.N <= 0 || q.K <= 0 {
+		return fmt.Errorf("model: invalid quantized dimensions n=%d k=%d", q.N, q.K)
+	}
+	if len(q.Data) != q.N*q.K {
+		return fmt.Errorf("model: len(Data)=%d, want %d", len(q.Data), q.N*q.K)
+	}
+	if len(q.Scales) != q.N {
+		return fmt.Errorf("model: len(Scales)=%d, want %d", len(q.Scales), q.N)
+	}
+	return nil
+}
+
+// QuantizeVectorInto symmetrically quantizes src into dst (equal lengths)
+// and returns the scale, such that dst[j]·scale ≈ src[j] with error at most
+// scale/2. It is shared by the snapshot build (one call per item row) and
+// the request hot path (one call per query vector), so it allocates nothing
+// and dst is caller-owned — the serving scratch pools reuse it across
+// requests. A zero vector yields scale 0 and all-zero dst.
+func QuantizeVectorInto(dst []int8, src []float32) float32 {
+	if len(src) == 0 {
+		return 0
+	}
+	_ = dst[len(src)-1] // one bounds check for both loops
+	var maxAbs float32
+	for _, x := range src {
+		if x < 0 {
+			x = -x
+		}
+		if x > maxAbs {
+			maxAbs = x
+		}
+	}
+	if maxAbs == 0 {
+		for i := range src {
+			dst[i] = 0
+		}
+		return 0
+	}
+	inv := 127 / maxAbs
+	for i, x := range src {
+		// Round half away from zero; |x|·inv ≤ 127 by construction, and the
+		// clamp guards the one case where float rounding lands on 127.5.
+		r := x * inv
+		if r >= 0 {
+			r += 0.5
+		} else {
+			r -= 0.5
+		}
+		v := int32(r)
+		if v > 127 {
+			v = 127
+		} else if v < -127 {
+			v = -127
+		}
+		dst[i] = int8(v)
+	}
+	return maxAbs / 127
+}

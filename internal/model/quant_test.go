@@ -1,0 +1,172 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsgd/internal/sparse"
+)
+
+// centeredFactors builds factors whose entries span [-0.5, 0.5) — unlike
+// NewFactors (non-negative init), this exercises the signed half of the
+// int8 range.
+func centeredFactors(m, n, k int, seed int64) *Factors {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Factors{M: m, N: n, K: k,
+		P: make([]float32, m*k), Q: make([]float32, n*k)}
+	for i := range f.P {
+		f.P[i] = rng.Float32() - 0.5
+	}
+	for i := range f.Q {
+		f.Q[i] = rng.Float32() - 0.5
+	}
+	return f
+}
+
+// The quantization contract: per item, every dequantized entry is within
+// scale/2 of the original, the row's max-magnitude entry maps to ±127, and
+// zero rows get scale 0.
+func TestQuantizeRoundTripBound(t *testing.T) {
+	f := centeredFactors(1, 300, 48, 1)
+	// Plant edge-case rows: all zeros, a single spike, and a constant row.
+	for j := 0; j < f.K; j++ {
+		f.Q[0*f.K+j] = 0
+		f.Q[1*f.K+j] = 0
+		f.Q[2*f.K+j] = -0.75
+	}
+	f.Q[1*f.K+3] = 2.5
+
+	q := QuantizeItems(f)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Scales[0] != 0 {
+		t.Fatalf("zero row got scale %v", q.Scales[0])
+	}
+	for v := 0; v < f.N; v++ {
+		row := f.Q[v*f.K : (v+1)*f.K]
+		qrow := q.Row(int32(v))
+		scale := q.Scales[v]
+		var maxAbs float32
+		sawFull := false
+		for j, x := range row {
+			if a := float32(math.Abs(float64(x))); a > maxAbs {
+				maxAbs = a
+			}
+			if qrow[j] == 127 || qrow[j] == -127 {
+				sawFull = true
+			}
+			deq := float64(qrow[j]) * float64(scale)
+			if err := math.Abs(deq - float64(x)); err > float64(scale)/2*(1+1e-5) {
+				t.Fatalf("item %d entry %d: |deq-orig| = %v > scale/2 = %v",
+					v, j, err, scale/2)
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		if got, want := scale, maxAbs/127; math.Abs(float64(got-want)) > 1e-12 {
+			t.Fatalf("item %d: scale %v, want maxAbs/127 = %v", v, got, want)
+		}
+		if !sawFull {
+			t.Fatalf("item %d: max-magnitude entry did not map to ±127", v)
+		}
+	}
+}
+
+func TestQuantizeVectorInto(t *testing.T) {
+	dst := make([]int8, 4)
+	if s := QuantizeVectorInto(dst, []float32{0, 0, 0, 0}); s != 0 {
+		t.Fatalf("zero vector scale %v", s)
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("zero vector data %v", dst)
+		}
+	}
+	src := []float32{-1, 0.5, 0.25, 1}
+	s := QuantizeVectorInto(dst, src)
+	if s != 1.0/127 {
+		t.Fatalf("scale %v, want 1/127", s)
+	}
+	if dst[0] != -127 || dst[3] != 127 {
+		t.Fatalf("extremes %v, want ±127", dst)
+	}
+	if QuantizeVectorInto(nil, nil) != 0 {
+		t.Fatal("empty vector should quantize to scale 0")
+	}
+}
+
+// Quantized dot products must approximate exact ones well enough to rank:
+// correlation of errors is what the serve-level recall test checks; here we
+// just bound the per-score relative error.
+func TestQuantizedScoreError(t *testing.T) {
+	f := centeredFactors(16, 512, 64, 2)
+	q := QuantizeItems(f)
+	qq := make([]int8, f.K)
+	for u := int32(0); u < 16; u++ {
+		query := f.Row(u)
+		qs := QuantizeVectorInto(qq, query)
+		for v := int32(0); v < 512; v++ {
+			exact := f.Predict(u, v)
+			var acc int32
+			for j, x := range qq {
+				acc += int32(x) * int32(q.Row(v)[j])
+			}
+			approx := float32(acc) * qs * q.Scales[v]
+			// Error per term ≤ scale_q·|r_j| + scale_r·|q_j| + scale_q·scale_r;
+			// a loose but sufficient global bound for these magnitudes:
+			if math.Abs(float64(approx-exact)) > 0.05 {
+				t.Fatalf("u=%d v=%d: approx %v vs exact %v", u, v, approx, exact)
+			}
+		}
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	tk := NewTopK(3)
+	for i := int32(0); i < 10; i++ {
+		tk.Push(i, float32(i))
+	}
+	if tk.Len() != 3 {
+		t.Fatalf("len %d", tk.Len())
+	}
+	tk.Reset(2)
+	if tk.Len() != 0 {
+		t.Fatalf("reset left %d items", tk.Len())
+	}
+	tk.Push(1, 1)
+	tk.Push(2, 2)
+	tk.Push(3, 3)
+	got := tk.Sorted()
+	if len(got) != 2 || got[0].Item != 3 || got[1].Item != 2 {
+		t.Fatalf("after reset: %v", got)
+	}
+	tk.Reset(-1)
+	tk.Push(1, 1)
+	if tk.Len() != 0 {
+		t.Fatal("negative k accepted items")
+	}
+}
+
+// Parallel RMSE must agree with a serial reference sum on a set large
+// enough to trigger the chunked path.
+func TestRMSEParallelMatchesSerial(t *testing.T) {
+	f := centeredFactors(200, 200, 8, 3)
+	rng := rand.New(rand.NewSource(4))
+	m := sparse.New(200, 200)
+	for i := 0; i < 100000; i++ {
+		m.Add(rng.Int31n(200), rng.Int31n(200), rng.Float32()*5)
+	}
+	var sum float64
+	for _, r := range m.Ratings {
+		d := float64(r.Value - f.Predict(r.Row, r.Col))
+		sum += d * d
+	}
+	want := math.Sqrt(sum / float64(m.NNZ()))
+	got := RMSE(f, m)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("RMSE %v, want %v", got, want)
+	}
+}

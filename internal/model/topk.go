@@ -36,6 +36,18 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]ScoredItem, 0, cap)}
 }
 
+// Reset reconfigures the accumulator to retain the k best items and drops
+// any retained candidates, keeping the underlying storage. The serving
+// scratch pools reuse one TopK per shard across requests, which is what
+// keeps the steady-state quantized recommend path allocation-free.
+func (t *TopK) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	t.k = k
+	t.heap = t.heap[:0]
+}
+
 // worse reports whether candidate a ranks below b (a should be evicted
 // before b). Lower score is worse; on equal scores the higher item id is
 // worse.

@@ -1,0 +1,102 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotQ4Asm(q, a, b, c, d *int8, n int) (sa, sb, sc, sd int32)
+//
+// Four int8 rows dotted against one int8 query in a single streaming pass,
+// 16 lanes per step: VPMOVSXBW sign-extends 16 int8 to int16 and VPMADDWD
+// multiply-accumulates int16 pairs into 8 int32 lanes. Products are at
+// most 127², so the pairwise int16 multiply-add and the int32 lane
+// accumulators are exact for any realistic k. n must be a positive
+// multiple of 16.
+TEXT ·dotQ4Asm(SB), NOSPLIT, $0-64
+	MOVQ q+0(FP), SI
+	MOVQ a+8(FP), R8
+	MOVQ b+16(FP), R9
+	MOVQ c+24(FP), R10
+	MOVQ d+32(FP), R11
+	MOVQ n+40(FP), CX
+
+	VPXOR Y0, Y0, Y0 // accumulator for row a
+	VPXOR Y1, Y1, Y1 // accumulator for row b
+	VPXOR Y2, Y2, Y2 // accumulator for row c
+	VPXOR Y3, Y3, Y3 // accumulator for row d
+	XORQ  DX, DX
+
+loop:
+	VPMOVSXBW (SI)(DX*1), Y4  // 16 query lanes, shared by all four rows
+	VPMOVSXBW (R8)(DX*1), Y5
+	VPMADDWD  Y4, Y5, Y5
+	VPADDD    Y5, Y0, Y0
+	VPMOVSXBW (R9)(DX*1), Y6
+	VPMADDWD  Y4, Y6, Y6
+	VPADDD    Y6, Y1, Y1
+	VPMOVSXBW (R10)(DX*1), Y7
+	VPMADDWD  Y4, Y7, Y7
+	VPADDD    Y7, Y2, Y2
+	VPMOVSXBW (R11)(DX*1), Y8
+	VPMADDWD  Y4, Y8, Y8
+	VPADDD    Y8, Y3, Y3
+	ADDQ      $16, DX
+	CMPQ      DX, CX
+	JL        loop
+
+	// Horizontal reduction of each 8-lane accumulator to one int32.
+	VEXTRACTI128 $1, Y0, X4
+	VPADDD       X4, X0, X0
+	VPSHUFD      $0x4E, X0, X4
+	VPADDD       X4, X0, X0
+	VPSHUFD      $0xB1, X0, X4
+	VPADDD       X4, X0, X0
+	VMOVD        X0, AX
+	MOVL         AX, sa+48(FP)
+
+	VEXTRACTI128 $1, Y1, X4
+	VPADDD       X4, X1, X1
+	VPSHUFD      $0x4E, X1, X4
+	VPADDD       X4, X1, X1
+	VPSHUFD      $0xB1, X1, X4
+	VPADDD       X4, X1, X1
+	VMOVD        X1, AX
+	MOVL         AX, sb+52(FP)
+
+	VEXTRACTI128 $1, Y2, X4
+	VPADDD       X4, X2, X2
+	VPSHUFD      $0x4E, X2, X4
+	VPADDD       X4, X2, X2
+	VPSHUFD      $0xB1, X2, X4
+	VPADDD       X4, X2, X2
+	VMOVD        X2, AX
+	MOVL         AX, sc+56(FP)
+
+	VEXTRACTI128 $1, Y3, X4
+	VPADDD       X4, X3, X3
+	VPSHUFD      $0x4E, X3, X4
+	VPADDD       X4, X3, X3
+	VPSHUFD      $0xB1, X3, X4
+	VPADDD       X4, X3, X3
+	VMOVD        X3, AX
+	MOVL         AX, sd+60(FP)
+
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package serve
+
+// Non-amd64 builds use the portable scalar kernel only.
+const useDotQ4Asm = false
+
+// dotQ4Asm is never called when useDotQ4Asm is false; this stub keeps the
+// dispatch in dotQ4 compiling on every GOARCH.
+func dotQ4Asm(q, a, b, c, d *int8, n int) (sa, sb, sc, sd int32) {
+	panic("serve: dotQ4Asm unavailable on this architecture")
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 
 	"hsgd/internal/als"
 	"hsgd/internal/model"
@@ -10,6 +11,18 @@ import (
 // DefaultFoldInLambda is the ridge strength used when a caller doesn't
 // specify one — the paper's default regularisation (λ = 0.05).
 const DefaultFoldInLambda = 0.05
+
+// foldInScratch holds the solve buffers one cold-start request needs: the
+// k×k ridge normal-equation matrix and RHS, plus the in-range rating
+// filter's copies. They are pooled because a busy fold-in endpoint would
+// otherwise re-allocate the matrix (32 KiB at k=64) on every request.
+type foldInScratch struct {
+	a, b  []float64
+	items []int32
+	vals  []float32
+}
+
+var foldInPool = sync.Pool{New: func() any { return new(foldInScratch) }}
 
 // FoldIn produces a factor vector for a cold-start user from a handful of
 // (item, rating) pairs by solving the ridge least-squares system against
@@ -28,16 +41,45 @@ func FoldIn(f *model.Factors, items []int32, values []float32, lambda float32) (
 	if lambda <= 0 {
 		lambda = DefaultFoldInLambda
 	}
-	inItems := make([]int32, 0, len(items))
-	inVals := make([]float32, 0, len(values))
-	for i, v := range items {
+	sc := foldInPool.Get().(*foldInScratch)
+	defer foldInPool.Put(sc)
+	// Fast path: every rating is in range (the norm for live clients), so
+	// the caller's slices are used as-is; the filtered copy is only built
+	// when a stale client actually sent out-of-range ids.
+	inRange := 0
+	for _, v := range items {
 		if v >= 0 && int(v) < f.N {
-			inItems = append(inItems, v)
-			inVals = append(inVals, values[i])
+			inRange++
 		}
 	}
-	if len(inItems) == 0 {
+	if inRange == 0 {
 		return nil, fmt.Errorf("serve: fold-in has no in-range ratings (model has %d items)", f.N)
 	}
-	return als.FoldInUser(f, inItems, inVals, lambda)
+	inItems, inVals := items, values
+	if inRange < len(items) {
+		inItems = sc.items[:0]
+		inVals = sc.vals[:0]
+		for i, v := range items {
+			if v >= 0 && int(v) < f.N {
+				inItems = append(inItems, v)
+				inVals = append(inVals, values[i])
+			}
+		}
+		sc.items, sc.vals = inItems, inVals // keep grown capacity pooled
+	}
+	k := f.K
+	if cap(sc.a) < k*k {
+		sc.a = make([]float64, k*k)
+	}
+	if cap(sc.b) < k {
+		sc.b = make([]float64, k)
+	}
+	// p is handed to the caller (it outlives the request scratch), so it is
+	// the one allocation left on this path — k floats next to the pooled
+	// k² matrix.
+	p := make([]float32, k)
+	if err := als.FoldInUserInto(p, f, inItems, inVals, lambda, sc.a[:k*k], sc.b[:k]); err != nil {
+		return nil, err
+	}
+	return p, nil
 }

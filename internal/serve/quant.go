@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"sync"
+
+	"hsgd/internal/model"
+)
+
+// The quantized retrieval path: the full-catalog scan is memory-bandwidth-
+// bound, so scanning int8 rows instead of float32 moves 4× fewer bytes. The
+// scan ranks items by approximate int8 scores into per-shard candidate
+// heaps of rerankFactor·k entries, then the small surviving candidate set
+// is rescored exactly against the float32 rows — returned scores are exact
+// and recall@k stays ≈1, the tradeoff knob being the rerank factor.
+
+// DefaultRerankFactor is the candidate-pool multiplier for the quantized
+// scan: each shard keeps RerankFactor·k approximately-scored candidates
+// before the exact float32 rerank. 4 keeps recall@10 ≈ 1 on every dataset
+// spec while the rerank stays a negligible fraction of the scan.
+const DefaultRerankFactor = 4
+
+// EffectiveRerankFactor resolves a configured rerank factor to the one the
+// scan actually uses (<= 0 selects the default) — the single place the
+// rule lives, shared by the scan, /statsz, and hsgd-serve's startup log.
+func EffectiveRerankFactor(rf int) int {
+	if rf <= 0 {
+		return DefaultRerankFactor
+	}
+	return rf
+}
+
+// quantScratch is the reusable per-request state of the quantized scan: the
+// int8-quantized query, one candidate heap per shard, and the final rerank
+// heap. Pooling it (and never allocating inside rankQuantized) is what
+// makes the steady-state recommend path allocation-free.
+type quantScratch struct {
+	qquery []int8
+	shards []*model.TopK // per-shard candidate heaps (approximate scores)
+	final  *model.TopK   // exact float32 rerank heap
+}
+
+var quantPool = sync.Pool{New: func() any { return new(quantScratch) }}
+
+// query returns the int8 query buffer resized to k.
+func (sc *quantScratch) query(k int) []int8 {
+	if cap(sc.qquery) < k {
+		sc.qquery = make([]int8, k)
+	}
+	return sc.qquery[:k]
+}
+
+// heaps returns w candidate heaps, each reset to retain cand items.
+func (sc *quantScratch) heaps(w, cand int) []*model.TopK {
+	for len(sc.shards) < w {
+		sc.shards = append(sc.shards, model.NewTopK(cand))
+	}
+	hs := sc.shards[:w]
+	for _, h := range hs {
+		h.Reset(cand)
+	}
+	return hs
+}
+
+func (sc *quantScratch) finalHeap(k int) *model.TopK {
+	if sc.final == nil {
+		sc.final = model.NewTopK(k)
+	} else {
+		sc.final.Reset(k)
+	}
+	return sc.final
+}
+
+// RecommendQuantized is Recommend through the quantized scan: candidates
+// are collected from the int8 view and reranked exactly, so the returned
+// scores equal the float32 path's. Returns nil when u is out of range.
+func (s *Scorer) RecommendQuantized(f *model.Factors, qf *model.QuantizedFactors, u int32, k int, seen map[int32]bool) []model.ScoredItem {
+	if int(u) < 0 || int(u) >= f.M {
+		return nil
+	}
+	return s.recommendQuantizedAlloc(f, qf, f.Row(u), k, seen)
+}
+
+// RecommendVectorQuantized ranks items for an arbitrary query vector (the
+// fold-in entry point) through the quantized scan. query must have length
+// f.K.
+func (s *Scorer) RecommendVectorQuantized(f *model.Factors, qf *model.QuantizedFactors, query []float32, k int, seen map[int32]bool) []model.ScoredItem {
+	if len(query) != f.K {
+		return nil
+	}
+	return s.recommendQuantizedAlloc(f, qf, query, k, seen)
+}
+
+// recommendQuantizedAlloc wraps the zero-allocation core for callers
+// without a scratch of their own: results are copied out so the pooled
+// scratch can be released before returning.
+func (s *Scorer) recommendQuantizedAlloc(f *model.Factors, qf *model.QuantizedFactors, query []float32, k int, seen map[int32]bool) []model.ScoredItem {
+	sc := quantPool.Get().(*quantScratch)
+	res, _ := s.rankQuantized(f, qf, query, k, seen, sc)
+	out := append([]model.ScoredItem(nil), res...)
+	quantPool.Put(sc)
+	return out
+}
+
+// rankQuantized is the zero-allocation core of the quantized path: scan the
+// int8 rows into per-shard candidate heaps, then rescore every surviving
+// candidate exactly in float32. The returned slice aliases sc and is valid
+// until sc is reused; the int is the number of candidates rescored (the
+// measured rerank depth /statsz reports). The caller must have checked
+// len(query) == f.K.
+func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, query []float32, k int, seen map[int32]bool, sc *quantScratch) ([]model.ScoredItem, int) {
+	n := qf.N
+	if k <= 0 || n == 0 {
+		return nil, 0
+	}
+	cand := k * EffectiveRerankFactor(s.RerankFactor)
+	qq := sc.query(qf.K)
+	// A zero query quantizes to scale 0 and all-zero data; every approximate
+	// score is then 0 and the id-ascending tie-break keeps the same
+	// candidates the exact all-zero-score scan would rank first.
+	model.QuantizeVectorInto(qq, query)
+
+	w := s.workers(n)
+	heaps := sc.heaps(w, cand)
+	if w == 1 {
+		scoreRangeQ(qf, qq, 0, n, seen, heaps[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			lo, hi := n*i/w, n*(i+1)/w
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				scoreRangeQ(qf, qq, lo, hi, seen, heaps[i])
+			}(i, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Exact rerank. Every shard's candidates are rescored rather than
+	// merge-pruned to cand first: the extra dots are few (w·cand total) and
+	// a candidate dropped by an approximate merge could have been a true
+	// top-k item.
+	final := sc.finalHeap(k)
+	depth := 0
+	for _, h := range heaps {
+		for _, c := range h.Items() {
+			final.Push(c.Item, model.Dot(query, f.Colvec(c.Item)))
+		}
+		depth += h.Len()
+	}
+	return final.Sorted(), depth
+}
+
+// scoreRangeQ scans quantized items [lo, hi) in blocks, pushing approximate
+// scores into the shard's candidate heap. The pushed score is the int32
+// accumulator times the item's scale only — the query's scale is a positive
+// constant across items, so it cancels for ranking and is never applied.
+func scoreRangeQ(qf *model.QuantizedFactors, qq []int8, lo, hi int, seen map[int32]bool, t *model.TopK) {
+	var scores [scoreBlockItems]float32
+	kdim := qf.K
+	for b := lo; b < hi; b += scoreBlockItems {
+		e := min(b+scoreBlockItems, hi)
+		rows := qf.Data[b*kdim : e*kdim]
+		cnt := e - b
+		// Register-blocked like the float32 scan: 4 contiguous int8 rows
+		// share one pass over the quantized query, amortising the query
+		// loads and loop overhead 4×.
+		i := 0
+		for ; i+4 <= cnt; i += 4 {
+			quad := rows[i*kdim : (i+4)*kdim]
+			sa, sb, sc, sd := dotQ4(qq,
+				quad[:kdim], quad[kdim:2*kdim], quad[2*kdim:3*kdim], quad[3*kdim:])
+			scores[i] = float32(sa) * qf.Scales[b+i]
+			scores[i+1] = float32(sb) * qf.Scales[b+i+1]
+			scores[i+2] = float32(sc) * qf.Scales[b+i+2]
+			scores[i+3] = float32(sd) * qf.Scales[b+i+3]
+		}
+		for ; i < cnt; i++ {
+			scores[i] = float32(dotQ(qq, rows[i*kdim:(i+1)*kdim])) * qf.Scales[b+i]
+		}
+		for i := 0; i < cnt; i++ {
+			v := int32(b + i)
+			if seen[v] {
+				continue
+			}
+			t.Push(v, scores[i])
+		}
+	}
+}
+
+// dotQ4 accumulates four int8 rows against the int8 query into int32
+// accumulators in one pass — the quantized mirror of dot4. Products are at
+// most 127² and k is far below 2³¹/127², so int32 never overflows. On
+// amd64 with AVX2 the bulk of the row runs through the VPMADDWD kernel
+// (dotq_amd64.s) with a scalar tail; integer SIMD gives bit-identical sums,
+// so both paths rank identically.
+func dotQ4(q, a, b, c, d []int8) (sa, sb, sc, sd int32) {
+	if useDotQ4Asm && len(q) >= 16 {
+		n := len(q) &^ 15
+		sa, sb, sc, sd = dotQ4Asm(&q[0], &a[0], &b[0], &c[0], &d[0], n)
+		for j := n; j < len(q); j++ {
+			xv := int32(q[j])
+			sa += xv * int32(a[j])
+			sb += xv * int32(b[j])
+			sc += xv * int32(c[j])
+			sd += xv * int32(d[j])
+		}
+		return
+	}
+	return dotQ4Generic(q, a, b, c, d)
+}
+
+// dotQ4Generic is the portable scalar kernel, register-blocked like dot4.
+// Slicing every row to len(q) up front drops the bounds checks in the loop.
+func dotQ4Generic(q, a, b, c, d []int8) (sa, sb, sc, sd int32) {
+	a = a[:len(q)]
+	b = b[:len(q)]
+	c = c[:len(q)]
+	d = d[:len(q)]
+	for j, x := range q {
+		xv := int32(x)
+		sa += xv * int32(a[j])
+		sb += xv * int32(b[j])
+		sc += xv * int32(c[j])
+		sd += xv * int32(d[j])
+	}
+	return
+}
+
+// dotQ is the single-row int8 dot for the block tail.
+func dotQ(q, a []int8) int32 {
+	a = a[:len(q)]
+	var s int32
+	for j, x := range q {
+		s += int32(x) * int32(a[j])
+	}
+	return s
+}

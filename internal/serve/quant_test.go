@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"hsgd/internal/dataset"
+	"hsgd/internal/model"
+)
+
+// centeredFactors builds factors with entries in [-0.5, 0.5) so the signed
+// half of the int8 range is exercised (NewFactors inits non-negative).
+func centeredFactors(m, n, k int, seed int64) *model.Factors {
+	rng := rand.New(rand.NewSource(seed))
+	f := &model.Factors{M: m, N: n, K: k,
+		P: make([]float32, m*k), Q: make([]float32, n*k)}
+	for i := range f.P {
+		f.P[i] = rng.Float32() - 0.5
+	}
+	for i := range f.Q {
+		f.Q[i] = rng.Float32() - 0.5
+	}
+	return f
+}
+
+// Exact-vs-quantized recall@10 on a MovieLens-spec snapshot must stay
+// ≈1: the int8 scan only picks candidates, the exact rerank restores true
+// scores, so a miss requires a true top-10 item to fall below the
+// rerankFactor·k approximate floor. Published through the Store so the
+// test exercises the same quantized view the server scans.
+func TestQuantizedRecallAt10(t *testing.T) {
+	spec := dataset.MovieLens()
+	f := centeredFactors(256, spec.Cols, 32, 42)
+	store := NewStore()
+	snap, err := store.Publish(f, "recall-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Quantized == nil {
+		t.Fatal("store did not build the quantized view by default")
+	}
+	s := &Scorer{Shards: 4}
+	const topK = 10
+	var hit, total int
+	for u := int32(0); u < 256; u++ {
+		exact := s.Recommend(f, u, topK, nil)
+		quant := s.RecommendQuantized(f, snap.Quantized, u, topK, nil)
+		if len(quant) != len(exact) {
+			t.Fatalf("user %d: quantized returned %d items, exact %d", u, len(quant), len(exact))
+		}
+		want := make(map[int32]bool, topK)
+		for _, c := range exact {
+			want[c.Item] = true
+		}
+		for _, c := range quant {
+			if want[c.Item] {
+				hit++
+			}
+			// Rerank guarantee: every returned score is the exact float32
+			// prediction, not a dequantized approximation.
+			if got, exact := c.Score, f.Predict(u, c.Item); math.Abs(float64(got-exact)) > 1e-6 {
+				t.Fatalf("user %d item %d: score %v != exact %v", u, c.Item, got, exact)
+			}
+		}
+		total += topK
+	}
+	recall := float64(hit) / float64(total)
+	t.Logf("recall@10 over 256 users on %d items: %.4f", spec.Cols, recall)
+	if recall < 0.99 {
+		t.Fatalf("recall@10 = %.4f, want >= 0.99", recall)
+	}
+}
+
+// The quantized path must honor seen-set exclusions and edge cases exactly
+// like the exact path.
+func TestQuantizedEdgeCases(t *testing.T) {
+	f := centeredFactors(4, 6000, 16, 7)
+	qf := model.QuantizeItems(f)
+	s := &Scorer{Shards: 3}
+
+	if got := s.RecommendQuantized(f, qf, 99, 5, nil); got != nil {
+		t.Fatalf("out-of-range user returned %v", got)
+	}
+	if got := s.RecommendQuantized(f, qf, 0, 0, nil); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := s.RecommendVectorQuantized(f, qf, make([]float32, 3), 5, nil); got != nil {
+		t.Fatalf("wrong-length query returned %v", got)
+	}
+
+	seen := map[int32]bool{0: true, 17: true, 5999: true}
+	for _, c := range s.RecommendQuantized(f, qf, 1, 50, seen) {
+		if seen[c.Item] {
+			t.Fatalf("seen item %d returned", c.Item)
+		}
+	}
+
+	// All items seen -> empty.
+	all := make(map[int32]bool, 6000)
+	for v := int32(0); v < 6000; v++ {
+		all[v] = true
+	}
+	if got := s.RecommendQuantized(f, qf, 0, 5, all); len(got) != 0 {
+		t.Fatalf("all-seen returned %v", got)
+	}
+
+	// The trained row and the same vector through the fold-in entry point
+	// must agree.
+	a := s.RecommendQuantized(f, qf, 2, 10, nil)
+	b := s.RecommendVectorQuantized(f, qf, f.Row(2), 10, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %v != %v", i, a[i], b[i])
+		}
+	}
+
+	// Zero query: all scores 0, ties break to the lowest ids — identical
+	// item sets on both paths.
+	zero := make([]float32, f.K)
+	za := s.RecommendVector(f, zero, 5, nil)
+	zb := s.RecommendVectorQuantized(f, qf, zero, 5, nil)
+	for i := range za {
+		if za[i] != zb[i] {
+			t.Fatalf("zero query rank %d: exact %v quantized %v", i, za[i], zb[i])
+		}
+	}
+}
+
+// The AVX2 kernel (when present) must produce bit-identical sums to the
+// scalar kernel for every length, including non-multiple-of-16 tails.
+// Integer arithmetic is associative, so this is exact equality, not a
+// tolerance check.
+func TestDotQ4AsmMatchesGeneric(t *testing.T) {
+	if !useDotQ4Asm {
+		t.Skip("no SIMD kernel on this architecture")
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range []int{16, 17, 31, 32, 48, 64, 100, 128, 333} {
+		q := make([]int8, k)
+		rows := make([]int8, 4*k)
+		for i := range q {
+			q[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range rows {
+			rows[i] = int8(rng.Intn(255) - 127)
+		}
+		a, b, c, d := rows[:k], rows[k:2*k], rows[2*k:3*k], rows[3*k:]
+		ga, gb, gc, gd := dotQ4Generic(q, a, b, c, d)
+		sa, sb, sc, sd := dotQ4(q, a, b, c, d)
+		if sa != ga || sb != gb || sc != gc || sd != gd {
+			t.Fatalf("k=%d: asm (%d,%d,%d,%d) != generic (%d,%d,%d,%d)",
+				k, sa, sb, sc, sd, ga, gb, gc, gd)
+		}
+	}
+}
+
+// The steady-state quantized scan must not allocate: scratch is reused
+// across requests, heaps are Reset not rebuilt, and the kernel works in
+// stack blocks. This is the acceptance gate for the serving hot loop.
+func TestQuantizedScanZeroAllocs(t *testing.T) {
+	f := centeredFactors(8, 9001, 64, 9)
+	qf := model.QuantizeItems(f)
+	s := &Scorer{Shards: 1} // single shard: no goroutine fan-out in the loop
+	sc := new(quantScratch)
+	query := f.Row(3)
+	if res, _ := s.rankQuantized(f, qf, query, 10, nil, sc); len(res) != 10 {
+		t.Fatalf("warm-up returned %d items", len(res))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.rankQuantized(f, qf, query, 10, nil, sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized scan allocated %v per op, want 0", allocs)
+	}
+}
+
+// Hot-swap under concurrent quantized load (run with -race): readers
+// hammer the quantized view through Store.Current while publishes rotate
+// two models. Every response must be internally consistent with a single
+// version.
+func TestQuantizedHotSwapRace(t *testing.T) {
+	const users, items, kDim = 4, 6000, 8
+	a := uniformFactors(users, items, kDim, 1, 1) // every score 8
+	b := uniformFactors(users, items, kDim, 2, 2) // every score 32
+
+	store := NewStore()
+	if _, err := store.Publish(a, "a"); err != nil {
+		t.Fatal(err)
+	}
+	s := &Scorer{Shards: 2}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 100; i++ {
+			src := a
+			if i%2 == 0 {
+				src = b
+			}
+			if _, err := store.Publish(src.Clone(), "swap"); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i >= 50 {
+						return
+					}
+				default:
+				}
+				snap := store.Current()
+				if snap.Quantized == nil {
+					t.Error("published snapshot missing quantized view")
+					return
+				}
+				got := s.RecommendQuantized(snap.Factors, snap.Quantized, int32((r+i)%users), 5, nil)
+				if len(got) != 5 {
+					t.Errorf("reader %d: %d items", r, len(got))
+					return
+				}
+				for _, c := range got {
+					if c.Score != got[0].Score || (c.Score != 8 && c.Score != 32) {
+						t.Errorf("reader %d: torn scores %v", r, got)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// End-to-end: a server over a quantized store reports the quantized mode,
+// build time, and measured rerank depth in /statsz, and flipping the store
+// to exact mode flips the reporting.
+func TestServerQuantizedStatsz(t *testing.T) {
+	store := NewStore()
+	ts := newTestServer(t, store)
+	if _, err := store.Publish(centeredFactors(4, 500, 8, 11), "q"); err != nil {
+		t.Fatal(err)
+	}
+	getBody(t, ts.URL+"/v1/recommend?user=1&k=7", http.StatusOK, nil)
+
+	var stats statsResponse
+	getBody(t, ts.URL+"/statsz", http.StatusOK, &stats)
+	if stats.Retrieval == nil || stats.Retrieval.Mode != "quantized" {
+		t.Fatalf("retrieval stats = %+v, want quantized mode", stats.Retrieval)
+	}
+	if stats.Retrieval.RerankFactor != DefaultRerankFactor {
+		t.Fatalf("rerank factor %d", stats.Retrieval.RerankFactor)
+	}
+	if stats.Retrieval.QuantizedScans != 1 || stats.Retrieval.MeanRerankDepth <= 0 {
+		t.Fatalf("scan counters = %+v", stats.Retrieval)
+	}
+	// Depth is bounded by rerankFactor·k per shard times the shard count.
+	if maxDepth := float64(DefaultRerankFactor * 7 * 2); stats.Retrieval.MeanRerankDepth > maxDepth {
+		t.Fatalf("mean rerank depth %v > bound %v", stats.Retrieval.MeanRerankDepth, maxDepth)
+	}
+
+	store.SetQuantize(false)
+	if _, err := store.Publish(centeredFactors(4, 500, 8, 12), "e"); err != nil {
+		t.Fatal(err)
+	}
+	getBody(t, ts.URL+"/statsz", http.StatusOK, &stats)
+	if stats.Retrieval == nil || stats.Retrieval.Mode != "exact" {
+		t.Fatalf("retrieval stats after SetQuantize(false) = %+v", stats.Retrieval)
+	}
+}
+
+// The quantized and exact paths must return the same ranking through the
+// HTTP layer with float32-exact scores either way; this pins the rerank
+// guarantee at the API boundary. Scores may differ in the last ulp because
+// the exact scan accumulates via dot4's sequential order while the rerank
+// uses model.Dot's 4-way unrolled order.
+func TestServerQuantizedMatchesExactHTTP(t *testing.T) {
+	f := centeredFactors(8, 3000, 16, 13)
+
+	quantStore := NewStore()
+	exactStore := NewStore()
+	exactStore.SetQuantize(false)
+	if _, err := quantStore.Publish(f.Clone(), "q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exactStore.Publish(f.Clone(), "e"); err != nil {
+		t.Fatal(err)
+	}
+	qs := newTestServer(t, quantStore)
+	es := newTestServer(t, exactStore)
+
+	for u := 0; u < 8; u++ {
+		url := fmt.Sprintf("/v1/recommend?user=%d&k=10&exclude=3,999", u)
+		var qr, er recommendResponse
+		getBody(t, qs.URL+url, http.StatusOK, &qr)
+		getBody(t, es.URL+url, http.StatusOK, &er)
+		if len(qr.Items) != len(er.Items) {
+			t.Fatalf("user %d: %d vs %d items", u, len(qr.Items), len(er.Items))
+		}
+		for i := range er.Items {
+			if qr.Items[i].Item != er.Items[i].Item {
+				t.Fatalf("user %d rank %d: quantized %+v vs exact %+v",
+					u, i, qr.Items[i], er.Items[i])
+			}
+			if d := math.Abs(float64(qr.Items[i].Score - er.Items[i].Score)); d > 1e-6 {
+				t.Fatalf("user %d rank %d: score gap %v beyond ulp tolerance", u, i, d)
+			}
+		}
+	}
+
+	// Fold-in POSTs go through the quantized scan too.
+	body := []byte(`{"k":5,"ratings":[{"item":3,"value":5},{"item":9,"value":4}]}`)
+	for _, ts := range []string{qs.URL, es.URL} {
+		resp, err := http.Post(ts+"/v1/recommend", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST: %d: %s", resp.StatusCode, raw)
+		}
+		var rec recommendResponse
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if !rec.FoldIn || len(rec.Items) != 5 {
+			t.Fatalf("fold-in response %+v", rec)
+		}
+		for _, it := range rec.Items {
+			if it.Item == 3 || it.Item == 9 {
+				t.Fatalf("rated item leaked: %+v", rec.Items)
+			}
+		}
+	}
+}

@@ -39,9 +39,19 @@ const serialCutoff = 4096
 // across worker goroutines, each scanning its contiguous shard of Q with a
 // per-shard bounded min-heap, followed by a final merge. A zero Scorer is
 // usable: it shards across GOMAXPROCS workers.
+//
+// The scorer has two modes. Recommend/RecommendVector scan the exact
+// float32 rows; RecommendQuantized/RecommendVectorQuantized (quant.go) scan
+// an int8-quantized view 4× smaller and rerank the surviving candidates
+// exactly, which is faster whenever the catalog outgrows the cache and
+// returns the same scores.
 type Scorer struct {
 	// Shards is the number of worker goroutines; <= 0 means GOMAXPROCS.
 	Shards int
+	// RerankFactor scales the quantized scan's per-shard candidate pool
+	// (RerankFactor·k items survive to the exact rerank); <= 0 means
+	// DefaultRerankFactor. Exact-mode scans ignore it.
+	RerankFactor int
 }
 
 func (s *Scorer) workers(nItems int) int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"hsgd/internal/model"
@@ -115,6 +116,41 @@ func TestScorerSimilarItemsMatchesModel(t *testing.T) {
 // Netflix item count (n=17770, the paper's Table I) with k=64 factors,
 // across shard counts, against the serial Factors.TopN scan as baseline.
 // Run with: go test -bench TopK -benchtime 2s ./internal/serve
+// BenchmarkTopKQuantized compares the exact float32 scan against the int8
+// quantized scan with exact rerank on the Netflix item count (n=17770) with
+// k=128 factors — the configuration where the float32 matrix (9.1 MB)
+// spills out of L2 and the scan is bandwidth-bound, which is exactly what
+// quantization attacks (2.3 MB scanned instead). Run with:
+// go test -bench TopKQuantized -benchtime 2s ./internal/serve
+func BenchmarkTopKQuantized(b *testing.B) {
+	const (
+		nItems = 17770
+		kDim   = 128
+		topK   = 10
+	)
+	f := centeredFactors(64, nItems, kDim, 7)
+	qf := model.QuantizeItems(f)
+	exactMB := float64(nItems*kDim*4) / 1e6
+	quantMB := float64(nItems*kDim) / 1e6
+	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+		s := &Scorer{Shards: shards}
+		b.Run(fmt.Sprintf("exact-shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Recommend(f, int32(i%f.M), topK, nil)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+			b.ReportMetric(exactMB, "MBscanned/op")
+		})
+		b.Run(fmt.Sprintf("quantized-shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.RecommendQuantized(f, qf, int32(i%f.M), topK, nil)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+			b.ReportMetric(quantMB, "MBscanned/op")
+		})
+	}
+}
+
 func BenchmarkTopKSharded(b *testing.B) {
 	const (
 		nItems = 17770

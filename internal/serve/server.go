@@ -28,6 +28,10 @@ type Config struct {
 	FoldInLambda float32
 	// MaxK caps the k a request may ask for; <= 0 picks 1000.
 	MaxK int
+	// RerankFactor is the quantized scan's candidate-pool multiplier;
+	// <= 0 picks DefaultRerankFactor. Ignored while the snapshot carries no
+	// quantized view.
+	RerankFactor int
 }
 
 // Server is the HTTP JSON API over a snapshot store:
@@ -51,6 +55,10 @@ type Server struct {
 
 	nPredict, nRecommend, nFoldIn, nSimilar atomic.Int64
 	nErrors, nCacheHit, nCacheMiss          atomic.Int64
+	// nQuantScans counts rankings served by the quantized path and
+	// nRerankDepth the candidates it rescored exactly — their ratio is the
+	// measured rerank depth /statsz reports.
+	nQuantScans, nRerankDepth atomic.Int64
 
 	trainMu    sync.Mutex
 	trainEvent *progress.Event
@@ -87,7 +95,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		store:        cfg.Store,
-		scorer:       Scorer{Shards: cfg.Shards},
+		scorer:       Scorer{Shards: cfg.Shards, RerankFactor: cfg.RerankFactor},
 		cache:        newResultCache(cacheSize),
 		foldInLambda: cfg.FoldInLambda,
 		maxK:         maxK,
@@ -95,6 +103,51 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.Store.OnSwap(func(*Snapshot) { s.cache.Purge() })
 	return s, nil
+}
+
+// reqScratch is the pooled per-request state of the recommend handlers:
+// the seen-id set, the quantized-scan scratch, and the fold-in rating
+// buffers. Pooling it keeps the steady-state request path from allocating
+// query-sized scratch on every call.
+type reqScratch struct {
+	seen  map[int32]bool
+	quant quantScratch
+	items []int32
+	vals  []float32
+}
+
+var reqPool = sync.Pool{New: func() any {
+	return &reqScratch{seen: make(map[int32]bool)}
+}}
+
+func getReqScratch() *reqScratch { return reqPool.Get().(*reqScratch) }
+
+func (sc *reqScratch) release() {
+	clear(sc.seen)
+	reqPool.Put(sc)
+}
+
+// recommend routes one ranking through the snapshot's retrieval mode: the
+// quantized scan with exact rerank when the snapshot carries an int8 view,
+// the exact float32 scan otherwise. Quantized results alias sc and must be
+// consumed before sc is released.
+func (s *Server) recommend(snap *Snapshot, query []float32, k int, seen map[int32]bool, sc *reqScratch) []model.ScoredItem {
+	if snap.Quantized != nil {
+		ranked, depth := s.scorer.rankQuantized(snap.Factors, snap.Quantized, query, k, seen, &sc.quant)
+		s.nQuantScans.Add(1)
+		s.nRerankDepth.Add(int64(depth))
+		return ranked
+	}
+	return s.scorer.rank(snap.Factors, query, k, seen, nil, -1)
+}
+
+// seenSet fills the pooled seen map from the exclude list; the map is
+// always non-nil (lookups on an empty map are free) and cleared on release.
+func (sc *reqScratch) seenSet(exclude []int32) map[int32]bool {
+	for _, id := range exclude {
+		sc.seen[id] = true
+	}
+	return sc.seen
 }
 
 // Handler returns the route mux. It is what cmd/hsgd-serve mounts and what
@@ -145,12 +198,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Snapshot      *snapshotStats `json:"snapshot,omitempty"`
-	Training      *trainingStats `json:"training,omitempty"`
-	LastLoadError string         `json:"last_load_error,omitempty"`
-	Requests      requestStats   `json:"requests"`
-	Cache         cacheStats     `json:"cache"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Snapshot      *snapshotStats  `json:"snapshot,omitempty"`
+	Retrieval     *retrievalStats `json:"retrieval,omitempty"`
+	Training      *trainingStats  `json:"training,omitempty"`
+	LastLoadError string          `json:"last_load_error,omitempty"`
+	Requests      requestStats    `json:"requests"`
+	Cache         cacheStats      `json:"cache"`
+}
+
+// retrievalStats reports which scoring path the live snapshot serves and
+// the quantization tradeoff knob: the configured rerank factor, what the
+// int8 view cost to build at swap time, and the measured mean rerank depth
+// (candidates rescored exactly per quantized ranking).
+type retrievalStats struct {
+	Mode            string  `json:"mode"` // quantized | exact
+	RerankFactor    int     `json:"rerank_factor,omitempty"`
+	QuantBuildMS    float64 `json:"quant_build_ms,omitempty"`
+	QuantizedScans  int64   `json:"quantized_scans,omitempty"`
+	MeanRerankDepth float64 `json:"mean_rerank_depth,omitempty"`
 }
 
 // trainingStats mirrors the latest progress event recorded through
@@ -216,6 +282,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Users:    snap.Factors.M,
 			Items:    snap.Factors.N,
 			K:        snap.Factors.K,
+		}
+		resp.Retrieval = &retrievalStats{Mode: "exact"}
+		if snap.Quantized != nil {
+			resp.Retrieval.Mode = "quantized"
+			resp.Retrieval.RerankFactor = EffectiveRerankFactor(s.scorer.RerankFactor)
+			resp.Retrieval.QuantBuildMS = float64(snap.QuantBuild.Nanoseconds()) / 1e6
+			scans := s.nQuantScans.Load()
+			resp.Retrieval.QuantizedScans = scans
+			if scans > 0 {
+				resp.Retrieval.MeanRerankDepth = float64(s.nRerankDepth.Load()) / float64(scans)
+			}
 		}
 	}
 	s.trainMu.Lock()
@@ -335,10 +412,12 @@ func (s *Server) handleRecommendGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nCacheMiss.Add(1)
-	ranked := s.scorer.Recommend(snap.Factors, u, k, idSet(exclude))
+	sc := getReqScratch()
+	ranked := s.recommend(snap, snap.Factors.Row(u), k, sc.seenSet(exclude), sc)
 	body := mustMarshal(recommendResponse{
 		User: &u, SnapshotVersion: snap.Version, Items: toScored(ranked),
 	})
+	sc.release()
 	s.cache.Put(key, body)
 	writeCached(w, body)
 }
@@ -361,7 +440,9 @@ func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	seen := idSet(req.Exclude)
+	sc := getReqScratch()
+	defer sc.release()
+	seen := sc.seenSet(req.Exclude)
 
 	if len(req.Ratings) == 0 {
 		// No ratings: behaves like the GET form for a trained user.
@@ -370,7 +451,7 @@ func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, "user missing or out of range and no ratings for fold-in given")
 			return
 		}
-		ranked := s.scorer.Recommend(snap.Factors, *req.User, k, seen)
+		ranked := s.recommend(snap, snap.Factors.Row(*req.User), k, seen, sc)
 		s.writeJSON(w, http.StatusOK, recommendResponse{
 			User: req.User, SnapshotVersion: snap.Version, Items: toScored(ranked),
 		})
@@ -380,21 +461,20 @@ func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
 	// Cold-start fold-in: solve a vector from the supplied ratings, then
 	// rank with it, excluding what the user just told us they rated.
 	s.nFoldIn.Add(1)
-	items := make([]int32, len(req.Ratings))
-	vals := make([]float32, len(req.Ratings))
-	if seen == nil {
-		seen = make(map[int32]bool, len(req.Ratings))
-	}
-	for i, rt := range req.Ratings {
-		items[i], vals[i] = rt.Item, rt.Value
+	items := sc.items[:0]
+	vals := sc.vals[:0]
+	for _, rt := range req.Ratings {
+		items = append(items, rt.Item)
+		vals = append(vals, rt.Value)
 		seen[rt.Item] = true
 	}
+	sc.items, sc.vals = items, vals // keep grown capacity pooled
 	vec, err := FoldIn(snap.Factors, items, vals, s.foldInLambda)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "fold-in: %v", err)
 		return
 	}
-	ranked := s.scorer.RecommendVector(snap.Factors, vec, k, seen)
+	ranked := s.recommend(snap, vec, k, seen, sc)
 	s.writeJSON(w, http.StatusOK, recommendResponse{
 		User: req.User, FoldIn: true, SnapshotVersion: snap.Version, Items: toScored(ranked),
 	})
@@ -494,17 +574,6 @@ func parseIDList(raw string) ([]int32, error) {
 		out = append(out, int32(id))
 	}
 	return out, nil
-}
-
-func idSet(ids []int32) map[int32]bool {
-	if len(ids) == 0 {
-		return nil
-	}
-	set := make(map[int32]bool, len(ids))
-	for _, id := range ids {
-		set[id] = true
-	}
-	return set
 }
 
 func toScored(ranked []model.ScoredItem) []scoredItem {

@@ -18,11 +18,19 @@ import (
 // alive) until the last in-flight request drops it.
 type Snapshot struct {
 	Factors *model.Factors
+	// Quantized is the per-item symmetric int8 view of the item factors,
+	// built once at publish time for the quantized retrieval scan. nil when
+	// the store was configured with SetQuantize(false); the server falls
+	// back to the exact float32 scan then.
+	Quantized *model.QuantizedFactors
 	// InvNorms[v] = 1/‖q_v‖ (0 for a zero vector), precomputed once per
 	// publish so cosine similar-items scoring costs one multiply per item.
 	InvNorms []float32
 	Version  uint64
 	LoadedAt time.Time
+	// QuantBuild is how long the quantized view took to build at publish
+	// time (0 when quantization is off) — surfaced in /statsz.
+	QuantBuild time.Duration
 	// Source is where the snapshot came from: a file path for LoadFile, or
 	// a caller-chosen label for in-process Publish.
 	Source string
@@ -35,6 +43,9 @@ type Snapshot struct {
 type Store struct {
 	cur     atomic.Pointer[Snapshot]
 	version atomic.Uint64
+	// noQuantize disables building the int8 view on publish (zero value =
+	// quantization on, matching hsgd-serve's -quantize default).
+	noQuantize atomic.Bool
 
 	mu      sync.Mutex
 	onSwap  []func(*Snapshot)
@@ -65,6 +76,11 @@ func NewStore() *Store {
 // It is safe for any number of concurrent callers and never blocks.
 func (s *Store) Current() *Snapshot { return s.cur.Load() }
 
+// SetQuantize controls whether subsequent publishes build the int8
+// quantized view (on by default). Already-published snapshots keep
+// whatever view they were built with.
+func (s *Store) SetQuantize(on bool) { s.noQuantize.Store(!on) }
+
 // Publish validates f, precomputes the item norms, and atomically swaps it
 // in as the live snapshot. The previous snapshot is untouched, so requests
 // that already picked it up finish against consistent data. Registered
@@ -77,17 +93,29 @@ func (s *Store) Publish(f *model.Factors, source string) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: refusing to publish: %w", err)
 	}
 	inv := invNorms(f)
+	// The quantized view is built outside the mutex alongside the invNorms
+	// precompute: both are per-snapshot derived data the hot path must
+	// never pay for.
+	var qf *model.QuantizedFactors
+	var qdur time.Duration
+	if !s.noQuantize.Load() {
+		start := time.Now()
+		qf = model.QuantizeItems(f)
+		qdur = time.Since(start)
+	}
 	// Version assignment and the pointer store happen under the mutex so
 	// two concurrent publishers (e.g. the disk watcher racing an in-process
 	// retrain) can't interleave and leave an older snapshot live after a
 	// newer one was stored. Readers never take this lock.
 	s.mu.Lock()
 	snap := &Snapshot{
-		Factors:  f,
-		InvNorms: inv,
-		Version:  s.version.Add(1),
-		LoadedAt: s.now(),
-		Source:   source,
+		Factors:    f,
+		Quantized:  qf,
+		InvNorms:   inv,
+		Version:    s.version.Add(1),
+		LoadedAt:   s.now(),
+		QuantBuild: qdur,
+		Source:     source,
 	}
 	s.cur.Store(snap)
 	s.lastErr.Store(nil)

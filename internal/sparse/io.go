@@ -19,14 +19,33 @@ import (
 // one rating per line, whitespace separated. Lines starting with '#' and
 // blank lines are ignored. This is the interchange format of the cmd/ tools.
 
-// WriteText writes the matrix in the text interchange format.
+// WriteText writes the matrix in the text interchange format. Lines are
+// rendered with strconv.Append* into one reused buffer instead of per-line
+// fmt.Fprintf: hsgd-datagen writes millions of lines for the YahooMusic-
+// scale spec and fmt's reflection dominated its profile. AppendFloat with
+// bitSize 32 emits the same shortest float32 representation %g did, so the
+// format is byte-identical.
 func (m *Matrix) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, len(m.Ratings)); err != nil {
+	buf := make([]byte, 0, 64)
+	buf = strconv.AppendInt(buf, int64(m.Rows), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(m.Cols), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(len(m.Ratings)), 10)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
 	for _, r := range m.Ratings {
-		if _, err := fmt.Fprintf(bw, "%d %d %g\n", r.Row, r.Col, r.Value); err != nil {
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(r.Row), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(r.Col), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, float64(r.Value), 'g', -1, 32)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
