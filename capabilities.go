@@ -37,6 +37,10 @@ type Capabilities struct {
 	// Simulated: trains on the simulated heterogeneous system and honors
 	// TrainOptions.Sim; reported times are virtual seconds.
 	Simulated bool
+	// Heterogeneous: trains through the real two-class executor engine and
+	// honors TrainOptions.Hetero (batched workers, super-block granularity,
+	// static-only, fixed α).
+	Heterogeneous bool
 }
 
 // ErrUnsupported is the sentinel wrapped by every option-rejection error:
@@ -76,19 +80,21 @@ func validateOptions(c Capabilities, opt TrainOptions) error {
 		hint    string
 	}{
 		{!sgd.IsFixed(opt.Schedule), c.Schedules, "Schedule",
-			"non-fixed schedules need fpsgd, hogwild or sim"},
+			"non-fixed schedules need fpsgd, hetero, hogwild or sim"},
 		{opt.TargetRMSE > 0, c.EarlyStop, "TargetRMSE",
-			"early stopping needs fpsgd or sim"},
+			"early stopping needs fpsgd, hetero or sim"},
 		{opt.CheckpointPath != "", c.Checkpoint, "CheckpointPath",
-			"mid-train checkpoints need fpsgd"},
+			"mid-train checkpoints need fpsgd or hetero"},
 		{opt.Resume != nil || opt.StartEpoch != 0, c.Resume, "Resume/StartEpoch",
-			"warm-start resume needs fpsgd"},
+			"warm-start resume needs fpsgd or hetero"},
 		{opt.Params.LambdaP != opt.Params.LambdaQ, c.SplitLambda, "Params.LambdaP != Params.LambdaQ",
-			"this trainer solves with a single regulariser; set LambdaP == LambdaQ or use fpsgd"},
+			"this trainer solves with a single regulariser; set LambdaP == LambdaQ or use fpsgd/hetero"},
 		{opt.InnerSweeps != 0, c.InnerSweeps, "InnerSweeps",
 			"CCD++ inner refinement sweeps need cd"},
 		{opt.Sim != nil, c.Simulated, "Sim",
 			"simulated device configuration needs sim"},
+		{opt.Hetero != nil, c.Heterogeneous, "Hetero",
+			"heterogeneous executor configuration needs hetero"},
 	}
 	for _, chk := range checks {
 		if chk.used && !chk.capable {

@@ -13,11 +13,18 @@
 // updates/sec, checkpoints) is printed to stderr; disable with
 // -progress=false.
 //
-// The fpsgd trainer supports learning-rate schedules (-schedule), separate
-// P/Q regularisation (-lambdaP/-lambdaQ), periodic atomic checkpoints that
-// a running hsgd-serve hot-swaps (-checkpoint, -checkpoint-every), and
-// resuming an interrupted run from such a checkpoint (-resume,
-// -resume-epoch).
+// The fpsgd and hetero trainers support learning-rate schedules
+// (-schedule), separate P/Q regularisation (-lambdaP/-lambdaQ), periodic
+// atomic checkpoints that a running hsgd-serve hot-swaps (-checkpoint,
+// -checkpoint-every), and resuming an interrupted run from such a
+// checkpoint (-resume, -resume-epoch).
+//
+// -trainer hetero runs the paper's HSGD* on real hardware: CPU executors
+// plus -batched-workers throughput-optimized batched executors over the
+// nonuniform two-region layout, with the split solved online from measured
+// per-class cost models (or pinned with -alpha). -superblock overrides the
+// layout's column-band count, -static-only disables the dynamic stealing
+// phase, and the live progress line gains per-class throughput.
 //
 // The input is the text interchange format of internal/sparse ("rows cols
 // nnz" header, then "row col value" lines; ".bin" files use the binary
@@ -51,6 +58,10 @@ func main() {
 		schedln = flag.String("schedule", "fixed", "learning-rate schedule: fixed|inverse|chin|bold")
 		iters   = flag.Int("iters", 20, "training iterations (epochs)")
 		threads = flag.Int("threads", 16, "CPU threads")
+		batched = flag.Int("batched-workers", 1, "throughput-optimized batched executors (hetero trainer); CPU executors fill the rest of -threads")
+		superbk = flag.Int("superblock", 0, "column bands of the nonuniform layout (hetero trainer); 0 = the paper's nc+2·ng+1")
+		staticO = flag.Bool("static-only", false, "disable the dynamic stealing phase (hetero trainer)")
+		alpha   = flag.Float64("alpha", 0, "fixed batched-class share of the rating mass (hetero trainer); <=0 = solve online from measured throughput")
 		gpus    = flag.Int("gpus", 1, "simulated GPUs (sim trainer)")
 		workers = flag.Int("workers", 128, "GPU parallel workers (sim trainer)")
 		scale   = flag.Float64("devscale", 0.01, "device constant scale (sim trainer)")
@@ -75,6 +86,7 @@ func main() {
 		k: *k, lambda: *lambda, lambdaP: *lambdaP, lambdaQ: *lambdaQ,
 		gamma: *gamma, schedule: *schedln, iters: *iters,
 		threads: *threads, gpus: *gpus, workers: *workers, scale: *scale,
+		batchedWorkers: *batched, superblock: *superbk, staticOnly: *staticO, alpha: *alpha,
 		testPath: *testPth, out: *out,
 		checkpoint: *ckpt, checkpointEvery: *ckptN,
 		resume: *resume, resumeEpoch: *resumeE,
@@ -114,6 +126,9 @@ type config struct {
 	schedule                        string
 	iters, threads, gpus, workers   int
 	scale                           float64
+	batchedWorkers, superblock      int
+	staticOnly                      bool
+	alpha                           float64
 	testPath, out                   string
 	checkpoint                      string
 	checkpointEvery                 int
@@ -178,6 +193,14 @@ func run(ctx context.Context, path string, cfg config) error {
 			DeviceScale: cfg.scale,
 		}
 	}
+	if cfg.trainer == "hetero" {
+		opt.Hetero = &hsgd.HeteroConfig{
+			BatchedWorkers: cfg.batchedWorkers,
+			Superblock:     cfg.superblock,
+			StaticOnly:     cfg.staticOnly,
+			Alpha:          cfg.alpha,
+		}
+	}
 	if cfg.resume != "" {
 		loaded, err := hsgd.LoadFactors(cfg.resume)
 		if err != nil {
@@ -231,7 +254,8 @@ func run(ctx context.Context, path string, cfg config) error {
 }
 
 // progressLine renders the live training status on one stderr line,
-// rewritten in place per epoch.
+// rewritten in place per epoch. Heterogeneous runs append the per-class
+// throughput, steal counts, and the current split.
 func progressLine(e hsgd.ProgressEvent) {
 	if e.Kind != hsgd.ProgressEpoch {
 		return
@@ -242,6 +266,16 @@ func progressLine(e hsgd.ProgressEvent) {
 	}
 	if e.UpdatesPerSec > 0 {
 		line += fmt.Sprintf("  %.1f Mupd/s", e.UpdatesPerSec/1e6)
+	}
+	if len(e.Classes) > 0 {
+		line += fmt.Sprintf("  [α %.2f", e.SplitAlpha)
+		for _, c := range e.Classes {
+			line += fmt.Sprintf("  %s×%d %.1f Mupd/s", c.Class, c.Workers, c.UpdatesPerSec/1e6)
+			if c.Steals > 0 {
+				line += fmt.Sprintf(" (%d steals)", c.Steals)
+			}
+		}
+		line += "]"
 	}
 	if e.Checkpoints > 0 {
 		line += fmt.Sprintf("  ckpt %d", e.Checkpoints)

@@ -7,8 +7,10 @@
 //
 // Training is an interruptible, observable session behind one entry point:
 // NewTrainer returns a Trainer ("fpsgd" — the lock-striped parallel SGD
-// engine and the default — "hogwild", "als", "cd", or "sim", the paper's
-// heterogeneous CPU+GPU pipelines on a simulated machine), and
+// engine and the default — "hetero", the paper's HSGD* on real hardware
+// with CPU and batched executor classes over the nonuniform two-region
+// layout (TrainOptions.Hetero), "hogwild", "als", "cd", or "sim", the
+// paper's heterogeneous CPU+GPU pipelines on a simulated machine), and
 // Trainer.Train takes a context.Context:
 //
 //   - Cancellation/deadline is observed at safe boundaries (block claims in

@@ -243,6 +243,8 @@ func TestCapabilityMatrix(t *testing.T) {
 			func(c Capabilities) bool { return c.InnerSweeps }},
 		{"Sim", func(o *TrainOptions) { o.Sim = &SimConfig{DeviceScale: 0.0005} },
 			func(c Capabilities) bool { return c.Simulated }},
+		{"Hetero", func(o *TrainOptions) { o.Hetero = &HeteroConfig{BatchedWorkers: 1, Alpha: 0.5} },
+			func(c Capabilities) bool { return c.Heterogeneous }},
 	}
 
 	for _, name := range TrainerNames() {
@@ -297,7 +299,7 @@ func TestTrainerCancellation(t *testing.T) {
 	params.K = 16
 	params.Iters = 1 << 20 // far beyond any deadline
 
-	for _, name := range []string{"fpsgd", "hogwild", "als", "cd", "sim"} {
+	for _, name := range []string{"fpsgd", "hetero", "hogwild", "als", "cd", "sim"} {
 		t.Run(name, func(t *testing.T) {
 			tr, _ := NewTrainer(name)
 			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

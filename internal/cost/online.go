@@ -1,0 +1,143 @@
+package cost
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// OnlineSamples accumulates (size, seconds) cost measurements from a live
+// training run — the online counterpart of Algorithm 3's offline probes.
+// Executors report one sample per processed task; repeated sizes are
+// averaged, mirroring the paper's "measured multiple times to eliminate
+// noise". It is safe for concurrent use.
+type OnlineSamples struct {
+	mu     sync.Mutex
+	bySize map[int]*onlineAgg
+	totalN float64
+	totalT float64
+}
+
+type onlineAgg struct {
+	sum   float64
+	count int
+}
+
+// NewOnlineSamples returns an empty accumulator.
+func NewOnlineSamples() *OnlineSamples {
+	return &OnlineSamples{bySize: make(map[int]*onlineAgg)}
+}
+
+// Observe records one task: n ratings processed in secs seconds.
+func (s *OnlineSamples) Observe(n int, secs float64) {
+	if n <= 0 || secs <= 0 {
+		return
+	}
+	s.mu.Lock()
+	a := s.bySize[n]
+	if a == nil {
+		a = &onlineAgg{}
+		s.bySize[n] = a
+	}
+	a.sum += secs
+	a.count++
+	s.totalN += float64(n)
+	s.totalT += secs
+	s.mu.Unlock()
+}
+
+// DistinctSizes reports how many distinct task sizes have been observed —
+// the degrees of freedom available to the fits.
+func (s *OnlineSamples) DistinctSizes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bySize)
+}
+
+// OnlineModel is a cost model fitted from live measurements. Form records
+// which fit the data supported: "piecewise" (the paper's two-stage model
+// with a detected τ), "linear" (the Qilin-style A·n+B fallback), or
+// "throughput" (a single measured rate — always available once any sample
+// exists). Tau is zero unless Form is "piecewise".
+type OnlineModel struct {
+	Form string
+	Tau  float64
+	time TimeFunc
+}
+
+// Time estimates seconds for one device to process n ratings.
+func (m OnlineModel) Time(n float64) float64 { return m.time(n) }
+
+// Fit builds the best cost model the accumulated samples support,
+// degrading gracefully: the piecewise kernel model of Section V-B needs at
+// least 4 distinct sizes (τ detection), the linear model at least 2, and a
+// bare throughput estimate just one. Block-balanced grids often emit
+// near-uniform task sizes, so the fallbacks are the common case early in a
+// run; SolveAlpha only needs a monotone TimeFunc, which all three forms
+// provide. Fit reports false until at least one sample was observed.
+func (s *OnlineSamples) Fit(kind Kind) (OnlineModel, bool) {
+	s.mu.Lock()
+	sizes := make([]float64, 0, len(s.bySize))
+	for n := range s.bySize {
+		sizes = append(sizes, float64(n))
+	}
+	sort.Float64s(sizes)
+	times := make([]float64, len(sizes))
+	for i, n := range sizes {
+		a := s.bySize[int(n)]
+		times[i] = a.sum / float64(a.count)
+	}
+	totalN, totalT := s.totalN, s.totalT
+	s.mu.Unlock()
+
+	if totalN <= 0 || totalT <= 0 {
+		return OnlineModel{}, false
+	}
+	if len(sizes) >= 4 {
+		if pm, err := FitPiecewise(kind, sizes, times); err == nil && monotone(pm.Time, sizes) {
+			return OnlineModel{Form: "piecewise", Tau: pm.Tau, time: pm.Time}, true
+		}
+	}
+	if len(sizes) >= 2 {
+		if a, b, _, err := FitLinear(sizes, times); err == nil && a > 0 {
+			m := CPUModel{A: a, B: math.Max(b, 0)}
+			return OnlineModel{Form: "linear", time: m.Time}, true
+		}
+	}
+	rate := totalN / totalT
+	return OnlineModel{Form: "throughput", time: func(n float64) float64 { return n / rate }}, true
+}
+
+// monotone rejects fits that decrease anywhere over the observed size
+// range — SolveAlpha's binary search assumes non-decreasing estimates, and
+// a noisy piecewise fit on few samples can invert.
+func monotone(f TimeFunc, sizes []float64) bool {
+	prev := f(sizes[0])
+	for _, x := range sizes[1:] {
+		t := f(x)
+		if t < prev {
+			return false
+		}
+		prev = t
+	}
+	return true
+}
+
+// BreakEven returns the smallest workload (in ratings, probed on a doubling
+// grid up to max) at which the first model becomes at least as fast as the
+// second — the cost-model-derived floor for cross-class work stealing: a
+// batched executor should not steal a CPU-region block smaller than
+// BreakEven(batched, cpu, ...) because below it the pipeline's staging
+// overhead outweighs the saved CPU time. Returns max+1 when the first
+// model never catches up within the probed range.
+func BreakEven(fast, slow TimeFunc, max int) int {
+	if max < 1 {
+		return 1
+	}
+	for n := 1; n <= max; n *= 2 {
+		if fast(float64(n)) <= slow(float64(n)) {
+			return n
+		}
+	}
+	return max + 1
+}

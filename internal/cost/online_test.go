@@ -1,0 +1,109 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestOnlineFitDegradesGracefully: the fit picks the richest model the
+// sample diversity supports — throughput with one size, linear with a few,
+// piecewise (with a detected τ) once the curve is well sampled.
+func TestOnlineFitDegradesGracefully(t *testing.T) {
+	s := NewOnlineSamples()
+	if _, ok := s.Fit(KindKernel); ok {
+		t.Fatal("fit succeeded with no samples")
+	}
+
+	s.Observe(1000, 0.010)
+	m, ok := s.Fit(KindKernel)
+	if !ok || m.Form != "throughput" {
+		t.Fatalf("one size: form %q ok=%v, want throughput", m.Form, ok)
+	}
+	// 1000 ratings in 10ms → 2000 in 20ms.
+	if got := m.Time(2000); math.Abs(got-0.020) > 1e-9 {
+		t.Fatalf("throughput Time(2000) = %v, want 0.020", got)
+	}
+
+	s.Observe(2000, 0.019)
+	m, ok = s.Fit(KindKernel)
+	if !ok || m.Form != "linear" {
+		t.Fatalf("two sizes: form %q ok=%v, want linear", m.Form, ok)
+	}
+
+	// A saturating speed curve over many sizes: speed = min(n, 4000)-ish.
+	s2 := NewOnlineSamples()
+	for n := 500; n <= 64000; n *= 2 {
+		speed := 4000 * (1 - math.Exp(-float64(n)/2000))
+		s2.Observe(n, float64(n)/speed)
+	}
+	m2, ok := s2.Fit(KindKernel)
+	if !ok {
+		t.Fatal("piecewise-shaped samples did not fit")
+	}
+	if m2.Form == "piecewise" && m2.Tau <= 0 {
+		t.Fatalf("piecewise fit with tau %v", m2.Tau)
+	}
+	// Whatever the form, estimates must be positive and monotone.
+	prev := 0.0
+	for n := 500.0; n <= 128000; n *= 2 {
+		est := m2.Time(n)
+		if est <= 0 || est < prev {
+			t.Fatalf("estimate not positive/monotone at %v: %v (prev %v)", n, est, prev)
+		}
+		prev = est
+	}
+}
+
+// TestOnlineSamplesAveragesAndConcurrency: repeated sizes average, and
+// concurrent Observe calls (the executors' sink) are safe.
+func TestOnlineSamplesAveragesAndConcurrency(t *testing.T) {
+	s := NewOnlineSamples()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Observe(1000, 0.008)
+				s.Observe(1000, 0.012)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.DistinctSizes() != 1 {
+		t.Fatalf("distinct sizes %d, want 1", s.DistinctSizes())
+	}
+	m, ok := s.Fit(KindKernel)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if got := m.Time(1000); math.Abs(got-0.010) > 1e-9 {
+		t.Fatalf("averaged Time(1000) = %v, want 0.010", got)
+	}
+	// Zero/negative samples are dropped, not poison.
+	s.Observe(0, 1)
+	s.Observe(100, 0)
+	if s.DistinctSizes() != 1 {
+		t.Fatal("degenerate samples were recorded")
+	}
+}
+
+// TestBreakEven: the steal-threshold search finds the crossing of two cost
+// curves and saturates past the probe range.
+func TestBreakEven(t *testing.T) {
+	cpu := func(n float64) float64 { return n / 1000 }       // 1k ratings/s
+	bat := func(n float64) float64 { return 0.05 + n/10000 } // fast but 50ms setup
+	be := BreakEven(bat, cpu, 1<<20)
+	// Crossing: 0.05 + n/10000 <= n/1000 → n >= 55.55… → first power of two is 64.
+	if be != 64 {
+		t.Fatalf("break-even %d, want 64", be)
+	}
+	never := func(n float64) float64 { return n } // always slower
+	if be := BreakEven(never, cpu, 1024); be != 1025 {
+		t.Fatalf("never-faster break-even %d, want max+1", be)
+	}
+	if be := BreakEven(cpu, never, 0); be != 1 {
+		t.Fatalf("degenerate max break-even %d, want 1", be)
+	}
+}

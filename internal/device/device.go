@@ -1,0 +1,125 @@
+// Package device is the executor abstraction of the real heterogeneous
+// training engine: the paper's "device classes" (Section VI) realised as
+// concrete worker types the engine dispatches scheduler tasks through.
+//
+// Two classes are provided. CPU is the latency-optimized per-core executor —
+// it claims one small block at a time with exclusive row ownership and runs
+// the fused kernel directly over the block's structure-of-arrays payload
+// (the engine's original worker loop). Batched is the throughput-optimized
+// executor standing in for a cuMF_SGD-style GPU worker (Tan et al.,
+// "Faster and Cheaper: Parallelizing Large-Scale Matrix Factorization on
+// GPUs") on hardware without one: it claims whole-band super-blocks,
+// "transfers" them by packing the blocks' SoA payloads into a contiguous
+// staging buffer, and streams the fused kernel over the staged copy — with
+// the pack of the next super-block overlapping the kernel of the current
+// one through a double-buffered pipeline, the CPU analogue of the paper's
+// H2D/kernel stream overlap (Figure 8, Equation 9).
+//
+// Executors observe their own per-task cost through an optional Sink; the
+// engine feeds those measurements to internal/cost to fit per-class cost
+// models online and drive the nonuniform CPU/GPU split (α) from measured —
+// not assumed — throughput.
+package device
+
+import (
+	"time"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sched"
+	"hsgd/internal/sgd"
+)
+
+// Class identifies an executor's device class. The scheduler maps classes
+// onto its (owner, exclusive) vocabulary: CPU executors acquire exclusively,
+// Batched executors non-exclusively (their serial pipeline may pin a row
+// band across two in-flight super-blocks, like a GPU kernel stream).
+type Class string
+
+// The executor classes.
+const (
+	ClassCPU     Class = "cpu"
+	ClassBatched Class = "batched"
+)
+
+// Params is the kernel configuration one Step runs with. Gamma is read
+// fresh from the engine every step so learning-rate schedules apply to
+// pipelined work too.
+type Params struct {
+	LambdaP, LambdaQ, Gamma float32
+}
+
+// Sink receives one (class, ratings, seconds) cost sample per processed
+// task — the online counterpart of Algorithm 3's profiling probes. A nil
+// Sink is legal and means "no profiling".
+type Sink func(c Class, nnz int, seconds float64)
+
+func (s Sink) observe(c Class, nnz int, seconds float64) {
+	if s != nil {
+		s(c, nnz, seconds)
+	}
+}
+
+// Executor is one worker the engine drives: Step claims the executor's next
+// task from its scheduler and advances processing by one stage.
+//
+// Step returns false only when the scheduler had no eligible work AND the
+// executor holds nothing it could flush — the engine's contract for parking
+// the worker. An executor may retain claimed tasks across Steps
+// (pipelining); the engine calls Drain before parking at a quiescence
+// barrier or exiting, and executors must hold no scheduler locks once Drain
+// returns.
+type Executor interface {
+	// Class reports the executor's device class.
+	Class() Class
+	// Step claims and/or processes work. It must leave the factors
+	// untouched when it returns false.
+	Step(f *model.Factors, p Params) bool
+	// Drain processes and releases every task the executor still holds.
+	Drain(f *model.Factors, p Params)
+	// Held reports the tasks the executor retains between Steps. The
+	// engine refuses to let a worker run the epoch quiescence barrier
+	// while its own executor holds work — the barrier waits for zero
+	// in-flight tasks, and a holder electing itself evaluator would wait
+	// on itself forever.
+	Held() int
+}
+
+// CPU is the latency-optimized executor: one small block per Step, claimed
+// exclusively, processed in place over the block's SoA payload. It holds
+// nothing between Steps.
+type CPU struct {
+	id     int
+	sch    sched.Scheduler
+	sink   Sink
+	prefer int
+}
+
+// NewCPU returns a CPU executor acquiring as the given owner id.
+func NewCPU(id int, sch sched.Scheduler, sink Sink) *CPU {
+	return &CPU{id: id, sch: sch, sink: sink, prefer: -1}
+}
+
+// Class implements Executor.
+func (c *CPU) Class() Class { return ClassCPU }
+
+// Step implements Executor: acquire, fused kernel, release.
+func (c *CPU) Step(f *model.Factors, p Params) bool {
+	task, ok := c.sch.Acquire(c.id, c.prefer, true)
+	if !ok {
+		return false
+	}
+	c.prefer = task.RowBandKey
+	start := time.Now()
+	for _, b := range task.Blocks {
+		sgd.UpdateBlockSOA(f, b.SOA.Rows, b.SOA.Cols, b.SOA.Vals, p.LambdaP, p.LambdaQ, p.Gamma)
+	}
+	c.sink.observe(ClassCPU, task.NNZ, time.Since(start).Seconds())
+	c.sch.Release(task)
+	return true
+}
+
+// Drain implements Executor; a CPU executor never holds work across Steps.
+func (c *CPU) Drain(*model.Factors, Params) {}
+
+// Held implements Executor: always zero.
+func (c *CPU) Held() int { return 0 }

@@ -1,0 +1,172 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsgd/internal/grid"
+	"hsgd/internal/model"
+	"hsgd/internal/sched"
+	"hsgd/internal/sgd"
+	"hsgd/internal/sparse"
+)
+
+func testHetero(t *testing.T, nc, ng int, alpha float64, nnz int, seed int64) (*grid.HeteroGrid, *sched.HeteroScheduler) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.New(400, 300)
+	for i := 0; i < nnz; i++ {
+		m.Add(int32(rng.Intn(m.Rows)), int32(rng.Intn(m.Cols)), rng.Float32())
+	}
+	l, err := grid.NewHeteroLayout(nc, ng, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := grid.PartitionHetero(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg.GPU.PackSOA()
+	hg.CPU.PackSOA()
+	return hg, sched.NewHeteroScheduler(sched.NewHetero(hg, true))
+}
+
+func testFactors(rows, cols, k int, seed int64) *model.Factors {
+	return model.NewFactors(rows, cols, k, rand.New(rand.NewSource(seed)))
+}
+
+// TestBatchedKernelMatchesPerBlock: packing a super-block's blocks into one
+// contiguous staged buffer and running the fused kernel once must be
+// bitwise-identical to running the kernel block by block in task order —
+// the staging pipeline may not change the arithmetic.
+func TestBatchedKernelMatchesPerBlock(t *testing.T) {
+	_, sch := testHetero(t, 2, 1, 0.6, 8000, 1)
+	const k = 8
+	fA := testFactors(400, 300, k, 42)
+	fB := testFactors(400, 300, k, 42)
+	p := Params{LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01}
+
+	task, ok := sch.Acquire(0, -1, false)
+	if !ok {
+		t.Fatal("no super-block available")
+	}
+	// Reference: per-block fused kernel in task order on fB.
+	for _, b := range task.Blocks {
+		sgd.UpdateBlockSOA(fB, b.SOA.Rows, b.SOA.Cols, b.SOA.Vals, p.LambdaP, p.LambdaQ, p.Gamma)
+	}
+	sch.Release(task)
+
+	// Same single task through the batched pipeline on fA: one Step primes
+	// the pipeline (pack only), Drain flushes the kernel.
+	_, sch2 := testHetero(t, 2, 1, 0.6, 8000, 1)
+	b := NewBatched(0, sch2, nil)
+	if !b.Step(fA, p) {
+		t.Fatal("prime step found no work")
+	}
+	b.Drain(fA, p)
+	if b.Tasks != 1 {
+		t.Fatalf("batched processed %d tasks, want 1", b.Tasks)
+	}
+	for i := range fA.P {
+		if fA.P[i] != fB.P[i] {
+			t.Fatalf("P[%d] staged %v != per-block %v", i, fA.P[i], fB.P[i])
+		}
+	}
+	for i := range fA.Q {
+		if fA.Q[i] != fB.Q[i] {
+			t.Fatalf("Q[%d] staged %v != per-block %v", i, fA.Q[i], fB.Q[i])
+		}
+	}
+}
+
+// TestBatchedPipelineDrains: stepping a batched executor to exhaustion
+// processes every eligible super-block exactly once per quota, holds at
+// most one staged task between steps, and leaves no scheduler locks behind.
+func TestBatchedPipelineDrains(t *testing.T) {
+	hg, sch := testHetero(t, 2, 1, 0.6, 8000, 2)
+	f := testFactors(400, 300, 4, 7)
+	p := Params{LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01}
+	b := NewBatched(0, sch, nil)
+	for b.Step(f, p) {
+	}
+	b.Drain(f, p)
+	if sch.InFlight() != 0 {
+		t.Fatalf("%d tasks still in flight after drain", sch.InFlight())
+	}
+	var want int64
+	for _, blk := range hg.GPU.Blocks {
+		want += 2 * int64(blk.Size()) // epoch 1 + one epoch of lookahead
+	}
+	if b.Updates < want {
+		t.Fatalf("batched updates %d, want >= %d (GPU region, both lookahead epochs)", b.Updates, want)
+	}
+	if got := sch.Updates(); got != b.Updates {
+		t.Fatalf("scheduler credited %d updates, executor did %d", got, b.Updates)
+	}
+}
+
+// TestCPUExecutorStep: the latency class processes one block per step,
+// prefers its last row band on ties, and reports cost samples to the sink.
+func TestCPUExecutorStep(t *testing.T) {
+	_, sch := testHetero(t, 2, 1, 0.4, 6000, 3)
+	f := testFactors(400, 300, 4, 9)
+	p := Params{LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01}
+	var samples int
+	var sampledNNZ int
+	c := NewCPU(0, sch, func(cl Class, nnz int, secs float64) {
+		if cl != ClassCPU {
+			t.Errorf("sink class %q", cl)
+		}
+		if secs < 0 {
+			t.Errorf("negative cost sample %v", secs)
+		}
+		samples++
+		sampledNNZ += nnz
+	})
+	steps := 0
+	for c.Step(f, p) {
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("CPU executor found no work")
+	}
+	if samples != steps {
+		t.Fatalf("sink saw %d samples for %d steps", samples, steps)
+	}
+	if int64(sampledNNZ) != sch.Updates() {
+		t.Fatalf("sampled %d ratings, scheduler credited %d", sampledNNZ, sch.Updates())
+	}
+	if sch.InFlight() != 0 {
+		t.Fatalf("%d tasks in flight after CPU drain", sch.InFlight())
+	}
+}
+
+// TestMixedClassesCompleteEpoch: both classes stepping together (serially
+// here; the engine runs them on goroutines) settle a full epoch — every
+// nonempty block in both regions reaches the quota, with stealing closing
+// whatever the static split leaves.
+func TestMixedClassesCompleteEpoch(t *testing.T) {
+	hg, sch := testHetero(t, 2, 1, 0.5, 8000, 4)
+	f := testFactors(400, 300, 4, 11)
+	p := Params{LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01}
+	execs := []Executor{NewCPU(0, sch, nil), NewCPU(1, sch, nil), NewBatched(0, sch, nil)}
+	for progress := true; progress; {
+		progress = false
+		for _, ex := range execs {
+			if ex.Step(f, p) {
+				progress = true
+			}
+		}
+	}
+	for _, ex := range execs {
+		ex.Drain(f, p)
+	}
+	if !sch.EpochComplete() {
+		t.Fatal("epoch incomplete after both classes drained")
+	}
+	for _, b := range append(hg.CPU.Blocks, hg.GPU.Blocks...) {
+		if b.Size() > 0 && b.Updates != 2 {
+			t.Fatalf("block (%d,%d) updated %d times, want 2 (epoch + lookahead)", b.Band, b.Col, b.Updates)
+		}
+	}
+}

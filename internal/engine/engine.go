@@ -12,6 +12,13 @@
 // where a lightweight quiescence barrier drains in-flight blocks before the
 // factors are read for evaluation and checkpointing.
 //
+// The engine dispatches all work through the executor classes of
+// internal/device. Train is the homogeneous path: latency-optimized CPU
+// executors over the uniform lock-striped grid. TrainHetero (hetero.go) is
+// the paper's HSGD* on real hardware: CPU executors plus throughput-
+// optimized batched executors over the nonuniform two-region layout, with
+// the split driven by cost models fitted to live measurements.
+//
 // Checkpoints are written atomically in the internal/model HFAC format, so
 // the serving side's snapshot watcher (internal/serve.Store.Watch) can
 // hot-swap a model mid-train — the train → checkpoint → hot-swap → serve
@@ -34,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hsgd/internal/device"
 	"hsgd/internal/grid"
 	"hsgd/internal/model"
 	"hsgd/internal/progress"
@@ -102,6 +110,21 @@ type Report struct {
 	TotalUpdates int64 // ratings processed by this run
 	Checkpoints  int   // snapshots written
 	Interrupted  bool  // run was stopped by context cancellation/deadline
+
+	// Classes and SplitAlpha describe a heterogeneous run's final
+	// per-executor-class breakdown (nil/zero for the homogeneous engine).
+	Classes    []progress.ClassStat
+	SplitAlpha float64
+}
+
+// Scheduler is what the engine needs from a block scheduler beyond the
+// policy interface: a release-notification channel for parked workers and
+// the in-flight probe the quiescence barrier drains on. sched.Striped and
+// sched.HeteroScheduler both implement it.
+type Scheduler interface {
+	sched.Scheduler
+	Blocked() <-chan struct{}
+	InFlight() int
 }
 
 // LossObserver is implemented by adaptive schedules (sgd.BoldDriver): the
@@ -143,6 +166,28 @@ const blockedPoll = 200 * time.Microsecond
 // Check errors.Is(err, context.Canceled/DeadlineExceeded) to distinguish an
 // interruption from a hard failure (nil report and factors).
 func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *model.Factors, error) {
+	r, err := newRun(ctx, train, &opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, cols := grid.Rule1(opt.Threads, 0)
+	g, err := grid.Uniform(train, rows, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.PackSOA()
+	r.st = sched.NewStriped(g)
+	execs := make([]device.Executor, opt.Threads)
+	for w := range execs {
+		execs[w] = device.NewCPU(w, r.st, nil)
+	}
+	return r.execute(execs)
+}
+
+// newRun validates the options and builds the shared run state (everything
+// but the grid, scheduler and executor set, which the homogeneous and
+// heterogeneous entry points construct differently).
+func newRun(ctx context.Context, train *sparse.Matrix, opt *Options) (*run, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -150,16 +195,16 @@ func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *mo
 		opt.Threads = runtime.GOMAXPROCS(0)
 	}
 	if opt.Params.K <= 0 || opt.Params.Iters <= 0 {
-		return nil, nil, fmt.Errorf("engine: invalid params (k=%d iters=%d)", opt.Params.K, opt.Params.Iters)
+		return nil, fmt.Errorf("engine: invalid params (k=%d iters=%d)", opt.Params.K, opt.Params.Iters)
 	}
 	if train.NNZ() == 0 {
-		return nil, nil, sparse.ErrEmpty
+		return nil, sparse.ErrEmpty
 	}
 	if opt.StartEpoch < 0 || opt.StartEpoch >= opt.Params.Iters {
-		return nil, nil, fmt.Errorf("engine: StartEpoch %d outside [0,%d)", opt.StartEpoch, opt.Params.Iters)
+		return nil, fmt.Errorf("engine: StartEpoch %d outside [0,%d)", opt.StartEpoch, opt.Params.Iters)
 	}
 	if opt.TargetRMSE > 0 && opt.Test == nil {
-		return nil, nil, fmt.Errorf("engine: TargetRMSE requires a Test set to evaluate against")
+		return nil, fmt.Errorf("engine: TargetRMSE requires a Test set to evaluate against")
 	}
 	schedule := opt.Schedule
 	if schedule == nil {
@@ -168,19 +213,12 @@ func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *mo
 	f := opt.Init
 	if f != nil {
 		if f.M != train.Rows || f.N != train.Cols || f.K != opt.Params.K {
-			return nil, nil, fmt.Errorf("engine: Init factors %dx%d k=%d do not match train %dx%d k=%d",
+			return nil, fmt.Errorf("engine: Init factors %dx%d k=%d do not match train %dx%d k=%d",
 				f.M, f.N, f.K, train.Rows, train.Cols, opt.Params.K)
 		}
 	} else {
 		f = model.NewFactors(train.Rows, train.Cols, opt.Params.K, rand.New(rand.NewSource(opt.Seed)))
 	}
-	rows, cols := grid.Rule1(opt.Threads, 0)
-	g, err := grid.Uniform(train, rows, cols)
-	if err != nil {
-		return nil, nil, err
-	}
-	g.PackSOA()
-
 	ckptEvery := 0
 	if opt.CheckpointPath != "" {
 		ckptEvery = opt.CheckpointEvery
@@ -190,14 +228,13 @@ func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *mo
 	}
 	r := &run{
 		ctx:       ctx,
-		st:        sched.NewStriped(g),
 		f:         f,
-		opt:       opt,
+		opt:       *opt,
 		schedule:  schedule,
 		nnz:       int64(train.NNZ()),
 		ckptEvery: ckptEvery,
+		algorithm: "fpsgd",
 		report:    &Report{},
-		start:     time.Now(),
 	}
 	r.observer, _ = schedule.(LossObserver)
 	if r.observer != nil && opt.Test == nil {
@@ -205,21 +242,32 @@ func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *mo
 	}
 	r.cond = sync.NewCond(&r.evalMu)
 	r.epoch.Store(int64(opt.StartEpoch))
+	r.boundEpoch.Store(int64(opt.StartEpoch))
 	r.setGamma(schedule.Rate(opt.StartEpoch))
+	return r, nil
+}
 
+// execute runs one goroutine per executor and seals the report. The
+// training clock starts here — Report.Seconds covers worker time, not the
+// grid partitioning and SoA packing the entry points do first.
+func (r *run) execute(execs []device.Executor) (*Report, *model.Factors, error) {
+	r.start = time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < opt.Threads; w++ {
+	for _, ex := range execs {
 		wg.Add(1)
-		go func(worker int) {
+		go func(ex device.Executor) {
 			defer wg.Done()
-			r.worker(worker)
-		}(w)
+			r.drive(ex)
+		}(ex)
 	}
 	wg.Wait()
 
 	r.report.Seconds = time.Since(r.start).Seconds()
 	r.report.Epochs = int(r.epoch.Load())
 	r.report.TotalUpdates = r.st.Updates()
+	if r.classStats != nil {
+		r.report.Classes, r.report.SplitAlpha = r.classStats(time.Since(r.start))
+	}
 	if r.err != nil {
 		return nil, nil, fmt.Errorf("engine: checkpoint failed: %w", r.err)
 	}
@@ -229,26 +277,26 @@ func Train(ctx context.Context, train *sparse.Matrix, opt Options) (*Report, *mo
 		// the best-so-far model (it may carry mid-epoch progress past the
 		// last boundary checkpoint) before handing control back.
 		if r.ckptEvery > 0 {
-			if err := f.SaveFileAtomic(opt.CheckpointPath); err != nil {
+			if err := r.f.SaveFileAtomic(r.opt.CheckpointPath); err != nil {
 				return nil, nil, fmt.Errorf("engine: final checkpoint after cancellation: %w", err)
 			}
 			r.report.Checkpoints++
 			r.emit(progress.KindCheckpoint)
 		}
 		r.emit(progress.KindInterrupted)
-		return r.report, f, context.Cause(ctx)
+		return r.report, r.f, context.Cause(r.ctx)
 	}
 	r.emit(progress.KindDone)
-	return r.report, f, nil
+	return r.report, r.f, nil
 }
 
 // run is the state shared between worker goroutines. The hot path touches
-// only atomics and the striped scheduler; evalMu/cond exist solely for the
+// only atomics and the scheduler; evalMu/cond exist solely for the
 // epoch-boundary quiescence barrier and are never contended while workers
 // are streaming blocks.
 type run struct {
 	ctx        context.Context
-	st         *sched.Striped
+	st         Scheduler
 	f          *model.Factors
 	opt        Options
 	schedule   sgd.Schedule
@@ -256,7 +304,24 @@ type run struct {
 	lossSample *sparse.Matrix
 	nnz        int64
 	ckptEvery  int
+	algorithm  string // progress-event tag: "fpsgd" or "hetero"
 	start      time.Time
+
+	// epochHook, when set, runs under the quiescence barrier after each
+	// settled epoch — the heterogeneous path advances the scheduler's
+	// quota, refits its cost models, and repartitions here.
+	epochHook func(ep int)
+	// classStats, when set, supplies per-executor-class throughput for
+	// progress events and the final report.
+	classStats func(elapsed time.Duration) ([]progress.ClassStat, float64)
+
+	// boundBase/boundEpoch anchor the epoch-boundary update count: a
+	// repartition resets them so boundaries stay one nnz apart from the
+	// swap point even though lookahead work done on the retired grid is
+	// not carried into the new grid's quota. Atomic because workers read
+	// them on the boundary fast path while the evaluator re-anchors.
+	boundBase  atomic.Int64
+	boundEpoch atomic.Int64
 
 	gammaBits   atomic.Uint32
 	epoch       atomic.Int64 // absolute completed epochs
@@ -275,6 +340,10 @@ type run struct {
 func (r *run) gamma() float32     { return math.Float32frombits(r.gammaBits.Load()) }
 func (r *run) setGamma(g float32) { r.gammaBits.Store(math.Float32bits(g)) }
 
+func (r *run) kernelParams() device.Params {
+	return device.Params{LambdaP: r.opt.Params.LambdaP, LambdaQ: r.opt.Params.LambdaQ, Gamma: r.gamma()}
+}
+
 // emit sends one progress event with the run's current totals. Callers
 // ensure the factors are quiescent (epoch boundary or post-wait teardown).
 func (r *run) emit(kind progress.Kind) { r.emitRMSE(kind, r.report.FinalRMSE) }
@@ -289,9 +358,9 @@ func (r *run) emitRMSE(kind progress.Kind, rmse float64) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		rate = float64(updates) / secs
 	}
-	r.opt.Progress(progress.Event{
+	e := progress.Event{
 		Kind:           kind,
-		Algorithm:      "fpsgd",
+		Algorithm:      r.algorithm,
 		Epoch:          int(r.epoch.Load()),
 		TotalEpochs:    r.opt.Params.Iters,
 		RMSE:           rmse,
@@ -300,7 +369,11 @@ func (r *run) emitRMSE(kind progress.Kind, rmse float64) {
 		Elapsed:        elapsed,
 		Checkpoints:    r.report.Checkpoints,
 		CheckpointPath: r.ckptPathFor(kind),
-	})
+	}
+	if r.classStats != nil {
+		e.Classes, e.SplitAlpha = r.classStats(elapsed)
+	}
+	r.opt.Progress(e)
 }
 
 func (r *run) ckptPathFor(kind progress.Kind) string {
@@ -323,48 +396,62 @@ func (r *run) cancel() {
 	r.evalMu.Unlock()
 }
 
-// worker is the per-goroutine training loop: claim a block from the striped
-// scheduler, run the fused kernel over its SoA payload, release, and check
-// for an epoch boundary. No global lock anywhere on the path. Cancellation
-// is polled here, at the block-claim boundary, so a worker never abandons a
-// half-updated block: it finishes the claim it holds and stops before
-// taking the next one.
-func (r *run) worker(id int) {
-	prefer := -1
+// drive is the per-goroutine loop around one executor: step the executor
+// (claim + process + release for CPU, one pipeline stage for batched), then
+// check for an epoch boundary. No global lock anywhere on the path.
+// Cancellation is polled at the step boundary, so a worker never abandons a
+// half-updated block: it finishes (drains) what it holds and stops before
+// taking more. Pipelined executors flush everything they hold before
+// parking at a barrier, so the quiescence wait below always terminates.
+func (r *run) drive(ex device.Executor) {
 	for {
 		if r.ctx.Err() != nil {
 			r.cancel()
 		}
 		if r.done.Load() {
+			r.finish(ex)
 			return
 		}
 		if r.paused.Load() {
+			r.finish(ex)
 			r.waitResume()
 			continue
 		}
-		// active must cover the whole acquire-to-release window so the
-		// barrier cannot observe zero while this worker holds a block.
+		// active must cover the whole step so the barrier cannot observe
+		// zero while this worker is touching factors or scheduler locks.
 		r.active.Add(1)
 		if r.paused.Load() || r.done.Load() {
 			r.exitActive()
 			continue
 		}
-		task, ok := r.st.Acquire(id, prefer, true)
+		ok := ex.Step(r.f, r.kernelParams())
+		r.exitActive()
 		if !ok {
-			r.exitActive()
+			// No eligible work can mean a quota scheduler drained right at
+			// an epoch boundary; try to settle it (Step returned false, so
+			// this executor holds nothing) before parking.
+			r.maybeEvaluate()
 			r.awaitWork()
 			continue
 		}
-		prefer = task.RowBandKey
-		gamma := r.gamma()
-		for _, b := range task.Blocks {
-			sgd.UpdateBlockSOA(r.f, b.SOA.Rows, b.SOA.Cols, b.SOA.Vals,
-				r.opt.Params.LambdaP, r.opt.Params.LambdaQ, gamma)
+		// Only an empty-handed worker may elect itself evaluator: the
+		// barrier drains every in-flight task, and a pipelined executor
+		// that still holds one would wait on itself. Someone else's next
+		// release — or this executor's own flush once the scheduler runs
+		// dry — crosses the boundary instead.
+		if ex.Held() == 0 {
+			r.maybeEvaluate()
 		}
-		r.st.Release(task)
-		r.exitActive()
-		r.maybeEvaluate()
 	}
+}
+
+// finish drains the executor's held work inside an active window, so the
+// barrier (which waits for active==0 AND InFlight()==0) sees the drain
+// complete and is woken by exitActive.
+func (r *run) finish(ex device.Executor) {
+	r.active.Add(1)
+	ex.Drain(r.f, r.kernelParams())
+	r.exitActive()
 }
 
 // exitActive decrements the in-flight count and, when a quiescence is
@@ -399,51 +486,83 @@ func (r *run) waitResume() {
 }
 
 // boundary returns the update count at which the next epoch completes,
-// relative to this run's own updates (a resumed run starts from zero).
+// anchored at the last repartition point (boundBase/boundEpoch; a plain run
+// anchors at zero and StartEpoch, so a resumed run starts from zero).
 func (r *run) boundary() int64 {
-	return (r.epoch.Load() + 1 - int64(r.opt.StartEpoch)) * r.nnz
+	return r.boundBase.Load() + (r.epoch.Load()+1-r.boundEpoch.Load())*r.nnz
 }
 
-// maybeEvaluate runs the epoch boundary if this worker's release crossed it:
-// elect a single evaluator, quiesce every in-flight block, then evaluate,
-// observe, checkpoint, and advance the schedule with exclusive access to the
+// maybeEvaluate runs the epoch boundary if a release crossed it: elect a
+// single evaluator, quiesce every in-flight block, then evaluate, observe,
+// checkpoint, and advance the schedule with exclusive access to the
 // factors.
+//
+// The outer loop closes a lost-wakeup race: a worker whose crossing
+// release arrives while the previous evaluator is past its settle loop but
+// has not yet released the election loses the CAS and returns. Under the
+// free-running striped scheduler a later release always retries, but a
+// quota scheduler can run dry immediately after — so the winner re-checks
+// the boundary after releasing the election and settles anything that
+// slipped in.
 func (r *run) maybeEvaluate() {
-	if r.st.Updates() < r.boundary() {
-		return
-	}
-	if !r.evaluating.CompareAndSwap(false, true) {
-		return // another worker is already on it
-	}
-	r.paused.Store(true)
-	r.evalMu.Lock()
-	for r.active.Load() > 0 {
-		r.cond.Wait()
-	}
-	if held := r.st.InFlight(); held != 0 {
-		panic(fmt.Sprintf("engine: quiescence barrier violated: %d blocks held at epoch boundary", held))
-	}
-	// The quiescence barrier observes cancellation too: a context that
-	// fired while workers drained stops the run here instead of settling
-	// further epochs.
-	if r.ctx.Err() != nil {
-		if r.done.CompareAndSwap(false, true) {
-			r.interrupted.Store(true)
+	for {
+		if r.done.Load() || r.st.Updates() < r.boundary() {
+			return
 		}
+		if !r.evaluating.CompareAndSwap(false, true) {
+			return // another worker is on it (and re-checks after finishing)
+		}
+		r.paused.Store(true)
+		r.evalMu.Lock()
+		// Pipelined executors may hold claimed tasks between steps with no
+		// active window open, so quiescence is active==0 AND nothing in
+		// flight: every holder observes paused, drains inside an active
+		// window, and its exitActive re-wakes this wait. A holder with no
+		// active window is in its loop-control code and must start draining
+		// within one step, so a long active==0/InFlight>0 stall can only be
+		// a scheduler lock leak — keep that case a loud panic (the old
+		// barrier assertion) instead of a silent hang.
+		stall := 0
+		for {
+			a, held := r.active.Load(), r.st.InFlight()
+			if a == 0 && held == 0 {
+				break
+			}
+			if a > 0 {
+				r.cond.Wait() // exitActive re-wakes when the count drains
+				stall = 0
+				continue
+			}
+			r.evalMu.Unlock()
+			time.Sleep(blockedPoll)
+			r.evalMu.Lock()
+			if stall++; time.Duration(stall)*blockedPoll > 5*time.Second {
+				panic(fmt.Sprintf("engine: quiescence barrier violated: %d tasks held with no active worker", held))
+			}
+		}
+		// The quiescence barrier observes cancellation too: a context that
+		// fired while workers drained stops the run here instead of
+		// settling further epochs.
+		if r.ctx.Err() != nil {
+			if r.done.CompareAndSwap(false, true) {
+				r.interrupted.Store(true)
+			}
+		}
+		// The boundary may have been crossed more than once by large
+		// releases; settle every completed epoch before resuming.
+		for !r.done.Load() && r.st.Updates() >= r.boundary() {
+			r.finishEpoch()
+		}
+		r.paused.Store(false)
+		r.cond.Broadcast()
+		r.evalMu.Unlock()
+		r.evaluating.Store(false)
 	}
-	// The boundary may have been crossed more than once by large releases;
-	// settle every completed epoch before resuming.
-	for !r.done.Load() && r.st.Updates() >= r.boundary() {
-		r.finishEpoch()
-	}
-	r.paused.Store(false)
-	r.cond.Broadcast()
-	r.evalMu.Unlock()
-	r.evaluating.Store(false)
 }
 
 // finishEpoch runs one quiesced epoch boundary: evaluate, feed the observer,
-// checkpoint, stop or advance the learning rate.
+// checkpoint, stop or advance the learning rate, then hand the boundary to
+// the scheduler hook (quota advance, cost-model refit, repartition).
 func (r *run) finishEpoch() {
 	ep := int(r.epoch.Add(1))
 	var rmse float64
@@ -484,4 +603,7 @@ func (r *run) finishEpoch() {
 	}
 	r.emitRMSE(progress.KindEpoch, rmse)
 	r.setGamma(r.schedule.Rate(ep))
+	if r.epochHook != nil && !r.done.Load() {
+		r.epochHook(ep)
+	}
 }

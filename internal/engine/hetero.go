@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"hsgd/internal/cost"
+	"hsgd/internal/device"
+	"hsgd/internal/grid"
+	"hsgd/internal/model"
+	"hsgd/internal/progress"
+	"hsgd/internal/sched"
+	"hsgd/internal/sparse"
+)
+
+// HeteroOptions configures the heterogeneous executor engine.
+type HeteroOptions struct {
+	Options
+
+	// BatchedWorkers is the number of throughput-optimized batched
+	// executors (the GPU stand-ins); <1 means 1. CPU executors fill the
+	// rest of the Options.Threads worker budget (at least one), so a
+	// hetero run at Threads=T and the striped engine at Threads=T spend
+	// the same number of worker goroutines.
+	BatchedWorkers int
+
+	// Superblock overrides the column-band count of the nonuniform layout
+	// (the super-block granularity knob); values at or below the paper's
+	// nc+2·ng+1 floor (and 0) keep the default.
+	Superblock int
+
+	// StaticOnly disables the dynamic work-stealing phase — the HSGD*-M
+	// ablation on real hardware.
+	StaticOnly bool
+
+	// Alpha fixes the fraction of the rating mass assigned to the batched
+	// class. <=0 (the default) starts from an equal-speed split and lets
+	// the online cost models drive it: executors report per-task cost
+	// samples, the engine fits per-class models over the first epochs
+	// (piecewise with a detected τ when the sizes support it), solves
+	// Equation 8 for α, and repartitions at epoch boundaries until the
+	// profiling window closes. A positive Alpha skips all repartitioning —
+	// the deterministic escape hatch.
+	Alpha float64
+}
+
+const (
+	// profileEpochs is the online profiling window: boundaries at which the
+	// cost models are refitted and the split may be repartitioned.
+	profileEpochs = 3
+	// repartitionDelta is the minimum |Δα| worth rebuilding the grid for —
+	// below it the O(nnz) repartition outweighs the balance gain.
+	repartitionDelta = 0.04
+	// alphaMin/alphaMax keep both regions non-degenerate regardless of how
+	// lopsided the measured speeds are; the dynamic phase absorbs the rest.
+	alphaMin = 0.02
+	alphaMax = 0.98
+)
+
+// TrainHetero runs the paper's HSGD* on real hardware: CPU executors over
+// the nonuniform layout's CPU region and batched executors streaming
+// whole-band super-blocks from the GPU region, scheduled by the adapted
+// two-region Hetero policy with one epoch of lookahead and (unless
+// StaticOnly) dynamic cross-class stealing. The α split starts from an
+// equal-speed guess and is re-solved from measured per-class cost models at
+// the first epoch boundaries (see HeteroOptions.Alpha).
+//
+// Interruption, checkpointing, schedules, early stop and resume behave
+// exactly as in Train.
+func TrainHetero(ctx context.Context, train *sparse.Matrix, opt HeteroOptions) (*Report, *model.Factors, error) {
+	r, err := newRun(ctx, train, &opt.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	nb := opt.BatchedWorkers
+	if nb < 1 {
+		nb = 1
+	}
+	nc := opt.Options.Threads - nb
+	if nc < 1 {
+		nc = 1
+	}
+	hr := &heteroRun{
+		train:      train,
+		nc:         nc,
+		nb:         nb,
+		superblock: opt.Superblock,
+		dynamic:    !opt.StaticOnly,
+		adaptive:   opt.Alpha <= 0,
+		cpuSamples: cost.NewOnlineSamples(),
+		batSamples: cost.NewOnlineSamples(),
+	}
+	alpha := opt.Alpha
+	if hr.adaptive {
+		// Equal-speed prior: the profiling window corrects it from
+		// measurements within the first boundaries.
+		alpha = float64(nb) / float64(nb+nc)
+	}
+	h, err := hr.build(clampAlpha(alpha))
+	if err != nil {
+		return nil, nil, err
+	}
+	hr.sch = sched.NewHeteroScheduler(h)
+	hr.run = r
+	r.st = hr.sch
+	r.algorithm = "hetero"
+	r.epochHook = hr.boundary
+	r.classStats = hr.stats
+
+	sink := func(c device.Class, nnz int, secs float64) {
+		if c == device.ClassCPU {
+			hr.cpuSamples.Observe(nnz, secs)
+		} else {
+			hr.batSamples.Observe(nnz, secs)
+		}
+	}
+	execs := make([]device.Executor, 0, nc+nb)
+	for w := 0; w < nc; w++ {
+		execs = append(execs, device.NewCPU(w, hr.sch, sink))
+	}
+	for g := 0; g < nb; g++ {
+		execs = append(execs, device.NewBatched(g, hr.sch, sink))
+	}
+	return r.execute(execs)
+}
+
+// heteroRun is the heterogeneous path's extra state around the shared run:
+// the live partition, the online cost samples, and the fitted models.
+type heteroRun struct {
+	train      *sparse.Matrix
+	run        *run
+	sch        *sched.HeteroScheduler
+	nc, nb     int
+	superblock int
+	dynamic    bool
+	adaptive   bool
+
+	cpuSamples *cost.OnlineSamples
+	batSamples *cost.OnlineSamples
+
+	mu         sync.Mutex // guards alpha/models/settled against stats readers
+	alpha      float64
+	cpuModel   *cost.OnlineModel
+	batModel   *cost.OnlineModel
+	settled    int // boundaries handled so far (the profiling-window clock)
+	reparts    int
+	lastHetero *sched.Hetero
+}
+
+func clampAlpha(a float64) float64 {
+	if a < alphaMin {
+		return alphaMin
+	}
+	if a > alphaMax {
+		return alphaMax
+	}
+	return a
+}
+
+// build partitions the training matrix at the given split and wraps it in a
+// fresh Hetero policy, with steal thresholds derived from the current cost
+// models (zero — filters off — until the first fit lands).
+func (hr *heteroRun) build(alpha float64) (*sched.Hetero, error) {
+	layout, err := grid.NewHeteroLayout(hr.nc, hr.nb, alpha)
+	if err != nil {
+		return nil, err
+	}
+	if hr.superblock > 0 {
+		layout = layout.WithCols(hr.superblock)
+	}
+	hg, err := grid.PartitionHetero(hr.train, layout)
+	if err != nil {
+		return nil, err
+	}
+	hg.GPU.PackSOA()
+	hg.CPU.PackSOA()
+	h := sched.NewHetero(hg, hr.dynamic)
+	hr.alpha = alpha
+	hr.lastHetero = h
+	hr.applyThresholds(h, hg)
+	return h, nil
+}
+
+// applyThresholds derives the dynamic phase's break-even filters from the
+// fitted cost models (Section VI-A: steals below the models' break-even
+// point lengthen the epoch tail instead of shortening it).
+func (hr *heteroRun) applyThresholds(h *sched.Hetero, hg *grid.HeteroGrid) {
+	if hr.cpuModel == nil || hr.batModel == nil {
+		return
+	}
+	tc, tb := hr.cpuModel.Time, hr.batModel.Time
+	nnz := hr.train.NNZ()
+
+	// A batched steal must beat the CPU on the stolen block's size.
+	h.MinGPUSteal = cost.BreakEven(tb, tc, nnz)
+
+	// CPU threads join the GPU region only while it holds more eligible
+	// work than the batched class drains in the time one CPU thread needs
+	// for one sub-block — otherwise the "help" just fragments super-blocks.
+	layout := hg.Layout
+	if gpuBlocks := layout.GPURows * layout.SubRows * layout.Cols; gpuBlocks > 0 && hg.GPUNNZ > 0 {
+		avgSub := float64(hg.GPUNNZ) / float64(gpuBlocks)
+		avgSuper := avgSub * float64(layout.SubRows)
+		if bt := tb(avgSuper); bt > 0 {
+			batRate := avgSuper / bt
+			h.MinCPUStealRemaining = int64(batRate * tc(avgSub))
+		}
+	}
+
+	// A batched steal holds a CPU-region row band for its whole span; it
+	// only pays while the CPU class cannot drain its own region faster.
+	if cpuBlocks := layout.CPURows * layout.Cols; cpuBlocks > 0 && hg.CPUNNZ > 0 {
+		avgBlk := float64(hg.CPUNNZ) / float64(cpuBlocks)
+		if ct := tc(avgBlk); ct > 0 {
+			cpuRate := float64(hr.nc) * avgBlk / ct
+			h.MinGPUStealRemaining = int64(cpuRate * tb(4*avgBlk))
+		}
+	}
+
+	// Bound concurrent CPU thieves to the sub-row fan-out one band offers,
+	// so stolen sub-blocks cannot starve the batched class of columns.
+	h.MaxCPUThieves = layout.SubRows * layout.GPURows
+}
+
+// boundary is the engine's per-epoch hook, run under the quiescence
+// barrier: refit the cost models and re-solve α inside the profiling
+// window (repartitioning when the solution moved), otherwise just open the
+// next epoch's quota.
+func (hr *heteroRun) boundary(ep int) {
+	if hr.adaptive && hr.profiling() {
+		if hr.refit(ep) {
+			return // fresh scheduler generation: its quota starts open
+		}
+	}
+	hr.sch.AdvanceEpoch()
+}
+
+func (hr *heteroRun) profiling() bool {
+	hr.mu.Lock()
+	defer hr.mu.Unlock()
+	hr.settled++
+	return hr.settled <= profileEpochs
+}
+
+// refit fits both classes' models from the run's samples, solves Equation 8
+// for α, and swaps in a repartitioned scheduler when the split moved by
+// more than repartitionDelta. It reports whether a swap happened.
+func (hr *heteroRun) refit(ep int) bool {
+	cpuM, okC := hr.cpuSamples.Fit(cost.KindKernel)
+	batM, okB := hr.batSamples.Fit(cost.KindKernel)
+	if !okC || !okB {
+		return false // a class has not processed anything measurable yet
+	}
+	hr.mu.Lock()
+	hr.cpuModel, hr.batModel = &cpuM, &batM
+	prev := hr.alpha
+	hr.mu.Unlock()
+
+	alpha := clampAlpha(cost.SolveAlpha(batM.Time, cpuM.Time, float64(hr.train.NNZ()), hr.nc, hr.nb))
+	delta := alpha - prev
+	if delta < 0 {
+		delta = -delta
+	}
+	if delta <= repartitionDelta {
+		// Split holds; refresh the steal thresholds in place (the workers
+		// are quiesced under the barrier, and Tune takes the adapter lock).
+		var tmp sched.Hetero
+		hr.applyThresholds(&tmp, hr.lastHetero.HG)
+		hr.sch.Tune(tmp.MinGPUSteal, tmp.MinCPUStealRemaining, tmp.MinGPUStealRemaining, tmp.MaxCPUThieves)
+		return false
+	}
+	h, err := hr.build(alpha)
+	if err != nil {
+		// Degenerate split on this dataset; keep the current partition.
+		return false
+	}
+	hr.sch.Swap(h)
+	hr.mu.Lock()
+	hr.reparts++
+	hr.mu.Unlock()
+	// Re-anchor the epoch boundary at the swap point: the new grid's quota
+	// starts at zero, so the next boundary is exactly one epoch of updates
+	// away (lookahead work done on the retired grid stays in the factors
+	// but is not carried into the new quota).
+	hr.run.boundBase.Store(hr.run.st.Updates())
+	hr.run.boundEpoch.Store(int64(ep))
+	return true
+}
+
+// stats implements the run's classStats hook: per-executor-class
+// throughput, steal counts, and the current split for progress events,
+// /statsz and the final report.
+func (hr *heteroRun) stats(elapsed time.Duration) ([]progress.ClassStat, float64) {
+	s := hr.sch.Stats()
+	secs := elapsed.Seconds()
+	rate := func(n int64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		return float64(n) / secs
+	}
+	hr.mu.Lock()
+	alpha := hr.alpha
+	hr.mu.Unlock()
+	return []progress.ClassStat{
+		{Class: string(device.ClassCPU), Workers: hr.nc, Updates: s.CPUUpdates,
+			UpdatesPerSec: rate(s.CPUUpdates), Steals: s.StolenByCPU},
+		{Class: string(device.ClassBatched), Workers: hr.nb, Updates: s.BatchedUpdates,
+			UpdatesPerSec: rate(s.BatchedUpdates), Steals: s.StolenByGPU},
+	}, alpha
+}

@@ -49,6 +49,20 @@ func NewHeteroLayout(nc, ng int, alpha float64) (HeteroLayout, error) {
 	}, nil
 }
 
+// WithCols overrides the layout's column-band count — the super-block
+// granularity knob of the real engine's batched executors: each
+// static-phase super-block is one GPU row band × one column band, so more
+// columns mean smaller staged batches (finer pipeline interleaving, less
+// work discarded at repartition) at the price of more scheduling round
+// trips. Values at or below the paper's nc+2·ng+1 floor are clamped to it,
+// preserving the spare-column guarantee of Section VI.
+func (l HeteroLayout) WithCols(cols int) HeteroLayout {
+	if cols > l.Cols {
+		l.Cols = cols
+	}
+	return l
+}
+
 // HeteroGrid is the partitioned matrix: a GPU grid at sub-row granularity
 // and a CPU grid, sharing a single set of column boundaries so that
 // cross-region conflicts remain detectable by column band index.

@@ -60,6 +60,25 @@ type Event struct {
 	// CheckpointPath is set on KindCheckpoint events.
 	Checkpoints    int
 	CheckpointPath string
+
+	// Classes breaks TotalUpdates down per executor class for
+	// heterogeneous runs (nil for single-class trainers), and SplitAlpha
+	// is the current nonuniform split: the fraction of the rating mass
+	// owned by the throughput (batched) class.
+	Classes    []ClassStat
+	SplitAlpha float64
+}
+
+// ClassStat is one executor class's share of a heterogeneous training run.
+// The JSON tags serve the bench reports that embed it verbatim.
+type ClassStat struct {
+	Class         string  `json:"class"`   // "cpu" | "batched"
+	Workers       int     `json:"workers"` // executors of this class
+	Updates       int64   `json:"updates"` // ratings processed by the class
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// Steals counts tasks this class took from the other class's region
+	// during the dynamic phase.
+	Steals int64 `json:"steals"`
 }
 
 // Func receives progress events. A nil Func is always legal and means "no

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// HeteroStats is a point-in-time snapshot of an adapted Hetero scheduler's
+// per-class accounting, cumulative across repartition swaps.
+type HeteroStats struct {
+	CPUUpdates     int64 // ratings processed by exclusive (CPU-class) owners
+	BatchedUpdates int64 // ratings processed by non-exclusive (batched-class) owners
+	StolenByCPU    int64 // GPU-region sub-block tasks taken by CPU-class owners
+	StolenByGPU    int64 // CPU-region row-batch tasks taken by batched-class owners
+	SuperTasks     int64 // static-phase super-blocks issued
+	SubTasks       int64 // sub-row tasks issued
+}
+
+// HeteroScheduler adapts the two-region Hetero policy behind the engine's
+// Scheduler interface so the real wall-clock engine can run HSGD* on live
+// hardware: device classes map onto the (owner, exclusive) vocabulary —
+// exclusive acquires route to the CPU region (AcquireCPU), non-exclusive
+// ones to the GPU-side path (AcquireGPU), with Rule 1's "no second steal
+// while one is in flight" tracked per owner.
+//
+// Hetero itself is single-threaded by design (the simulator serializes
+// events); the adapter serializes concurrent engine workers with one mutex.
+// That is acceptable where Striped needs lock-free striping: the
+// heterogeneous layout hands out far fewer, far larger tasks (whole-band
+// super-blocks on the batched side), so the critical section is cold
+// relative to kernel time.
+//
+// The adapter owns the epoch-quota lifecycle (AdvanceEpoch under the
+// engine's quiescence barrier) and survives mid-run repartitioning: Swap
+// replaces the inner Hetero (new grid, fresh quota) while Updates and the
+// per-class counters carry across generations.
+type HeteroScheduler struct {
+	mu sync.Mutex
+	h  *Hetero
+
+	// stolenHeld tracks, per non-exclusive owner, the stolen CPU-region
+	// tasks currently in flight — Rule 1 forbids a batched executor from
+	// pipelining a second steal while one is unfinished.
+	stolenHeld map[int]int
+
+	inFlight atomic.Int64
+	total    atomic.Int64 // ratings processed, cumulative across Swaps
+
+	// Per-class totals and fold-in of swapped-out generations' counters.
+	cpuUpd, batUpd                     atomic.Int64
+	carriedCPUSteal, carriedGPUSteal   int64
+	carriedSuperTasks, carriedSubTasks int64
+
+	// notify wakes one blocked worker per release or quota change, like
+	// Striped.Blocked: capacity 1, waiters pair it with a poll timeout.
+	notify chan struct{}
+}
+
+// NewHeteroScheduler wraps a Hetero policy for concurrent engine use.
+func NewHeteroScheduler(h *Hetero) *HeteroScheduler {
+	return &HeteroScheduler{
+		h:          h,
+		stolenHeld: make(map[int]int),
+		notify:     make(chan struct{}, 1),
+	}
+}
+
+// Acquire implements Scheduler. Exclusive owners are CPU-class workers and
+// draw from the CPU region (stealing GPU-region sub-blocks in the dynamic
+// phase); non-exclusive owners are batched-class executors and draw
+// super-blocks from the GPU region (stealing CPU-region row batches).
+func (a *HeteroScheduler) Acquire(owner, preferBand int, exclusive bool) (*Task, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var t *Task
+	var ok bool
+	if exclusive {
+		t, ok = a.h.AcquireCPU(owner)
+	} else {
+		t, ok = a.h.AcquireGPU(owner, a.stolenHeld[owner] == 0)
+		if ok && t.Stolen {
+			a.stolenHeld[owner]++
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	t.owner = owner
+	t.exclusive = exclusive
+	a.inFlight.Add(1)
+	return t, true
+}
+
+// Release implements Scheduler.
+func (a *HeteroScheduler) Release(t *Task) {
+	a.mu.Lock()
+	a.h.Release(t)
+	if !t.exclusive && t.Stolen {
+		a.stolenHeld[t.owner]--
+	}
+	a.mu.Unlock()
+	if t.exclusive {
+		a.cpuUpd.Add(int64(t.NNZ))
+	} else {
+		a.batUpd.Add(int64(t.NNZ))
+	}
+	a.total.Add(int64(t.NNZ))
+	a.inFlight.Add(-1)
+	a.wake()
+}
+
+// Updates implements Scheduler: ratings processed over released tasks,
+// cumulative across repartition swaps.
+func (a *HeteroScheduler) Updates() int64 { return a.total.Load() }
+
+// Blocked returns the channel a worker waits on after a failed Acquire; it
+// coalesces wake-ups, so waiters must pair it with a timeout.
+func (a *HeteroScheduler) Blocked() <-chan struct{} { return a.notify }
+
+// InFlight counts tasks currently held — zero exactly when no worker holds
+// scheduler locks. The engine's quiescence barrier drains on it.
+func (a *HeteroScheduler) InFlight() int { return int(a.inFlight.Load()) }
+
+// AdvanceEpoch opens the next epoch's quota. Callers quiesce workers first
+// (the engine runs it under the epoch barrier).
+func (a *HeteroScheduler) AdvanceEpoch() {
+	a.mu.Lock()
+	a.h.AdvanceEpoch()
+	a.mu.Unlock()
+	a.wake()
+}
+
+// EpochComplete reports whether every nonempty block reached the current
+// epoch's quota.
+func (a *HeteroScheduler) EpochComplete() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.h.EpochComplete()
+}
+
+// Swap replaces the inner Hetero with a freshly partitioned one (the
+// engine's cost-model repartition at an epoch boundary). Callers must have
+// quiesced every worker: nothing may be in flight. Cumulative counters
+// carry over; the new scheduler starts at its own epoch 1 with a fresh
+// quota.
+func (a *HeteroScheduler) Swap(h *Hetero) {
+	a.mu.Lock()
+	a.carriedCPUSteal += a.h.StolenByCPU
+	a.carriedGPUSteal += a.h.StolenByGPU
+	a.carriedSuperTasks += a.h.SuperTasks
+	a.carriedSubTasks += a.h.SubTasks
+	a.h = h
+	clear(a.stolenHeld)
+	a.mu.Unlock()
+	a.wake()
+}
+
+// Tune updates the dynamic-phase steal filters in place — the engine's
+// cost-model refresh at epoch boundaries when the split itself has not
+// moved. Callers quiesce workers first, so no stolen task is in flight
+// while the thief cap changes.
+func (a *HeteroScheduler) Tune(minGPUSteal int, minCPURemaining, minGPURemaining int64, maxCPUThieves int) {
+	a.mu.Lock()
+	a.h.MinGPUSteal = minGPUSteal
+	a.h.MinCPUStealRemaining = minCPURemaining
+	a.h.MinGPUStealRemaining = minGPURemaining
+	a.h.MaxCPUThieves = maxCPUThieves
+	a.mu.Unlock()
+}
+
+// Stats snapshots the per-class accounting.
+func (a *HeteroScheduler) Stats() HeteroStats {
+	a.mu.Lock()
+	s := HeteroStats{
+		StolenByCPU: a.carriedCPUSteal + a.h.StolenByCPU,
+		StolenByGPU: a.carriedGPUSteal + a.h.StolenByGPU,
+		SuperTasks:  a.carriedSuperTasks + a.h.SuperTasks,
+		SubTasks:    a.carriedSubTasks + a.h.SubTasks,
+	}
+	a.mu.Unlock()
+	s.CPUUpdates = a.cpuUpd.Load()
+	s.BatchedUpdates = a.batUpd.Load()
+	return s
+}
+
+func (a *HeteroScheduler) wake() {
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+}

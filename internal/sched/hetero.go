@@ -16,7 +16,12 @@ const free = -1
 // instead of stalling at a barrier, bounding update skew to one epoch.
 const lookahead = 1
 
-// Hetero is the HSGD* scheduler of Section VI.
+// Hetero is the HSGD* scheduler of Section VI. It serves two hosts: the
+// simulator's virtual-clock pipelines drive it directly (core.Train), and
+// the real wall-clock engine drives it through the HeteroScheduler adapter,
+// with internal/device's batched executors playing the GPU role — "GPU"
+// below means whichever throughput-class worker holds the non-exclusive
+// side of the layout.
 //
 // Static phase: each GPU g owns GPU-region row band g and walks it column by
 // column in whole-band super-blocks. Because its kernel stream serializes
@@ -81,7 +86,12 @@ type Hetero struct {
 	// band opens up at sub-row granularity and CPU threads can join
 	// (Section VI-A's static→dynamic transition).
 	dynamicGPU bool
-	colBusy    []bool
+	// cpuDone caches cpuRegionDone for the current epoch: the predicate is
+	// monotone (update counts only grow), and caching it keeps the steal
+	// path's per-miss cost from re-scanning the whole CPU region — which
+	// matters on the engine, where misses poll under one adapter mutex.
+	cpuDone bool
+	colBusy []bool
 
 	cpuRowBusy []bool
 	// bandOwner/bandRef track in-flight super-blocks: a band is owned by one
@@ -136,7 +146,6 @@ func (s *Hetero) AcquireCPU(worker int) (*Task, bool) {
 		s.dynamicGPU = true
 		if t, ok := s.acquireGPUSub(cpuBandKeyBase + worker); ok {
 			t.Stolen = true
-			t.stolen = true
 			s.StolenByCPU++
 			s.cpuThieves++
 			return t, true
@@ -159,12 +168,18 @@ func (s *Hetero) gpuRemaining() int64 {
 
 // cpuRegionDone reports whether the CPU region has no block below quota —
 // the trigger for the dynamic phase ("one of them finishes its own tasks").
+// Once true it stays true for the rest of the epoch, so the scan runs at
+// most once per (miss, epoch) transition.
 func (s *Hetero) cpuRegionDone() bool {
+	if s.cpuDone {
+		return true
+	}
 	for _, b := range s.HG.CPU.Blocks {
 		if b.Size() > 0 && b.Updates < s.epoch {
 			return false
 		}
 	}
+	s.cpuDone = true
 	return true
 }
 
@@ -195,7 +210,6 @@ func (s *Hetero) AcquireGPU(gpuID int, allowSteal bool) (*Task, bool) {
 	if s.Dynamic && allowSteal && s.cpuRemaining() >= s.MinGPUStealRemaining {
 		if t, ok := s.acquireCPURowBatch(); ok {
 			t.Stolen = true
-			t.stolen = true
 			s.StolenByGPU++
 			return t, true
 		}
@@ -481,7 +495,7 @@ func (s *Hetero) Release(t *Task) {
 		for _, r := range t.rows {
 			s.subOwner[r] = free
 		}
-		if t.stolen {
+		if t.Stolen {
 			s.cpuThieves--
 		}
 	default:
@@ -514,6 +528,7 @@ func (s *Hetero) EpochComplete() bool {
 func (s *Hetero) AdvanceEpoch() {
 	s.epoch++
 	s.dynamicGPU = false
+	s.cpuDone = false
 }
 
 // Blocks returns all nonempty blocks of both regions (for update-skew

@@ -3,14 +3,18 @@
 // sharing a row band or a column band must never be processed concurrently
 // (Section III-A).
 //
-// Two schedulers are provided. Uniform is the FPSGD policy used by
+// Three schedulers are provided. Uniform is the FPSGD policy used by
 // CPU-Only, GPU-Only and the HSGD baseline: all workers draw from one grid,
-// always taking the free block with the fewest updates. Hetero is the HSGD*
-// policy of Section VI: the grid is split into a CPU region and a GPU
-// region sized by the cost model's α, workers draw from their own region
-// under a per-epoch quota, and when a device class drains its region it
-// enters the dynamic phase and steals from the other region (work
-// stealing, Blumofe & Leiserson [14]).
+// always taking the free block with the fewest updates. Striped is the same
+// policy with internally-synchronized lock-striped acquisition for the
+// wall-clock engine. Hetero is the HSGD* policy of Section VI: the grid is
+// split into a CPU region and a GPU region sized by the cost model's α,
+// workers draw from their own region under a per-epoch quota, and when a
+// device class drains its region it enters the dynamic phase and steals
+// from the other region (work stealing, Blumofe & Leiserson [14]). Hetero
+// runs both under the simulator's virtual clock and — through the
+// HeteroScheduler adapter — on the real engine's executor classes
+// (internal/device).
 package sched
 
 import (
@@ -23,10 +27,11 @@ import (
 // count the ratings processed so far. Uniform implements it for the FPSGD
 // policy (callers serialize Acquire/Release externally); Striped implements
 // it with internally-synchronized lock-striped acquisition so workers call
-// it concurrently with no shared mutex. Hetero's two-region policy fits the
-// same shape — its device classes map onto (owner, exclusive) — and can be
-// adapted behind this interface when the heterogeneous path moves onto the
-// engine.
+// it concurrently with no shared mutex; HeteroScheduler adapts Hetero's
+// two-region policy — its device classes map onto (owner, exclusive):
+// exclusive acquires are CPU-class workers, non-exclusive ones batched
+// (GPU-class) executors — so the real engine runs HSGD* through the same
+// interface.
 type Scheduler interface {
 	// Acquire returns an independent nonempty task for the given worker, or
 	// false when every candidate is currently locked. preferBand biases ties
@@ -67,11 +72,15 @@ type Task struct {
 	// (Section VI-A). Keys are unique across regions.
 	RowBandKey int
 
-	rows   []int // locked row indices in the owning lock table
-	cols   []int // locked column band indices
-	super  int   // band index for static-phase super-blocks, else -1
-	isGPU  bool  // locked in the GPU lock table (hetero only)
-	stolen bool
+	rows  []int // locked row indices in the owning lock table
+	cols  []int // locked column band indices
+	super int   // band index for static-phase super-blocks, else -1
+	isGPU bool  // locked in the GPU lock table (hetero only)
+
+	// owner/exclusive stamp who acquired the task, set by HeteroScheduler
+	// for its per-owner steal tracking and per-class accounting.
+	owner     int
+	exclusive bool
 }
 
 // Ratings returns the concatenated rating slices of the task's blocks.

@@ -221,7 +221,8 @@ type retrievalStats struct {
 
 // trainingStats mirrors the latest progress event recorded through
 // TrainingSink; State is "training" until a final done/interrupted event
-// arrives.
+// arrives. Heterogeneous runs additionally carry the current nonuniform
+// split and one entry per executor class.
 type trainingStats struct {
 	State         string  `json:"state"` // training | done | interrupted
 	Algorithm     string  `json:"algorithm"`
@@ -232,6 +233,13 @@ type trainingStats struct {
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
 	Checkpoints   int     `json:"checkpoints,omitempty"`
 	UpdatedAt     string  `json:"updated_at"`
+
+	// SplitAlpha is the fraction of the rating mass owned by the
+	// throughput (batched) class; Classes breaks the update totals down
+	// per executor class (progress.ClassStat carries its own JSON tags).
+	// Both absent for single-class trainers.
+	SplitAlpha float64              `json:"split_alpha,omitempty"`
+	Classes    []progress.ClassStat `json:"classes,omitempty"`
 }
 
 type snapshotStats struct {
@@ -314,6 +322,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			UpdatesPerSec: e.UpdatesPerSec,
 			Checkpoints:   e.Checkpoints,
 			UpdatedAt:     s.trainSeen.UTC().Format(time.RFC3339),
+			SplitAlpha:    e.SplitAlpha,
+			Classes:       e.Classes,
 		}
 	}
 	s.trainMu.Unlock()

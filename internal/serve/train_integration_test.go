@@ -123,6 +123,71 @@ func TestWatcherHotSwapsMidTrainCheckpoint(t *testing.T) {
 	}
 }
 
+// TestStatszHeteroClassBreakdown: a heterogeneous training run surfaces its
+// per-executor-class throughput, steal counts, and current split through
+// /statsz's training block.
+func TestStatszHeteroClassBreakdown(t *testing.T) {
+	train, _, err := dataset.Generate(dataset.MovieLens().Scale(0.03), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := New(Config{Store: NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = engine.TrainHetero(context.Background(), train, engine.HeteroOptions{
+		Options: engine.Options{
+			Threads:  3,
+			Params:   sgd.Params{K: 8, LambdaP: 0.05, LambdaQ: 0.05, Gamma: 0.01, Iters: 3},
+			Seed:     3,
+			Progress: server.TrainingSink(),
+		},
+		BatchedWorkers: 1,
+		// Pin the split and disable stealing so each class verifiably works
+		// its own region even on this tiny, milliseconds-long run.
+		Alpha:      0.5,
+		StaticOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	server.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	var stats struct {
+		Training *struct {
+			Algorithm  string  `json:"algorithm"`
+			SplitAlpha float64 `json:"split_alpha"`
+			Classes    []struct {
+				Class         string  `json:"class"`
+				Workers       int     `json:"workers"`
+				Updates       int64   `json:"updates"`
+				UpdatesPerSec float64 `json:"updates_per_sec"`
+			} `json:"classes"`
+		} `json:"training"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Training == nil || stats.Training.Algorithm != "hetero" {
+		t.Fatalf("/statsz training block %+v, want hetero", stats.Training)
+	}
+	if stats.Training.SplitAlpha <= 0 || stats.Training.SplitAlpha >= 1 {
+		t.Fatalf("split_alpha %v outside (0,1)", stats.Training.SplitAlpha)
+	}
+	if len(stats.Training.Classes) != 2 {
+		t.Fatalf("%d classes in /statsz, want 2", len(stats.Training.Classes))
+	}
+	for _, c := range stats.Training.Classes {
+		if c.Class != "cpu" && c.Class != "batched" {
+			t.Fatalf("unknown class %q", c.Class)
+		}
+		if c.Workers < 1 || c.Updates <= 0 {
+			t.Fatalf("class %q did no work: %+v", c.Class, c)
+		}
+	}
+}
+
 // TestCancelledTrainingCheckpointServes is the acceptance loop for the
 // cancellation contract: a deadline stops the engine mid-run, the final
 // atomic checkpoint it writes on the way out must load through the store's

@@ -87,6 +87,33 @@ type TrainOptions struct {
 	// Simulated); nil picks the default HSGD* pipeline with one default
 	// GPU when the sim trainer runs.
 	Sim *SimConfig
+
+	// Hetero configures the real heterogeneous executor engine (capability
+	// Heterogeneous); nil picks one batched executor with the online
+	// cost-model-driven split when the hetero trainer runs.
+	Hetero *HeteroConfig
+}
+
+// HeteroConfig tunes the "hetero" trainer: HSGD* scheduling on live
+// hardware with two executor classes (internal/device). The zero value
+// (and a nil *HeteroConfig) means one batched executor, the paper's
+// nc+2·ng+1 super-block layout, dynamic stealing on, and an α split
+// re-solved online from measured per-class cost models.
+type HeteroConfig struct {
+	// BatchedWorkers is the throughput-optimized executor count (the GPU
+	// stand-ins); <1 means 1. CPU executors fill the rest of the
+	// TrainOptions.Threads budget, keeping the total worker count equal to
+	// an fpsgd run at the same Threads.
+	BatchedWorkers int
+	// Superblock overrides the layout's column-band count (super-block
+	// granularity); 0 keeps the paper's nc+2·ng+1.
+	Superblock int
+	// StaticOnly disables the dynamic stealing phase (HSGD*-M on real
+	// hardware).
+	StaticOnly bool
+	// Alpha fixes the batched class's share of the rating mass; <=0 lets
+	// the online profiling phase solve it from measured throughput.
+	Alpha float64
 }
 
 // SimConfig selects the pipeline and device models of the "sim" trainer.
@@ -147,7 +174,9 @@ type Trainer interface {
 }
 
 // NewTrainer returns the named training algorithm: "fpsgd" (the lock-striped
-// parallel SGD engine — the default choice), "hogwild" (lock-free parallel
+// parallel SGD engine — the default choice), "hetero" (the paper's HSGD* on
+// real hardware: CPU plus batched executor classes over the nonuniform
+// two-region layout; see TrainOptions.Hetero), "hogwild" (lock-free parallel
 // SGD), "als" (alternating least squares), "cd" (CCD++ coordinate descent),
 // or "sim" (the paper's heterogeneous CPU+GPU pipelines on the simulated
 // machine; see TrainOptions.Sim).
@@ -155,6 +184,8 @@ func NewTrainer(name string) (Trainer, error) {
 	switch name {
 	case "fpsgd", "":
 		return fpsgdTrainer{}, nil
+	case "hetero":
+		return heteroTrainer{}, nil
 	case "hogwild":
 		return hogwildTrainer{}, nil
 	case "als":
@@ -172,7 +203,7 @@ func NewTrainer(name string) (Trainer, error) {
 // single source of the name set (the NewTrainer error and the CLI flag help
 // derive from it).
 func TrainerNames() []string {
-	return []string{"fpsgd", "hogwild", "als", "cd", "sim"}
+	return []string{"fpsgd", "hetero", "hogwild", "als", "cd", "sim"}
 }
 
 // NewSchedule returns the named learning-rate schedule starting at gamma:
@@ -313,6 +344,70 @@ func (t fpsgdTrainer) Train(ctx context.Context, train *Matrix, opt TrainOptions
 	}
 	out := &TrainReport{
 		Algorithm:    "fpsgd",
+		Seconds:      rep.Seconds,
+		Epochs:       rep.Epochs,
+		FinalRMSE:    rep.FinalRMSE,
+		TotalUpdates: rep.TotalUpdates,
+		Checkpoints:  rep.Checkpoints,
+		Interrupted:  rep.Interrupted,
+	}
+	for _, p := range rep.History {
+		out.History = append(out.History, EvalPoint{Time: p.Time, Epoch: p.Epoch, RMSE: p.RMSE})
+	}
+	return out, f, err
+}
+
+// --- hetero (the two-class executor engine) ---
+
+type heteroTrainer struct{}
+
+func (heteroTrainer) Name() string { return "hetero" }
+
+func (heteroTrainer) Capabilities() Capabilities {
+	return Capabilities{
+		Algorithm:     "hetero",
+		Schedules:     true,
+		EarlyStop:     true,
+		Checkpoint:    true,
+		Resume:        true,
+		SplitLambda:   true,
+		History:       true,
+		Heterogeneous: true,
+	}
+}
+
+func (t heteroTrainer) Train(ctx context.Context, train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error) {
+	if err := validateOptions(t.Capabilities(), opt); err != nil {
+		return nil, nil, err
+	}
+	cfg := opt.Hetero
+	if cfg == nil {
+		cfg = &HeteroConfig{}
+	}
+	rep, f, err := engine.TrainHetero(orBackground(ctx), train, engine.HeteroOptions{
+		Options: engine.Options{
+			Threads:         opt.Threads,
+			Params:          opt.Params,
+			Schedule:        opt.Schedule,
+			Seed:            opt.Seed,
+			Test:            opt.Test,
+			TargetRMSE:      opt.TargetRMSE,
+			Init:            opt.Resume,
+			StartEpoch:      opt.StartEpoch,
+			CheckpointPath:  opt.CheckpointPath,
+			CheckpointEvery: opt.CheckpointEvery,
+			Progress:        opt.Progress,
+		},
+		BatchedWorkers: cfg.BatchedWorkers,
+		Superblock:     cfg.Superblock,
+		StaticOnly:     cfg.StaticOnly,
+		Alpha:          cfg.Alpha,
+	})
+	if rep == nil {
+		return nil, nil, err
+	}
+	out := &TrainReport{
+		Algorithm:    "hetero",
 		Seconds:      rep.Seconds,
 		Epochs:       rep.Epochs,
 		FinalRMSE:    rep.FinalRMSE,
