@@ -41,6 +41,9 @@ type Capabilities struct {
 	// honors TrainOptions.Hetero (batched workers, super-block granularity,
 	// static-only, fixed α).
 	Heterogeneous bool
+	// Trace: records one epoch's block-schedule timeline into
+	// TrainOptions.Trace (Chrome trace-event spans per executor).
+	Trace bool
 }
 
 // ErrUnsupported is the sentinel wrapped by every option-rejection error:
@@ -95,6 +98,8 @@ func validateOptions(c Capabilities, opt TrainOptions) error {
 			"simulated device configuration needs sim"},
 		{opt.Hetero != nil, c.Heterogeneous, "Hetero",
 			"heterogeneous executor configuration needs hetero"},
+		{opt.Trace != nil, c.Trace, "Trace",
+			"epoch trace capture needs fpsgd or hetero"},
 	}
 	for _, chk := range checks {
 		if chk.used && !chk.capable {

@@ -30,10 +30,15 @@ import (
 	"hsgd/internal/dataset"
 	"hsgd/internal/engine"
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 	"hsgd/internal/serve"
 	"hsgd/internal/sgd"
 )
+
+// runMeta stamps the machine shape into every report so a perf number is
+// attributable to the hardware that produced it.
+func runMeta() obs.RunMeta { return obs.CollectRunMeta(serve.HasAVX2()) }
 
 type result struct {
 	Seconds   float64 `json:"seconds"`
@@ -57,6 +62,8 @@ type report struct {
 	Engine  result  `json:"engine"`
 	Legacy  result  `json:"legacy"`
 	Speedup float64 `json:"speedup"` // legacy seconds / engine seconds
+
+	Meta obs.RunMeta `json:"meta"`
 }
 
 func main() {
@@ -127,6 +134,8 @@ type serveReport struct {
 	Exact     serveResult `json:"exact"`
 	Quantized serveResult `json:"quantized"`
 	Speedup   float64     `json:"speedup"` // exact ns / quantized ns
+
+	Meta obs.RunMeta `json:"meta"`
 }
 
 // runServe measures full-catalog top-10 retrieval at the Netflix item
@@ -225,6 +234,7 @@ func runServe(ctx context.Context, seed int64, runs int, out string) error {
 	if quantSec > 0 {
 		rep.Speedup = exactSec / quantSec
 	}
+	rep.Meta = runMeta()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -275,6 +285,8 @@ type heteroReport struct {
 	Classes    []progress.ClassStat `json:"classes,omitempty"`
 
 	Speedup float64 `json:"speedup"` // striped time-to-target / hetero time-to-target
+
+	Meta obs.RunMeta `json:"meta"`
 }
 
 // runHetero benchmarks the striped engine against the heterogeneous
@@ -365,6 +377,7 @@ func runHetero(ctx context.Context, name string, scale float64, k, iters, thread
 	if rep.Hetero.TimeToTarget > 0 {
 		rep.Speedup = rep.Striped.TimeToTarget / rep.Hetero.TimeToTarget
 	}
+	rep.Meta = runMeta()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -467,6 +480,7 @@ func run(ctx context.Context, name string, scale float64, k, iters, threads int,
 	if rep.Engine.Seconds > 0 {
 		rep.Speedup = rep.Legacy.Seconds / rep.Engine.Seconds
 	}
+	rep.Meta = runMeta()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"hsgd/internal/obs"
 	"hsgd/internal/serve"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		quantize = flag.Bool("quantize", true, "serve /v1/recommend from the int8-quantized scan with exact float32 rerank")
 		rerank   = flag.Int("rerank", 0, "quantized-scan candidate multiplier (rerank·k survive to the exact rerank); 0 means the default")
+		debug    = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if *modelPth == "" {
@@ -51,13 +53,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *modelPth, *watch, *shards, *cacheSz, float32(*lambda), *drain, *quantize, *rerank); err != nil {
+	if err := run(*addr, *modelPth, *watch, *shards, *cacheSz, float32(*lambda), *drain, *quantize, *rerank, *debug); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lambda float32, drain time.Duration, quantize bool, rerank int) error {
+func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lambda float32, drain time.Duration, quantize bool, rerank int, debugAddr string) error {
 	store := serve.NewStore()
 	store.SetQuantize(quantize)
 	snap, err := store.LoadFile(modelPath)
@@ -91,6 +93,21 @@ func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lam
 	if watch > 0 {
 		go store.Watch(ctx, modelPath, watch)
 		log.Printf("watching %s every %v for hot-swap", modelPath, watch)
+	}
+
+	if debugAddr != "" {
+		debugServer := &http.Server{
+			Addr:              debugAddr,
+			Handler:           obs.DebugMux(server.Metrics()),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener (metricz + pprof) on %s", debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer debugServer.Close()
 	}
 
 	httpServer := &http.Server{

@@ -26,6 +26,14 @@
 // layout's column-band count, -static-only disables the dynamic stealing
 // phase, and the live progress line gains per-class throughput.
 //
+// Observability: -trace-out dumps one epoch's block-schedule timeline
+// (every executor's tasks, the batched pipeline's overlapped packs,
+// barrier waits, evals, checkpoint writes) as Chrome trace-event JSON —
+// open it in chrome://tracing or ui.perfetto.dev; -trace-epoch picks the
+// epoch. -debug-addr starts an auxiliary listener with the live
+// hsgd_train_* metrics on /metricz and the pprof handlers on
+// /debug/pprof/.
+//
 // The input is the text interchange format of internal/sparse ("rows cols
 // nnz" header, then "row col value" lines; ".bin" files use the binary
 // format). The trained factors are written with -out.
@@ -36,6 +44,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +53,8 @@ import (
 	"time"
 
 	"hsgd"
+	"hsgd/internal/obs"
+	"hsgd/internal/progress"
 )
 
 func main() {
@@ -74,6 +86,9 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "cancel training after this duration (0 disables); the run still ends with a final checkpoint and partial report")
 		progres = flag.Bool("progress", true, "print a live per-epoch progress line to stderr")
 		seed    = flag.Int64("seed", 42, "random seed")
+		trcOut  = flag.String("trace-out", "", "write one epoch's block-schedule timeline as Chrome trace-event JSON to this file (fpsgd/hetero; open in chrome://tracing or ui.perfetto.dev)")
+		trcEp   = flag.Int("trace-epoch", 1, "which epoch -trace-out records, 1-based relative to the run's start")
+		debug   = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ during training (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -91,7 +106,10 @@ func main() {
 		checkpoint: *ckpt, checkpointEvery: *ckptN,
 		resume: *resume, resumeEpoch: *resumeE,
 		timeout: *timeout, progress: *progres,
-		seed: *seed,
+		seed:       *seed,
+		traceOut:   *trcOut,
+		traceEpoch: *trcEp,
+		debugAddr:  *debug,
 	}
 	// The legacy -mode spelling maps onto the unified trainer set.
 	switch *mode {
@@ -137,6 +155,9 @@ type config struct {
 	timeout                         time.Duration
 	progress                        bool
 	seed                            int64
+	traceOut                        string
+	traceEpoch                      int
+	debugAddr                       string
 }
 
 func run(ctx context.Context, path string, cfg config) error {
@@ -183,6 +204,37 @@ func run(ctx context.Context, path string, cfg config) error {
 	}
 	if cfg.progress {
 		opt.Progress = progressLine
+	}
+	var traceRec *hsgd.Trace
+	if cfg.traceOut != "" {
+		traceRec = hsgd.NewTrace()
+		opt.Trace = traceRec
+		opt.TraceEpoch = cfg.traceEpoch
+	}
+	if cfg.debugAddr != "" {
+		// The debug listener exposes the run's live hsgd_train_* gauges and
+		// pprof while training; it dies with the process.
+		reg := obs.NewRegistry()
+		sink := progress.MetricsSink(reg)
+		prev := opt.Progress
+		opt.Progress = func(e hsgd.ProgressEvent) {
+			if prev != nil {
+				prev(e)
+			}
+			sink(e)
+		}
+		debugServer := &http.Server{
+			Addr:              cfg.debugAddr,
+			Handler:           obs.DebugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener (metricz + pprof) on %s", cfg.debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer debugServer.Close()
 	}
 	if cfg.trainer == "sim" {
 		opt.Sim = &hsgd.SimConfig{
@@ -235,6 +287,14 @@ func run(ctx context.Context, path string, cfg config) error {
 	fmt.Println()
 	if rep.Checkpoints > 0 {
 		fmt.Printf("%d checkpoints written to %s\n", rep.Checkpoints, cfg.checkpoint)
+	}
+	if traceRec != nil {
+		// Written even after an interruption: a partial timeline of the
+		// traced epoch is still loadable.
+		if werr := traceRec.WriteFile(cfg.traceOut); werr != nil {
+			return fmt.Errorf("writing -trace-out: %w", werr)
+		}
+		fmt.Printf("epoch %d trace (%d spans) written to %s\n", cfg.traceEpoch, traceRec.Len(), cfg.traceOut)
 	}
 	if test != nil {
 		fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)

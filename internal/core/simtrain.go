@@ -269,6 +269,7 @@ func (t *trainer) progressEvent(kind progress.Kind) progress.Event {
 	return progress.Event{
 		Kind:          kind,
 		Algorithm:     "sim",
+		Time:          time.Now(),
 		Epoch:         t.epoch,
 		TotalEpochs:   t.opt.Params.Iters,
 		RMSE:          t.report.FinalRMSE,

@@ -1,9 +1,11 @@
 package device
 
 import (
+	"sync/atomic"
 	"time"
 
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/sched"
 	"hsgd/internal/sgd"
 )
@@ -51,6 +53,19 @@ type Batched struct {
 	// the CPU class.
 	Tasks   int64
 	Updates int64
+
+	// Pipeline timing, atomic because packs run on background goroutines
+	// while the engine reads the totals at epoch boundaries. The overlap
+	// ratio 1 − Stall/Pack measures how much of the "transfer" time the
+	// double buffering hid behind kernels (Equation 9): StallNanos is the
+	// residual pack wait left on the critical path, PackNanos the total
+	// time packs spent copying, KernelNanos the fused-kernel time.
+	PackNanos   atomic.Int64
+	StallNanos  atomic.Int64
+	KernelNanos atomic.Int64
+
+	tr  *obs.Trace
+	tid int
 }
 
 // NewBatched returns a Batched executor acquiring as the given owner id.
@@ -60,6 +75,16 @@ func NewBatched(id int, sch sched.Scheduler, sink Sink) *Batched {
 
 // Class implements Executor.
 func (b *Batched) Class() Class { return ClassBatched }
+
+// SetTrace attaches a span recorder: kernels (and residual pack stalls)
+// land on track tid, background packs on the companion track tid +
+// PackTrackOffset so the overlap is visible as parallel slices. Call
+// before training starts.
+func (b *Batched) SetTrace(tr *obs.Trace, tid int) { b.tr, b.tid = tr, tid }
+
+// PackTrackOffset separates a batched executor's background-pack track
+// from its kernel track in the rendered timeline.
+const PackTrackOffset = 1000
 
 // Step implements Executor. Steady state: claim the next super-block, start
 // packing it in the background, run the kernel over the previously staged
@@ -123,10 +148,16 @@ func (b *Batched) pack(t *sched.Task) *stage {
 	st.vals = st.vals[:0]
 	st.done = make(chan struct{})
 	go func() {
+		start := time.Now()
 		for _, blk := range t.Blocks {
 			st.rows = append(st.rows, blk.SOA.Rows...)
 			st.cols = append(st.cols, blk.SOA.Cols...)
 			st.vals = append(st.vals, blk.SOA.Vals...)
+		}
+		dur := time.Since(start)
+		b.PackNanos.Add(dur.Nanoseconds())
+		if b.tr != nil {
+			b.tr.Span(b.tid+PackTrackOffset, "pack", start, dur, t.NNZ)
 		}
 		close(st.done)
 	}()
@@ -141,8 +172,23 @@ func (b *Batched) pack(t *sched.Task) *stage {
 func (b *Batched) run(f *model.Factors, p Params, st *stage) {
 	start := time.Now()
 	<-st.done
+	kstart := time.Now()
+	stall := kstart.Sub(start)
+	b.StallNanos.Add(stall.Nanoseconds())
 	sgd.UpdateBlockSOA(f, st.rows, st.cols, st.vals, p.LambdaP, p.LambdaQ, p.Gamma)
+	kdur := time.Since(kstart)
+	b.KernelNanos.Add(kdur.Nanoseconds())
 	b.sink.observe(ClassBatched, len(st.rows), time.Since(start).Seconds())
+	if b.tr != nil {
+		if stall > 0 {
+			b.tr.Span(b.tid, "stall", start, stall, 0)
+		}
+		name := "kernel"
+		if st.task.Stolen {
+			name = "steal-kernel"
+		}
+		b.tr.Span(b.tid, name, kstart, kdur, len(st.rows))
+	}
 	b.Tasks++
 	b.Updates += int64(len(st.rows))
 	b.sch.Release(st.task)

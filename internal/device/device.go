@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/sched"
 	"hsgd/internal/sgd"
 )
@@ -92,6 +93,8 @@ type CPU struct {
 	sch    sched.Scheduler
 	sink   Sink
 	prefer int
+	tr     *obs.Trace
+	tid    int
 }
 
 // NewCPU returns a CPU executor acquiring as the given owner id.
@@ -101,6 +104,10 @@ func NewCPU(id int, sch sched.Scheduler, sink Sink) *CPU {
 
 // Class implements Executor.
 func (c *CPU) Class() Class { return ClassCPU }
+
+// SetTrace attaches a span recorder: every processed block becomes one
+// "block" span on track tid. Call before training starts.
+func (c *CPU) SetTrace(tr *obs.Trace, tid int) { c.tr, c.tid = tr, tid }
 
 // Step implements Executor: acquire, fused kernel, release.
 func (c *CPU) Step(f *model.Factors, p Params) bool {
@@ -113,7 +120,15 @@ func (c *CPU) Step(f *model.Factors, p Params) bool {
 	for _, b := range task.Blocks {
 		sgd.UpdateBlockSOA(f, b.SOA.Rows, b.SOA.Cols, b.SOA.Vals, p.LambdaP, p.LambdaQ, p.Gamma)
 	}
-	c.sink.observe(ClassCPU, task.NNZ, time.Since(start).Seconds())
+	dur := time.Since(start)
+	c.sink.observe(ClassCPU, task.NNZ, dur.Seconds())
+	if c.tr != nil {
+		name := "block"
+		if task.Stolen {
+			name = "steal"
+		}
+		c.tr.Span(c.tid, name, start, dur, task.NNZ)
+	}
 	c.sch.Release(task)
 	return true
 }

@@ -44,6 +44,7 @@ import (
 	"hsgd/internal/device"
 	"hsgd/internal/grid"
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 	"hsgd/internal/sched"
 	"hsgd/internal/sgd"
@@ -92,6 +93,18 @@ type Options struct {
 	// so the callback may read the factors race-free; a slow callback
 	// pauses training.
 	Progress progress.Func
+
+	// Trace, when non-nil, records one epoch's block-schedule timeline:
+	// every executor's processed tasks (CPU blocks, batched kernels and
+	// their overlapped background packs, steals) plus the engine's barrier
+	// waits, evaluations and checkpoint writes, as Chrome trace-event
+	// spans. The recorder is armed exactly for the epoch selected by
+	// TraceEpoch and disarmed at its boundary; dump it afterwards with
+	// Trace.WriteFile.
+	Trace *obs.Trace
+	// TraceEpoch selects which epoch of this run to record, 1-based
+	// relative to StartEpoch; values below 1 record the first epoch.
+	TraceEpoch int
 }
 
 // EvalPoint is one wall-clock RMSE measurement.
@@ -244,6 +257,13 @@ func newRun(ctx context.Context, train *sparse.Matrix, opt *Options) (*run, erro
 	r.epoch.Store(int64(opt.StartEpoch))
 	r.boundEpoch.Store(int64(opt.StartEpoch))
 	r.setGamma(schedule.Rate(opt.StartEpoch))
+	if opt.Trace != nil {
+		rel := opt.TraceEpoch
+		if rel < 1 {
+			rel = 1
+		}
+		r.traceTarget = opt.StartEpoch + rel
+	}
 	return r, nil
 }
 
@@ -251,6 +271,7 @@ func newRun(ctx context.Context, train *sparse.Matrix, opt *Options) (*run, erro
 // training clock starts here — Report.Seconds covers worker time, not the
 // grid partitioning and SoA packing the entry points do first.
 func (r *run) execute(execs []device.Executor) (*Report, *model.Factors, error) {
+	r.wireTrace(execs)
 	r.start = time.Now()
 	var wg sync.WaitGroup
 	for _, ex := range execs {
@@ -277,7 +298,7 @@ func (r *run) execute(execs []device.Executor) (*Report, *model.Factors, error) 
 		// the best-so-far model (it may carry mid-epoch progress past the
 		// last boundary checkpoint) before handing control back.
 		if r.ckptEvery > 0 {
-			if err := r.f.SaveFileAtomic(r.opt.CheckpointPath); err != nil {
+			if err := r.checkpoint(); err != nil {
 				return nil, nil, fmt.Errorf("engine: final checkpoint after cancellation: %w", err)
 			}
 			r.report.Checkpoints++
@@ -306,6 +327,14 @@ type run struct {
 	ckptEvery  int
 	algorithm  string // progress-event tag: "fpsgd" or "hetero"
 	start      time.Time
+
+	// traceTarget is the absolute epoch Options.Trace records (0 = no
+	// trace); barrierNs/ckptNs accumulate the observability totals carried
+	// on progress events. Atomic because emitRMSE may run on the final
+	// teardown path while nothing else guards them.
+	traceTarget int
+	barrierNs   atomic.Int64
+	ckptNs      atomic.Int64
 
 	// epochHook, when set, runs under the quiescence barrier after each
 	// settled epoch — the heterogeneous path advances the scheduler's
@@ -359,16 +388,19 @@ func (r *run) emitRMSE(kind progress.Kind, rmse float64) {
 		rate = float64(updates) / secs
 	}
 	e := progress.Event{
-		Kind:           kind,
-		Algorithm:      r.algorithm,
-		Epoch:          int(r.epoch.Load()),
-		TotalEpochs:    r.opt.Params.Iters,
-		RMSE:           rmse,
-		TotalUpdates:   updates,
-		UpdatesPerSec:  rate,
-		Elapsed:        elapsed,
-		Checkpoints:    r.report.Checkpoints,
-		CheckpointPath: r.ckptPathFor(kind),
+		Kind:            kind,
+		Algorithm:       r.algorithm,
+		Time:            time.Now(),
+		Epoch:           int(r.epoch.Load()),
+		TotalEpochs:     r.opt.Params.Iters,
+		RMSE:            rmse,
+		TotalUpdates:    updates,
+		UpdatesPerSec:   rate,
+		Elapsed:         elapsed,
+		Checkpoints:     r.report.Checkpoints,
+		CheckpointPath:  r.ckptPathFor(kind),
+		BarrierWait:     time.Duration(r.barrierNs.Load()),
+		CheckpointWrite: time.Duration(r.ckptNs.Load()),
 	}
 	if r.classStats != nil {
 		e.Classes, e.SplitAlpha = r.classStats(elapsed)
@@ -513,6 +545,7 @@ func (r *run) maybeEvaluate() {
 			return // another worker is on it (and re-checks after finishing)
 		}
 		r.paused.Store(true)
+		waitStart := time.Now()
 		r.evalMu.Lock()
 		// Pipelined executors may hold claimed tasks between steps with no
 		// active window open, so quiescence is active==0 AND nothing in
@@ -539,6 +572,11 @@ func (r *run) maybeEvaluate() {
 			if stall++; time.Duration(stall)*blockedPoll > 5*time.Second {
 				panic(fmt.Sprintf("engine: quiescence barrier violated: %d tasks held with no active worker", held))
 			}
+		}
+		wait := time.Since(waitStart)
+		r.barrierNs.Add(wait.Nanoseconds())
+		if r.opt.Trace != nil {
+			r.opt.Trace.Span(0, "barrier", waitStart, wait, 0)
 		}
 		// The quiescence barrier observes cancellation too: a context that
 		// fired while workers drained stops the run here instead of
@@ -567,7 +605,11 @@ func (r *run) finishEpoch() {
 	ep := int(r.epoch.Add(1))
 	var rmse float64
 	if r.opt.Test != nil {
+		evalStart := time.Now()
 		rmse = model.RMSE(r.f, r.opt.Test)
+		if r.opt.Trace != nil {
+			r.opt.Trace.Span(0, "eval", evalStart, time.Since(evalStart), 0)
+		}
 		r.report.History = append(r.report.History, EvalPoint{
 			Time:  time.Since(r.start).Seconds(),
 			Epoch: ep,
@@ -593,7 +635,7 @@ func (r *run) finishEpoch() {
 	// published model for watchers and resumes, so it must not lag the
 	// returned factors.
 	if r.ckptEvery > 0 && (ep%r.ckptEvery == 0 || r.done.Load()) {
-		if err := r.f.SaveFileAtomic(r.opt.CheckpointPath); err != nil {
+		if err := r.checkpoint(); err != nil {
 			r.err = err
 			r.done.Store(true)
 		} else {
@@ -605,5 +647,59 @@ func (r *run) finishEpoch() {
 	r.setGamma(r.schedule.Rate(ep))
 	if r.epochHook != nil && !r.done.Load() {
 		r.epochHook(ep)
+	}
+	// Arm/disarm the single-epoch trace at the boundary: the target epoch's
+	// own barrier, eval and checkpoint spans above were still recorded
+	// before this disarms it.
+	if tr := r.opt.Trace; tr != nil {
+		switch {
+		case ep == r.traceTarget:
+			tr.Stop()
+		case ep+1 == r.traceTarget:
+			tr.Start()
+		}
+	}
+}
+
+// checkpoint writes the atomic snapshot, accumulating its duration for
+// progress events and recording a trace span.
+func (r *run) checkpoint() error {
+	start := time.Now()
+	err := r.f.SaveFileAtomic(r.opt.CheckpointPath)
+	dur := time.Since(start)
+	r.ckptNs.Add(dur.Nanoseconds())
+	if r.opt.Trace != nil {
+		r.opt.Trace.Span(0, "checkpoint", start, dur, 0)
+	}
+	return err
+}
+
+// wireTrace hands the run's span recorder to every executor that can use
+// one, labels the timeline tracks, and arms the recorder immediately when
+// the traced epoch is the first one this run executes.
+func (r *run) wireTrace(execs []device.Executor) {
+	tr := r.opt.Trace
+	if tr == nil {
+		return
+	}
+	tr.SetThreadName(0, "engine")
+	counts := make(map[device.Class]int)
+	for i, ex := range execs {
+		tid := i + 1
+		n := counts[ex.Class()]
+		counts[ex.Class()]++
+		name := fmt.Sprintf("%s-%d", ex.Class(), n)
+		tr.SetThreadName(tid, name)
+		if t, ok := ex.(interface {
+			SetTrace(*obs.Trace, int)
+		}); ok {
+			t.SetTrace(tr, tid)
+		}
+		if ex.Class() == device.ClassBatched {
+			tr.SetThreadName(tid+device.PackTrackOffset, name+"/pack")
+		}
+	}
+	if r.traceTarget == int(r.epoch.Load())+1 {
+		tr.Start()
 	}
 }

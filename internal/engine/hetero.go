@@ -9,6 +9,7 @@ import (
 	"hsgd/internal/device"
 	"hsgd/internal/grid"
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 	"hsgd/internal/sched"
 	"hsgd/internal/sparse"
@@ -90,6 +91,8 @@ func TrainHetero(ctx context.Context, train *sparse.Matrix, opt HeteroOptions) (
 		adaptive:   opt.Alpha <= 0,
 		cpuSamples: cost.NewOnlineSamples(),
 		batSamples: cost.NewOnlineSamples(),
+		cpuHist:    obs.NewHistogram(nil),
+		batHist:    obs.NewHistogram(nil),
 	}
 	alpha := opt.Alpha
 	if hr.adaptive {
@@ -111,8 +114,10 @@ func TrainHetero(ctx context.Context, train *sparse.Matrix, opt HeteroOptions) (
 	sink := func(c device.Class, nnz int, secs float64) {
 		if c == device.ClassCPU {
 			hr.cpuSamples.Observe(nnz, secs)
+			hr.cpuHist.Observe(secs)
 		} else {
 			hr.batSamples.Observe(nnz, secs)
+			hr.batHist.Observe(secs)
 		}
 	}
 	execs := make([]device.Executor, 0, nc+nb)
@@ -120,7 +125,9 @@ func TrainHetero(ctx context.Context, train *sparse.Matrix, opt HeteroOptions) (
 		execs = append(execs, device.NewCPU(w, hr.sch, sink))
 	}
 	for g := 0; g < nb; g++ {
-		execs = append(execs, device.NewBatched(g, hr.sch, sink))
+		bx := device.NewBatched(g, hr.sch, sink)
+		hr.batched = append(hr.batched, bx)
+		execs = append(execs, bx)
 	}
 	return r.execute(execs)
 }
@@ -138,6 +145,13 @@ type heteroRun struct {
 
 	cpuSamples *cost.OnlineSamples
 	batSamples *cost.OnlineSamples
+
+	// cpuHist/batHist are per-class task-latency histograms (seconds)
+	// backing the p50/p99 on progress events; batched holds the executor
+	// refs whose pipeline counters yield the pack/kernel overlap ratio.
+	cpuHist *obs.Histogram
+	batHist *obs.Histogram
+	batched []*device.Batched
 
 	mu         sync.Mutex // guards alpha/models/settled against stats readers
 	alpha      float64
@@ -305,8 +319,38 @@ func (hr *heteroRun) stats(elapsed time.Duration) ([]progress.ClassStat, float64
 	hr.mu.Unlock()
 	return []progress.ClassStat{
 		{Class: string(device.ClassCPU), Workers: hr.nc, Updates: s.CPUUpdates,
-			UpdatesPerSec: rate(s.CPUUpdates), Steals: s.StolenByCPU},
+			UpdatesPerSec: rate(s.CPUUpdates), Steals: s.StolenByCPU,
+			Tasks:     s.CPUTasks,
+			TaskP50MS: hr.cpuHist.Quantile(0.5) * 1e3,
+			TaskP99MS: hr.cpuHist.Quantile(0.99) * 1e3},
 		{Class: string(device.ClassBatched), Workers: hr.nb, Updates: s.BatchedUpdates,
-			UpdatesPerSec: rate(s.BatchedUpdates), Steals: s.StolenByGPU},
+			UpdatesPerSec: rate(s.BatchedUpdates), Steals: s.StolenByGPU,
+			Tasks:        s.BatchedTasks,
+			TaskP50MS:    hr.batHist.Quantile(0.5) * 1e3,
+			TaskP99MS:    hr.batHist.Quantile(0.99) * 1e3,
+			OverlapRatio: hr.overlap()},
 	}, alpha
+}
+
+// overlap aggregates the batched executors' pipeline counters into the
+// fraction of total pack time hidden behind kernels: 1 − stall/pack, where
+// stall is the residual pack wait run() saw on the critical path. No packs
+// yet reports 0.
+func (hr *heteroRun) overlap() float64 {
+	var pack, stall int64
+	for _, b := range hr.batched {
+		pack += b.PackNanos.Load()
+		stall += b.StallNanos.Load()
+	}
+	if pack <= 0 {
+		return 0
+	}
+	ratio := 1 - float64(stall)/float64(pack)
+	if ratio < 0 {
+		return 0
+	}
+	if ratio > 1 {
+		return 1
+	}
+	return ratio
 }

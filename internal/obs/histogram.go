@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default histogram bounds (seconds), spanning
+// the microsecond-scale quantized scan through multi-second training
+// stalls. 16 buckets keep the per-observation scan short and the
+// exposition compact while still resolving p999 at serving latencies.
+var DefLatencyBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free atomic buckets.
+// Observe is wait-free on the bucket counter (one atomic add after a short
+// linear scan over the bounds) plus a lock-free CAS on the running sum —
+// no allocation, no map, no mutex, so it is safe on zero-alloc hot paths.
+//
+// Quantiles are estimated by linear interpolation inside the bucket that
+// contains the requested rank — the standard Prometheus-side estimation,
+// computed here so /statsz and tests can read p50/p99/p999 without a
+// scrape round-trip.
+type Histogram struct {
+	bounds  []float64 // upper bounds, strictly increasing
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given upper bounds (seconds
+// for latency use); nil or empty picks DefLatencyBuckets. The bounds must
+// be strictly increasing; an overflow bucket is added implicitly.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start — the hot-path
+// helper for latency timing.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket. Ranks landing in the overflow bucket
+// return the largest finite bound — the estimate is then a lower bound.
+// An empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	// Snapshot the buckets; concurrent observations may tear across
+	// buckets, which shifts the estimate by at most the in-flight count.
+	snap := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	return quantileFrom(h.bounds, snap, total, q)
+}
+
+// quantileFrom is the pure estimation core, shared with tests.
+func quantileFrom(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1] // overflow bucket: lower bound
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		if c == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile estimation: uniform fill of one bucket interpolates linearly,
+// ranks resolve to the covering bucket, and the overflow bucket returns
+// the last finite bound as a lower-bound estimate.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40, 80})
+
+	// 100 observations uniform in (0,10]: p50 interpolates to ~5.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("p50 of single-bucket fill = %v, want 5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("p100 of single-bucket fill = %v, want 10", got)
+	}
+
+	// Add 100 in (10,20] and 100 in (20,40]: p50 lands at the end of the
+	// second bucket (rank 150 of 300 → halfway through bucket 2? rank
+	// 150 with cum 100 before → 10 + 10*(50/100) = 15).
+	for i := 0; i < 100; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(30)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p50 = %v, want 15", got)
+	}
+	// p99: rank 297 of 300 → third bucket, 20 + 20*(97/100) = 39.4.
+	if got := h.Quantile(0.99); math.Abs(got-39.4) > 1e-9 {
+		t.Errorf("p99 = %v, want 39.4", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	h.Observe(100) // overflow bucket only
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only p50 = %v, want last bound 2", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 = %v, want 0", got)
+	}
+	if got := h.Quantile(2); got != 2 {
+		t.Errorf("q>1 clamps to max, got %v", got)
+	}
+}
+
+// p999 on a realistic latency shape: 999 fast observations and one slow
+// outlier must push p999 into the outlier's bucket while p50 stays in the
+// fast bucket.
+func TestHistogramTailQuantile(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	for i := 0; i < 999; i++ {
+		h.Observe(200e-6) // within the 250µs bucket
+	}
+	h.Observe(0.2) // lands in the 250ms bucket
+
+	if p50 := h.Quantile(0.5); p50 > 250e-6 {
+		t.Errorf("p50 = %v, want <= 250µs", p50)
+	}
+	if p999 := h.Quantile(0.999); p999 > 250e-6 {
+		// rank 999 of 1000 is the last fast observation: still fast.
+		t.Errorf("p999 = %v, want <= 250µs", p999)
+	}
+	if p9999 := h.Quantile(0.9999); p9999 < 0.1 {
+		// rank 1000 is the outlier: the estimate must leave the fast bucket.
+		t.Errorf("p9999 = %v, want >= 0.1", p9999)
+	}
+}
+
+func TestDefaultBucketsOrdering(t *testing.T) {
+	h := NewHistogram(nil)
+	if len(h.bounds) != len(DefLatencyBuckets) {
+		t.Fatalf("default bounds not applied")
+	}
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatalf("DefLatencyBuckets not increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (counters, gauges, fixed-bucket latency histograms)
+// with Prometheus text-format exposition, a Chrome trace-event span
+// recorder for epoch timelines, and run-metadata collection for bench
+// reports. Everything is stdlib-only.
+//
+// The design premium is on the producer side: every metric is a
+// pre-registered handle the hot path updates with plain atomic operations —
+// no map lookups, no interface boxing, no allocation per observation — so
+// the serving layer's zero-alloc recommend loop stays zero-alloc with
+// metrics enabled. Registration (New, Registry.Counter, ...) takes a
+// mutex and may allocate; it happens once at startup. Exposition
+// (WritePrometheus) walks the registry at scrape time and reads the same
+// atomics the producers write, so a scrape never blocks a producer.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are the constant label set attached to one metric series at
+// registration time. They are rendered into the exposition string once, at
+// registration, never per observation or per scrape.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric handle. The zero value is
+// usable but unregistered; obtain exported counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable metric handle holding one float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (CAS loop; lock-free).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// series is one exported time series: a pre-rendered label body plus the
+// value source (exactly one of the fields is set).
+type series struct {
+	labelBody string // `a="b",c="d"` without braces; "" for unlabeled
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() int64
+	gaugeFn   func() float64
+}
+
+// family groups every series registered under one metric name; HELP and
+// TYPE are emitted once per family.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration methods panic on a duplicate (name, labels) pair or
+// a type conflict — both are programmer errors, caught at startup.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels, &series{counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels, &series{gauge: g})
+	return g
+}
+
+// Histogram registers and returns a fixed-bucket histogram series.
+// buckets are the upper bounds in increasing order; nil picks
+// DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	h := NewHistogram(buckets)
+	r.register(name, help, "histogram", labels, &series{hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for pre-existing atomic counters (e.g. the serving
+// layer's request totals) that must not be double-counted.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	r.register(name, help, "counter", labels, &series{counterFn: fn})
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time (snapshot age,
+// uptime, cache occupancy, ...).
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", labels, &series{gaugeFn: fn})
+}
+
+func (r *Registry) register(name, help, typ string, labels Labels, s *series) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	s.labelBody = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	for _, existing := range f.series {
+		if existing.labelBody == s.labelBody {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, s.labelBody))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels produces the sorted, escaped `k="v",...` body once at
+// registration.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

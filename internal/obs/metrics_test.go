@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "requests served", Labels{"endpoint": "predict"})
+	c2 := reg.Counter("test_requests_total", "", Labels{"endpoint": "recommend"})
+	g := reg.Gauge("test_temperature", "gauge help", nil)
+	reg.GaugeFunc("test_uptime_seconds", "uptime", nil, func() float64 { return 12.5 })
+	reg.CounterFunc("test_swaps_total", "swaps", nil, func() int64 { return 7 })
+
+	c.Add(3)
+	c.Inc()
+	c2.Inc()
+	g.Set(-1.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total requests served\n",
+		"# TYPE test_requests_total counter\n",
+		`test_requests_total{endpoint="predict"} 4` + "\n",
+		`test_requests_total{endpoint="recommend"} 1` + "\n",
+		"# TYPE test_temperature gauge\n",
+		"test_temperature -1.5\n",
+		"test_uptime_seconds 12.5\n",
+		"test_swaps_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with two series.
+	if n := strings.Count(out, "# TYPE test_requests_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "latency", Labels{"endpoint": "x"}, []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // bucket 0
+	h.Observe(0.05)  // bucket 1
+	h.Observe(0.05)  // bucket 1
+	h.Observe(5)     // overflow
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{endpoint="x",le="0.01"} 1` + "\n",
+		`test_latency_seconds_bucket{endpoint="x",le="0.1"} 3` + "\n",
+		`test_latency_seconds_bucket{endpoint="x",le="1"} 3` + "\n",
+		`test_latency_seconds_bucket{endpoint="x",le="+Inf"} 4` + "\n",
+		`test_latency_seconds_count{endpoint="x"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+5; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+}
+
+func TestDuplicateAndConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "", nil)
+	mustPanic(t, "duplicate series", func() { reg.Counter("dup_total", "", nil) })
+	mustPanic(t, "type conflict", func() { reg.Gauge("dup_total", "", nil) })
+	mustPanic(t, "bad name", func() { reg.Counter("0bad", "", nil) })
+	mustPanic(t, "bad bounds", func() { NewHistogram([]float64{1, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "", Labels{"path": `a"b\c` + "\n"})
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{path="a\"b\\c\n"} 0`; !strings.Contains(b.String(), want) {
+		t.Errorf("missing %q in %q", want, b.String())
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("handler_total", "", nil).Inc()
+	rr := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metricz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "handler_total 1") {
+		t.Fatalf("body %q", rr.Body.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	c := &Counter{}
+	g := &Gauge{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.005)
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("histogram count %d, want 8000", h.Count())
+	}
+	if c.Value() != 8000 {
+		t.Errorf("counter %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge %v, want 8000", g.Value())
+	}
+	if s := h.Sum(); s < 39.9 || s > 40.1 {
+		t.Errorf("sum %v, want 40", s)
+	}
+}

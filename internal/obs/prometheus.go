@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE pair per family, then
+// each series. Histograms expand into cumulative _bucket series plus _sum
+// and _count. Scraping reads the producers' atomics directly — values
+// observed mid-scrape may tear across series, which Prometheus tolerates
+// by design.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name string, s *series) {
+	switch {
+	case s.hist != nil:
+		writeHistogram(bw, name, s)
+	case s.counter != nil:
+		writeSample(bw, name, "", s.labelBody, "", float64(s.counter.Value()))
+	case s.counterFn != nil:
+		writeSample(bw, name, "", s.labelBody, "", float64(s.counterFn()))
+	case s.gauge != nil:
+		writeSample(bw, name, "", s.labelBody, "", s.gauge.Value())
+	case s.gaugeFn != nil:
+		writeSample(bw, name, "", s.labelBody, "", s.gaugeFn())
+	}
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		writeSample(bw, name, "_bucket", s.labelBody, le, float64(cum))
+	}
+	writeSample(bw, name, "_sum", s.labelBody, "", h.Sum())
+	writeSample(bw, name, "_count", s.labelBody, "", float64(cum))
+}
+
+// writeSample emits one line: name[suffix]{labels[,le="..."]} value.
+func writeSample(bw *bufio.Writer, name, suffix, labelBody, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labelBody != "" || le != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labelBody)
+		if le != "" {
+			if labelBody != "" {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the /metricz HTTP handler: the registry in Prometheus
+// text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugMux returns the mux both commands mount on -debug-addr: the full
+// net/http/pprof suite under /debug/pprof/ plus /metricz over the given
+// registry — profiles and metrics reachable during long runs without
+// touching the serving mux or the default mux.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metricz", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RunMeta is the machine-shape stamp embedded in every BENCH_*.json so a
+// perf number is attributable: the same benchmark on a 1-core CI runner
+// and a 32-core dev box are different experiments, and the reports must
+// say which one they were.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// AVX2 reports whether the int8 scoring kernel's AVX2 path is active
+	// (detected via CPUID by the caller; always false off amd64).
+	AVX2      bool   `json:"avx2"`
+	Timestamp string `json:"timestamp_utc"`
+}
+
+// CollectRunMeta snapshots the current process's machine shape. AVX2 is
+// passed in by the caller (obs stays dependency-free; the serving package
+// owns the CPUID detection).
+func CollectRunMeta(avx2 bool) RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		AVX2:       avx2,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a lightweight span recorder that dumps a Chrome trace-event
+// JSON file (the chrome://tracing / Perfetto "trace event format"). The
+// engine arms it for exactly one epoch, each executor records its
+// processed tasks as complete ("X") spans on its own track, and the result
+// is the epoch's block-schedule timeline: CPU blocks, batched super-block
+// kernels, the background packs overlapping them, steals, the quiescence
+// barrier, evaluation and checkpoint writes.
+//
+// Span is cheap when the trace is disarmed — one atomic load — so
+// executors call it unconditionally; while armed it takes a mutex, which
+// is acceptable for the one traced epoch (tasks are milliseconds, the
+// critical section appends one struct).
+type Trace struct {
+	active atomic.Bool
+
+	mu     sync.Mutex
+	base   time.Time
+	spans  []span
+	names  map[int]string
+	nameID []int // tids in naming order, for deterministic output
+}
+
+type span struct {
+	name  string
+	tid   int
+	start time.Time
+	dur   time.Duration
+	nnz   int
+}
+
+// NewTrace returns a disarmed recorder.
+func NewTrace() *Trace {
+	return &Trace{names: make(map[int]string)}
+}
+
+// SetThreadName labels a track in the rendered timeline ("cpu-3",
+// "batched-0/pack", "engine").
+func (t *Trace) SetThreadName(tid int, name string) {
+	t.mu.Lock()
+	if _, seen := t.names[tid]; !seen {
+		t.nameID = append(t.nameID, tid)
+	}
+	t.names[tid] = name
+	t.mu.Unlock()
+}
+
+// Start arms the recorder; the first Start stamps the timeline origin.
+func (t *Trace) Start() {
+	t.mu.Lock()
+	if t.base.IsZero() {
+		t.base = time.Now()
+	}
+	t.mu.Unlock()
+	t.active.Store(true)
+}
+
+// Stop disarms the recorder; recorded spans are kept.
+func (t *Trace) Stop() { t.active.Store(false) }
+
+// Active reports whether spans are being recorded.
+func (t *Trace) Active() bool { return t.active.Load() }
+
+// Span records one complete slice on track tid. It is a no-op while the
+// recorder is disarmed. nnz <= 0 omits the args block.
+func (t *Trace) Span(tid int, name string, start time.Time, dur time.Duration, nnz int) {
+	if !t.active.Load() {
+		return
+	}
+	t.mu.Lock()
+	if t.base.IsZero() || start.Before(t.base) {
+		// A span can straddle the arming instant (it started before the
+		// epoch boundary armed the trace); clamp rather than emit negative
+		// timestamps, which chrome://tracing silently drops.
+		if t.base.IsZero() {
+			t.base = start
+		} else {
+			dur -= t.base.Sub(start)
+			start = t.base
+			if dur < 0 {
+				dur = 0
+			}
+		}
+	}
+	t.spans = append(t.spans, span{name: name, tid: tid, start: start, dur: dur, nnz: nnz})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// traceEvent is one entry of the Chrome trace-event format. TS and Dur are
+// microseconds relative to the trace origin.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Events renders the recorded spans (plus thread-name metadata) as
+// trace-event entries.
+func (t *Trace) Events() []traceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := make([]traceEvent, 0, len(t.spans)+len(t.names))
+	for _, tid := range t.nameID {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": t.names[tid]},
+		})
+	}
+	for _, s := range t.spans {
+		e := traceEvent{
+			Name: s.name, Ph: "X", PID: 0, TID: s.tid,
+			TS:  float64(s.start.Sub(t.base).Nanoseconds()) / 1e3,
+			Dur: float64(s.dur.Nanoseconds()) / 1e3,
+		}
+		if s.nnz > 0 {
+			e.Args = map[string]any{"nnz": s.nnz}
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON form, loadable by
+// chrome://tracing and ui.perfetto.dev.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTraceWriteFileValidChromeJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.SetThreadName(0, "engine")
+	tr.SetThreadName(1, "cpu-0")
+
+	// Disarmed: spans are dropped.
+	tr.Span(1, "block", time.Now(), time.Millisecond, 10)
+	if tr.Len() != 0 {
+		t.Fatalf("disarmed trace recorded %d spans", tr.Len())
+	}
+
+	tr.Start()
+	base := time.Now()
+	tr.Span(1, "block", base, 2*time.Millisecond, 128)
+	tr.Span(0, "barrier", base.Add(3*time.Millisecond), time.Millisecond, 0)
+	tr.Stop()
+	tr.Span(1, "block", time.Now(), time.Millisecond, 10) // dropped again
+
+	path := filepath.Join(t.TempDir(), "epoch.trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", parsed.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "thread_name" || e.Args["name"] == nil {
+				t.Errorf("bad metadata event %+v", e)
+			}
+		case "X":
+			complete++
+			if e.TS < 0 || e.Dur < 0 {
+				t.Errorf("negative timestamp in %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Fatalf("got %d metadata + %d complete events, want 2 + 2", meta, complete)
+	}
+	// The nnz arg must round-trip on the block span.
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" && e.Name == "block" {
+			if v, ok := e.Args["nnz"].(float64); !ok || v != 128 {
+				t.Errorf("block span args = %v", e.Args)
+			}
+		}
+	}
+}
+
+// A span that started before the trace was armed is clamped to the
+// timeline origin instead of rendering at a negative timestamp.
+func TestTraceClampsPreArmSpans(t *testing.T) {
+	tr := NewTrace()
+	early := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	tr.Start()
+	tr.Span(1, "straddler", early, 10*time.Millisecond, 0)
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].TS < 0 {
+		t.Fatalf("clamped span has ts %v", events[0].TS)
+	}
+	if events[0].Dur > 10_000 { // µs
+		t.Fatalf("clamped span kept full duration %v", events[0].Dur)
+	}
+}

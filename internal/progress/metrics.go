@@ -1,0 +1,84 @@
+package progress
+
+import (
+	"sync"
+
+	"hsgd/internal/obs"
+)
+
+// MetricsSink returns a progress Func that mirrors every training event
+// into gauges on reg, so a Prometheus scrape of /metricz sees the same
+// training state that /statsz reports as JSON. The values are absolute
+// readings of the run (current epoch, cumulative updates), not
+// monotonically owned by the sink, so everything is a gauge: a resumed or
+// restarted run may legitimately move them backwards.
+//
+// Per-class series are registered lazily the first time a class name
+// appears, since single-class trainers never emit them. The returned Func
+// is safe for use from one trainer goroutine at a time (the delivery
+// contract of this package); the lazy registration map is still locked
+// because a server may swap trainers across the life of one registry.
+func MetricsSink(reg *obs.Registry) Func {
+	epoch := reg.Gauge("hsgd_train_epoch", "completed training epochs (absolute, includes resume offset)", nil)
+	totalEpochs := reg.Gauge("hsgd_train_total_epochs", "epoch budget of the current run", nil)
+	rmse := reg.Gauge("hsgd_train_rmse", "test RMSE at the last quiescent point (0 = no test set)", nil)
+	updates := reg.Gauge("hsgd_train_updates", "cumulative updates in the trainer's own unit", nil)
+	ups := reg.Gauge("hsgd_train_updates_per_sec", "update throughput over the run so far", nil)
+	checkpoints := reg.Gauge("hsgd_train_checkpoints", "model snapshots written so far", nil)
+	alpha := reg.Gauge("hsgd_train_split_alpha", "fraction of rating mass owned by the batched class", nil)
+	barrier := reg.Gauge("hsgd_train_barrier_wait_seconds", "cumulative engine quiescence-barrier wait", nil)
+	ckptWrite := reg.Gauge("hsgd_train_checkpoint_write_seconds", "cumulative atomic snapshot write time", nil)
+	lastTS := reg.Gauge("hsgd_train_last_event_timestamp_seconds", "unix time of the newest progress event", nil)
+
+	type classSeries struct {
+		updates *obs.Gauge
+		ups     *obs.Gauge
+		steals  *obs.Gauge
+		tasks   *obs.Gauge
+		p50     *obs.Gauge
+		p99     *obs.Gauge
+		overlap *obs.Gauge
+	}
+	var mu sync.Mutex
+	classes := make(map[string]*classSeries)
+
+	return func(e Event) {
+		epoch.Set(float64(e.Epoch))
+		totalEpochs.Set(float64(e.TotalEpochs))
+		rmse.Set(e.RMSE)
+		updates.Set(float64(e.TotalUpdates))
+		ups.Set(e.UpdatesPerSec)
+		checkpoints.Set(float64(e.Checkpoints))
+		alpha.Set(e.SplitAlpha)
+		barrier.Set(e.BarrierWait.Seconds())
+		ckptWrite.Set(e.CheckpointWrite.Seconds())
+		if !e.Time.IsZero() {
+			lastTS.Set(float64(e.Time.UnixNano()) / 1e9)
+		}
+		for _, cs := range e.Classes {
+			mu.Lock()
+			s := classes[cs.Class]
+			if s == nil {
+				l := obs.Labels{"class": cs.Class}
+				s = &classSeries{
+					updates: reg.Gauge("hsgd_train_class_updates", "cumulative updates per executor class", l),
+					ups:     reg.Gauge("hsgd_train_class_updates_per_sec", "per-class update throughput", l),
+					steals:  reg.Gauge("hsgd_train_class_steals", "Rule-1 steals performed by the class", l),
+					tasks:   reg.Gauge("hsgd_train_class_tasks", "scheduler tasks released to the class", l),
+					p50:     reg.Gauge("hsgd_train_class_task_p50_seconds", "per-task latency p50 for the class", l),
+					p99:     reg.Gauge("hsgd_train_class_task_p99_seconds", "per-task latency p99 for the class", l),
+					overlap: reg.Gauge("hsgd_train_class_overlap_ratio", "fraction of pack time hidden behind kernels (batched class)", l),
+				}
+				classes[cs.Class] = s
+			}
+			mu.Unlock()
+			s.updates.Set(float64(cs.Updates))
+			s.ups.Set(cs.UpdatesPerSec)
+			s.steals.Set(float64(cs.Steals))
+			s.tasks.Set(float64(cs.Tasks))
+			s.p50.Set(cs.TaskP50MS / 1e3)
+			s.p99.Set(cs.TaskP99MS / 1e3)
+			s.overlap.Set(cs.OverlapRatio)
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Event struct {
 	Kind      Kind
 	Algorithm string // trainer name: fpsgd|hogwild|als|cd|sim|...
 
+	// Time is the wall-clock instant the event was emitted, stamped by the
+	// trainer. Consumers use it to detect a stalled or dead feeder: the
+	// serving layer surfaces the age of the newest event as
+	// last_event_age_ms in /statsz and as a timestamp gauge in /metricz.
+	Time time.Time
+
 	Epoch       int // absolute completed epochs (includes resumed offset)
 	TotalEpochs int // the run's epoch budget
 
@@ -61,6 +67,16 @@ type Event struct {
 	Checkpoints    int
 	CheckpointPath string
 
+	// BarrierWait is the cumulative time the engine's quiescence barrier
+	// spent draining in-flight work at epoch boundaries — the serialized
+	// cost the paper's conflict-free scheduling tries to minimize. Zero
+	// for trainers without an engine barrier.
+	BarrierWait time.Duration
+	// CheckpointWrite is the cumulative time spent writing atomic model
+	// snapshots (temp file + rename), so slow disks feeding the serve
+	// watcher are visible.
+	CheckpointWrite time.Duration
+
 	// Classes breaks TotalUpdates down per executor class for
 	// heterogeneous runs (nil for single-class trainers), and SplitAlpha
 	// is the current nonuniform split: the fraction of the rating mass
@@ -79,6 +95,18 @@ type ClassStat struct {
 	// Steals counts tasks this class took from the other class's region
 	// during the dynamic phase.
 	Steals int64 `json:"steals"`
+	// Tasks counts scheduler tasks this class released (super-blocks for
+	// batched, small blocks for cpu).
+	Tasks int64 `json:"tasks,omitempty"`
+	// TaskP50MS/TaskP99MS are per-task latency quantiles (milliseconds)
+	// estimated from the class's measured cost samples.
+	TaskP50MS float64 `json:"task_p50_ms,omitempty"`
+	TaskP99MS float64 `json:"task_p99_ms,omitempty"`
+	// OverlapRatio is the fraction of the batched class's pack ("transfer")
+	// time hidden behind its kernels by the double-buffered pipeline —
+	// 1 means the Equation 9 overlap is perfect, 0 means packs run fully
+	// on the critical path. Zero for the cpu class, which stages nothing.
+	OverlapRatio float64 `json:"overlap_ratio,omitempty"`
 }
 
 // Func receives progress events. A nil Func is always legal and means "no

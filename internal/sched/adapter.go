@@ -14,6 +14,8 @@ type HeteroStats struct {
 	StolenByGPU    int64 // CPU-region row-batch tasks taken by batched-class owners
 	SuperTasks     int64 // static-phase super-blocks issued
 	SubTasks       int64 // sub-row tasks issued
+	CPUTasks       int64 // tasks released by exclusive (CPU-class) owners
+	BatchedTasks   int64 // tasks released by non-exclusive (batched-class) owners
 }
 
 // HeteroScheduler adapts the two-region Hetero policy behind the engine's
@@ -48,6 +50,7 @@ type HeteroScheduler struct {
 
 	// Per-class totals and fold-in of swapped-out generations' counters.
 	cpuUpd, batUpd                     atomic.Int64
+	cpuTasks, batTasks                 atomic.Int64
 	carriedCPUSteal, carriedGPUSteal   int64
 	carriedSuperTasks, carriedSubTasks int64
 
@@ -101,8 +104,10 @@ func (a *HeteroScheduler) Release(t *Task) {
 	a.mu.Unlock()
 	if t.exclusive {
 		a.cpuUpd.Add(int64(t.NNZ))
+		a.cpuTasks.Add(1)
 	} else {
 		a.batUpd.Add(int64(t.NNZ))
+		a.batTasks.Add(1)
 	}
 	a.total.Add(int64(t.NNZ))
 	a.inFlight.Add(-1)
@@ -180,6 +185,8 @@ func (a *HeteroScheduler) Stats() HeteroStats {
 	a.mu.Unlock()
 	s.CPUUpdates = a.cpuUpd.Load()
 	s.BatchedUpdates = a.batUpd.Load()
+	s.CPUTasks = a.cpuTasks.Load()
+	s.BatchedTasks = a.batTasks.Load()
 	return s
 }
 

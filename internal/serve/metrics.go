@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"hsgd/internal/obs"
+)
+
+// serverMetrics is the server's pre-registered handle set for /metricz.
+// Everything the hot path touches is registered once at construction —
+// request latencies observe a *obs.Histogram field directly (atomic adds,
+// no map lookup, no boxing), and the existing request/cache atomics are
+// exported through CounterFunc/GaugeFunc closures that read them only at
+// scrape time, so enabling metrics costs the serving loop nothing it was
+// not already paying.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// Per-endpoint request latency histograms, observed by the timing
+	// wrapper around each handler.
+	predict       *obs.Histogram
+	recommendGet  *obs.Histogram
+	recommendPost *obs.Histogram
+	similar       *obs.Histogram
+
+	// swaps counts snapshot hot-swaps; incremented from the store's OnSwap
+	// hook.
+	swaps *obs.Counter
+}
+
+// newServerMetrics registers the serving metric families on reg and wires
+// the scrape-time readers to the server's existing counters.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	const reqHelp = "request latency by endpoint"
+	m := &serverMetrics{
+		reg:           reg,
+		predict:       reg.Histogram("hsgd_request_duration_seconds", reqHelp, obs.Labels{"endpoint": "predict"}, nil),
+		recommendGet:  reg.Histogram("hsgd_request_duration_seconds", reqHelp, obs.Labels{"endpoint": "recommend_get"}, nil),
+		recommendPost: reg.Histogram("hsgd_request_duration_seconds", reqHelp, obs.Labels{"endpoint": "recommend_post"}, nil),
+		similar:       reg.Histogram("hsgd_request_duration_seconds", reqHelp, obs.Labels{"endpoint": "similar_items"}, nil),
+		swaps:         reg.Counter("hsgd_snapshot_swaps_total", "snapshot hot-swaps since start", nil),
+	}
+
+	const cntHelp = "requests served by endpoint"
+	reg.CounterFunc("hsgd_requests_total", cntHelp, obs.Labels{"endpoint": "predict"}, s.nPredict.Load)
+	reg.CounterFunc("hsgd_requests_total", cntHelp, obs.Labels{"endpoint": "recommend"}, s.nRecommend.Load)
+	reg.CounterFunc("hsgd_requests_total", cntHelp, obs.Labels{"endpoint": "similar_items"}, s.nSimilar.Load)
+	reg.CounterFunc("hsgd_request_errors_total", "requests answered with an error status", nil, s.nErrors.Load)
+	reg.CounterFunc("hsgd_fold_ins_total", "cold-start fold-in rankings served", nil, s.nFoldIn.Load)
+	reg.CounterFunc("hsgd_cache_hits_total", "result-cache hits", nil, s.nCacheHit.Load)
+	reg.CounterFunc("hsgd_cache_misses_total", "result-cache misses", nil, s.nCacheMiss.Load)
+	reg.GaugeFunc("hsgd_cache_entries", "live result-cache entries", nil, func() float64 {
+		return float64(s.cache.Len())
+	})
+	reg.CounterFunc("hsgd_quantized_scans_total", "rankings served by the int8 quantized path", nil, s.nQuantScans.Load)
+	reg.CounterFunc("hsgd_rerank_depth_total", "candidates rescored exactly after quantized scans (divide by hsgd_quantized_scans_total for the mean depth)", nil, s.nRerankDepth.Load)
+	reg.GaugeFunc("hsgd_uptime_seconds", "seconds since the server started", nil, func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	reg.GaugeFunc("hsgd_snapshot_version", "version counter of the live snapshot (0 = none loaded)", nil, func() float64 {
+		if snap := s.store.Current(); snap != nil {
+			return float64(snap.Version)
+		}
+		return 0
+	})
+	reg.GaugeFunc("hsgd_snapshot_age_seconds", "seconds since the live snapshot was loaded (-1 = none loaded)", nil, func() float64 {
+		if snap := s.store.Current(); snap != nil {
+			return time.Since(snap.LoadedAt).Seconds()
+		}
+		return -1
+	})
+	return m
+}
+
+// timed wraps a handler so its wall-clock duration lands in hist. The
+// closure is built once at mux-construction time; per request it costs two
+// time reads and the histogram's atomic adds.
+func timed(hist *obs.Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.ObserveSince(start)
+	}
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsgd/internal/progress"
+)
+
+// scrapeMetricz fetches /metricz and returns the Prometheus text body.
+func scrapeMetricz(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metricz: status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("GET /metricz: content-type %q", ct)
+	}
+	return string(raw)
+}
+
+// metricValue returns the sample value of the first line whose name+labels
+// prefix matches, or -1 when the family is absent.
+func metricValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	return -1
+}
+
+// TestMetriczScrapeUnderHotSwapLoad (run with -race): scrapers pull
+// /metricz while readers hammer /v1/recommend and a publisher hot-swaps
+// the snapshot underneath both. Every scrape must return well-formed
+// Prometheus text, and the final scrape must account for the traffic:
+// request histogram counts, cache activity, and one swap increment per
+// publish.
+func TestMetriczScrapeUnderHotSwapLoad(t *testing.T) {
+	const users, items, kDim, swapsWanted = 4, 3000, 8, 40
+	store := NewStore()
+	ts := newTestServer(t, store)
+	if _, err := store.Publish(uniformFactors(users, items, kDim, 1, 1), "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // publisher: hot-swap the snapshot swapsWanted more times
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < swapsWanted; i++ {
+			f := uniformFactors(users, items, kDim, 1, float32(1+i%3))
+			if _, err := store.Publish(f, "swap"); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ { // readers: recommend traffic across the swaps
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i >= 30 {
+						return
+					}
+				default:
+				}
+				getBody(t, ts.URL+"/v1/recommend?user="+strconv.Itoa((r+i)%users)+"&k=5", http.StatusOK, nil)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // scraper: every concurrent scrape must be well-formed
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				if i >= 10 {
+					return
+				}
+			default:
+			}
+			body := scrapeMetricz(t, ts.URL)
+			if !strings.Contains(body, "# TYPE hsgd_request_duration_seconds histogram") {
+				t.Error("scrape missing request histogram family")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	body := scrapeMetricz(t, ts.URL)
+	if n := metricValue(t, body, `hsgd_request_duration_seconds_count{endpoint="recommend_get"}`); n < 90 {
+		t.Fatalf("recommend_get histogram count %v, want >= 90 (3 readers x 30)", n)
+	}
+	if n := metricValue(t, body, `hsgd_snapshot_swaps_total`); n < swapsWanted {
+		t.Fatalf("snapshot swaps %v, want >= %d", n, swapsWanted)
+	}
+	hits := metricValue(t, body, `hsgd_cache_hits_total`)
+	misses := metricValue(t, body, `hsgd_cache_misses_total`)
+	if hits < 0 || misses <= 0 {
+		t.Fatalf("cache counters hits=%v misses=%v, want both exported and misses > 0", hits, misses)
+	}
+	if v := metricValue(t, body, `hsgd_snapshot_version`); v < 1 {
+		t.Fatalf("snapshot version gauge %v, want >= 1", v)
+	}
+	// The histogram's sum and +Inf bucket must agree with the count —
+	// torn scrapes under concurrent Observe would show up here first.
+	inf := metricValue(t, body, `hsgd_request_duration_seconds_bucket{endpoint="recommend_get",le="+Inf"}`)
+	cnt := metricValue(t, body, `hsgd_request_duration_seconds_count{endpoint="recommend_get"}`)
+	if inf != cnt {
+		t.Fatalf("+Inf bucket %v != count %v", inf, cnt)
+	}
+}
+
+// TestMetriczTrainingMetrics: progress events delivered through
+// TrainingSink surface as hsgd_train_* gauges on /metricz, including the
+// per-class labeled series, and /statsz reports how stale the last event
+// is.
+func TestMetriczTrainingMetrics(t *testing.T) {
+	store := NewStore()
+	if _, err := store.Publish(uniformFactors(2, 100, 4, 1, 1), "m"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	sink := srv.TrainingSink()
+	sink.Emit(progress.Event{
+		Kind: progress.KindEpoch, Algorithm: "hetero",
+		Time:  time.Now().Add(-250 * time.Millisecond),
+		Epoch: 2, TotalEpochs: 5, RMSE: 1.25, TotalUpdates: 1000, UpdatesPerSec: 5e6,
+		Classes: []progress.ClassStat{
+			{Class: "cpu", Workers: 3, Updates: 800, UpdatesPerSec: 4e6, Steals: 2, Tasks: 40, TaskP50MS: 0.5, TaskP99MS: 2},
+			{Class: "batched", Workers: 1, Updates: 200, UpdatesPerSec: 1e6, Tasks: 10, OverlapRatio: 0.75},
+		},
+	})
+
+	body := scrapeMetricz(t, ts.URL)
+	for prefix, want := range map[string]float64{
+		`hsgd_train_epoch`:                                2,
+		`hsgd_train_total_epochs`:                         5,
+		`hsgd_train_rmse`:                                 1.25,
+		`hsgd_train_updates`:                              1000,
+		`hsgd_train_class_updates{class="cpu"}`:           800,
+		`hsgd_train_class_steals{class="cpu"}`:            2,
+		`hsgd_train_class_tasks{class="cpu"}`:             40,
+		`hsgd_train_class_task_p50_seconds{class="cpu"}`:  0.0005,
+		`hsgd_train_class_overlap_ratio{class="batched"}`: 0.75,
+	} {
+		if got := metricValue(t, body, prefix); got != want {
+			t.Errorf("%s = %v, want %v", prefix, got, want)
+		}
+	}
+	if v := metricValue(t, body, `hsgd_train_last_event_timestamp_seconds`); v <= 0 {
+		t.Errorf("last event timestamp gauge %v, want > 0", v)
+	}
+
+	var statsz struct {
+		Training *struct {
+			State          string  `json:"state"`
+			LastEventAgeMS float64 `json:"last_event_age_ms"`
+		} `json:"training"`
+	}
+	getBody(t, ts.URL+"/statsz", http.StatusOK, &statsz)
+	if statsz.Training == nil {
+		t.Fatal("/statsz missing training block after sink event")
+	}
+	if age := statsz.Training.LastEventAgeMS; age < 250 || age > 60_000 {
+		t.Fatalf("last_event_age_ms = %v, want >= 250 (event stamped 250ms ago)", age)
+	}
+}

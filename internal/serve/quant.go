@@ -188,6 +188,11 @@ func scoreRangeQ(qf *model.QuantizedFactors, qq []int8, lo, hi int, seen map[int
 	}
 }
 
+// HasAVX2 reports whether the quantized scoring kernel runs its AVX2
+// assembly path on this machine — the CPUID detection the bench reports'
+// run metadata records (always false off amd64).
+func HasAVX2() bool { return useDotQ4Asm }
+
 // dotQ4 accumulates four int8 rows against the int8 query into int32
 // accumulators in one pass — the quantized mirror of dot4. Products are at
 // most 127² and k is far below 2³¹/127², so int32 never overflows. On

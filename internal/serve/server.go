@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	// <= 0 picks DefaultRerankFactor. Ignored while the snapshot carries no
 	// quantized view.
 	RerankFactor int
+	// Metrics is the registry /metricz exports; nil makes the server create
+	// a private one. Pass a shared registry when the process also runs a
+	// trainer (or a -debug-addr listener) so one scrape sees everything.
+	Metrics *obs.Registry
 }
 
 // Server is the HTTP JSON API over a snapshot store:
@@ -42,6 +47,7 @@ type Config struct {
 //	GET  /v1/similar-items?item=V&k=10      item-to-item cosine retrieval
 //	GET  /healthz                           200 once a snapshot is live
 //	GET  /statsz                            counters + snapshot metadata
+//	GET  /metricz                           Prometheus text-format metrics
 //
 // Every request pins the snapshot once, so a concurrent hot-swap never
 // mixes two model versions inside one response.
@@ -60,24 +66,33 @@ type Server struct {
 	// measured rerank depth /statsz reports.
 	nQuantScans, nRerankDepth atomic.Int64
 
+	m *serverMetrics
+
 	trainMu    sync.Mutex
 	trainEvent *progress.Event
 	trainSeen  time.Time
+	trainSink  progress.Func // mirrors events into the metrics registry
 }
 
 // TrainingSink returns a progress.Func that records the latest training
-// event for /statsz — the wiring for a process that trains and serves in
-// one binary (the checkpoint hot-swap loop): pass it as the trainer's
-// Progress option and /statsz grows a "training" block with the live
-// epoch, RMSE, update rate, and checkpoint count.
+// event for /statsz and mirrors it into the metrics registry for /metricz —
+// the wiring for a process that trains and serves in one binary (the
+// checkpoint hot-swap loop): pass it as the trainer's Progress option and
+// /statsz grows a "training" block with the live epoch, RMSE, update rate,
+// and checkpoint count, while a scrape sees the hsgd_train_* gauges.
 func (s *Server) TrainingSink() progress.Func {
 	return func(e progress.Event) {
 		s.trainMu.Lock()
 		s.trainEvent = &e
 		s.trainSeen = time.Now()
 		s.trainMu.Unlock()
+		s.trainSink.Emit(e)
 	}
 }
+
+// Metrics returns the registry /metricz exports — the hook for mounting
+// the same metrics on an auxiliary debug listener.
+func (s *Server) Metrics() *obs.Registry { return s.m.reg }
 
 // New builds a Server over the given store and registers the cache
 // invalidation hook: every hot-swap purges the result cache.
@@ -101,7 +116,16 @@ func New(cfg Config) (*Server, error) {
 		maxK:         maxK,
 		start:        time.Now(),
 	}
-	cfg.Store.OnSwap(func(*Snapshot) { s.cache.Purge() })
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.m = newServerMetrics(reg, s)
+	s.trainSink = progress.MetricsSink(reg)
+	cfg.Store.OnSwap(func(*Snapshot) {
+		s.cache.Purge()
+		s.m.swaps.Inc()
+	})
 	return s, nil
 }
 
@@ -156,10 +180,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statsz", s.handleStats)
-	mux.HandleFunc("GET /v1/predict", s.handlePredict)
-	mux.HandleFunc("GET /v1/recommend", s.handleRecommendGet)
-	mux.HandleFunc("POST /v1/recommend", s.handleRecommendPost)
-	mux.HandleFunc("GET /v1/similar-items", s.handleSimilar)
+	mux.Handle("GET /metricz", obs.Handler(s.m.reg))
+	mux.HandleFunc("GET /v1/predict", timed(s.m.predict, s.handlePredict))
+	mux.HandleFunc("GET /v1/recommend", timed(s.m.recommendGet, s.handleRecommendGet))
+	mux.HandleFunc("POST /v1/recommend", timed(s.m.recommendPost, s.handleRecommendPost))
+	mux.HandleFunc("GET /v1/similar-items", timed(s.m.similar, s.handleSimilar))
 	return mux
 }
 
@@ -233,6 +258,11 @@ type trainingStats struct {
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
 	Checkpoints   int     `json:"checkpoints,omitempty"`
 	UpdatedAt     string  `json:"updated_at"`
+	// LastEventAgeMS is how stale the block is: milliseconds since the
+	// newest event was emitted (its trainer-stamped Time, falling back to
+	// arrival time for events without one). A growing age on a run still in
+	// state "training" means the feeder stalled or died.
+	LastEventAgeMS float64 `json:"last_event_age_ms"`
 
 	// SplitAlpha is the fraction of the rating mass owned by the
 	// throughput (batched) class; Classes breaks the update totals down
@@ -312,18 +342,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		case progress.KindInterrupted:
 			state = "interrupted"
 		}
+		stamp := e.Time
+		if stamp.IsZero() {
+			stamp = s.trainSeen
+		}
 		resp.Training = &trainingStats{
-			State:         state,
-			Algorithm:     e.Algorithm,
-			Epoch:         e.Epoch,
-			TotalEpochs:   e.TotalEpochs,
-			RMSE:          e.RMSE,
-			TotalUpdates:  e.TotalUpdates,
-			UpdatesPerSec: e.UpdatesPerSec,
-			Checkpoints:   e.Checkpoints,
-			UpdatedAt:     s.trainSeen.UTC().Format(time.RFC3339),
-			SplitAlpha:    e.SplitAlpha,
-			Classes:       e.Classes,
+			State:          state,
+			Algorithm:      e.Algorithm,
+			Epoch:          e.Epoch,
+			TotalEpochs:    e.TotalEpochs,
+			RMSE:           e.RMSE,
+			TotalUpdates:   e.TotalUpdates,
+			UpdatesPerSec:  e.UpdatesPerSec,
+			Checkpoints:    e.Checkpoints,
+			UpdatedAt:      s.trainSeen.UTC().Format(time.RFC3339),
+			LastEventAgeMS: float64(time.Since(stamp).Nanoseconds()) / 1e6,
+			SplitAlpha:     e.SplitAlpha,
+			Classes:        e.Classes,
 		}
 	}
 	s.trainMu.Unlock()

@@ -13,6 +13,7 @@ import (
 	"hsgd/internal/core"
 	"hsgd/internal/engine"
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 	"hsgd/internal/sgd"
 )
@@ -36,6 +37,18 @@ const (
 	ProgressDone        = progress.KindDone
 	ProgressInterrupted = progress.KindInterrupted
 )
+
+// Trace is a span recorder capturing one epoch's block-schedule timeline
+// as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev): per-
+// executor task spans, the batched pipeline's overlapped background packs,
+// steals, barrier waits, evaluations and checkpoint writes. Attach one via
+// TrainOptions.Trace (capability Trace), then dump it with WriteFile after
+// training returns.
+type Trace = obs.Trace
+
+// NewTrace returns an empty, disarmed epoch-trace recorder; the engine
+// arms it for exactly the epoch TrainOptions.TraceEpoch selects.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // TrainOptions is the shared configuration of every Trainer. Whether a
 // particular trainer honors a field is declared by its Capabilities; an
@@ -92,6 +105,13 @@ type TrainOptions struct {
 	// Heterogeneous); nil picks one batched executor with the online
 	// cost-model-driven split when the hetero trainer runs.
 	Hetero *HeteroConfig
+
+	// Trace, when non-nil, records the block-schedule timeline of one
+	// epoch — the one selected by TraceEpoch, 1-based relative to
+	// StartEpoch (values below 1 record the first) — into the given
+	// recorder (capability Trace). Dump it afterwards with Trace.WriteFile.
+	Trace      *Trace
+	TraceEpoch int
 }
 
 // HeteroConfig tunes the "hetero" trainer: HSGD* scheduling on live
@@ -271,6 +291,7 @@ func emitProgress(opt *TrainOptions, kind ProgressKind, rep *TrainReport, start 
 	opt.Progress(ProgressEvent{
 		Kind:          kind,
 		Algorithm:     rep.Algorithm,
+		Time:          time.Now(),
 		Epoch:         rep.Epochs,
 		TotalEpochs:   opt.Params.Iters,
 		RMSE:          rep.FinalRMSE,
@@ -319,6 +340,7 @@ func (fpsgdTrainer) Capabilities() Capabilities {
 		Resume:      true,
 		SplitLambda: true,
 		History:     true,
+		Trace:       true,
 	}
 }
 
@@ -338,6 +360,8 @@ func (t fpsgdTrainer) Train(ctx context.Context, train *Matrix, opt TrainOptions
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointEvery: opt.CheckpointEvery,
 		Progress:        opt.Progress,
+		Trace:           opt.Trace,
+		TraceEpoch:      opt.TraceEpoch,
 	})
 	if rep == nil {
 		return nil, nil, err
@@ -373,6 +397,7 @@ func (heteroTrainer) Capabilities() Capabilities {
 		SplitLambda:   true,
 		History:       true,
 		Heterogeneous: true,
+		Trace:         true,
 	}
 }
 
@@ -397,6 +422,8 @@ func (t heteroTrainer) Train(ctx context.Context, train *Matrix, opt TrainOption
 			CheckpointPath:  opt.CheckpointPath,
 			CheckpointEvery: opt.CheckpointEvery,
 			Progress:        opt.Progress,
+			Trace:           opt.Trace,
+			TraceEpoch:      opt.TraceEpoch,
 		},
 		BatchedWorkers: cfg.BatchedWorkers,
 		Superblock:     cfg.Superblock,
