@@ -6,9 +6,12 @@
 //     (internal/engine) behind hsgd.TrainParallel; "legacy" is the
 //     pre-engine global-mutex FPSGD loop (core.TrainRealLegacy) kept as
 //     the regression baseline.
-//   - -mode serve: exact float32 vs int8-quantized top-K retrieval on the
-//     Netflix-item-count snapshot (BENCH_serve.json), with bytes scanned
-//     per query and exact-vs-quantized recall@10.
+//   - -mode serve: exact float32 vs int8-quantized vs IVF probe-and-rerank
+//     top-K retrieval on the Netflix-item-count snapshot, optionally
+//     expanded -catalog× by replicate-and-perturb (BENCH_serve.json), with
+//     measured bytes touched per query, per-mode effective bandwidth,
+//     recall@10 per approximate mode, and the IVF recall-vs-QPS curve
+//     across nprobe.
 //   - -mode hetero: striped (homogeneous) vs heterogeneous two-class
 //     executor engine at the same worker budget (BENCH_hetero.json), with
 //     each contender's wall-clock time to the common reachable RMSE.
@@ -23,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"syscall"
 	"time"
 
@@ -77,6 +81,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		runs    = flag.Int("runs", 3, "trials per contender; the fastest is reported")
 		batched = flag.Int("batched", 1, "batched executors inside the worker budget (hetero mode)")
+		catalog = flag.Int("catalog", 1, "item-catalog multiplier for serve mode (replicate-and-perturb)")
+		nprobe  = flag.Int("nprobe", 0, "IVF probed-list override for serve mode; 0 means nlist/16")
 		out     = flag.String("out", "", "JSON report path (default BENCH_<mode>.json)")
 		verbose = flag.Bool("v", false, "stream per-epoch engine progress to stderr")
 	)
@@ -97,7 +103,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_serve.json"
 		}
-		err = runServe(ctx, *seed, *runs, *out)
+		err = runServe(ctx, *seed, *runs, *catalog, *nprobe, *out)
 	case "hetero":
 		if *out == "" {
 			*out = "BENCH_hetero.json"
@@ -113,6 +119,10 @@ func main() {
 }
 
 // serveResult is one contender's retrieval cost on the benchmark snapshot.
+// BytesScannedOp is the memory actually touched per query (measured probe
+// work for IVF, the full view plus rerank rows for the scans), and
+// EffectiveGBPerS = bytes/elapsed — the effective memory bandwidth the
+// retrieval mode sustains.
 type serveResult struct {
 	NsPerOp         float64 `json:"ns_per_op"`
 	QPS             float64 `json:"qps"`
@@ -120,8 +130,17 @@ type serveResult struct {
 	EffectiveGBPerS float64 `json:"effective_gb_per_s"`
 }
 
+// curvePoint is one nprobe setting on the IVF recall-vs-QPS tradeoff curve.
+type curvePoint struct {
+	NProbe     int     `json:"nprobe"`
+	RecallAt10 float64 `json:"recall_at_10"`
+	QPS        float64 `json:"qps"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
 type serveReport struct {
 	Items        int     `json:"items"`
+	Catalog      int     `json:"catalog"` // item-catalog multiplier over the Netflix base
 	K            int     `json:"k"`
 	TopK         int     `json:"top_k"`
 	Shards       int     `json:"shards"`
@@ -129,64 +148,120 @@ type serveReport struct {
 	MaxProcs     int     `json:"maxprocs"`
 	Seed         int64   `json:"seed"`
 	QuantBuildMS float64 `json:"quant_build_ms"`
-	RecallAt10   float64 `json:"recall_at_10"`
+	IVFBuildMS   float64 `json:"ivf_build_ms"`
+	NList        int     `json:"nlist"`
+	NProbe       int     `json:"nprobe"`
+	RecallAt10   float64 `json:"recall_at_10"`     // exact vs quantized
+	IVFRecall10  float64 `json:"ivf_recall_at_10"` // exact vs IVF at NProbe
 
-	Exact     serveResult `json:"exact"`
-	Quantized serveResult `json:"quantized"`
-	Speedup   float64     `json:"speedup"` // exact ns / quantized ns
+	Exact      serveResult  `json:"exact"`
+	Quantized  serveResult  `json:"quantized"`
+	IVF        serveResult  `json:"ivf"`
+	Speedup    float64      `json:"speedup"`     // exact ns / quantized ns
+	IVFSpeedup float64      `json:"ivf_speedup"` // quantized ns / ivf ns
+	Curve      []curvePoint `json:"ivf_curve"`
 
 	Meta obs.RunMeta `json:"meta"`
 }
 
-// runServe measures full-catalog top-10 retrieval at the Netflix item
-// count (n=17770, the paper's Table I) with k=128 factors — the
-// configuration where the float32 scan is memory-bandwidth-bound — for the
-// exact scorer and the int8-quantized scorer with exact rerank.
-func runServe(ctx context.Context, seed int64, runs int, out string) error {
+// benchFactors builds the serve-benchmark snapshot: item factors drawn as
+// gaussian perturbations of shared cluster centers — the co-clustered shape
+// trained MF factors take — with one row per query user. Uniform-random
+// items would be the structureless adversarial case no coarse quantizer
+// (and no real catalog) exhibits.
+func benchFactors(m, n, k int, rng *rand.Rand) *model.Factors {
+	const nClusters = 256
+	const noise = 0.08
+	centers := make([]float32, nClusters*k)
+	for i := range centers {
+		centers[i] = rng.Float32() - 0.5
+	}
+	f := &model.Factors{M: m, N: n, K: k,
+		P: make([]float32, m*k), Q: make([]float32, n*k)}
+	for i := range f.P {
+		f.P[i] = rng.Float32() - 0.5
+	}
+	for v := 0; v < n; v++ {
+		c := centers[(v%nClusters)*k : (v%nClusters+1)*k]
+		row := f.Q[v*k : (v+1)*k]
+		for j := range row {
+			row[j] = c[j] + float32(rng.NormFloat64()*noise)
+		}
+	}
+	return f
+}
+
+// runServe measures full-catalog top-10 retrieval at the Netflix item count
+// (n=17770, the paper's Table I; -catalog multiplies it by replicate-and-
+// perturb) with k=128 factors — the configuration where the linear scans
+// are memory-bandwidth-bound — for the exact scorer, the int8-quantized
+// scorer with exact rerank, and the IVF probe-and-rerank index, plus the
+// IVF recall-vs-QPS curve across nprobe.
+func runServe(ctx context.Context, seed int64, runs, catalog, nprobe int, out string) error {
 	const (
-		nItems  = 17770
-		kDim    = 128
-		topK    = 10
-		queries = 512
+		baseItems = 17770
+		kDim      = 128
+		topK      = 10
+		queries   = 256
 	)
 	if runs < 1 {
 		runs = 1
 	}
+	if catalog < 1 {
+		catalog = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
-	f := &model.Factors{M: queries, N: nItems, K: kDim,
-		P: make([]float32, queries*kDim), Q: make([]float32, nItems*kDim)}
-	for i := range f.P {
-		f.P[i] = rng.Float32() - 0.5
-	}
-	for i := range f.Q {
-		f.Q[i] = rng.Float32() - 0.5
-	}
+	f := benchFactors(queries, baseItems, kDim, rng)
+	f = model.ExpandCatalog(f, catalog, 0.01, seed)
+	nItems := f.N
+
 	buildStart := time.Now()
 	qf := model.QuantizeItems(f)
-	buildMS := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+	quantBuildMS := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+	buildStart = time.Now()
+	ix := model.BuildIVF(f, qf, 0, seed)
+	ivfBuildMS := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+	nprobe = serve.EffectiveNProbe(nprobe, ix.NList)
 
-	s := &serve.Scorer{}
+	s := &serve.Scorer{NProbe: nprobe}
 	rep := serveReport{
-		Items: nItems, K: kDim, TopK: topK, Shards: runtime.GOMAXPROCS(0),
-		RerankFactor: serve.DefaultRerankFactor, MaxProcs: runtime.GOMAXPROCS(0),
-		Seed: seed, QuantBuildMS: buildMS,
+		Items: nItems, Catalog: catalog, K: kDim, TopK: topK,
+		Shards: runtime.GOMAXPROCS(0), RerankFactor: serve.DefaultRerankFactor,
+		MaxProcs: runtime.GOMAXPROCS(0), Seed: seed,
+		QuantBuildMS: quantBuildMS, IVFBuildMS: ivfBuildMS,
+		NList: ix.NList, NProbe: nprobe,
 	}
 
-	// Exact-vs-quantized recall@10 over the query users.
-	var hit int
+	// Exact top-10 per query is the recall baseline for every approximate
+	// contender and every curve point.
+	exactTop := make([]map[int32]bool, queries)
 	for u := int32(0); u < queries; u++ {
-		exact := s.Recommend(f, u, topK, nil)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		want := make(map[int32]bool, topK)
-		for _, c := range exact {
+		for _, c := range s.Recommend(f, u, topK, nil) {
 			want[c.Item] = true
 		}
-		for _, c := range s.RecommendQuantized(f, qf, u, topK, nil) {
-			if want[c.Item] {
-				hit++
+		exactTop[u] = want
+	}
+	recall := func(get func(u int32) []model.ScoredItem) float64 {
+		var hit int
+		for u := int32(0); u < queries; u++ {
+			for _, c := range get(u) {
+				if exactTop[u][c.Item] {
+					hit++
+				}
 			}
 		}
+		return float64(hit) / float64(queries*topK)
 	}
-	rep.RecallAt10 = float64(hit) / float64(queries*topK)
+	rep.RecallAt10 = recall(func(u int32) []model.ScoredItem {
+		return s.RecommendQuantized(f, qf, u, topK, nil)
+	})
+	rep.IVFRecall10 = recall(func(u int32) []model.ScoredItem {
+		return s.RecommendIVF(f, ix, u, topK, nil)
+	})
 
 	measure := func(scan func(u int32)) (float64, error) {
 		best := 0.0
@@ -204,9 +279,10 @@ func runServe(ctx context.Context, seed int64, runs int, out string) error {
 		}
 		return best, nil
 	}
-	// Warm both paths once so neither contender pays first-touch costs.
+	// Warm every path once so no contender pays first-touch costs.
 	s.Recommend(f, 0, topK, nil)
 	s.RecommendQuantized(f, qf, 0, topK, nil)
+	s.RecommendIVF(f, ix, 0, topK, nil)
 
 	exactSec, err := measure(func(u int32) { s.Recommend(f, u, topK, nil) })
 	if err != nil {
@@ -216,12 +292,11 @@ func runServe(ctx context.Context, seed int64, runs int, out string) error {
 	if err != nil {
 		return err
 	}
+	ivfSec, err := measure(func(u int32) { s.RecommendIVF(f, ix, u, topK, nil) })
+	if err != nil {
+		return err
+	}
 
-	exactBytes := int64(nItems) * kDim * 4
-	// The quantized path scans the int8 view plus the float32 rows of the
-	// reranked candidates: every shard's heap fills (items/shard far
-	// exceeds rerank·k here), so the rerank depth is shards·rerank·topK.
-	quantBytes := qf.Bytes() + int64(rep.Shards*serve.DefaultRerankFactor*topK)*kDim*4
 	mk := func(sec float64, bytes int64) serveResult {
 		ns := sec / queries * 1e9
 		return serveResult{
@@ -229,10 +304,37 @@ func runServe(ctx context.Context, seed int64, runs int, out string) error {
 			EffectiveGBPerS: float64(bytes) / (sec / queries) / 1e9,
 		}
 	}
+	exactBytes := int64(nItems) * kDim * 4
+	// The quantized path scans the int8 view plus the float32 rows of the
+	// reranked candidates: every shard's heap fills (items/shard far
+	// exceeds rerank·k here), so the rerank depth is shards·rerank·topK.
+	quantBytes := qf.Bytes() + int64(rep.Shards*serve.DefaultRerankFactor*topK)*kDim*4
 	rep.Exact = mk(exactSec, exactBytes)
 	rep.Quantized = mk(quantSec, quantBytes)
+	rep.IVF = mk(ivfSec, ivfBytes(s, f, ix, topK, queries))
 	if quantSec > 0 {
 		rep.Speedup = exactSec / quantSec
+	}
+	if ivfSec > 0 {
+		rep.IVFSpeedup = quantSec / ivfSec
+	}
+
+	// The recall-vs-QPS tradeoff curve: the knob is nprobe, swept from one
+	// probed list to a quarter of them around the default.
+	for _, p := range curveProbes(ix.NList, nprobe) {
+		ps := &serve.Scorer{NProbe: p}
+		ps.RecommendIVF(f, ix, 0, topK, nil) // warm
+		r := recall(func(u int32) []model.ScoredItem {
+			return ps.RecommendIVF(f, ix, u, topK, nil)
+		})
+		sec, err := measure(func(u int32) { ps.RecommendIVF(f, ix, u, topK, nil) })
+		if err != nil {
+			return err
+		}
+		rep.Curve = append(rep.Curve, curvePoint{
+			NProbe: p, RecallAt10: r,
+			QPS: float64(queries) / sec, NsPerOp: sec / queries * 1e9,
+		})
 	}
 	rep.Meta = runMeta()
 
@@ -244,11 +346,62 @@ func runServe(ctx context.Context, seed int64, runs int, out string) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("serve n=%d k=%d top%d: exact %.0f qps (%.2f GB/s) vs quantized %.0f qps (%.2f GB/s) — speedup %.2fx, recall@10 %.4f, quant build %.1f ms\n",
-		nItems, kDim, topK, rep.Exact.QPS, rep.Exact.EffectiveGBPerS,
-		rep.Quantized.QPS, rep.Quantized.EffectiveGBPerS, rep.Speedup, rep.RecallAt10, buildMS)
+	fmt.Printf("serve n=%d (catalog %d×) k=%d top%d: exact %.0f qps (%.2f GB/s) vs quantized %.0f qps (%.2f GB/s) vs ivf %.0f qps (%.2f GB/s)\n",
+		nItems, catalog, kDim, topK, rep.Exact.QPS, rep.Exact.EffectiveGBPerS,
+		rep.Quantized.QPS, rep.Quantized.EffectiveGBPerS, rep.IVF.QPS, rep.IVF.EffectiveGBPerS)
+	fmt.Printf("quantized: %.2fx over exact, recall@10 %.4f; ivf: %.2fx over quantized (nlist=%d nprobe=%d), recall@10 %.4f; builds quant %.1f ms, ivf %.1f ms\n",
+		rep.Speedup, rep.RecallAt10, rep.IVFSpeedup, rep.NList, rep.NProbe, rep.IVFRecall10, quantBuildMS, ivfBuildMS)
+	for _, p := range rep.Curve {
+		fmt.Printf("  nprobe %4d: recall@10 %.4f at %.0f qps\n", p.NProbe, p.RecallAt10, p.QPS)
+	}
 	fmt.Printf("report written to %s\n", out)
 	return nil
+}
+
+// ivfBytes estimates the memory one IVF query touches from the measured
+// probe work: the full centroid codebook, the probed lists' int8 codes with
+// their ids and scales, and the float32 rows of the reranked survivors.
+func ivfBytes(s *serve.Scorer, f *model.Factors, ix *model.IVFIndex, topK, queries int) int64 {
+	var cands int64
+	sample := queries
+	if sample > 32 {
+		sample = 32
+	}
+	for u := int32(0); u < int32(sample); u++ {
+		_, _, c := s.RecommendIVFCounted(f, ix, u, topK, nil)
+		cands += int64(c)
+	}
+	meanCands := cands / int64(sample)
+	reranked := int64(topK * serve.DefaultRerankFactor)
+	if meanCands < reranked {
+		reranked = meanCands
+	}
+	return ix.CentroidBytes() + meanCands*int64(ix.K+8) + reranked*int64(ix.K)*4
+}
+
+// curveProbes picks the swept nprobe values: powers of two up to nlist/4,
+// with the configured default always included.
+func curveProbes(nlist, def int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(p int) {
+		if p < 1 {
+			p = 1
+		}
+		if p > nlist {
+			p = nlist
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for p := 1; p <= nlist/4; p *= 2 {
+		add(p)
+	}
+	add(def)
+	sort.Ints(out)
+	return out
 }
 
 // heteroResult is one engine's showing in the striped-vs-hetero comparison.

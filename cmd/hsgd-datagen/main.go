@@ -1,10 +1,14 @@
 // Command hsgd-datagen materialises the synthetic benchmark datasets
 // (Table I shapes) as rating files in the text or binary interchange
-// format.
+// format, and expands trained snapshots to catalog-scale for serving
+// benchmarks.
 //
 // Usage:
 //
 //	hsgd-datagen -dataset yahoo -scale 0.1 -out train.bin -test test.bin
+//
+//	# replicate-and-perturb a trained snapshot's item catalog 10×:
+//	hsgd-datagen -expand model.hfac -catalog 10 -expand-out big.hfac
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 
 	"hsgd"
 	"hsgd/internal/dataset"
+	"hsgd/internal/model"
 )
 
 func main() {
@@ -23,9 +28,20 @@ func main() {
 		out   = flag.String("out", "train.txt", "training ratings output path")
 		test  = flag.String("test", "", "optional test ratings output path")
 		seed  = flag.Int64("seed", 42, "random seed")
+
+		expand    = flag.String("expand", "", "HFAC snapshot whose item catalog to expand instead of generating ratings")
+		expandOut = flag.String("expand-out", "", "output path for the expanded snapshot (required with -expand)")
+		catalog   = flag.Int("catalog", 1, "catalog multiplier for -expand: item factors replicated with perturbation")
+		eps       = flag.Float64("catalog-eps", 0.01, "relative gaussian perturbation applied to each replica entry")
 	)
 	flag.Parse()
-	if err := run(*name, *scale, *out, *test, *seed); err != nil {
+	var err error
+	if *expand != "" {
+		err = runExpand(*expand, *expandOut, *catalog, *eps, *seed)
+	} else {
+		err = run(*name, *scale, *out, *test, *seed)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-datagen: %v\n", err)
 		os.Exit(1)
 	}
@@ -51,5 +67,29 @@ func run(name string, scale float64, out, testPath string, seed int64) error {
 		}
 		fmt.Printf("%s: %d test ratings -> %s\n", spec.Name, test.NNZ(), testPath)
 	}
+	return nil
+}
+
+// runExpand synthesizes a catalog-scale snapshot from a trained one:
+// replica r of item v lands at id r·N+v with relative perturbation eps, so
+// the expanded catalog keeps the trained score distribution while growing
+// the retrieval problem mult× — the input the serve benchmark's IVF-vs-scan
+// comparison needs.
+func runExpand(in, out string, mult int, eps float64, seed int64) error {
+	if out == "" {
+		return fmt.Errorf("-expand requires -expand-out")
+	}
+	if mult < 1 {
+		return fmt.Errorf("-catalog must be >= 1, got %d", mult)
+	}
+	f, err := model.LoadFile(in)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", in, err)
+	}
+	g := model.ExpandCatalog(f, mult, eps, seed)
+	if err := g.SaveFileAtomic(out); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d items expanded %d× to %d (eps=%g) -> %s\n", in, f.N, mult, g.N, eps, out)
 	return nil
 }

@@ -36,16 +36,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		modelPth = flag.String("model", "", "HFAC snapshot file written by hsgd-train -out (required)")
-		watch    = flag.Duration("watch", 2*time.Second, "poll interval for snapshot hot-swap; 0 disables watching")
-		shards   = flag.Int("shards", 0, "top-K scorer shards; 0 means GOMAXPROCS")
-		cacheSz  = flag.Int("cache", 1024, "result-cache entries; negative disables")
-		lambda   = flag.Float64("foldin-lambda", serve.DefaultFoldInLambda, "ridge strength for cold-start fold-in")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-		quantize = flag.Bool("quantize", true, "serve /v1/recommend from the int8-quantized scan with exact float32 rerank")
-		rerank   = flag.Int("rerank", 0, "quantized-scan candidate multiplier (rerank·k survive to the exact rerank); 0 means the default")
-		debug    = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ (e.g. localhost:6060); empty disables")
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPth  = flag.String("model", "", "HFAC snapshot file written by hsgd-train -out (required)")
+		watch     = flag.Duration("watch", 2*time.Second, "poll interval for snapshot hot-swap; 0 disables watching")
+		shards    = flag.Int("shards", 0, "top-K scorer shards; 0 means GOMAXPROCS")
+		cacheSz   = flag.Int("cache", 1024, "result-cache entries; negative disables")
+		lambda    = flag.Float64("foldin-lambda", serve.DefaultFoldInLambda, "ridge strength for cold-start fold-in")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		quantize  = flag.Bool("quantize", true, "serve /v1/recommend from the int8-quantized scan with exact float32 rerank (shorthand for -retrieval quant/exact)")
+		retrieval = flag.String("retrieval", "", "retrieval mode: exact, quant, or ivf (inverted-file probe-and-rerank); empty defers to -quantize")
+		nlist     = flag.Int("nlist", 0, "IVF coarse-cell count; 0 means 4·√items")
+		nprobe    = flag.Int("nprobe", 0, "IVF posting lists probed per query; 0 means nlist/16")
+		ivfSeed   = flag.Int64("ivf-seed", 1, "k-means seed for the IVF build")
+		rerank    = flag.Int("rerank", 0, "candidate multiplier for quant/ivf scans (rerank·k survive to the exact rerank); 0 means the default")
+		debug     = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if *modelPth == "" {
@@ -53,36 +57,77 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *modelPth, *watch, *shards, *cacheSz, float32(*lambda), *drain, *quantize, *rerank, *debug); err != nil {
+	mode := serve.RetrievalQuant
+	if !*quantize {
+		mode = serve.RetrievalExact
+	}
+	if *retrieval != "" {
+		var err error
+		if mode, err = serve.ParseRetrievalMode(*retrieval); err != nil {
+			fmt.Fprintf(os.Stderr, "hsgd-serve: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	cfg := serveConfig{
+		addr: *addr, modelPath: *modelPth, watch: *watch, shards: *shards,
+		cacheSize: *cacheSz, lambda: float32(*lambda), drain: *drain,
+		mode: mode, nlist: *nlist, nprobe: *nprobe, ivfSeed: *ivfSeed,
+		rerank: *rerank, debugAddr: *debug,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lambda float32, drain time.Duration, quantize bool, rerank int, debugAddr string) error {
+type serveConfig struct {
+	addr, modelPath   string
+	watch, drain      time.Duration
+	shards, cacheSize int
+	lambda            float32
+	mode              serve.RetrievalMode
+	nlist, nprobe     int
+	ivfSeed           int64
+	rerank            int
+	debugAddr         string
+}
+
+func run(cfg serveConfig) error {
 	store := serve.NewStore()
-	store.SetQuantize(quantize)
-	snap, err := store.LoadFile(modelPath)
+	store.SetRetrieval(cfg.mode)
+	store.SetIVF(cfg.nlist, cfg.ivfSeed)
+	snap, err := store.LoadFile(cfg.modelPath)
 	if err != nil {
 		return fmt.Errorf("loading initial snapshot: %w", err)
 	}
 	f := snap.Factors
 	log.Printf("loaded snapshot v%d from %s: %d users × %d items, k=%d",
-		snap.Version, modelPath, f.M, f.N, f.K)
-	if snap.Quantized != nil {
+		snap.Version, cfg.modelPath, f.M, f.N, f.K)
+	switch {
+	case snap.IVF != nil:
+		ix := snap.IVF
+		src := fmt.Sprintf("built in %v", snap.IVFBuild)
+		if snap.IVFBuild == 0 {
+			src = "loaded from the snapshot's HIVF section"
+		}
+		log.Printf("IVF index %s: %d lists over %d items (%.1f MB), probing %d lists/query, rerank factor %d",
+			src, ix.NList, ix.N, float64(ix.Bytes())/1e6,
+			serve.EffectiveNProbe(cfg.nprobe, ix.NList), serve.EffectiveRerankFactor(cfg.rerank))
+	case snap.Quantized != nil:
 		log.Printf("quantized int8 view built in %v (%.1f MB vs %.1f MB float32); rerank factor %d",
 			snap.QuantBuild, float64(snap.Quantized.Bytes())/1e6, float64(f.N*f.K*4)/1e6,
-			serve.EffectiveRerankFactor(rerank))
-	} else {
+			serve.EffectiveRerankFactor(cfg.rerank))
+	default:
 		log.Printf("quantization off: serving the exact float32 scan")
 	}
 
 	server, err := serve.New(serve.Config{
 		Store:        store,
-		Shards:       shards,
-		CacheSize:    cacheSize,
-		FoldInLambda: lambda,
-		RerankFactor: rerank,
+		Shards:       cfg.shards,
+		CacheSize:    cfg.cacheSize,
+		FoldInLambda: cfg.lambda,
+		RerankFactor: cfg.rerank,
+		NProbe:       cfg.nprobe,
 	})
 	if err != nil {
 		return err
@@ -90,19 +135,19 @@ func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lam
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if watch > 0 {
-		go store.Watch(ctx, modelPath, watch)
-		log.Printf("watching %s every %v for hot-swap", modelPath, watch)
+	if cfg.watch > 0 {
+		go store.Watch(ctx, cfg.modelPath, cfg.watch)
+		log.Printf("watching %s every %v for hot-swap", cfg.modelPath, cfg.watch)
 	}
 
-	if debugAddr != "" {
+	if cfg.debugAddr != "" {
 		debugServer := &http.Server{
-			Addr:              debugAddr,
+			Addr:              cfg.debugAddr,
 			Handler:           obs.DebugMux(server.Metrics()),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("debug listener (metricz + pprof) on %s", debugAddr)
+			log.Printf("debug listener (metricz + pprof) on %s", cfg.debugAddr)
 			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("debug listener: %v", err)
 			}
@@ -111,13 +156,13 @@ func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lam
 	}
 
 	httpServer := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           server.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", addr)
+		log.Printf("serving on %s", cfg.addr)
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -126,8 +171,8 @@ func run(addr, modelPath string, watch time.Duration, shards, cacheSize int, lam
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("signal received; draining for up to %v", drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("signal received; draining for up to %v", cfg.drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

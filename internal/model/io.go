@@ -9,7 +9,10 @@ import (
 	"path/filepath"
 )
 
-const factorsMagic = uint32(0x48464143) // "HFAC"
+const (
+	factorsMagic = uint32(0x48464143) // "HFAC"
+	ivfMagic     = uint32(0x48495646) // "HIVF": optional IVF section after Q
+)
 
 // Save writes the factors in a compact little-endian binary encoding:
 // magic, m, n, k (uint32 each) followed by P then Q as raw float32s.
@@ -49,7 +52,14 @@ func Load(r io.Reader) (*Factors, error) { return load(r, -1) }
 // payload buffers are allocated, so a truncated file fails fast instead of
 // allocating gigabytes and then hitting EOF.
 func load(r io.Reader, streamSize int64) (*Factors, error) {
-	br := bufio.NewReader(r)
+	return loadFactors(bufio.NewReader(r), streamSize, false)
+}
+
+// loadFactors reads the HFAC factor block from br. When allowTrailing is
+// set, a stream larger than the factor payload is accepted (the extra
+// bytes are a snapshot section such as the IVF index, read by the caller);
+// otherwise the size must match exactly.
+func loadFactors(br *bufio.Reader, streamSize int64, allowTrailing bool) (*Factors, error) {
 	var header [4]uint32
 	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
 		return nil, fmt.Errorf("model: reading header: %w", err)
@@ -74,7 +84,7 @@ func load(r io.Reader, streamSize int64) (*Factors, error) {
 	}
 	if streamSize >= 0 {
 		expected := int64(16 + 4*(pElems+qElems))
-		if streamSize != expected {
+		if streamSize != expected && !(allowTrailing && streamSize > expected) {
 			return nil, fmt.Errorf("model: file is %d bytes but header m=%d n=%d k=%d requires %d",
 				streamSize, m, n, k, expected)
 		}
@@ -89,6 +99,72 @@ func load(r io.Reader, streamSize int64) (*Factors, error) {
 		return nil, fmt.Errorf("model: reading Q: %w", err)
 	}
 	return f, nil
+}
+
+// Save writes the index as the HIVF snapshot section: magic, n, k, nlist
+// (uint32 each) followed by the centroids, list offsets, ids, codes and
+// scales as raw little-endian payloads. Appended after the factor block by
+// SaveFileAtomicWithIVF so a server loading the snapshot skips the
+// publish-time k-means rebuild.
+func (ix *IVFIndex) Save(w io.Writer) error {
+	if err := ix.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	header := []uint32{ivfMagic, uint32(ix.N), uint32(ix.K), uint32(ix.NList)}
+	for _, part := range []any{header, ix.Centroids, ix.Starts, ix.IDs, ix.Codes, ix.Scales} {
+		if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIVF reads an HIVF section written by IVFIndex.Save. Header
+// dimensions are bounded against MaxSnapshotBytes before anything is
+// allocated, and the loaded index is fully validated (offsets monotone,
+// ids in range) before it is returned — it feeds the serving hot path.
+func LoadIVF(r io.Reader) (*IVFIndex, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var header [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("model: reading IVF header: %w", err)
+	}
+	if header[0] != ivfMagic {
+		return nil, fmt.Errorf("model: bad IVF magic %#x", header[0])
+	}
+	n, k, nlist := header[1], header[2], header[3]
+	if n == 0 || k == 0 || nlist == 0 || nlist > n {
+		return nil, fmt.Errorf("model: IVF header has bad dimensions n=%d k=%d nlist=%d", n, k, nlist)
+	}
+	maxElems := uint64(MaxSnapshotBytes) / 4
+	codeElems := uint64(n) * uint64(k)
+	centElems := uint64(nlist) * uint64(k)
+	const maxInt = uint64(^uint(0) >> 1)
+	if codeElems > maxElems || centElems > maxElems || codeElems > maxInt {
+		return nil, fmt.Errorf("model: IVF header n=%d k=%d nlist=%d over the %d-byte limit",
+			n, k, nlist, MaxSnapshotBytes)
+	}
+	ix := &IVFIndex{
+		N: int(n), K: int(k), NList: int(nlist),
+		Centroids: make([]float32, centElems),
+		Starts:    make([]int32, nlist+1),
+		IDs:       make([]int32, n),
+		Codes:     make([]int8, codeElems),
+		Scales:    make([]float32, n),
+	}
+	for _, part := range []any{ix.Centroids, ix.Starts, ix.IDs, ix.Codes, ix.Scales} {
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, fmt.Errorf("model: reading IVF payload: %w", err)
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
 }
 
 // SaveFile writes the factors to a file.
@@ -124,17 +200,74 @@ func (f *Factors) SaveFileAtomic(path string) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// SaveFileAtomicWithIVF writes the factors plus the IVF index to path with
+// the same temp-file-plus-rename discipline as SaveFileAtomic. A server
+// loading the snapshot in IVF retrieval mode reuses the persisted index
+// instead of re-running k-means at publish time.
+func SaveFileAtomicWithIVF(path string, f *Factors, ix *IVFIndex) error {
+	if ix == nil {
+		return f.SaveFileAtomic(path)
+	}
+	if ix.N != f.N || ix.K != f.K {
+		return fmt.Errorf("model: IVF index is %dx%d but factors are %dx%d", ix.N, ix.K, f.N, f.K)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := f.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := ix.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // LoadFile reads factors from a file written by SaveFile. The file size is
-// checked against the header before the factor buffers are allocated.
+// checked against the header before the factor buffers are allocated; a
+// trailing IVF section, if present, is ignored.
 func LoadFile(path string) (*Factors, error) {
+	f, _, err := LoadFileWithIVF(path)
+	return f, err
+}
+
+// LoadFileWithIVF reads an HFAC snapshot plus, when the file carries one,
+// its HIVF index section. Files written by Factors.SaveFile load with a
+// nil index; a present-but-corrupt section fails the whole load (a snapshot
+// is one atomic publish unit, and serving half of one is worse than
+// retrying the watch tick).
+func LoadFileWithIVF(path string) (*Factors, *IVFIndex, error) {
 	file, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer file.Close()
 	info, err := file.Stat()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return load(file, info.Size())
+	br := bufio.NewReader(file)
+	f, err := loadFactors(br, info.Size(), true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := br.Peek(1); err == io.EOF {
+		return f, nil, nil // factor-only snapshot
+	}
+	ix, err := LoadIVF(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ix.N != f.N || ix.K != f.K {
+		return nil, nil, fmt.Errorf("model: IVF section is %dx%d but factors are %dx%d", ix.N, ix.K, f.N, f.K)
+	}
+	return f, ix, nil
 }

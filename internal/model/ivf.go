@@ -1,0 +1,418 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// IVFIndex is the inverted-file retrieval index built once per published
+// snapshot, next to the int8 QuantizedFactors. Both the exact and int8
+// full-catalog scans are memory-bandwidth-bound (~9 GB/s measured), so at
+// 10-100× catalog sizes no kernel can save a linear scan — the index fixes
+// it algorithmically by touching fewer bytes per query: k-means clusters
+// the item factors into NList coarse cells, a query scores only the
+// centroids (float32) plus the posting lists of the top-nprobe cells
+// (int8), and the small surviving candidate set is reranked exactly. Same
+// recall-guarantee structure as the quantized path: approximation picks
+// candidates, returned scores stay exact.
+type IVFIndex struct {
+	N, K  int // catalog size and factor dimension
+	NList int // coarse centroids / posting lists
+
+	// Centroids is the k-means codebook, NList rows of K float32s; queries
+	// score against every row to choose the lists to probe.
+	Centroids []float32
+
+	// The posting lists. Items are bucketed by nearest centroid: list l owns
+	// positions Starts[l] to Starts[l+1] of IDs/Codes/Scales, and Codes
+	// holds the int8-quantized item rows contiguously in list order, so
+	// probing a list streams sequential bytes exactly like the linear
+	// quantized scan does — the layout is what keeps the probe at the same
+	// effective bandwidth as the full scan while reading 10-100× less.
+	Starts []int32   // len NList+1, prefix offsets into the arrays below
+	IDs    []int32   // len N: item id at each position
+	Codes  []int8    // len N*K: Codes[pos*K:(pos+1)*K] is IDs[pos]'s int8 row
+	Scales []float32 // len N: dequantization scale at each position
+}
+
+// k-means build parameters. Lloyd runs on a bounded training sample
+// (classic codebook practice: assignment cost is S·NList·K per iteration,
+// and a 32·NList sample estimates 32-point cluster means well), then every
+// item is assigned once against the final codebook.
+const (
+	kmeansIters         = 6
+	kmeansSamplePerList = 32
+	kmeansMinSample     = 4096
+)
+
+// DefaultNList is the default coarse-cell count for an n-item catalog:
+// 4·√n balances the two per-query costs, the centroid scan (∝ nlist) and
+// the probed posting lists (∝ nprobe·n/nlist).
+func DefaultNList(n int) int {
+	nl := int(4 * math.Sqrt(float64(n)))
+	if nl < 1 {
+		nl = 1
+	}
+	if nl > n {
+		nl = n
+	}
+	return nl
+}
+
+// BuildIVF clusters f's item factors into nlist cells (k-means++ seeding,
+// Lloyd iterations parallel across GOMAXPROCS) and buckets qf's int8 codes
+// into per-cell posting lists. nlist <= 0 picks DefaultNList. The build is
+// deterministic for a fixed (factors, nlist, seed, GOMAXPROCS): sampling
+// and seeding consume the seeded rng serially, and the parallel phases
+// merge per-worker partials in worker order. Called once per published
+// snapshot, never on the request path.
+func BuildIVF(f *Factors, qf *QuantizedFactors, nlist int, seed int64) *IVFIndex {
+	n, k := f.N, f.K
+	if nlist <= 0 {
+		nlist = DefaultNList(n)
+	}
+	if nlist > n {
+		nlist = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cents := kmeansCodebook(f.Q, n, k, nlist, rng)
+
+	// Assign every item to its nearest centroid against the final codebook.
+	assign := make([]int32, n)
+	negHalf := centroidNegHalfNorms(cents, nlist, k)
+	parallelFor(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			assign[v] = nearestCentroid(f.Q[v*k:(v+1)*k], cents, negHalf, k)
+		}
+	})
+
+	// Counting-sort the items into lists, laying each list's codes
+	// contiguously for sequential streaming at probe time.
+	ix := &IVFIndex{
+		N: n, K: k, NList: nlist,
+		Centroids: cents,
+		Starts:    make([]int32, nlist+1),
+		IDs:       make([]int32, n),
+		Codes:     make([]int8, n*k),
+		Scales:    make([]float32, n),
+	}
+	for _, a := range assign {
+		ix.Starts[a+1]++
+	}
+	for l := 0; l < nlist; l++ {
+		ix.Starts[l+1] += ix.Starts[l]
+	}
+	next := make([]int32, nlist)
+	copy(next, ix.Starts[:nlist])
+	for v := 0; v < n; v++ {
+		a := assign[v]
+		p := int(next[a])
+		next[a]++
+		ix.IDs[p] = int32(v)
+		copy(ix.Codes[p*k:(p+1)*k], qf.Data[v*k:(v+1)*k])
+		ix.Scales[p] = qf.Scales[v]
+	}
+	return ix
+}
+
+// ListLen returns the number of items in posting list l.
+func (ix *IVFIndex) ListLen(l int) int { return int(ix.Starts[l+1] - ix.Starts[l]) }
+
+// CentroidBytes is the float32 codebook payload every query streams.
+func (ix *IVFIndex) CentroidBytes() int64 { return int64(len(ix.Centroids)) * 4 }
+
+// Bytes reports the total index payload (codebook + codes + ids + scales +
+// offsets) for /statsz and the serve benchmark.
+func (ix *IVFIndex) Bytes() int64 {
+	return ix.CentroidBytes() + int64(len(ix.Codes)) +
+		int64(len(ix.IDs))*4 + int64(len(ix.Scales))*4 + int64(len(ix.Starts))*4
+}
+
+// Validate checks internal consistency of the index against its own
+// dimensions — the same defensive gate the snapshot loader runs before an
+// index read off disk is allowed near the hot path.
+func (ix *IVFIndex) Validate() error {
+	if ix.N <= 0 || ix.K <= 0 || ix.NList <= 0 || ix.NList > ix.N {
+		return fmt.Errorf("model: invalid IVF dimensions n=%d k=%d nlist=%d", ix.N, ix.K, ix.NList)
+	}
+	if len(ix.Centroids) != ix.NList*ix.K {
+		return fmt.Errorf("model: len(Centroids)=%d, want %d", len(ix.Centroids), ix.NList*ix.K)
+	}
+	if len(ix.Starts) != ix.NList+1 {
+		return fmt.Errorf("model: len(Starts)=%d, want %d", len(ix.Starts), ix.NList+1)
+	}
+	if ix.Starts[0] != 0 || ix.Starts[ix.NList] != int32(ix.N) {
+		return fmt.Errorf("model: Starts spans [%d,%d], want [0,%d]", ix.Starts[0], ix.Starts[ix.NList], ix.N)
+	}
+	for l := 0; l < ix.NList; l++ {
+		if ix.Starts[l+1] < ix.Starts[l] {
+			return fmt.Errorf("model: Starts not monotone at list %d", l)
+		}
+	}
+	if len(ix.IDs) != ix.N || len(ix.Scales) != ix.N {
+		return fmt.Errorf("model: len(IDs)=%d len(Scales)=%d, want %d", len(ix.IDs), len(ix.Scales), ix.N)
+	}
+	if len(ix.Codes) != ix.N*ix.K {
+		return fmt.Errorf("model: len(Codes)=%d, want %d", len(ix.Codes), ix.N*ix.K)
+	}
+	for _, id := range ix.IDs {
+		if id < 0 || int(id) >= ix.N {
+			return fmt.Errorf("model: posting-list id %d outside [0,%d)", id, ix.N)
+		}
+	}
+	return nil
+}
+
+// kmeansCodebook runs k-means++ seeding plus Lloyd iterations over a
+// bounded training sample of the item rows and returns the nlist×k
+// codebook.
+func kmeansCodebook(q []float32, n, k, nlist int, rng *rand.Rand) []float32 {
+	s := kmeansSamplePerList * nlist
+	if s < kmeansMinSample {
+		s = kmeansMinSample
+	}
+	if s > n {
+		s = n
+	}
+	// Gather the training sample into a contiguous block so the assignment
+	// loops stream it like the scorer streams Q.
+	pts := make([]float32, s*k)
+	for i, id := range rng.Perm(n)[:s] {
+		copy(pts[i*k:(i+1)*k], q[id*k:(id+1)*k])
+	}
+
+	cents := seedPlusPlus(pts, s, k, nlist, rng)
+	assign := make([]int32, s)
+	for iter := 0; iter < kmeansIters; iter++ {
+		negHalf := centroidNegHalfNorms(cents, nlist, k)
+		parallelFor(s, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				assign[i] = nearestCentroid(pts[i*k:(i+1)*k], cents, negHalf, k)
+			}
+		})
+		// Per-worker partial sums merged in worker order: deterministic for
+		// a fixed GOMAXPROCS, and no mutex on the accumulation path.
+		w := workerCount(s)
+		sums := make([][]float32, w)
+		counts := make([][]int32, w)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			lo, hi := s*wi/w, s*(wi+1)/w
+			sums[wi] = make([]float32, nlist*k)
+			counts[wi] = make([]int32, nlist)
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				sum, cnt := sums[wi], counts[wi]
+				for i := lo; i < hi; i++ {
+					a := int(assign[i])
+					cnt[a]++
+					row := pts[i*k : (i+1)*k]
+					acc := sum[a*k : (a+1)*k]
+					for j, x := range row {
+						acc[j] += x
+					}
+				}
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+		for wi := 1; wi < w; wi++ {
+			for j, x := range sums[wi] {
+				sums[0][j] += x
+			}
+			for l, c := range counts[wi] {
+				counts[0][l] += c
+			}
+		}
+		for l := 0; l < nlist; l++ {
+			if counts[0][l] == 0 {
+				continue // empty cell: keep the previous centroid
+			}
+			inv := 1 / float32(counts[0][l])
+			row := cents[l*k : (l+1)*k]
+			acc := sums[0][l*k : (l+1)*k]
+			for j := range row {
+				row[j] = acc[j] * inv
+			}
+		}
+	}
+	return cents
+}
+
+// seedPlusPlus is k-means++ D² seeding: each new centroid is sampled
+// proportional to a point's squared distance to the nearest already-chosen
+// centroid. The rng draws run serially (deterministic); the per-point
+// distance refresh after each pick is the heavy part and runs parallel.
+func seedPlusPlus(pts []float32, s, k, nlist int, rng *rand.Rand) []float32 {
+	cents := make([]float32, nlist*k)
+	copy(cents[:k], pts[rng.Intn(s)*k:][:k])
+	minD := make([]float32, s)
+	parallelFor(s, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			minD[i] = sqDist(pts[i*k:(i+1)*k], cents[:k])
+		}
+	})
+	cum := make([]float64, s)
+	for c := 1; c < nlist; c++ {
+		var total float64
+		for i, d := range minD {
+			total += float64(d)
+			cum[i] = total
+		}
+		var pick int
+		if total <= 0 {
+			// Degenerate sample (all points already coincide with a
+			// centroid): fall back to uniform.
+			pick = rng.Intn(s)
+		} else {
+			r := rng.Float64() * total
+			pick = sort.SearchFloat64s(cum, r)
+			if pick >= s {
+				pick = s - 1
+			}
+		}
+		row := cents[c*k : (c+1)*k]
+		copy(row, pts[pick*k:(pick+1)*k])
+		parallelFor(s, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := sqDist(pts[i*k:(i+1)*k], row); d < minD[i] {
+					minD[i] = d
+				}
+			}
+		})
+	}
+	return cents
+}
+
+// nearestCentroid returns the index of the centroid minimizing ‖x−c‖²,
+// computed as argmax (x·c − ‖c‖²/2) so the scan is pure dot products —
+// four centroid rows share one register-blocked pass over x, mirroring the
+// scorer's dot4 kernel. Ties break to the lower index for determinism.
+func nearestCentroid(x, cents, negHalf []float32, k int) int32 {
+	best := int32(0)
+	bestScore := float32(math.Inf(-1))
+	nc := len(negHalf)
+	consider := func(l int, s float32) {
+		if s > bestScore {
+			bestScore, best = s, int32(l)
+		}
+	}
+	l := 0
+	for ; l+4 <= nc; l += 4 {
+		quad := cents[l*k : (l+4)*k]
+		sa, sb, sc, sd := dot4x(x, quad[:k], quad[k:2*k], quad[2*k:3*k], quad[3*k:])
+		consider(l, sa+negHalf[l])
+		consider(l+1, sb+negHalf[l+1])
+		consider(l+2, sc+negHalf[l+2])
+		consider(l+3, sd+negHalf[l+3])
+	}
+	for ; l < nc; l++ {
+		consider(l, Dot(x, cents[l*k:(l+1)*k])+negHalf[l])
+	}
+	return best
+}
+
+// centroidNegHalfNorms precomputes −‖c‖²/2 per centroid so assignment is a
+// dot product plus one add.
+func centroidNegHalfNorms(cents []float32, nlist, k int) []float32 {
+	out := make([]float32, nlist)
+	for l := 0; l < nlist; l++ {
+		row := cents[l*k : (l+1)*k]
+		var s float64
+		for _, x := range row {
+			s += float64(x) * float64(x)
+		}
+		out[l] = float32(-s / 2)
+	}
+	return out
+}
+
+func sqDist(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s float32
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// dot4x is the model-side copy of the scorer's register-blocked 4-row dot:
+// four rows share one streaming pass over q, keeping the accumulators in
+// registers.
+func dot4x(q, a, b, c, d []float32) (sa, sb, sc, sd float32) {
+	a = a[:len(q)]
+	b = b[:len(q)]
+	c = c[:len(q)]
+	d = d[:len(q)]
+	for j, x := range q {
+		sa += x * a[j]
+		sb += x * b[j]
+		sc += x * c[j]
+		sd += x * d[j]
+	}
+	return
+}
+
+func workerCount(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor splits [0,n) into contiguous ranges across GOMAXPROCS
+// goroutines. Used only by publish-time builds; the serving hot path never
+// takes this fan-out.
+func parallelFor(n int, fn func(lo, hi int)) {
+	w := workerCount(n)
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := n*i/w, n*(i+1)/w
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ExpandCatalog returns a copy of f whose item catalog is replicated mult×
+// with relative gaussian perturbation eps on every replica entry — the
+// serve-benchmark knob for synthesizing 10-100× catalogs from a trained
+// model without retraining. Replica r of item v lands at id r·N+v (replica
+// 0 is the untouched original), user factors are shared unchanged, and the
+// perturbation is relative so each replica keeps its source row's scale
+// and the catalog's score distribution.
+func ExpandCatalog(f *Factors, mult int, eps float64, seed int64) *Factors {
+	if mult <= 1 {
+		return f
+	}
+	n, k := f.N, f.K
+	out := &Factors{M: f.M, N: n * mult, K: k,
+		P: f.P,
+		Q: make([]float32, n*mult*k),
+	}
+	copy(out.Q[:n*k], f.Q)
+	rng := rand.New(rand.NewSource(seed))
+	for r := 1; r < mult; r++ {
+		dst := out.Q[r*n*k : (r+1)*n*k]
+		for j, x := range f.Q {
+			dst[j] = x * (1 + float32(rng.NormFloat64()*eps))
+		}
+	}
+	return out
+}

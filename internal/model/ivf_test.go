@@ -1,0 +1,246 @@
+package model
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func buildTestIVF(t *testing.T, n, k, nlist int, seed int64) (*Factors, *IVFIndex) {
+	t.Helper()
+	f := centeredFactors(4, n, k, seed)
+	qf := QuantizeItems(f)
+	ix := BuildIVF(f, qf, nlist, seed)
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("built index fails Validate: %v", err)
+	}
+	return f, ix
+}
+
+func TestDefaultNList(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {4, 4}, {10000, 400}, {177700, 1686},
+	}
+	for _, c := range cases {
+		if got := DefaultNList(c.n); got != c.want {
+			t.Errorf("DefaultNList(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Every item must land in exactly one posting list, carrying its own int8
+// codes and scale from the quantized view.
+func TestBuildIVFPartition(t *testing.T) {
+	f := centeredFactors(4, 5000, 16, 1)
+	qf := QuantizeItems(f)
+	ix := BuildIVF(f, qf, 0, 1)
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ix.NList != DefaultNList(5000) {
+		t.Fatalf("NList = %d, want default %d", ix.NList, DefaultNList(5000))
+	}
+	seen := make(map[int32]bool, ix.N)
+	for pos, id := range ix.IDs {
+		if seen[id] {
+			t.Fatalf("item %d appears in two posting lists", id)
+		}
+		seen[id] = true
+		if !bytes.Equal(i8(ix.Codes[pos*ix.K:(pos+1)*ix.K]), i8(qf.Data[int(id)*ix.K:(int(id)+1)*ix.K])) {
+			t.Fatalf("codes at position %d do not match item %d's quantized row", pos, id)
+		}
+		if ix.Scales[pos] != qf.Scales[id] {
+			t.Fatalf("scale at position %d = %v, want item %d's %v", pos, ix.Scales[pos], id, qf.Scales[id])
+		}
+	}
+	if len(seen) != ix.N {
+		t.Fatalf("posting lists cover %d items, want %d", len(seen), ix.N)
+	}
+}
+
+func i8(s []int8) []byte {
+	out := make([]byte, len(s))
+	for i, v := range s {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// The build is deterministic for a fixed (factors, nlist, seed): two builds
+// must agree bit-for-bit, and a different seed must actually change the
+// codebook (otherwise the determinism check is vacuous).
+func TestBuildIVFDeterministic(t *testing.T) {
+	_, a := buildTestIVF(t, 6000, 24, 64, 7)
+	_, b := buildTestIVF(t, 6000, 24, 64, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two builds with the same seed differ")
+	}
+	_, c := buildTestIVF(t, 6000, 24, 64, 8)
+	if reflect.DeepEqual(a.Centroids, c.Centroids) {
+		t.Fatal("different seeds produced identical codebooks")
+	}
+}
+
+func TestIVFValidateRejectsCorruption(t *testing.T) {
+	_, ix := buildTestIVF(t, 2000, 8, 32, 3)
+	mutations := []struct {
+		name string
+		mut  func(*IVFIndex)
+	}{
+		{"id out of range", func(ix *IVFIndex) { ix.IDs[5] = int32(ix.N) }},
+		{"starts not monotone", func(ix *IVFIndex) { ix.Starts[1] = ix.Starts[2] + 1; ix.Starts[2] = 0 }},
+		{"starts wrong span", func(ix *IVFIndex) { ix.Starts[ix.NList] = int32(ix.N - 1) }},
+		{"codes truncated", func(ix *IVFIndex) { ix.Codes = ix.Codes[:len(ix.Codes)-1] }},
+		{"nlist over n", func(ix *IVFIndex) { ix.NList = ix.N + 1 }},
+	}
+	for _, m := range mutations {
+		cp := *ix
+		cp.Starts = append([]int32(nil), ix.Starts...)
+		cp.IDs = append([]int32(nil), ix.IDs...)
+		m.mut(&cp)
+		if cp.Validate() == nil {
+			t.Errorf("%s: Validate accepted a corrupt index", m.name)
+		}
+	}
+}
+
+func TestIVFSaveLoadRoundTrip(t *testing.T) {
+	_, ix := buildTestIVF(t, 3000, 16, 48, 5)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadIVF(&buf)
+	if err != nil {
+		t.Fatalf("LoadIVF: %v", err)
+	}
+	if !reflect.DeepEqual(ix, got) {
+		t.Fatal("loaded index differs from saved")
+	}
+}
+
+// The snapshot file contract: with an index the file round-trips both
+// sections; without one LoadFileWithIVF returns a nil index; and plain
+// LoadFile tolerates (ignores) a trailing index section.
+func TestSaveFileAtomicWithIVFRoundTrip(t *testing.T) {
+	f, ix := buildTestIVF(t, 2500, 12, 40, 11)
+	path := filepath.Join(t.TempDir(), "snap.hfac")
+	if err := SaveFileAtomicWithIVF(path, f, ix); err != nil {
+		t.Fatalf("SaveFileAtomicWithIVF: %v", err)
+	}
+	gf, gix, err := LoadFileWithIVF(path)
+	if err != nil {
+		t.Fatalf("LoadFileWithIVF: %v", err)
+	}
+	if !reflect.DeepEqual(f, gf) {
+		t.Fatal("factors differ after round trip")
+	}
+	if !reflect.DeepEqual(ix, gix) {
+		t.Fatal("index differs after round trip")
+	}
+	// Plain LoadFile must still read the factor block.
+	lf, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile on a file with an IVF section: %v", err)
+	}
+	if !reflect.DeepEqual(f, lf) {
+		t.Fatal("LoadFile factors differ")
+	}
+	// A factor-only file loads with a nil index.
+	plain := filepath.Join(t.TempDir(), "plain.hfac")
+	if err := f.SaveFileAtomic(plain); err != nil {
+		t.Fatalf("SaveFileAtomic: %v", err)
+	}
+	_, gix, err = LoadFileWithIVF(plain)
+	if err != nil {
+		t.Fatalf("LoadFileWithIVF on factor-only file: %v", err)
+	}
+	if gix != nil {
+		t.Fatal("factor-only file produced a non-nil index")
+	}
+}
+
+func TestSaveFileAtomicWithIVFDimMismatch(t *testing.T) {
+	f, _ := buildTestIVF(t, 2000, 8, 32, 3)
+	_, other := buildTestIVF(t, 1000, 8, 32, 3)
+	path := filepath.Join(t.TempDir(), "bad.hfac")
+	if err := SaveFileAtomicWithIVF(path, f, other); err == nil {
+		t.Fatal("mismatched index accepted")
+	}
+}
+
+func TestLoadFileWithIVFRejectsCorruptSection(t *testing.T) {
+	f, ix := buildTestIVF(t, 2000, 8, 32, 3)
+	path := filepath.Join(t.TempDir(), "snap.hfac")
+	if err := SaveFileAtomicWithIVF(path, f, ix); err != nil {
+		t.Fatalf("SaveFileAtomicWithIVF: %v", err)
+	}
+	// Truncate into the IVF payload: the whole load must fail, not fall back
+	// to a factor-only snapshot.
+	data := readFileT(t, path)
+	trunc := filepath.Join(t.TempDir(), "trunc.hfac")
+	writeFileT(t, trunc, data[:len(data)-8])
+	if _, _, err := LoadFileWithIVF(trunc); err == nil {
+		t.Fatal("truncated IVF section loaded without error")
+	}
+}
+
+// ExpandCatalog contract: replica 0 is the untouched original, users are
+// shared, and each replica entry stays within a few eps of its source.
+func TestExpandCatalog(t *testing.T) {
+	f := centeredFactors(6, 500, 8, 2)
+	g := ExpandCatalog(f, 3, 0.01, 9)
+	if g.M != f.M || g.K != f.K || g.N != 3*f.N {
+		t.Fatalf("expanded dims = %dx%dx%d", g.M, g.N, g.K)
+	}
+	if &g.P[0] != &f.P[0] {
+		t.Fatal("user factors were copied, want shared")
+	}
+	if !reflect.DeepEqual(g.Q[:f.N*f.K], f.Q) {
+		t.Fatal("replica 0 was perturbed")
+	}
+	for r := 1; r < 3; r++ {
+		dst := g.Q[r*f.N*f.K : (r+1)*f.N*f.K]
+		same := true
+		for j, x := range f.Q {
+			d := dst[j] - x
+			if d != 0 {
+				same = false
+			}
+			if d < 0 {
+				d = -d
+			}
+			mag := x
+			if mag < 0 {
+				mag = -mag
+			}
+			if d > mag*0.01*8 { // 8 sigma: effectively never for a correct impl
+				t.Fatalf("replica %d entry %d drifted %v from %v", r, j, dst[j], x)
+			}
+		}
+		if same {
+			t.Fatalf("replica %d is identical to the original", r)
+		}
+	}
+	if ExpandCatalog(f, 1, 0.01, 9) != f {
+		t.Fatal("mult=1 should return f unchanged")
+	}
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFileT(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"sync"
+
+	"hsgd/internal/model"
+)
+
+// The IVF retrieval path: probe-and-rerank over the inverted-file index
+// built at snapshot publish (model.BuildIVF). The linear scans — exact and
+// int8 alike — are memory-bandwidth-bound, so past ~10× the Netflix
+// catalog no kernel tweak helps; the IVF path touches fewer bytes instead.
+// Per query: score the float32 centroid codebook, probe the posting lists
+// of the top-nprobe centroids, int8-score only those lists' candidates
+// through the same dotQ4 kernel as the quantized scan, and exact-rerank
+// the float32 finalists. Returned scores are exact; the recall knob is
+// nprobe (lists probed), stacked on the quantized path's rerank factor
+// (candidates reranked).
+//
+// The probe scan runs on the calling goroutine: at default parameters it
+// reads ~2% of the catalog, so a goroutine fan-out would cost more than
+// the scan — and serving throughput comes from request-level concurrency.
+
+// DefaultNProbeFraction sets the default probed share of the coarse lists:
+// nprobe = nlist/16. At nlist = 4·√N that reads roughly a sixteenth of the
+// catalog's int8 codes plus the full centroid codebook — measured
+// recall@10 ≥ 0.95 with a ≥5× QPS win over the int8 linear scan at 10×
+// Netflix scale (see BENCH_serve.json; recall saturates well before this
+// probe depth on clustered factors, so the default keeps margin).
+const DefaultNProbeFraction = 16
+
+// DefaultNProbe returns the default probe count for an nlist-list index.
+func DefaultNProbe(nlist int) int {
+	p := nlist / DefaultNProbeFraction
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// EffectiveNProbe resolves a configured probe count against an index's
+// list count (<= 0 selects the default) — shared by the scan, /statsz and
+// hsgd-serve's startup log.
+func EffectiveNProbe(nprobe, nlist int) int {
+	if nprobe <= 0 {
+		nprobe = DefaultNProbe(nlist)
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+	return nprobe
+}
+
+// ivfScratch is the reusable per-request state of the IVF path: the
+// quantized query, the top-nprobe centroid heap, the candidate heap and
+// the exact rerank heap. Pooled (and never allocated inside rankIVF) so
+// the steady-state IVF recommend path stays allocation-free like the
+// quantized scan.
+type ivfScratch struct {
+	qquery []int8
+	probes *model.TopK // top-nprobe centroids by query·centroid
+	cands  *model.TopK // approximate candidate heap (rerank·k entries)
+	final  *model.TopK // exact rerank heap
+}
+
+var ivfPool = sync.Pool{New: func() any { return new(ivfScratch) }}
+
+func (sc *ivfScratch) query(k int) []int8 {
+	if cap(sc.qquery) < k {
+		sc.qquery = make([]int8, k)
+	}
+	return sc.qquery[:k]
+}
+
+func (sc *ivfScratch) heap(h **model.TopK, k int) *model.TopK {
+	if *h == nil {
+		*h = model.NewTopK(k)
+	} else {
+		(*h).Reset(k)
+	}
+	return *h
+}
+
+// RecommendIVF is Recommend through the IVF probe-and-rerank path.
+// Returns nil when u is out of range.
+func (s *Scorer) RecommendIVF(f *model.Factors, ix *model.IVFIndex, u int32, k int, seen map[int32]bool) []model.ScoredItem {
+	if int(u) < 0 || int(u) >= f.M {
+		return nil
+	}
+	return s.recommendIVFAlloc(f, ix, f.Row(u), k, seen)
+}
+
+// RecommendVectorIVF ranks items for an arbitrary query vector (the
+// fold-in entry point) through the IVF path. query must have length f.K.
+func (s *Scorer) RecommendVectorIVF(f *model.Factors, ix *model.IVFIndex, query []float32, k int, seen map[int32]bool) []model.ScoredItem {
+	if len(query) != f.K {
+		return nil
+	}
+	return s.recommendIVFAlloc(f, ix, query, k, seen)
+}
+
+// RecommendIVFCounted is RecommendIVF returning the measured probe work
+// too: the number of posting lists probed and the number of candidates
+// int8-scored. The serve benchmark uses it to report bytes actually
+// touched per query rather than an estimate.
+func (s *Scorer) RecommendIVFCounted(f *model.Factors, ix *model.IVFIndex, u int32, k int, seen map[int32]bool) (res []model.ScoredItem, probed, cands int) {
+	if int(u) < 0 || int(u) >= f.M {
+		return nil, 0, 0
+	}
+	sc := ivfPool.Get().(*ivfScratch)
+	r, probed, cands := s.rankIVF(f, ix, f.Row(u), k, seen, nil, -1, sc)
+	res = append([]model.ScoredItem(nil), r...)
+	ivfPool.Put(sc)
+	return res, probed, cands
+}
+
+// SimilarItemsIVF is SimilarItems through the IVF candidate path: probed
+// candidates are ranked by approximate cosine (approximate dot times the
+// precomputed inverse norm) and the survivors rescored as exact float32
+// cosines.
+func (s *Scorer) SimilarItemsIVF(f *model.Factors, ix *model.IVFIndex, invNorms []float32, v int32, k int) []model.ScoredItem {
+	if int(v) < 0 || int(v) >= f.N || len(invNorms) != f.N || invNorms[v] == 0 {
+		return nil
+	}
+	qv := f.Colvec(v)
+	query := make([]float32, f.K)
+	for i, x := range qv {
+		query[i] = x * invNorms[v]
+	}
+	sc := ivfPool.Get().(*ivfScratch)
+	r, _, _ := s.rankIVF(f, ix, query, k, nil, invNorms, v, sc)
+	out := append([]model.ScoredItem(nil), r...)
+	ivfPool.Put(sc)
+	return out
+}
+
+func (s *Scorer) recommendIVFAlloc(f *model.Factors, ix *model.IVFIndex, query []float32, k int, seen map[int32]bool) []model.ScoredItem {
+	sc := ivfPool.Get().(*ivfScratch)
+	r, _, _ := s.rankIVF(f, ix, query, k, seen, nil, -1, sc)
+	out := append([]model.ScoredItem(nil), r...)
+	ivfPool.Put(sc)
+	return out
+}
+
+// rankIVF is the zero-allocation core of the IVF path. A non-nil scale
+// (inverse norms, for similar-items) multiplies both the approximate and
+// exact scores per item with zero-scale items skipped; exclude drops one
+// id (-1 for none). The returned slice aliases sc and is valid until sc is
+// reused; probed and cands report the lists probed and candidates
+// int8-scored (the measured probe work /statsz and /metricz export). The
+// caller must have checked len(query) == f.K.
+func (s *Scorer) rankIVF(f *model.Factors, ix *model.IVFIndex, query []float32, k int, seen map[int32]bool, scale []float32, exclude int32, sc *ivfScratch) (res []model.ScoredItem, probed, cands int) {
+	n := ix.N
+	if k <= 0 || n == 0 {
+		return nil, 0, 0
+	}
+	nprobe := EffectiveNProbe(s.NProbe, ix.NList)
+
+	// Coarse stage: float32 scores of the query against every centroid,
+	// keeping the top-nprobe lists. Same register-blocked scan shape as
+	// scoreRange, with the centroid heap in place of the result heap.
+	probes := sc.heap(&sc.probes, nprobe)
+	kdim := ix.K
+	var scores [scoreBlockItems]float32
+	for b := 0; b < ix.NList; b += scoreBlockItems {
+		e := min(b+scoreBlockItems, ix.NList)
+		rows := ix.Centroids[b*kdim : e*kdim]
+		cnt := e - b
+		i := 0
+		for ; i+4 <= cnt; i += 4 {
+			quad := rows[i*kdim : (i+4)*kdim]
+			scores[i], scores[i+1], scores[i+2], scores[i+3] = dot4(query,
+				quad[:kdim], quad[kdim:2*kdim], quad[2*kdim:3*kdim], quad[3*kdim:])
+		}
+		for ; i < cnt; i++ {
+			scores[i] = model.Dot(query, rows[i*kdim:(i+1)*kdim])
+		}
+		for i := 0; i < cnt; i++ {
+			probes.Push(int32(b+i), scores[i])
+		}
+	}
+
+	// Fine stage: stream the probed posting lists' contiguous int8 codes
+	// through the quantized kernel into one bounded candidate heap. The
+	// quantized query's scale cancels across items (it is a positive
+	// constant), so only the per-item scale is applied — identical ranking
+	// semantics to the linear quantized scan.
+	qq := sc.query(kdim)
+	model.QuantizeVectorInto(qq, query)
+	candHeap := sc.heap(&sc.cands, k*EffectiveRerankFactor(s.RerankFactor))
+	for _, p := range probes.Items() {
+		lo, hi := int(ix.Starts[p.Item]), int(ix.Starts[p.Item+1])
+		cands += hi - lo
+		for b := lo; b < hi; b += scoreBlockItems {
+			e := min(b+scoreBlockItems, hi)
+			rows := ix.Codes[b*kdim : e*kdim]
+			cnt := e - b
+			i := 0
+			for ; i+4 <= cnt; i += 4 {
+				quad := rows[i*kdim : (i+4)*kdim]
+				sa, sb, scc, sd := dotQ4(qq,
+					quad[:kdim], quad[kdim:2*kdim], quad[2*kdim:3*kdim], quad[3*kdim:])
+				scores[i] = float32(sa) * ix.Scales[b+i]
+				scores[i+1] = float32(sb) * ix.Scales[b+i+1]
+				scores[i+2] = float32(scc) * ix.Scales[b+i+2]
+				scores[i+3] = float32(sd) * ix.Scales[b+i+3]
+			}
+			for ; i < cnt; i++ {
+				scores[i] = float32(dotQ(qq, rows[i*kdim:(i+1)*kdim])) * ix.Scales[b+i]
+			}
+			for i := 0; i < cnt; i++ {
+				id := ix.IDs[b+i]
+				if id == exclude || seen[id] {
+					continue
+				}
+				score := scores[i]
+				if scale != nil {
+					s := scale[id]
+					if s == 0 {
+						continue // zero-norm item: cosine undefined, skip
+					}
+					score *= s
+				}
+				candHeap.Push(id, score)
+			}
+		}
+	}
+
+	// Exact rerank: the few surviving candidates are rescored against the
+	// float32 rows, so returned scores are exact — a recall miss requires a
+	// true top-k item to live in an unprobed list or fall below the
+	// approximate rerank·k floor.
+	final := sc.heap(&sc.final, k)
+	for _, c := range candHeap.Items() {
+		exact := model.Dot(query, f.Colvec(c.Item))
+		if scale != nil {
+			exact *= scale[c.Item]
+		}
+		final.Push(c.Item, exact)
+	}
+	return final.Sorted(), nprobe, cands
+}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"hsgd/internal/dataset"
+	"hsgd/internal/model"
+)
+
+// clusteredFactors builds item factors with cluster structure — items drawn
+// as gaussian perturbations of shared cluster centers, the shape trained MF
+// factors actually take (items co-cluster by latent genre/popularity
+// directions). Uniform-random factors are the adversarial case for a coarse
+// quantizer (no structure to exploit) and are covered by the monotone test;
+// the recall gate runs on data shaped like what the index serves in
+// practice.
+func clusteredFactors(m, n, k, nClusters int, noise float64, seed int64) *model.Factors {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float32, nClusters*k)
+	for i := range centers {
+		centers[i] = rng.Float32() - 0.5
+	}
+	f := &model.Factors{M: m, N: n, K: k,
+		P: make([]float32, m*k), Q: make([]float32, n*k)}
+	for i := range f.P {
+		f.P[i] = rng.Float32() - 0.5
+	}
+	for v := 0; v < n; v++ {
+		c := centers[(v%nClusters)*k : (v%nClusters+1)*k]
+		row := f.Q[v*k : (v+1)*k]
+		for j := range row {
+			row[j] = c[j] + float32(rng.NormFloat64()*noise)
+		}
+	}
+	return f
+}
+
+// publishIVF publishes f through a Store in IVF mode and returns the
+// snapshot — the same build path the server serves from.
+func publishIVF(t *testing.T, f *model.Factors, seed int64) *Snapshot {
+	t.Helper()
+	store := NewStore()
+	store.SetRetrieval(RetrievalIVF)
+	store.SetIVF(0, seed)
+	snap, err := store.Publish(f, "ivf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.IVF == nil || snap.Quantized == nil {
+		t.Fatal("IVF-mode publish missing derived views")
+	}
+	if snap.Mode() != RetrievalIVF {
+		t.Fatalf("snapshot mode = %v, want ivf", snap.Mode())
+	}
+	return snap
+}
+
+// ivfFixture publishes a seeded uniform-random snapshot in IVF mode.
+func ivfFixture(t *testing.T, users, items, kDim int, seed int64) (*model.Factors, *Snapshot) {
+	t.Helper()
+	f := centeredFactors(users, items, kDim, seed)
+	return f, publishIVF(t, f, seed)
+}
+
+func recallAt(t *testing.T, f *model.Factors, snap *Snapshot, s *Scorer, users, topK int) float64 {
+	t.Helper()
+	var hit, total int
+	for u := int32(0); u < int32(users); u++ {
+		exact := s.Recommend(f, u, topK, nil)
+		got := s.RecommendIVF(f, snap.IVF, u, topK, nil)
+		want := make(map[int32]bool, topK)
+		for _, c := range exact {
+			want[c.Item] = true
+		}
+		for _, c := range got {
+			if want[c.Item] {
+				hit++
+			}
+			// Rerank guarantee: every returned score is the exact float32
+			// prediction, not a dequantized approximation.
+			if gotS, exactS := c.Score, f.Predict(u, c.Item); math.Abs(float64(gotS-exactS)) > 1e-6 {
+				t.Fatalf("user %d item %d: score %v != exact %v", u, c.Item, gotS, exactS)
+			}
+		}
+		total += topK
+	}
+	return float64(hit) / float64(total)
+}
+
+// Recall@10 at the default nprobe must clear 0.95 on a MovieLens-spec
+// snapshot — the acceptance gate for shipping IVF as a serving mode.
+func TestIVFRecallAt10(t *testing.T) {
+	spec := dataset.MovieLens()
+	f := clusteredFactors(256, spec.Cols, 32, 64, 0.08, 42)
+	snap := publishIVF(t, f, 42)
+	s := &Scorer{Shards: 4}
+	recall := recallAt(t, f, snap, s, 256, 10)
+	t.Logf("recall@10 over 256 users on %d items (nlist=%d, nprobe=%d): %.4f",
+		spec.Cols, snap.IVF.NList, EffectiveNProbe(0, snap.IVF.NList), recall)
+	if recall < 0.95 {
+		t.Fatalf("recall@10 = %.4f, want >= 0.95", recall)
+	}
+}
+
+// Recall must grow (to within noise) as nprobe grows, reaching the
+// quantized scan's level once every list is probed — nprobe is the knob and
+// this pins its direction.
+func TestIVFRecallMonotoneInNProbe(t *testing.T) {
+	f, snap := ivfFixture(t, 128, 8000, 24, 7)
+	nlist := snap.IVF.NList
+	probes := []int{1, nlist / 16, nlist / 4, nlist}
+	var prev float64
+	for i, p := range probes {
+		if p < 1 {
+			p = 1
+		}
+		s := &Scorer{Shards: 4, NProbe: p}
+		r := recallAt(t, f, snap, s, 128, 10)
+		t.Logf("nprobe=%d recall@10=%.4f", p, r)
+		// The candidate heap is bounded, so per-user recall is not strictly
+		// monotone; aggregate recall gets a small noise allowance.
+		if i > 0 && r < prev-0.005 {
+			t.Fatalf("recall dropped from %.4f to %.4f as nprobe grew to %d", prev, r, p)
+		}
+		prev = r
+	}
+	if prev < 0.99 {
+		t.Fatalf("recall@10 with every list probed = %.4f, want >= 0.99 (rerank-limited)", prev)
+	}
+}
+
+// The IVF edge cases must mirror the quantized path's.
+func TestIVFEdgeCases(t *testing.T) {
+	f, snap := ivfFixture(t, 4, 6000, 16, 7)
+	ix := snap.IVF
+	s := &Scorer{Shards: 3}
+
+	if got := s.RecommendIVF(f, ix, 99, 5, nil); got != nil {
+		t.Fatalf("out-of-range user returned %v", got)
+	}
+	if got := s.RecommendIVF(f, ix, 0, 0, nil); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := s.RecommendVectorIVF(f, ix, make([]float32, 3), 5, nil); got != nil {
+		t.Fatalf("wrong-length query returned %v", got)
+	}
+
+	seen := map[int32]bool{0: true, 17: true, 5999: true}
+	for _, c := range s.RecommendIVF(f, ix, 1, 50, seen) {
+		if seen[c.Item] {
+			t.Fatalf("seen item %d returned", c.Item)
+		}
+	}
+
+	// All items seen -> empty even with every list probed.
+	all := make(map[int32]bool, 6000)
+	for v := int32(0); v < 6000; v++ {
+		all[v] = true
+	}
+	full := &Scorer{Shards: 3, NProbe: ix.NList}
+	if got := full.RecommendIVF(f, ix, 0, 5, all); len(got) != 0 {
+		t.Fatalf("all-seen returned %v", got)
+	}
+
+	// The trained row and the same vector through the fold-in entry point
+	// must agree.
+	a := s.RecommendIVF(f, ix, 2, 10, nil)
+	b := s.RecommendVectorIVF(f, ix, f.Row(2), 10, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %v != %v", i, a[i], b[i])
+		}
+	}
+
+	// Counted variant returns the same ranking plus plausible work counts.
+	c, probed, cands := s.RecommendIVFCounted(f, ix, 2, 10, nil)
+	if probed != EffectiveNProbe(0, ix.NList) || cands <= 0 || cands > ix.N {
+		t.Fatalf("counted: probed=%d cands=%d", probed, cands)
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("counted rank %d: %v != %v", i, a[i], c[i])
+		}
+	}
+}
+
+// With every list probed, similar-items through the IVF candidate path must
+// reproduce the exact path's ranking with exact cosine scores — the probe
+// only nominates candidates, it never changes scoring semantics.
+func TestSimilarItemsIVFMatchesExact(t *testing.T) {
+	f, snap := ivfFixture(t, 4, 4000, 16, 5)
+	inv := snap.InvNorms
+	s := &Scorer{Shards: 2, NProbe: snap.IVF.NList}
+	for _, v := range []int32{0, 17, 3999} {
+		want := s.SimilarItems(f, inv, v, 12)
+		got := s.SimilarItemsIVF(f, snap.IVF, inv, v, 12)
+		if len(got) != len(want) {
+			t.Fatalf("item %d: %d vs %d results", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Item != want[i].Item {
+				t.Fatalf("item %d rank %d: ivf %+v vs exact %+v", v, i, got[i], want[i])
+			}
+			if d := math.Abs(float64(got[i].Score - want[i].Score)); d > 1e-6 {
+				t.Fatalf("item %d rank %d: score gap %v", v, i, d)
+			}
+		}
+	}
+	if got := s.SimilarItemsIVF(f, snap.IVF, inv, 9999, 5); got != nil {
+		t.Fatalf("out-of-range item returned %v", got)
+	}
+}
+
+// The steady-state IVF scan must not allocate: scratch is pooled, heaps are
+// Reset not rebuilt, and both scan stages work in stack blocks. This is the
+// acceptance gate for the IVF serving hot loop.
+func TestIVFScanZeroAllocs(t *testing.T) {
+	f, snap := ivfFixture(t, 8, 9001, 64, 9)
+	ix := snap.IVF
+	s := &Scorer{}
+	sc := new(ivfScratch)
+	query := f.Row(3)
+	if res, _, _ := s.rankIVF(f, ix, query, 10, nil, nil, -1, sc); len(res) != 10 {
+		t.Fatalf("warm-up returned %d items", len(res))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.rankIVF(f, ix, query, 10, nil, nil, -1, sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("IVF scan allocated %v per op, want 0", allocs)
+	}
+}
+
+// Hot-swap under concurrent IVF load (run with -race): readers hammer the
+// index through Store.Current while publishes rotate two models. Every
+// response must be internally consistent with a single version.
+func TestIVFHotSwapRace(t *testing.T) {
+	const users, items, kDim = 4, 6000, 8
+	a := uniformFactors(users, items, kDim, 1, 1) // every score 8
+	b := uniformFactors(users, items, kDim, 2, 2) // every score 32
+
+	store := NewStore()
+	store.SetRetrieval(RetrievalIVF)
+	store.SetIVF(32, 1)
+	if _, err := store.Publish(a, "a"); err != nil {
+		t.Fatal(err)
+	}
+	s := &Scorer{Shards: 2}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 50; i++ {
+			src := a
+			if i%2 == 0 {
+				src = b
+			}
+			if _, err := store.Publish(src.Clone(), "swap"); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i >= 50 {
+						return
+					}
+				default:
+				}
+				snap := store.Current()
+				if snap.IVF == nil {
+					t.Error("published snapshot missing IVF index")
+					return
+				}
+				got := s.RecommendIVF(snap.Factors, snap.IVF, int32((r+i)%users), 5, nil)
+				if len(got) != 5 {
+					t.Errorf("reader %d: %d items", r, len(got))
+					return
+				}
+				for _, c := range got {
+					if c.Score != got[0].Score || (c.Score != 8 && c.Score != 32) {
+						t.Errorf("reader %d: torn scores %v", r, got)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// End-to-end: a server over an IVF store reports the ivf mode, index shape
+// and measured probe work in /statsz, recommend and similar-items both run
+// through the probe path, and the probe counters reach /metricz.
+func TestServerIVFStatsz(t *testing.T) {
+	store := NewStore()
+	store.SetRetrieval(RetrievalIVF)
+	store.SetIVF(0, 3)
+	ts := newTestServer(t, store)
+	if _, err := store.Publish(centeredFactors(4, 2000, 8, 11), "q"); err != nil {
+		t.Fatal(err)
+	}
+	getBody(t, ts.URL+"/v1/recommend?user=1&k=7", http.StatusOK, nil)
+	getBody(t, ts.URL+"/v1/similar-items?item=3&k=5", http.StatusOK, nil)
+
+	var stats statsResponse
+	getBody(t, ts.URL+"/statsz", http.StatusOK, &stats)
+	rt := stats.Retrieval
+	if rt == nil || rt.Mode != "ivf" {
+		t.Fatalf("retrieval stats = %+v, want ivf mode", rt)
+	}
+	if rt.NList != model.DefaultNList(2000) || rt.NProbe != DefaultNProbe(rt.NList) {
+		t.Fatalf("index shape = %+v", rt)
+	}
+	if rt.IVFScans != 2 || rt.MeanProbed <= 0 || rt.MeanCandidates <= 0 {
+		t.Fatalf("probe counters = %+v", rt)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, metric := range []string{"hsgd_ivf_scans_total 2", "hsgd_ivf_probes_total", "hsgd_ivf_candidates_total"} {
+		if !strings.Contains(body, metric) {
+			t.Fatalf("/metricz missing %q", metric)
+		}
+	}
+}

@@ -55,6 +55,9 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	})
 	reg.CounterFunc("hsgd_quantized_scans_total", "rankings served by the int8 quantized path", nil, s.nQuantScans.Load)
 	reg.CounterFunc("hsgd_rerank_depth_total", "candidates rescored exactly after quantized scans (divide by hsgd_quantized_scans_total for the mean depth)", nil, s.nRerankDepth.Load)
+	reg.CounterFunc("hsgd_ivf_scans_total", "rankings served by the IVF probe-and-rerank path", nil, s.nIVFScans.Load)
+	reg.CounterFunc("hsgd_ivf_probes_total", "posting lists probed by IVF rankings (divide by hsgd_ivf_scans_total for the mean)", nil, s.nIVFProbes.Load)
+	reg.CounterFunc("hsgd_ivf_candidates_total", "candidates int8-scored by IVF rankings (divide by hsgd_ivf_scans_total for the mean)", nil, s.nIVFCands.Load)
 	reg.GaugeFunc("hsgd_uptime_seconds", "seconds since the server started", nil, func() float64 {
 		return time.Since(s.start).Seconds()
 	})

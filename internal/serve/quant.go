@@ -95,7 +95,29 @@ func (s *Scorer) RecommendVectorQuantized(f *model.Factors, qf *model.QuantizedF
 // scratch can be released before returning.
 func (s *Scorer) recommendQuantizedAlloc(f *model.Factors, qf *model.QuantizedFactors, query []float32, k int, seen map[int32]bool) []model.ScoredItem {
 	sc := quantPool.Get().(*quantScratch)
-	res, _ := s.rankQuantized(f, qf, query, k, seen, sc)
+	res, _ := s.rankQuantized(f, qf, query, k, seen, nil, -1, sc)
+	out := append([]model.ScoredItem(nil), res...)
+	quantPool.Put(sc)
+	return out
+}
+
+// SimilarItemsQuantized is SimilarItems through the quantized candidate
+// scan: the int8 view nominates rerank·k candidates per shard ranked by
+// approximate cosine (approximate dot times the item's precomputed inverse
+// norm), and the survivors are rescored as exact float32 cosines — the
+// same candidate/rerank structure recommend uses, so the returned scores
+// match the exact path's.
+func (s *Scorer) SimilarItemsQuantized(f *model.Factors, qf *model.QuantizedFactors, invNorms []float32, v int32, k int) []model.ScoredItem {
+	if int(v) < 0 || int(v) >= f.N || len(invNorms) != f.N || invNorms[v] == 0 {
+		return nil
+	}
+	qv := f.Colvec(v)
+	query := make([]float32, f.K)
+	for i, x := range qv {
+		query[i] = x * invNorms[v]
+	}
+	sc := quantPool.Get().(*quantScratch)
+	res, _ := s.rankQuantized(f, qf, query, k, nil, invNorms, v, sc)
 	out := append([]model.ScoredItem(nil), res...)
 	quantPool.Put(sc)
 	return out
@@ -103,11 +125,14 @@ func (s *Scorer) recommendQuantizedAlloc(f *model.Factors, qf *model.QuantizedFa
 
 // rankQuantized is the zero-allocation core of the quantized path: scan the
 // int8 rows into per-shard candidate heaps, then rescore every surviving
-// candidate exactly in float32. The returned slice aliases sc and is valid
-// until sc is reused; the int is the number of candidates rescored (the
-// measured rerank depth /statsz reports). The caller must have checked
-// len(query) == f.K.
-func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, query []float32, k int, seen map[int32]bool, sc *quantScratch) ([]model.ScoredItem, int) {
+// candidate exactly in float32. A non-nil scale (the snapshot's inverse
+// norms, for similar-items cosine ranking) multiplies both the approximate
+// and the exact scores per item, with zero-scale items skipped; exclude
+// drops one item id (-1 for none). The returned slice aliases sc and is
+// valid until sc is reused; the int is the number of candidates rescored
+// (the measured rerank depth /statsz reports). The caller must have
+// checked len(query) == f.K.
+func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, query []float32, k int, seen map[int32]bool, scale []float32, exclude int32, sc *quantScratch) ([]model.ScoredItem, int) {
 	n := qf.N
 	if k <= 0 || n == 0 {
 		return nil, 0
@@ -122,7 +147,7 @@ func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, que
 	w := s.workers(n)
 	heaps := sc.heaps(w, cand)
 	if w == 1 {
-		scoreRangeQ(qf, qq, 0, n, seen, heaps[0])
+		scoreRangeQ(qf, qq, 0, n, seen, scale, exclude, heaps[0])
 	} else {
 		var wg sync.WaitGroup
 		for i := 0; i < w; i++ {
@@ -130,7 +155,7 @@ func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, que
 			wg.Add(1)
 			go func(i, lo, hi int) {
 				defer wg.Done()
-				scoreRangeQ(qf, qq, lo, hi, seen, heaps[i])
+				scoreRangeQ(qf, qq, lo, hi, seen, scale, exclude, heaps[i])
 			}(i, lo, hi)
 		}
 		wg.Wait()
@@ -144,7 +169,11 @@ func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, que
 	depth := 0
 	for _, h := range heaps {
 		for _, c := range h.Items() {
-			final.Push(c.Item, model.Dot(query, f.Colvec(c.Item)))
+			exact := model.Dot(query, f.Colvec(c.Item))
+			if scale != nil {
+				exact *= scale[c.Item]
+			}
+			final.Push(c.Item, exact)
 		}
 		depth += h.Len()
 	}
@@ -155,7 +184,9 @@ func (s *Scorer) rankQuantized(f *model.Factors, qf *model.QuantizedFactors, que
 // scores into the shard's candidate heap. The pushed score is the int32
 // accumulator times the item's scale only — the query's scale is a positive
 // constant across items, so it cancels for ranking and is never applied.
-func scoreRangeQ(qf *model.QuantizedFactors, qq []int8, lo, hi int, seen map[int32]bool, t *model.TopK) {
+// A non-nil cosine scale further multiplies each score (zero-scale items
+// skipped); exclude drops one id.
+func scoreRangeQ(qf *model.QuantizedFactors, qq []int8, lo, hi int, seen map[int32]bool, scale []float32, exclude int32, t *model.TopK) {
 	var scores [scoreBlockItems]float32
 	kdim := qf.K
 	for b := lo; b < hi; b += scoreBlockItems {
@@ -180,10 +211,18 @@ func scoreRangeQ(qf *model.QuantizedFactors, qq []int8, lo, hi int, seen map[int
 		}
 		for i := 0; i < cnt; i++ {
 			v := int32(b + i)
-			if seen[v] {
+			if v == exclude || seen[v] {
 				continue
 			}
-			t.Push(v, scores[i])
+			sc := scores[i]
+			if scale != nil {
+				s := scale[b+i]
+				if s == 0 {
+					continue // zero-norm item: cosine undefined, skip
+				}
+				sc *= s
+			}
+			t.Push(v, sc)
 		}
 	}
 }

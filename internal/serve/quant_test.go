@@ -170,11 +170,11 @@ func TestQuantizedScanZeroAllocs(t *testing.T) {
 	s := &Scorer{Shards: 1} // single shard: no goroutine fan-out in the loop
 	sc := new(quantScratch)
 	query := f.Row(3)
-	if res, _ := s.rankQuantized(f, qf, query, 10, nil, sc); len(res) != 10 {
+	if res, _ := s.rankQuantized(f, qf, query, 10, nil, nil, -1, sc); len(res) != 10 {
 		t.Fatalf("warm-up returned %d items", len(res))
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		s.rankQuantized(f, qf, query, 10, nil, sc)
+		s.rankQuantized(f, qf, query, 10, nil, nil, -1, sc)
 	})
 	if allocs != 0 {
 		t.Fatalf("quantized scan allocated %v per op, want 0", allocs)

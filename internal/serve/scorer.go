@@ -40,11 +40,14 @@ const serialCutoff = 4096
 // per-shard bounded min-heap, followed by a final merge. A zero Scorer is
 // usable: it shards across GOMAXPROCS workers.
 //
-// The scorer has two modes. Recommend/RecommendVector scan the exact
+// The scorer has three modes. Recommend/RecommendVector scan the exact
 // float32 rows; RecommendQuantized/RecommendVectorQuantized (quant.go) scan
 // an int8-quantized view 4× smaller and rerank the surviving candidates
 // exactly, which is faster whenever the catalog outgrows the cache and
-// returns the same scores.
+// returns the same scores; RecommendIVF/RecommendVectorIVF (ivf.go) probe
+// an inverted-file index so only the top-NProbe coarse cells' candidates
+// are scored at all — the path that survives catalogs where even the int8
+// linear scan is bandwidth-bound.
 type Scorer struct {
 	// Shards is the number of worker goroutines; <= 0 means GOMAXPROCS.
 	Shards int
@@ -52,6 +55,9 @@ type Scorer struct {
 	// (RerankFactor·k items survive to the exact rerank); <= 0 means
 	// DefaultRerankFactor. Exact-mode scans ignore it.
 	RerankFactor int
+	// NProbe is the IVF path's probed-list count (ivf.go); <= 0 means
+	// DefaultNProbe of the index's list count. The other modes ignore it.
+	NProbe int
 }
 
 func (s *Scorer) workers(nItems int) int {

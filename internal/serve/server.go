@@ -33,6 +33,10 @@ type Config struct {
 	// <= 0 picks DefaultRerankFactor. Ignored while the snapshot carries no
 	// quantized view.
 	RerankFactor int
+	// NProbe is the IVF path's probed-list count; <= 0 picks DefaultNProbe
+	// of the live index's list count. Ignored while the snapshot carries no
+	// IVF index.
+	NProbe int
 	// Metrics is the registry /metricz exports; nil makes the server create
 	// a private one. Pass a shared registry when the process also runs a
 	// trainer (or a -debug-addr listener) so one scrape sees everything.
@@ -65,6 +69,10 @@ type Server struct {
 	// nRerankDepth the candidates it rescored exactly — their ratio is the
 	// measured rerank depth /statsz reports.
 	nQuantScans, nRerankDepth atomic.Int64
+	// nIVFScans counts rankings served by the IVF path, nIVFProbes the
+	// posting lists it probed and nIVFCands the candidates it int8-scored —
+	// the measured probe work /statsz and /metricz export.
+	nIVFScans, nIVFProbes, nIVFCands atomic.Int64
 
 	m *serverMetrics
 
@@ -110,7 +118,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		store:        cfg.Store,
-		scorer:       Scorer{Shards: cfg.Shards, RerankFactor: cfg.RerankFactor},
+		scorer:       Scorer{Shards: cfg.Shards, RerankFactor: cfg.RerankFactor, NProbe: cfg.NProbe},
 		cache:        newResultCache(cacheSize),
 		foldInLambda: cfg.FoldInLambda,
 		maxK:         maxK,
@@ -136,8 +144,12 @@ func New(cfg Config) (*Server, error) {
 type reqScratch struct {
 	seen  map[int32]bool
 	quant quantScratch
+	ivf   ivfScratch
 	items []int32
 	vals  []float32
+	// query is the scratch float32 vector similar-items scales its item row
+	// into before the candidate scan.
+	query []float32
 }
 
 var reqPool = sync.Pool{New: func() any {
@@ -152,17 +164,60 @@ func (sc *reqScratch) release() {
 }
 
 // recommend routes one ranking through the snapshot's retrieval mode: the
-// quantized scan with exact rerank when the snapshot carries an int8 view,
-// the exact float32 scan otherwise. Quantized results alias sc and must be
-// consumed before sc is released.
+// IVF probe-and-rerank when the snapshot carries an index, the quantized
+// scan with exact rerank when it carries an int8 view, the exact float32
+// scan otherwise. IVF and quantized results alias sc and must be consumed
+// before sc is released.
 func (s *Server) recommend(snap *Snapshot, query []float32, k int, seen map[int32]bool, sc *reqScratch) []model.ScoredItem {
+	if snap.IVF != nil {
+		ranked, probed, cands := s.scorer.rankIVF(snap.Factors, snap.IVF, query, k, seen, nil, -1, &sc.ivf)
+		s.nIVFScans.Add(1)
+		s.nIVFProbes.Add(int64(probed))
+		s.nIVFCands.Add(int64(cands))
+		return ranked
+	}
 	if snap.Quantized != nil {
-		ranked, depth := s.scorer.rankQuantized(snap.Factors, snap.Quantized, query, k, seen, &sc.quant)
+		ranked, depth := s.scorer.rankQuantized(snap.Factors, snap.Quantized, query, k, seen, nil, -1, &sc.quant)
 		s.nQuantScans.Add(1)
 		s.nRerankDepth.Add(int64(depth))
 		return ranked
 	}
 	return s.scorer.rank(snap.Factors, query, k, seen, nil, -1)
+}
+
+// similar routes one similar-items ranking through the snapshot's
+// retrieval mode with the same candidate/rerank structure as recommend:
+// probed (or int8-scanned) candidates are ranked by approximate cosine and
+// the survivors rescored as exact float32 cosines. Results alias sc and
+// must be consumed before sc is released.
+func (s *Server) similar(snap *Snapshot, v int32, k int, sc *reqScratch) []model.ScoredItem {
+	f, inv := snap.Factors, snap.InvNorms
+	if int(v) < 0 || int(v) >= f.N || len(inv) != f.N || inv[v] == 0 {
+		return nil
+	}
+	if snap.IVF == nil && snap.Quantized == nil {
+		return s.scorer.SimilarItems(f, inv, v, k)
+	}
+	// Scale the query by its own inverse norm so the reported scores are
+	// true cosines, not just rank-equivalent.
+	if cap(sc.query) < f.K {
+		sc.query = make([]float32, f.K)
+	}
+	query := sc.query[:f.K]
+	for i, x := range f.Colvec(v) {
+		query[i] = x * inv[v]
+	}
+	if snap.IVF != nil {
+		ranked, probed, cands := s.scorer.rankIVF(f, snap.IVF, query, k, nil, inv, v, &sc.ivf)
+		s.nIVFScans.Add(1)
+		s.nIVFProbes.Add(int64(probed))
+		s.nIVFCands.Add(int64(cands))
+		return ranked
+	}
+	ranked, depth := s.scorer.rankQuantized(f, snap.Quantized, query, k, nil, inv, v, &sc.quant)
+	s.nQuantScans.Add(1)
+	s.nRerankDepth.Add(int64(depth))
+	return ranked
 }
 
 // seenSet fills the pooled seen map from the exclude list; the map is
@@ -233,15 +288,25 @@ type statsResponse struct {
 }
 
 // retrievalStats reports which scoring path the live snapshot serves and
-// the quantization tradeoff knob: the configured rerank factor, what the
-// int8 view cost to build at swap time, and the measured mean rerank depth
-// (candidates rescored exactly per quantized ranking).
+// its tradeoff knobs: the configured rerank factor, what the int8 view (and
+// IVF index) cost to build at swap time, the measured mean rerank depth
+// (candidates rescored exactly per quantized ranking), and — in IVF mode —
+// the index shape plus the measured probe work per ranking.
 type retrievalStats struct {
-	Mode            string  `json:"mode"` // quantized | exact
+	Mode            string  `json:"mode"` // ivf | quantized | exact
 	RerankFactor    int     `json:"rerank_factor,omitempty"`
 	QuantBuildMS    float64 `json:"quant_build_ms,omitempty"`
 	QuantizedScans  int64   `json:"quantized_scans,omitempty"`
 	MeanRerankDepth float64 `json:"mean_rerank_depth,omitempty"`
+	// IVF-mode fields: the index's list count, the resolved probe count, the
+	// publish-time k-means cost (0 when the index came prebuilt from the
+	// snapshot file), and the measured per-ranking probe work.
+	NList          int     `json:"nlist,omitempty"`
+	NProbe         int     `json:"nprobe,omitempty"`
+	IVFBuildMS     float64 `json:"ivf_build_ms,omitempty"`
+	IVFScans       int64   `json:"ivf_scans,omitempty"`
+	MeanProbed     float64 `json:"mean_probed_lists,omitempty"`
+	MeanCandidates float64 `json:"mean_candidates,omitempty"`
 }
 
 // trainingStats mirrors the latest progress event recorded through
@@ -330,6 +395,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Retrieval.QuantizedScans = scans
 			if scans > 0 {
 				resp.Retrieval.MeanRerankDepth = float64(s.nRerankDepth.Load()) / float64(scans)
+			}
+		}
+		if snap.IVF != nil {
+			resp.Retrieval.Mode = "ivf"
+			resp.Retrieval.NList = snap.IVF.NList
+			resp.Retrieval.NProbe = EffectiveNProbe(s.scorer.NProbe, snap.IVF.NList)
+			resp.Retrieval.IVFBuildMS = float64(snap.IVFBuild.Nanoseconds()) / 1e6
+			scans := s.nIVFScans.Load()
+			resp.Retrieval.IVFScans = scans
+			if scans > 0 {
+				resp.Retrieval.MeanProbed = float64(s.nIVFProbes.Load()) / float64(scans)
+				resp.Retrieval.MeanCandidates = float64(s.nIVFCands.Load()) / float64(scans)
 			}
 		}
 	}
@@ -555,10 +632,12 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nCacheMiss.Add(1)
-	ranked := s.scorer.SimilarItems(snap.Factors, snap.InvNorms, v, k)
+	sc := getReqScratch()
+	ranked := s.similar(snap, v, k, sc)
 	body := mustMarshal(similarResponse{
 		Item: v, SnapshotVersion: snap.Version, Items: toScored(ranked),
 	})
+	sc.release()
 	s.cache.Put(key, body)
 	writeCached(w, body)
 }

@@ -12,6 +12,42 @@ import (
 	"hsgd/internal/model"
 )
 
+// RetrievalMode selects which scan answers rankings: the exact float32
+// scan, the int8 quantized scan with exact rerank (the default), or the
+// IVF probe-and-rerank index.
+type RetrievalMode int32
+
+const (
+	RetrievalQuant RetrievalMode = iota // int8 linear scan + exact rerank
+	RetrievalExact                      // float32 linear scan
+	RetrievalIVF                        // inverted-file probe + int8 scan + exact rerank
+)
+
+// String returns the mode's flag/statsz spelling.
+func (m RetrievalMode) String() string {
+	switch m {
+	case RetrievalExact:
+		return "exact"
+	case RetrievalIVF:
+		return "ivf"
+	default:
+		return "quant"
+	}
+}
+
+// ParseRetrievalMode resolves hsgd-serve's -retrieval flag value.
+func ParseRetrievalMode(s string) (RetrievalMode, error) {
+	switch s {
+	case "exact":
+		return RetrievalExact, nil
+	case "quant", "quantized":
+		return RetrievalQuant, nil
+	case "ivf":
+		return RetrievalIVF, nil
+	}
+	return 0, fmt.Errorf("serve: unknown retrieval mode %q (want exact|quant|ivf)", s)
+}
+
 // Snapshot is one immutable published model version. Queries hold a
 // *Snapshot for their whole lifetime, so a concurrent hot-swap never
 // changes the data under a request — the old snapshot stays reachable (and
@@ -20,9 +56,13 @@ type Snapshot struct {
 	Factors *model.Factors
 	// Quantized is the per-item symmetric int8 view of the item factors,
 	// built once at publish time for the quantized retrieval scan. nil when
-	// the store was configured with SetQuantize(false); the server falls
-	// back to the exact float32 scan then.
+	// the store runs in exact mode; the server falls back to the exact
+	// float32 scan then.
 	Quantized *model.QuantizedFactors
+	// IVF is the inverted-file index over the item factors, built (or
+	// loaded from the snapshot file's HIVF section) at publish time in IVF
+	// retrieval mode; nil in the other modes.
+	IVF *model.IVFIndex
 	// InvNorms[v] = 1/‖q_v‖ (0 for a zero vector), precomputed once per
 	// publish so cosine similar-items scoring costs one multiply per item.
 	InvNorms []float32
@@ -31,9 +71,24 @@ type Snapshot struct {
 	// QuantBuild is how long the quantized view took to build at publish
 	// time (0 when quantization is off) — surfaced in /statsz.
 	QuantBuild time.Duration
+	// IVFBuild is the k-means + posting-list build time at publish (0 when
+	// the index came prebuilt from the snapshot file) — surfaced in /statsz.
+	IVFBuild time.Duration
 	// Source is where the snapshot came from: a file path for LoadFile, or
 	// a caller-chosen label for in-process Publish.
 	Source string
+}
+
+// Mode reports which retrieval path this snapshot serves.
+func (s *Snapshot) Mode() RetrievalMode {
+	switch {
+	case s.IVF != nil:
+		return RetrievalIVF
+	case s.Quantized != nil:
+		return RetrievalQuant
+	default:
+		return RetrievalExact
+	}
 }
 
 // Store holds the live snapshot behind an atomic pointer. Swaps are
@@ -43,9 +98,13 @@ type Snapshot struct {
 type Store struct {
 	cur     atomic.Pointer[Snapshot]
 	version atomic.Uint64
-	// noQuantize disables building the int8 view on publish (zero value =
-	// quantization on, matching hsgd-serve's -quantize default).
-	noQuantize atomic.Bool
+	// mode selects what derived retrieval data Publish builds (zero value =
+	// RetrievalQuant, matching hsgd-serve's default).
+	mode atomic.Int32
+	// ivfNList is the coarse-cell count IVF-mode publishes build (0 =
+	// model.DefaultNList) and ivfSeed the k-means seed.
+	ivfNList atomic.Int64
+	ivfSeed  atomic.Int64
 
 	mu      sync.Mutex
 	onSwap  []func(*Snapshot)
@@ -78,14 +137,46 @@ func (s *Store) Current() *Snapshot { return s.cur.Load() }
 
 // SetQuantize controls whether subsequent publishes build the int8
 // quantized view (on by default). Already-published snapshots keep
-// whatever view they were built with.
-func (s *Store) SetQuantize(on bool) { s.noQuantize.Store(!on) }
+// whatever view they were built with. Kept as the -quantize flag's shim:
+// it toggles between the quant and exact modes and never selects IVF.
+func (s *Store) SetQuantize(on bool) {
+	if on {
+		s.SetRetrieval(RetrievalQuant)
+	} else {
+		s.SetRetrieval(RetrievalExact)
+	}
+}
+
+// SetRetrieval selects which derived retrieval data subsequent publishes
+// build: nothing (exact), the int8 view (quant), or the int8 view plus the
+// IVF index (ivf). Already-published snapshots keep what they were built
+// with.
+func (s *Store) SetRetrieval(m RetrievalMode) { s.mode.Store(int32(m)) }
+
+// Retrieval reports the mode subsequent publishes will build.
+func (s *Store) Retrieval() RetrievalMode { return RetrievalMode(s.mode.Load()) }
+
+// SetIVF configures the IVF builds of subsequent publishes: nlist coarse
+// cells (<= 0 means model.DefaultNList of the catalog size) and the
+// k-means seed.
+func (s *Store) SetIVF(nlist int, seed int64) {
+	s.ivfNList.Store(int64(nlist))
+	s.ivfSeed.Store(seed)
+}
 
 // Publish validates f, precomputes the item norms, and atomically swaps it
 // in as the live snapshot. The previous snapshot is untouched, so requests
 // that already picked it up finish against consistent data. Registered
 // OnSwap hooks run synchronously before Publish returns.
 func (s *Store) Publish(f *model.Factors, source string) (*Snapshot, error) {
+	return s.publish(f, source, nil)
+}
+
+// publish is Publish with an optional prebuilt IVF index (from a snapshot
+// file's HIVF section): when it matches the factors it replaces the
+// k-means build, so a watcher hot-swap pays only the load, not the
+// clustering.
+func (s *Store) publish(f *model.Factors, source string, prebuilt *model.IVFIndex) (*Snapshot, error) {
 	if f == nil {
 		return nil, fmt.Errorf("serve: cannot publish nil factors")
 	}
@@ -93,15 +184,26 @@ func (s *Store) Publish(f *model.Factors, source string) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: refusing to publish: %w", err)
 	}
 	inv := invNorms(f)
-	// The quantized view is built outside the mutex alongside the invNorms
-	// precompute: both are per-snapshot derived data the hot path must
-	// never pay for.
+	// The derived views are built outside the mutex alongside the invNorms
+	// precompute: all of it is per-snapshot data the hot path must never
+	// pay for.
+	mode := s.Retrieval()
 	var qf *model.QuantizedFactors
-	var qdur time.Duration
-	if !s.noQuantize.Load() {
+	var ix *model.IVFIndex
+	var qdur, ixdur time.Duration
+	if mode != RetrievalExact {
 		start := time.Now()
 		qf = model.QuantizeItems(f)
 		qdur = time.Since(start)
+	}
+	if mode == RetrievalIVF {
+		if prebuilt != nil && prebuilt.N == f.N && prebuilt.K == f.K {
+			ix = prebuilt
+		} else {
+			start := time.Now()
+			ix = model.BuildIVF(f, qf, int(s.ivfNList.Load()), s.ivfSeed.Load())
+			ixdur = time.Since(start)
+		}
 	}
 	// Version assignment and the pointer store happen under the mutex so
 	// two concurrent publishers (e.g. the disk watcher racing an in-process
@@ -111,10 +213,12 @@ func (s *Store) Publish(f *model.Factors, source string) (*Snapshot, error) {
 	snap := &Snapshot{
 		Factors:    f,
 		Quantized:  qf,
+		IVF:        ix,
 		InvNorms:   inv,
 		Version:    s.version.Add(1),
 		LoadedAt:   s.now(),
 		QuantBuild: qdur,
+		IVFBuild:   ixdur,
 		Source:     source,
 	}
 	s.cur.Store(snap)
@@ -128,17 +232,18 @@ func (s *Store) Publish(f *model.Factors, source string) (*Snapshot, error) {
 }
 
 // LoadFile reads an HFAC snapshot file (as written by Factors.Save /
-// cmd/hsgd-train -out) and publishes it.
+// cmd/hsgd-train -out, optionally carrying an HIVF index section) and
+// publishes it.
 func (s *Store) LoadFile(path string) (*Snapshot, error) {
 	// Stat before reading: if the file is replaced mid-load, the recorded
 	// stat disagrees with the new file and the watcher reloads next tick.
 	info, statErr := os.Stat(path)
-	f, err := model.LoadFile(path)
+	f, ix, err := model.LoadFileWithIVF(path)
 	if err != nil {
 		s.setErr(err)
 		return nil, err
 	}
-	snap, err := s.Publish(f, path)
+	snap, err := s.publish(f, path, ix)
 	if err == nil && statErr == nil {
 		s.loadedStat.Store(&fileStat{path: path, mod: info.ModTime(), size: info.Size()})
 	}
