@@ -83,9 +83,9 @@ func validateOptions(c Capabilities, opt TrainOptions) error {
 		hint    string
 	}{
 		{!sgd.IsFixed(opt.Schedule), c.Schedules, "Schedule",
-			"non-fixed schedules need fpsgd, hetero, hogwild or sim"},
+			"non-fixed schedules need fpsgd, hetero, hogwild, nomad or sim"},
 		{opt.TargetRMSE > 0, c.EarlyStop, "TargetRMSE",
-			"early stopping needs fpsgd, hetero or sim"},
+			"early stopping needs fpsgd, hetero, nomad or sim"},
 		{opt.CheckpointPath != "", c.Checkpoint, "CheckpointPath",
 			"mid-train checkpoints need fpsgd or hetero"},
 		{opt.Resume != nil || opt.StartEpoch != 0, c.Resume, "Resume/StartEpoch",

@@ -15,6 +15,10 @@
 //   - -mode hetero: striped (homogeneous) vs heterogeneous two-class
 //     executor engine at the same worker budget (BENCH_hetero.json), with
 //     each contender's wall-clock time to the common reachable RMSE.
+//   - -mode dist: single-process nomad trainer vs a coordinator-plus-workers
+//     NOMAD cluster over TCP loopback at the same worker budget
+//     (BENCH_dist.json), with time to the common reachable RMSE and the
+//     wire bytes per epoch of column circulation.
 package main
 
 import (
@@ -72,19 +76,20 @@ type report struct {
 
 func main() {
 	var (
-		mode    = flag.String("mode", "train", "train|serve|hetero: which smoke benchmark to run")
-		name    = flag.String("dataset", "netflix", "movielens|netflix|r1|yahoo")
-		scale   = flag.Float64("scale", 0.1, "size multiplier on the dataset spec")
-		k       = flag.Int("k", 32, "latent factors (train mode)")
-		iters   = flag.Int("iters", 10, "training epochs")
-		threads = flag.Int("threads", 8, "worker goroutines")
-		seed    = flag.Int64("seed", 42, "random seed")
-		runs    = flag.Int("runs", 3, "trials per contender; the fastest is reported")
-		batched = flag.Int("batched", 1, "batched executors inside the worker budget (hetero mode)")
-		catalog = flag.Int("catalog", 1, "item-catalog multiplier for serve mode (replicate-and-perturb)")
-		nprobe  = flag.Int("nprobe", 0, "IVF probed-list override for serve mode; 0 means nlist/16")
-		out     = flag.String("out", "", "JSON report path (default BENCH_<mode>.json)")
-		verbose = flag.Bool("v", false, "stream per-epoch engine progress to stderr")
+		mode     = flag.String("mode", "train", "train|serve|hetero|dist: which smoke benchmark to run")
+		name     = flag.String("dataset", "netflix", "movielens|netflix|r1|yahoo")
+		scale    = flag.Float64("scale", 0.1, "size multiplier on the dataset spec")
+		k        = flag.Int("k", 32, "latent factors (train mode)")
+		iters    = flag.Int("iters", 10, "training epochs")
+		threads  = flag.Int("threads", 8, "worker goroutines")
+		seed     = flag.Int64("seed", 42, "random seed")
+		runs     = flag.Int("runs", 3, "trials per contender; the fastest is reported")
+		batched  = flag.Int("batched", 1, "batched executors inside the worker budget (hetero mode)")
+		catalog  = flag.Int("catalog", 1, "item-catalog multiplier for serve mode (replicate-and-perturb)")
+		nprobe   = flag.Int("nprobe", 0, "IVF probed-list override for serve mode; 0 means nlist/16")
+		dworkers = flag.Int("dist-workers", 3, "worker count for dist mode (processes and goroutines alike)")
+		out      = flag.String("out", "", "JSON report path (default BENCH_<mode>.json)")
+		verbose  = flag.Bool("v", false, "stream per-epoch engine progress to stderr")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the in-flight trial; a partially benchmarked
@@ -109,8 +114,13 @@ func main() {
 			*out = "BENCH_hetero.json"
 		}
 		err = runHetero(ctx, *name, *scale, *k, *iters, *threads, *batched, *seed, *runs, *out, *verbose)
+	case "dist":
+		if *out == "" {
+			*out = "BENCH_dist.json"
+		}
+		err = runDist(ctx, *name, *scale, *k, *iters, *dworkers, *seed, *runs, *out, *verbose)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want train|serve|hetero)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want train|serve|hetero|dist)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-bench: %v\n", err)

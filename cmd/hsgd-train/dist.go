@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"hsgd"
+	"hsgd/internal/dist"
+	"hsgd/internal/obs"
+)
+
+// distConfig is the multi-node slice of the CLI configuration.
+type distConfig struct {
+	role    string // "coordinator" | "worker"
+	listen  string // coordinator bind address
+	peers   string // worker: the coordinator's address
+	workers int    // coordinator: worker processes to wait for
+}
+
+// runDistributed runs one node of a multi-process NOMAD cluster. Every node
+// loads the same ratings file; the coordinator owns evaluation, checkpoints
+// and the final model, workers own row partitions and column visits.
+func runDistributed(ctx context.Context, path string, cfg config, dc distConfig) error {
+	train, err := hsgd.LoadMatrix(path)
+	if err != nil {
+		return err
+	}
+
+	// Each node exports its own hsgd_dist_* series on its own -debug-addr.
+	var metrics *dist.Metrics
+	if cfg.debugAddr != "" {
+		reg := obs.NewRegistry()
+		metrics = dist.NewMetrics(reg, dc.role)
+		debugServer := &http.Server{
+			Addr:              cfg.debugAddr,
+			Handler:           obs.DebugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener (metricz + pprof) on %s", cfg.debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer debugServer.Close()
+	}
+
+	switch dc.role {
+	case "worker":
+		log.Printf("worker: dialing coordinator at %s", dc.peers)
+		if err := dist.Work(ctx, dist.TCP{}, dc.peers, train, dist.WorkerConfig{Metrics: metrics}); err != nil {
+			return fmt.Errorf("worker: %w", err)
+		}
+		log.Printf("worker: done")
+		return nil
+
+	case "coordinator":
+		var test *hsgd.Matrix
+		if cfg.testPath != "" {
+			if test, err = hsgd.LoadMatrix(cfg.testPath); err != nil {
+				return err
+			}
+		}
+		lp, lq := cfg.lambda, cfg.lambda
+		if cfg.lambdaP >= 0 {
+			lp = cfg.lambdaP
+		}
+		if cfg.lambdaQ >= 0 {
+			lq = cfg.lambdaQ
+		}
+		ln, err := dist.TCP{}.Listen(dc.listen)
+		if err != nil {
+			return err
+		}
+		log.Printf("coordinator: waiting for %d workers on %s", dc.workers, ln.Addr())
+		dcfg := dist.Config{
+			K: cfg.k, LambdaP: float32(lp), LambdaQ: float32(lq),
+			Gamma:  float32(cfg.gamma),
+			Epochs: cfg.iters, Seed: cfg.seed,
+			Workers:         dc.workers,
+			Test:            test,
+			CheckpointPath:  cfg.checkpoint,
+			CheckpointEvery: cfg.checkpointEvery,
+			Metrics:         metrics,
+		}
+		if cfg.progress {
+			dcfg.Progress = progressLine
+		}
+		rep, f, err := dist.Coordinate(ctx, ln, train, dcfg)
+		if cfg.progress {
+			fmt.Fprintln(os.Stderr) // seal the \r progress line
+		}
+		if err != nil && rep == nil {
+			return err
+		}
+		if rep.Interrupted {
+			fmt.Printf("interrupted (%v): keeping partial model after %d/%d epochs\n",
+				err, rep.Epochs, cfg.iters)
+		}
+		fmt.Printf("dist: trained %d epochs in %.3fs wall clock (%d updates, %d/%d workers live)\n",
+			rep.Epochs, rep.Seconds, rep.TotalUpdates, rep.LiveWorkers, dc.workers)
+		fmt.Printf("dist: %d bytes sent, %d received on the wire", rep.BytesSent, rep.BytesRecv)
+		if rep.WorkerFailures > 0 {
+			fmt.Printf("; %d worker failures, %d column hops reclaimed", rep.WorkerFailures, rep.ColumnsReclaimed)
+		}
+		fmt.Println()
+		if rep.Checkpoints > 0 {
+			fmt.Printf("%d checkpoints written to %s\n", rep.Checkpoints, cfg.checkpoint)
+		}
+		if test != nil {
+			fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)
+		}
+		if cfg.out != "" {
+			if err := f.SaveFile(cfg.out); err != nil {
+				return err
+			}
+			fmt.Printf("factors written to %s\n", cfg.out)
+		}
+		if rep.Interrupted && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("-role must be coordinator or worker, got %q", dc.role)
+	}
+}

@@ -1,10 +1,20 @@
 // Command hsgd-train trains a matrix-factorization model on a rating file.
 //
 // One unified surface: -trainer selects the algorithm (fpsgd — the
-// wall-clock lock-striped engine and the default — hogwild, als, cd, or
-// sim, the paper's heterogeneous pipelines on the simulated CPU+GPU machine
-// with virtual-clock timings). The legacy -mode=real|sim spelling is still
-// accepted and maps onto the same trainers.
+// wall-clock lock-striped engine and the default — hogwild, nomad, als, cd,
+// or sim, the paper's heterogeneous pipelines on the simulated CPU+GPU
+// machine with virtual-clock timings). The legacy -mode=real|sim spelling is
+// still accepted and maps onto the same trainers.
+//
+// -distributed runs one node of a multi-process NOMAD cluster instead of an
+// in-process trainer: start one coordinator (-role coordinator -listen
+// host:port -dist-workers N) and N workers (-role worker -peers host:port),
+// each given the same ratings file. The coordinator partitions users across
+// workers, circulates item columns over TCP, survives worker failures by
+// reclaiming their in-flight columns, merges per-worker checkpoints into
+// -checkpoint snapshots a running hsgd-serve hot-swaps, and writes the final
+// merged factors to -out. Per-node transport metrics (hsgd_dist_*) appear on
+// each node's -debug-addr /metricz.
 //
 // Training is an interruptible session: SIGINT/SIGTERM (and -timeout)
 // cancel the training context, and the run winds down gracefully — a final
@@ -89,6 +99,12 @@ func main() {
 		trcOut  = flag.String("trace-out", "", "write one epoch's block-schedule timeline as Chrome trace-event JSON to this file (fpsgd/hetero; open in chrome://tracing or ui.perfetto.dev)")
 		trcEp   = flag.Int("trace-epoch", 1, "which epoch -trace-out records, 1-based relative to the run's start")
 		debug   = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ during training (e.g. localhost:6060); empty disables")
+
+		distributed = flag.Bool("distributed", false, "run one node of a multi-process NOMAD cluster (see -role)")
+		role        = flag.String("role", "coordinator", "distributed role: coordinator (binds -listen, waits for -dist-workers) or worker (dials -peers)")
+		listen      = flag.String("listen", "localhost:7070", "coordinator bind address (distributed)")
+		peers       = flag.String("peers", "localhost:7070", "coordinator address a worker dials (distributed)")
+		distWorkers = flag.Int("dist-workers", 2, "worker processes the coordinator waits for (distributed)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -131,6 +147,14 @@ func main() {
 		defer cancel()
 	}
 
+	if *distributed {
+		dc := distConfig{role: *role, listen: *listen, peers: *peers, workers: *distWorkers}
+		if err := runDistributed(ctx, flag.Arg(0), cfg, dc); err != nil {
+			fmt.Fprintf(os.Stderr, "hsgd-train: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(ctx, flag.Arg(0), cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-train: %v\n", err)
 		os.Exit(1)

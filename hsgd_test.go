@@ -299,7 +299,7 @@ func TestTrainerCancellation(t *testing.T) {
 	params.K = 16
 	params.Iters = 1 << 20 // far beyond any deadline
 
-	for _, name := range []string{"fpsgd", "hetero", "hogwild", "als", "cd", "sim"} {
+	for _, name := range []string{"fpsgd", "hetero", "hogwild", "nomad", "als", "cd", "sim"} {
 		t.Run(name, func(t *testing.T) {
 			tr, _ := NewTrainer(name)
 			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

@@ -104,6 +104,46 @@ func FoldInUserInto(p []float32, f *model.Factors, items []int32, vals []float32
 	return nil
 }
 
+// FoldInItem is the item-side mirror of FoldInUser: it solves the
+// single-item ridge system against frozen user factors, min_q Σ_{u∈users}
+// (vals_u − p_u·q)² + λ|users|·‖q‖², returning the k-vector q. One row of
+// the ALS Q-step, exposed so a catalog item added after training (with a
+// few early ratings) gets a servable factor vector without retraining —
+// the item-side half of cold start, and the merge primitive a sharded
+// serving tier needs for items that arrive between distributed snapshots.
+func FoldInItem(f *model.Factors, users []int32, vals []float32, lambda float32) ([]float32, error) {
+	k := f.K
+	q := make([]float32, k)
+	if err := FoldInItemInto(q, f, users, vals, lambda, make([]float64, k*k), make([]float64, k)); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// FoldInItemInto is FoldInItem with caller-owned buffers, mirroring
+// FoldInUserInto: the solved vector lands in q (len f.K), and a (len f.K²) /
+// b (len f.K) hold the ridge normal-equation matrix and RHS.
+func FoldInItemInto(q []float32, f *model.Factors, users []int32, vals []float32, lambda float32, a, b []float64) error {
+	if len(users) == 0 || len(users) != len(vals) {
+		return fmt.Errorf("als: fold-in needs matching non-empty users/vals, got %d/%d", len(users), len(vals))
+	}
+	for _, u := range users {
+		if u < 0 || int(u) >= f.M {
+			return fmt.Errorf("als: fold-in user %d outside [0,%d)", u, f.M)
+		}
+	}
+	if lambda <= 0 {
+		return fmt.Errorf("als: fold-in requires lambda > 0, got %v", lambda)
+	}
+	k := f.K
+	if len(q) != k || len(a) != k*k || len(b) != k {
+		return fmt.Errorf("als: fold-in buffer sizes q=%d a=%d b=%d, want %d/%d/%d",
+			len(q), len(a), len(b), k, k*k, k)
+	}
+	solveRow(q, f.P, users, vals, k, lambda, a, b)
+	return nil
+}
+
 // solveSide solves min ||r_u − X_u·other|| + λ||x_u||² for every row u of
 // the CSR view — one k×k ridge system per non-empty row — and returns the
 // number of systems solved.

@@ -100,6 +100,134 @@ func TestALSErrors(t *testing.T) {
 	}
 }
 
+// TestFoldInItemMatchesDenseReference checks the item fold-in against an
+// independent dense solver: build A = Σ p puᵀ + λ|users|·I and b = Σ r·pu
+// in plain float64 loops, solve with a from-scratch elimination, and demand
+// agreement to float tolerance.
+func TestFoldInItemMatchesDenseReference(t *testing.T) {
+	const k = 5
+	rng := rand.New(rand.NewSource(7))
+	f := model.NewFactors(30, 20, k, rng)
+	users := []int32{2, 11, 17, 23, 29}
+	vals := make([]float32, len(users))
+	for i := range vals {
+		vals[i] = rng.Float32()*4 + 1
+	}
+	const lambda = 0.07
+
+	got, err := FoldInItem(f, users, vals, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: explicit normal equations in float64.
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+		a[i][i] = lambda * float64(len(users))
+	}
+	b := make([]float64, k)
+	for idx, u := range users {
+		pu := f.Row(u)
+		for i := 0; i < k; i++ {
+			b[i] += float64(vals[idx]) * float64(pu[i])
+			for j := 0; j < k; j++ {
+				a[i][j] += float64(pu[i]) * float64(pu[j])
+			}
+		}
+	}
+	want := solveRef(a, b)
+
+	for i := 0; i < k; i++ {
+		if d := float64(got[i]) - want[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("q[%d] = %v, reference %v", i, got[i], want[i])
+		}
+	}
+}
+
+// solveRef is a deliberately independent Gaussian elimination (no pivot
+// tricks shared with solveDense) for cross-checking fold-in solutions.
+func solveRef(a [][]float64, b []float64) []float64 {
+	k := len(b)
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if ar, ap := a[r][col], a[pivot][col]; ar*ar > ap*ap {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := 0; r < k; r++ {
+			if r == col || a[col][col] == 0 {
+				continue
+			}
+			factor := a[r][col] / a[col][col]
+			for j := col; j < k; j++ {
+				a[r][j] -= factor * a[col][j]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, k)
+	for i := range x {
+		if a[i][i] != 0 {
+			x[i] = b[i] / a[i][i]
+		}
+	}
+	return x
+}
+
+// TestFoldInItemMirrorsFoldInUser: transposing the problem (swap P/Q roles)
+// must give the identical solution — the two fold-ins are the same solver
+// against opposite frozen sides.
+func TestFoldInItemMirrorsFoldInUser(t *testing.T) {
+	const k = 4
+	rng := rand.New(rand.NewSource(8))
+	f := model.NewFactors(12, 9, k, rng)
+	users := []int32{0, 3, 7, 11}
+	vals := []float32{3.5, 2.0, 4.5, 1.0}
+	const lambda = 0.1
+
+	qv, err := FoldInItem(f, users, vals, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transposed factors: P' = Q, Q' = P; item fold-in on f equals user
+	// fold-in on the transpose.
+	ft := &model.Factors{M: f.N, N: f.M, K: k, P: f.Q, Q: f.P}
+	pu, err := FoldInUser(ft, users, vals, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qv {
+		if qv[i] != pu[i] {
+			t.Fatalf("fold-in mirror mismatch at %d: %v vs %v", i, qv[i], pu[i])
+		}
+	}
+}
+
+func TestFoldInItemErrors(t *testing.T) {
+	f := model.NewFactors(10, 10, 4, rand.New(rand.NewSource(9)))
+	if _, err := FoldInItem(f, nil, nil, 0.1); err == nil {
+		t.Fatal("empty users accepted")
+	}
+	if _, err := FoldInItem(f, []int32{1}, []float32{1, 2}, 0.1); err == nil {
+		t.Fatal("mismatched users/vals accepted")
+	}
+	if _, err := FoldInItem(f, []int32{10}, []float32{1}, 0.1); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	if _, err := FoldInItem(f, []int32{1}, []float32{1}, 0); err == nil {
+		t.Fatal("lambda=0 accepted")
+	}
+	if err := FoldInItemInto(make([]float32, 3), f, []int32{1}, []float32{1}, 0.1,
+		make([]float64, 16), make([]float64, 4)); err == nil {
+		t.Fatal("short output buffer accepted")
+	}
+}
+
 func TestSolveDense(t *testing.T) {
 	// 2x2 system: [2 1; 1 3] x = [5; 10] → x = (1, 3).
 	a := []float64{2, 1, 1, 3}

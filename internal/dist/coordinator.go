@@ -1,0 +1,839 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"hsgd/internal/cost"
+	"hsgd/internal/model"
+	"hsgd/internal/progress"
+	"hsgd/internal/sparse"
+)
+
+// maxWorkers bounds the worker count so per-column visit sets fit in one
+// uint64 bitmask. Far above any sane deployment of this protocol — the
+// coordinator routes every column hop, so fan-in saturates long before 64
+// nodes.
+const maxWorkers = 64
+
+// Config tunes a coordinated distributed run.
+type Config struct {
+	// K, LambdaP/LambdaQ, Gamma, Epochs are the SGD hyperparameters; the
+	// learning rate is fixed per run (the paper's setting).
+	K                int
+	LambdaP, LambdaQ float32
+	Gamma            float32
+	Epochs           int
+	Seed             int64
+
+	// Workers is how many worker connections to wait for before training
+	// starts. Must be in [1, 64].
+	Workers int
+
+	// Test, when non-nil, is evaluated at every epoch boundary on the
+	// merged factors for the report history and progress events.
+	Test *sparse.Matrix
+
+	// Init warm-starts from existing factors; nil initialises fresh from
+	// Seed (identical to the single-process nomad trainer's init, so
+	// same-seed runs start from the same model).
+	Init *model.Factors
+
+	// CheckpointPath, when set, makes the coordinator merge per-worker
+	// partitions and write an atomic model snapshot every CheckpointEvery
+	// epochs (default 1) — the format hsgd-serve's watcher hot-swaps.
+	CheckpointPath  string
+	CheckpointEvery int
+
+	// Progress receives one epoch event per boundary plus checkpoint and
+	// final events, exactly like the in-process trainers.
+	Progress progress.Func
+
+	// Metrics receives the node's hsgd_dist_* series; nil disables export.
+	Metrics *Metrics
+
+	// Window is the maximum in-flight columns per worker (default 8):
+	// enough pipelining to hide one round trip, small enough that a dead
+	// worker forfeits little work.
+	Window int
+
+	// SendTimeout bounds each outbound frame write (default 10s);
+	// SendRetries is the transient-timeout retry budget (default 3).
+	SendTimeout time.Duration
+	SendRetries int
+
+	// HeartbeatEvery is the idle-heartbeat cadence pushed to workers
+	// (default 500ms). LivenessTimeout is how long a worker may stay
+	// completely silent before it is declared dead (default 5s).
+	// StallTimeout declares a worker dead when it holds in-flight columns
+	// but has returned none for this long (default 30s) — the hung-but-
+	// heartbeating case.
+	HeartbeatEvery  time.Duration
+	LivenessTimeout time.Duration
+	StallTimeout    time.Duration
+
+	// NoRepartition disables throughput-proportional row re-sharding at
+	// epoch boundaries. The live set shrinking still forces a re-shard —
+	// a dead worker's rows must find a new owner either way.
+	NoRepartition bool
+}
+
+func (c *Config) fill() error {
+	if c.K <= 0 || c.Epochs <= 0 {
+		return fmt.Errorf("dist: invalid params (k=%d epochs=%d)", c.K, c.Epochs)
+	}
+	if c.Workers < 1 || c.Workers > maxWorkers {
+		return fmt.Errorf("dist: workers must be in [1,%d], got %d", maxWorkers, c.Workers)
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 10 * time.Second
+	}
+	if c.SendRetries <= 0 {
+		c.SendRetries = 3
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.LivenessTimeout <= 0 {
+		c.LivenessTimeout = 5 * time.Second
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil, "coordinator")
+	}
+	return nil
+}
+
+// EvalPoint is one (wall-clock seconds, epoch, RMSE) measurement.
+type EvalPoint struct {
+	Time  float64 `json:"time"`
+	Epoch int     `json:"epoch"`
+	RMSE  float64 `json:"rmse"`
+}
+
+// Report summarises a coordinated run.
+type Report struct {
+	Epochs       int
+	Seconds      float64
+	FinalRMSE    float64
+	History      []EvalPoint
+	TotalUpdates int64 // ratings applied across all workers
+	Checkpoints  int
+	Interrupted  bool
+
+	// BytesSent/BytesRecv are the coordinator's wire totals; dividing by
+	// Epochs gives the per-epoch transfer volume the bench reports.
+	BytesSent, BytesRecv int64
+	// ColumnsReclaimed counts column hops re-circulated after worker
+	// failures; WorkerFailures counts workers declared dead.
+	ColumnsReclaimed int64
+	WorkerFailures   int
+	// LiveWorkers is the surviving worker count at the end of the run.
+	LiveWorkers int
+}
+
+// event is one message from a worker reader goroutine to the main loop.
+type event struct {
+	worker int
+	t      msgType
+	b      []byte
+	err    error // non-nil: the link broke (read error or liveness timeout)
+}
+
+// workerState is the coordinator's view of one worker.
+type workerState struct {
+	id    int
+	link  *link
+	alive bool
+
+	lo, hi   int     // current row partition [lo,hi)
+	colCount []int32 // ratings per column inside the partition
+
+	inFlight      map[int32]time.Time // column → dispatch time
+	queuedRatings int64
+	lastReturn    time.Time // last ColDone (stall detection)
+
+	samples *cost.OnlineSamples
+	// tput is the fitted throughput (ratings/s) used for routing and the
+	// α-split re-shard; 0 until enough samples exist.
+	tput float64
+}
+
+func (w *workerState) bit() uint64 { return 1 << uint(w.id) }
+
+// eta estimates seconds until this worker would finish its queue plus one
+// more visit of n ratings — the routing objective. Unmeasured workers fall
+// back to queue depth in ratings (a constant-rate assumption).
+func (w *workerState) eta(n int32) float64 {
+	load := float64(w.queuedRatings + int64(n) + 1)
+	if w.tput > 0 {
+		return load / w.tput
+	}
+	return load
+}
+
+// Coordinate runs the coordinator role: accept cfg.Workers connections on
+// ln, partition rows, circulate columns, account epochs, and merge the
+// final factors. Returns the merged model together with the run report;
+// like the in-process trainers, a cancelled run returns the best-so-far
+// factors, a partial report flagged Interrupted, and the context error.
+func Coordinate(ctx context.Context, ln net.Listener, train *sparse.Matrix, cfg Config) (*Report, *model.Factors, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, nil, err
+	}
+	if train.NNZ() == 0 {
+		return nil, nil, sparse.ErrEmpty
+	}
+	c := &coordinator{
+		cfg:   &cfg,
+		train: train,
+		rep:   &Report{},
+		start: time.Now(),
+	}
+	if cfg.Init != nil {
+		if cfg.Init.M != train.Rows || cfg.Init.N != train.Cols || cfg.Init.K != cfg.K {
+			return nil, nil, fmt.Errorf("dist: init factors %dx%dx%d do not match %dx%d k=%d",
+				cfg.Init.M, cfg.Init.N, cfg.Init.K, train.Rows, train.Cols, cfg.K)
+		}
+		c.f = cfg.Init.Clone()
+	} else {
+		c.f = model.NewFactors(train.Rows, train.Cols, cfg.K, rand.New(rand.NewSource(cfg.Seed)))
+	}
+	return c.run(ctx, ln)
+}
+
+type coordinator struct {
+	cfg   *Config
+	train *sparse.Matrix
+	f     *model.Factors // authoritative merged model (P stale intra-epoch)
+	rep   *Report
+	start time.Time
+
+	workers []*workerState
+	events  chan event
+	done    chan struct{} // closed by finish; unblocks reader goroutines
+	live    uint64        // bitmask of alive workers
+
+	epoch    int // 0-based current epoch
+	needs    []uint64
+	holder   []int32 // worker currently visiting the column, -1 if parked
+	pending  []int32 // columns awaiting dispatch
+	colsLeft int     // columns not yet finished this epoch
+
+	syncing  bool
+	awaiting uint64 // workers owing a PSync
+	stopping bool   // interrupt in progress: no new epochs
+}
+
+func (c *coordinator) run(ctx context.Context, ln net.Listener) (*Report, *model.Factors, error) {
+	// Close the listener when ctx fires so the accept phase is cancellable.
+	acceptDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-acceptDone:
+		}
+	}()
+	err := c.accept(ctx, ln)
+	close(acceptDone)
+	ln.Close()
+	if err != nil {
+		return nil, nil, wrapCtx(ctx, err)
+	}
+
+	c.events = make(chan event, 4*c.cfg.Workers*c.cfg.Window)
+	c.done = make(chan struct{})
+	for _, w := range c.workers {
+		go c.reader(w)
+	}
+	c.startEpoch()
+
+	stall := time.NewTicker(c.cfg.StallTimeout / 4)
+	defer stall.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return c.interrupt(ctx)
+		case <-stall.C:
+			c.checkStalls()
+		case ev := <-c.events:
+			c.handle(ev)
+		}
+		// A kill may have reclaimed columns into pending with no further
+		// ColDone coming to trigger their re-dispatch; drain here.
+		if !c.syncing && len(c.pending) > 0 {
+			c.drainPending()
+		}
+		if c.rep.Epochs >= c.cfg.Epochs {
+			return c.finish(nil)
+		}
+		if c.live == 0 {
+			_, _, _ = c.finish(nil) // best-effort close of surviving links
+			return nil, nil, fmt.Errorf("dist: all %d workers died (%d reclaimed column hops)",
+				len(c.workers), c.rep.ColumnsReclaimed)
+		}
+	}
+}
+
+// accept waits for the configured number of workers and completes the
+// handshake (Hello → Welcome → initial Assign) with each.
+func (c *coordinator) accept(ctx context.Context, ln net.Listener) error {
+	bounds := PartitionRows(c.train.Rows, make([]float64, c.cfg.Workers))
+	for id := 0; id < c.cfg.Workers; id++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist: accepting worker %d/%d: %w", id, c.cfg.Workers, err)
+		}
+		l := &link{c: conn, m: c.cfg.Metrics, sendTimeout: c.cfg.SendTimeout, retries: c.cfg.SendRetries}
+		t, payload, err := l.recv(c.cfg.LivenessTimeout)
+		if err != nil {
+			return fmt.Errorf("dist: worker %d handshake: %w", id, err)
+		}
+		if t != mHello {
+			return fmt.Errorf("dist: worker %d opened with %s, want hello", id, t)
+		}
+		h, err := decodeHello(payload)
+		if err != nil {
+			return err
+		}
+		if h.Version != protocolVersion {
+			return fmt.Errorf("dist: worker %d speaks protocol %d, coordinator %d", id, h.Version, protocolVersion)
+		}
+		if err := l.send(mWelcome, welcome{
+			ID:             uint32(id),
+			HeartbeatMilli: uint32(c.cfg.HeartbeatEvery.Milliseconds()),
+		}.encode()); err != nil {
+			return err
+		}
+		w := &workerState{
+			id: id, link: l, alive: true,
+			inFlight: make(map[int32]time.Time),
+			samples:  cost.NewOnlineSamples(),
+		}
+		c.workers = append(c.workers, w)
+		c.live |= w.bit()
+		if err := c.assignRows(w, bounds[id], bounds[id+1]); err != nil {
+			return err
+		}
+	}
+	c.cfg.Metrics.WorkersLive.Set(float64(len(c.workers)))
+	return nil
+}
+
+// assignRows sends worker w the partition [lo,hi) with its current P rows
+// and rebuilds the coordinator's per-column rating counts for the range.
+func (c *coordinator) assignRows(w *workerState, lo, hi int) error {
+	w.lo, w.hi = lo, hi
+	w.colCount = make([]int32, c.train.Cols)
+	for _, r := range c.train.Ratings {
+		if int(r.Row) >= lo && int(r.Row) < hi {
+			w.colCount[r.Col]++
+		}
+	}
+	msg := assign{
+		Epoch: uint32(c.epoch), K: uint32(c.cfg.K), Epochs: uint32(c.cfg.Epochs),
+		LambdaP: c.cfg.LambdaP, LambdaQ: c.cfg.LambdaQ, Gamma: c.cfg.Gamma,
+		RowLo: uint32(lo), RowHi: uint32(hi),
+		P: c.f.P[lo*c.cfg.K : hi*c.cfg.K],
+	}
+	return w.link.send(mAssign, msg.encode())
+}
+
+// reader pumps one worker's frames into the main loop. The per-read
+// deadline is the liveness window: heartbeats arrive well inside it, so a
+// timeout means the worker is silent-dead even if TCP has not noticed.
+func (c *coordinator) reader(w *workerState) {
+	for {
+		t, payload, err := w.link.recv(c.cfg.LivenessTimeout)
+		if err != nil {
+			c.deliver(event{worker: w.id, err: err})
+			return
+		}
+		if t == mDone {
+			return // echo of session teardown; nothing to deliver
+		}
+		if !c.deliver(event{worker: w.id, t: t, b: payload}) {
+			return
+		}
+	}
+}
+
+// deliver hands one event to the main loop, giving up when the run is over
+// (finish closed c.done) so readers never block on a drained channel.
+func (c *coordinator) deliver(ev event) bool {
+	select {
+	case c.events <- ev:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+func (c *coordinator) handle(ev event) {
+	w := c.workers[ev.worker]
+	if !w.alive {
+		return // late frames from a worker already declared dead
+	}
+	if ev.err != nil {
+		c.kill(w, fmt.Sprintf("link error: %v", ev.err))
+		return
+	}
+	switch ev.t {
+	case mHeartbeat:
+		// Receipt already refreshed the read deadline; nothing else to do.
+	case mColDone:
+		d, err := decodeColDone(ev.b)
+		if err != nil {
+			c.kill(w, fmt.Sprintf("bad coldone: %v", err))
+			return
+		}
+		c.onColDone(w, d)
+	case mPSync:
+		p, err := decodePSync(ev.b)
+		if err != nil {
+			c.kill(w, fmt.Sprintf("bad psync: %v", err))
+			return
+		}
+		c.onPSync(w, p)
+	default:
+		c.kill(w, fmt.Sprintf("unexpected %s frame", ev.t))
+	}
+}
+
+// --- column circulation ---
+
+// startEpoch seeds every column with the set of live workers holding
+// ratings for it and dispatches the initial wave.
+func (c *coordinator) startEpoch() {
+	cols := c.train.Cols
+	if c.needs == nil {
+		c.needs = make([]uint64, cols)
+		c.holder = make([]int32, cols)
+	}
+	c.colsLeft = 0
+	c.pending = c.pending[:0]
+	for v := 0; v < cols; v++ {
+		var mask uint64
+		for _, w := range c.workers {
+			if w.alive && w.colCount[v] > 0 {
+				mask |= w.bit()
+			}
+		}
+		c.needs[v] = mask
+		c.holder[v] = -1
+		if mask != 0 {
+			c.colsLeft++
+			c.pending = append(c.pending, int32(v))
+		}
+	}
+	c.drainPending()
+}
+
+// dispatch routes column v to the live unvisited worker with the lowest
+// cost-model ETA, if any has window capacity. Reports whether the column
+// left the pending state.
+func (c *coordinator) dispatch(v int32) bool {
+	var best *workerState
+	var bestETA float64
+	for _, w := range c.workers {
+		if !w.alive || c.needs[v]&w.bit() == 0 || len(w.inFlight) >= c.cfg.Window {
+			continue
+		}
+		if eta := w.eta(w.colCount[v]); best == nil || eta < bestETA {
+			best, bestETA = w, eta
+		}
+	}
+	if best == nil {
+		return false
+	}
+	task := colTask{Epoch: uint32(c.epoch), Col: uint32(v), Q: c.f.Colvec(v)}
+	if err := best.link.send(mColTask, task.encode()); err != nil {
+		c.kill(best, fmt.Sprintf("send error: %v", err))
+		return c.dispatch(v) // try the remaining workers
+	}
+	c.cfg.Metrics.ColumnsSent.Inc()
+	best.inFlight[v] = time.Now()
+	best.queuedRatings += int64(best.colCount[v])
+	c.holder[v] = int32(best.id)
+	return true
+}
+
+// drainPending re-attempts dispatch of parked columns until every worker's
+// window is full or the list is empty. It owns c.pending for the duration:
+// a dispatch failure can kill a worker, whose reclaimed columns land in
+// c.pending mid-loop — those are folded into this drain rather than lost.
+func (c *coordinator) drainPending() {
+	work := c.pending
+	c.pending = nil
+	var parked []int32
+	for i := 0; i < len(work); i++ {
+		v := work[i]
+		if c.needs[v]&c.live == 0 {
+			// Every remaining required worker died while the column was
+			// parked; it is finished for this epoch.
+			c.finishColumn(v)
+		} else if !c.dispatch(v) {
+			parked = append(parked, v)
+		}
+		if len(c.pending) > 0 {
+			work = append(work, c.pending...)
+			c.pending = nil
+		}
+	}
+	c.pending = parked
+}
+
+func (c *coordinator) finishColumn(v int32) {
+	c.holder[v] = -1
+	c.colsLeft--
+	if c.colsLeft == 0 {
+		c.beginSync()
+	}
+}
+
+func (c *coordinator) onColDone(w *workerState, d colDone) {
+	v := int32(d.Col)
+	sentAt, ok := w.inFlight[v]
+	if !ok || int(d.Epoch) != c.epoch || len(d.Q) != c.cfg.K {
+		c.kill(w, fmt.Sprintf("coldone for col %d epoch %d not in flight", v, d.Epoch))
+		return
+	}
+	delete(w.inFlight, v)
+	w.queuedRatings -= int64(w.colCount[v])
+	w.lastReturn = time.Now()
+	c.cfg.Metrics.ColumnsRecv.Inc()
+	c.cfg.Metrics.Circulation.ObserveSince(sentAt)
+	copy(c.f.Colvec(v), d.Q)
+	c.rep.TotalUpdates += int64(d.NRatings)
+	if d.Nanos > 0 && d.NRatings > 0 {
+		w.samples.Observe(int(d.NRatings), float64(d.Nanos)/1e9)
+	}
+
+	c.needs[v] &^= w.bit()
+	if c.needs[v]&c.live == 0 {
+		c.finishColumn(v)
+	} else if !c.dispatch(v) {
+		c.holder[v] = -1
+		c.pending = append(c.pending, v)
+	}
+	// The freed window slot may unpark a column.
+	c.drainPending()
+}
+
+// --- failure handling ---
+
+// kill declares a worker dead, closes its link, and re-circulates the
+// columns it held from their last-returned state. The epoch keeps running
+// on the survivors; the dead worker's rows rejoin at the next re-shard.
+func (c *coordinator) kill(w *workerState, why string) {
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	c.live &^= w.bit()
+	w.link.close()
+	c.rep.WorkerFailures++
+	c.cfg.Metrics.WorkersLive.Set(float64(popcount(c.live)))
+
+	reclaimed := 0
+	for v := range w.inFlight {
+		reclaimed++
+		// Its in-flight updates are lost; the coordinator's cached q (from
+		// the previous hop) re-enters circulation.
+		c.needs[v] &^= w.bit()
+		c.holder[v] = -1
+		if c.needs[v]&c.live == 0 {
+			c.finishColumn(v)
+		} else {
+			c.pending = append(c.pending, v)
+		}
+	}
+	w.inFlight = map[int32]time.Time{}
+	w.queuedRatings = 0
+	c.rep.ColumnsReclaimed += int64(reclaimed)
+	c.cfg.Metrics.ColumnsReclaimed.Add(int64(reclaimed))
+
+	// Columns parked or held elsewhere that still listed the dead worker
+	// finish naturally: parked ones at the next drainPending (which checks
+	// needs against the shrunken live set), held ones when their ColDone
+	// arrives. Only the sync barrier needs attention here.
+	if c.syncing {
+		c.awaiting &^= w.bit()
+		if c.awaiting == 0 {
+			c.endEpoch()
+		}
+	}
+	_ = why // reason is carried in the report counters; kept for debugging
+}
+
+// checkStalls kills workers that hold in-flight columns but have returned
+// nothing for StallTimeout — alive at the TCP level, dead for training.
+func (c *coordinator) checkStalls() {
+	now := time.Now()
+	for _, w := range c.workers {
+		if !w.alive || len(w.inFlight) == 0 {
+			continue
+		}
+		oldest := w.lastReturn
+		if oldest.IsZero() {
+			for _, t := range w.inFlight {
+				if oldest.IsZero() || t.Before(oldest) {
+					oldest = t
+				}
+			}
+		}
+		if now.Sub(oldest) > c.cfg.StallTimeout {
+			c.kill(w, fmt.Sprintf("stalled: %d columns in flight, none returned in %v", len(w.inFlight), c.cfg.StallTimeout))
+		}
+	}
+}
+
+// --- epoch boundary ---
+
+// beginSync requests every live worker's P partition; the epoch ends when
+// the last PSync (or death) arrives.
+func (c *coordinator) beginSync() {
+	c.syncing = true
+	c.awaiting = 0
+	msg := epochSync{Epoch: uint32(c.epoch)}.encode()
+	for _, w := range c.workers {
+		if !w.alive {
+			continue
+		}
+		if err := w.link.send(mEpochSync, msg); err != nil {
+			c.kill(w, fmt.Sprintf("epoch sync send: %v", err))
+			continue
+		}
+		c.awaiting |= w.bit()
+	}
+	if c.awaiting == 0 && c.live != 0 {
+		c.endEpoch()
+	}
+}
+
+func (c *coordinator) onPSync(w *workerState, p pSync) {
+	if !c.syncing || c.awaiting&w.bit() == 0 {
+		c.kill(w, "unsolicited psync")
+		return
+	}
+	lo, hi := int(p.RowLo), int(p.RowHi)
+	if lo != w.lo || hi != w.hi || len(p.P) != (hi-lo)*c.cfg.K {
+		c.kill(w, fmt.Sprintf("psync rows [%d,%d) do not match assignment [%d,%d)", lo, hi, w.lo, w.hi))
+		return
+	}
+	copy(c.f.P[lo*c.cfg.K:hi*c.cfg.K], p.P)
+	c.awaiting &^= w.bit()
+	if c.awaiting == 0 {
+		c.endEpoch()
+	}
+}
+
+// endEpoch closes the books on one epoch: evaluate, report, checkpoint,
+// re-fit the cost models, possibly re-shard, and launch the next epoch.
+func (c *coordinator) endEpoch() {
+	c.syncing = false
+	if c.stopping {
+		return // interrupt drain: the partial epoch is merged, not counted
+	}
+	c.epoch++
+	c.rep.Epochs = c.epoch
+	c.cfg.Metrics.Epochs.Inc()
+
+	if c.cfg.Test != nil {
+		rmse := model.RMSE(c.f, c.cfg.Test)
+		c.rep.FinalRMSE = rmse
+		c.rep.History = append(c.rep.History, EvalPoint{
+			Time: time.Since(c.start).Seconds(), Epoch: c.epoch, RMSE: rmse,
+		})
+	}
+	c.emit(progress.KindEpoch)
+
+	if c.cfg.CheckpointPath != "" && (c.epoch%c.cfg.CheckpointEvery == 0 || c.epoch == c.cfg.Epochs) {
+		if err := c.f.SaveFileAtomic(c.cfg.CheckpointPath); err == nil {
+			c.rep.Checkpoints++
+			c.emit(progress.KindCheckpoint)
+		}
+	}
+	if c.epoch >= c.cfg.Epochs || c.live == 0 {
+		return
+	}
+	c.reshard()
+	c.startEpoch()
+}
+
+// reshard re-solves the row partition over the live workers. Rows move
+// when the live set changed (a dead worker's rows must find an owner) or
+// when fitted throughput diverged enough to pay for the P re-send — the
+// α-split re-solve of the paper's two-region scheme, applied across
+// machines.
+func (c *coordinator) reshard() {
+	liveWorkers := make([]*workerState, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.alive {
+			liveWorkers = append(liveWorkers, w)
+		}
+	}
+	if len(liveWorkers) == 0 {
+		return
+	}
+	weights := make([]float64, len(liveWorkers))
+	for i, w := range liveWorkers {
+		w.tput = fittedThroughput(w)
+		weights[i] = w.tput
+	}
+	coverage := liveWorkers[0].lo == 0
+	for i := 1; coverage && i < len(liveWorkers); i++ {
+		coverage = liveWorkers[i].lo == liveWorkers[i-1].hi
+	}
+	coverage = coverage && liveWorkers[len(liveWorkers)-1].hi == c.train.Rows
+	balanced := c.cfg.NoRepartition || imbalance(weights) < 1.1
+	if coverage && balanced {
+		return // partition still covers every row and is worth keeping
+	}
+	if c.cfg.NoRepartition {
+		weights = make([]float64, len(liveWorkers)) // equal shares
+	}
+	bounds := PartitionRows(c.train.Rows, weights)
+	for i, w := range liveWorkers {
+		if err := c.assignRows(w, bounds[i], bounds[i+1]); err != nil {
+			c.kill(w, fmt.Sprintf("reassign send: %v", err))
+		}
+	}
+}
+
+// fittedThroughput turns a worker's accumulated cost samples into a
+// routing weight (ratings/s), probing the fitted model at the worker's
+// mean observed task size.
+func fittedThroughput(w *workerState) float64 {
+	m, ok := w.samples.Fit(cost.KindKernel)
+	if !ok {
+		return 0
+	}
+	mean := meanTaskSize(w)
+	if t := m.Time(mean); t > 0 {
+		return mean / t
+	}
+	return 0
+}
+
+func meanTaskSize(w *workerState) float64 {
+	var total, cols float64
+	for _, n := range w.colCount {
+		if n > 0 {
+			total += float64(n)
+			cols++
+		}
+	}
+	if cols == 0 {
+		return 1
+	}
+	return total / cols
+}
+
+// --- teardown ---
+
+func (c *coordinator) emit(kind progress.Kind) {
+	if c.cfg.Progress == nil {
+		return
+	}
+	elapsed := time.Since(c.start)
+	var rate float64
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(c.rep.TotalUpdates) / s
+	}
+	c.cfg.Progress(progress.Event{
+		Kind: kind, Algorithm: "dist", Time: time.Now(),
+		Epoch: c.rep.Epochs, TotalEpochs: c.cfg.Epochs,
+		RMSE:          c.rep.FinalRMSE,
+		TotalUpdates:  c.rep.TotalUpdates,
+		UpdatesPerSec: rate,
+		Elapsed:       elapsed,
+		Checkpoints:   c.rep.Checkpoints,
+		CheckpointPath: func() string {
+			if kind == progress.KindCheckpoint {
+				return c.cfg.CheckpointPath
+			}
+			return ""
+		}(),
+	})
+}
+
+// finish seals a completed run: stop the workers, stamp the report.
+func (c *coordinator) finish(err error) (*Report, *model.Factors, error) {
+	if c.done != nil {
+		close(c.done)
+		c.done = nil
+	}
+	for _, w := range c.workers {
+		if w.alive {
+			_ = w.link.send(mDone, nil)
+			w.link.close()
+		}
+	}
+	c.rep.Seconds = time.Since(c.start).Seconds()
+	c.rep.BytesSent = c.cfg.Metrics.BytesSent.Value()
+	c.rep.BytesRecv = c.cfg.Metrics.BytesRecv.Value()
+	c.rep.LiveWorkers = popcount(c.live)
+	if err == nil {
+		c.emit(progress.KindDone)
+	}
+	return c.rep, c.f, err
+}
+
+// interrupt winds down a cancelled run: best-effort final P collection so
+// the returned factors include the most recent partial epoch, one final
+// checkpoint, and the partial report together with the context error.
+func (c *coordinator) interrupt(ctx context.Context) (*Report, *model.Factors, error) {
+	c.rep.Interrupted = true
+	c.stopping = true
+	if !c.syncing && c.live != 0 {
+		// Ask for P now: frames are ordered, so each worker's PSync carries
+		// every update it applied before seeing the sync request.
+		c.beginSync()
+	}
+	deadline := time.After(c.cfg.LivenessTimeout)
+drain:
+	for c.syncing {
+		select {
+		case ev := <-c.events:
+			if ev.err != nil || ev.t == mPSync {
+				c.handle(ev)
+			}
+			// Column completions from the draining epoch are dropped: the
+			// epoch is abandoned, only the P rows matter now.
+		case <-deadline:
+			break drain
+		}
+	}
+	if c.cfg.Test != nil && len(c.rep.History) == 0 {
+		c.rep.FinalRMSE = model.RMSE(c.f, c.cfg.Test)
+	}
+	if c.cfg.CheckpointPath != "" {
+		if err := c.f.SaveFileAtomic(c.cfg.CheckpointPath); err == nil {
+			c.rep.Checkpoints++
+		}
+	}
+	rep, f, _ := c.finish(context.Cause(ctx))
+	c.emit(progress.KindInterrupted)
+	return rep, f, context.Cause(ctx)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

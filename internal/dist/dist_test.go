@@ -1,0 +1,596 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsgd/internal/model"
+	"hsgd/internal/nomad"
+	"hsgd/internal/obs"
+	"hsgd/internal/sparse"
+)
+
+func planted(m, n, nnz int, seed int64) (*sparse.Matrix, *sparse.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	const rank = 2
+	p := make([]float32, m*rank)
+	q := make([]float32, n*rank)
+	for i := range p {
+		p[i] = rng.Float32()
+	}
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	gen := func(count int) *sparse.Matrix {
+		out := sparse.New(m, n)
+		for i := 0; i < count; i++ {
+			u := rng.Intn(m)
+			v := rng.Intn(n)
+			var dot float32
+			for j := 0; j < rank; j++ {
+				dot += p[u*rank+j] * q[v*rank+j]
+			}
+			out.Add(int32(u), int32(v), dot+float32(rng.NormFloat64()*0.05))
+		}
+		return out
+	}
+	return gen(nnz), gen(nnz / 5)
+}
+
+// testConfig returns cluster settings tightened for test latency: fast
+// heartbeats, short liveness windows.
+func testConfig(workers, epochs int) Config {
+	return Config{
+		K: 8, LambdaP: 0.01, LambdaQ: 0.01, Gamma: 0.05,
+		Epochs: epochs, Seed: 1, Workers: workers,
+		HeartbeatEvery:  20 * time.Millisecond,
+		LivenessTimeout: 3 * time.Second,
+		StallTimeout:    5 * time.Second,
+		SendTimeout:     3 * time.Second,
+	}
+}
+
+func testWorkerConfig() WorkerConfig {
+	return WorkerConfig{
+		SendTimeout: 3 * time.Second,
+		DialBackoff: 10 * time.Millisecond,
+		ReadTimeout: 10 * time.Second,
+	}
+}
+
+// cluster runs a coordinator plus workers over the given transport and
+// returns the coordinator's results and each worker's error.
+func cluster(t *testing.T, d Dialer, ln net.Listener, train *sparse.Matrix, cfg Config, wcfgs []WorkerConfig, wctxs []context.Context) (*Report, *model.Factors, error, []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	errs := make([]error, len(wcfgs))
+	var wg sync.WaitGroup
+	for i := range wcfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wctx := ctx
+			if wctxs != nil && wctxs[i] != nil {
+				wctx = wctxs[i]
+			}
+			errs[i] = Work(wctx, d, ln.Addr().String(), train, wcfgs[i])
+		}(i)
+	}
+	rep, f, err := Coordinate(ctx, ln, train, cfg)
+	wg.Wait()
+	return rep, f, err, errs
+}
+
+func TestCoordinateThreeWorkersMatchesSimulator(t *testing.T) {
+	train, test := planted(60, 50, 3000, 1)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 20
+	cfg := testConfig(3, epochs)
+	cfg.Test = test
+	rep, f, err, errs := cluster(t, pn, ln, train, cfg,
+		[]WorkerConfig{testWorkerConfig(), testWorkerConfig(), testWorkerConfig()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if rep.Epochs != epochs {
+		t.Fatalf("epochs = %d, want %d", rep.Epochs, epochs)
+	}
+	// Every rating is applied exactly once per epoch; nothing failed, so the
+	// update count is exact.
+	if want := int64(epochs) * int64(train.NNZ()); rep.TotalUpdates != want {
+		t.Fatalf("TotalUpdates = %d, want %d", rep.TotalUpdates, want)
+	}
+	if len(rep.History) != epochs {
+		t.Fatalf("history has %d points, want %d", len(rep.History), epochs)
+	}
+	if rep.BytesSent == 0 || rep.BytesRecv == 0 {
+		t.Fatalf("wire byte counters empty: sent=%d recv=%d", rep.BytesSent, rep.BytesRecv)
+	}
+	if rep.WorkerFailures != 0 || rep.ColumnsReclaimed != 0 {
+		t.Fatalf("unexpected failures: %d workers, %d columns", rep.WorkerFailures, rep.ColumnsReclaimed)
+	}
+	if rep.LiveWorkers != 3 {
+		t.Fatalf("LiveWorkers = %d, want 3", rep.LiveWorkers)
+	}
+	distRMSE := model.RMSE(f, test)
+	if distRMSE > 0.3 {
+		t.Fatalf("distributed RMSE %v too high on planted rank-2 data", distRMSE)
+	}
+
+	// Same seed, same epoch accounting: the single-process simulator from
+	// the same init must land at an equivalent RMSE (update order differs,
+	// so equality is statistical, not bitwise).
+	sim := model.NewFactors(train.Rows, train.Cols, cfg.K, rand.New(rand.NewSource(cfg.Seed)))
+	for e := 0; e < epochs; e++ {
+		if err := nomad.Train(train, sim, nomad.Params{
+			K: cfg.K, LambdaP: cfg.LambdaP, LambdaQ: cfg.LambdaQ, Gamma: cfg.Gamma,
+			Workers: 3, Rounds: 1, Seed: cfg.Seed + int64(e),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	simRMSE := model.RMSE(sim, test)
+	if diff := distRMSE - simRMSE; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("distributed RMSE %v vs simulator RMSE %v: outside ±0.02", distRMSE, simRMSE)
+	}
+}
+
+func TestCoordinateCheckpointAndMetrics(t *testing.T) {
+	train, test := planted(40, 30, 1500, 2)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "model.hfac")
+	cfg := testConfig(2, 4)
+	cfg.Test = test
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 2
+	cfg.Metrics = NewMetrics(reg, "coordinator")
+	rep, f, err, errs := cluster(t, pn, ln, train, cfg,
+		[]WorkerConfig{testWorkerConfig(), testWorkerConfig()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if rep.Checkpoints != 2 {
+		t.Fatalf("checkpoints = %d, want 2", rep.Checkpoints)
+	}
+	loaded, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.M != f.M || loaded.N != f.N || loaded.K != f.K {
+		t.Fatalf("checkpoint shape %dx%dx%d, want %dx%dx%d", loaded.M, loaded.N, loaded.K, f.M, f.N, f.K)
+	}
+	// The final checkpoint is the final merged model.
+	if lr, fr := model.RMSE(loaded, test), model.RMSE(f, test); lr != fr {
+		t.Fatalf("checkpoint RMSE %v != returned factors RMSE %v", lr, fr)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, series := range []string{
+		"hsgd_dist_columns_sent_total", "hsgd_dist_bytes_sent_total",
+		"hsgd_dist_circulation_seconds", "hsgd_dist_epochs_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("/metricz output missing %s:\n%s", series, text)
+		}
+	}
+	if cfg.Metrics.ColumnsSent.Value() == 0 {
+		t.Fatal("hsgd_dist_columns_sent_total is zero after a full run")
+	}
+	if cfg.Metrics.Circulation.Count() == 0 {
+		t.Fatal("circulation histogram empty after a full run")
+	}
+}
+
+// TestWorkerHardKillMidEpoch: one of three workers dies abruptly (context
+// cancelled → connection closed) partway through an epoch. The coordinator
+// must reclaim its in-flight columns, re-shard its rows to the survivors,
+// and still converge without hanging.
+func TestWorkerHardKillMidEpoch(t *testing.T) {
+	train, test := planted(60, 50, 3000, 3)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	var visits int
+	victim := testWorkerConfig()
+	victim.onColumn = func(int32) {
+		visits++
+		if visits == 15 {
+			kill() // die mid-epoch, columns in flight
+		}
+	}
+	cfg := testConfig(3, 15)
+	cfg.Test = test
+	rep, f, err, errs := cluster(t, pn, ln, train, cfg,
+		[]WorkerConfig{testWorkerConfig(), victim, testWorkerConfig()},
+		[]context.Context{nil, victimCtx, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("surviving workers errored: %v / %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], context.Canceled) {
+		t.Fatalf("victim returned %v, want context.Canceled", errs[1])
+	}
+	if rep.WorkerFailures != 1 {
+		t.Fatalf("WorkerFailures = %d, want 1", rep.WorkerFailures)
+	}
+	if rep.LiveWorkers != 2 {
+		t.Fatalf("LiveWorkers = %d, want 2", rep.LiveWorkers)
+	}
+	if rep.Epochs != 15 {
+		t.Fatalf("epochs = %d, want 15 (training must not stall on a death)", rep.Epochs)
+	}
+	if rmse := model.RMSE(f, test); rmse > 0.35 {
+		t.Fatalf("RMSE %v too high after surviving a worker death", rmse)
+	}
+}
+
+// TestWorkerStallDetection: a worker that keeps heartbeating but stops
+// returning columns (hung, not dead) must be caught by the stall timeout
+// and evicted so the epoch completes.
+func TestWorkerStallDetection(t *testing.T) {
+	train, test := planted(50, 40, 2000, 4)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unblock := make(chan struct{})
+	var visits int
+	stalled := testWorkerConfig()
+	stalled.onColumn = func(int32) {
+		visits++
+		if visits == 5 {
+			<-unblock // hang with a column in flight; heartbeats keep flowing
+		}
+	}
+	cfg := testConfig(3, 8)
+	cfg.Test = test
+	cfg.StallTimeout = 500 * time.Millisecond
+	// Window 1 keeps the dispatcher from blocking on a send to the hung
+	// worker, so the stall detector — not a send timeout — is what fires.
+	cfg.Window = 1
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wcfgs := []WorkerConfig{testWorkerConfig(), testWorkerConfig(), stalled}
+	errs := make([]error, len(wcfgs))
+	var wg sync.WaitGroup
+	for i := range wcfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Work(ctx, pn, ln.Addr().String(), train, wcfgs[i])
+		}(i)
+	}
+	rep, f, err := Coordinate(ctx, ln, train, cfg)
+	close(unblock) // release the hung worker so its goroutine can exit
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("healthy workers errored: %v / %v", errs[0], errs[1])
+	}
+	if rep.WorkerFailures != 1 {
+		t.Fatalf("WorkerFailures = %d, want 1 (stall not detected)", rep.WorkerFailures)
+	}
+	if rep.ColumnsReclaimed == 0 {
+		t.Fatal("no columns reclaimed from the stalled worker")
+	}
+	if rep.Epochs != 8 {
+		t.Fatalf("epochs = %d, want 8", rep.Epochs)
+	}
+	if rmse := model.RMSE(f, test); rmse > 0.4 {
+		t.Fatalf("RMSE %v too high after evicting a stalled worker", rmse)
+	}
+}
+
+// TestCoordinateCancellation: cancelling the run returns promptly with a
+// partial Interrupted report, usable factors, and the context error.
+func TestCoordinateCancellation(t *testing.T) {
+	train, test := planted(50, 40, 2000, 5)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	cfg := testConfig(2, 1_000_000)
+	cfg.Test = test
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Work(context.Background(), pn, "coord", train, testWorkerConfig())
+		}(i)
+	}
+	start := time.Now()
+	rep, f, err := Coordinate(ctx, ln, train, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 15*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+	if rep == nil || !rep.Interrupted {
+		t.Fatalf("report %+v, want Interrupted", rep)
+	}
+	if f == nil {
+		t.Fatal("no factors returned on interrupt")
+	}
+	wg.Wait() // workers see Done (or a closed link) and exit
+	_ = errs
+}
+
+func TestCoordinateOverTCP(t *testing.T) {
+	train, test := planted(40, 30, 1500, 6)
+	ln, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(2, 3)
+	cfg.Test = test
+	rep, f, err, errs := cluster(t, TCP{}, ln, train, cfg,
+		[]WorkerConfig{testWorkerConfig(), testWorkerConfig()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if rep.Epochs != 3 || f == nil {
+		t.Fatalf("TCP run: epochs=%d factors=%v", rep.Epochs, f != nil)
+	}
+}
+
+// --- wire format ---
+
+func TestWireRoundTrips(t *testing.T) {
+	a := assign{
+		Epoch: 3, K: 2, Epochs: 9, LambdaP: 0.01, LambdaQ: 0.02, Gamma: 0.05,
+		RowLo: 4, RowHi: 7, P: []float32{1, 2, 3, 4, 5, 6},
+	}
+	gotA, err := decodeAssign(a.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.RowLo != 4 || gotA.RowHi != 7 || gotA.K != 2 || len(gotA.P) != 6 || gotA.P[5] != 6 {
+		t.Fatalf("assign round trip: %+v", gotA)
+	}
+
+	d := colDone{Epoch: 1, Col: 42, NRatings: 17, Nanos: 123456789, Q: []float32{0.5, -0.5}}
+	gotD, err := decodeColDone(d.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotD.Col != 42 || gotD.NRatings != 17 || gotD.Nanos != 123456789 || gotD.Q[1] != -0.5 {
+		t.Fatalf("coldone round trip: %+v", gotD)
+	}
+
+	p := pSync{Epoch: 2, RowLo: 10, RowHi: 12, P: []float32{9, 8, 7, 6}}
+	gotP, err := decodePSync(p.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotP.RowLo != 10 || len(gotP.P) != 4 {
+		t.Fatalf("psync round trip: %+v", gotP)
+	}
+
+	ct := colTask{Epoch: 5, Col: 7, Q: []float32{1.5}}
+	gotT, err := decodeColTask(ct.encode())
+	if err != nil || gotT.Col != 7 || gotT.Q[0] != 1.5 {
+		t.Fatalf("coltask round trip: %+v err=%v", gotT, err)
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	// Truncated payloads must error, not panic or return garbage.
+	full := colDone{Epoch: 1, Col: 2, NRatings: 3, Nanos: 4, Q: []float32{1, 2, 3}}.encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeColDone(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing bytes must be rejected (a framing bug, not forward compat).
+	if _, err := decodeHello(append(hello{Version: 1}.encode(), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A slice length prefix larger than the payload must not allocate.
+	bad := appendU32(appendU32(appendU32(nil, 1), 2), 1<<30)
+	if _, err := decodeColTask(bad); err == nil {
+		t.Fatal("oversized slice prefix accepted")
+	}
+	// Assign with an inconsistent P length must be rejected.
+	a := assign{K: 4, RowLo: 0, RowHi: 2, P: []float32{1, 2, 3}} // want 8
+	if _, err := decodeAssign(a.encode()); err == nil {
+		t.Fatal("assign with wrong P length accepted")
+	}
+}
+
+func TestFrameRoundTripAndLimits(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		writeFrame(client, mColTask, []byte{1, 2, 3}, time.Second, 0)
+	}()
+	typ, payload, n, err := readFrame(server, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != mColTask || len(payload) != 3 || n != frameHeader+3 {
+		t.Fatalf("frame round trip: type=%v len=%d n=%d", typ, len(payload), n)
+	}
+
+	// A frame over the cap is refused before touching the wire.
+	if _, err := writeFrame(client, mColTask, make([]byte, maxFrameBytes), time.Second, 0); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+
+	// A reader facing silence times out rather than blocking forever.
+	if _, _, _, err := readFrame(server, 50*time.Millisecond); err == nil {
+		t.Fatal("read with no data did not time out")
+	}
+}
+
+// --- transport ---
+
+func TestPipeNet(t *testing.T) {
+	pn := NewPipeNet()
+	ln, err := pn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pn.Listen("a"); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if _, err := pn.DialContext(context.Background(), "missing"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = writeFrame(conn, mHeartbeat, nil, time.Second, 0)
+		done <- err
+	}()
+	conn, err := pn.DialContext(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	typ, _, _, err := readFrame(conn, time.Second)
+	if err != nil || typ != mHeartbeat {
+		t.Fatalf("pipe frame: type=%v err=%v", typ, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if _, err := pn.DialContext(context.Background(), "a"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+}
+
+func TestDialRetryWaitsForListener(t *testing.T) {
+	pn := NewPipeNet()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ln, err := pn.Listen("late")
+		if err != nil {
+			return
+		}
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := dialRetry(context.Background(), pn, "late", 30, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("dialRetry did not survive a late listener: %v", err)
+	}
+	conn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dialRetry(ctx, pn, "never", 100, 10*time.Millisecond); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled dialRetry returned %v", err)
+	}
+}
+
+// --- routing ---
+
+func TestPartitionRows(t *testing.T) {
+	// Equal (unmeasured) weights split evenly.
+	b := PartitionRows(10, make([]float64, 3))
+	if b[0] != 0 || b[3] != 10 {
+		t.Fatalf("bounds %v do not cover [0,10)", b)
+	}
+	for i := 0; i < 3; i++ {
+		if size := b[i+1] - b[i]; size < 3 || size > 4 {
+			t.Fatalf("equal split gave partition %d size %d: %v", i, size, b)
+		}
+	}
+	// A 3:1 throughput ratio gives a 3:1 row split.
+	b = PartitionRows(100, []float64{3, 1})
+	if b[1] != 75 {
+		t.Fatalf("3:1 weights split at %d, want 75", b[1])
+	}
+	// Broken measurements (zero, NaN) fall back to the mean share.
+	b = PartitionRows(90, []float64{1, 0, 1})
+	for i := 0; i < 3; i++ {
+		if size := b[i+1] - b[i]; size != 30 {
+			t.Fatalf("mean-fallback split gave %v", b)
+		}
+	}
+	// Boundaries are monotone and total even under extreme skew.
+	b = PartitionRows(7, []float64{1e9, 1e-9, 1e-9})
+	last := 0
+	for _, x := range b[1:] {
+		if x < last || x > 7 {
+			t.Fatalf("non-monotone bounds %v", b)
+		}
+		last = x
+	}
+	if b[3] != 7 {
+		t.Fatalf("bounds %v do not end at 7", b)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := imbalance([]float64{2, 2, 2}); got != 1 {
+		t.Fatalf("balanced imbalance = %v", got)
+	}
+	if got := imbalance([]float64{4, 1}); got != 4 {
+		t.Fatalf("4:1 imbalance = %v", got)
+	}
+	if got := imbalance([]float64{0, 5}); got != 1 {
+		t.Fatalf("single measurement imbalance = %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frames are [uint32 length][uint8 type][payload]; length covers the type
+// byte plus payload. maxFrameBytes bounds what a reader will allocate for
+// one frame — generous enough for a P partition of millions of rows at
+// k=128, small enough that a corrupt length prefix cannot trigger a
+// gigantic allocation.
+const (
+	frameHeader   = 5
+	maxFrameBytes = 256 << 20
+)
+
+// writeFrame sends one frame within timeout (0 disables the deadline). The
+// header and payload are assembled into a single buffer so one Write call
+// carries the whole frame. A timeout or temporary error that fires before
+// any byte reached the wire is retried with exponential backoff up to
+// retries times; once a partial frame is on the wire the stream framing is
+// unrecoverable, so the error is final. Returns the frame size on success.
+func writeFrame(c net.Conn, t msgType, payload []byte, timeout time.Duration, retries int) (int, error) {
+	if len(payload)+1 > maxFrameBytes {
+		return 0, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte cap", len(payload)+1, maxFrameBytes)
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)+1))
+	buf[4] = byte(t)
+	copy(buf[frameHeader:], payload)
+
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if timeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		n, err := c.Write(buf)
+		if timeout > 0 {
+			c.SetWriteDeadline(time.Time{})
+		}
+		if err == nil {
+			return len(buf), nil
+		}
+		// Retry is only sound while the frame boundary is intact: nothing
+		// written yet, and the error is transient (a deadline firing under
+		// momentary backpressure, not a closed connection).
+		var nerr net.Error
+		transient := n == 0 && attempt < retries && (asNetTimeout(err, &nerr))
+		if !transient {
+			return 0, fmt.Errorf("dist: sending %s frame: %w", t, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func asNetTimeout(err error, nerr *net.Error) bool {
+	if e, ok := err.(net.Error); ok && e.Timeout() {
+		*nerr = e
+		return true
+	}
+	return false
+}
+
+// readFrame reads one frame within timeout (0 disables the deadline) and
+// returns its type, payload, and total size in bytes.
+func readFrame(c net.Conn, timeout time.Duration) (msgType, []byte, int, error) {
+	if timeout > 0 {
+		c.SetReadDeadline(time.Now().Add(timeout))
+		defer c.SetReadDeadline(time.Time{})
+	}
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:4])
+	if size < 1 || size > maxFrameBytes {
+		return 0, nil, 0, fmt.Errorf("dist: frame length %d outside [1,%d]", size, maxFrameBytes)
+	}
+	payload := make([]byte, size-1)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("dist: reading %d-byte frame body: %w", size-1, err)
+	}
+	return msgType(hdr[4]), payload, frameHeader + int(size) - 1, nil
+}
+
+// link wraps one connection with the send discipline both roles share: a
+// mutex serialising writers (the coordinator's dispatcher and epoch logic;
+// the worker's processing loop and heartbeat ticker), the per-send timeout
+// and bounded retry, and byte accounting into the role's metrics.
+type link struct {
+	c           net.Conn
+	m           *Metrics
+	sendTimeout time.Duration
+	retries     int
+
+	wmu sync.Mutex
+}
+
+func (l *link) send(t msgType, payload []byte) error {
+	l.wmu.Lock()
+	n, err := writeFrame(l.c, t, payload, l.sendTimeout, l.retries)
+	l.wmu.Unlock()
+	if err == nil {
+		l.m.BytesSent.Add(int64(n))
+	}
+	return err
+}
+
+// recv reads one frame, counting its bytes. timeout 0 means no deadline.
+func (l *link) recv(timeout time.Duration) (msgType, []byte, error) {
+	t, payload, n, err := readFrame(l.c, timeout)
+	if err == nil {
+		l.m.BytesRecv.Add(int64(n))
+	}
+	return t, payload, err
+}
+
+func (l *link) close() { l.c.Close() }

@@ -1,0 +1,69 @@
+package dist
+
+import "hsgd/internal/obs"
+
+// Metrics are the per-node distributed-training series, exported through
+// internal/obs into /metricz on each node's -debug-addr listener. Both
+// roles share the schema; the role label tells a coordinator scrape from a
+// worker scrape. A nil registry yields live but unregistered handles, so
+// the training paths never branch on whether observability is wired up.
+type Metrics struct {
+	// ColumnsSent counts column hops leaving this node (dispatches on the
+	// coordinator, returns on a worker); ColumnsRecv counts hops arriving.
+	ColumnsSent *obs.Counter
+	ColumnsRecv *obs.Counter
+	// ColumnsReclaimed counts columns the coordinator re-entered into
+	// circulation after their holder dropped (always 0 on workers).
+	ColumnsReclaimed *obs.Counter
+	// BytesSent/BytesRecv count every framed byte on the wire, heartbeats
+	// included — the transfer volume the bench reports per epoch.
+	BytesSent *obs.Counter
+	BytesRecv *obs.Counter
+	// WorkersLive is the coordinator's current live-worker count.
+	WorkersLive *obs.Gauge
+	// Circulation observes the full hop latency per column visit as the
+	// coordinator sees it: dispatch → ColDone received (queueing, transfer
+	// both ways, and the SGD updates at the worker).
+	Circulation *obs.Histogram
+	// Heartbeats counts idle-liveness frames sent (worker role).
+	Heartbeats *obs.Counter
+	// Epochs counts completed distributed epochs (coordinator role).
+	Epochs *obs.Counter
+}
+
+// NewMetrics returns handles registered under hsgd_dist_* with the given
+// role label ("coordinator" or "worker"); reg == nil returns working
+// unregistered handles.
+func NewMetrics(reg *obs.Registry, role string) *Metrics {
+	if reg == nil {
+		return &Metrics{
+			ColumnsSent: &obs.Counter{}, ColumnsRecv: &obs.Counter{},
+			ColumnsReclaimed: &obs.Counter{},
+			BytesSent:        &obs.Counter{}, BytesRecv: &obs.Counter{},
+			WorkersLive: &obs.Gauge{},
+			Circulation: obs.NewHistogram(nil),
+			Heartbeats:  &obs.Counter{}, Epochs: &obs.Counter{},
+		}
+	}
+	labels := obs.Labels{"role": role}
+	return &Metrics{
+		ColumnsSent: reg.Counter("hsgd_dist_columns_sent_total",
+			"Column hops sent by this node (coordinator dispatches, worker returns).", labels),
+		ColumnsRecv: reg.Counter("hsgd_dist_columns_recv_total",
+			"Column hops received by this node.", labels),
+		ColumnsReclaimed: reg.Counter("hsgd_dist_columns_reclaimed_total",
+			"Columns re-entered into circulation after their holder dropped.", labels),
+		BytesSent: reg.Counter("hsgd_dist_bytes_sent_total",
+			"Framed bytes sent on the distributed-training transport.", labels),
+		BytesRecv: reg.Counter("hsgd_dist_bytes_recv_total",
+			"Framed bytes received on the distributed-training transport.", labels),
+		WorkersLive: reg.Gauge("hsgd_dist_workers_live",
+			"Live workers as seen by the coordinator.", labels),
+		Circulation: reg.Histogram("hsgd_dist_circulation_seconds",
+			"Column hop latency: coordinator dispatch to ColDone received.", labels, nil),
+		Heartbeats: reg.Counter("hsgd_dist_heartbeats_total",
+			"Idle-liveness heartbeat frames sent.", labels),
+		Epochs: reg.Counter("hsgd_dist_epochs_total",
+			"Completed distributed training epochs.", labels),
+	}
+}

@@ -1,0 +1,79 @@
+package dist
+
+import "math"
+
+// PartitionRows splits m rows into len(weights) contiguous ranges with
+// sizes proportional to the weights — the paper's α-split logic (Equation
+// 8) generalised from two executor classes to N machines: under the linear
+// per-node cost models internal/cost fits online, the makespan-balancing
+// split assigns each node a share of the rows proportional to its measured
+// throughput. Returns len(weights)+1 boundaries with b[0]=0 and b[n]=m;
+// partition i is [b[i], b[i+1]). Non-positive weights are treated as the
+// mean weight (an unmeasured node gets an average share, not zero rows).
+func PartitionRows(m int, weights []float64) []int {
+	n := len(weights)
+	b := make([]int, n+1)
+	if n == 0 {
+		return b
+	}
+	w := make([]float64, n)
+	var total float64
+	positive := 0
+	for _, x := range weights {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			total += x
+			positive++
+		}
+	}
+	mean := 1.0
+	if positive > 0 {
+		mean = total / float64(positive)
+	}
+	total = 0
+	for i, x := range weights {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			w[i] = x
+		} else {
+			w[i] = mean
+		}
+		total += w[i]
+	}
+	var cum float64
+	for i := 0; i < n; i++ {
+		cum += w[i]
+		b[i+1] = int(math.Round(cum / total * float64(m)))
+		if b[i+1] < b[i] {
+			b[i+1] = b[i]
+		}
+		if b[i+1] > m {
+			b[i+1] = m
+		}
+	}
+	b[n] = m
+	return b
+}
+
+// imbalance returns max(weight)/min(weight) over positive weights, or 1
+// when fewer than two nodes have measurements — the repartition trigger:
+// re-sharding costs a full P re-send, so the coordinator only moves rows
+// when measured throughput actually diverged.
+func imbalance(weights []float64) float64 {
+	lo, hi := math.Inf(1), 0.0
+	n := 0
+	for _, w := range weights {
+		if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			continue
+		}
+		n++
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if n < 2 || lo <= 0 {
+		return 1
+	}
+	return hi / lo
+}

@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialer abstracts outbound connections so tests can swap real TCP for
+// in-memory pipes. The coordinator side takes a net.Listener directly (the
+// caller binds it, so a busy port fails fast and tests learn the ephemeral
+// address before starting workers).
+type Dialer interface {
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// TCP is the production transport: plain TCP with Nagle left on (frames
+// are batched writes already).
+type TCP struct{}
+
+// DialContext dials addr over TCP.
+func (TCP) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Listen binds a TCP listener on addr.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// dialRetry dials with bounded retry and exponential backoff — the
+// coordinator may not be listening yet when workers start (the localhost
+// quickstart launches processes in arbitrary order).
+func dialRetry(ctx context.Context, d Dialer, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		c, err := d.DialContext(ctx, addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if i < attempts-1 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, context.Cause(ctx)
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+		}
+	}
+	return nil, fmt.Errorf("dist: dialing %s failed after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// PipeNet is an in-memory transport over net.Pipe for deterministic unit
+// tests: Listen registers an address, DialContext connects a synchronous
+// pipe to it. Pipe conns honor deadlines, so the timeout and liveness
+// machinery is exercised exactly as over TCP — minus the kernel.
+type PipeNet struct {
+	mu        sync.Mutex
+	listeners map[string]*pipeListener
+}
+
+// NewPipeNet returns an empty in-memory network.
+func NewPipeNet() *PipeNet {
+	return &PipeNet{listeners: make(map[string]*pipeListener)}
+}
+
+// Listen registers addr and returns its listener.
+func (p *PipeNet) Listen(addr string) (net.Listener, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.listeners[addr]; ok {
+		return nil, fmt.Errorf("dist: pipe address %q already bound", addr)
+	}
+	l := &pipeListener{net: p, addr: addr, ch: make(chan net.Conn), done: make(chan struct{})}
+	p.listeners[addr] = l
+	return l, nil
+}
+
+// DialContext connects to a listener registered under addr.
+func (p *PipeNet) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	p.mu.Lock()
+	l := p.listeners[addr]
+	p.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("dist: pipe address %q not listening", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		return nil, fmt.Errorf("dist: pipe address %q closed", addr)
+	case <-ctx.Done():
+		client.Close()
+		return nil, context.Cause(ctx)
+	}
+}
+
+type pipeListener struct {
+	net  *PipeNet
+	addr string
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr(l.addr) }
+
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return string(a) }

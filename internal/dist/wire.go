@@ -1,0 +1,330 @@
+// Package dist is the multi-node NOMAD trainer: users (P rows) are
+// statically partitioned across worker processes and item-column (Q)
+// ownership circulates over a real transport. One coordinator assigns row
+// partitions, seeds initial column ownership, routes circulating columns
+// with online-fitted per-node cost models (internal/cost), runs epoch
+// accounting, and merges per-worker factor partitions into a single
+// model.SaveFileAtomic snapshot the serving layer hot-swaps live.
+//
+// The topology is hub-and-spoke: workers dial the coordinator and every
+// column hop passes through it (dispatch → worker → return). Compared to
+// NOMAD's peer-to-peer hand-off this doubles the messages per hop, but it
+// gives the coordinator an always-current copy of Q and exact ownership
+// knowledge — which is what makes fault tolerance tractable: when a worker
+// drops (connection error, heartbeat silence, or a stalled in-flight
+// column), the coordinator reclaims the columns it held from their
+// last-returned state and re-routes them to the surviving workers instead
+// of stalling the epoch. Within one epoch every column visits every live
+// worker that holds ratings for it exactly once, so each rating is applied
+// once per epoch — the same accounting as one round of internal/nomad.
+//
+// The wire format is deliberately tiny: length-prefixed frames of
+// little-endian fields (encoding/binary, no external dependencies). See
+// frame.go for the framing and retry discipline and transport.go for the
+// TCP and in-memory transports.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// protocolVersion is checked at handshake; coordinator and workers must be
+// built from the same protocol generation.
+const protocolVersion = 1
+
+// msgType discriminates frames. The handshake is Hello → Welcome → Assign;
+// training is ColTask/ColDone with interleaved Heartbeats; epoch boundaries
+// are EpochSync → PSync (and possibly a re-Assign when the row partition
+// moved); Done ends the session.
+type msgType uint8
+
+const (
+	mHello     msgType = 1 + iota // worker → coordinator: version check
+	mWelcome                      // coordinator → worker: id + heartbeat cadence
+	mAssign                       // coordinator → worker: hypers + row range + P rows
+	mColTask                      // coordinator → worker: one column visit
+	mColDone                      // worker → coordinator: updated column + cost sample
+	mEpochSync                    // coordinator → worker: request the P partition
+	mPSync                        // worker → coordinator: the P partition
+	mHeartbeat                    // worker → coordinator: liveness when idle
+	mDone                         // coordinator → worker: training finished, exit
+)
+
+func (t msgType) String() string {
+	switch t {
+	case mHello:
+		return "hello"
+	case mWelcome:
+		return "welcome"
+	case mAssign:
+		return "assign"
+	case mColTask:
+		return "coltask"
+	case mColDone:
+		return "coldone"
+	case mEpochSync:
+		return "epochsync"
+	case mPSync:
+		return "psync"
+	case mHeartbeat:
+		return "heartbeat"
+	case mDone:
+		return "done"
+	}
+	return fmt.Sprintf("msgType(%d)", uint8(t))
+}
+
+// hello opens a worker session.
+type hello struct {
+	Version uint32
+}
+
+// welcome acknowledges a worker and sets its heartbeat cadence.
+type welcome struct {
+	ID             uint32
+	HeartbeatMilli uint32
+}
+
+// assign hands a worker its hyperparameters and row partition [RowLo,RowHi)
+// together with the current P rows of that range. Sent once at handshake
+// and again whenever the coordinator re-solves the partition (the α-split
+// across machines); Epoch is the first epoch the assignment applies to.
+type assign struct {
+	Epoch            uint32
+	K                uint32
+	Epochs           uint32
+	LambdaP, LambdaQ float32
+	Gamma            float32
+	RowLo, RowHi     uint32
+	P                []float32 // (RowHi-RowLo)·K row factors
+}
+
+// colTask hands ownership of column Col (and its factor vector Q) to the
+// receiving worker for one visit.
+type colTask struct {
+	Epoch uint32
+	Col   uint32
+	Q     []float32
+}
+
+// colDone returns an updated column to the coordinator, together with the
+// cost sample (ratings applied, processing nanoseconds) that feeds the
+// per-node online cost model.
+type colDone struct {
+	Epoch    uint32
+	Col      uint32
+	NRatings uint32
+	Nanos    uint64
+	Q        []float32
+}
+
+// epochSync asks a worker for its P partition at a quiesced epoch boundary.
+type epochSync struct {
+	Epoch uint32
+}
+
+// pSync carries a worker's P partition back for merging.
+type pSync struct {
+	Epoch        uint32
+	RowLo, RowHi uint32
+	P            []float32
+}
+
+// --- encoding ---
+//
+// Fields are appended little-endian in declaration order; float32 slices
+// are length-prefixed with a uint32 element count. Decoding validates the
+// length prefix against the remaining payload before allocating.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF32(b []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+}
+
+func appendF32s(b []byte, v []float32) []byte {
+	b = appendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(x))
+	}
+	return b
+}
+
+// dec is a cursor over one frame payload; the first malformed field poisons
+// it and every later read returns zero values.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.err = fmt.Errorf("dist: truncated frame at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.err = fmt.Errorf("dist: truncated frame at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f32() float32 { return math.Float32frombits(d.u32()) }
+
+func (d *dec) f32s() []float32 {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if d.off+4*int(n) > len(d.b) {
+		d.err = fmt.Errorf("dist: float32 slice of %d elements overruns frame", n)
+		return nil
+	}
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.b[d.off:]))
+		d.off += 4
+	}
+	return v
+}
+
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("dist: %d trailing bytes in frame", len(d.b)-d.off)
+	}
+	return nil
+}
+
+func (m hello) encode() []byte { return appendU32(nil, m.Version) }
+
+func decodeHello(b []byte) (hello, error) {
+	d := &dec{b: b}
+	m := hello{Version: d.u32()}
+	return m, d.finish()
+}
+
+func (m welcome) encode() []byte {
+	return appendU32(appendU32(nil, m.ID), m.HeartbeatMilli)
+}
+
+func decodeWelcome(b []byte) (welcome, error) {
+	d := &dec{b: b}
+	m := welcome{ID: d.u32(), HeartbeatMilli: d.u32()}
+	return m, d.finish()
+}
+
+func (m assign) encode() []byte {
+	b := make([]byte, 0, 32+4+4*len(m.P))
+	b = appendU32(b, m.Epoch)
+	b = appendU32(b, m.K)
+	b = appendU32(b, m.Epochs)
+	b = appendF32(b, m.LambdaP)
+	b = appendF32(b, m.LambdaQ)
+	b = appendF32(b, m.Gamma)
+	b = appendU32(b, m.RowLo)
+	b = appendU32(b, m.RowHi)
+	b = appendF32s(b, m.P)
+	return b
+}
+
+func decodeAssign(b []byte) (assign, error) {
+	d := &dec{b: b}
+	m := assign{
+		Epoch: d.u32(), K: d.u32(), Epochs: d.u32(),
+		LambdaP: d.f32(), LambdaQ: d.f32(), Gamma: d.f32(),
+		RowLo: d.u32(), RowHi: d.u32(),
+		P: d.f32s(),
+	}
+	if err := d.finish(); err != nil {
+		return m, err
+	}
+	if m.RowHi < m.RowLo || len(m.P) != int(m.RowHi-m.RowLo)*int(m.K) {
+		return m, fmt.Errorf("dist: assign rows [%d,%d) k=%d but %d P values", m.RowLo, m.RowHi, m.K, len(m.P))
+	}
+	return m, nil
+}
+
+func (m colTask) encode() []byte {
+	b := make([]byte, 0, 12+4*len(m.Q))
+	b = appendU32(b, m.Epoch)
+	b = appendU32(b, m.Col)
+	b = appendF32s(b, m.Q)
+	return b
+}
+
+func decodeColTask(b []byte) (colTask, error) {
+	d := &dec{b: b}
+	m := colTask{Epoch: d.u32(), Col: d.u32(), Q: d.f32s()}
+	return m, d.finish()
+}
+
+func (m colDone) encode() []byte {
+	b := make([]byte, 0, 24+4*len(m.Q))
+	b = appendU32(b, m.Epoch)
+	b = appendU32(b, m.Col)
+	b = appendU32(b, m.NRatings)
+	b = appendU64(b, m.Nanos)
+	b = appendF32s(b, m.Q)
+	return b
+}
+
+func decodeColDone(b []byte) (colDone, error) {
+	d := &dec{b: b}
+	m := colDone{Epoch: d.u32(), Col: d.u32(), NRatings: d.u32(), Nanos: d.u64(), Q: d.f32s()}
+	return m, d.finish()
+}
+
+func (m epochSync) encode() []byte { return appendU32(nil, m.Epoch) }
+
+func decodeEpochSync(b []byte) (epochSync, error) {
+	d := &dec{b: b}
+	m := epochSync{Epoch: d.u32()}
+	return m, d.finish()
+}
+
+func (m pSync) encode() []byte {
+	b := make([]byte, 0, 16+4*len(m.P))
+	b = appendU32(b, m.Epoch)
+	b = appendU32(b, m.RowLo)
+	b = appendU32(b, m.RowHi)
+	b = appendF32s(b, m.P)
+	return b
+}
+
+func decodePSync(b []byte) (pSync, error) {
+	d := &dec{b: b}
+	m := pSync{Epoch: d.u32(), RowLo: d.u32(), RowHi: d.u32(), P: d.f32s()}
+	if err := d.finish(); err != nil {
+		return m, err
+	}
+	if m.RowHi < m.RowLo {
+		return m, fmt.Errorf("dist: psync rows [%d,%d)", m.RowLo, m.RowHi)
+	}
+	return m, nil
+}

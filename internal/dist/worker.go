@@ -1,0 +1,260 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hsgd/internal/model"
+	"hsgd/internal/sparse"
+)
+
+// WorkerConfig tunes one worker process. The zero value is usable.
+type WorkerConfig struct {
+	// SendTimeout bounds each outbound frame write; 0 means 10s.
+	SendTimeout time.Duration
+	// SendRetries is the bounded retry budget for transient send timeouts
+	// that fire before any byte is written; 0 means 3.
+	SendRetries int
+	// DialAttempts bounds the connect retry loop (the coordinator may not
+	// be up yet); 0 means 30. DialBackoff is the initial backoff between
+	// attempts, doubling up to 5s; 0 means 250ms.
+	DialAttempts int
+	DialBackoff  time.Duration
+	// ReadTimeout is how long the worker tolerates total coordinator
+	// silence before declaring it dead; 0 means 2 minutes. The coordinator
+	// is silent while it evaluates RMSE and writes checkpoints at epoch
+	// boundaries, so this is deliberately generous.
+	ReadTimeout time.Duration
+	// Metrics receives the node's hsgd_dist_* series; nil disables export.
+	Metrics *Metrics
+
+	// onColumn, when set, is called before each column visit is processed —
+	// test instrumentation for deterministic fault injection (package-
+	// internal on purpose).
+	onColumn func(col int32)
+}
+
+func (c *WorkerConfig) fill() {
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 10 * time.Second
+	}
+	if c.SendRetries <= 0 {
+		c.SendRetries = 3
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 30
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 250 * time.Millisecond
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil, "worker")
+	}
+}
+
+// Work runs one worker process against the coordinator at addr: dial (with
+// bounded retry and backoff — process launch order is arbitrary), receive
+// the row partition and hyperparameters, then serve column visits until
+// the coordinator sends Done. Every process loads the same ratings file;
+// the worker trains only the rows of its assigned partition, re-indexing
+// when a re-Assign moves the partition boundary.
+//
+// Work returns nil on a clean Done, the context error when ctx fires, and
+// the transport error when the coordinator link breaks.
+func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg WorkerConfig) error {
+	cfg.fill()
+	if train.NNZ() == 0 {
+		return sparse.ErrEmpty
+	}
+	conn, err := dialRetry(ctx, d, addr, cfg.DialAttempts, cfg.DialBackoff)
+	if err != nil {
+		return err
+	}
+	l := &link{c: conn, m: cfg.Metrics, sendTimeout: cfg.SendTimeout, retries: cfg.SendRetries}
+	defer l.close()
+
+	// A context watcher unblocks the read loop by closing the connection.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.close()
+		case <-watchDone:
+		}
+	}()
+
+	if err := l.send(mHello, hello{Version: protocolVersion}.encode()); err != nil {
+		return err
+	}
+	t, payload, err := l.recv(cfg.ReadTimeout)
+	if err != nil {
+		return wrapCtx(ctx, fmt.Errorf("dist: waiting for welcome: %w", err))
+	}
+	if t != mWelcome {
+		return fmt.Errorf("dist: expected welcome, got %s", t)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+
+	// Heartbeats keep the coordinator's liveness window open while the
+	// worker has no column in hand (idle tail of an epoch, slow peers).
+	if w.HeartbeatMilli > 0 {
+		hb := time.NewTicker(time.Duration(w.HeartbeatMilli) * time.Millisecond)
+		defer hb.Stop()
+		go func() {
+			for {
+				select {
+				case <-hb.C:
+					if l.send(mHeartbeat, nil) != nil {
+						return
+					}
+					cfg.Metrics.Heartbeats.Inc()
+				case <-watchDone:
+					return
+				}
+			}
+		}()
+	}
+
+	st := &workerRun{train: train, cfg: &cfg, link: l}
+	for {
+		t, payload, err := l.recv(cfg.ReadTimeout)
+		if err != nil {
+			return wrapCtx(ctx, fmt.Errorf("dist: coordinator link: %w", err))
+		}
+		switch t {
+		case mAssign:
+			a, err := decodeAssign(payload)
+			if err != nil {
+				return err
+			}
+			if err := st.adopt(a); err != nil {
+				return err
+			}
+		case mColTask:
+			task, err := decodeColTask(payload)
+			if err != nil {
+				return err
+			}
+			if err := st.visit(task); err != nil {
+				// A failed return send usually means the ctx watcher closed
+				// the link; report the cancellation, not its symptom.
+				return wrapCtx(ctx, err)
+			}
+		case mEpochSync:
+			es, err := decodeEpochSync(payload)
+			if err != nil {
+				return err
+			}
+			if err := st.sync(es); err != nil {
+				return wrapCtx(ctx, err)
+			}
+		case mDone:
+			return nil
+		case mHeartbeat:
+			// Coordinators do not heartbeat today; tolerate it anyway.
+		default:
+			return fmt.Errorf("dist: unexpected %s frame from coordinator", t)
+		}
+	}
+}
+
+// wrapCtx prefers the context error over the transport error it caused:
+// cancelling the worker closes the connection, and callers should see
+// context.Canceled, not "use of closed network connection".
+func wrapCtx(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return err
+}
+
+// workerRun is the single-goroutine training state: the current assignment
+// plus the rows-by-column index over the worker's partition.
+type workerRun struct {
+	train *sparse.Matrix
+	cfg   *WorkerConfig
+	link  *link
+
+	k                int
+	lambdaP, lambdaQ float32
+	gamma            float32
+	lo, hi           int       // row partition [lo,hi)
+	p                []float32 // (hi-lo)·k local row factors
+	byCol            [][]sparse.Rating
+}
+
+// adopt installs an assignment: hyperparameters, the partition's P rows,
+// and a fresh column index over the partition's ratings.
+func (s *workerRun) adopt(a assign) error {
+	if a.K == 0 || int(a.RowHi) > s.train.Rows {
+		return fmt.Errorf("dist: assign k=%d rows [%d,%d) outside matrix with %d rows", a.K, a.RowLo, a.RowHi, s.train.Rows)
+	}
+	s.k = int(a.K)
+	s.lambdaP, s.lambdaQ, s.gamma = a.LambdaP, a.LambdaQ, a.Gamma
+	s.lo, s.hi = int(a.RowLo), int(a.RowHi)
+	s.p = a.P
+	s.byCol = make([][]sparse.Rating, s.train.Cols)
+	for _, r := range s.train.Ratings {
+		if int(r.Row) >= s.lo && int(r.Row) < s.hi {
+			s.byCol[r.Col] = append(s.byCol[r.Col], r)
+		}
+	}
+	return nil
+}
+
+// visit applies one column visit: SGD over this partition's ratings of the
+// column, against the circulating q vector, then returns the updated
+// column with its cost sample. Conflict-free by construction: p rows are
+// only ever touched by their owning worker, q only by the current holder.
+func (s *workerRun) visit(t colTask) error {
+	if s.p == nil {
+		return errors.New("dist: column task before assignment")
+	}
+	if int(t.Col) >= len(s.byCol) || len(t.Q) != s.k {
+		return fmt.Errorf("dist: column task col=%d k=%d outside assignment", t.Col, len(t.Q))
+	}
+	s.cfg.Metrics.ColumnsRecv.Inc()
+	if s.cfg.onColumn != nil {
+		s.cfg.onColumn(int32(t.Col))
+	}
+	ratings := s.byCol[t.Col]
+	start := time.Now()
+	q := t.Q
+	for _, r := range ratings {
+		pu := s.p[(int(r.Row)-s.lo)*s.k : (int(r.Row)-s.lo+1)*s.k]
+		e := r.Value - model.Dot(pu, q)
+		for i := range pu {
+			pi := pu[i]
+			qi := q[i]
+			pu[i] = pi + s.gamma*(e*qi-s.lambdaP*pi)
+			q[i] = qi + s.gamma*(e*pi-s.lambdaQ*qi)
+		}
+	}
+	nanos := time.Since(start).Nanoseconds()
+	done := colDone{
+		Epoch: t.Epoch, Col: t.Col,
+		NRatings: uint32(len(ratings)), Nanos: uint64(nanos), Q: q,
+	}
+	if err := s.link.send(mColDone, done.encode()); err != nil {
+		return err
+	}
+	s.cfg.Metrics.ColumnsSent.Inc()
+	return nil
+}
+
+// sync ships the partition's P rows back for the coordinator's merge.
+// Frames are processed in order, so every column visit dispatched before
+// the EpochSync has already been applied and returned.
+func (s *workerRun) sync(e epochSync) error {
+	msg := pSync{Epoch: e.Epoch, RowLo: uint32(s.lo), RowHi: uint32(s.hi), P: s.p}
+	return s.link.send(mPSync, msg.encode())
+}

@@ -1,11 +1,18 @@
 // Package nomad implements a NOMAD-style asynchronous matrix-factorization
-// trainer (Yun et al. [10]; Section III-C of the paper), simulated with
-// goroutines as workers and channels as the network: ownership of each
+// trainer (Yun et al. [10]; Section III-C of the paper): ownership of each
 // *column* (item) circulates among workers; the worker holding a column
 // updates it against its own *row* (user) partition, then passes the column
-// to a random peer. Rows are statically partitioned, so p_u is only ever
-// touched by its owner and q_v by the current holder — lock-free without
-// conflicts, the property NOMAD gets "non-locking" from.
+// on. Rows are statically partitioned, so p_u is only ever touched by its
+// owner and q_v by the current holder — lock-free without conflicts, the
+// property NOMAD gets "non-locking" from.
+//
+// This package is the single-process backend: goroutines as workers and
+// channels as the network, surfaced as hsgd.NewTrainer("nomad"). The same
+// protocol runs across real machines in internal/dist, where workers are
+// separate processes, the network is a length-prefixed TCP transport, and a
+// coordinator handles routing, fault tolerance, and checkpoint merging; one
+// round here applies every rating exactly once, matching one distributed
+// epoch there.
 package nomad
 
 import (

@@ -13,6 +13,7 @@ import (
 	"hsgd/internal/core"
 	"hsgd/internal/engine"
 	"hsgd/internal/model"
+	"hsgd/internal/nomad"
 	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 	"hsgd/internal/sgd"
@@ -197,9 +198,11 @@ type Trainer interface {
 // parallel SGD engine — the default choice), "hetero" (the paper's HSGD* on
 // real hardware: CPU plus batched executor classes over the nonuniform
 // two-region layout; see TrainOptions.Hetero), "hogwild" (lock-free parallel
-// SGD), "als" (alternating least squares), "cd" (CCD++ coordinate descent),
-// or "sim" (the paper's heterogeneous CPU+GPU pipelines on the simulated
-// machine; see TrainOptions.Sim).
+// SGD), "nomad" (NOMAD-style asynchronous column circulation in one process —
+// the single-node twin of the multi-process trainer behind
+// cmd/hsgd-train -distributed), "als" (alternating least squares), "cd"
+// (CCD++ coordinate descent), or "sim" (the paper's heterogeneous CPU+GPU
+// pipelines on the simulated machine; see TrainOptions.Sim).
 func NewTrainer(name string) (Trainer, error) {
 	switch name {
 	case "fpsgd", "":
@@ -208,6 +211,8 @@ func NewTrainer(name string) (Trainer, error) {
 		return heteroTrainer{}, nil
 	case "hogwild":
 		return hogwildTrainer{}, nil
+	case "nomad":
+		return nomadTrainer{}, nil
 	case "als":
 		return alsTrainer{}, nil
 	case "cd":
@@ -223,7 +228,7 @@ func NewTrainer(name string) (Trainer, error) {
 // single source of the name set (the NewTrainer error and the CLI flag help
 // derive from it).
 func TrainerNames() []string {
-	return []string{"fpsgd", "hetero", "hogwild", "als", "cd", "sim"}
+	return []string{"fpsgd", "hetero", "hogwild", "nomad", "als", "cd", "sim"}
 }
 
 // NewSchedule returns the named learning-rate schedule starting at gamma:
@@ -512,6 +517,80 @@ func (t hogwildTrainer) Train(ctx context.Context, train *Matrix, opt TrainOptio
 				loss = model.RMSE(f, lossSample)
 			}
 			observer.Observe(loss)
+		}
+	}
+	return finishBaseline(ctx, &opt, rep, f, start, runErr)
+}
+
+// --- nomad (single-process column circulation) ---
+
+type nomadTrainer struct{}
+
+func (nomadTrainer) Name() string { return "nomad" }
+
+func (nomadTrainer) Capabilities() Capabilities {
+	return Capabilities{
+		Algorithm:   "nomad",
+		Schedules:   true,
+		EarlyStop:   true,
+		SplitLambda: true,
+		History:     true,
+	}
+}
+
+func (t nomadTrainer) Train(ctx context.Context, train *Matrix, opt TrainOptions) (*TrainReport, *Factors, error) {
+	if err := validateOptions(t.Capabilities(), opt); err != nil {
+		return nil, nil, err
+	}
+	ctx = orBackground(ctx)
+	// Same seed → same init as dist.Coordinate, so a single-process run and
+	// a distributed run of the same configuration start from one model.
+	f := model.NewFactors(train.Rows, train.Cols, opt.Params.K, rand.New(rand.NewSource(opt.Seed)))
+	workers := threadCount(opt.Threads)
+	schedule := opt.Schedule
+	if schedule == nil {
+		schedule = sgd.FixedSchedule(opt.Params.Gamma)
+	}
+	observer, _ := schedule.(engine.LossObserver)
+	var lossSample *Matrix
+	if observer != nil && opt.Test == nil {
+		lossSample = engine.LossSample(train)
+	}
+
+	start := time.Now()
+	rep := &TrainReport{Algorithm: "nomad"}
+	var runErr error
+	for it := 0; it < opt.Params.Iters; it++ {
+		// Column hand-offs are asynchronous inside a round; cancellation is
+		// observed at round boundaries, where the factors are quiescent.
+		if ctx.Err() != nil {
+			runErr = context.Cause(ctx)
+			break
+		}
+		err := nomad.Train(train, f, nomad.Params{
+			K:       opt.Params.K,
+			LambdaP: opt.Params.LambdaP,
+			LambdaQ: opt.Params.LambdaQ,
+			Gamma:   schedule.Rate(it),
+			Workers: workers,
+			Rounds:  1,
+			Seed:    opt.Seed + int64(it),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Epochs = it + 1
+		rep.TotalUpdates += int64(train.NNZ())
+		recordEpoch(&opt, rep, f, start)
+		if observer != nil {
+			loss := rep.FinalRMSE
+			if opt.Test == nil {
+				loss = model.RMSE(f, lossSample)
+			}
+			observer.Observe(loss)
+		}
+		if opt.TargetRMSE > 0 && rep.FinalRMSE <= opt.TargetRMSE {
+			break
 		}
 	}
 	return finishBaseline(ctx, &opt, rep, f, start, runErr)
