@@ -173,12 +173,19 @@ type workerState struct {
 func (w *workerState) bit() uint64 { return 1 << uint(w.id) }
 
 // eta estimates seconds until this worker would finish its queue plus one
-// more visit of n ratings — the routing objective. Unmeasured workers fall
-// back to queue depth in ratings (a constant-rate assumption).
-func (w *workerState) eta(n int32) float64 {
+// more visit of n ratings — the routing objective. A worker without a
+// fitted throughput borrows fallback (its measured peers' mean rate) so
+// both sides of every comparison are in seconds; only while no worker is
+// measured does the raw rating count stand in, which is then a consistent
+// constant-rate assumption across all candidates.
+func (w *workerState) eta(n int32, fallback float64) float64 {
 	load := float64(w.queuedRatings + int64(n) + 1)
-	if w.tput > 0 {
-		return load / w.tput
+	tput := w.tput
+	if tput <= 0 {
+		tput = fallback
+	}
+	if tput > 0 {
+		return load / tput
 	}
 	return load
 }
@@ -220,10 +227,11 @@ type coordinator struct {
 	rep   *Report
 	start time.Time
 
-	workers []*workerState
-	events  chan event
-	done    chan struct{} // closed by finish; unblocks reader goroutines
-	live    uint64        // bitmask of alive workers
+	workers  []*workerState
+	events   chan event
+	done     chan struct{} // closed by finish; unblocks reader goroutines
+	finished bool          // finish already broadcast (main loop only)
+	live     uint64        // bitmask of alive workers
 
 	epoch    int // 0-based current epoch
 	needs    []uint64
@@ -445,13 +453,14 @@ func (c *coordinator) startEpoch() {
 // cost-model ETA, if any has window capacity. Reports whether the column
 // left the pending state.
 func (c *coordinator) dispatch(v int32) bool {
+	fallback := c.meanThroughput()
 	var best *workerState
 	var bestETA float64
 	for _, w := range c.workers {
 		if !w.alive || c.needs[v]&w.bit() == 0 || len(w.inFlight) >= c.cfg.Window {
 			continue
 		}
-		if eta := w.eta(w.colCount[v]); best == nil || eta < bestETA {
+		if eta := w.eta(w.colCount[v], fallback); best == nil || eta < bestETA {
 			best, bestETA = w, eta
 		}
 	}
@@ -468,6 +477,24 @@ func (c *coordinator) dispatch(v int32) bool {
 	best.queuedRatings += int64(best.colCount[v])
 	c.holder[v] = int32(best.id)
 	return true
+}
+
+// meanThroughput is the mean fitted rate (ratings/s) across measured live
+// workers — the ETA fallback for workers not yet measured. Zero while no
+// worker has a fit.
+func (c *coordinator) meanThroughput() float64 {
+	var sum float64
+	var n int
+	for _, w := range c.workers {
+		if w.alive && w.tput > 0 {
+			sum += w.tput
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // drainPending re-attempts dispatch of parked columns until every worker's
@@ -586,13 +613,19 @@ func (c *coordinator) checkStalls() {
 		if !w.alive || len(w.inFlight) == 0 {
 			continue
 		}
-		oldest := w.lastReturn
-		if oldest.IsZero() {
-			for _, t := range w.inFlight {
-				if oldest.IsZero() || t.Before(oldest) {
-					oldest = t
-				}
+		// The stall clock is the later of the last return and the earliest
+		// in-flight dispatch: a stale lastReturn from before a long epoch
+		// boundary (eval + checkpoint) must not count against columns the
+		// coordinator only just dispatched.
+		var minDispatch time.Time
+		for _, t := range w.inFlight {
+			if minDispatch.IsZero() || t.Before(minDispatch) {
+				minDispatch = t
 			}
+		}
+		oldest := w.lastReturn
+		if minDispatch.After(oldest) {
+			oldest = minDispatch
 		}
 		if now.Sub(oldest) > c.cfg.StallTimeout {
 			c.kill(w, fmt.Sprintf("stalled: %d columns in flight, none returned in %v", len(w.inFlight), c.cfg.StallTimeout))
@@ -772,9 +805,12 @@ func (c *coordinator) emit(kind progress.Kind) {
 
 // finish seals a completed run: stop the workers, stamp the report.
 func (c *coordinator) finish(err error) (*Report, *model.Factors, error) {
-	if c.done != nil {
+	// Broadcast once via close; c.done must never be reassigned — reader
+	// goroutines select on it concurrently, and a nil store would race and
+	// leave late readers blocked on a nil channel forever.
+	if !c.finished {
+		c.finished = true
 		close(c.done)
-		c.done = nil
 	}
 	for _, w := range c.workers {
 		if w.alive {

@@ -49,22 +49,14 @@ func writeFrame(c net.Conn, t msgType, payload []byte, timeout time.Duration, re
 		// Retry is only sound while the frame boundary is intact: nothing
 		// written yet, and the error is transient (a deadline firing under
 		// momentary backpressure, not a closed connection).
-		var nerr net.Error
-		transient := n == 0 && attempt < retries && (asNetTimeout(err, &nerr))
+		nerr, ok := err.(net.Error)
+		transient := n == 0 && attempt < retries && ok && nerr.Timeout()
 		if !transient {
 			return 0, fmt.Errorf("dist: sending %s frame: %w", t, err)
 		}
 		time.Sleep(backoff)
 		backoff *= 2
 	}
-}
-
-func asNetTimeout(err error, nerr *net.Error) bool {
-	if e, ok := err.(net.Error); ok && e.Timeout() {
-		*nerr = e
-		return true
-	}
-	return false
 }
 
 // readFrame reads one frame within timeout (0 disables the deadline) and
