@@ -43,6 +43,9 @@ func main() {
 		cacheSz   = flag.Int("cache", 1024, "result-cache entries; negative disables")
 		lambda    = flag.Float64("foldin-lambda", serve.DefaultFoldInLambda, "ridge strength for cold-start fold-in")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		drainWait = flag.Duration("drain-grace", time.Second, "pause between flipping /readyz to 503 and starting the drain, so load balancers stop routing here first")
+		inflight  = flag.Int("max-in-flight", 0, "concurrent /v1 requests before shedding with 429; 0 picks the default, negative disables")
+		reqTmout  = flag.Duration("request-timeout", 0, "per-request handling deadline on /v1 (503 past it); 0 picks the default, negative disables")
 		quantize  = flag.Bool("quantize", true, "serve /v1/recommend from the int8-quantized scan with exact float32 rerank (shorthand for -retrieval quant/exact)")
 		retrieval = flag.String("retrieval", "", "retrieval mode: exact, quant, or ivf (inverted-file probe-and-rerank); empty defers to -quantize")
 		nlist     = flag.Int("nlist", 0, "IVF coarse-cell count; 0 means 4·√items")
@@ -71,6 +74,7 @@ func main() {
 	cfg := serveConfig{
 		addr: *addr, modelPath: *modelPth, watch: *watch, shards: *shards,
 		cacheSize: *cacheSz, lambda: float32(*lambda), drain: *drain,
+		drainGrace: *drainWait, maxInFlight: *inflight, requestTimeout: *reqTmout,
 		mode: mode, nlist: *nlist, nprobe: *nprobe, ivfSeed: *ivfSeed,
 		rerank: *rerank, debugAddr: *debug,
 	}
@@ -83,6 +87,9 @@ func main() {
 type serveConfig struct {
 	addr, modelPath   string
 	watch, drain      time.Duration
+	drainGrace        time.Duration
+	maxInFlight       int
+	requestTimeout    time.Duration
 	shards, cacheSize int
 	lambda            float32
 	mode              serve.RetrievalMode
@@ -122,12 +129,14 @@ func run(cfg serveConfig) error {
 	}
 
 	server, err := serve.New(serve.Config{
-		Store:        store,
-		Shards:       cfg.shards,
-		CacheSize:    cfg.cacheSize,
-		FoldInLambda: cfg.lambda,
-		RerankFactor: cfg.rerank,
-		NProbe:       cfg.nprobe,
+		Store:          store,
+		Shards:         cfg.shards,
+		CacheSize:      cfg.cacheSize,
+		FoldInLambda:   cfg.lambda,
+		RerankFactor:   cfg.rerank,
+		NProbe:         cfg.nprobe,
+		MaxInFlight:    cfg.maxInFlight,
+		RequestTimeout: cfg.requestTimeout,
 	})
 	if err != nil {
 		return err
@@ -152,7 +161,15 @@ func run(cfg serveConfig) error {
 				log.Printf("debug listener: %v", err)
 			}
 		}()
-		defer debugServer.Close()
+		// Drain the debug listener too: an in-flight scrape or pprof profile
+		// gets a short window to complete instead of a snapped connection.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := debugServer.Shutdown(sctx); err != nil {
+				debugServer.Close()
+			}
+		}()
 	}
 
 	httpServer := &http.Server{
@@ -171,7 +188,15 @@ func run(cfg serveConfig) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("signal received; draining for up to %v", cfg.drain)
+	// Shutdown sequence: flip /readyz to 503 so load balancers stop routing
+	// new traffic here, give them a probe interval to notice, then drain
+	// whatever is still in flight.
+	server.BeginDrain()
+	if cfg.drainGrace > 0 {
+		log.Printf("signal received; /readyz now 503, pausing %v before drain", cfg.drainGrace)
+		time.Sleep(cfg.drainGrace)
+	}
+	log.Printf("draining for up to %v", cfg.drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hsgd"
+	"hsgd/internal/chaos"
 	"hsgd/internal/dist"
 	"hsgd/internal/obs"
 )
@@ -20,6 +21,9 @@ type distConfig struct {
 	listen  string // coordinator bind address
 	peers   string // worker: the coordinator's address
 	workers int    // coordinator: worker processes to wait for
+	// chaos, when non-nil, wraps this node's transport in the deterministic
+	// fault injector (-chaos-* flags) — resilience testing only.
+	chaos *chaos.Config
 }
 
 // runDistributed runs one node of a multi-process NOMAD cluster. Every node
@@ -47,13 +51,28 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 				log.Printf("debug listener: %v", err)
 			}
 		}()
-		defer debugServer.Close()
+		defer shutdownDebug(debugServer)
+	}
+
+	var harness *chaos.Harness
+	if dc.chaos != nil {
+		harness = chaos.New(*dc.chaos)
+		log.Printf("%s: chaos transport enabled (seed %d)", dc.role, dc.chaos.Seed)
+		defer func() {
+			st := harness.Stats()
+			log.Printf("%s: chaos injected %d latencies, %d timeouts, %d resets, %d blackholes",
+				dc.role, st.Latencies, st.Timeouts, st.Resets, st.Blackholes)
+		}()
 	}
 
 	switch dc.role {
 	case "worker":
+		var dialer dist.Dialer = dist.TCP{}
+		if harness != nil {
+			dialer = harness.Dialer(dialer)
+		}
 		log.Printf("worker: dialing coordinator at %s", dc.peers)
-		if err := dist.Work(ctx, dist.TCP{}, dc.peers, train, dist.WorkerConfig{Metrics: metrics}); err != nil {
+		if err := dist.Work(ctx, dialer, dc.peers, train, dist.WorkerConfig{Metrics: metrics}); err != nil {
 			return fmt.Errorf("worker: %w", err)
 		}
 		log.Printf("worker: done")
@@ -77,6 +96,9 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 		if err != nil {
 			return err
 		}
+		if harness != nil {
+			ln = harness.Listener(ln)
+		}
 		log.Printf("coordinator: waiting for %d workers on %s", dc.workers, ln.Addr())
 		dcfg := dist.Config{
 			K: cfg.k, LambdaP: float32(lp), LambdaQ: float32(lq),
@@ -90,6 +112,31 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 		}
 		if cfg.progress {
 			dcfg.Progress = progressLine
+		}
+		if cfg.resume != "" {
+			// Coordinator crash recovery: the checkpoint carries the merged
+			// factors, its sibling manifest the run identity and partition
+			// shape. Workers that survived the crash are still re-dialing
+			// with the old run id and will be re-admitted into their slots.
+			man, err := dist.LoadManifest(dist.ManifestPath(cfg.resume))
+			if err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+			if man.K != cfg.k {
+				return fmt.Errorf("-resume manifest has k=%d, flags say -k %d", man.K, cfg.k)
+			}
+			init, err := hsgd.LoadFactors(cfg.resume)
+			if err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+			dcfg.RunID = man.RunID
+			dcfg.StartEpoch = man.Epoch
+			dcfg.ResumeBounds = man.Bounds
+			dcfg.Init = init
+			if man.Workers != dc.workers {
+				log.Printf("coordinator: resuming with %d workers (previous run had %d); partitions will be re-cut", dc.workers, man.Workers)
+			}
+			log.Printf("coordinator: resuming run %#x from %s at epoch %d/%d", man.RunID, cfg.resume, man.Epoch, cfg.iters)
 		}
 		rep, f, err := dist.Coordinate(ctx, ln, train, dcfg)
 		if cfg.progress {
@@ -108,7 +155,13 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 		if rep.WorkerFailures > 0 {
 			fmt.Printf("; %d worker failures, %d column hops reclaimed", rep.WorkerFailures, rep.ColumnsReclaimed)
 		}
+		if rep.WorkerRejoins > 0 {
+			fmt.Printf("; %d worker rejoins", rep.WorkerRejoins)
+		}
 		fmt.Println()
+		if rep.Resumed {
+			fmt.Printf("dist: resumed run %#x from epoch %d\n", dcfg.RunID, dcfg.StartEpoch)
+		}
 		if rep.Checkpoints > 0 {
 			fmt.Printf("%d checkpoints written to %s\n", rep.Checkpoints, cfg.checkpoint)
 		}

@@ -16,6 +16,12 @@
 // merged factors to -out. Per-node transport metrics (hsgd_dist_*) appear on
 // each node's -debug-addr /metricz.
 //
+// The cluster also survives a coordinator crash: every -checkpoint write
+// leaves a sibling run manifest (<checkpoint>.manifest), and restarting the
+// coordinator with -resume <checkpoint> reloads the merged factors plus the
+// manifest, re-opens admission under the same run id, and continues from the
+// last completed epoch while the surviving workers re-dial and rejoin.
+//
 // Training is an interruptible session: SIGINT/SIGTERM (and -timeout)
 // cancel the training context, and the run winds down gracefully — a final
 // atomic checkpoint (when -checkpoint is set), a partial report, and the
@@ -63,6 +69,7 @@ import (
 	"time"
 
 	"hsgd"
+	"hsgd/internal/chaos"
 	"hsgd/internal/obs"
 	"hsgd/internal/progress"
 )
@@ -91,7 +98,7 @@ func main() {
 		out     = flag.String("out", "", "write trained factors to this file")
 		ckpt    = flag.String("checkpoint", "", "write atomic mid-train snapshots to this file (fpsgd)")
 		ckptN   = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
-		resume  = flag.String("resume", "", "resume training from this checkpoint file (fpsgd)")
+		resume  = flag.String("resume", "", "resume training from this checkpoint file (fpsgd, or a crashed distributed coordinator via the checkpoint's .manifest sibling)")
 		resumeE = flag.Int("resume-epoch", 0, "epochs the -resume checkpoint had already completed")
 		timeout = flag.Duration("timeout", 0, "cancel training after this duration (0 disables); the run still ends with a final checkpoint and partial report")
 		progres = flag.Bool("progress", true, "print a live per-epoch progress line to stderr")
@@ -105,6 +112,16 @@ func main() {
 		listen      = flag.String("listen", "localhost:7070", "coordinator bind address (distributed)")
 		peers       = flag.String("peers", "localhost:7070", "coordinator address a worker dials (distributed)")
 		distWorkers = flag.Int("dist-workers", 2, "worker processes the coordinator waits for (distributed)")
+
+		// Transport fault injection for resilience testing; all no-ops unless
+		// -chaos-seed is nonzero. Deliberately undocumented in the README's
+		// flag tables — these exist for soak tests and failure drills.
+		chaosSeed  = flag.Int64("chaos-seed", 0, "deterministic transport fault-injection seed (distributed, testing); 0 disables")
+		chaosLat   = flag.Duration("chaos-latency", 0, "max injected per-op transport latency (testing)")
+		chaosLatP  = flag.Float64("chaos-latency-prob", 0, "probability of injected latency per transport op (testing)")
+		chaosTo    = flag.Float64("chaos-timeout-prob", 0, "probability a transport op fails with a timeout (testing)")
+		chaosReset = flag.Float64("chaos-reset-prob", 0, "probability a connection resets mid-op (testing)")
+		chaosBh    = flag.Float64("chaos-blackhole-prob", 0, "probability a connection starts silently dropping everything (testing)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -149,6 +166,16 @@ func main() {
 
 	if *distributed {
 		dc := distConfig{role: *role, listen: *listen, peers: *peers, workers: *distWorkers}
+		if *chaosSeed != 0 {
+			dc.chaos = &chaos.Config{
+				Seed:       *chaosSeed,
+				PLatency:   *chaosLatP,
+				LatencyMax: *chaosLat,
+				PTimeout:   *chaosTo,
+				PReset:     *chaosReset,
+				PBlackhole: *chaosBh,
+			}
+		}
 		if err := runDistributed(ctx, flag.Arg(0), cfg, dc); err != nil {
 			fmt.Fprintf(os.Stderr, "hsgd-train: %v\n", err)
 			os.Exit(1)
@@ -258,7 +285,7 @@ func run(ctx context.Context, path string, cfg config) error {
 				log.Printf("debug listener: %v", err)
 			}
 		}()
-		defer debugServer.Close()
+		defer shutdownDebug(debugServer)
 	}
 	if cfg.trainer == "sim" {
 		opt.Sim = &hsgd.SimConfig{
@@ -335,6 +362,17 @@ func run(ctx context.Context, path string, cfg config) error {
 		return err
 	}
 	return nil
+}
+
+// shutdownDebug drains the auxiliary debug listener instead of snapping its
+// connections: an in-progress /metricz scrape or pprof profile gets a short
+// window to finish before the process exits.
+func shutdownDebug(s *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		s.Close()
+	}
 }
 
 // progressLine renders the live training status on one stderr line,

@@ -1,0 +1,343 @@
+// Package chaos is a deterministic fault-injection layer for net.Conn
+// transports: a seeded harness wraps connections (directly, or via Dialer
+// and net.Listener adapters) and injects latency, transient timeouts,
+// mid-frame connection resets, and blackholes on a reproducible schedule.
+//
+// Determinism model: every wrapped connection draws its faults from two
+// private PRNG streams (one per direction) seeded from the harness seed
+// and the connection's admission order. For a fixed seed, the k-th
+// connection's n-th read (or write) always lands on the same fault — the
+// schedule does not depend on goroutine interleaving across connections,
+// only on the order connections are created, which the caller controls.
+// That is what makes a chaos soak replayable: a failing seed is a bug
+// report, not a ghost.
+//
+// The injected faults are chosen to hit the seams a framed protocol
+// actually has:
+//
+//   - latency: the op is delayed by a seeded duration before running —
+//     exercises pipelining, heartbeat cadence, and stall detection.
+//   - timeout: the op fails with a net.Error whose Timeout() is true,
+//     without touching the wire — exercises bounded-retry send paths.
+//   - reset: a read fails hard; a write delivers a prefix of the buffer
+//     and then kills the connection — a mid-frame cut that poisons the
+//     stream framing, exercising reconnect/rejoin paths.
+//   - blackhole: the op hangs until its deadline (or the conn closes) —
+//     the silent-peer case liveness windows exist for.
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the per-operation fault schedule. Probabilities are per
+// read/write call and independently drawn; all zero means the wrappers are
+// transparent. The zero value of Seed is a valid (fixed) seed.
+type Config struct {
+	Seed int64
+
+	// PLatency delays an op by a duration drawn uniformly from
+	// [LatencyMin, LatencyMax] before performing it.
+	PLatency               float64
+	LatencyMin, LatencyMax time.Duration
+
+	// PTimeout fails the op with a transient timeout error (net.Error,
+	// Timeout() true) without performing it. The connection stays usable.
+	PTimeout float64
+
+	// PReset kills the connection mid-op: reads fail immediately, writes
+	// deliver roughly half the buffer first so a frame is cut mid-body.
+	PReset float64
+
+	// PBlackhole makes the op hang until its deadline fires (or the
+	// connection is closed). With no deadline set the op hangs until close.
+	PBlackhole float64
+}
+
+// Stats counts the faults a harness has injected, by kind.
+type Stats struct {
+	Latencies, Timeouts, Resets, Blackholes uint64
+}
+
+// Harness mints deterministic fault schedules for the connections it
+// wraps. Safe for concurrent use.
+type Harness struct {
+	cfg Config
+	seq atomic.Uint64
+	lat atomic.Uint64
+	tmo atomic.Uint64
+	rst atomic.Uint64
+	bhl atomic.Uint64
+}
+
+// New returns a harness injecting faults per cfg.
+func New(cfg Config) *Harness { return &Harness{cfg: cfg} }
+
+// Stats reports the faults injected so far across all wrapped connections.
+func (h *Harness) Stats() Stats {
+	return Stats{
+		Latencies:  h.lat.Load(),
+		Timeouts:   h.tmo.Load(),
+		Resets:     h.rst.Load(),
+		Blackholes: h.bhl.Load(),
+	}
+}
+
+// Wrap returns c with the harness's fault schedule applied to Read/Write.
+func (h *Harness) Wrap(c net.Conn) net.Conn {
+	id := h.seq.Add(1)
+	return &conn{
+		Conn:   c,
+		h:      h,
+		closed: make(chan struct{}),
+		rd:     newSide(h.cfg.Seed, id, 0),
+		wr:     newSide(h.cfg.Seed, id, 1),
+	}
+}
+
+// Dialer is the outbound-connection seam this package wraps — structurally
+// identical to dist.Dialer, declared here so chaos has no dependency on
+// the packages it tests.
+type Dialer interface {
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
+}
+
+type chaosDialer struct {
+	h *Harness
+	d Dialer
+}
+
+// Dialer wraps d so every dialed connection is fault-injected.
+func (h *Harness) Dialer(d Dialer) Dialer { return &chaosDialer{h: h, d: d} }
+
+func (cd *chaosDialer) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := cd.d.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return cd.h.Wrap(c), nil
+}
+
+type chaosListener struct {
+	net.Listener
+	h *Harness
+}
+
+// Listener wraps ln so every accepted connection is fault-injected.
+func (h *Harness) Listener(ln net.Listener) net.Listener {
+	return &chaosListener{Listener: ln, h: h}
+}
+
+func (cl *chaosListener) Accept() (net.Conn, error) {
+	c, err := cl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return cl.h.Wrap(c), nil
+}
+
+// --- the wrapped connection ---
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultLatency
+	faultTimeout
+	faultReset
+	faultBlackhole
+)
+
+// side is one direction's deterministic fault stream plus its deadline
+// mirror (blackholes must honor deadlines without the underlying conn's
+// help, since a blackholed op never reaches it).
+type side struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	deadline time.Time
+}
+
+// newSide seeds one direction's stream from (seed, connection id,
+// direction). splitmix-style mixing keeps adjacent ids uncorrelated.
+func newSide(seed int64, id uint64, dir uint64) *side {
+	z := uint64(seed) ^ (id*2 + dir + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &side{rng: rand.New(rand.NewSource(int64(z)))}
+}
+
+// draw picks the next fault on this direction's schedule, plus a latency
+// duration (meaningful only for faultLatency). One rng call per op keeps
+// the schedule aligned with the op count even when most ops are clean.
+func (s *side) draw(cfg *Config) (faultKind, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	x := s.rng.Float64()
+	switch {
+	case x < cfg.PReset:
+		return faultReset, 0
+	case x < cfg.PReset+cfg.PTimeout:
+		return faultTimeout, 0
+	case x < cfg.PReset+cfg.PTimeout+cfg.PBlackhole:
+		return faultBlackhole, 0
+	case x < cfg.PReset+cfg.PTimeout+cfg.PBlackhole+cfg.PLatency:
+		span := cfg.LatencyMax - cfg.LatencyMin
+		d := cfg.LatencyMin
+		if span > 0 {
+			d += time.Duration(s.rng.Int63n(int64(span) + 1))
+		}
+		return faultLatency, d
+	}
+	return faultNone, 0
+}
+
+func (s *side) setDeadline(t time.Time) {
+	s.mu.Lock()
+	s.deadline = t
+	s.mu.Unlock()
+}
+
+func (s *side) getDeadline() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadline
+}
+
+type conn struct {
+	net.Conn
+	h      *Harness
+	rd, wr *side
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Error is the error injected faults return; it implements net.Error so
+// retry ladders keyed on Timeout() see exactly what a kernel would give
+// them.
+type Error struct {
+	Op        string
+	IsTimeout bool
+}
+
+func (e *Error) Error() string {
+	if e.IsTimeout {
+		return "chaos: injected " + e.Op + " timeout"
+	}
+	return "chaos: injected " + e.Op + " reset"
+}
+
+func (e *Error) Timeout() bool   { return e.IsTimeout }
+func (e *Error) Temporary() bool { return e.IsTimeout }
+
+func (c *conn) Read(p []byte) (int, error) {
+	switch kind, d := c.rd.draw(&c.h.cfg); kind {
+	case faultLatency:
+		c.h.lat.Add(1)
+		if !c.sleep(d) {
+			return 0, net.ErrClosed
+		}
+	case faultTimeout:
+		c.h.tmo.Add(1)
+		return 0, &Error{Op: "read", IsTimeout: true}
+	case faultReset:
+		c.h.rst.Add(1)
+		c.Close()
+		return 0, &Error{Op: "read"}
+	case faultBlackhole:
+		c.h.bhl.Add(1)
+		return 0, c.blackhole("read", c.rd.getDeadline())
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	switch kind, d := c.wr.draw(&c.h.cfg); kind {
+	case faultLatency:
+		c.h.lat.Add(1)
+		if !c.sleep(d) {
+			return 0, net.ErrClosed
+		}
+	case faultTimeout:
+		c.h.tmo.Add(1)
+		return 0, &Error{Op: "write", IsTimeout: true}
+	case faultReset:
+		// Mid-frame cut: half the buffer reaches the peer, then the
+		// connection dies. Callers see n > 0 with an error — unrecoverable
+		// for length-prefixed framing, exactly like a real mid-write RST.
+		c.h.rst.Add(1)
+		n := 0
+		if len(p) > 1 {
+			n, _ = c.Conn.Write(p[:len(p)/2])
+		}
+		c.Close()
+		return n, &Error{Op: "write"}
+	case faultBlackhole:
+		c.h.bhl.Add(1)
+		return 0, c.blackhole("write", c.wr.getDeadline())
+	}
+	return c.Conn.Write(p)
+}
+
+// sleep waits d unless the connection closes first; reports whether the
+// wait completed.
+func (c *conn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+// blackhole hangs until the direction's deadline (timeout error) or the
+// connection closes (net.ErrClosed). With no deadline it waits for close.
+func (c *conn) blackhole(op string, deadline time.Time) error {
+	if deadline.IsZero() {
+		<-c.closed
+		return net.ErrClosed
+	}
+	wait := time.Until(deadline)
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.closed:
+			return net.ErrClosed
+		}
+	}
+	return &Error{Op: op, IsTimeout: true}
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rd.setDeadline(t)
+	c.wr.setDeadline(t)
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rd.setDeadline(t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setDeadline(t)
+	return c.Conn.SetWriteDeadline(t)
+}

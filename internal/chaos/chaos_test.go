@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// schedule replays the first n fault draws of one direction for a given
+// (seed, conn id) — the determinism contract under test.
+func schedule(cfg Config, id uint64, dir uint64, n int) []faultKind {
+	s := newSide(cfg.Seed, id, dir)
+	out := make([]faultKind, n)
+	for i := range out {
+		out[i], _ = s.draw(&cfg)
+	}
+	return out
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, PLatency: 0.2, LatencyMax: time.Millisecond, PTimeout: 0.1, PReset: 0.05, PBlackhole: 0.05}
+	a := schedule(cfg, 3, 0, 200)
+	b := schedule(cfg, 3, 0, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different connection id must get a different stream (else every
+	// conn fails in lockstep and the soak only explores one interleaving).
+	c := schedule(cfg, 4, 0, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("conn 3 and conn 4 drew identical schedules")
+	}
+	// All probabilities zero: the schedule must be all clean ops.
+	for i, k := range schedule(Config{Seed: 7}, 1, 0, 100) {
+		if k != faultNone {
+			t.Fatalf("zero-probability draw %d injected %v", i, k)
+		}
+	}
+}
+
+func pipePair(t *testing.T, h *Harness) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return h.Wrap(a), b
+}
+
+func TestTimeoutFaultIsTransientNetError(t *testing.T) {
+	// PTimeout 1: every op fails with a timeout but the conn stays usable
+	// once the fault rate drops — model that by flipping the config off.
+	h := New(Config{Seed: 1, PTimeout: 1})
+	c, peer := pipePair(t, h)
+	_, err := c.Write([]byte("x"))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("timeout fault returned %v, want net.Error with Timeout()=true", err)
+	}
+	if h.Stats().Timeouts == 0 {
+		t.Fatal("timeout not counted")
+	}
+	// The connection survived: a clean harness op still goes through.
+	h.cfg.PTimeout = 0
+	go func() {
+		buf := make([]byte, 1)
+		peer.Read(buf)
+	}()
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatalf("conn unusable after a timeout fault: %v", err)
+	}
+}
+
+func TestResetFaultCutsMidWrite(t *testing.T) {
+	h := New(Config{Seed: 1, PReset: 1})
+	c, peer := pipePair(t, h)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := peer.Read(buf)
+		got <- buf[:n]
+	}()
+	payload := []byte("abcdefgh")
+	n, err := c.Write(payload)
+	if err == nil {
+		t.Fatal("reset fault returned no error")
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("mid-frame reset wrote %d bytes, want %d", n, len(payload)/2)
+	}
+	if prefix := <-got; !bytes.Equal(prefix, payload[:n]) {
+		t.Fatalf("peer saw %q, want the %d-byte prefix", prefix, n)
+	}
+	// The conn is dead: later ops fail.
+	if _, err := c.Write([]byte("z")); err == nil {
+		t.Fatal("write succeeded on a reset connection")
+	}
+	if h.Stats().Resets == 0 {
+		t.Fatal("reset not counted")
+	}
+}
+
+func TestBlackholeHonorsDeadline(t *testing.T) {
+	h := New(Config{Seed: 1, PBlackhole: 1})
+	c, _ := pipePair(t, h)
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("blackholed read returned %v, want timeout", err)
+	}
+	if took := time.Since(start); took < 20*time.Millisecond || took > 5*time.Second {
+		t.Fatalf("blackholed read returned after %v, want ≈ the 30ms deadline", took)
+	}
+	if h.Stats().Blackholes == 0 {
+		t.Fatal("blackhole not counted")
+	}
+}
+
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	h := New(Config{Seed: 1, PBlackhole: 1})
+	c, _ := pipePair(t, h)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1)) // no deadline: hangs until close
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("blackholed read after close returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blackholed read did not unblock on close")
+	}
+}
+
+func TestLatencyDelaysButDelivers(t *testing.T) {
+	h := New(Config{Seed: 1, PLatency: 1, LatencyMin: 20 * time.Millisecond, LatencyMax: 20 * time.Millisecond})
+	c, peer := pipePair(t, h)
+	got := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 5)
+		_, err := peer.Read(buf)
+		got <- err
+	}()
+	start := time.Now()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("latency fault failed the op: %v", err)
+	}
+	if took := time.Since(start); took < 15*time.Millisecond {
+		t.Fatalf("latency fault injected only %v", took)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("peer read failed: %v", err)
+	}
+	if h.Stats().Latencies == 0 {
+		t.Fatal("latency not counted")
+	}
+}
+
+type staticDialer struct{ c net.Conn }
+
+func (d staticDialer) DialContext(context.Context, string) (net.Conn, error) { return d.c, nil }
+
+func TestDialerAndListenerWrap(t *testing.T) {
+	h := New(Config{Seed: 1, PTimeout: 1})
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wrapped, err := h.Dialer(staticDialer{c: a}).DialContext(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.Write([]byte("x")); err == nil {
+		t.Fatal("dialer-wrapped conn did not inject")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl := h.Listener(ln)
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			defer c.Close()
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	conn, err := cl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("listener-wrapped conn did not inject")
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -79,6 +80,35 @@ type Config struct {
 	// epoch boundaries. The live set shrinking still forces a re-shard —
 	// a dead worker's rows must find a new owner either way.
 	NoRepartition bool
+
+	// RunID names the run in the handshake; 0 (the default) generates a
+	// fresh id. A resumed coordinator passes the manifest's RunID so
+	// rejoining workers of the previous incarnation are recognised as
+	// members rather than strangers.
+	RunID uint64
+
+	// StartEpoch resumes a run with StartEpoch epochs already completed:
+	// training covers [StartEpoch, Epochs) on top of Init (the restored
+	// checkpoint). Partial-epoch work after that checkpoint is discarded by
+	// design — the durably merged epoch is the exactly-once unit.
+	StartEpoch int
+
+	// ResumeBounds restores the manifest's row split when it describes
+	// exactly Workers partitions covering every row; otherwise the initial
+	// split is even, as for a fresh run. Only placement is affected — the
+	// factor values come from Init either way.
+	ResumeBounds []int
+
+	// RejoinWindow is how long the coordinator tolerates zero live workers
+	// before aborting the run, giving crashed or partitioned workers time
+	// to re-dial and rejoin (default 4× LivenessTimeout).
+	RejoinWindow time.Duration
+
+	// crash, when non-nil, makes the coordinator drop dead the moment the
+	// channel closes: no Done frames, no checkpoint, links and listener
+	// simply closed. Test-only (unexported) — the SIGKILL the fault
+	// tolerance story has to survive, injectable without a subprocess.
+	crash chan struct{}
 }
 
 func (c *Config) fill() error {
@@ -108,6 +138,20 @@ func (c *Config) fill() error {
 	}
 	if c.StallTimeout <= 0 {
 		c.StallTimeout = 30 * time.Second
+	}
+	if c.RejoinWindow <= 0 {
+		c.RejoinWindow = 4 * c.LivenessTimeout
+	}
+	if c.StartEpoch < 0 || c.StartEpoch >= c.Epochs {
+		if c.StartEpoch != 0 {
+			return fmt.Errorf("dist: start epoch %d outside [0,%d)", c.StartEpoch, c.Epochs)
+		}
+	}
+	if c.RunID == 0 {
+		r := rand.New(rand.NewSource(time.Now().UnixNano()))
+		for c.RunID == 0 {
+			c.RunID = r.Uint64()
+		}
 	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(nil, "coordinator")
@@ -141,11 +185,19 @@ type Report struct {
 	WorkerFailures   int
 	// LiveWorkers is the surviving worker count at the end of the run.
 	LiveWorkers int
+	// Resumed marks a run restarted from a manifest; WorkerRejoins counts
+	// workers re-admitted after their link broke.
+	Resumed       bool
+	WorkerRejoins int
 }
+
+// ErrCrashed is returned by an injected coordinator crash (test-only).
+var ErrCrashed = errors.New("dist: coordinator crashed (injected fault)")
 
 // event is one message from a worker reader goroutine to the main loop.
 type event struct {
 	worker int
+	gen    int // incarnation the reader belongs to; stale ones are dropped
 	t      msgType
 	b      []byte
 	err    error // non-nil: the link broke (read error or liveness timeout)
@@ -154,6 +206,7 @@ type event struct {
 // workerState is the coordinator's view of one worker.
 type workerState struct {
 	id    int
+	gen   int // bumped on every (re)admission into this slot
 	link  *link
 	alive bool
 
@@ -205,8 +258,9 @@ func Coordinate(ctx context.Context, ln net.Listener, train *sparse.Matrix, cfg 
 	c := &coordinator{
 		cfg:   &cfg,
 		train: train,
-		rep:   &Report{},
+		rep:   &Report{Epochs: cfg.StartEpoch, Resumed: cfg.StartEpoch > 0},
 		start: time.Now(),
+		epoch: cfg.StartEpoch,
 	}
 	if cfg.Init != nil {
 		if cfg.Init.M != train.Rows || cfg.Init.N != train.Cols || cfg.Init.K != cfg.K {
@@ -229,9 +283,13 @@ type coordinator struct {
 
 	workers  []*workerState
 	events   chan event
+	joins    chan joinConn // greeted late connections awaiting re-admission
 	done     chan struct{} // closed by finish; unblocks reader goroutines
 	finished bool          // finish already broadcast (main loop only)
 	live     uint64        // bitmask of alive workers
+	// zeroSince is when the live set last hit zero; the run aborts only
+	// after RejoinWindow passes with no worker coming back.
+	zeroSince time.Time
 
 	epoch    int // 0-based current epoch
 	needs    []uint64
@@ -245,26 +303,28 @@ type coordinator struct {
 }
 
 func (c *coordinator) run(ctx context.Context, ln net.Listener) (*Report, *model.Factors, error) {
-	// Close the listener when ctx fires so the accept phase is cancellable.
-	acceptDone := make(chan struct{})
+	c.events = make(chan event, 4*c.cfg.Workers*c.cfg.Window)
+	c.joins = make(chan joinConn, maxWorkers)
+	c.done = make(chan struct{})
+	// One watcher owns closing the listener: ctx firing cancels the accept
+	// phase; finish (or an injected crash) closing c.done ends admission.
 	go func() {
 		select {
 		case <-ctx.Done():
-			ln.Close()
-		case <-acceptDone:
+		case <-c.done:
 		}
+		ln.Close()
 	}()
-	err := c.accept(ctx, ln)
-	close(acceptDone)
-	ln.Close()
-	if err != nil {
+	if err := c.accept(ctx, ln); err != nil {
+		c.finished = true
+		close(c.done)
 		return nil, nil, wrapCtx(ctx, err)
 	}
-
-	c.events = make(chan event, 4*c.cfg.Workers*c.cfg.Window)
-	c.done = make(chan struct{})
+	// Admission stays open for the rest of the run: a worker whose link
+	// broke re-dials and is re-admitted into its old slot by the main loop.
+	go c.admit(ln)
 	for _, w := range c.workers {
-		go c.reader(w)
+		go c.reader(w.id, w.gen, w.link)
 	}
 	c.startEpoch()
 
@@ -274,8 +334,12 @@ func (c *coordinator) run(ctx context.Context, ln net.Listener) (*Report, *model
 		select {
 		case <-ctx.Done():
 			return c.interrupt(ctx)
+		case <-c.cfg.crash: // nil in production: never fires
+			return c.crashNow()
 		case <-stall.C:
 			c.checkStalls()
+		case j := <-c.joins:
+			c.handleJoin(j)
 		case ev := <-c.events:
 			c.handle(ev)
 		}
@@ -287,24 +351,40 @@ func (c *coordinator) run(ctx context.Context, ln net.Listener) (*Report, *model
 		if c.rep.Epochs >= c.cfg.Epochs {
 			return c.finish(nil)
 		}
-		if c.live == 0 {
+		if c.live == 0 && time.Since(c.zeroSince) > c.cfg.RejoinWindow {
 			_, _, _ = c.finish(nil) // best-effort close of surviving links
-			return nil, nil, fmt.Errorf("dist: all %d workers died (%d reclaimed column hops)",
-				len(c.workers), c.rep.ColumnsReclaimed)
+			return nil, nil, fmt.Errorf("dist: all %d workers died and none rejoined within %v (%d reclaimed column hops)",
+				len(c.workers), c.cfg.RejoinWindow, c.rep.ColumnsReclaimed)
 		}
 	}
 }
 
+// crashNow is the injected-fault teardown: everything dropped on the floor,
+// exactly as a killed process would leave it. Workers find out the way they
+// would in production — a broken pipe, then dial retries.
+func (c *coordinator) crashNow() (*Report, *model.Factors, error) {
+	c.finished = true
+	close(c.done) // the watcher closes the listener
+	for _, w := range c.workers {
+		if w.alive {
+			w.link.close()
+		}
+	}
+	return nil, nil, ErrCrashed
+}
+
 // accept waits for the configured number of workers and completes the
-// handshake (Hello → Welcome → initial Assign) with each.
+// handshake (Hello → Welcome → initial Assign) with each. A resumed run's
+// workers may arrive carrying the previous incarnation's run id; they are
+// admitted like fresh joiners — the Assign fully replaces their state.
 func (c *coordinator) accept(ctx context.Context, ln net.Listener) error {
-	bounds := PartitionRows(c.train.Rows, make([]float64, c.cfg.Workers))
-	for id := 0; id < c.cfg.Workers; id++ {
+	bounds := c.initialBounds()
+	for id := 0; id < c.cfg.Workers; {
 		conn, err := ln.Accept()
 		if err != nil {
 			return fmt.Errorf("dist: accepting worker %d/%d: %w", id, c.cfg.Workers, err)
 		}
-		l := &link{c: conn, m: c.cfg.Metrics, sendTimeout: c.cfg.SendTimeout, retries: c.cfg.SendRetries}
+		l := &link{c: conn, m: c.cfg.Metrics, sendTimeout: c.cfg.SendTimeout, retries: c.cfg.SendRetries, done: c.done}
 		t, payload, err := l.recv(c.cfg.LivenessTimeout)
 		if err != nil {
 			return fmt.Errorf("dist: worker %d handshake: %w", id, err)
@@ -319,9 +399,14 @@ func (c *coordinator) accept(ctx context.Context, ln net.Listener) error {
 		if h.Version != protocolVersion {
 			return fmt.Errorf("dist: worker %d speaks protocol %d, coordinator %d", id, h.Version, protocolVersion)
 		}
+		if h.RunID != 0 && h.RunID != c.cfg.RunID {
+			l.close() // a straggler from some other run; keep waiting
+			continue
+		}
 		if err := l.send(mWelcome, welcome{
 			ID:             uint32(id),
 			HeartbeatMilli: uint32(c.cfg.HeartbeatEvery.Milliseconds()),
+			RunID:          c.cfg.RunID,
 		}.encode()); err != nil {
 			return err
 		}
@@ -335,9 +420,126 @@ func (c *coordinator) accept(ctx context.Context, ln net.Listener) error {
 		if err := c.assignRows(w, bounds[id], bounds[id+1]); err != nil {
 			return err
 		}
+		id++
 	}
 	c.cfg.Metrics.WorkersLive.Set(float64(len(c.workers)))
 	return nil
+}
+
+// initialBounds is the starting row split: the manifest's partition when a
+// resume restored one of matching shape, an even split otherwise.
+func (c *coordinator) initialBounds() []int {
+	b := c.cfg.ResumeBounds
+	if len(b) == c.cfg.Workers+1 && b[0] == 0 && b[len(b)-1] == c.train.Rows {
+		ok := true
+		for i := 1; i < len(b); i++ {
+			ok = ok && b[i] >= b[i-1]
+		}
+		if ok {
+			return b
+		}
+	}
+	return PartitionRows(c.train.Rows, make([]float64, c.cfg.Workers))
+}
+
+// joinConn is a late connection that already passed the hello exchange in
+// the admission goroutine and awaits a slot decision on the main loop.
+type joinConn struct {
+	conn net.Conn
+	h    hello
+}
+
+// admit accepts connections for the rest of the run — workers re-dialing
+// after a link break, or a previous incarnation's workers reaching a
+// restarted coordinator. The blocking hello read happens out here so a slow
+// (or silent) joiner cannot stall training; everything stateful happens in
+// handleJoin on the main goroutine.
+func (c *coordinator) admit(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed: run over or cancelled
+		}
+		go func(conn net.Conn) {
+			t, payload, n, err := readFrame(conn, c.cfg.LivenessTimeout)
+			if err != nil || t != mHello {
+				conn.Close()
+				return
+			}
+			c.cfg.Metrics.BytesRecv.Add(int64(n))
+			h, err := decodeHello(payload)
+			if err != nil || h.Version != protocolVersion {
+				conn.Close()
+				return
+			}
+			select {
+			case c.joins <- joinConn{conn: conn, h: h}:
+			case <-c.done:
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// handleJoin re-admits a worker into a dead slot. The rejoiner gets an
+// empty row range first: mid-epoch, the column visit sets were seeded from
+// the live set at epoch start, and admitting new ratings mid-flight would
+// break the exactly-once accounting. The next epoch boundary re-shards (an
+// empty live range forces it) and the worker earns real rows again.
+func (c *coordinator) handleJoin(j joinConn) {
+	if (j.h.RunID != 0 && j.h.RunID != c.cfg.RunID) || c.stopping {
+		j.conn.Close() // stranger from another run, or winding down
+		return
+	}
+	var w *workerState
+	if id := j.h.PrevID; id != noPrevID && int(id) < len(c.workers) && !c.workers[id].alive {
+		w = c.workers[id] // the slot it held is free again: same worker
+	} else {
+		for _, cand := range c.workers {
+			if !cand.alive {
+				w = cand
+				break
+			}
+		}
+	}
+	if w == nil {
+		j.conn.Close() // no dead slot to fill
+		return
+	}
+	l := &link{c: j.conn, m: c.cfg.Metrics, sendTimeout: c.cfg.SendTimeout, retries: c.cfg.SendRetries, done: c.done}
+	if err := l.send(mWelcome, welcome{
+		ID:             uint32(w.id),
+		HeartbeatMilli: uint32(c.cfg.HeartbeatEvery.Milliseconds()),
+		RunID:          c.cfg.RunID,
+	}.encode()); err != nil {
+		l.close()
+		return
+	}
+	w.gen++
+	w.link = l
+	w.alive = true
+	w.inFlight = make(map[int32]time.Time)
+	w.queuedRatings = 0
+	w.lastReturn = time.Now()
+	c.live |= w.bit()
+	c.zeroSince = time.Time{}
+	c.rep.WorkerRejoins++
+	c.cfg.Metrics.Rejoins.Inc()
+	c.cfg.Metrics.WorkersLive.Set(float64(popcount(c.live)))
+	if err := c.assignRows(w, 0, 0); err != nil {
+		c.kill(w, fmt.Sprintf("rejoin assign: %v", err))
+		return
+	}
+	go c.reader(w.id, w.gen, w.link)
+
+	// If every worker died at an awkward moment the run is parked with no
+	// epoch in progress; this join is what restarts the machinery.
+	if c.syncing && c.awaiting == 0 {
+		c.endEpoch() // the sync barrier had stalled with zero live workers
+	} else if !c.syncing && c.colsLeft == 0 && c.epoch < c.cfg.Epochs {
+		c.reshard()
+		c.startEpoch()
+	}
 }
 
 // assignRows sends worker w the partition [lo,hi) with its current P rows
@@ -359,20 +561,23 @@ func (c *coordinator) assignRows(w *workerState, lo, hi int) error {
 	return w.link.send(mAssign, msg.encode())
 }
 
-// reader pumps one worker's frames into the main loop. The per-read
-// deadline is the liveness window: heartbeats arrive well inside it, so a
-// timeout means the worker is silent-dead even if TCP has not noticed.
-func (c *coordinator) reader(w *workerState) {
+// reader pumps one worker incarnation's frames into the main loop. The
+// per-read deadline is the liveness window: heartbeats arrive well inside
+// it, so a timeout means the worker is silent-dead even if TCP has not
+// noticed. The link is passed in, not read from the slot — the main loop
+// swaps w.link on rejoin, and each reader must stay bound to its own
+// generation's connection.
+func (c *coordinator) reader(id, gen int, l *link) {
 	for {
-		t, payload, err := w.link.recv(c.cfg.LivenessTimeout)
+		t, payload, err := l.recv(c.cfg.LivenessTimeout)
 		if err != nil {
-			c.deliver(event{worker: w.id, err: err})
+			c.deliver(event{worker: id, gen: gen, err: err})
 			return
 		}
 		if t == mDone {
 			return // echo of session teardown; nothing to deliver
 		}
-		if !c.deliver(event{worker: w.id, t: t, b: payload}) {
+		if !c.deliver(event{worker: id, gen: gen, t: t, b: payload}) {
 			return
 		}
 	}
@@ -391,8 +596,8 @@ func (c *coordinator) deliver(ev event) bool {
 
 func (c *coordinator) handle(ev event) {
 	w := c.workers[ev.worker]
-	if !w.alive {
-		return // late frames from a worker already declared dead
+	if !w.alive || ev.gen != w.gen {
+		return // late frames from a dead or superseded incarnation
 	}
 	if ev.err != nil {
 		c.kill(w, fmt.Sprintf("link error: %v", ev.err))
@@ -570,6 +775,9 @@ func (c *coordinator) kill(w *workerState, why string) {
 	}
 	w.alive = false
 	c.live &^= w.bit()
+	if c.live == 0 {
+		c.zeroSince = time.Now() // the rejoin grace window starts now
+	}
 	w.link.close()
 	c.rep.WorkerFailures++
 	c.cfg.Metrics.WorkersLive.Set(float64(popcount(c.live)))
@@ -696,6 +904,11 @@ func (c *coordinator) endEpoch() {
 	if c.cfg.CheckpointPath != "" && (c.epoch%c.cfg.CheckpointEvery == 0 || c.epoch == c.cfg.Epochs) {
 		if err := c.f.SaveFileAtomic(c.cfg.CheckpointPath); err == nil {
 			c.rep.Checkpoints++
+			// The manifest rides behind its checkpoint: written after, so
+			// a crash between the two leaves a manifest one epoch older
+			// than the model — a resume then retrains that epoch rather
+			// than skipping one.
+			_ = c.manifest().SaveAtomic(ManifestPath(c.cfg.CheckpointPath))
 			c.emit(progress.KindCheckpoint)
 		}
 	}
@@ -731,6 +944,13 @@ func (c *coordinator) reshard() {
 		coverage = liveWorkers[i].lo == liveWorkers[i-1].hi
 	}
 	coverage = coverage && liveWorkers[len(liveWorkers)-1].hi == c.train.Rows
+	// A rejoined worker idling on an empty range must get rows now — an
+	// empty partition never trains, whatever the balance check says.
+	for _, w := range liveWorkers {
+		if w.hi == w.lo {
+			coverage = false
+		}
+	}
 	balanced := c.cfg.NoRepartition || imbalance(weights) < 1.1
 	if coverage && balanced {
 		return // partition still covers every row and is worth keeping
@@ -811,6 +1031,17 @@ func (c *coordinator) finish(err error) (*Report, *model.Factors, error) {
 	if !c.finished {
 		c.finished = true
 		close(c.done)
+	}
+	// Late joiners already greeted but not yet admitted get their
+	// connections closed rather than leaked.
+	for {
+		select {
+		case j := <-c.joins:
+			j.conn.Close()
+			continue
+		default:
+		}
+		break
 	}
 	for _, w := range c.workers {
 		if w.alive {

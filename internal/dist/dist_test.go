@@ -60,8 +60,12 @@ func testConfig(workers, epochs int) Config {
 func testWorkerConfig() WorkerConfig {
 	return WorkerConfig{
 		SendTimeout: 3 * time.Second,
-		DialBackoff: 10 * time.Millisecond,
-		ReadTimeout: 10 * time.Second,
+		// Five fast dial attempts keep failure-path tests quick: a worker
+		// whose coordinator is gone for good exhausts the ladder in ~150ms
+		// instead of the production-scale wait.
+		DialAttempts: 5,
+		DialBackoff:  10 * time.Millisecond,
+		ReadTimeout:  10 * time.Second,
 	}
 }
 
@@ -454,7 +458,7 @@ func TestFrameRoundTripAndLimits(t *testing.T) {
 	defer client.Close()
 	defer server.Close()
 	go func() {
-		writeFrame(client, mColTask, []byte{1, 2, 3}, time.Second, 0)
+		writeFrame(client, mColTask, []byte{1, 2, 3}, time.Second, 0, nil)
 	}()
 	typ, payload, n, err := readFrame(server, time.Second)
 	if err != nil {
@@ -465,7 +469,7 @@ func TestFrameRoundTripAndLimits(t *testing.T) {
 	}
 
 	// A frame over the cap is refused before touching the wire.
-	if _, err := writeFrame(client, mColTask, make([]byte, maxFrameBytes), time.Second, 0); err == nil {
+	if _, err := writeFrame(client, mColTask, make([]byte, maxFrameBytes), time.Second, 0, nil); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 
@@ -497,7 +501,7 @@ func TestPipeNet(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		_, err = writeFrame(conn, mHeartbeat, nil, time.Second, 0)
+		_, err = writeFrame(conn, mHeartbeat, nil, time.Second, 0, nil)
 		done <- err
 	}()
 	conn, err := pn.DialContext(context.Background(), "a")

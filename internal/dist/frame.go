@@ -24,8 +24,11 @@ const (
 // carries the whole frame. A timeout or temporary error that fires before
 // any byte reached the wire is retried with exponential backoff up to
 // retries times; once a partial frame is on the wire the stream framing is
-// unrecoverable, so the error is final. Returns the frame size on success.
-func writeFrame(c net.Conn, t msgType, payload []byte, timeout time.Duration, retries int) (int, error) {
+// unrecoverable, so the error is final. The backoff wait is cancellable:
+// when done (nil allowed) closes mid-wait the send aborts immediately
+// instead of serving out the rest of the ladder — a cancelled run must
+// not hang on a retry sleep. Returns the frame size on success.
+func writeFrame(c net.Conn, t msgType, payload []byte, timeout time.Duration, retries int, done <-chan struct{}) (int, error) {
 	if len(payload)+1 > maxFrameBytes {
 		return 0, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte cap", len(payload)+1, maxFrameBytes)
 	}
@@ -54,7 +57,13 @@ func writeFrame(c net.Conn, t msgType, payload []byte, timeout time.Duration, re
 		if !transient {
 			return 0, fmt.Errorf("dist: sending %s frame: %w", t, err)
 		}
-		time.Sleep(backoff)
+		wait := time.NewTimer(backoff)
+		select {
+		case <-wait.C:
+		case <-done: // a nil done never fires; the wait is then a plain sleep
+			wait.Stop()
+			return 0, fmt.Errorf("dist: sending %s frame: %w", t, net.ErrClosed)
+		}
 		backoff *= 2
 	}
 }
@@ -84,19 +93,22 @@ func readFrame(c net.Conn, timeout time.Duration) (msgType, []byte, int, error) 
 // link wraps one connection with the send discipline both roles share: a
 // mutex serialising writers (the coordinator's dispatcher and epoch logic;
 // the worker's processing loop and heartbeat ticker), the per-send timeout
-// and bounded retry, and byte accounting into the role's metrics.
+// and bounded retry, and byte accounting into the role's metrics. done,
+// when non-nil, aborts in-progress retry backoffs the moment the owning
+// run winds down.
 type link struct {
 	c           net.Conn
 	m           *Metrics
 	sendTimeout time.Duration
 	retries     int
+	done        <-chan struct{}
 
 	wmu sync.Mutex
 }
 
 func (l *link) send(t msgType, payload []byte) error {
 	l.wmu.Lock()
-	n, err := writeFrame(l.c, t, payload, l.sendTimeout, l.retries)
+	n, err := writeFrame(l.c, t, payload, l.sendTimeout, l.retries, l.done)
 	l.wmu.Unlock()
 	if err == nil {
 		l.m.BytesSent.Add(int64(n))

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Manifest is the small durable record that makes a coordinator crash
+// recoverable: written atomically next to every merged epoch checkpoint,
+// it names the run and pins everything a restarted coordinator needs to
+// rebuild the cluster state the checkpoint belongs to — the completed
+// epoch, the hyperparameters, and the row-partition boundaries in force
+// when the checkpoint was cut. Workers hold the rest (their rating
+// partitions are re-derived from the shared input file on re-Assign), so
+// manifest + checkpoint together are a full resume point with exactly-once
+// per-epoch semantics: anything after the recorded epoch is discarded by
+// design.
+type Manifest struct {
+	RunID  uint64 `json:"run_id"`
+	Epoch  int    `json:"epoch"`  // completed (durably checkpointed) epochs
+	Epochs int    `json:"epochs"` // total epochs the run is configured for
+
+	K       int     `json:"k"`
+	LambdaP float32 `json:"lambda_p"`
+	LambdaQ float32 `json:"lambda_q"`
+	Gamma   float32 `json:"gamma"`
+	Seed    int64   `json:"seed"`
+
+	Workers int   `json:"workers"`
+	Rows    int   `json:"rows"`
+	Cols    int   `json:"cols"`
+	Bounds  []int `json:"bounds"` // live row-partition boundaries, len Workers'+1
+
+	SavedAt string `json:"saved_at_utc"`
+}
+
+// ManifestPath is where the manifest for a checkpoint file lives.
+func ManifestPath(checkpoint string) string { return checkpoint + ".manifest" }
+
+// SaveAtomic writes the manifest to path with the same temp-file-plus-
+// rename discipline as the model checkpoints, so a crash mid-write leaves
+// the previous manifest intact rather than a torn one.
+func (m *Manifest) SaveAtomic(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadManifest reads and validates a run manifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dist: parsing manifest %s: %w", path, err)
+	}
+	if m.RunID == 0 || m.K <= 0 || m.Epochs <= 0 || m.Workers < 1 {
+		return nil, fmt.Errorf("dist: manifest %s is incomplete (run_id=%d k=%d epochs=%d workers=%d)",
+			path, m.RunID, m.K, m.Epochs, m.Workers)
+	}
+	if m.Epoch < 0 || m.Epoch > m.Epochs {
+		return nil, fmt.Errorf("dist: manifest %s epoch %d outside [0,%d]", path, m.Epoch, m.Epochs)
+	}
+	return &m, nil
+}
+
+// manifest snapshots the coordinator's current durable state. Bounds are
+// the live workers' partitions in row order; a worker idling with an empty
+// range (a mid-epoch rejoin that has not been re-sharded yet) contributes
+// nothing.
+func (c *coordinator) manifest() *Manifest {
+	var bounds []int
+	lo := -1
+	for {
+		var next *workerState
+		for _, w := range c.workers {
+			if !w.alive || w.hi == w.lo || w.lo <= lo {
+				continue
+			}
+			if next == nil || w.lo < next.lo {
+				next = w
+			}
+		}
+		if next == nil {
+			break
+		}
+		if len(bounds) == 0 {
+			bounds = append(bounds, next.lo)
+		}
+		bounds = append(bounds, next.hi)
+		lo = next.lo
+	}
+	return &Manifest{
+		RunID: c.cfg.RunID, Epoch: c.epoch, Epochs: c.cfg.Epochs,
+		K: c.cfg.K, LambdaP: c.cfg.LambdaP, LambdaQ: c.cfg.LambdaQ,
+		Gamma: c.cfg.Gamma, Seed: c.cfg.Seed,
+		Workers: c.cfg.Workers, Rows: c.train.Rows, Cols: c.train.Cols,
+		Bounds:  bounds,
+		SavedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}

@@ -29,6 +29,9 @@ type Metrics struct {
 	Heartbeats *obs.Counter
 	// Epochs counts completed distributed epochs (coordinator role).
 	Epochs *obs.Counter
+	// Rejoins counts link recoveries: re-dials after a broken coordinator
+	// link (worker role), re-admissions into a dead slot (coordinator role).
+	Rejoins *obs.Counter
 }
 
 // NewMetrics returns handles registered under hsgd_dist_* with the given
@@ -43,6 +46,7 @@ func NewMetrics(reg *obs.Registry, role string) *Metrics {
 			WorkersLive: &obs.Gauge{},
 			Circulation: obs.NewHistogram(nil),
 			Heartbeats:  &obs.Counter{}, Epochs: &obs.Counter{},
+			Rejoins: &obs.Counter{},
 		}
 	}
 	labels := obs.Labels{"role": role}
@@ -65,5 +69,7 @@ func NewMetrics(reg *obs.Registry, role string) *Metrics {
 			"Idle-liveness heartbeat frames sent.", labels),
 		Epochs: reg.Counter("hsgd_dist_epochs_total",
 			"Completed distributed training epochs.", labels),
+		Rejoins: reg.Counter("hsgd_dist_rejoins_total",
+			"Worker link recoveries: re-dials (worker) or re-admissions (coordinator).", labels),
 	}
 }

@@ -1,0 +1,395 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsgd/internal/chaos"
+	"hsgd/internal/model"
+)
+
+// tappedDialer records every connection it hands out so a test can cut one
+// mid-run and watch the worker rejoin.
+type tappedDialer struct {
+	d  Dialer
+	mu sync.Mutex
+	cs []net.Conn
+}
+
+func (td *tappedDialer) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := td.d.DialContext(ctx, addr)
+	if err == nil {
+		td.mu.Lock()
+		td.cs = append(td.cs, c)
+		td.mu.Unlock()
+	}
+	return c, err
+}
+
+func (td *tappedDialer) cutLatest() {
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	if n := len(td.cs); n > 0 {
+		td.cs[n-1].Close()
+	}
+}
+
+func (td *tappedDialer) dials() int {
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	return len(td.cs)
+}
+
+// TestWorkerRejoinAfterLinkFlap: one worker's connection is cut mid-epoch.
+// The worker must re-dial, be re-admitted into its old slot (no process
+// restart), and earn rows back at the next re-shard; the run completes with
+// every epoch accounted for.
+func TestWorkerRejoinAfterLinkFlap(t *testing.T) {
+	train, test := planted(60, 50, 3000, 7)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := &tappedDialer{d: pn}
+	var visits int
+	flappy := testWorkerConfig()
+	flappy.onColumn = func(int32) {
+		visits++
+		if visits == 8 {
+			td.cutLatest() // the link dies with a column in hand
+		}
+	}
+	const epochs = 12
+	cfg := testConfig(2, epochs)
+	cfg.Test = test
+	m := NewMetrics(nil, "coordinator")
+	cfg.Metrics = m
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = Work(ctx, pn, "coord", train, testWorkerConfig())
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = Work(ctx, td, "coord", train, flappy)
+	}()
+	rep, f, err := Coordinate(ctx, ln, train, cfg)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d did not recover: %v", i, werr)
+		}
+	}
+	if rep.WorkerRejoins == 0 || m.Rejoins.Value() == 0 {
+		t.Fatalf("no rejoin recorded (rejoins=%d metric=%d)", rep.WorkerRejoins, m.Rejoins.Value())
+	}
+	if td.dials() < 2 {
+		t.Fatalf("flapped worker dialed %d times, want ≥ 2", td.dials())
+	}
+	if rep.Epochs != epochs {
+		t.Fatalf("epochs = %d, want %d (run stalled after the flap)", rep.Epochs, epochs)
+	}
+	if rmse := model.RMSE(f, test); rmse > 0.35 {
+		t.Fatalf("RMSE %v too high after a link flap", rmse)
+	}
+	// Both workers end the run live: the flapper rejoined the same slot.
+	if rep.LiveWorkers != 2 {
+		t.Fatalf("LiveWorkers = %d, want 2", rep.LiveWorkers)
+	}
+}
+
+// TestCoordinatorCrashAndResume: the coordinator is killed mid-epoch
+// (injected crash — links dropped, no Done, no final checkpoint), then a
+// new coordinator resumes from the manifest and checkpoint. The same worker
+// processes must ride out the restart via their rejoin loop — no worker is
+// restarted — and the run must complete exactly the configured number of
+// epochs with the already-checkpointed ones never retrained.
+func TestCoordinatorCrashAndResume(t *testing.T) {
+	train, test := planted(60, 50, 3000, 8)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "model.hfac")
+	const epochs = 8
+
+	cfg := testConfig(3, epochs)
+	cfg.Test = test
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = 1
+	m := NewMetrics(nil, "coordinator")
+	cfg.Metrics = m
+	crash := make(chan struct{})
+	cfg.crash = crash
+
+	// Workers get a dial ladder generous enough to span the restart and a
+	// rejoin budget to match; each Work call below is the only one its
+	// worker ever makes.
+	wcfg := func() WorkerConfig {
+		w := testWorkerConfig()
+		w.DialAttempts = 12
+		w.Rejoins = 10
+		return w
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Work(ctx, pn, "coord", train, wcfg())
+		}(i)
+	}
+
+	// Pull the trigger once at least two epochs are durable and the next
+	// epoch has columns in flight — a mid-epoch kill, the worst case.
+	go func() {
+		for m.Epochs.Value() < 2 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		base := m.ColumnsSent.Value()
+		for m.ColumnsSent.Value() < base+5 {
+			time.Sleep(time.Millisecond)
+		}
+		close(crash)
+	}()
+	_, _, err = Coordinate(ctx, ln, train, cfg)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed coordinator returned %v, want ErrCrashed", err)
+	}
+
+	man, err := LoadManifest(ManifestPath(ckpt))
+	if err != nil {
+		t.Fatalf("no usable manifest after the crash: %v", err)
+	}
+	if man.Epoch < 2 || man.Epoch >= epochs {
+		t.Fatalf("manifest epoch %d outside [2,%d)", man.Epoch, epochs)
+	}
+	if man.RunID == 0 || man.Workers != 3 || man.Rows != train.Rows || man.Cols != train.Cols {
+		t.Fatalf("manifest incomplete: %+v", man)
+	}
+	restored, err := model.LoadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after the crash: %v", err)
+	}
+
+	// Restart: same address, identity and progress from the manifest. The
+	// old listener's close races with Coordinate returning, so rebinding
+	// may need a moment.
+	var ln2 net.Listener
+	for {
+		ln2, err = pn.Listen("coord")
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cfg2 := testConfig(3, epochs)
+	cfg2.Test = test
+	cfg2.CheckpointPath = ckpt
+	cfg2.CheckpointEvery = 1
+	cfg2.RunID = man.RunID
+	cfg2.StartEpoch = man.Epoch
+	cfg2.ResumeBounds = man.Bounds
+	cfg2.Init = restored
+	rep, f, err := Coordinate(ctx, ln2, train, cfg2)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d did not survive the coordinator restart: %v", i, werr)
+		}
+	}
+	if !rep.Resumed {
+		t.Fatal("resumed run not flagged Resumed")
+	}
+	if rep.Epochs != epochs {
+		t.Fatalf("resumed run ended at epoch %d, want %d", rep.Epochs, epochs)
+	}
+	// Exactly-once per epoch: the resumed run trains only the epochs after
+	// the manifest's durable count (when nothing else failed, the update
+	// count is exact).
+	if want := int64(epochs-man.Epoch) * int64(train.NNZ()); rep.WorkerFailures == 0 && rep.TotalUpdates != want {
+		t.Fatalf("resumed run applied %d updates, want %d (epochs %d..%d exactly once)",
+			rep.TotalUpdates, want, man.Epoch, epochs)
+	}
+	if len(rep.History) != epochs-man.Epoch {
+		t.Fatalf("resumed history has %d points, want %d", len(rep.History), epochs-man.Epoch)
+	}
+	if rmse := model.RMSE(f, test); rmse > 0.35 {
+		t.Fatalf("RMSE %v too high after crash and resume", rmse)
+	}
+	// The resumed run re-checkpointed; its manifest now marks completion.
+	man2, err := LoadManifest(ManifestPath(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Epoch != epochs || man2.RunID != man.RunID {
+		t.Fatalf("final manifest epoch=%d run=%#x, want epoch=%d run=%#x", man2.Epoch, man2.RunID, epochs, man.RunID)
+	}
+}
+
+// TestChaosSoak: three workers on a seeded flaky transport — injected
+// latency, transient timeouts, and mid-frame resets — must converge to the
+// clean run's RMSE within ±0.02, riding the rejoin path through every cut.
+func TestChaosSoak(t *testing.T) {
+	train, test := planted(60, 50, 3000, 11)
+	const epochs = 20
+
+	run := func(wrap func(Dialer) Dialer, wcfg func() WorkerConfig) (*Report, float64) {
+		t.Helper()
+		pn := NewPipeNet()
+		ln, err := pn.Listen("coord")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Dialer = pn
+		if wrap != nil {
+			d = wrap(pn)
+		}
+		cfg := testConfig(3, epochs)
+		cfg.Test = test
+		rep, f, err, errs := cluster(t, d, ln, train, cfg,
+			[]WorkerConfig{wcfg(), wcfg(), wcfg()}, nil)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		for i, werr := range errs {
+			// A worker cut in the run's final moments keeps re-dialing a
+			// coordinator that already finished and exits with a dial
+			// failure — a benign straggler, not a lost worker mid-run.
+			if werr != nil && !strings.Contains(werr.Error(), "failed after") {
+				t.Fatalf("worker %d gave up mid-run: %v", i, werr)
+			}
+		}
+		return rep, model.RMSE(f, test)
+	}
+
+	_, cleanRMSE := run(nil, testWorkerConfig)
+
+	h := chaos.New(chaos.Config{
+		Seed:     42,
+		PLatency: 0.05, LatencyMin: 200 * time.Microsecond, LatencyMax: 2 * time.Millisecond,
+		PTimeout: 0.001,
+		PReset:   0.0005,
+	})
+	soakCfg := func() WorkerConfig {
+		w := testWorkerConfig()
+		w.DialAttempts = 10
+		w.Rejoins = 1000 // the soak must never lose a worker for good
+		return w
+	}
+	rep, soakRMSE := run(func(d Dialer) Dialer { return h.Dialer(d) }, soakCfg)
+
+	st := h.Stats()
+	if st.Latencies == 0 && st.Timeouts == 0 && st.Resets == 0 {
+		t.Fatal("chaos harness injected nothing; the soak proved nothing")
+	}
+	if rep.Epochs != epochs {
+		t.Fatalf("soak ended at epoch %d, want %d", rep.Epochs, epochs)
+	}
+	if diff := soakRMSE - cleanRMSE; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("soak RMSE %v vs clean RMSE %v: outside ±0.02 (faults: %+v)", soakRMSE, cleanRMSE, st)
+	}
+	t.Logf("soak: rmse=%.4f clean=%.4f rejoins=%d failures=%d reclaimed=%d faults=%+v",
+		soakRMSE, cleanRMSE, rep.WorkerRejoins, rep.WorkerFailures, rep.ColumnsReclaimed, st)
+}
+
+// --- manifest ---
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.hfac.manifest")
+	man := &Manifest{
+		RunID: 0xabcdef, Epoch: 3, Epochs: 10,
+		K: 8, LambdaP: 0.01, LambdaQ: 0.02, Gamma: 0.05, Seed: 7,
+		Workers: 3, Rows: 60, Cols: 50, Bounds: []int{0, 20, 40, 60},
+	}
+	if err := man.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != man.RunID || got.Epoch != 3 || got.Workers != 3 || len(got.Bounds) != 4 {
+		t.Fatalf("round trip: %+v", got)
+	}
+
+	if _, err := LoadManifest(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing manifest loaded")
+	}
+	bad := *man
+	bad.RunID = 0
+	if err := bad.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("manifest without a run id accepted")
+	}
+	bad = *man
+	bad.Epoch = 11 // beyond Epochs
+	if err := bad.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("manifest with epoch beyond the run accepted")
+	}
+}
+
+// --- cancellable send backoff ---
+
+type stuckWriteConn struct{ net.Conn }
+
+func (stuckWriteConn) Write([]byte) (int, error) { return 0, stuckErr{} }
+
+type stuckErr struct{}
+
+func (stuckErr) Error() string   { return "injected write timeout" }
+func (stuckErr) Timeout() bool   { return true }
+func (stuckErr) Temporary() bool { return true }
+
+// TestWriteFrameBackoffCancellable: a send stuck in its retry ladder must
+// abort the moment the owning run's done channel closes, instead of serving
+// out the full exponential backoff.
+func TestWriteFrameBackoffCancellable(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan struct{})
+	ret := make(chan error, 1)
+	go func() {
+		// 30 retries ≈ many minutes of doubling backoff if uncancelled.
+		_, err := writeFrame(stuckWriteConn{Conn: a}, mHeartbeat, nil, time.Second, 30, done)
+		ret <- err
+	}()
+	time.Sleep(25 * time.Millisecond) // let it enter the ladder
+	close(done)
+	select {
+	case err := <-ret:
+		if err == nil || !strings.Contains(err.Error(), net.ErrClosed.Error()) {
+			t.Fatalf("cancelled send returned %v, want wrapped net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writeFrame ignored the done channel")
+	}
+}

@@ -31,8 +31,14 @@ import (
 )
 
 // protocolVersion is checked at handshake; coordinator and workers must be
-// built from the same protocol generation.
-const protocolVersion = 1
+// built from the same protocol generation. Version 2 added run identity to
+// the handshake (hello.RunID/PrevID, welcome.RunID) for worker rejoin and
+// coordinator resume.
+const protocolVersion = 2
+
+// noPrevID is hello.PrevID's sentinel for a worker that has never held a
+// slot in this run (a fresh join rather than a rejoin).
+const noPrevID = ^uint32(0)
 
 // msgType discriminates frames. The handshake is Hello → Welcome → Assign;
 // training is ColTask/ColDone with interleaved Heartbeats; epoch boundaries
@@ -76,15 +82,22 @@ func (t msgType) String() string {
 	return fmt.Sprintf("msgType(%d)", uint8(t))
 }
 
-// hello opens a worker session.
+// hello opens a worker session. RunID is 0 on a fresh join; a rejoining
+// worker echoes the run it was welcomed into, and PrevID the slot it held,
+// so a (possibly restarted) coordinator can treat it as the same worker
+// instead of a stranger. PrevID is noPrevID when the worker never had one.
 type hello struct {
 	Version uint32
+	RunID   uint64
+	PrevID  uint32
 }
 
-// welcome acknowledges a worker and sets its heartbeat cadence.
+// welcome acknowledges a worker, sets its heartbeat cadence, and names the
+// run so the worker can identify itself if it ever has to rejoin.
 type welcome struct {
 	ID             uint32
 	HeartbeatMilli uint32
+	RunID          uint64
 }
 
 // assign hands a worker its hyperparameters and row partition [RowLo,RowHi)
@@ -221,21 +234,23 @@ func (d *dec) finish() error {
 	return nil
 }
 
-func (m hello) encode() []byte { return appendU32(nil, m.Version) }
+func (m hello) encode() []byte {
+	return appendU32(appendU64(appendU32(nil, m.Version), m.RunID), m.PrevID)
+}
 
 func decodeHello(b []byte) (hello, error) {
 	d := &dec{b: b}
-	m := hello{Version: d.u32()}
+	m := hello{Version: d.u32(), RunID: d.u64(), PrevID: d.u32()}
 	return m, d.finish()
 }
 
 func (m welcome) encode() []byte {
-	return appendU32(appendU32(nil, m.ID), m.HeartbeatMilli)
+	return appendU64(appendU32(appendU32(nil, m.ID), m.HeartbeatMilli), m.RunID)
 }
 
 func decodeWelcome(b []byte) (welcome, error) {
 	d := &dec{b: b}
-	m := welcome{ID: d.u32(), HeartbeatMilli: d.u32()}
+	m := welcome{ID: d.u32(), HeartbeatMilli: d.u32(), RunID: d.u64()}
 	return m, d.finish()
 }
 

@@ -27,6 +27,11 @@ type WorkerConfig struct {
 	// is silent while it evaluates RMSE and writes checkpoints at epoch
 	// boundaries, so this is deliberately generous.
 	ReadTimeout time.Duration
+	// Rejoins bounds how many times a broken coordinator link is re-dialed
+	// before the worker gives up; 0 means 5, negative disables rejoining.
+	// Each attempt gets the full DialAttempts ladder — that window is what
+	// rides out a coordinator restart without losing the worker fleet.
+	Rejoins int
 	// Metrics receives the node's hsgd_dist_* series; nil disables export.
 	Metrics *Metrics
 
@@ -52,6 +57,9 @@ func (c *WorkerConfig) fill() {
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 2 * time.Minute
 	}
+	if c.Rejoins == 0 {
+		c.Rejoins = 5
+	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(nil, "worker")
 	}
@@ -64,37 +72,81 @@ func (c *WorkerConfig) fill() {
 // the worker trains only the rows of its assigned partition, re-indexing
 // when a re-Assign moves the partition boundary.
 //
+// A broken link is not fatal: the worker remembers the run id and slot it
+// was welcomed into and re-dials up to cfg.Rejoins times, presenting both
+// in the next hello so the (possibly restarted) coordinator re-admits it as
+// the same worker and re-Assigns its partition. Only transport failures are
+// retried this way — protocol violations, decode errors, and an exhausted
+// dial ladder are terminal.
+//
 // Work returns nil on a clean Done, the context error when ctx fires, and
-// the transport error when the coordinator link breaks.
+// the final transport error when the rejoin budget runs out.
 func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg WorkerConfig) error {
 	cfg.fill()
 	if train.NNZ() == 0 {
 		return sparse.ErrEmpty
 	}
+	runID, prevID := uint64(0), noPrevID
+	for attempt := 0; ; attempt++ {
+		err := workSession(ctx, d, addr, train, &cfg, &runID, &prevID)
+		var le *linkError
+		if !errors.As(err, &le) {
+			return err // clean Done (nil) or a terminal failure
+		}
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		if cfg.Rejoins < 0 || attempt >= cfg.Rejoins {
+			return le.err
+		}
+		cfg.Metrics.Rejoins.Inc()
+		// A brief pause before re-dialing gives the coordinator time to
+		// notice the dead link and free the slot this worker asks for.
+		select {
+		case <-time.After(cfg.DialBackoff):
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
+	}
+}
+
+// linkError marks a transport failure underneath a healthy protocol — the
+// one class of session error a re-dial can fix.
+type linkError struct{ err error }
+
+func (e *linkError) Error() string { return e.err.Error() }
+func (e *linkError) Unwrap() error { return e.err }
+
+// workSession runs one dial → handshake → serve session against the
+// coordinator. runID and prevID carry the worker's identity across
+// sessions: zero-valued on the first dial, they are set from the welcome so
+// a later rejoin can prove continuity.
+func workSession(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg *WorkerConfig, runID *uint64, prevID *uint32) error {
 	conn, err := dialRetry(ctx, d, addr, cfg.DialAttempts, cfg.DialBackoff)
 	if err != nil {
-		return err
+		return err // the full dial ladder failed: the coordinator is gone
 	}
-	l := &link{c: conn, m: cfg.Metrics, sendTimeout: cfg.SendTimeout, retries: cfg.SendRetries}
+	// sessionDone tears the session down: it unblocks the heartbeat ticker
+	// and any writeFrame retry backoff, and the watcher below turns a ctx
+	// cancellation into a closed connection to unblock the read loop.
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	l := &link{c: conn, m: cfg.Metrics, sendTimeout: cfg.SendTimeout, retries: cfg.SendRetries, done: sessionDone}
 	defer l.close()
-
-	// A context watcher unblocks the read loop by closing the connection.
-	watchDone := make(chan struct{})
-	defer close(watchDone)
 	go func() {
 		select {
 		case <-ctx.Done():
 			l.close()
-		case <-watchDone:
+		case <-sessionDone:
 		}
 	}()
 
-	if err := l.send(mHello, hello{Version: protocolVersion}.encode()); err != nil {
-		return err
+	if err := l.send(mHello, hello{Version: protocolVersion, RunID: *runID, PrevID: *prevID}.encode()); err != nil {
+		return &linkError{err}
 	}
 	t, payload, err := l.recv(cfg.ReadTimeout)
 	if err != nil {
-		return wrapCtx(ctx, fmt.Errorf("dist: waiting for welcome: %w", err))
+		return &linkError{wrapCtx(ctx, fmt.Errorf("dist: waiting for welcome: %w", err))}
 	}
 	if t != mWelcome {
 		return fmt.Errorf("dist: expected welcome, got %s", t)
@@ -103,6 +155,9 @@ func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg 
 	if err != nil {
 		return err
 	}
+	// Remember the run and slot for any future rejoin hello.
+	*runID = w.RunID
+	*prevID = w.ID
 
 	// Heartbeats keep the coordinator's liveness window open while the
 	// worker has no column in hand (idle tail of an epoch, slow peers).
@@ -117,18 +172,18 @@ func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg 
 						return
 					}
 					cfg.Metrics.Heartbeats.Inc()
-				case <-watchDone:
+				case <-sessionDone:
 					return
 				}
 			}
 		}()
 	}
 
-	st := &workerRun{train: train, cfg: &cfg, link: l}
+	st := &workerRun{train: train, cfg: cfg, link: l}
 	for {
 		t, payload, err := l.recv(cfg.ReadTimeout)
 		if err != nil {
-			return wrapCtx(ctx, fmt.Errorf("dist: coordinator link: %w", err))
+			return &linkError{wrapCtx(ctx, fmt.Errorf("dist: coordinator link: %w", err))}
 		}
 		switch t {
 		case mAssign:
@@ -145,9 +200,10 @@ func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg 
 				return err
 			}
 			if err := st.visit(task); err != nil {
-				// A failed return send usually means the ctx watcher closed
-				// the link; report the cancellation, not its symptom.
-				return wrapCtx(ctx, err)
+				// The return send failed — the ctx watcher closed the link,
+				// or the link itself broke mid-send. Either way a transport
+				// problem: rejoinable (the rejoin loop re-checks ctx first).
+				return &linkError{wrapCtx(ctx, err)}
 			}
 		case mEpochSync:
 			es, err := decodeEpochSync(payload)
@@ -155,7 +211,7 @@ func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg 
 				return err
 			}
 			if err := st.sync(es); err != nil {
-				return wrapCtx(ctx, err)
+				return &linkError{wrapCtx(ctx, err)}
 			}
 		case mDone:
 			return nil

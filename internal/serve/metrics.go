@@ -47,6 +47,11 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("hsgd_requests_total", cntHelp, obs.Labels{"endpoint": "recommend"}, s.nRecommend.Load)
 	reg.CounterFunc("hsgd_requests_total", cntHelp, obs.Labels{"endpoint": "similar_items"}, s.nSimilar.Load)
 	reg.CounterFunc("hsgd_request_errors_total", "requests answered with an error status", nil, s.nErrors.Load)
+	reg.CounterFunc("hsgd_http_shed_total", "requests answered 429 at the in-flight cap", nil, s.nShed.Load)
+	reg.CounterFunc("hsgd_http_panics_total", "handler panics recovered into 500 responses", nil, s.nPanics.Load)
+	reg.GaugeFunc("hsgd_http_inflight", "admitted /v1 requests currently being handled", nil, func() float64 {
+		return float64(s.InFlight())
+	})
 	reg.CounterFunc("hsgd_fold_ins_total", "cold-start fold-in rankings served", nil, s.nFoldIn.Load)
 	reg.CounterFunc("hsgd_cache_hits_total", "result-cache hits", nil, s.nCacheHit.Load)
 	reg.CounterFunc("hsgd_cache_misses_total", "result-cache misses", nil, s.nCacheMiss.Load)

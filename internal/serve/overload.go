@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Overload protection defaults. The in-flight cap is deliberately generous —
+// it exists to convert collapse into fast 429s when the scorer saturates,
+// not to police well-behaved traffic.
+const (
+	DefaultMaxInFlight    = 256
+	DefaultRequestTimeout = 5 * time.Second
+)
+
+// protect wraps a /v1 handler in the overload stack, innermost first:
+//
+//	deadline   — http.TimeoutHandler answers 503 when handling overruns
+//	             RequestTimeout, so one slow ranking cannot hold a client
+//	             (or an in-flight slot) forever
+//	shedding   — a semaphore caps concurrent requests; arrivals past the
+//	             cap get an immediate 429 + Retry-After instead of queueing
+//	             behind a saturated scorer
+//	recovery   — a panicking handler answers 500 and increments
+//	             hsgd_http_panics_total instead of silently resetting the
+//	             connection
+//
+// Recovery is outermost so it also catches panics re-raised by the timeout
+// handler's goroutine plumbing.
+func (s *Server) protect(h http.Handler) http.Handler {
+	if s.requestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.requestTimeout, `{"error":"request deadline exceeded"}`+"\n")
+	}
+	h = s.shed(h)
+	return s.recoverPanics(h)
+}
+
+// shed admits the request if an in-flight slot is free and answers 429
+// otherwise. The semaphore spans the whole downstream stack, deadline
+// included, so a pile-up of timed-out-but-still-running rankings counts
+// against the cap like any other work.
+func (s *Server) shed(h http.Handler) http.Handler {
+	if s.limiter == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.limiter <- struct{}{}:
+			defer func() { <-s.limiter }()
+			h.ServeHTTP(w, r)
+		default:
+			s.nShed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusTooManyRequests,
+				errorResponse{Error: "server overloaded: in-flight request cap reached"})
+		}
+	})
+}
+
+// recoverPanics turns a handler panic into a 500 response and a counted
+// event. http.ErrAbortHandler is re-raised — it is net/http's sanctioned
+// way to abort a response, not a bug to report.
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.nPanics.Add(1)
+			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op on the status line, but the client still sees the
+			// connection complete instead of resetting.
+			s.fail(w, http.StatusInternalServerError, "internal error")
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// handleReady is the routing check, distinct from handleHealth's liveness
+// check: 200 only while the server holds a snapshot AND is not draining.
+// Load balancers should gate on /readyz; process supervisors on /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.store.Current() == nil:
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no snapshot"})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// BeginDrain flips /readyz to 503 while /healthz and in-flight requests
+// keep answering. Call it before http.Server.Shutdown and give the load
+// balancer a probe interval to pull this instance; Shutdown then drains
+// only stragglers instead of racing live traffic.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight is the current number of admitted-and-running /v1 requests
+// (0 when shedding is disabled).
+func (s *Server) InFlight() int {
+	if s.limiter == nil {
+		return 0
+	}
+	return len(s.limiter)
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// overloadServer builds a Server (not just its handler) so tests can reach
+// the semaphore and drain switch directly.
+func overloadServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		store := NewStore()
+		if _, err := store.Publish(uniformFactors(2, 8, 2, 1, 1), "overload"); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = store
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestShedAtInFlightCap(t *testing.T) {
+	srv, ts := overloadServer(t, Config{Shards: 1, MaxInFlight: 1})
+
+	// Occupy the single slot directly; the next /v1 request must shed.
+	srv.limiter <- struct{}{}
+	resp, err := http.Get(ts.URL + "/v1/predict?user=0&item=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated predict: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After header")
+	}
+	if got := srv.nShed.Load(); got != 1 {
+		t.Fatalf("nShed = %d, want 1", got)
+	}
+
+	// Operational endpoints are exempt from the cap.
+	for _, path := range []string{"/healthz", "/readyz", "/statsz", "/metricz"} {
+		getBody(t, ts.URL+path, http.StatusOK, nil)
+	}
+
+	// Freeing the slot restores service.
+	<-srv.limiter
+	getBody(t, ts.URL+"/v1/predict?user=0&item=0", http.StatusOK, nil)
+
+	// The shed shows up on the scrape.
+	mresp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), "hsgd_http_shed_total 1") {
+		t.Fatalf("metricz missing hsgd_http_shed_total 1:\n%s", raw)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	srv, _ := overloadServer(t, Config{Shards: 1})
+	log.SetOutput(io.Discard) // the recovery path logs the stack on purpose
+	defer log.SetOutput(os.Stderr)
+
+	h := srv.protect(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("scorer exploded")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/predict", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
+	}
+	if got := srv.nPanics.Load(); got != 1 {
+		t.Fatalf("nPanics = %d, want 1", got)
+	}
+	// The in-flight slot must have been released despite the panic.
+	if got := srv.InFlight(); got != 0 {
+		t.Fatalf("InFlight after panic = %d, want 0", got)
+	}
+}
+
+func TestRequestDeadline(t *testing.T) {
+	srv, _ := overloadServer(t, Config{Shards: 1, RequestTimeout: 20 * time.Millisecond})
+
+	release := make(chan struct{})
+	defer close(release)
+	h := srv.protect(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done(): // TimeoutHandler cancels the request ctx
+		}
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/recommend", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overrunning handler: status %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Fatalf("timeout body = %q", rec.Body.String())
+	}
+}
+
+func TestReadyzDrain(t *testing.T) {
+	// Before any snapshot: alive but not ready.
+	store := NewStore()
+	srv, err := New(Config{Store: store, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	getBody(t, ts.URL+"/readyz", http.StatusServiceUnavailable, nil)
+
+	if _, err := store.Publish(uniformFactors(2, 8, 2, 1, 1), "v1"); err != nil {
+		t.Fatal(err)
+	}
+	getBody(t, ts.URL+"/readyz", http.StatusOK, nil)
+
+	// Draining flips readiness only: health and live traffic keep working.
+	srv.BeginDrain()
+	var ready map[string]string
+	getBody(t, ts.URL+"/readyz", http.StatusServiceUnavailable, &ready)
+	if ready["status"] != "draining" {
+		t.Fatalf("readyz status = %q, want draining", ready["status"])
+	}
+	getBody(t, ts.URL+"/healthz", http.StatusOK, nil)
+	getBody(t, ts.URL+"/v1/predict?user=0&item=0", http.StatusOK, nil)
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+}

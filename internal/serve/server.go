@@ -41,6 +41,16 @@ type Config struct {
 	// a private one. Pass a shared registry when the process also runs a
 	// trainer (or a -debug-addr listener) so one scrape sees everything.
 	Metrics *obs.Registry
+	// MaxInFlight caps concurrently-handled /v1 requests; arrivals beyond
+	// the cap are shed immediately with 429 + Retry-After instead of piling
+	// onto an already-saturated scorer. 0 picks DefaultMaxInFlight; negative
+	// disables shedding. Operational endpoints (/healthz, /readyz, /statsz,
+	// /metricz) are never shed.
+	MaxInFlight int
+	// RequestTimeout bounds each /v1 request's total handling time; a
+	// request over the deadline answers 503. 0 picks DefaultRequestTimeout;
+	// negative disables the deadline.
+	RequestTimeout time.Duration
 }
 
 // Server is the HTTP JSON API over a snapshot store:
@@ -50,6 +60,7 @@ type Config struct {
 //	POST /v1/recommend                      cold-start fold-in from ratings
 //	GET  /v1/similar-items?item=V&k=10      item-to-item cosine retrieval
 //	GET  /healthz                           200 once a snapshot is live
+//	GET  /readyz                            200 while taking traffic; 503 draining
 //	GET  /statsz                            counters + snapshot metadata
 //	GET  /metricz                           Prometheus text-format metrics
 //
@@ -65,6 +76,9 @@ type Server struct {
 
 	nPredict, nRecommend, nFoldIn, nSimilar atomic.Int64
 	nErrors, nCacheHit, nCacheMiss          atomic.Int64
+	// nShed counts /v1 requests answered 429 at the in-flight cap; nPanics
+	// counts handler panics recovered into 500s.
+	nShed, nPanics atomic.Int64
 	// nQuantScans counts rankings served by the quantized path and
 	// nRerankDepth the candidates it rescored exactly — their ratio is the
 	// measured rerank depth /statsz reports.
@@ -73,6 +87,13 @@ type Server struct {
 	// posting lists it probed and nIVFCands the candidates it int8-scored —
 	// the measured probe work /statsz and /metricz export.
 	nIVFScans, nIVFProbes, nIVFCands atomic.Int64
+
+	// limiter is the in-flight /v1 semaphore (nil disables shedding);
+	// requestTimeout is the per-request deadline (0 disables); draining
+	// flips /readyz to 503 ahead of a graceful shutdown.
+	limiter        chan struct{}
+	requestTimeout time.Duration
+	draining       atomic.Bool
 
 	m *serverMetrics
 
@@ -123,6 +144,17 @@ func New(cfg Config) (*Server, error) {
 		foldInLambda: cfg.FoldInLambda,
 		maxK:         maxK,
 		start:        time.Now(),
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	if maxInFlight > 0 {
+		s.limiter = make(chan struct{}, maxInFlight)
+	}
+	s.requestTimeout = cfg.RequestTimeout
+	if s.requestTimeout == 0 {
+		s.requestTimeout = DefaultRequestTimeout
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -230,16 +262,20 @@ func (sc *reqScratch) seenSet(exclude []int32) map[int32]bool {
 }
 
 // Handler returns the route mux. It is what cmd/hsgd-serve mounts and what
-// the tests drive through httptest.
+// the tests drive through httptest. The /v1 routes run behind the overload
+// stack (panic recovery, in-flight shedding, per-request deadline); the
+// operational endpoints stay bare so a saturated scorer never blinds probes
+// or scrapes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statsz", s.handleStats)
 	mux.Handle("GET /metricz", obs.Handler(s.m.reg))
-	mux.HandleFunc("GET /v1/predict", timed(s.m.predict, s.handlePredict))
-	mux.HandleFunc("GET /v1/recommend", timed(s.m.recommendGet, s.handleRecommendGet))
-	mux.HandleFunc("POST /v1/recommend", timed(s.m.recommendPost, s.handleRecommendPost))
-	mux.HandleFunc("GET /v1/similar-items", timed(s.m.similar, s.handleSimilar))
+	mux.Handle("GET /v1/predict", s.protect(timed(s.m.predict, s.handlePredict)))
+	mux.Handle("GET /v1/recommend", s.protect(timed(s.m.recommendGet, s.handleRecommendGet)))
+	mux.Handle("POST /v1/recommend", s.protect(timed(s.m.recommendPost, s.handleRecommendPost)))
+	mux.Handle("GET /v1/similar-items", s.protect(timed(s.m.similar, s.handleSimilar)))
 	return mux
 }
 
@@ -352,6 +388,9 @@ type requestStats struct {
 	FoldIn    int64 `json:"fold_in"`
 	Similar   int64 `json:"similar_items"`
 	Errors    int64 `json:"errors"`
+	Shed      int64 `json:"shed"`
+	Panics    int64 `json:"panics"`
+	InFlight  int   `json:"in_flight"`
 }
 
 type cacheStats struct {
@@ -370,6 +409,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FoldIn:    s.nFoldIn.Load(),
 			Similar:   s.nSimilar.Load(),
 			Errors:    s.nErrors.Load(),
+			Shed:      s.nShed.Load(),
+			Panics:    s.nPanics.Load(),
+			InFlight:  s.InFlight(),
 		},
 		Cache: cacheStats{
 			Hits:    s.nCacheHit.Load(),
