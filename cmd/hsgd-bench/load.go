@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsgd/internal/obs"
+)
+
+// The closed-loop load harness (-mode load) drives a live hsgd-serve over
+// real HTTP at a fixed concurrency: every worker goroutine issues one
+// request, waits for the full response, observes the latency client-side,
+// and immediately issues the next — so the offered load adapts to what the
+// server sustains instead of overrunning it open-loop. The request mix is
+// weighted across the four /v1 surfaces (predict, recommend, similar-items,
+// and cold-start fold-in POSTs), query ids are drawn from the live
+// snapshot's own shape (probed from /statsz), and the report lands in
+// BENCH_load.json with per-endpoint p50/p99/p999, total throughput, and the
+// shed/error counts that show whether the server was degrading under the
+// offered load.
+
+// loadEndpointStats is one endpoint's client-side view of the run.
+type loadEndpointStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"` // non-2xx answers other than 429, plus transport failures
+	Shed     uint64  `json:"shed_429"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+}
+
+type loadReport struct {
+	Target      string  `json:"target"`
+	DurationS   float64 `json:"duration_s"`
+	Concurrency int     `json:"concurrency"`
+	Mix         string  `json:"mix"`
+	Users       int     `json:"users"` // snapshot shape probed from /statsz
+	Items       int     `json:"items"`
+	Seed        int64   `json:"seed"`
+
+	TotalRequests uint64  `json:"total_requests"`
+	Throughput    float64 `json:"throughput_rps"`
+	TotalShed     uint64  `json:"total_shed_429"`
+	TotalErrors   uint64  `json:"total_errors"`
+
+	Endpoints map[string]loadEndpointStats `json:"endpoints"`
+
+	Meta obs.RunMeta `json:"meta"`
+}
+
+// loadCounters is one endpoint's shared hot-path state: a lock-free
+// histogram for latencies plus three atomic counters the workers bump.
+type loadCounters struct {
+	hist *obs.Histogram
+	n    atomic.Uint64
+	errs atomic.Uint64
+	shed atomic.Uint64
+}
+
+// parseMix turns "predict=30,recommend=50,similar=15,foldin=5" into a
+// cumulative-weight table for O(log n) weighted draws.
+func parseMix(s string) (names []string, cum []int, total int, err error) {
+	known := map[string]bool{"predict": true, "recommend": true, "similar": true, "foldin": true}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, nil, 0, fmt.Errorf("bad -mix entry %q (want name=weight)", part)
+		}
+		if !known[name] {
+			return nil, nil, 0, fmt.Errorf("unknown -mix endpoint %q (want predict|recommend|similar|foldin)", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, nil, 0, fmt.Errorf("bad -mix weight %q", val)
+		}
+		if w == 0 {
+			continue
+		}
+		total += w
+		names = append(names, name)
+		cum = append(cum, total)
+	}
+	if total == 0 {
+		return nil, nil, 0, fmt.Errorf("-mix %q has no positive weights", s)
+	}
+	return names, cum, total, nil
+}
+
+// probeShape asks the target's /statsz for the live snapshot's user and item
+// counts so the generated queries hit real ids.
+func probeShape(ctx context.Context, client *http.Client, target string) (users, items int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/statsz", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("probing %s/statsz: %w", target, err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Snapshot *struct {
+			Users int `json:"users"`
+			Items int `json:"items"`
+		} `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, 0, fmt.Errorf("decoding /statsz: %w", err)
+	}
+	if stats.Snapshot == nil || stats.Snapshot.Users <= 0 || stats.Snapshot.Items <= 0 {
+		return 0, 0, fmt.Errorf("target %s has no loaded snapshot", target)
+	}
+	return stats.Snapshot.Users, stats.Snapshot.Items, nil
+}
+
+// runLoad drives the closed loop and writes the BENCH_load.json report.
+func runLoad(ctx context.Context, target string, duration time.Duration, concurrency int, mix string, seed int64, out string) error {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	target = strings.TrimRight(target, "/")
+	names, cum, total, err := parseMix(mix)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency * 2,
+			MaxIdleConnsPerHost: concurrency * 2,
+		},
+	}
+	users, items, err := probeShape(ctx, client, target)
+	if err != nil {
+		return err
+	}
+
+	counters := map[string]*loadCounters{}
+	for _, n := range names {
+		counters[n] = &loadCounters{hist: obs.NewHistogram(nil)}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(worker)*7919))
+			for runCtx.Err() == nil {
+				name := names[sort.SearchInts(cum, rng.Intn(total)+1)]
+				c := counters[name]
+				reqStart := time.Now()
+				status, err := fireRequest(runCtx, client, target, name, rng, users, items)
+				if runCtx.Err() != nil && err != nil {
+					return // the deadline cut this request short; don't count it
+				}
+				c.hist.ObserveSince(reqStart)
+				c.n.Add(1)
+				switch {
+				case err != nil:
+					c.errs.Add(1)
+				case status == http.StatusTooManyRequests:
+					c.shed.Add(1)
+				case status < 200 || status > 299:
+					c.errs.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := loadReport{
+		Target: target, DurationS: elapsed, Concurrency: concurrency, Mix: mix,
+		Users: users, Items: items, Seed: seed,
+		Endpoints: map[string]loadEndpointStats{},
+	}
+	for _, n := range names {
+		c := counters[n]
+		st := loadEndpointStats{
+			Requests: c.n.Load(), Errors: c.errs.Load(), Shed: c.shed.Load(),
+			QPS:    float64(c.n.Load()) / elapsed,
+			P50Ms:  c.hist.Quantile(0.50) * 1e3,
+			P99Ms:  c.hist.Quantile(0.99) * 1e3,
+			P999Ms: c.hist.Quantile(0.999) * 1e3,
+		}
+		rep.Endpoints[n] = st
+		rep.TotalRequests += st.Requests
+		rep.TotalShed += st.Shed
+		rep.TotalErrors += st.Errors
+	}
+	rep.Throughput = float64(rep.TotalRequests) / elapsed
+	rep.Meta = runMeta()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("load %s: %d requests in %.1fs at concurrency %d — %.0f rps, %d shed, %d errors\n",
+		target, rep.TotalRequests, elapsed, concurrency, rep.Throughput, rep.TotalShed, rep.TotalErrors)
+	for _, n := range names {
+		st := rep.Endpoints[n]
+		fmt.Printf("  %-9s %7d reqs  %7.0f qps  p50 %6.2f ms  p99 %6.2f ms  p99.9 %6.2f ms\n",
+			n, st.Requests, st.QPS, st.P50Ms, st.P99Ms, st.P999Ms)
+	}
+	fmt.Printf("report written to %s\n", out)
+	if rep.TotalRequests == 0 {
+		return fmt.Errorf("no requests completed against %s", target)
+	}
+	return nil
+}
+
+// fireRequest issues one request of the named kind and fully drains the
+// response, so the measured latency covers the body and the connection goes
+// back to the pool.
+func fireRequest(ctx context.Context, client *http.Client, target, name string, rng *rand.Rand, users, items int) (int, error) {
+	var req *http.Request
+	var err error
+	switch name {
+	case "predict":
+		url := fmt.Sprintf("%s/v1/predict?user=%d&item=%d", target, rng.Intn(users), rng.Intn(items))
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	case "recommend":
+		url := fmt.Sprintf("%s/v1/recommend?user=%d&k=10", target, rng.Intn(users))
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	case "similar":
+		url := fmt.Sprintf("%s/v1/similar-items?item=%d&k=10", target, rng.Intn(items))
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	case "foldin":
+		n := 3 + rng.Intn(6)
+		type rating struct {
+			Item  int32   `json:"item"`
+			Value float32 `json:"value"`
+		}
+		body := struct {
+			K       int      `json:"k"`
+			Ratings []rating `json:"ratings"`
+		}{K: 10}
+		for j := 0; j < n; j++ {
+			body.Ratings = append(body.Ratings, rating{
+				Item: int32(rng.Intn(items)), Value: 1 + rng.Float32()*4,
+			})
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/recommend", &buf)
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	default:
+		return 0, fmt.Errorf("unknown endpoint %q", name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}

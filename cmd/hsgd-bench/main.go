@@ -19,6 +19,11 @@
 //     NOMAD cluster over TCP loopback at the same worker budget
 //     (BENCH_dist.json), with time to the common reachable RMSE and the
 //     wire bytes per epoch of column circulation.
+//   - -mode load: closed-loop HTTP load against a live hsgd-serve (-target)
+//     at fixed -concurrency for -duration, with a weighted -mix of predict,
+//     recommend, similar-items, and cold-start fold-in requests
+//     (BENCH_load.json), reporting client-side p50/p99/p999 per endpoint,
+//     total throughput, and shed/429 counts.
 package main
 
 import (
@@ -88,6 +93,10 @@ func main() {
 		catalog  = flag.Int("catalog", 1, "item-catalog multiplier for serve mode (replicate-and-perturb)")
 		nprobe   = flag.Int("nprobe", 0, "IVF probed-list override for serve mode; 0 means nlist/16")
 		dworkers = flag.Int("dist-workers", 3, "worker count for dist mode (processes and goroutines alike)")
+		target   = flag.String("target", "http://localhost:8080", "live hsgd-serve base URL for load mode")
+		duration = flag.Duration("duration", 10*time.Second, "closed-loop driving time for load mode")
+		conc     = flag.Int("concurrency", 16, "concurrent closed-loop clients for load mode")
+		mix      = flag.String("mix", "predict=30,recommend=45,similar=15,foldin=10", "weighted endpoint mix for load mode (predict|recommend|similar|foldin)")
 		out      = flag.String("out", "", "JSON report path (default BENCH_<mode>.json)")
 		verbose  = flag.Bool("v", false, "stream per-epoch engine progress to stderr")
 	)
@@ -119,8 +128,13 @@ func main() {
 			*out = "BENCH_dist.json"
 		}
 		err = runDist(ctx, *name, *scale, *k, *iters, *dworkers, *seed, *runs, *out, *verbose)
+	case "load":
+		if *out == "" {
+			*out = "BENCH_load.json"
+		}
+		err = runLoad(ctx, *target, *duration, *conc, *mix, *seed, *out)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want train|serve|hetero|dist)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want train|serve|hetero|dist|load)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-bench: %v\n", err)

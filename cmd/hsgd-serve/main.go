@@ -23,7 +23,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"hsgd/internal/obs"
+	olog "hsgd/internal/obs/log"
 	"hsgd/internal/serve"
 )
 
@@ -52,7 +52,9 @@ func main() {
 		nprobe    = flag.Int("nprobe", 0, "IVF posting lists probed per query; 0 means nlist/16")
 		ivfSeed   = flag.Int64("ivf-seed", 1, "k-means seed for the IVF build")
 		rerank    = flag.Int("rerank", 0, "candidate multiplier for quant/ivf scans (rerank·k survive to the exact rerank); 0 means the default")
-		debug     = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ (e.g. localhost:6060); empty disables")
+		debug     = flag.String("debug-addr", "", "auxiliary listen address serving /metricz, /logz and /debug/pprof/ (e.g. localhost:6060); empty disables")
+		slowReq   = flag.Duration("slow-request", 0, "log one structured line (with request and trace ids) for /v1 requests slower than this; 0 disables")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	if *modelPth == "" {
@@ -77,6 +79,7 @@ func main() {
 		drainGrace: *drainWait, maxInFlight: *inflight, requestTimeout: *reqTmout,
 		mode: mode, nlist: *nlist, nprobe: *nprobe, ivfSeed: *ivfSeed,
 		rerank: *rerank, debugAddr: *debug,
+		slowRequest: *slowReq, logLevel: *logLevel,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hsgd-serve: %v\n", err)
@@ -97,9 +100,17 @@ type serveConfig struct {
 	ivfSeed           int64
 	rerank            int
 	debugAddr         string
+	slowRequest       time.Duration
+	logLevel          string
 }
 
 func run(cfg serveConfig) error {
+	// One process-wide logger: human-readable key=value lines on stderr, and
+	// the same records into a lock-free ring served at /logz on the debug
+	// listener so "what just happened" is one curl away.
+	ring := olog.NewRing(1024)
+	logger := olog.New(os.Stderr, olog.ParseLevel(cfg.logLevel), ring)
+
 	store := serve.NewStore()
 	store.SetRetrieval(cfg.mode)
 	store.SetIVF(cfg.nlist, cfg.ivfSeed)
@@ -108,8 +119,9 @@ func run(cfg serveConfig) error {
 		return fmt.Errorf("loading initial snapshot: %w", err)
 	}
 	f := snap.Factors
-	log.Printf("loaded snapshot v%d from %s: %d users × %d items, k=%d",
-		snap.Version, cfg.modelPath, f.M, f.N, f.K)
+	logger.Info("snapshot loaded",
+		"version", fmt.Sprint(snap.Version), "path", cfg.modelPath,
+		"users", fmt.Sprint(f.M), "items", fmt.Sprint(f.N), "k", fmt.Sprint(f.K))
 	switch {
 	case snap.IVF != nil:
 		ix := snap.IVF
@@ -117,15 +129,19 @@ func run(cfg serveConfig) error {
 		if snap.IVFBuild == 0 {
 			src = "loaded from the snapshot's HIVF section"
 		}
-		log.Printf("IVF index %s: %d lists over %d items (%.1f MB), probing %d lists/query, rerank factor %d",
-			src, ix.NList, ix.N, float64(ix.Bytes())/1e6,
-			serve.EffectiveNProbe(cfg.nprobe, ix.NList), serve.EffectiveRerankFactor(cfg.rerank))
+		logger.Info("IVF retrieval active",
+			"index", src, "nlist", fmt.Sprint(ix.NList), "items", fmt.Sprint(ix.N),
+			"mb", fmt.Sprintf("%.1f", float64(ix.Bytes())/1e6),
+			"nprobe", fmt.Sprint(serve.EffectiveNProbe(cfg.nprobe, ix.NList)),
+			"rerank", fmt.Sprint(serve.EffectiveRerankFactor(cfg.rerank)))
 	case snap.Quantized != nil:
-		log.Printf("quantized int8 view built in %v (%.1f MB vs %.1f MB float32); rerank factor %d",
-			snap.QuantBuild, float64(snap.Quantized.Bytes())/1e6, float64(f.N*f.K*4)/1e6,
-			serve.EffectiveRerankFactor(cfg.rerank))
+		logger.Info("quantized retrieval active",
+			"build", snap.QuantBuild.String(),
+			"mb", fmt.Sprintf("%.1f", float64(snap.Quantized.Bytes())/1e6),
+			"float32_mb", fmt.Sprintf("%.1f", float64(f.N*f.K*4)/1e6),
+			"rerank", fmt.Sprint(serve.EffectiveRerankFactor(cfg.rerank)))
 	default:
-		log.Printf("quantization off: serving the exact float32 scan")
+		logger.Info("quantization off: serving the exact float32 scan")
 	}
 
 	server, err := serve.New(serve.Config{
@@ -137,6 +153,8 @@ func run(cfg serveConfig) error {
 		NProbe:         cfg.nprobe,
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.requestTimeout,
+		Logger:         logger,
+		SlowRequest:    cfg.slowRequest,
 	})
 	if err != nil {
 		return err
@@ -146,19 +164,21 @@ func run(cfg serveConfig) error {
 	defer stop()
 	if cfg.watch > 0 {
 		go store.Watch(ctx, cfg.modelPath, cfg.watch)
-		log.Printf("watching %s every %v for hot-swap", cfg.modelPath, cfg.watch)
+		logger.Info("watching snapshot for hot-swap", "path", cfg.modelPath, "every", cfg.watch.String())
 	}
 
 	if cfg.debugAddr != "" {
+		mux := obs.DebugMux(server.Metrics())
+		mux.Handle("/logz", olog.Handler(ring))
 		debugServer := &http.Server{
 			Addr:              cfg.debugAddr,
-			Handler:           obs.DebugMux(server.Metrics()),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("debug listener (metricz + pprof) on %s", cfg.debugAddr)
+			logger.Info("debug listener up (metricz + logz + pprof)", "addr", cfg.debugAddr)
 			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("debug listener: %v", err)
+				logger.Error("debug listener failed", "err", err.Error())
 			}
 		}()
 		// Drain the debug listener too: an in-flight scrape or pprof profile
@@ -179,7 +199,7 @@ func run(cfg serveConfig) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", cfg.addr)
+		logger.Info("serving", "addr", cfg.addr)
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -193,10 +213,10 @@ func run(cfg serveConfig) error {
 	// whatever is still in flight.
 	server.BeginDrain()
 	if cfg.drainGrace > 0 {
-		log.Printf("signal received; /readyz now 503, pausing %v before drain", cfg.drainGrace)
+		logger.Info("signal received; /readyz now 503, pausing before drain", "grace", cfg.drainGrace.String())
 		time.Sleep(cfg.drainGrace)
 	}
-	log.Printf("draining for up to %v", cfg.drain)
+	logger.Info("draining", "timeout", cfg.drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
@@ -205,6 +225,6 @@ func run(cfg serveConfig) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"hsgd/internal/chaos"
 	"hsgd/internal/dist"
 	"hsgd/internal/obs"
+	olog "hsgd/internal/obs/log"
 )
 
 // distConfig is the multi-node slice of the CLI configuration.
@@ -21,6 +21,10 @@ type distConfig struct {
 	listen  string // coordinator bind address
 	peers   string // worker: the coordinator's address
 	workers int    // coordinator: worker processes to wait for
+	// traceOut/traceEpoch drive -dist-trace-out: the coordinator records one
+	// epoch's merged cluster timeline and writes it here as Chrome trace JSON.
+	traceOut   string
+	traceEpoch int
 	// chaos, when non-nil, wraps this node's transport in the deterministic
 	// fault injector (-chaos-* flags) — resilience testing only.
 	chaos *chaos.Config
@@ -30,25 +34,47 @@ type distConfig struct {
 // loads the same ratings file; the coordinator owns evaluation, checkpoints
 // and the final model, workers own row partitions and column visits.
 func runDistributed(ctx context.Context, path string, cfg config, dc distConfig) error {
+	// Structured logs carry the node role on every line; the same records
+	// land in a ring served at /logz on this node's -debug-addr.
+	ring := olog.NewRing(1024)
+	logger := olog.New(os.Stderr, olog.ParseLevel(cfg.logLevel), ring).With("role", dc.role)
+
 	train, err := hsgd.LoadMatrix(path)
 	if err != nil {
 		return err
 	}
 
-	// Each node exports its own hsgd_dist_* series on its own -debug-addr.
+	// The coordinator publishes cluster-wide status snapshots regardless of
+	// whether a debug listener mounts them — publishing is an atomic pointer
+	// swap, and tests/tools can read the board directly.
+	var board *dist.StatusBoard
+	if dc.role == "coordinator" {
+		board = dist.NewStatusBoard()
+	}
+
+	// Each node exports its own hsgd_dist_* series on its own -debug-addr;
+	// the coordinator's listener additionally serves the federated /clusterz
+	// snapshot aggregated from worker heartbeats.
 	var metrics *dist.Metrics
 	if cfg.debugAddr != "" {
 		reg := obs.NewRegistry()
 		metrics = dist.NewMetrics(reg, dc.role)
+		mux := obs.DebugMux(reg)
+		mux.Handle("/logz", olog.Handler(ring))
+		surface := "metricz + logz + pprof"
+		if board != nil {
+			mux.Handle("/clusterz", board.Handler())
+			surface = "metricz + logz + clusterz + pprof"
+		}
 		debugServer := &http.Server{
 			Addr:              cfg.debugAddr,
-			Handler:           obs.DebugMux(reg),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("debug listener (metricz + pprof) on %s", cfg.debugAddr)
+			logger.Info("debug listener up ("+surface+")", "addr", cfg.debugAddr)
 			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("debug listener: %v", err)
+				logger.Error("debug listener failed", "err", err.Error())
 			}
 		}()
 		defer shutdownDebug(debugServer)
@@ -57,11 +83,12 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 	var harness *chaos.Harness
 	if dc.chaos != nil {
 		harness = chaos.New(*dc.chaos)
-		log.Printf("%s: chaos transport enabled (seed %d)", dc.role, dc.chaos.Seed)
+		logger.Info("chaos transport enabled", "seed", fmt.Sprint(dc.chaos.Seed))
 		defer func() {
 			st := harness.Stats()
-			log.Printf("%s: chaos injected %d latencies, %d timeouts, %d resets, %d blackholes",
-				dc.role, st.Latencies, st.Timeouts, st.Resets, st.Blackholes)
+			logger.Info("chaos summary",
+				"latencies", fmt.Sprint(st.Latencies), "timeouts", fmt.Sprint(st.Timeouts),
+				"resets", fmt.Sprint(st.Resets), "blackholes", fmt.Sprint(st.Blackholes))
 		}()
 	}
 
@@ -71,11 +98,11 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 		if harness != nil {
 			dialer = harness.Dialer(dialer)
 		}
-		log.Printf("worker: dialing coordinator at %s", dc.peers)
-		if err := dist.Work(ctx, dialer, dc.peers, train, dist.WorkerConfig{Metrics: metrics}); err != nil {
+		logger.Info("dialing coordinator", "addr", dc.peers)
+		if err := dist.Work(ctx, dialer, dc.peers, train, dist.WorkerConfig{Metrics: metrics, Log: logger}); err != nil {
 			return fmt.Errorf("worker: %w", err)
 		}
-		log.Printf("worker: done")
+		logger.Info("worker done")
 		return nil
 
 	case "coordinator":
@@ -99,7 +126,12 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 		if harness != nil {
 			ln = harness.Listener(ln)
 		}
-		log.Printf("coordinator: waiting for %d workers on %s", dc.workers, ln.Addr())
+		logger.Info("waiting for workers",
+			"want", fmt.Sprint(dc.workers), "addr", ln.Addr().String())
+		var trc *dist.ClusterTrace
+		if dc.traceOut != "" {
+			trc = dist.NewClusterTrace(dc.traceEpoch)
+		}
 		dcfg := dist.Config{
 			K: cfg.k, LambdaP: float32(lp), LambdaQ: float32(lq),
 			Gamma:  float32(cfg.gamma),
@@ -109,6 +141,9 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 			CheckpointPath:  cfg.checkpoint,
 			CheckpointEvery: cfg.checkpointEvery,
 			Metrics:         metrics,
+			Trace:           trc,
+			Status:          board,
+			Log:             logger,
 		}
 		if cfg.progress {
 			dcfg.Progress = progressLine
@@ -134,9 +169,12 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 			dcfg.ResumeBounds = man.Bounds
 			dcfg.Init = init
 			if man.Workers != dc.workers {
-				log.Printf("coordinator: resuming with %d workers (previous run had %d); partitions will be re-cut", dc.workers, man.Workers)
+				logger.Warn("worker count changed across resume; partitions will be re-cut",
+					"now", fmt.Sprint(dc.workers), "was", fmt.Sprint(man.Workers))
 			}
-			log.Printf("coordinator: resuming run %#x from %s at epoch %d/%d", man.RunID, cfg.resume, man.Epoch, cfg.iters)
+			logger.Info("resuming run",
+				"run", fmt.Sprintf("%016x", man.RunID), "from", cfg.resume,
+				"epoch", fmt.Sprintf("%d/%d", man.Epoch, cfg.iters))
 		}
 		rep, f, err := dist.Coordinate(ctx, ln, train, dcfg)
 		if cfg.progress {
@@ -164,6 +202,15 @@ func runDistributed(ctx context.Context, path string, cfg config, dc distConfig)
 		}
 		if rep.Checkpoints > 0 {
 			fmt.Printf("%d checkpoints written to %s\n", rep.Checkpoints, cfg.checkpoint)
+		}
+		if trc != nil {
+			// Written even after an interruption: a partial cluster timeline
+			// of the traced epoch is still loadable.
+			if werr := trc.WriteFile(dc.traceOut); werr != nil {
+				return fmt.Errorf("writing -dist-trace-out: %w", werr)
+			}
+			fmt.Printf("epoch %d cluster trace (%d spans across %d tracks) written to %s\n",
+				trc.Epoch(), trc.Len(), len(trc.Tracks()), dc.traceOut)
 		}
 		if test != nil {
 			fmt.Printf("test RMSE: %.4f\n", rep.FinalRMSE)

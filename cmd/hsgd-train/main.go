@@ -60,7 +60,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,6 +70,7 @@ import (
 	"hsgd"
 	"hsgd/internal/chaos"
 	"hsgd/internal/obs"
+	olog "hsgd/internal/obs/log"
 	"hsgd/internal/progress"
 )
 
@@ -105,7 +105,11 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		trcOut  = flag.String("trace-out", "", "write one epoch's block-schedule timeline as Chrome trace-event JSON to this file (fpsgd/hetero; open in chrome://tracing or ui.perfetto.dev)")
 		trcEp   = flag.Int("trace-epoch", 1, "which epoch -trace-out records, 1-based relative to the run's start")
-		debug   = flag.String("debug-addr", "", "auxiliary listen address serving /metricz and /debug/pprof/ during training (e.g. localhost:6060); empty disables")
+		debug   = flag.String("debug-addr", "", "auxiliary listen address serving /metricz, /logz and /debug/pprof/ during training (e.g. localhost:6060); empty disables")
+		logLvl  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+
+		distTrcOut = flag.String("dist-trace-out", "", "coordinator only: write one epoch's merged cluster timeline (every worker's column hops plus the coordinator's barrier/eval/checkpoint track) as Chrome trace-event JSON to this file")
+		distTrcEp  = flag.Int("dist-trace-epoch", 1, "which epoch -dist-trace-out records, 1-based relative to the run's start")
 
 		distributed = flag.Bool("distributed", false, "run one node of a multi-process NOMAD cluster (see -role)")
 		role        = flag.String("role", "coordinator", "distributed role: coordinator (binds -listen, waits for -dist-workers) or worker (dials -peers)")
@@ -143,6 +147,7 @@ func main() {
 		traceOut:   *trcOut,
 		traceEpoch: *trcEp,
 		debugAddr:  *debug,
+		logLevel:   *logLvl,
 	}
 	// The legacy -mode spelling maps onto the unified trainer set.
 	switch *mode {
@@ -165,7 +170,10 @@ func main() {
 	}
 
 	if *distributed {
-		dc := distConfig{role: *role, listen: *listen, peers: *peers, workers: *distWorkers}
+		dc := distConfig{
+			role: *role, listen: *listen, peers: *peers, workers: *distWorkers,
+			traceOut: *distTrcOut, traceEpoch: *distTrcEp,
+		}
 		if *chaosSeed != 0 {
 			dc.chaos = &chaos.Config{
 				Seed:       *chaosSeed,
@@ -209,6 +217,7 @@ type config struct {
 	traceOut                        string
 	traceEpoch                      int
 	debugAddr                       string
+	logLevel                        string
 }
 
 func run(ctx context.Context, path string, cfg config) error {
@@ -263,8 +272,10 @@ func run(ctx context.Context, path string, cfg config) error {
 		opt.TraceEpoch = cfg.traceEpoch
 	}
 	if cfg.debugAddr != "" {
-		// The debug listener exposes the run's live hsgd_train_* gauges and
-		// pprof while training; it dies with the process.
+		// The debug listener exposes the run's live hsgd_train_* gauges, the
+		// process log ring, and pprof while training; it dies with the process.
+		ring := olog.NewRing(1024)
+		logger := olog.New(os.Stderr, olog.ParseLevel(cfg.logLevel), ring)
 		reg := obs.NewRegistry()
 		sink := progress.MetricsSink(reg)
 		prev := opt.Progress
@@ -274,15 +285,17 @@ func run(ctx context.Context, path string, cfg config) error {
 			}
 			sink(e)
 		}
+		mux := obs.DebugMux(reg)
+		mux.Handle("/logz", olog.Handler(ring))
 		debugServer := &http.Server{
 			Addr:              cfg.debugAddr,
-			Handler:           obs.DebugMux(reg),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("debug listener (metricz + pprof) on %s", cfg.debugAddr)
+			logger.Info("debug listener up (metricz + logz + pprof)", "addr", cfg.debugAddr)
 			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("debug listener: %v", err)
+				logger.Error("debug listener failed", "err", err.Error())
 			}
 		}()
 		defer shutdownDebug(debugServer)

@@ -10,6 +10,8 @@ import (
 
 	"hsgd/internal/cost"
 	"hsgd/internal/model"
+	"hsgd/internal/obs"
+	olog "hsgd/internal/obs/log"
 	"hsgd/internal/progress"
 	"hsgd/internal/sparse"
 )
@@ -55,6 +57,21 @@ type Config struct {
 
 	// Metrics receives the node's hsgd_dist_* series; nil disables export.
 	Metrics *Metrics
+
+	// Trace, when non-nil, records the configured epoch as a cluster-wide
+	// Chrome trace: every column hop on every worker (with worker-side
+	// recv/kernel/reply phases), deaths, rejoins, and the coordinator's
+	// barrier/eval/checkpoint track. Owned by the coordinator main loop
+	// during the run; read it after Coordinate returns.
+	Trace *ClusterTrace
+
+	// Status, when non-nil, receives periodic ClusterStatus snapshots — the
+	// federation feed behind the debug listener's /clusterz endpoint.
+	Status *StatusBoard
+
+	// Log receives structured coordinator logs; every record carries the
+	// run id. Nil disables logging (all call sites are nil-safe).
+	Log *olog.Logger
 
 	// Window is the maximum in-flight columns per worker (default 8):
 	// enough pipelining to hide one round trip, small enough that a dead
@@ -214,8 +231,17 @@ type workerState struct {
 	colCount []int32 // ratings per column inside the partition
 
 	inFlight      map[int32]time.Time // column → dispatch time
+	inFlightSpan  map[int32]uint64    // column → hop span id (traced epoch only)
 	queuedRatings int64
 	lastReturn    time.Time // last ColDone (stall detection)
+	lastSeen      time.Time // last frame of any kind (for /clusterz)
+
+	// circ accumulates this slot's hop latencies (dispatch → ColDone) so
+	// /clusterz can show per-worker circulation quantiles next to the
+	// registry's cluster-wide histogram.
+	circ *obs.Histogram
+	// hb is the latest heartbeat-carried worker-side metric snapshot.
+	hb hbStat
 
 	samples *cost.OnlineSamples
 	// tput is the fitted throughput (ratings/s) used for routing and the
@@ -261,6 +287,8 @@ func Coordinate(ctx context.Context, ln net.Listener, train *sparse.Matrix, cfg 
 		rep:   &Report{Epochs: cfg.StartEpoch, Resumed: cfg.StartEpoch > 0},
 		start: time.Now(),
 		epoch: cfg.StartEpoch,
+		ct:    ctrace{trc: cfg.Trace},
+		log:   cfg.Log.With("run", fmt.Sprintf("%016x", cfg.RunID)),
 	}
 	if cfg.Init != nil {
 		if cfg.Init.M != train.Rows || cfg.Init.N != train.Cols || cfg.Init.K != cfg.K {
@@ -300,6 +328,11 @@ type coordinator struct {
 	syncing  bool
 	awaiting uint64 // workers owing a PSync
 	stopping bool   // interrupt in progress: no new epochs
+
+	ct  ctrace       // cluster-trace recording state (main loop only)
+	log *olog.Logger // run-id-bound structured logger (nil-safe)
+	// statusAt throttles StatusBoard publishes (main loop only).
+	statusAt time.Time
 }
 
 func (c *coordinator) run(ctx context.Context, ln net.Listener) (*Report, *model.Factors, error) {
@@ -343,6 +376,7 @@ func (c *coordinator) run(ctx context.Context, ln net.Listener) (*Report, *model
 		case ev := <-c.events:
 			c.handle(ev)
 		}
+		c.publishStatus(false)
 		// A kill may have reclaimed columns into pending with no further
 		// ColDone coming to trigger their re-dispatch; drain here.
 		if !c.syncing && len(c.pending) > 0 {
@@ -412,11 +446,15 @@ func (c *coordinator) accept(ctx context.Context, ln net.Listener) error {
 		}
 		w := &workerState{
 			id: id, link: l, alive: true,
-			inFlight: make(map[int32]time.Time),
-			samples:  cost.NewOnlineSamples(),
+			inFlight:     make(map[int32]time.Time),
+			inFlightSpan: make(map[int32]uint64),
+			lastSeen:     time.Now(),
+			circ:         obs.NewHistogram(nil),
+			samples:      cost.NewOnlineSamples(),
 		}
 		c.workers = append(c.workers, w)
 		c.live |= w.bit()
+		c.log.Info("worker joined", "slot", fmt.Sprint(id), "addr", conn.RemoteAddr().String())
 		if err := c.assignRows(w, bounds[id], bounds[id+1]); err != nil {
 			return err
 		}
@@ -519,13 +557,19 @@ func (c *coordinator) handleJoin(j joinConn) {
 	w.link = l
 	w.alive = true
 	w.inFlight = make(map[int32]time.Time)
+	w.inFlightSpan = make(map[int32]uint64)
 	w.queuedRatings = 0
 	w.lastReturn = time.Now()
+	w.lastSeen = w.lastReturn
 	c.live |= w.bit()
 	c.zeroSince = time.Time{}
 	c.rep.WorkerRejoins++
 	c.cfg.Metrics.Rejoins.Inc()
 	c.cfg.Metrics.WorkersLive.Set(float64(popcount(c.live)))
+	c.log.Info("worker rejoined", "slot", fmt.Sprint(w.id), "gen", fmt.Sprint(w.gen))
+	if c.ct.started() {
+		c.ct.instant(workerTrack(w.id), "rejoin", obs.Labels{"gen": fmt.Sprint(w.gen)})
+	}
 	if err := c.assignRows(w, 0, 0); err != nil {
 		c.kill(w, fmt.Sprintf("rejoin assign: %v", err))
 		return
@@ -603,9 +647,21 @@ func (c *coordinator) handle(ev event) {
 		c.kill(w, fmt.Sprintf("link error: %v", ev.err))
 		return
 	}
+	w.lastSeen = time.Now()
 	switch ev.t {
 	case mHeartbeat:
-		// Receipt already refreshed the read deadline; nothing else to do.
+		// Receipt already refreshed the read deadline; the payload carries
+		// the worker's metric snapshot plus any spans that had no ColDone
+		// frame to ride (psync phases, mostly).
+		hb, err := decodeHBStat(ev.b)
+		if err != nil {
+			c.kill(w, fmt.Sprintf("bad heartbeat: %v", err))
+			return
+		}
+		if hb.Cols > 0 || hb.Ratings > 0 {
+			w.hb = hb
+		}
+		c.ct.heartbeatSpans(w.id, w.lastSeen, hb.Spans)
 	case mColDone:
 		d, err := decodeColDone(ev.b)
 		if err != nil {
@@ -630,6 +686,11 @@ func (c *coordinator) handle(ev event) {
 // startEpoch seeds every column with the set of live workers holding
 // ratings for it and dispatches the initial wave.
 func (c *coordinator) startEpoch() {
+	if c.ct.arm(c.epoch + 1) {
+		c.log.Info("tracing epoch", "epoch", fmt.Sprint(c.epoch+1),
+			"trace", fmt.Sprintf("%016x", c.ct.trc.TraceID()))
+	}
+	c.log.Debug("epoch started", "epoch", fmt.Sprint(c.epoch+1), "live", fmt.Sprint(popcount(c.live)))
 	cols := c.train.Cols
 	if c.needs == nil {
 		c.needs = make([]uint64, cols)
@@ -673,9 +734,18 @@ func (c *coordinator) dispatch(v int32) bool {
 		return false
 	}
 	task := colTask{Epoch: uint32(c.epoch), Col: uint32(v), Q: c.f.Colvec(v)}
+	if c.ct.active() {
+		// The hop span id travels with the task; the worker parents its
+		// recv/kernel/reply phases under it and ships them back on ColDone.
+		task.TraceID = c.ct.trc.TraceID()
+		task.SpanID = obs.NewSpanID()
+	}
 	if err := best.link.send(mColTask, task.encode()); err != nil {
 		c.kill(best, fmt.Sprintf("send error: %v", err))
 		return c.dispatch(v) // try the remaining workers
+	}
+	if task.SpanID != 0 {
+		best.inFlightSpan[v] = task.SpanID
 	}
 	c.cfg.Metrics.ColumnsSent.Inc()
 	best.inFlight[v] = time.Now()
@@ -747,6 +817,11 @@ func (c *coordinator) onColDone(w *workerState, d colDone) {
 	w.lastReturn = time.Now()
 	c.cfg.Metrics.ColumnsRecv.Inc()
 	c.cfg.Metrics.Circulation.ObserveSince(sentAt)
+	w.circ.Observe(w.lastReturn.Sub(sentAt).Seconds())
+	if hopSpan, traced := w.inFlightSpan[v]; traced {
+		delete(w.inFlightSpan, v)
+		c.ct.hop(w.id, hopSpan, v, d.NRatings, sentAt, w.lastReturn, d.Spans)
+	}
 	copy(c.f.Colvec(v), d.Q)
 	c.rep.TotalUpdates += int64(d.NRatings)
 	if d.Nanos > 0 && d.NRatings > 0 {
@@ -796,9 +871,16 @@ func (c *coordinator) kill(w *workerState, why string) {
 		}
 	}
 	w.inFlight = map[int32]time.Time{}
+	w.inFlightSpan = map[int32]uint64{}
 	w.queuedRatings = 0
 	c.rep.ColumnsReclaimed += int64(reclaimed)
 	c.cfg.Metrics.ColumnsReclaimed.Add(int64(reclaimed))
+	c.log.Warn("worker dead", "slot", fmt.Sprint(w.id), "why", why,
+		"reclaimed", fmt.Sprint(reclaimed), "live", fmt.Sprint(popcount(c.live)))
+	if c.ct.started() {
+		c.ct.instant(workerTrack(w.id), "dead",
+			obs.Labels{"why": why, "reclaimed": fmt.Sprint(reclaimed)})
+	}
 
 	// Columns parked or held elsewhere that still listed the dead worker
 	// finish naturally: parked ones at the next drainPending (which checks
@@ -810,7 +892,6 @@ func (c *coordinator) kill(w *workerState, why string) {
 			c.endEpoch()
 		}
 	}
-	_ = why // reason is carried in the report counters; kept for debugging
 }
 
 // checkStalls kills workers that hold in-flight columns but have returned
@@ -848,7 +929,8 @@ func (c *coordinator) checkStalls() {
 func (c *coordinator) beginSync() {
 	c.syncing = true
 	c.awaiting = 0
-	msg := epochSync{Epoch: uint32(c.epoch)}.encode()
+	traceID, barrierID := c.ct.beginBarrier()
+	msg := epochSync{Epoch: uint32(c.epoch), TraceID: traceID, SpanID: barrierID}.encode()
 	for _, w := range c.workers {
 		if !w.alive {
 			continue
@@ -888,20 +970,29 @@ func (c *coordinator) endEpoch() {
 	if c.stopping {
 		return // interrupt drain: the partial epoch is merged, not counted
 	}
+	barrierEnd := time.Now()
 	c.epoch++
 	c.rep.Epochs = c.epoch
 	c.cfg.Metrics.Epochs.Inc()
 
+	var evalDur time.Duration
 	if c.cfg.Test != nil {
+		evalStart := time.Now()
 		rmse := model.RMSE(c.f, c.cfg.Test)
+		evalDur = time.Since(evalStart)
 		c.rep.FinalRMSE = rmse
 		c.rep.History = append(c.rep.History, EvalPoint{
 			Time: time.Since(c.start).Seconds(), Epoch: c.epoch, RMSE: rmse,
 		})
 	}
 	c.emit(progress.KindEpoch)
+	c.log.Info("epoch complete", "epoch", fmt.Sprint(c.epoch),
+		"rmse", fmt.Sprintf("%.4f", c.rep.FinalRMSE),
+		"updates", fmt.Sprint(c.rep.TotalUpdates), "live", fmt.Sprint(popcount(c.live)))
 
+	var ckptDur time.Duration
 	if c.cfg.CheckpointPath != "" && (c.epoch%c.cfg.CheckpointEvery == 0 || c.epoch == c.cfg.Epochs) {
+		ckptStart := time.Now()
 		if err := c.f.SaveFileAtomic(c.cfg.CheckpointPath); err == nil {
 			c.rep.Checkpoints++
 			// The manifest rides behind its checkpoint: written after, so
@@ -909,9 +1000,13 @@ func (c *coordinator) endEpoch() {
 			// than the model — a resume then retrains that epoch rather
 			// than skipping one.
 			_ = c.manifest().SaveAtomic(ManifestPath(c.cfg.CheckpointPath))
+			ckptDur = time.Since(ckptStart)
 			c.emit(progress.KindCheckpoint)
+			c.log.Info("checkpoint written", "epoch", fmt.Sprint(c.epoch), "path", c.cfg.CheckpointPath)
 		}
 	}
+	c.ct.seal(c.epoch, barrierEnd, evalDur, ckptDur)
+	c.publishStatus(true)
 	if c.epoch >= c.cfg.Epochs || c.live == 0 {
 		return
 	}
@@ -995,6 +1090,50 @@ func meanTaskSize(w *workerState) float64 {
 	return total / cols
 }
 
+// --- status federation ---
+
+// publishStatus snapshots the cluster for /clusterz. Unforced publishes are
+// throttled so the per-event call in the main loop stays cheap; forced ones
+// (epoch boundaries, teardown) always go out.
+func (c *coordinator) publishStatus(force bool) {
+	if c.cfg.Status == nil {
+		return
+	}
+	now := time.Now()
+	if !force && now.Sub(c.statusAt) < 250*time.Millisecond {
+		return
+	}
+	c.statusAt = now
+	s := &ClusterStatus{
+		RunID: c.cfg.RunID, Epoch: c.rep.Epochs, TotalEpochs: c.cfg.Epochs,
+		Syncing: c.syncing, ColsLeft: c.colsLeft,
+		LiveWorkers: popcount(c.live), TotalUpdates: c.rep.TotalUpdates,
+		WorkerFailures: c.rep.WorkerFailures, WorkerRejoins: c.rep.WorkerRejoins,
+		ColumnsReclaimed: c.rep.ColumnsReclaimed,
+		Workers:          make([]WorkerStatus, len(c.workers)),
+	}
+	for i, w := range c.workers {
+		ws := WorkerStatus{
+			Slot: w.id, Alive: w.alive, Generation: w.gen,
+			RowLo: w.lo, RowHi: w.hi, InFlight: len(w.inFlight),
+			ThroughputRPS:  w.tput,
+			ColsDone:       w.hb.Cols,
+			RatingsApplied: w.hb.Ratings,
+			KernelSeconds:  float64(w.hb.KernelNanos) / 1e9,
+			LastSeenMilli:  -1,
+		}
+		if w.circ.Count() > 0 {
+			ws.CircP50Milli = w.circ.Quantile(0.50) * 1e3
+			ws.CircP99Milli = w.circ.Quantile(0.99) * 1e3
+		}
+		if w.alive && !w.lastSeen.IsZero() {
+			ws.LastSeenMilli = float64(now.Sub(w.lastSeen).Nanoseconds()) / 1e6
+		}
+		s.Workers[i] = ws
+	}
+	c.cfg.Status.Publish(s)
+}
+
 // --- teardown ---
 
 func (c *coordinator) emit(kind progress.Kind) {
@@ -1008,6 +1147,7 @@ func (c *coordinator) emit(kind progress.Kind) {
 	}
 	c.cfg.Progress(progress.Event{
 		Kind: kind, Algorithm: "dist", Time: time.Now(),
+		RunID: c.cfg.RunID,
 		Epoch: c.rep.Epochs, TotalEpochs: c.cfg.Epochs,
 		RMSE:          c.rep.FinalRMSE,
 		TotalUpdates:  c.rep.TotalUpdates,
@@ -1053,6 +1193,10 @@ func (c *coordinator) finish(err error) (*Report, *model.Factors, error) {
 	c.rep.BytesSent = c.cfg.Metrics.BytesSent.Value()
 	c.rep.BytesRecv = c.cfg.Metrics.BytesRecv.Value()
 	c.rep.LiveWorkers = popcount(c.live)
+	c.publishStatus(true)
+	c.log.Info("run finished", "epochs", fmt.Sprint(c.rep.Epochs),
+		"rmse", fmt.Sprintf("%.4f", c.rep.FinalRMSE),
+		"failures", fmt.Sprint(c.rep.WorkerFailures), "rejoins", fmt.Sprint(c.rep.WorkerRejoins))
 	if err == nil {
 		c.emit(progress.KindDone)
 	}

@@ -1,0 +1,260 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// --- protocol v3 wire: trace context and span batches ---
+
+func TestWireRoundTripsTraceContext(t *testing.T) {
+	ct := colTask{Epoch: 5, Col: 7, TraceID: 0xaaaa, SpanID: 0xbbbb, Q: []float32{1.5, -2}}
+	gotT, err := decodeColTask(ct.encode())
+	if err != nil || gotT.TraceID != 0xaaaa || gotT.SpanID != 0xbbbb || gotT.Q[1] != -2 {
+		t.Fatalf("coltask trace round trip: %+v err=%v", gotT, err)
+	}
+
+	d := colDone{
+		Epoch: 1, Col: 42, NRatings: 17, Nanos: 123,
+		Spans: []wireSpan{
+			{Kind: wspanRecv, Age: 5000, Dur: 100},
+			{Kind: wspanKernel, Age: 4000, Dur: 3500},
+		},
+		Q: []float32{0.5},
+	}
+	gotD, err := decodeColDone(d.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotD.Spans) != 2 || gotD.Spans[0].Kind != wspanRecv || gotD.Spans[1].Age != 4000 ||
+		gotD.Spans[1].Dur != 3500 || gotD.Q[0] != 0.5 {
+		t.Fatalf("coldone span round trip: %+v", gotD)
+	}
+
+	hb := hbStat{
+		Cols: 9, Ratings: 900, KernelNanos: 777,
+		Spans: []wireSpan{{Kind: wspanPSync, Age: 100, Dur: 50}},
+	}
+	gotH, err := decodeHBStat(hb.encode())
+	if err != nil || gotH.Cols != 9 || gotH.Ratings != 900 || gotH.KernelNanos != 777 ||
+		len(gotH.Spans) != 1 || gotH.Spans[0].Kind != wspanPSync {
+		t.Fatalf("hbstat round trip: %+v err=%v", gotH, err)
+	}
+
+	es := epochSync{Epoch: 3, TraceID: 0x11, SpanID: 0x22}
+	gotE, err := decodeEpochSync(es.encode())
+	if err != nil || gotE.Epoch != 3 || gotE.TraceID != 0x11 || gotE.SpanID != 0x22 {
+		t.Fatalf("epochsync round trip: %+v err=%v", gotE, err)
+	}
+}
+
+func TestWireHeartbeatToleratesEmptyPayload(t *testing.T) {
+	// A v2-style empty heartbeat must decode to a zero snapshot, not error:
+	// that keeps the liveness path compatible during mixed-version moments.
+	hb, err := decodeHBStat(nil)
+	if err != nil || hb.Cols != 0 || len(hb.Spans) != 0 {
+		t.Fatalf("empty heartbeat: %+v err=%v", hb, err)
+	}
+}
+
+func TestWireRejectsOversizedSpanBatch(t *testing.T) {
+	// A span-count prefix past the cap must be rejected before allocating.
+	good := colDone{Epoch: 1, Col: 2, NRatings: 3, Nanos: 4,
+		Spans: []wireSpan{{Kind: wspanRecv, Age: 1, Dur: 1}}}.encode()
+	// The span count lives after Epoch+Col+NRatings (3×u32) + Nanos (u64).
+	off := 4 + 4 + 4 + 8
+	bad := append([]byte(nil), good...)
+	bad[off] = 0xff
+	bad[off+1] = 0xff
+	bad[off+2] = 0xff
+	bad[off+3] = 0x7f
+	if _, err := decodeColDone(bad); err == nil {
+		t.Fatal("oversized span batch accepted")
+	}
+
+	// Truncation anywhere inside the span batch errors rather than panics.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := decodeColDone(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWspanNames(t *testing.T) {
+	if wspanName(wspanRecv) != "recv" || wspanName(wspanKernel) != "kernel" ||
+		wspanName(wspanReply) != "reply" || wspanName(wspanPSync) != "psync" {
+		t.Fatal("span kind names drifted from the trace vocabulary")
+	}
+	if wspanName(99) != "span(99)" {
+		t.Fatalf("unknown kind rendered %q", wspanName(99))
+	}
+}
+
+// --- cluster trace merge ---
+
+// TestClusterTraceMergesAllWorkers runs a 2-worker pipe cluster with an
+// epoch traced and checks the acceptance shape: one valid JSON document
+// holding spans from every worker slot plus the coordinator's barrier track.
+func TestClusterTraceMergesAllWorkers(t *testing.T) {
+	train, _ := planted(40, 30, 1500, 3)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(2, 4)
+	trc := NewClusterTrace(2)
+	board := NewStatusBoard()
+	cfg.Trace = trc
+	cfg.Status = board
+
+	rep, _, err, errs := cluster(t, pn, ln, train, cfg,
+		[]WorkerConfig{testWorkerConfig(), testWorkerConfig()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if rep.Epochs != 4 {
+		t.Fatalf("epochs = %d", rep.Epochs)
+	}
+
+	if trc.TraceID() == 0 {
+		t.Fatal("trace never armed")
+	}
+	tracks := map[string]bool{}
+	for _, tr := range trc.Tracks() {
+		tracks[tr] = true
+	}
+	for _, want := range []string{"coordinator", "worker 0", "worker 1"} {
+		if !tracks[want] {
+			t.Fatalf("merged trace lacks track %q (have %v)", want, trc.Tracks())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err := dec.Decode(&file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// One document: nothing but whitespace may follow.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		t.Fatal("trace file holds more than one JSON document")
+	}
+
+	tids := map[string]int{}
+	for _, e := range file.TraceEvents {
+		if e.Ph == "M" {
+			tids[e.Args["name"].(string)] = e.TID
+		}
+	}
+	spansOn := map[int]int{}
+	names := map[string]int{}
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" {
+			spansOn[e.TID]++
+			names[e.Name]++
+		}
+	}
+	for _, want := range []string{"coordinator", "worker 0", "worker 1"} {
+		if spansOn[tids[want]] == 0 {
+			t.Fatalf("no spans on track %q (names: %v)", want, names)
+		}
+	}
+	if names["epoch 2"] != 1 || names["barrier"] != 1 {
+		t.Fatalf("coordinator barrier track malformed: %v", names)
+	}
+	if names["hop"] == 0 || names["recv"] == 0 || names["kernel"] == 0 {
+		t.Fatalf("worker hop spans missing: %v", names)
+	}
+
+	// The status board federated heartbeat snapshots for both slots.
+	st := board.Current()
+	if st == nil || len(st.Workers) != 2 {
+		t.Fatalf("cluster status = %+v", st)
+	}
+	if st.LiveWorkers != 2 || st.TotalUpdates == 0 {
+		t.Fatalf("cluster status totals = %+v", st)
+	}
+}
+
+// TestClusterTraceEpochOutOfRange asks for an epoch past the run's end: the
+// trace must simply stay empty rather than derail the run.
+func TestClusterTraceUntracedRunUnaffected(t *testing.T) {
+	train, _ := planted(30, 20, 800, 5)
+	pn := NewPipeNet()
+	ln, err := pn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(2, 2)
+	trc := NewClusterTrace(99) // never reached
+	cfg.Trace = trc
+	rep, _, err, errs := cluster(t, pn, ln, train, cfg,
+		[]WorkerConfig{testWorkerConfig(), testWorkerConfig()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if rep.Epochs != 2 {
+		t.Fatalf("epochs = %d", rep.Epochs)
+	}
+	if trc.Len() != 0 {
+		t.Fatalf("untraced run produced %d spans", trc.Len())
+	}
+}
+
+// TestStatusBoardHandler drives the HTTP surface directly.
+func TestStatusBoardHandler(t *testing.T) {
+	board := NewStatusBoard()
+	h := board.Handler()
+
+	// Before the first publish /clusterz answers 503, not an empty object.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/clusterz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("pre-publish status %d, want 503", rec.Code)
+	}
+
+	board.Publish(&ClusterStatus{RunID: 7, Epoch: 2, LiveWorkers: 1,
+		Workers: []WorkerStatus{{Slot: 0, Alive: true}}})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/clusterz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var got ClusterStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != 7 || got.Epoch != 2 || len(got.Workers) != 1 || !got.Workers[0].Alive {
+		t.Fatalf("clusterz = %+v", got)
+	}
+
+	// Publish(nil) is a no-op, not a panic or a wipe.
+	board.Publish(nil)
+	if board.Current() == nil {
+		t.Fatal("nil publish wiped the snapshot")
+	}
+}

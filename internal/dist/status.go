@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// WorkerStatus is one slot's row in the federated cluster view. The
+// coordinator builds it from its own routing state plus the metric
+// snapshot each worker piggybacks on its heartbeats, so /clusterz shows
+// worker-side truth (columns processed, kernel seconds) without a second
+// scrape fan-out.
+type WorkerStatus struct {
+	Slot       int  `json:"slot"`
+	Alive      bool `json:"alive"`
+	Generation int  `json:"generation"` // bumps on every re-admission
+
+	RowLo    int `json:"row_lo"`
+	RowHi    int `json:"row_hi"`
+	InFlight int `json:"in_flight_cols"`
+
+	// ThroughputRPS is the fitted routing throughput (ratings/s); 0 until
+	// the cost model has enough samples.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Heartbeat-carried worker-side session totals.
+	ColsDone       uint64  `json:"cols_done"`
+	RatingsApplied uint64  `json:"ratings_applied"`
+	KernelSeconds  float64 `json:"kernel_seconds"`
+
+	// Coordinator-measured circulation latency quantiles for hops routed to
+	// this slot (dispatch → ColDone), milliseconds.
+	CircP50Milli float64 `json:"circulation_p50_ms"`
+	CircP99Milli float64 `json:"circulation_p99_ms"`
+
+	// LastSeenMilli is how long ago the slot's last frame arrived; -1 for a
+	// dead slot.
+	LastSeenMilli float64 `json:"last_seen_ms"`
+}
+
+// ClusterStatus is the coordinator's aggregated cluster snapshot served on
+// /clusterz.
+type ClusterStatus struct {
+	RunID       uint64 `json:"run_id"`
+	Epoch       int    `json:"epoch"` // completed epochs
+	TotalEpochs int    `json:"total_epochs"`
+	Syncing     bool   `json:"syncing"`
+	ColsLeft    int    `json:"cols_left"`
+
+	LiveWorkers      int   `json:"live_workers"`
+	TotalUpdates     int64 `json:"total_updates"`
+	WorkerFailures   int   `json:"worker_failures"`
+	WorkerRejoins    int   `json:"worker_rejoins"`
+	ColumnsReclaimed int64 `json:"columns_reclaimed"`
+
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// StatusBoard publishes ClusterStatus snapshots from the coordinator's main
+// loop to HTTP readers with one atomic pointer swap — the debug listener
+// never touches coordinator state.
+type StatusBoard struct {
+	cur atomic.Pointer[ClusterStatus]
+}
+
+// NewStatusBoard returns an empty board.
+func NewStatusBoard() *StatusBoard { return &StatusBoard{} }
+
+// Publish replaces the current snapshot. Nil-safe on both sides — a nil
+// board ignores publishes, and a nil snapshot is dropped rather than
+// regressing /clusterz to 503 mid-run.
+func (b *StatusBoard) Publish(s *ClusterStatus) {
+	if b == nil || s == nil {
+		return
+	}
+	b.cur.Store(s)
+}
+
+// Current returns the latest snapshot, nil before the first publish.
+func (b *StatusBoard) Current() *ClusterStatus {
+	if b == nil {
+		return nil
+	}
+	return b.cur.Load()
+}
+
+// Handler serves the latest snapshot as JSON — the /clusterz endpoint.
+func (b *StatusBoard) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := b.Current()
+		if s == nil {
+			http.Error(w, "no cluster snapshot yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+}

@@ -1,0 +1,216 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"hsgd/internal/obs"
+)
+
+// ClusterTrace collects one epoch of a distributed run as a single
+// multi-track Chrome trace: the coordinator's own track (dispatch windows,
+// the sync barrier, evaluation, checkpoint writes, worker deaths and
+// rejoins) plus one track per worker slot carrying every column hop
+// (coordinator-measured dispatch→return interval) with the worker's own
+// recv/kernel/reply phases nested inside it.
+//
+// Worker clocks are never trusted: workers ship span offsets relative to
+// their frame-send instant (wireSpan.Age) and the coordinator anchors each
+// batch on its own clock using the hop's measured round trip — transit is
+// estimated as half the non-working remainder (the RTT-midpoint rule), so
+// a skewed worker clock cannot misplace spans on the merged timeline.
+//
+// The coordinator's single-threaded main loop is the only writer during a
+// run; reading (WriteFile, Len) is safe once Coordinate returned.
+type ClusterTrace struct {
+	epoch  int // 1-based epoch to record
+	merged *obs.MergedTrace
+
+	traceID uint64 // nonzero once the traced epoch started
+	rootID  uint64 // the epoch span every hop hangs under
+}
+
+// NewClusterTrace returns a recorder armed for the given 1-based epoch
+// (values below 1 trace the first epoch).
+func NewClusterTrace(epoch int) *ClusterTrace {
+	if epoch < 1 {
+		epoch = 1
+	}
+	return &ClusterTrace{epoch: epoch, merged: obs.NewMergedTrace()}
+}
+
+// Epoch returns the 1-based epoch the recorder captures.
+func (t *ClusterTrace) Epoch() int { return t.epoch }
+
+// TraceID returns the trace id of the recorded epoch (0 until it starts).
+func (t *ClusterTrace) TraceID() uint64 { return t.traceID }
+
+// Len returns the number of recorded spans.
+func (t *ClusterTrace) Len() int { return t.merged.Len() }
+
+// Tracks returns the recorded track names in tid order.
+func (t *ClusterTrace) Tracks() []string { return t.merged.Tracks() }
+
+// WriteJSON writes the merged timeline as Chrome trace-event JSON.
+func (t *ClusterTrace) WriteJSON(w io.Writer) error { return t.merged.WriteJSON(w) }
+
+// WriteFile writes the merged timeline JSON to path.
+func (t *ClusterTrace) WriteFile(path string) error { return t.merged.WriteFile(path) }
+
+// --- coordinator-side recording (main-loop only) ---
+
+// ctrace is the coordinator's per-run tracing state over a ClusterTrace.
+type ctrace struct {
+	trc   *ClusterTrace
+	armed bool // the traced epoch is in flight
+	// barrier context: set by beginSync on the traced epoch so worker psync
+	// spans (arriving on later heartbeats) can hang under the barrier span.
+	barrierID    uint64
+	barrierStart time.Time
+	epochStart   time.Time
+}
+
+const coordTrack = "coordinator"
+
+func workerTrack(id int) string { return fmt.Sprintf("worker %d", id) }
+
+// arm starts recording if the epoch about to run (1-based) is the traced
+// one. Reports whether tracing is now active.
+func (ct *ctrace) arm(epoch1 int) bool {
+	if ct.trc == nil || epoch1 != ct.trc.epoch {
+		ct.armed = false
+		return false
+	}
+	ct.armed = true
+	ct.trc.traceID = obs.NewTraceID()
+	ct.trc.rootID = obs.NewSpanID()
+	ct.epochStart = time.Now()
+	return true
+}
+
+// active reports whether the current epoch's hops should carry trace
+// context.
+func (ct *ctrace) active() bool { return ct.armed }
+
+// started reports whether the traced epoch has begun — late spans (worker
+// psync phases riding post-epoch heartbeats) are still accepted after the
+// epoch sealed.
+func (ct *ctrace) started() bool { return ct.trc != nil && ct.trc.traceID != 0 }
+
+// span records one interval on the merged timeline.
+func (ct *ctrace) span(track, name string, start time.Time, dur time.Duration, parent uint64, labels obs.Labels) uint64 {
+	id := obs.NewSpanID()
+	ct.trc.merged.Add(obs.Span{
+		Trace: ct.trc.traceID, ID: id, Parent: parent,
+		Name: name, Track: track, Start: start, Dur: dur, Labels: labels,
+	})
+	return id
+}
+
+// instant records a zero-duration marker (rejoins, deaths, reclaims).
+func (ct *ctrace) instant(track, name string, labels obs.Labels) {
+	ct.span(track, name, time.Now(), 0, ct.trc.rootID, labels)
+}
+
+// hop records one traced column visit: the coordinator-measured
+// dispatch→return envelope on the worker's track, with the worker's shipped
+// phases anchored inside it. sentAt/recvAt are the coordinator's own
+// timestamps for the ColTask send and ColDone receipt.
+func (ct *ctrace) hop(workerID int, hopSpan uint64, col int32, n uint32, sentAt, recvAt time.Time, spans []wireSpan) {
+	track := workerTrack(workerID)
+	ct.trc.merged.Add(obs.Span{
+		Trace: ct.trc.traceID, ID: hopSpan, Parent: ct.trc.rootID,
+		Name: "hop", Track: track, Start: sentAt, Dur: recvAt.Sub(sentAt),
+		Labels: obs.Labels{"col": strconv.Itoa(int(col)), "nratings": strconv.Itoa(int(n))},
+	})
+	if len(spans) == 0 {
+		return
+	}
+	// The worker's oldest span starts at its frame receipt, so the largest
+	// Age is its recv→send wall time; what the round trip measured beyond
+	// that was transit, split evenly between the two directions.
+	var wall uint64
+	for _, s := range spans {
+		if s.Age > wall {
+			wall = s.Age
+		}
+	}
+	transit := recvAt.Sub(sentAt) - time.Duration(wall)
+	if transit < 0 {
+		transit = 0
+	}
+	anchor := recvAt.Add(-transit / 2) // the worker's send instant, our clock
+	ct.anchorSpans(track, anchor, ct.trc.traceID, hopSpan, spans)
+}
+
+// heartbeatSpans places spans carried by a heartbeat. With no round trip to
+// split, the batch is anchored at the receive instant — at worst one-way
+// transit early, which on a training link is far below span durations.
+func (ct *ctrace) heartbeatSpans(workerID int, recvAt time.Time, spans []wireSpan) {
+	if !ct.started() || len(spans) == 0 {
+		return
+	}
+	parent := ct.trc.rootID
+	if ct.barrierID != 0 {
+		parent = ct.barrierID
+	}
+	ct.anchorSpans(workerTrack(workerID), recvAt, ct.trc.traceID, parent, spans)
+}
+
+// anchorSpans converts a wire batch into merged spans against the given
+// frame-send anchor.
+func (ct *ctrace) anchorSpans(track string, anchor time.Time, traceID, parent uint64, spans []wireSpan) {
+	for _, s := range spans {
+		ct.trc.merged.Add(obs.Span{
+			Trace: traceID, ID: obs.NewSpanID(), Parent: parent,
+			Name:  wspanName(s.Kind),
+			Track: track,
+			Start: anchor.Add(-time.Duration(s.Age)),
+			Dur:   time.Duration(s.Dur),
+		})
+	}
+}
+
+// beginBarrier opens the merge-barrier span on the traced epoch.
+func (ct *ctrace) beginBarrier() (traceID, spanID uint64) {
+	if !ct.armed {
+		return 0, 0
+	}
+	ct.barrierID = obs.NewSpanID()
+	ct.barrierStart = time.Now()
+	return ct.trc.traceID, ct.barrierID
+}
+
+// seal closes the traced epoch: the barrier span (beginSync → all PSyncs
+// merged), the eval and checkpoint spans measured by endEpoch, and the
+// root epoch span. Tracing then disarms, but late heartbeat spans are
+// still accepted (started() stays true).
+func (ct *ctrace) seal(epoch1 int, barrierEnd time.Time, evalDur, ckptDur time.Duration) {
+	if !ct.armed {
+		return
+	}
+	if ct.barrierID != 0 {
+		ct.trc.merged.Add(obs.Span{
+			Trace: ct.trc.traceID, ID: ct.barrierID, Parent: ct.trc.rootID,
+			Name: "barrier", Track: coordTrack,
+			Start: ct.barrierStart, Dur: barrierEnd.Sub(ct.barrierStart),
+		})
+	}
+	at := barrierEnd
+	if evalDur > 0 {
+		ct.span(coordTrack, "eval", at, evalDur, ct.trc.rootID, nil)
+		at = at.Add(evalDur)
+	}
+	if ckptDur > 0 {
+		ct.span(coordTrack, "checkpoint", at, ckptDur, ct.trc.rootID, nil)
+		at = at.Add(ckptDur)
+	}
+	ct.trc.merged.Add(obs.Span{
+		Trace: ct.trc.traceID, ID: ct.trc.rootID,
+		Name: fmt.Sprintf("epoch %d", epoch1), Track: coordTrack,
+		Start: ct.epochStart, Dur: at.Sub(ct.epochStart),
+	})
+	ct.armed = false
+}

@@ -33,8 +33,15 @@ import (
 // protocolVersion is checked at handshake; coordinator and workers must be
 // built from the same protocol generation. Version 2 added run identity to
 // the handshake (hello.RunID/PrevID, welcome.RunID) for worker rejoin and
-// coordinator resume.
-const protocolVersion = 2
+// coordinator resume. Version 3 added cluster observability: trace context
+// on ColTask and EpochSync, span batches on ColDone and Heartbeat, and a
+// per-worker metric snapshot on every Heartbeat.
+const protocolVersion = 3
+
+// maxSpansPerFrame bounds the span batch a frame may carry, so a corrupt
+// count cannot trigger a giant allocation and a traced worker cannot drown
+// the coordinator in spans (a column visit records a handful).
+const maxSpansPerFrame = 256
 
 // noPrevID is hello.PrevID's sentinel for a worker that has never held a
 // slot in this run (a fresh join rather than a rejoin).
@@ -115,27 +122,83 @@ type assign struct {
 }
 
 // colTask hands ownership of column Col (and its factor vector Q) to the
-// receiving worker for one visit.
+// receiving worker for one visit. TraceID/SpanID carry the coordinator's
+// trace context for the hop: nonzero while the epoch is being traced, in
+// which case the worker times the visit's phases and returns them as spans
+// on the ColDone (SpanID is the parent they hang under).
 type colTask struct {
-	Epoch uint32
-	Col   uint32
-	Q     []float32
+	Epoch   uint32
+	Col     uint32
+	TraceID uint64
+	SpanID  uint64
+	Q       []float32
+}
+
+// wireSpan is one worker-side timed phase shipped back for trace merging.
+// Clocks are never compared across machines: Age is how many nanoseconds
+// before the carrying frame's send instant the phase started, and the
+// coordinator anchors the batch against its own send/receive timestamps
+// (RTT-midpoint transit estimate), so skewed wall clocks cannot misplace
+// spans on the merged timeline.
+type wireSpan struct {
+	Kind uint8
+	Age  uint64 // ns between span start and the carrying frame's send
+	Dur  uint64 // ns
+}
+
+// Worker span kinds. Names are rendered by the coordinator's trace merge.
+const (
+	wspanRecv   = 1 + iota // frame receipt + decode, up to kernel start
+	wspanKernel            // the SGD loop over the column's ratings
+	wspanReply             // kernel end to the ColDone send
+	wspanPSync             // building + sending the epoch-boundary P sync
+)
+
+func wspanName(kind uint8) string {
+	switch kind {
+	case wspanRecv:
+		return "recv"
+	case wspanKernel:
+		return "kernel"
+	case wspanReply:
+		return "reply"
+	case wspanPSync:
+		return "psync"
+	}
+	return fmt.Sprintf("span(%d)", kind)
 }
 
 // colDone returns an updated column to the coordinator, together with the
 // cost sample (ratings applied, processing nanoseconds) that feeds the
-// per-node online cost model.
+// per-node online cost model, and — on traced hops — the visit's phase
+// spans.
 type colDone struct {
 	Epoch    uint32
 	Col      uint32
 	NRatings uint32
 	Nanos    uint64
+	Spans    []wireSpan
 	Q        []float32
 }
 
+// hbStat is the metric snapshot every heartbeat carries: the worker's
+// session totals, from which the coordinator federates whole-cluster
+// throughput on /clusterz without a scrape fan-out. Spans carries phases
+// that had no ColDone to ride on (the epoch-boundary P sync).
+type hbStat struct {
+	Cols        uint64 // column visits completed this session
+	Ratings     uint64 // ratings applied this session
+	KernelNanos uint64 // cumulative SGD kernel time
+	Spans       []wireSpan
+}
+
 // epochSync asks a worker for its P partition at a quiesced epoch boundary.
+// TraceID/SpanID carry the barrier's trace context on traced epochs so the
+// worker's psync span can hang under the coordinator's barrier span.
 type epochSync struct {
-	Epoch uint32
+	Epoch   uint32
+	TraceID uint64
+	SpanID  uint64
 }
 
 // pSync carries a worker's P partition back for merging.
@@ -167,6 +230,17 @@ func appendF32s(b []byte, v []float32) []byte {
 	b = appendU32(b, uint32(len(v)))
 	for _, x := range v {
 		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(x))
+	}
+	return b
+}
+
+// appendSpans encodes a count-prefixed span batch (17 bytes per span).
+func appendSpans(b []byte, spans []wireSpan) []byte {
+	b = appendU32(b, uint32(len(spans)))
+	for _, s := range spans {
+		b = append(b, s.Kind)
+		b = appendU64(b, s.Age)
+		b = appendU64(b, s.Dur)
 	}
 	return b
 }
@@ -206,6 +280,39 @@ func (d *dec) u64() uint64 {
 }
 
 func (d *dec) f32() float32 { return math.Float32frombits(d.u32()) }
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+1 > len(d.b) {
+		d.err = fmt.Errorf("dist: truncated frame at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) spans() []wireSpan {
+	n := d.u32()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxSpansPerFrame {
+		d.err = fmt.Errorf("dist: span batch of %d exceeds the %d cap", n, maxSpansPerFrame)
+		return nil
+	}
+	if d.off+17*int(n) > len(d.b) {
+		d.err = fmt.Errorf("dist: span batch of %d entries overruns frame", n)
+		return nil
+	}
+	v := make([]wireSpan, n)
+	for i := range v {
+		v[i] = wireSpan{Kind: d.u8(), Age: d.u64(), Dur: d.u64()}
+	}
+	return v
+}
 
 func (d *dec) f32s() []float32 {
 	n := d.u32()
@@ -286,40 +393,66 @@ func decodeAssign(b []byte) (assign, error) {
 }
 
 func (m colTask) encode() []byte {
-	b := make([]byte, 0, 12+4*len(m.Q))
+	b := make([]byte, 0, 28+4*len(m.Q))
 	b = appendU32(b, m.Epoch)
 	b = appendU32(b, m.Col)
+	b = appendU64(b, m.TraceID)
+	b = appendU64(b, m.SpanID)
 	b = appendF32s(b, m.Q)
 	return b
 }
 
 func decodeColTask(b []byte) (colTask, error) {
 	d := &dec{b: b}
-	m := colTask{Epoch: d.u32(), Col: d.u32(), Q: d.f32s()}
+	m := colTask{Epoch: d.u32(), Col: d.u32(), TraceID: d.u64(), SpanID: d.u64(), Q: d.f32s()}
 	return m, d.finish()
 }
 
 func (m colDone) encode() []byte {
-	b := make([]byte, 0, 24+4*len(m.Q))
+	b := make([]byte, 0, 28+17*len(m.Spans)+4*len(m.Q))
 	b = appendU32(b, m.Epoch)
 	b = appendU32(b, m.Col)
 	b = appendU32(b, m.NRatings)
 	b = appendU64(b, m.Nanos)
+	b = appendSpans(b, m.Spans)
 	b = appendF32s(b, m.Q)
 	return b
 }
 
 func decodeColDone(b []byte) (colDone, error) {
 	d := &dec{b: b}
-	m := colDone{Epoch: d.u32(), Col: d.u32(), NRatings: d.u32(), Nanos: d.u64(), Q: d.f32s()}
+	m := colDone{Epoch: d.u32(), Col: d.u32(), NRatings: d.u32(), Nanos: d.u64(), Spans: d.spans(), Q: d.f32s()}
 	return m, d.finish()
 }
 
-func (m epochSync) encode() []byte { return appendU32(nil, m.Epoch) }
+func (m hbStat) encode() []byte {
+	b := make([]byte, 0, 28+17*len(m.Spans))
+	b = appendU64(b, m.Cols)
+	b = appendU64(b, m.Ratings)
+	b = appendU64(b, m.KernelNanos)
+	b = appendSpans(b, m.Spans)
+	return b
+}
+
+// decodeHBStat tolerates an empty payload (a bare liveness heartbeat, the
+// v2 form) so heartbeats degrade to pure liveness if a sender skips the
+// snapshot.
+func decodeHBStat(b []byte) (hbStat, error) {
+	if len(b) == 0 {
+		return hbStat{}, nil
+	}
+	d := &dec{b: b}
+	m := hbStat{Cols: d.u64(), Ratings: d.u64(), KernelNanos: d.u64(), Spans: d.spans()}
+	return m, d.finish()
+}
+
+func (m epochSync) encode() []byte {
+	return appendU64(appendU64(appendU32(nil, m.Epoch), m.TraceID), m.SpanID)
+}
 
 func decodeEpochSync(b []byte) (epochSync, error) {
 	d := &dec{b: b}
-	m := epochSync{Epoch: d.u32()}
+	m := epochSync{Epoch: d.u32(), TraceID: d.u64(), SpanID: d.u64()}
 	return m, d.finish()
 }
 

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsgd/internal/model"
+	olog "hsgd/internal/obs/log"
 	"hsgd/internal/sparse"
 )
 
@@ -34,6 +37,9 @@ type WorkerConfig struct {
 	Rejoins int
 	// Metrics receives the node's hsgd_dist_* series; nil disables export.
 	Metrics *Metrics
+	// Log receives structured worker logs; every record is bound with the
+	// run id and slot once the welcome assigns them. Nil disables logging.
+	Log *olog.Logger
 
 	// onColumn, when set, is called before each column visit is processed —
 	// test instrumentation for deterministic fault injection (package-
@@ -100,6 +106,8 @@ func Work(ctx context.Context, d Dialer, addr string, train *sparse.Matrix, cfg 
 			return le.err
 		}
 		cfg.Metrics.Rejoins.Inc()
+		cfg.Log.Warn("coordinator link lost; rejoining",
+			"attempt", fmt.Sprint(attempt+1), "err", le.err.Error())
 		// A brief pause before re-dialing gives the coordinator time to
 		// notice the dead link and free the slot this worker asks for.
 		select {
@@ -158,9 +166,15 @@ func workSession(ctx context.Context, d Dialer, addr string, train *sparse.Matri
 	// Remember the run and slot for any future rejoin hello.
 	*runID = w.RunID
 	*prevID = w.ID
+	lg := cfg.Log.With("run", fmt.Sprintf("%016x", w.RunID), "slot", fmt.Sprint(w.ID))
+	lg.Info("joined run")
+
+	st := &workerRun{train: train, cfg: cfg, link: l, log: lg}
 
 	// Heartbeats keep the coordinator's liveness window open while the
 	// worker has no column in hand (idle tail of an epoch, slow peers).
+	// Each one carries the session's metric snapshot plus any spans that
+	// had no ColDone frame to ride.
 	if w.HeartbeatMilli > 0 {
 		hb := time.NewTicker(time.Duration(w.HeartbeatMilli) * time.Millisecond)
 		defer hb.Stop()
@@ -168,7 +182,7 @@ func workSession(ctx context.Context, d Dialer, addr string, train *sparse.Matri
 			for {
 				select {
 				case <-hb.C:
-					if l.send(mHeartbeat, nil) != nil {
+					if l.send(mHeartbeat, st.heartbeat().encode()) != nil {
 						return
 					}
 					cfg.Metrics.Heartbeats.Inc()
@@ -179,12 +193,12 @@ func workSession(ctx context.Context, d Dialer, addr string, train *sparse.Matri
 		}()
 	}
 
-	st := &workerRun{train: train, cfg: cfg, link: l}
 	for {
 		t, payload, err := l.recv(cfg.ReadTimeout)
 		if err != nil {
 			return &linkError{wrapCtx(ctx, fmt.Errorf("dist: coordinator link: %w", err))}
 		}
+		recvAt := time.Now()
 		switch t {
 		case mAssign:
 			a, err := decodeAssign(payload)
@@ -199,7 +213,7 @@ func workSession(ctx context.Context, d Dialer, addr string, train *sparse.Matri
 			if err != nil {
 				return err
 			}
-			if err := st.visit(task); err != nil {
+			if err := st.visit(task, recvAt); err != nil {
 				// The return send failed — the ctx watcher closed the link,
 				// or the link itself broke mid-send. Either way a transport
 				// problem: rejoinable (the rejoin loop re-checks ctx first).
@@ -239,6 +253,7 @@ type workerRun struct {
 	train *sparse.Matrix
 	cfg   *WorkerConfig
 	link  *link
+	log   *olog.Logger
 
 	k                int
 	lambdaP, lambdaQ float32
@@ -246,6 +261,68 @@ type workerRun struct {
 	lo, hi           int       // row partition [lo,hi)
 	p                []float32 // (hi-lo)·k local row factors
 	byCol            [][]sparse.Rating
+
+	// Session totals, read by the heartbeat goroutine for the hbStat
+	// snapshot while the main loop keeps training.
+	cols    atomic.Uint64
+	ratings atomic.Uint64
+	kernel  atomic.Uint64 // nanoseconds in the SGD loop
+
+	// pending buffers spans with no ColDone frame of their own (reply and
+	// psync phases); the next heartbeat drains and ships them.
+	pendMu  sync.Mutex
+	pending []pendingSpan
+}
+
+// pendingSpan is a span awaiting a carrying frame; Age is computed against
+// the frame's send instant at encode time.
+type pendingSpan struct {
+	kind  uint8
+	start time.Time
+	dur   time.Duration
+}
+
+// pend queues one span for the next heartbeat, dropping the oldest past the
+// per-frame cap (tracing covers one epoch; overflow means the link is far
+// behind and the tail is the interesting part).
+func (s *workerRun) pend(kind uint8, start time.Time, dur time.Duration) {
+	s.pendMu.Lock()
+	if len(s.pending) >= maxSpansPerFrame {
+		s.pending = s.pending[1:]
+	}
+	s.pending = append(s.pending, pendingSpan{kind: kind, start: start, dur: dur})
+	s.pendMu.Unlock()
+}
+
+// heartbeat snapshots the session totals and drains pending spans into a
+// wire batch, aging them against now (the frame is sent immediately after).
+func (s *workerRun) heartbeat() hbStat {
+	stat := hbStat{
+		Cols:        s.cols.Load(),
+		Ratings:     s.ratings.Load(),
+		KernelNanos: s.kernel.Load(),
+	}
+	s.pendMu.Lock()
+	pend := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	if len(pend) > 0 {
+		now := time.Now()
+		stat.Spans = make([]wireSpan, len(pend))
+		for i, p := range pend {
+			stat.Spans[i] = wireSpan{Kind: p.kind, Age: spanAge(now, p.start), Dur: uint64(p.dur)}
+		}
+	}
+	return stat
+}
+
+// spanAge is the wireSpan age encoding: nanoseconds between a span's start
+// and the carrying frame's send instant, clamped at zero.
+func spanAge(send, start time.Time) uint64 {
+	if d := send.Sub(start); d > 0 {
+		return uint64(d)
+	}
+	return 0
 }
 
 // adopt installs an assignment: hyperparameters, the partition's P rows,
@@ -264,6 +341,8 @@ func (s *workerRun) adopt(a assign) error {
 			s.byCol[r.Col] = append(s.byCol[r.Col], r)
 		}
 	}
+	s.log.Debug("assignment adopted",
+		"rows", fmt.Sprintf("[%d,%d)", s.lo, s.hi), "epoch", fmt.Sprint(a.Epoch))
 	return nil
 }
 
@@ -271,7 +350,12 @@ func (s *workerRun) adopt(a assign) error {
 // column, against the circulating q vector, then returns the updated
 // column with its cost sample. Conflict-free by construction: p rows are
 // only ever touched by their owning worker, q only by the current holder.
-func (s *workerRun) visit(t colTask) error {
+//
+// A traced task (nonzero TraceID) additionally ships the visit's recv and
+// kernel phases on the ColDone frame itself; the reply phase cannot know
+// its own send duration, so it rides the next heartbeat instead. recvAt is
+// the frame's receive instant, stamped by the session loop.
+func (s *workerRun) visit(t colTask, recvAt time.Time) error {
 	if s.p == nil {
 		return errors.New("dist: column task before assignment")
 	}
@@ -295,13 +379,27 @@ func (s *workerRun) visit(t colTask) error {
 			q[i] = qi + s.gamma*(e*pi-s.lambdaQ*qi)
 		}
 	}
-	nanos := time.Since(start).Nanoseconds()
+	kernelEnd := time.Now()
+	nanos := kernelEnd.Sub(start).Nanoseconds()
+	s.cols.Add(1)
+	s.ratings.Add(uint64(len(ratings)))
+	s.kernel.Add(uint64(nanos))
 	done := colDone{
 		Epoch: t.Epoch, Col: t.Col,
 		NRatings: uint32(len(ratings)), Nanos: uint64(nanos), Q: q,
 	}
+	if t.TraceID != 0 {
+		sendAt := time.Now() // the frame leaves right after encoding
+		done.Spans = []wireSpan{
+			{Kind: wspanRecv, Age: spanAge(sendAt, recvAt), Dur: uint64(start.Sub(recvAt))},
+			{Kind: wspanKernel, Age: spanAge(sendAt, start), Dur: uint64(kernelEnd.Sub(start))},
+		}
+	}
 	if err := s.link.send(mColDone, done.encode()); err != nil {
 		return err
+	}
+	if t.TraceID != 0 {
+		s.pend(wspanReply, kernelEnd, time.Since(kernelEnd))
 	}
 	s.cfg.Metrics.ColumnsSent.Inc()
 	return nil
@@ -309,8 +407,14 @@ func (s *workerRun) visit(t colTask) error {
 
 // sync ships the partition's P rows back for the coordinator's merge.
 // Frames are processed in order, so every column visit dispatched before
-// the EpochSync has already been applied and returned.
+// the EpochSync has already been applied and returned. On a traced epoch
+// the build+send phase is recorded and rides the next heartbeat.
 func (s *workerRun) sync(e epochSync) error {
+	start := time.Now()
 	msg := pSync{Epoch: e.Epoch, RowLo: uint32(s.lo), RowHi: uint32(s.hi), P: s.p}
-	return s.link.send(mPSync, msg.encode())
+	err := s.link.send(mPSync, msg.encode())
+	if err == nil && e.TraceID != 0 {
+		s.pend(wspanPSync, start, time.Since(start))
+	}
+	return err
 }

@@ -1,0 +1,291 @@
+// Package log is the repo's structured logger: leveled key=value records
+// written to one io.Writer and mirrored into a lock-free ring buffer that
+// both binaries expose as /logz on their debug listeners. It replaces the
+// ad-hoc log.Printf scatter so every line carries its context — run id and
+// worker slot on distributed-training lines, request id on serving lines —
+// and the last N records are inspectable over HTTP without grepping stderr.
+//
+// The package is dependency-free and nil-safe: every method on a nil
+// *Logger is a no-op, so library code logs unconditionally and callers that
+// never wire a logger pay one nil check per call site.
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders record severities.
+type Level int8
+
+// The four severities. Debug records are suppressed by the default logger.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return "LEVEL(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel maps a flag string to a Level (case-insensitive); unknown
+// strings map to LevelInfo.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	}
+	return LevelInfo
+}
+
+// Record is one emitted log entry. KV alternates key, value; bound fields
+// (Logger.With) come first. Seq is the ring's global sequence number,
+// assigned at append time.
+type Record struct {
+	Seq   uint64
+	Time  time.Time
+	Level Level
+	Msg   string
+	KV    []string
+}
+
+// text renders the record in the one-line key=value form both the writer
+// and /logz use.
+func (r *Record) text(b *bytes.Buffer) {
+	b.WriteString(r.Time.UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Msg)
+	for i := 0; i+1 < len(r.KV); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(r.KV[i])
+		b.WriteByte('=')
+		v := r.KV[i+1]
+		if strings.ContainsAny(v, " \t\n\"") {
+			b.WriteString(strconv.Quote(v))
+		} else {
+			b.WriteString(v)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Ring is a fixed-capacity lock-free log buffer: writers claim a slot with
+// one atomic add and publish the record with one atomic pointer store, so
+// appending never contends on a mutex even under concurrent writers. A
+// reader takes a best-effort snapshot — a record being written concurrently
+// may be missing from its slot (nil) or already overwritten by a lapping
+// writer; both are tolerated, this is a debugging window, not a journal.
+type Ring struct {
+	slots []atomic.Pointer[Record]
+	head  atomic.Uint64 // total records ever appended
+	mask  uint64
+}
+
+// NewRing returns a ring of at least n slots (rounded up to a power of two;
+// n <= 0 picks 1024).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Record], size), mask: uint64(size - 1)}
+}
+
+// Append publishes one record, stamping its Seq.
+func (r *Ring) Append(rec *Record) {
+	if r == nil {
+		return
+	}
+	seq := r.head.Add(1) - 1
+	rec.Seq = seq
+	r.slots[seq&r.mask].Store(rec)
+}
+
+// Snapshot returns the most recent records, oldest first. Slots raced by
+// in-flight writers are skipped; records from a lapping writer (Seq ahead
+// of the snapshot window) are kept — they are newer, not wrong.
+func (r *Ring) Snapshot() []*Record {
+	if r == nil {
+		return nil
+	}
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]*Record, 0, head-start)
+	for seq := start; seq < head; seq++ {
+		rec := r.slots[seq&r.mask].Load()
+		// The slot may hold an older generation (writer claimed seq but has
+		// not stored yet) or a newer one (a writer lapped between our head
+		// load and this read). Keep anything inside or ahead of the window.
+		if rec != nil && rec.Seq >= start {
+			out = append(out, rec)
+		}
+	}
+	// Lapping can leave records slightly out of order; one insertion pass
+	// restores it (snapshots are small and rare).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Total returns how many records were ever appended (not the retained
+// count).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Logger writes leveled key=value lines to one writer and mirrors every
+// record into an optional Ring. With derives children carrying bound
+// fields; children share the parent's writer, level, and ring.
+type Logger struct {
+	mu   *sync.Mutex // serialises writes; shared by all children
+	w    io.Writer
+	min  Level
+	ring *Ring
+	kv   []string // bound fields, first in every record
+}
+
+// New returns a logger writing records at or above min to w (nil w
+// discards), mirroring into ring (nil disables the /logz window).
+func New(w io.Writer, min Level, ring *Ring) *Logger {
+	if w == nil {
+		w = io.Discard
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, ring: ring}
+}
+
+// Default returns a stderr logger at LevelInfo with no ring — the fallback
+// for packages handed a nil logger but still needing to report panics.
+func Default() *Logger { return New(os.Stderr, LevelInfo, nil) }
+
+// With returns a child logger whose records carry the given key-value
+// pairs before any per-call pairs. With on a nil logger returns nil.
+func (l *Logger) With(kv ...string) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	child := *l
+	child.kv = append(append(make([]string, 0, len(l.kv)+len(kv)), l.kv...), kv...)
+	return &child
+}
+
+// Ring returns the logger's ring buffer (nil when none was attached).
+func (l *Logger) Ring() *Ring {
+	if l == nil {
+		return nil
+	}
+	return l.ring
+}
+
+// Debug emits a LevelDebug record.
+func (l *Logger) Debug(msg string, kv ...string) { l.log(LevelDebug, msg, kv) }
+
+// Info emits a LevelInfo record.
+func (l *Logger) Info(msg string, kv ...string) { l.log(LevelInfo, msg, kv) }
+
+// Warn emits a LevelWarn record.
+func (l *Logger) Warn(msg string, kv ...string) { l.log(LevelWarn, msg, kv) }
+
+// Error emits a LevelError record.
+func (l *Logger) Error(msg string, kv ...string) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []string) {
+	if l == nil || lv < l.min {
+		return
+	}
+	rec := &Record{Time: time.Now(), Level: lv, Msg: msg}
+	if len(l.kv) > 0 || len(kv) > 0 {
+		rec.KV = append(append(make([]string, 0, len(l.kv)+len(kv)), l.kv...), kv...)
+	}
+	l.ring.Append(rec)
+	var buf bytes.Buffer
+	rec.text(&buf)
+	l.mu.Lock()
+	_, _ = l.w.Write(buf.Bytes())
+	l.mu.Unlock()
+}
+
+// recordJSON is the /logz?format=json shape of one record.
+type recordJSON struct {
+	Seq   uint64            `json:"seq"`
+	Time  string            `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	KV    map[string]string `json:"kv,omitempty"`
+}
+
+// Handler returns the /logz HTTP handler over ring: the retained records as
+// text lines, or as a JSON array with ?format=json. A nil ring serves an
+// empty window.
+func Handler(ring *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		recs := ring.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			out := make([]recordJSON, len(recs))
+			for i, r := range recs {
+				rj := recordJSON{
+					Seq: r.Seq, Time: r.Time.UTC().Format(time.RFC3339Nano),
+					Level: r.Level.String(), Msg: r.Msg,
+				}
+				if len(r.KV) > 0 {
+					rj.KV = make(map[string]string, len(r.KV)/2)
+					for j := 0; j+1 < len(r.KV); j += 2 {
+						rj.KV[r.KV[j]] = r.KV[j+1]
+					}
+				}
+				out[i] = rj
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(out)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var buf bytes.Buffer
+		for _, r := range recs {
+			r.text(&buf)
+			if buf.Len() > 1<<16 {
+				_, _ = w.Write(buf.Bytes())
+				buf.Reset()
+			}
+		}
+		_, _ = w.Write(buf.Bytes())
+	})
+}

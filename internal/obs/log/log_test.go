@@ -1,0 +1,190 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerTextAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo, nil)
+	l.Debug("hidden")
+	l.Info("model loaded", "path", "m.hfac", "k", "16")
+	l.Warn("slow request", "dur", "1.2 s") // value with a space gets quoted
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug record leaked past LevelInfo")
+	}
+	if !strings.Contains(out, "INFO model loaded path=m.hfac k=16") {
+		t.Fatalf("info line malformed: %q", out)
+	}
+	if !strings.Contains(out, `dur="1.2 s"`) {
+		t.Fatalf("spacey value not quoted: %q", out)
+	}
+}
+
+func TestLoggerWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug, nil).With("run", "abc", "slot", "2")
+	l.Info("joined", "gen", "1")
+	if !strings.Contains(buf.String(), "joined run=abc slot=2 gen=1") {
+		t.Fatalf("bound fields missing or misordered: %q", buf.String())
+	}
+	// Children must not share the parent's bound slice backing array.
+	l2 := l.With("extra", "x")
+	l2.Info("second")
+	l.Info("third")
+	if strings.Contains(lastLine(buf.String()), "extra") {
+		t.Fatalf("child fields leaked into parent: %q", buf.String())
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing")
+	l.Error("nothing", "k", "v")
+	if l.With("a", "b") != nil {
+		t.Fatal("With on nil should stay nil")
+	}
+	if l.Ring() != nil {
+		t.Fatal("Ring on nil should be nil")
+	}
+	var r *Ring
+	r.Append(&Record{})
+	if r.Snapshot() != nil || r.Total() != 0 {
+		t.Fatal("nil ring should be inert")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, " warn ": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo, "": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRingRetainsRecentRecords(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		r.Append(&Record{Msg: fmt.Sprintf("m%d", i)})
+	}
+	recs := r.Snapshot()
+	if len(recs) != 8 {
+		t.Fatalf("retained %d records, want 8", len(recs))
+	}
+	for i, rec := range recs {
+		if want := fmt.Sprintf("m%d", 12+i); rec.Msg != want {
+			t.Fatalf("slot %d = %q, want %q", i, rec.Msg, want)
+		}
+	}
+	if r.Total() != 20 {
+		t.Fatalf("total = %d, want 20", r.Total())
+	}
+}
+
+// TestRingConcurrentWriters hammers one ring from many goroutines while a
+// reader snapshots continuously — run under -race this is the lock-free
+// publication proof. Snapshots must never contain nils, never exceed the
+// capacity, and always come back ordered by sequence.
+func TestRingConcurrentWriters(t *testing.T) {
+	const writers = 8
+	const perWriter = 2000
+	r := NewRing(64)
+	var readerWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // concurrent reader
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			recs := r.Snapshot()
+			if len(recs) > 64 {
+				t.Errorf("snapshot of %d exceeds capacity", len(recs))
+				return
+			}
+			for i, rec := range recs {
+				if rec == nil {
+					t.Error("nil record in snapshot")
+					return
+				}
+				if i > 0 && recs[i-1].Seq > rec.Seq {
+					t.Errorf("snapshot out of order: %d after %d", rec.Seq, recs[i-1].Seq)
+					return
+				}
+			}
+		}
+	}()
+	lg := New(nil, LevelDebug, r) // nil writer: ring-only logging
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			bound := lg.With("writer", fmt.Sprint(w))
+			for i := 0; i < perWriter; i++ {
+				bound.Info("tick", "i", fmt.Sprint(i))
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if r.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*perWriter)
+	}
+}
+
+func TestLogzHandler(t *testing.T) {
+	r := NewRing(16)
+	lg := New(nil, LevelDebug, r)
+	lg.Info("first", "k", "v")
+	lg.Warn("second")
+
+	h := Handler(r)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/logz", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "INFO first k=v") || !strings.Contains(body, "WARN second") {
+		t.Fatalf("text /logz missing records: %q", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/logz?format=json", nil))
+	var out []struct {
+		Seq   uint64            `json:"seq"`
+		Level string            `json:"level"`
+		Msg   string            `json:"msg"`
+		KV    map[string]string `json:"kv"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("json /logz: %v", err)
+	}
+	if len(out) != 2 || out[0].Msg != "first" || out[0].KV["k"] != "v" || out[1].Level != "WARN" {
+		t.Fatalf("json /logz = %+v", out)
+	}
+
+	// A nil ring serves an empty window rather than panicking.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/logz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil-ring /logz status %d", rec.Code)
+	}
+}

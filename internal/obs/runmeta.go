@@ -21,6 +21,28 @@ type RunMeta struct {
 	Timestamp string `json:"timestamp_utc"`
 }
 
+// RegisterBuildInfo exports meta as the info-style gauge
+// hsgd_build_info{goversion,goos,goarch,avx2} = 1 — the Prometheus idiom
+// for constant build/machine facts, so one scrape attributes a node's
+// series to the binary and hardware that produced them.
+func RegisterBuildInfo(reg *Registry, meta RunMeta) {
+	if reg == nil {
+		return
+	}
+	avx2 := "false"
+	if meta.AVX2 {
+		avx2 = "true"
+	}
+	reg.Gauge("hsgd_build_info",
+		"Constant 1; the labels carry the binary's build and machine shape.",
+		Labels{
+			"goversion": meta.GoVersion,
+			"goos":      meta.GOOS,
+			"goarch":    meta.GOARCH,
+			"avx2":      avx2,
+		}).Set(1)
+}
+
 // CollectRunMeta snapshots the current process's machine shape. AVX2 is
 // passed in by the caller (obs stays dependency-free; the serving package
 // owns the CPUID detection).

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation inside a distributed trace: a trace id tying
+// every hop of one logical operation together, its own span id, the parent
+// span that caused it, and a (start, duration) interval placed on a named
+// track of the merged timeline. It is the cross-process sibling of Trace's
+// in-process spans — the dist wire protocol carries the (Trace, ID, Parent)
+// triple across machines and the coordinator reassembles the intervals into
+// one Chrome trace.
+type Span struct {
+	Trace  uint64 // trace id shared by every span of one operation; 0 = untraced
+	ID     uint64 // this span's id
+	Parent uint64 // causing span's id; 0 = root
+
+	Name  string // rendered event name ("hop", "kernel", "barrier", ...)
+	Track string // timeline track ("coordinator", "worker 2", ...)
+
+	Start time.Time
+	Dur   time.Duration
+
+	// Labels are small trace annotations rendered into the event's args
+	// block (column id, rating count, reclaim reason). Nil is the common
+	// case and costs nothing.
+	Labels Labels
+}
+
+var spanSeq atomic.Uint64
+
+// idRand seeds the per-process high bits of generated ids so two processes
+// of one cluster never collide even though each counts from zero.
+var idRand = func() uint64 {
+	r := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<21))
+	return r.Uint64()
+}()
+
+// NewTraceID returns a process-unique nonzero trace id.
+func NewTraceID() uint64 { return NewSpanID() }
+
+// NewSpanID returns a process-unique nonzero span id: random per-process
+// high bits plus an atomic counter, so allocation is one atomic add.
+func NewSpanID() uint64 {
+	for {
+		id := idRand ^ spanSeq.Add(1)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// SpanRecorder accumulates spans on one node for batched shipping — the
+// worker side of cross-process tracing. Record is a mutex append (spans are
+// per-column-visit, milliseconds apart); Drain takes the batch for
+// piggybacking on the next outbound frame.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Record appends one span.
+func (r *SpanRecorder) Record(s Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Drain returns the accumulated spans and clears the recorder.
+func (r *SpanRecorder) Drain() []Span {
+	r.mu.Lock()
+	out := r.spans
+	r.spans = nil
+	r.mu.Unlock()
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (r *SpanRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// MergedTrace assembles spans from many nodes into one multi-track Chrome
+// trace-event timeline: each distinct Track becomes a tid with a
+// thread_name metadata record, and every span becomes a complete ("X")
+// event stamped with its trace/span/parent ids. The zero value is unusable;
+// use NewMergedTrace.
+type MergedTrace struct {
+	mu     sync.Mutex
+	spans  []Span
+	tids   map[string]int
+	tracks []string // in first-seen order, for deterministic tids
+}
+
+// NewMergedTrace returns an empty merged timeline.
+func NewMergedTrace() *MergedTrace {
+	return &MergedTrace{tids: make(map[string]int)}
+}
+
+// Add appends spans to the timeline, assigning each new track the next tid.
+func (m *MergedTrace) Add(spans ...Span) {
+	m.mu.Lock()
+	for _, s := range spans {
+		if _, ok := m.tids[s.Track]; !ok {
+			m.tids[s.Track] = len(m.tracks)
+			m.tracks = append(m.tracks, s.Track)
+		}
+		m.spans = append(m.spans, s)
+	}
+	m.mu.Unlock()
+}
+
+// Len returns the number of merged spans.
+func (m *MergedTrace) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.spans)
+}
+
+// Tracks returns the track names in tid order.
+func (m *MergedTrace) Tracks() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.tracks))
+	copy(out, m.tracks)
+	return out
+}
+
+// Events renders the merged spans as trace-event entries. The timeline
+// origin is the earliest span start, so cross-node spans (already aligned
+// to the coordinator's clock by the caller) land on one consistent axis.
+// Events are emitted in start order, which chrome://tracing prefers.
+func (m *MergedTrace) Events() []traceEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	events := make([]traceEvent, 0, len(m.spans)+len(m.tracks))
+	for i, name := range m.tracks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: i,
+			Args: map[string]any{"name": name},
+		})
+	}
+	var base time.Time
+	for _, s := range m.spans {
+		if base.IsZero() || s.Start.Before(base) {
+			base = s.Start
+		}
+	}
+	ordered := make([]Span, len(m.spans))
+	copy(ordered, m.spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start.Before(ordered[j].Start) })
+	for _, s := range ordered {
+		e := traceEvent{
+			Name: s.Name, Ph: "X", PID: 0, TID: m.tids[s.Track],
+			TS:  float64(s.Start.Sub(base).Nanoseconds()) / 1e3,
+			Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+		}
+		if s.Trace != 0 || len(s.Labels) > 0 {
+			args := make(map[string]any, len(s.Labels)+3)
+			if s.Trace != 0 {
+				args["trace"] = s.Trace
+				args["span"] = s.ID
+				if s.Parent != 0 {
+					args["parent"] = s.Parent
+				}
+			}
+			for k, v := range s.Labels {
+				args[k] = v
+			}
+			e.Args = args
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// WriteJSON writes the merged timeline in Chrome trace-event JSON form.
+func (m *MergedTrace) WriteJSON(w io.Writer) error {
+	return writeTraceFile(w, m.Events())
+}
+
+// WriteFile writes the merged timeline JSON to path.
+func (m *MergedTrace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

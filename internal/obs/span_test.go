@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewSpanIDNonzeroAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if id == 0 {
+			t.Fatal("zero span id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span id %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanRecorderDrain(t *testing.T) {
+	var r SpanRecorder
+	r.Record(Span{Name: "a"})
+	r.Record(Span{Name: "b"})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	got := r.Drain()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("drain = %+v", got)
+	}
+	if r.Len() != 0 || r.Drain() != nil {
+		t.Fatal("drain did not clear the recorder")
+	}
+}
+
+func TestMergedTraceEventsAndJSON(t *testing.T) {
+	m := NewMergedTrace()
+	base := time.Unix(100, 0)
+	m.Add(
+		Span{Trace: 7, ID: 1, Name: "epoch", Track: "coordinator", Start: base, Dur: 10 * time.Millisecond},
+		Span{Trace: 7, ID: 2, Parent: 1, Name: "hop", Track: "worker 0",
+			Start: base.Add(time.Millisecond), Dur: 2 * time.Millisecond,
+			Labels: Labels{"col": "3"}},
+		Span{Trace: 7, ID: 3, Parent: 1, Name: "hop", Track: "worker 1",
+			Start: base.Add(2 * time.Millisecond), Dur: time.Millisecond},
+	)
+	if got := m.Tracks(); len(got) != 3 || got[0] != "coordinator" || got[1] != "worker 0" {
+		t.Fatalf("tracks = %v", got)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("len = %d", m.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not one valid JSON document: %v", err)
+	}
+	var metas, complete int
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+		case "X":
+			complete++
+			if e.TS < 0 {
+				t.Fatalf("negative timestamp on %q", e.Name)
+			}
+			if e.Args["trace"] == nil || e.Args["span"] == nil {
+				t.Fatalf("event %q lost its trace context: %v", e.Name, e.Args)
+			}
+		}
+	}
+	if metas != 3 || complete != 3 {
+		t.Fatalf("got %d thread_name metas and %d complete events, want 3 and 3", metas, complete)
+	}
+	// The hop carried its label through rendering.
+	found := false
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" && e.Args["col"] == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("span label did not survive into the event args")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	h := FormatTraceparent(0xdeadbeef12345678, 0xabcdef)
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent %q has the wrong shape", h)
+	}
+	trace, span, ok := ParseTraceparent(h)
+	if !ok || trace != 0xdeadbeef12345678 || span != 0xabcdef {
+		t.Fatalf("parse(%q) = %x %x %v", h, trace, span, ok)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-short-01",
+		"ff-00000000000000000000000000000001-0000000000000001-01", // unknown version
+		"00-0000000000000000000000000000000g-0000000000000001-01", // non-hex
+		"00-00000000000000000000000000000000-0000000000000000-01", // all-zero ids
+		strings.Repeat("0", 55),                                   // right length, no dashes
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+}
+
+func TestTraceparentHighBitsFallback(t *testing.T) {
+	// A remote peer with a 128-bit trace id whose low half is zero must not
+	// be treated as untraced: the high half is used instead.
+	h := "00-123456789abcdef00000000000000000-0000000000000001-01"
+	trace, span, ok := ParseTraceparent(h)
+	if !ok || trace != 0x123456789abcdef0 || span != 1 {
+		t.Fatalf("parse(%q) = %x %x %v", h, trace, span, ok)
+	}
+}

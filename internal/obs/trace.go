@@ -149,8 +149,14 @@ func (t *Trace) Events() []traceEvent {
 // WriteJSON writes the trace in Chrome trace-event JSON form, loadable by
 // chrome://tracing and ui.perfetto.dev.
 func (t *Trace) WriteJSON(w io.Writer) error {
+	return writeTraceFile(w, t.Events())
+}
+
+// writeTraceFile wraps rendered events in the trace-event envelope — shared
+// by the single-process Trace and the cluster-wide MergedTrace.
+func writeTraceFile(w io.Writer, events []traceEvent) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
 // WriteFile writes the trace JSON to path.

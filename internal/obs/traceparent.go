@@ -1,0 +1,62 @@
+package obs
+
+import "strconv"
+
+// W3C traceparent support (https://www.w3.org/TR/trace-context/): the
+// header form is
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// This repo's trace ids are 64-bit, so they occupy the low half of the
+// 128-bit trace-id field with the high half zero; incoming 128-bit ids are
+// folded to their low 64 bits so external traces still correlate.
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(b []byte, v uint64, width int) []byte {
+	for i := width - 1; i >= 0; i-- {
+		b = append(b, hexDigits[(v>>(uint(i)*4))&0xf])
+	}
+	return b
+}
+
+// FormatTraceparent renders a traceparent header value for the given trace
+// and span ids with the sampled flag set.
+func FormatTraceparent(trace, span uint64) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-0000000000000000"...)
+	b = appendHex(b, trace, 16)
+	b = append(b, '-')
+	b = appendHex(b, span, 16)
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// ParseTraceparent extracts the trace id and parent span id from a
+// traceparent header value. Returns ok=false for malformed headers, unknown
+// versions, or an all-zero trace id (which the spec declares invalid).
+func ParseTraceparent(h string) (trace, span uint64, ok bool) {
+	if len(h) < 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return 0, 0, false
+	}
+	hi, err := strconv.ParseUint(h[3:19], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	lo, err := strconv.ParseUint(h[19:35], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	span, err = strconv.ParseUint(h[36:52], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	trace = lo
+	if trace == 0 {
+		trace = hi // 128-bit id with a zero low half: keep what's nonzero
+	}
+	if trace == 0 {
+		return 0, 0, false
+	}
+	return trace, span, true
+}

@@ -48,6 +48,12 @@ type Event struct {
 	Epoch       int // absolute completed epochs (includes resumed offset)
 	TotalEpochs int // the run's epoch budget
 
+	// RunID identifies a distributed run (the handshake id workers rejoin
+	// with); 0 for single-process trainers. The serving layer surfaces it in
+	// /statsz so a dashboard can tie a model's training feed to the cluster
+	// that produced it.
+	RunID uint64
+
 	// RMSE is the test RMSE measured at this boundary; 0 when the run has
 	// no test set (RMSE of a real model is strictly positive).
 	RMSE float64

@@ -41,6 +41,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		similar:       reg.Histogram("hsgd_request_duration_seconds", reqHelp, obs.Labels{"endpoint": "similar_items"}, nil),
 		swaps:         reg.Counter("hsgd_snapshot_swaps_total", "snapshot hot-swaps since start", nil),
 	}
+	obs.RegisterBuildInfo(reg, obs.CollectRunMeta(HasAVX2()))
 
 	const cntHelp = "requests served by endpoint"
 	reg.CounterFunc("hsgd_requests_total", cntHelp, obs.Labels{"endpoint": "predict"}, s.nPredict.Load)

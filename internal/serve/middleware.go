@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hsgd/internal/obs"
+)
+
+// observe is the outermost /v1 wrapper: every response carries an
+// X-Request-ID (echoed from the client when it sent one, generated
+// otherwise) and a W3C traceparent — the incoming trace id propagated under
+// a fresh server span id, or a new trace when the client sent none — and a
+// request slower than the configured -slow-request threshold produces one
+// structured log line carrying both ids. It runs outside the overload
+// stack so even shed (429) and timed-out (503) responses are correlatable.
+func (s *Server) observe(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = strconv.FormatUint(obs.NewSpanID(), 16)
+		}
+		trace, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			trace = obs.NewTraceID()
+		}
+		hdr := w.Header()
+		hdr.Set("X-Request-Id", id)
+		hdr.Set("Traceparent", obs.FormatTraceparent(trace, obs.NewSpanID()))
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		if s.slowThreshold > 0 {
+			if dur := time.Since(start); dur >= s.slowThreshold {
+				s.logger.Warn("slow request",
+					"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+					"dur_ms", fmt.Sprintf("%.1f", float64(dur.Nanoseconds())/1e6),
+					"request_id", id, "trace", fmt.Sprintf("%016x", trace))
+			}
+		}
+	})
+}

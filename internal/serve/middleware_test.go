@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hsgd/internal/obs"
+	olog "hsgd/internal/obs/log"
+)
+
+// observedServer builds a server whose logger mirrors into a ring the test
+// can inspect, with the slow-request threshold set low enough that every
+// request trips it.
+func observedServer(t *testing.T, slow time.Duration) (string, *olog.Ring) {
+	t.Helper()
+	store := NewStore()
+	f := uniformFactors(4, 8, 2, 0.5, 0.5)
+	if _, err := store.Publish(f, "test"); err != nil {
+		t.Fatal(err)
+	}
+	ring := olog.NewRing(64)
+	srv, err := New(Config{
+		Store:       store,
+		Shards:      2,
+		Logger:      olog.New(nil, olog.LevelDebug, ring),
+		SlowRequest: slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, ring
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	url, _ := observedServer(t, 0)
+
+	// No inbound id: the server mints one.
+	resp, err := http.Get(url + "/v1/recommend?user=1&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{1,16}$`).MatchString(id) {
+		t.Fatalf("generated request id %q is not lowercase hex", id)
+	}
+
+	// An inbound id is echoed verbatim so the caller can correlate.
+	req, _ := http.NewRequest("GET", url+"/v1/predict?user=1&item=2", nil)
+	req.Header.Set("X-Request-Id", "caller-chose-this")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-chose-this" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	url, _ := observedServer(t, 0)
+
+	// Without an inbound traceparent the response starts a fresh trace.
+	resp, err := http.Get(url + "/v1/recommend?user=0&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	trace, span, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok || trace == 0 || span == 0 {
+		t.Fatalf("response traceparent %q invalid", resp.Header.Get("Traceparent"))
+	}
+
+	// An inbound traceparent keeps its trace id; the span id is this hop's.
+	inbound := obs.FormatTraceparent(0xfeedface, 0xbead)
+	req, _ := http.NewRequest("GET", url+"/v1/recommend?user=0&k=2", nil)
+	req.Header.Set("Traceparent", inbound)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	trace, span, ok = obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok || trace != 0xfeedface {
+		t.Fatalf("trace id not propagated: %q", resp.Header.Get("Traceparent"))
+	}
+	if span == 0xbead {
+		t.Fatal("server reused the caller's span id instead of minting its own")
+	}
+}
+
+func TestSlowRequestLogged(t *testing.T) {
+	url, ring := observedServer(t, time.Nanosecond) // everything is "slow"
+
+	req, _ := http.NewRequest("GET", url+"/v1/recommend?user=2&k=3", nil)
+	req.Header.Set("X-Request-Id", "slowtest")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var found bool
+	for _, rec := range ring.Snapshot() {
+		if rec.Msg != "slow request" {
+			continue
+		}
+		line := strings.Join(rec.KV, " ")
+		if strings.Contains(line, "slowtest") && strings.Contains(line, "recommend") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slow-request record with the request id; ring: %v", ring.Snapshot())
+	}
+}
+
+func TestSlowRequestDisabledByDefault(t *testing.T) {
+	url, ring := observedServer(t, 0)
+	resp, err := http.Get(url + "/v1/recommend?user=2&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, rec := range ring.Snapshot() {
+		if rec.Msg == "slow request" {
+			t.Fatal("slow-request logging fired with a zero threshold")
+		}
+	}
+}
+
+// TestErrorResponseCarriesCorrelationHeaders checks that observe wraps the
+// whole protect stack: even a request rejected before its handler runs
+// answers with the request-id and traceparent headers, so failures stay
+// correlatable.
+func TestErrorResponseCarriesCorrelationHeaders(t *testing.T) {
+	url, _ := observedServer(t, 0)
+	resp, err := http.Get(url + "/v1/predict?user=notanumber&item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-Id") == "" || resp.Header.Get("Traceparent") == "" {
+		t.Fatal("error response lost its correlation headers")
+	}
+}

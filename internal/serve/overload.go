@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"log"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"time"
@@ -73,7 +73,10 @@ func (s *Server) recoverPanics(h http.Handler) http.Handler {
 				panic(rec)
 			}
 			s.nPanics.Add(1)
-			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.logger.Error("panic recovered",
+				"method", r.Method, "path", r.URL.Path,
+				"request_id", w.Header().Get("X-Request-Id"),
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote headers this is a
 			// no-op on the status line, but the client still sees the
 			// connection complete instead of resetting.

@@ -12,6 +12,7 @@ import (
 
 	"hsgd/internal/model"
 	"hsgd/internal/obs"
+	olog "hsgd/internal/obs/log"
 	"hsgd/internal/progress"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// request over the deadline answers 503. 0 picks DefaultRequestTimeout;
 	// negative disables the deadline.
 	RequestTimeout time.Duration
+	// Logger receives the server's structured logs (panics, slow requests);
+	// nil falls back to a plain stderr logger so panics are never silent.
+	Logger *olog.Logger
+	// SlowRequest is the latency threshold above which a /v1 request logs
+	// one structured line with its request and trace ids; 0 disables.
+	SlowRequest time.Duration
 }
 
 // Server is the HTTP JSON API over a snapshot store:
@@ -94,6 +101,11 @@ type Server struct {
 	limiter        chan struct{}
 	requestTimeout time.Duration
 	draining       atomic.Bool
+
+	// logger receives panic and slow-request records; slowThreshold is the
+	// latency above which a /v1 request logs one line (0 disables).
+	logger        *olog.Logger
+	slowThreshold time.Duration
 
 	m *serverMetrics
 
@@ -156,6 +168,11 @@ func New(cfg Config) (*Server, error) {
 	if s.requestTimeout == 0 {
 		s.requestTimeout = DefaultRequestTimeout
 	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = olog.Default()
+	}
+	s.slowThreshold = cfg.SlowRequest
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -262,20 +279,21 @@ func (sc *reqScratch) seenSet(exclude []int32) map[int32]bool {
 }
 
 // Handler returns the route mux. It is what cmd/hsgd-serve mounts and what
-// the tests drive through httptest. The /v1 routes run behind the overload
-// stack (panic recovery, in-flight shedding, per-request deadline); the
-// operational endpoints stay bare so a saturated scorer never blinds probes
-// or scrapes.
+// the tests drive through httptest. The /v1 routes run behind the observe
+// wrapper (request-id + traceparent headers, slow-request logging) and the
+// overload stack (panic recovery, in-flight shedding, per-request
+// deadline); the operational endpoints stay bare so a saturated scorer
+// never blinds probes or scrapes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statsz", s.handleStats)
 	mux.Handle("GET /metricz", obs.Handler(s.m.reg))
-	mux.Handle("GET /v1/predict", s.protect(timed(s.m.predict, s.handlePredict)))
-	mux.Handle("GET /v1/recommend", s.protect(timed(s.m.recommendGet, s.handleRecommendGet)))
-	mux.Handle("POST /v1/recommend", s.protect(timed(s.m.recommendPost, s.handleRecommendPost)))
-	mux.Handle("GET /v1/similar-items", s.protect(timed(s.m.similar, s.handleSimilar)))
+	mux.Handle("GET /v1/predict", s.observe("predict", s.protect(timed(s.m.predict, s.handlePredict))))
+	mux.Handle("GET /v1/recommend", s.observe("recommend", s.protect(timed(s.m.recommendGet, s.handleRecommendGet))))
+	mux.Handle("POST /v1/recommend", s.observe("recommend", s.protect(timed(s.m.recommendPost, s.handleRecommendPost))))
+	mux.Handle("GET /v1/similar-items", s.observe("similar_items", s.protect(timed(s.m.similar, s.handleSimilar))))
 	return mux
 }
 
@@ -350,8 +368,12 @@ type retrievalStats struct {
 // arrives. Heterogeneous runs additionally carry the current nonuniform
 // split and one entry per executor class.
 type trainingStats struct {
-	State         string  `json:"state"` // training | done | interrupted
-	Algorithm     string  `json:"algorithm"`
+	State     string `json:"state"` // training | done | interrupted
+	Algorithm string `json:"algorithm"`
+	// RunID identifies the distributed run feeding this process's events
+	// (hex, matching the dist log lines and manifest); absent for
+	// single-process trainers.
+	RunID         string  `json:"run_id,omitempty"`
 	Epoch         int     `json:"epoch"`
 	TotalEpochs   int     `json:"total_epochs"`
 	RMSE          float64 `json:"rmse,omitempty"`
@@ -465,9 +487,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if stamp.IsZero() {
 			stamp = s.trainSeen
 		}
+		var runID string
+		if e.RunID != 0 {
+			runID = fmt.Sprintf("%016x", e.RunID)
+		}
 		resp.Training = &trainingStats{
 			State:          state,
 			Algorithm:      e.Algorithm,
+			RunID:          runID,
 			Epoch:          e.Epoch,
 			TotalEpochs:    e.TotalEpochs,
 			RMSE:           e.RMSE,
